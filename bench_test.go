@@ -1,0 +1,112 @@
+// Benchmarks regenerating every quantitative artifact of the paper, one
+// per experiment (see DESIGN.md §3 and EXPERIMENTS.md). Each benchmark
+// runs the corresponding experiment from internal/experiments and reports
+// its headline metrics via b.ReportMetric, so `go test -bench=.` prints
+// the reproduction numbers alongside timing.
+package drtree_test
+
+import (
+	"sort"
+	"testing"
+
+	"drtree/internal/experiments"
+)
+
+func report(b *testing.B, run func() experiments.Result) {
+	b.Helper()
+	var res experiments.Result
+	for i := 0; i < b.N; i++ {
+		res = run()
+	}
+	if res.Err != nil {
+		b.Fatalf("%s reproduction failed: %v\n%s", res.ID, res.Err, res.Table)
+	}
+	keys := make([]string, 0, len(res.Metrics))
+	for k := range res.Metrics {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		b.ReportMetric(res.Metrics[k], k)
+	}
+	if b.N == 1 {
+		b.Logf("\n%s", res)
+	}
+}
+
+// BenchmarkE1_WorkedExample — Figures 1-5: the canonical S1..S8 scenario;
+// event a from S2 reaches {S2,S3,S4} with 2 messages and 0 false
+// positives.
+func BenchmarkE1_WorkedExample(b *testing.B) {
+	report(b, experiments.RunE1)
+}
+
+// BenchmarkE2_HeightMemory — Lemma 3.1: height O(log_m N), memory
+// O(M log^2 N / log m).
+func BenchmarkE2_HeightMemory(b *testing.B) {
+	report(b, func() experiments.Result {
+		return experiments.RunE2(1, []int{100, 400, 1600})
+	})
+}
+
+// BenchmarkE3_JoinCost — Lemma 3.2: join routing cost vs N.
+func BenchmarkE3_JoinCost(b *testing.B) {
+	report(b, func() experiments.Result {
+		return experiments.RunE3(1, []int{100, 400, 1600})
+	})
+}
+
+// BenchmarkE4_LeaveRecovery — Lemmas 3.4-3.5: repair cost after
+// controlled and uncontrolled departures.
+func BenchmarkE4_LeaveRecovery(b *testing.B) {
+	report(b, func() experiments.Result {
+		return experiments.RunE4(1, []int{100, 400})
+	})
+}
+
+// BenchmarkE5_Corruption — Lemma 3.6: stabilization from arbitrary
+// corrupted configurations (sequential passes + protocol rounds).
+func BenchmarkE5_Corruption(b *testing.B) {
+	report(b, func() experiments.Result {
+		return experiments.RunE5(1, 60, 10)
+	})
+}
+
+// BenchmarkE6_FalsePositives — the TR claim: DR-tree false positives
+// around 2-3% per subscriber, zero false negatives, vs the three
+// baselines.
+func BenchmarkE6_FalsePositives(b *testing.B) {
+	report(b, func() experiments.Result {
+		return experiments.RunE6(1, 150, 300)
+	})
+}
+
+// BenchmarkE7_Churn — Lemma 3.7: analytic churn bound vs Monte-Carlo vs
+// live overlay.
+func BenchmarkE7_Churn(b *testing.B) {
+	report(b, func() experiments.Result {
+		return experiments.RunE7(1, 30, []float64{5, 15, 30, 60})
+	})
+}
+
+// BenchmarkE8_SplitPolicies — §3.2 ablation: linear vs quadratic vs R*.
+func BenchmarkE8_SplitPolicies(b *testing.B) {
+	report(b, func() experiments.Result {
+		return experiments.RunE8(1, 200, 300)
+	})
+}
+
+// BenchmarkE9_RootElection — Figure 6 ablation: largest-MBR election vs
+// random/first-child, with and without the cover rule.
+func BenchmarkE9_RootElection(b *testing.B) {
+	report(b, func() experiments.Result {
+		return experiments.RunE9(1, 120, 300)
+	})
+}
+
+// BenchmarkE10_Reorg — §3.2 dynamic reorganization under hot-spot events.
+func BenchmarkE10_Reorg(b *testing.B) {
+	report(b, func() experiments.Result {
+		return experiments.RunE10(1, 100, 400)
+	})
+}

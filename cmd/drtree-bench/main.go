@@ -1,0 +1,67 @@
+// Command drtree-bench regenerates the paper's quantitative artifacts
+// (experiments E1-E10, see DESIGN.md §3) and prints one paper-style table
+// per experiment.
+//
+// Usage:
+//
+//	drtree-bench [-seed N] [-exp E1,E5,E7]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"drtree/internal/experiments"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	seed := flag.Uint64("seed", 1, "random seed for all experiments")
+	exp := flag.String("exp", "", "comma-separated experiment IDs (default: all)")
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*exp, ",") {
+		if e = strings.TrimSpace(strings.ToUpper(e)); e != "" {
+			want[e] = true
+		}
+	}
+
+	runners := []struct {
+		id  string
+		run func() experiments.Result
+	}{
+		{"E1", experiments.RunE1},
+		{"E2", func() experiments.Result { return experiments.RunE2(*seed, []int{100, 400, 1600}) }},
+		{"E3", func() experiments.Result { return experiments.RunE3(*seed, []int{100, 400, 1600}) }},
+		{"E4", func() experiments.Result { return experiments.RunE4(*seed, []int{100, 400}) }},
+		{"E5", func() experiments.Result { return experiments.RunE5(*seed, 60, 20) }},
+		{"E6", func() experiments.Result { return experiments.RunE6(*seed, 150, 300) }},
+		{"E7", func() experiments.Result { return experiments.RunE7(*seed, 30, []float64{5, 15, 30, 60}) }},
+		{"E8", func() experiments.Result { return experiments.RunE8(*seed, 200, 300) }},
+		{"E9", func() experiments.Result { return experiments.RunE9(*seed, 120, 300) }},
+		{"E10", func() experiments.Result { return experiments.RunE10(*seed, 100, 400) }},
+	}
+
+	failures := 0
+	for _, r := range runners {
+		if len(want) > 0 && !want[r.id] {
+			continue
+		}
+		res := r.run()
+		fmt.Println(res)
+		if res.Err != nil {
+			failures++
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "%d experiment(s) failed to reproduce\n", failures)
+		return 1
+	}
+	return 0
+}

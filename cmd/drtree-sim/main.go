@@ -1,0 +1,143 @@
+// Command drtree-sim builds a DR-tree overlay from a synthetic workload,
+// publishes an event stream through it, and prints structure and routing
+// accuracy statistics.
+//
+// Usage:
+//
+//	drtree-sim [-n 500] [-m 2] [-M 4] [-split quadratic]
+//	           [-workload uniform|clustered|contained|mixed]
+//	           [-events 1000] [-eventkind matching|uniform|hotspot]
+//	           [-churn 0.1] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand/v2"
+	"os"
+
+	"drtree/internal/core"
+	"drtree/internal/split"
+	"drtree/internal/stats"
+	"drtree/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "drtree-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		n         = flag.Int("n", 500, "number of subscribers")
+		m         = flag.Int("m", 2, "minimum fanout m")
+		mm        = flag.Int("M", 4, "maximum fanout M (>= 2m)")
+		splitName = flag.String("split", "quadratic", "split policy: linear|quadratic|rstar")
+		wl        = flag.String("workload", "uniform", "subscription workload: uniform|clustered|contained|mixed")
+		events    = flag.Int("events", 1000, "number of events to publish")
+		evKind    = flag.String("eventkind", "matching", "event workload: matching|uniform|hotspot")
+		churnFrac = flag.Float64("churn", 0, "fraction of subscribers to crash mid-run (0..0.5)")
+		seed      = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	pol, err := split.ByName(*splitName)
+	if err != nil {
+		return err
+	}
+	kind, err := workload.KindByName(*wl)
+	if err != nil {
+		return err
+	}
+	var ek workload.EventKind
+	switch *evKind {
+	case "matching":
+		ek = workload.MatchingEvents
+	case "uniform":
+		ek = workload.UniformEvents
+	case "hotspot":
+		ek = workload.HotSpotEvents
+	default:
+		return fmt.Errorf("unknown event kind %q", *evKind)
+	}
+
+	rng := rand.New(rand.NewPCG(*seed, 0))
+	world := workload.DefaultWorld()
+	subs := workload.Subscriptions(rng, world, kind, *n)
+	evs := workload.Events(rng, world, ek, *events, subs)
+
+	tr, err := core.New(core.Params{MinFanout: *m, MaxFanout: *mm, Split: pol})
+	if err != nil {
+		return err
+	}
+	for i, s := range subs {
+		if _, err := tr.Join(core.ProcID(i+1), s); err != nil {
+			return fmt.Errorf("join %d: %w", i+1, err)
+		}
+	}
+	if err := tr.CheckLegal(); err != nil {
+		return fmt.Errorf("overlay not legal after construction: %w", err)
+	}
+
+	if *churnFrac > 0 {
+		kills := int(*churnFrac * float64(tr.Len()))
+		ids := tr.ProcIDs()
+		rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+		for _, id := range ids[:kills] {
+			if err := tr.Crash(id); err != nil {
+				return err
+			}
+		}
+		st := tr.RepairCrash()
+		fmt.Printf("churn: crashed %d subscribers; repaired in %d passes (%d rejoins)\n\n",
+			kills, st.StabilizeSteps, st.Reinsertions)
+		if err := tr.CheckLegal(); err != nil {
+			return fmt.Errorf("overlay not legal after churn repair: %w", err)
+		}
+	}
+
+	ids := tr.ProcIDs()
+	var fp, del, msgs, fn int
+	for _, ev := range evs {
+		d, err := tr.Publish(ids[rng.IntN(len(ids))], ev)
+		if err != nil {
+			return err
+		}
+		fp += len(d.FalsePositives)
+		del += len(d.Received)
+		msgs += d.Messages
+		got := map[core.ProcID]bool{}
+		for _, id := range d.Received {
+			got[id] = true
+		}
+		for _, id := range ids {
+			f, _ := tr.Filter(id)
+			if f.ContainsPoint(ev) && !got[id] {
+				fn++
+			}
+		}
+	}
+
+	st := tr.ComputeStats()
+	tb := stats.NewTable("metric", "value")
+	tb.AddRow("subscribers", tr.Len())
+	tb.AddRow("height", st.Height)
+	tb.AddRow("log_m(N)", st.HeightLog)
+	tb.AddRow("instances", st.Nodes)
+	tb.AddRow("max links/process", st.MaxLinks)
+	tb.AddRow("avg links/process", st.AvgLinks)
+	tb.AddRow("events", len(evs))
+	tb.AddRow("deliveries", del)
+	tb.AddRow("messages/event", float64(msgs)/float64(max(len(evs), 1)))
+	tb.AddRow("false positives/delivery", float64(fp)/float64(max(del, 1)))
+	tb.AddRow("false positives/(N*events)", float64(fp)/float64(tr.Len()*max(len(evs), 1)))
+	tb.AddRow("false negatives", fn)
+	tb.AddRow("weak containment violations", tr.CheckWeakContainment())
+	fmt.Print(tb)
+	if fn != 0 {
+		return fmt.Errorf("false negatives detected: %d", fn)
+	}
+	return nil
+}

@@ -1,0 +1,70 @@
+// Command drtree-viz renders the paper's canonical Figure 1 scenario as
+// Graphviz DOT: the subscription containment graph (Figure 1 right), the
+// DR-tree level diagram (Figure 4), or the physical communication graph
+// (Figure 5).
+//
+// Usage:
+//
+//	drtree-viz -what containment | tree | comm | describe
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"drtree/internal/containment"
+	"drtree/internal/core"
+	"drtree/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "drtree-viz:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	what := flag.String("what", "tree", "diagram: containment|tree|comm|describe")
+	flag.Parse()
+
+	fig := workload.NewFigure1()
+
+	if *what == "containment" {
+		items := make([]containment.Item, len(fig.Subs))
+		for i := range fig.Subs {
+			items[i] = containment.Item{Label: fig.Labels[i], Rect: fig.Subs[i]}
+		}
+		g, err := containment.Build(items)
+		if err != nil {
+			return err
+		}
+		fmt.Print(g.Dot())
+		return nil
+	}
+
+	tr, err := core.New(core.Params{MinFanout: 1, MaxFanout: 3})
+	if err != nil {
+		return err
+	}
+	labels := map[core.ProcID]string{}
+	for i, r := range fig.Subs {
+		id := core.ProcID(i + 1)
+		labels[id] = fig.Labels[i]
+		if _, err := tr.Join(id, r); err != nil {
+			return err
+		}
+	}
+	switch *what {
+	case "tree":
+		fmt.Print(tr.Dot(labels))
+	case "comm":
+		fmt.Print(tr.CommunicationDot(labels))
+	case "describe":
+		fmt.Print(tr.Describe(labels))
+	default:
+		return fmt.Errorf("unknown -what %q (containment|tree|comm|describe)", *what)
+	}
+	return nil
+}

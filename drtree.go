@@ -1,0 +1,95 @@
+// Package drtree is the public API of the DR-tree library: a
+// decentralized, self-stabilizing R-tree overlay for peer-to-peer
+// content-based publish/subscribe, reproducing Bianchi, Datta, Felber,
+// Gradinariu, "Stabilizing Peer-to-Peer Spatial Filters" (ICDCS 2007).
+//
+// The facade re-exports the stable surface of the internal packages:
+//
+//   - Tree / Params — the DR-tree overlay engine (internal/core):
+//     joins, controlled leaves, crashes, stabilization, event
+//     dissemination, legality checking.
+//   - Broker — the publish/subscribe front end (internal/pubsub) over a
+//     predicate language (internal/filter).
+//   - Rect / Point — the poly-space geometry (internal/geom).
+//
+// Quick start:
+//
+//	tree, _ := drtree.NewTree(drtree.Params{MinFanout: 2, MaxFanout: 4})
+//	tree.Join(1, drtree.R2(0, 0, 10, 10))
+//	tree.Join(2, drtree.R2(5, 5, 20, 20))
+//	delivery, _ := tree.Publish(1, drtree.Point{7, 7})
+//
+// See examples/ for runnable programs and DESIGN.md for the paper
+// reproduction map.
+package drtree
+
+import (
+	"drtree/internal/core"
+	"drtree/internal/filter"
+	"drtree/internal/geom"
+	"drtree/internal/pubsub"
+)
+
+// Geometry re-exports.
+type (
+	// Rect is an axis-aligned poly-space rectangle (a compiled filter).
+	Rect = geom.Rect
+	// Point is an event location.
+	Point = geom.Point
+)
+
+// R2 builds a two-dimensional rectangle from two corners.
+func R2(x1, y1, x2, y2 float64) Rect { return geom.R2(x1, y1, x2, y2) }
+
+// NewRect builds an n-dimensional rectangle from per-dimension bounds.
+func NewRect(lo, hi []float64) (Rect, error) { return geom.NewRect(lo, hi) }
+
+// Overlay re-exports.
+type (
+	// Tree is the DR-tree overlay.
+	Tree = core.Tree
+	// Params configures a Tree.
+	Params = core.Params
+	// ProcID identifies a subscriber process.
+	ProcID = core.ProcID
+	// JoinStats reports join costs.
+	JoinStats = core.JoinStats
+	// LeaveStats reports departure repair costs.
+	LeaveStats = core.LeaveStats
+	// StabStats reports stabilization work.
+	StabStats = core.StabStats
+	// Delivery reports one event dissemination.
+	Delivery = core.Delivery
+	// Election is a parent/root election policy.
+	Election = core.Election
+	// LargestMBR is the paper's election rule (Figure 6).
+	LargestMBR = core.LargestMBR
+)
+
+// NewTree creates an empty DR-tree overlay.
+func NewTree(p Params) (*Tree, error) { return core.New(p) }
+
+// Publish/subscribe re-exports.
+type (
+	// Broker is the content-based publish/subscribe front end.
+	Broker = pubsub.Broker
+	// Filter is a conjunction of attribute predicates.
+	Filter = filter.Filter
+	// Event is an attribute/value message.
+	Event = filter.Event
+	// Space is an ordered attribute schema.
+	Space = filter.Space
+	// Notification reports one publication.
+	Notification = pubsub.Notification
+)
+
+// NewSpace builds an attribute space over the given names.
+func NewSpace(attrs ...string) (*Space, error) { return filter.NewSpace(attrs...) }
+
+// NewBroker creates a publish/subscribe broker over space with the given
+// overlay parameters.
+func NewBroker(space *Space, p Params) (*Broker, error) { return pubsub.New(space, p) }
+
+// ParseFilter parses the textual predicate language, e.g.
+// "price in [10, 20] && qty >= 3".
+func ParseFilter(src string) (Filter, error) { return filter.Parse(src) }

@@ -1,0 +1,91 @@
+package drtree_test
+
+import (
+	"testing"
+
+	"drtree"
+)
+
+// TestFacadeTreeRoundTrip exercises the public overlay API end to end.
+func TestFacadeTreeRoundTrip(t *testing.T) {
+	tree, err := drtree.NewTree(drtree.Params{MinFanout: 2, MaxFanout: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 12; i++ {
+		f := drtree.R2(float64(i*10), 0, float64(i*10)+15, 20)
+		if _, err := tree.Join(drtree.ProcID(i), f); err != nil {
+			t.Fatalf("join %d: %v", i, err)
+		}
+	}
+	if err := tree.CheckLegal(); err != nil {
+		t.Fatal(err)
+	}
+	d, err := tree.Publish(3, drtree.Point{35, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Received) == 0 {
+		t.Fatal("no deliveries")
+	}
+	if _, err := tree.Leave(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Crash(7); err != nil {
+		t.Fatal(err)
+	}
+	tree.Stabilize()
+	if err := tree.CheckLegal(); err != nil {
+		t.Fatal(err)
+	}
+	if tree.Len() != 10 {
+		t.Fatalf("Len = %d", tree.Len())
+	}
+}
+
+// TestFacadeBrokerRoundTrip exercises the public pub/sub API.
+func TestFacadeBrokerRoundTrip(t *testing.T) {
+	space, err := drtree.NewSpace("x", "y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	broker, err := drtree.NewBroker(space, drtree.Params{MinFanout: 2, MaxFanout: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := drtree.ParseFilter("x in [0, 10] && y in [0, 10]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := broker.Subscribe(1, f); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := broker.SubscribeExpr(2, "x in [5, 20] && y in [5, 20]"); err != nil {
+		t.Fatal(err)
+	}
+	n, err := broker.Publish(1, drtree.Event{"x": 7, "y": 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Interested) != 2 || len(n.FalseNegatives) != 0 {
+		t.Fatalf("notification: %+v", n)
+	}
+}
+
+// TestFacadeRectConstructors covers the geometry constructors.
+func TestFacadeRectConstructors(t *testing.T) {
+	r := drtree.R2(0, 0, 5, 5)
+	if !r.ContainsPoint(drtree.Point{2, 2}) {
+		t.Fatal("R2 rect must contain interior point")
+	}
+	nd, err := drtree.NewRect([]float64{0, 0, 0}, []float64{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nd.Dims() != 3 {
+		t.Fatalf("Dims = %d", nd.Dims())
+	}
+	if _, err := drtree.NewRect([]float64{1}, []float64{0}); err == nil {
+		t.Fatal("inverted bounds must error")
+	}
+}

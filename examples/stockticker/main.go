@@ -1,0 +1,91 @@
+// Stockticker: a content-based publish/subscribe scenario over the
+// Broker API. Traders subscribe with range filters over (price, volume)
+// written in the textual predicate language; a market feed publishes
+// quotes and each trader receives exactly the quotes matching its filter
+// — the paper's motivating use of complex spatial filters.
+package main
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"os"
+
+	"drtree"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "stockticker:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	space, err := drtree.NewSpace("price", "volume")
+	if err != nil {
+		return err
+	}
+	broker, err := drtree.NewBroker(space, drtree.Params{MinFanout: 2, MaxFanout: 4})
+	if err != nil {
+		return err
+	}
+
+	subscriptions := map[drtree.ProcID]string{
+		1: "price in [0, 1000] && volume in [0, 100000]", // market maker: everything
+		2: "price in [90, 110] && volume in [0, 100000]", // band watcher
+		3: "price in [95, 105] && volume in [5000, 100000]",
+		4: "price >= 200 && volume >= 10000",             // large-cap whale
+		5: "price in [90, 100] && volume in [0, 1000]",   // small lots
+		6: "price in [100, 300] && volume in [0, 50000]", // momentum desk
+	}
+	for id, expr := range subscriptions {
+		if _, err := broker.SubscribeExpr(id, expr); err != nil {
+			return fmt.Errorf("subscriber %d: %w", id, err)
+		}
+		fmt.Printf("trader %d subscribed: %s\n", id, expr)
+	}
+
+	rng := rand.New(rand.NewPCG(2026, 6))
+	quotes := make([]drtree.Event, 0, 8)
+	for i := 0; i < 8; i++ {
+		quotes = append(quotes, drtree.Event{
+			"price":  80 + rng.Float64()*170,
+			"volume": rng.Float64() * 60000,
+		})
+	}
+
+	fmt.Println("\nmarket feed (published by trader 1):")
+	totalMsgs, totalFP := 0, 0
+	for i, q := range quotes {
+		n, err := broker.Publish(1, q)
+		if err != nil {
+			return err
+		}
+		if len(n.FalseNegatives) != 0 {
+			return fmt.Errorf("quote %d lost subscribers %v", i, n.FalseNegatives)
+		}
+		totalMsgs += n.Messages
+		totalFP += len(n.FalsePositives)
+		fmt.Printf("quote %d %v -> interested %v (messages: %d)\n",
+			i, q, n.Interested, n.Messages)
+	}
+	fmt.Printf("\n%d quotes, %d messages total, %d false-positive deliveries, 0 false negatives\n",
+		len(quotes), totalMsgs, totalFP)
+
+	// A trader drops out mid-session; the overlay repairs itself.
+	if err := broker.Fail(3); err != nil {
+		return err
+	}
+	st := broker.Repair()
+	fmt.Printf("trader 3 crashed; overlay repaired in %d passes\n", st.Passes)
+	if err := broker.Tree().CheckLegal(); err != nil {
+		return fmt.Errorf("overlay not legal after repair: %w", err)
+	}
+	n, err := broker.Publish(1, drtree.Event{"price": 100, "volume": 20000})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("post-repair quote -> interested %v, false negatives: %d\n",
+		n.Interested, len(n.FalseNegatives))
+	return nil
+}

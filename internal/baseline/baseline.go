@@ -1,0 +1,257 @@
+// Package baseline implements the three alternative dissemination
+// structures the paper argues against in §3.1, as comparison points for
+// the DR-tree:
+//
+//   - ContainmentTree — the direct mapping of the containment graph to a
+//     tree with a virtual root (Chand & Felber [11]): accurate but
+//     unbalanced, with unbounded fan-out at the virtual root.
+//   - DimensionTrees — one containment tree per dimension (Anceaume et
+//     al. [3]): flat trees with high fan-out and significant false
+//     positives.
+//   - Flooding — broadcast every event to every subscriber: the
+//     degenerate upper bound on false positives and message cost.
+//
+// Every structure exposes the same Disseminate interface so experiment E6
+// can print one table across systems.
+package baseline
+
+import (
+	"fmt"
+	"sort"
+
+	"drtree/internal/geom"
+)
+
+// Report is the outcome of disseminating one event through a baseline.
+type Report struct {
+	// Received lists subscriber indexes that physically received the
+	// event.
+	Received []int
+	// FalsePositives counts receivers whose subscription does not match.
+	FalsePositives int
+	// FalseNegatives counts matching subscribers that did not receive.
+	FalseNegatives int
+	// Messages counts point-to-point messages used.
+	Messages int
+}
+
+// System is a dissemination structure under comparison.
+type System interface {
+	// Name identifies the system.
+	Name() string
+	// Disseminate routes one event and reports the outcome.
+	Disseminate(ev geom.Point) Report
+	// MaxFanout returns the maximum node degree of the structure.
+	MaxFanout() int
+	// Depth returns the maximum root-to-leaf depth.
+	Depth() int
+}
+
+// finish fills derived accuracy fields of a report.
+func finish(subs []geom.Rect, received map[int]bool, messages int, ev geom.Point) Report {
+	rep := Report{Messages: messages}
+	for i := range subs {
+		match := subs[i].ContainsPoint(ev)
+		if received[i] {
+			rep.Received = append(rep.Received, i)
+			if !match {
+				rep.FalsePositives++
+			}
+		} else if match {
+			rep.FalseNegatives++
+		}
+	}
+	sort.Ints(rep.Received)
+	return rep
+}
+
+// ContainmentTree is the direct containment-graph tree of [11]: each
+// subscription hangs under one of its direct containers (the smallest,
+// for routing accuracy); subscriptions with no container hang under a
+// virtual root.
+type ContainmentTree struct {
+	subs     []geom.Rect
+	children [][]int // children[i] = subscriptions directly under i
+	roots    []int   // children of the virtual root
+}
+
+// NewContainmentTree builds the structure.
+func NewContainmentTree(subs []geom.Rect) (*ContainmentTree, error) {
+	t := &ContainmentTree{
+		subs:     append([]geom.Rect(nil), subs...),
+		children: make([][]int, len(subs)),
+	}
+	for i, s := range subs {
+		if s.IsEmpty() {
+			return nil, fmt.Errorf("baseline: subscription %d is empty", i)
+		}
+		// Find the smallest strict container to hang under.
+		parent := -1
+		for j, c := range subs {
+			if i == j || !c.StrictlyContains(s) {
+				continue
+			}
+			if parent == -1 || subs[parent].Area() > c.Area() {
+				parent = j
+			}
+		}
+		if parent == -1 {
+			t.roots = append(t.roots, i)
+		} else {
+			t.children[parent] = append(t.children[parent], i)
+		}
+	}
+	return t, nil
+}
+
+// Name implements System.
+func (t *ContainmentTree) Name() string { return "containment-tree" }
+
+// Disseminate implements System: the event enters at the virtual root and
+// descends into every child whose filter matches. Accuracy is perfect
+// (filters are exact), but the virtual root contacts every top-level
+// subscription.
+func (t *ContainmentTree) Disseminate(ev geom.Point) Report {
+	received := make(map[int]bool)
+	messages := 0
+	var down func(i int)
+	down = func(i int) {
+		messages++
+		received[i] = true
+		for _, c := range t.children[i] {
+			if t.subs[c].ContainsPoint(ev) {
+				down(c)
+			}
+		}
+	}
+	for _, r := range t.roots {
+		// The virtual root must probe each top-level subscription: one
+		// message each, delivery only on match.
+		messages++
+		if t.subs[r].ContainsPoint(ev) {
+			messages-- // counted again inside down
+			down(r)
+		}
+	}
+	return finish(t.subs, received, messages, ev)
+}
+
+// MaxFanout implements System (the virtual root counts).
+func (t *ContainmentTree) MaxFanout() int {
+	max := len(t.roots)
+	for _, c := range t.children {
+		if len(c) > max {
+			max = len(c)
+		}
+	}
+	return max
+}
+
+// Depth implements System.
+func (t *ContainmentTree) Depth() int {
+	var depth func(i int) int
+	depth = func(i int) int {
+		d := 1
+		for _, c := range t.children[i] {
+			if dd := 1 + depth(c); dd > d {
+				d = dd
+			}
+		}
+		return d
+	}
+	max := 0
+	for _, r := range t.roots {
+		if d := depth(r); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// DimensionTrees keeps one interval-containment tree per dimension [3]: a
+// subscription registers in the tree of every dimension it constrains,
+// and receives an event whenever its interval matches in any tree it is
+// registered in — producing false positives whenever the other dimensions
+// do not match.
+type DimensionTrees struct {
+	subs []geom.Rect
+	dims int
+}
+
+// NewDimensionTrees builds the structure.
+func NewDimensionTrees(subs []geom.Rect) (*DimensionTrees, error) {
+	if len(subs) == 0 {
+		return &DimensionTrees{}, nil
+	}
+	for i, s := range subs {
+		if s.IsEmpty() {
+			return nil, fmt.Errorf("baseline: subscription %d is empty", i)
+		}
+	}
+	return &DimensionTrees{subs: append([]geom.Rect(nil), subs...), dims: subs[0].Dims()}, nil
+}
+
+// Name implements System.
+func (t *DimensionTrees) Name() string { return "dimension-trees" }
+
+// Disseminate implements System: a subscriber receives the event if its
+// interval in some dimension contains the event's coordinate there (one
+// message per matching tree membership).
+func (t *DimensionTrees) Disseminate(ev geom.Point) Report {
+	received := make(map[int]bool)
+	messages := 0
+	for d := 0; d < t.dims && d < len(ev); d++ {
+		for i, s := range t.subs {
+			if ev[d] >= s.Lo(d) && ev[d] <= s.Hi(d) {
+				messages++
+				received[i] = true
+			}
+		}
+	}
+	return finish(t.subs, received, messages, ev)
+}
+
+// MaxFanout implements System: the per-dimension trees are flat, so the
+// fan-out is the largest per-dimension membership.
+func (t *DimensionTrees) MaxFanout() int { return len(t.subs) }
+
+// Depth implements System.
+func (t *DimensionTrees) Depth() int {
+	if len(t.subs) == 0 {
+		return 0
+	}
+	return 2 // root plus one flat level per dimension
+}
+
+// Flooding broadcasts every event to every subscriber.
+type Flooding struct {
+	subs []geom.Rect
+}
+
+// NewFlooding builds the structure.
+func NewFlooding(subs []geom.Rect) *Flooding {
+	return &Flooding{subs: append([]geom.Rect(nil), subs...)}
+}
+
+// Name implements System.
+func (f *Flooding) Name() string { return "flooding" }
+
+// Disseminate implements System.
+func (f *Flooding) Disseminate(ev geom.Point) Report {
+	received := make(map[int]bool)
+	for i := range f.subs {
+		received[i] = true
+	}
+	return finish(f.subs, received, len(f.subs), ev)
+}
+
+// MaxFanout implements System.
+func (f *Flooding) MaxFanout() int { return len(f.subs) }
+
+// Depth implements System.
+func (f *Flooding) Depth() int {
+	if len(f.subs) == 0 {
+		return 0
+	}
+	return 1
+}

@@ -1,0 +1,176 @@
+package baseline
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"drtree/internal/geom"
+)
+
+func sampleSubs() []geom.Rect {
+	return []geom.Rect{
+		geom.R2(0, 0, 100, 100),     // 0: big container
+		geom.R2(10, 10, 40, 40),     // 1: inside 0
+		geom.R2(15, 15, 30, 30),     // 2: inside 1
+		geom.R2(60, 60, 90, 90),     // 3: inside 0
+		geom.R2(200, 200, 250, 250), // 4: separate root
+	}
+}
+
+func TestContainmentTreeStructure(t *testing.T) {
+	ct, err := NewContainmentTree(sampleSubs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(ct.roots); got != 2 {
+		t.Fatalf("roots = %d, want 2 (indexes 0 and 4)", got)
+	}
+	if ct.Depth() != 3 {
+		t.Fatalf("Depth = %d, want 3 (0 -> 1 -> 2)", ct.Depth())
+	}
+	if ct.MaxFanout() < 2 {
+		t.Fatalf("MaxFanout = %d", ct.MaxFanout())
+	}
+	if _, err := NewContainmentTree([]geom.Rect{{}}); err == nil {
+		t.Fatal("empty subscription must be rejected")
+	}
+}
+
+func TestContainmentTreeAccuracy(t *testing.T) {
+	ct, err := NewContainmentTree(sampleSubs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Event inside 0, 1, 2.
+	rep := ct.Disseminate(geom.Point{20, 20})
+	if rep.FalsePositives != 0 || rep.FalseNegatives != 0 {
+		t.Fatalf("containment tree must be exact: %+v", rep)
+	}
+	if len(rep.Received) != 3 {
+		t.Fatalf("received %v, want 3 nodes", rep.Received)
+	}
+	// A miss still costs root probes.
+	miss := ct.Disseminate(geom.Point{500, 500})
+	if len(miss.Received) != 0 || miss.Messages == 0 {
+		t.Fatalf("miss: %+v", miss)
+	}
+}
+
+func TestDimensionTreesFalsePositives(t *testing.T) {
+	dt, err := NewDimensionTrees(sampleSubs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Event x in [0,100] but y outside all: x-tree matches sub 0 ->
+	// delivery without a full match = false positive.
+	rep := dt.Disseminate(geom.Point{50, 150})
+	if rep.FalsePositives == 0 {
+		t.Fatalf("dimension trees should produce false positives: %+v", rep)
+	}
+	if rep.FalseNegatives != 0 {
+		t.Fatalf("dimension trees must not lose matching subscribers: %+v", rep)
+	}
+	if _, err := NewDimensionTrees([]geom.Rect{{}}); err == nil {
+		t.Fatal("empty subscription must be rejected")
+	}
+	empty, err := NewDimensionTrees(nil)
+	if err != nil || empty.Depth() != 0 {
+		t.Fatalf("empty structure: %v depth=%d", err, empty.Depth())
+	}
+}
+
+func TestFloodingDegenerate(t *testing.T) {
+	fl := NewFlooding(sampleSubs())
+	rep := fl.Disseminate(geom.Point{20, 20})
+	if len(rep.Received) != 5 {
+		t.Fatalf("flooding must reach everyone: %v", rep.Received)
+	}
+	if rep.FalsePositives != 2 { // subs 3 and 4 don't match
+		t.Fatalf("FalsePositives = %d, want 2", rep.FalsePositives)
+	}
+	if rep.Messages != 5 {
+		t.Fatalf("Messages = %d", rep.Messages)
+	}
+	if fl.Depth() != 1 || fl.MaxFanout() != 5 {
+		t.Fatalf("Depth=%d MaxFanout=%d", fl.Depth(), fl.MaxFanout())
+	}
+	if NewFlooding(nil).Depth() != 0 {
+		t.Fatal("empty flooding depth must be 0")
+	}
+}
+
+func TestSystemsInterface(t *testing.T) {
+	subs := sampleSubs()
+	ct, _ := NewContainmentTree(subs)
+	dt, _ := NewDimensionTrees(subs)
+	systems := []System{ct, dt, NewFlooding(subs)}
+	names := map[string]bool{}
+	for _, s := range systems {
+		names[s.Name()] = true
+	}
+	if len(names) != 3 {
+		t.Fatalf("duplicate system names: %v", names)
+	}
+}
+
+func TestPropertyNoFalseNegativesAnySystem(t *testing.T) {
+	// None of the baselines may lose a matching subscriber.
+	prop := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 81))
+		n := 3 + rng.IntN(40)
+		subs := make([]geom.Rect, n)
+		for i := range subs {
+			x, y := rng.Float64()*100, rng.Float64()*100
+			subs[i] = geom.R2(x, y, x+rng.Float64()*30, y+rng.Float64()*30)
+		}
+		ct, err := NewContainmentTree(subs)
+		if err != nil {
+			return false
+		}
+		dt, err := NewDimensionTrees(subs)
+		if err != nil {
+			return false
+		}
+		for _, sys := range []System{ct, dt, NewFlooding(subs)} {
+			for k := 0; k < 10; k++ {
+				ev := geom.Point{rng.Float64() * 120, rng.Float64() * 120}
+				if sys.Disseminate(ev).FalseNegatives != 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyContainmentTreeExact(t *testing.T) {
+	// The containment tree must have zero false positives too.
+	prop := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 82))
+		n := 3 + rng.IntN(30)
+		subs := make([]geom.Rect, n)
+		for i := range subs {
+			x, y := rng.Float64()*100, rng.Float64()*100
+			subs[i] = geom.R2(x, y, x+rng.Float64()*40, y+rng.Float64()*40)
+		}
+		ct, err := NewContainmentTree(subs)
+		if err != nil {
+			return false
+		}
+		for k := 0; k < 10; k++ {
+			ev := geom.Point{rng.Float64() * 140, rng.Float64() * 140}
+			rep := ct.Disseminate(ev)
+			if rep.FalsePositives != 0 || rep.FalseNegatives != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,199 @@
+// Package churn analyzes the DR-tree's resistance to churn (Lemma 3.7):
+// with departures arriving as a Poisson process of rate λ and the
+// stabilization protocol running every Δ time units, the expected time
+// before the overlay disconnects is
+//
+//	E[T] = Δ · N · e^((N-Δλ)² / (4Δλ))
+//
+// The exponent is a Chernoff-style tail bound on the probability that a
+// Poisson(Δλ) batch of departures overwhelms all N processes inside one
+// repair window. This package provides the analytic bound, a Monte-Carlo
+// window simulation of that disconnection model, and an overlay-level
+// simulation that runs real departures against a core.Tree.
+package churn
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"drtree/internal/core"
+	"drtree/internal/geom"
+)
+
+// Model holds the Lemma 3.7 parameters.
+type Model struct {
+	// N is the overlay population.
+	N int
+	// Delta is the stabilization period Δ (no repairs happen inside a
+	// window).
+	Delta float64
+	// Lambda is the Poisson departure rate λ.
+	Lambda float64
+}
+
+func (m Model) validate() error {
+	if m.N <= 0 {
+		return fmt.Errorf("churn: N must be positive, got %d", m.N)
+	}
+	if m.Delta <= 0 {
+		return fmt.Errorf("churn: Delta must be positive, got %g", m.Delta)
+	}
+	if m.Lambda <= 0 {
+		return fmt.Errorf("churn: Lambda must be positive, got %g", m.Lambda)
+	}
+	return nil
+}
+
+// ExpectedDisconnectTime evaluates the lemma's bound Δ·N·e^((N-Δλ)²/(4Δλ)).
+func (m Model) ExpectedDisconnectTime() (float64, error) {
+	if err := m.validate(); err != nil {
+		return 0, err
+	}
+	n := float64(m.N)
+	dl := m.Delta * m.Lambda
+	exp := (n - dl) * (n - dl) / (4 * dl)
+	return m.Delta * n * math.Exp(exp), nil
+}
+
+// WindowResult reports a Monte-Carlo estimate of the disconnection time
+// under the lemma's window model.
+type WindowResult struct {
+	// MeanTime is the average time until a disconnecting window occurred.
+	MeanTime float64
+	// Windows is the average number of windows survived.
+	Windows float64
+	// Trials is the number of Monte-Carlo trials run.
+	Trials int
+}
+
+// SimulateWindows estimates the disconnection time by the lemma's model:
+// each window of length Δ draws D ~ Poisson(Δλ) departures (with
+// arrivals replenishing the population between windows); the overlay
+// disconnects when D >= N, i.e. the whole population churns away before
+// stabilization can repair. maxWindows caps each trial.
+func (m Model) SimulateWindows(rng *rand.Rand, trials, maxWindows int) (WindowResult, error) {
+	if err := m.validate(); err != nil {
+		return WindowResult{}, err
+	}
+	if trials <= 0 || maxWindows <= 0 {
+		return WindowResult{}, fmt.Errorf("churn: trials and maxWindows must be positive")
+	}
+	var res WindowResult
+	res.Trials = trials
+	totalWindows := 0.0
+	for tr := 0; tr < trials; tr++ {
+		w := 0
+		for ; w < maxWindows; w++ {
+			if poisson(rng, m.Delta*m.Lambda) >= m.N {
+				break
+			}
+		}
+		totalWindows += float64(w + 1)
+	}
+	res.Windows = totalWindows / float64(trials)
+	res.MeanTime = res.Windows * m.Delta
+	return res, nil
+}
+
+// poisson draws a Poisson(mu) sample. Knuth's product method for small
+// mu, normal approximation above.
+func poisson(rng *rand.Rand, mu float64) int {
+	if mu <= 0 {
+		return 0
+	}
+	if mu > 60 {
+		// Normal approximation with continuity correction.
+		v := rng.NormFloat64()*math.Sqrt(mu) + mu + 0.5
+		if v < 0 {
+			return 0
+		}
+		return int(v)
+	}
+	l := math.Exp(-mu)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// OverlayResult reports the overlay-level churn simulation.
+type OverlayResult struct {
+	// Departures is the number of uncontrolled departures applied.
+	Departures int
+	// Repairs is the number of stabilization rounds run.
+	Repairs int
+	// RepairPasses is the total number of stabilization passes used.
+	RepairPasses int
+	// Disconnected reports whether the overlay was ever observed
+	// disconnected at a repair boundary before repair ran.
+	Disconnected int
+	// FinalLegal reports whether the final configuration is legal.
+	FinalLegal bool
+	// FinalSize is the live population at the end.
+	FinalSize int
+}
+
+// SimulateOverlay drives real uncontrolled departures (and replacement
+// joins) against a live DR-tree: departures are applied in batches of one
+// stabilization window, the overlay's connectivity is inspected, then
+// stabilization repairs. It measures how the protocol behaves under the
+// lemma's regime rather than the closed-form model.
+func (m Model) SimulateOverlay(rng *rand.Rand, windows int) (OverlayResult, error) {
+	if err := m.validate(); err != nil {
+		return OverlayResult{}, err
+	}
+	tr, err := core.New(core.Params{MinFanout: 2, MaxFanout: 4})
+	if err != nil {
+		return OverlayResult{}, err
+	}
+	nextID := 1
+	join := func() error {
+		x, y := rng.Float64()*1000, rng.Float64()*1000
+		_, err := tr.Join(core.ProcID(nextID), geom.R2(x, y, x+20, y+20))
+		nextID++
+		return err
+	}
+	for i := 0; i < m.N; i++ {
+		if err := join(); err != nil {
+			return OverlayResult{}, err
+		}
+	}
+	var res OverlayResult
+	for w := 0; w < windows; w++ {
+		// One window of Poisson departures without repair.
+		d := poisson(rng, m.Delta*m.Lambda)
+		if d > tr.Len()-1 {
+			d = tr.Len() - 1
+		}
+		ids := tr.ProcIDs()
+		rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+		for _, id := range ids[:d] {
+			if err := tr.Crash(id); err != nil {
+				return res, err
+			}
+			res.Departures++
+		}
+		if !tr.IsConnected() {
+			res.Disconnected++
+		}
+		st := tr.Stabilize()
+		res.Repairs++
+		res.RepairPasses += st.Passes
+		// Arrivals replenish the population to N (paper: arrivals and
+		// departures are both Poisson; we keep the population stationary).
+		for tr.Len() < m.N {
+			if err := join(); err != nil {
+				return res, err
+			}
+		}
+	}
+	res.FinalLegal = tr.CheckLegal() == nil
+	res.FinalSize = tr.Len()
+	return res, nil
+}

@@ -1,0 +1,139 @@
+package churn
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestModelValidation(t *testing.T) {
+	bad := []Model{
+		{N: 0, Delta: 1, Lambda: 1},
+		{N: 10, Delta: 0, Lambda: 1},
+		{N: 10, Delta: 1, Lambda: 0},
+	}
+	for _, m := range bad {
+		if _, err := m.ExpectedDisconnectTime(); err == nil {
+			t.Errorf("model %+v must be rejected", m)
+		}
+	}
+	rng := rand.New(rand.NewPCG(1, 1))
+	if _, err := (Model{N: 10, Delta: 1, Lambda: 1}).SimulateWindows(rng, 0, 10); err == nil {
+		t.Error("trials=0 must be rejected")
+	}
+}
+
+func TestExpectedDisconnectTimeFormula(t *testing.T) {
+	// At Δλ = N the exponent vanishes: E[T] = Δ·N.
+	m := Model{N: 10, Delta: 2, Lambda: 5}
+	got, err := m.ExpectedDisconnectTime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 20.0; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("E[T] = %g, want %g at Δλ=N", got, want)
+	}
+	// Below the critical rate, the bound grows rapidly as λ decreases.
+	low, _ := Model{N: 10, Delta: 2, Lambda: 1}.ExpectedDisconnectTime()
+	lower, _ := Model{N: 10, Delta: 2, Lambda: 0.5}.ExpectedDisconnectTime()
+	if !(lower > low && low > got) {
+		t.Fatalf("bound not decreasing in λ below critical point: %g, %g, %g", lower, low, got)
+	}
+}
+
+func TestPoissonMoments(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	for _, mu := range []float64{0.5, 4, 30, 200} {
+		n := 20000
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += float64(poisson(rng, mu))
+		}
+		mean := sum / float64(n)
+		if math.Abs(mean-mu) > 0.05*mu+0.1 {
+			t.Errorf("poisson(%g): mean %g", mu, mean)
+		}
+	}
+	if poisson(rng, 0) != 0 || poisson(rng, -1) != 0 {
+		t.Error("nonpositive mu must yield 0")
+	}
+}
+
+func TestSimulateWindowsMatchesRegime(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	// Heavy churn (Δλ >> N): disconnect almost immediately.
+	heavy := Model{N: 5, Delta: 1, Lambda: 50}
+	res, err := heavy.SimulateWindows(rng, 200, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Windows > 2.5 {
+		t.Fatalf("heavy churn should disconnect quickly: %+v", res)
+	}
+	// Light churn (Δλ << N): survives until the cap.
+	light := Model{N: 40, Delta: 1, Lambda: 2}
+	res, err = light.SimulateWindows(rng, 50, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Windows < 400 {
+		t.Fatalf("light churn should survive: %+v", res)
+	}
+	if res.MeanTime != res.Windows*light.Delta {
+		t.Fatal("MeanTime must equal Windows*Delta")
+	}
+}
+
+func TestSimulateWindowsMonotonicInLambda(t *testing.T) {
+	rng := rand.New(rand.NewPCG(4, 4))
+	n := 12
+	var prev float64 = math.Inf(1)
+	for _, lambda := range []float64{6, 12, 24} {
+		m := Model{N: n, Delta: 1, Lambda: lambda}
+		res, err := m.SimulateWindows(rng, 300, 3000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Windows > prev*1.5 {
+			t.Fatalf("survival did not decrease with churn rate: λ=%g windows=%g prev=%g",
+				lambda, res.Windows, prev)
+		}
+		prev = res.Windows
+	}
+}
+
+func TestSimulateOverlay(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 5))
+	m := Model{N: 30, Delta: 1, Lambda: 3}
+	res, err := m.SimulateOverlay(rng, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.FinalLegal {
+		t.Fatalf("overlay must stabilize to a legal state: %+v", res)
+	}
+	if res.FinalSize != m.N {
+		t.Fatalf("population must be replenished to N: %+v", res)
+	}
+	if res.Repairs != 10 {
+		t.Fatalf("Repairs = %d, want 10", res.Repairs)
+	}
+	if res.Departures == 0 {
+		t.Fatal("no departures applied")
+	}
+	if _, err := (Model{N: -1, Delta: 1, Lambda: 1}).SimulateOverlay(rng, 1); err == nil {
+		t.Error("invalid model must be rejected")
+	}
+}
+
+func TestSimulateOverlayHighChurnStillRepairs(t *testing.T) {
+	rng := rand.New(rand.NewPCG(6, 6))
+	m := Model{N: 25, Delta: 1, Lambda: 10} // ~40% of population per window
+	res, err := m.SimulateOverlay(rng, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.FinalLegal {
+		t.Fatalf("stabilization must repair even under heavy churn: %+v", res)
+	}
+}

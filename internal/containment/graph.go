@@ -1,0 +1,266 @@
+// Package containment builds the subscription containment graph of the
+// paper's Figure 1 (right): the partial order induced by spatial enclosure
+// of subscription rectangles, reduced to direct (transitively irreducible)
+// edges.
+//
+// The graph is used to evaluate the DR-tree's containment awareness
+// properties (Properties 3.1 and 3.2) and as the substrate of the direct
+// containment-tree baseline ([11] in the paper).
+package containment
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"drtree/internal/geom"
+)
+
+// Item is one labeled subscription rectangle.
+type Item struct {
+	Label string
+	Rect  geom.Rect
+}
+
+// Graph is the containment DAG over a fixed set of items. Edges point
+// from container to directly-contained subscription (no transitive
+// shortcuts). Items with equal rectangles are recorded as equivalent and
+// share the same position in the order.
+type Graph struct {
+	items    []Item
+	index    map[string]int
+	children [][]int // direct containees, by item index
+	parents  [][]int // direct containers, by item index
+	equal    [][]int // items with identical rectangles (excluding self)
+}
+
+// Build constructs the containment graph. Labels must be unique and
+// rectangles non-empty.
+func Build(items []Item) (*Graph, error) {
+	g := &Graph{
+		items:    make([]Item, len(items)),
+		index:    make(map[string]int, len(items)),
+		children: make([][]int, len(items)),
+		parents:  make([][]int, len(items)),
+		equal:    make([][]int, len(items)),
+	}
+	copy(g.items, items)
+	for i, it := range g.items {
+		if it.Rect.IsEmpty() {
+			return nil, fmt.Errorf("containment: item %q has an empty rectangle", it.Label)
+		}
+		if _, dup := g.index[it.Label]; dup {
+			return nil, fmt.Errorf("containment: duplicate label %q", it.Label)
+		}
+		g.index[it.Label] = i
+	}
+	n := len(g.items)
+	// strict[i][j] == true iff rect_i strictly contains rect_j.
+	strict := make([][]bool, n)
+	for i := range strict {
+		strict[i] = make([]bool, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			ri, rj := g.items[i].Rect, g.items[j].Rect
+			switch {
+			case ri.Equal(rj):
+				if i < j {
+					g.equal[i] = append(g.equal[i], j)
+					g.equal[j] = append(g.equal[j], i)
+				}
+			case ri.Contains(rj):
+				strict[i][j] = true
+			}
+		}
+	}
+	// Transitive reduction: edge i->j is direct iff no k with
+	// strict[i][k] && strict[k][j].
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if !strict[i][j] {
+				continue
+			}
+			direct := true
+			for k := 0; k < n && direct; k++ {
+				if k != i && k != j && strict[i][k] && strict[k][j] {
+					direct = false
+				}
+			}
+			if direct {
+				g.children[i] = append(g.children[i], j)
+				g.parents[j] = append(g.parents[j], i)
+			}
+		}
+	}
+	return g, nil
+}
+
+// Len returns the number of items.
+func (g *Graph) Len() int { return len(g.items) }
+
+// Item returns the item at index i.
+func (g *Graph) Item(i int) Item { return g.items[i] }
+
+// IndexOf returns the index of the item labeled label.
+func (g *Graph) IndexOf(label string) (int, bool) {
+	i, ok := g.index[label]
+	return i, ok
+}
+
+// Contains reports whether the item labeled a strictly contains the item
+// labeled b (possibly transitively).
+func (g *Graph) Contains(a, b string) bool {
+	ia, ok := g.index[a]
+	if !ok {
+		return false
+	}
+	ib, ok := g.index[b]
+	if !ok {
+		return false
+	}
+	if ia == ib {
+		return false
+	}
+	return g.items[ia].Rect.StrictlyContains(g.items[ib].Rect)
+}
+
+// Children returns the labels of the direct containees of label, sorted.
+func (g *Graph) Children(label string) []string {
+	i, ok := g.index[label]
+	if !ok {
+		return nil
+	}
+	return g.labelsOf(g.children[i])
+}
+
+// Parents returns the labels of the direct containers of label, sorted.
+func (g *Graph) Parents(label string) []string {
+	i, ok := g.index[label]
+	if !ok {
+		return nil
+	}
+	return g.labelsOf(g.parents[i])
+}
+
+// Equivalents returns the labels of items whose rectangle equals label's.
+func (g *Graph) Equivalents(label string) []string {
+	i, ok := g.index[label]
+	if !ok {
+		return nil
+	}
+	return g.labelsOf(g.equal[i])
+}
+
+// Roots returns the labels of items not contained in any other item,
+// sorted. These are the maximal elements of the partial order.
+func (g *Graph) Roots() []string {
+	var idx []int
+	for i := range g.items {
+		if len(g.parents[i]) == 0 {
+			idx = append(idx, i)
+		}
+	}
+	return g.labelsOf(idx)
+}
+
+// Ancestors returns every (transitive) container of label, sorted.
+func (g *Graph) Ancestors(label string) []string {
+	i, ok := g.index[label]
+	if !ok {
+		return nil
+	}
+	seen := make(map[int]bool)
+	var walk func(int)
+	walk = func(j int) {
+		for _, p := range g.parents[j] {
+			if !seen[p] {
+				seen[p] = true
+				walk(p)
+			}
+		}
+	}
+	walk(i)
+	return g.labelsOf(setToSlice(seen))
+}
+
+// Descendants returns every (transitive) containee of label, sorted.
+func (g *Graph) Descendants(label string) []string {
+	i, ok := g.index[label]
+	if !ok {
+		return nil
+	}
+	seen := make(map[int]bool)
+	var walk func(int)
+	walk = func(j int) {
+		for _, c := range g.children[j] {
+			if !seen[c] {
+				seen[c] = true
+				walk(c)
+			}
+		}
+	}
+	walk(i)
+	return g.labelsOf(setToSlice(seen))
+}
+
+// Edges returns every direct containment edge as [container, containee]
+// label pairs, sorted lexicographically. Useful for asserting the exact
+// shape of Figure 1's graph.
+func (g *Graph) Edges() [][2]string {
+	var out [][2]string
+	for i, cs := range g.children {
+		for _, c := range cs {
+			out = append(out, [2]string{g.items[i].Label, g.items[c].Label})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a][0] != out[b][0] {
+			return out[a][0] < out[b][0]
+		}
+		return out[a][1] < out[b][1]
+	})
+	return out
+}
+
+// Dot renders the containment graph in Graphviz DOT format.
+func (g *Graph) Dot() string {
+	var b strings.Builder
+	b.WriteString("digraph containment {\n")
+	b.WriteString("  rankdir=TB;\n  node [shape=box];\n")
+	labels := make([]string, len(g.items))
+	for i, it := range g.items {
+		labels[i] = it.Label
+	}
+	sort.Strings(labels)
+	for _, l := range labels {
+		i := g.index[l]
+		fmt.Fprintf(&b, "  %q [label=\"%s\\n%s\"];\n", l, l, g.items[i].Rect)
+	}
+	for _, e := range g.Edges() {
+		fmt.Fprintf(&b, "  %q -> %q;\n", e[0], e[1])
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func (g *Graph) labelsOf(idx []int) []string {
+	out := make([]string, len(idx))
+	for i, j := range idx {
+		out[i] = g.items[j].Label
+	}
+	sort.Strings(out)
+	return out
+}
+
+func setToSlice(set map[int]bool) []int {
+	out := make([]int, 0, len(set))
+	for i := range set {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
+}

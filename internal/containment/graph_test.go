@@ -1,0 +1,260 @@
+package containment
+
+import (
+	"math/rand/v2"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"drtree/internal/geom"
+)
+
+// fig1 is the canonical subscription set modeled on the paper's Figure 1:
+// S4 ⊂ S2, S4 ⊂ S3 (S2 and S3 incomparable), S7 ⊂ S3, S8 ⊂ S3, S6 ⊂ S5,
+// S1 standalone.
+func fig1() []Item {
+	return []Item{
+		{Label: "S1", Rect: geom.R2(5, 5, 28, 45)},
+		{Label: "S2", Rect: geom.R2(10, 50, 45, 90)},
+		{Label: "S3", Rect: geom.R2(30, 5, 95, 75)},
+		{Label: "S4", Rect: geom.R2(32, 52, 43, 73)},
+		{Label: "S5", Rect: geom.R2(55, 55, 90, 95)},
+		{Label: "S6", Rect: geom.R2(60, 60, 75, 85)},
+		{Label: "S7", Rect: geom.R2(60, 10, 85, 40)},
+		{Label: "S8", Rect: geom.R2(40, 15, 70, 35)},
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build([]Item{{Label: "a", Rect: geom.Rect{}}}); err == nil {
+		t.Error("empty rect must be rejected")
+	}
+	if _, err := Build([]Item{
+		{Label: "a", Rect: geom.R2(0, 0, 1, 1)},
+		{Label: "a", Rect: geom.R2(0, 0, 2, 2)},
+	}); err == nil {
+		t.Error("duplicate label must be rejected")
+	}
+	g, err := Build(nil)
+	if err != nil {
+		t.Fatalf("empty build: %v", err)
+	}
+	if g.Len() != 0 || len(g.Roots()) != 0 {
+		t.Error("empty graph must have no items or roots")
+	}
+}
+
+func TestFigure1Edges(t *testing.T) {
+	g, err := Build(fig1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][2]string{
+		{"S2", "S4"},
+		{"S3", "S4"},
+		{"S3", "S7"},
+		{"S3", "S8"},
+		{"S5", "S6"},
+	}
+	if got := g.Edges(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Edges = %v, want %v", got, want)
+	}
+	wantRoots := []string{"S1", "S2", "S3", "S5"}
+	if got := g.Roots(); !reflect.DeepEqual(got, wantRoots) {
+		t.Fatalf("Roots = %v, want %v", got, wantRoots)
+	}
+}
+
+func TestFigure1Relations(t *testing.T) {
+	g, err := Build(fig1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's key example: S4 is contained in both S2 and S3.
+	if !g.Contains("S2", "S4") || !g.Contains("S3", "S4") {
+		t.Fatal("S4 must be contained in both S2 and S3 (paper §3.1)")
+	}
+	if g.Contains("S2", "S3") || g.Contains("S3", "S2") {
+		t.Fatal("S2 and S3 must be incomparable")
+	}
+	if got := g.Parents("S4"); !reflect.DeepEqual(got, []string{"S2", "S3"}) {
+		t.Fatalf("Parents(S4) = %v", got)
+	}
+	if got := g.Children("S3"); !reflect.DeepEqual(got, []string{"S4", "S7", "S8"}) {
+		t.Fatalf("Children(S3) = %v", got)
+	}
+	if got := g.Ancestors("S4"); !reflect.DeepEqual(got, []string{"S2", "S3"}) {
+		t.Fatalf("Ancestors(S4) = %v", got)
+	}
+	if got := g.Descendants("S3"); !reflect.DeepEqual(got, []string{"S4", "S7", "S8"}) {
+		t.Fatalf("Descendants(S3) = %v", got)
+	}
+	if got := g.Children("nonexistent"); got != nil {
+		t.Fatalf("Children of unknown label = %v, want nil", got)
+	}
+	if g.Contains("S1", "nope") || g.Contains("nope", "S1") {
+		t.Fatal("Contains with unknown labels must be false")
+	}
+}
+
+func TestTransitiveReduction(t *testing.T) {
+	// a ⊃ b ⊃ c: the edge a->c must be removed by transitive reduction.
+	items := []Item{
+		{Label: "a", Rect: geom.R2(0, 0, 100, 100)},
+		{Label: "b", Rect: geom.R2(10, 10, 90, 90)},
+		{Label: "c", Rect: geom.R2(20, 20, 80, 80)},
+	}
+	g, err := Build(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][2]string{{"a", "b"}, {"b", "c"}}
+	if got := g.Edges(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Edges = %v, want %v (transitive edge a->c must be absent)", got, want)
+	}
+	// But transitive Contains still holds.
+	if !g.Contains("a", "c") {
+		t.Fatal("Contains must remain transitive")
+	}
+	if got := g.Ancestors("c"); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Fatalf("Ancestors(c) = %v", got)
+	}
+}
+
+func TestEquivalentRectangles(t *testing.T) {
+	items := []Item{
+		{Label: "a", Rect: geom.R2(0, 0, 10, 10)},
+		{Label: "b", Rect: geom.R2(0, 0, 10, 10)},
+		{Label: "inner", Rect: geom.R2(1, 1, 2, 2)},
+	}
+	g, err := Build(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Equivalents("a"); !reflect.DeepEqual(got, []string{"b"}) {
+		t.Fatalf("Equivalents(a) = %v", got)
+	}
+	if got := g.Equivalents("b"); !reflect.DeepEqual(got, []string{"a"}) {
+		t.Fatalf("Equivalents(b) = %v", got)
+	}
+	// Equal rects do not strictly contain each other.
+	if g.Contains("a", "b") || g.Contains("b", "a") {
+		t.Fatal("equal rects must not strictly contain each other")
+	}
+	// Both contain inner directly.
+	if !g.Contains("a", "inner") || !g.Contains("b", "inner") {
+		t.Fatal("both equivalents contain inner")
+	}
+}
+
+func TestIndexOfAndItem(t *testing.T) {
+	g, err := Build(fig1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	i, ok := g.IndexOf("S3")
+	if !ok {
+		t.Fatal("IndexOf(S3) not found")
+	}
+	if g.Item(i).Label != "S3" {
+		t.Fatalf("Item(%d).Label = %q", i, g.Item(i).Label)
+	}
+	if _, ok := g.IndexOf("missing"); ok {
+		t.Fatal("IndexOf(missing) must report false")
+	}
+}
+
+func TestDotOutput(t *testing.T) {
+	g, err := Build(fig1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := g.Dot()
+	for _, want := range []string{"digraph containment", `"S3" -> "S4"`, `"S5" -> "S6"`} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("Dot output missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestPropertyNoTransitiveEdges(t *testing.T) {
+	// For random nested rect sets, the reduced edge set must contain no
+	// edge implied by two others.
+	prop := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 11))
+		items := randomNested(rng, 12)
+		g, err := Build(items)
+		if err != nil {
+			return false
+		}
+		edges := g.Edges()
+		has := make(map[[2]string]bool, len(edges))
+		for _, e := range edges {
+			has[e] = true
+		}
+		for _, e1 := range edges {
+			for _, e2 := range edges {
+				if e1[1] == e2[0] && has[[2]string{e1[0], e2[1]}] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyAncestorsConsistentWithContains(t *testing.T) {
+	prop := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 12))
+		items := randomNested(rng, 10)
+		g, err := Build(items)
+		if err != nil {
+			return false
+		}
+		for _, it := range items {
+			for _, anc := range g.Ancestors(it.Label) {
+				if !g.Contains(anc, it.Label) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randomNested builds a random forest of nested rectangles with unique
+// labels; roughly half the items are shrunken copies of earlier ones.
+func randomNested(rng *rand.Rand, n int) []Item {
+	items := make([]Item, 0, n)
+	for i := 0; i < n; i++ {
+		var r geom.Rect
+		if i > 0 && rng.Float64() < 0.5 {
+			parent := items[rng.IntN(len(items))].Rect
+			r = shrink(rng, parent)
+		} else {
+			x, y := rng.Float64()*80, rng.Float64()*80
+			r = geom.R2(x, y, x+1+rng.Float64()*19, y+1+rng.Float64()*19)
+		}
+		items = append(items, Item{Label: label(i), Rect: r})
+	}
+	return items
+}
+
+func shrink(rng *rand.Rand, r geom.Rect) geom.Rect {
+	x1 := r.Lo(0) + rng.Float64()*r.Side(0)/3
+	y1 := r.Lo(1) + rng.Float64()*r.Side(1)/3
+	x2 := r.Hi(0) - rng.Float64()*r.Side(0)/3
+	y2 := r.Hi(1) - rng.Float64()*r.Side(1)/3
+	return geom.R2(x1, y1, x2, y2)
+}
+
+func label(i int) string {
+	return "r" + string(rune('A'+i))
+}

@@ -1,0 +1,306 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"drtree/internal/containment"
+	"drtree/internal/geom"
+)
+
+// CheckLegal verifies Definition 3.1 (legal DR-tree state):
+//
+//   - every non-root, non-leaf node has between m and M children;
+//   - parent and children variables are mutually coherent;
+//   - no child offers a better cover than its parent's own child node;
+//   - every non-leaf MBR is the union of its children's MBRs;
+//
+// plus the structural facts the definition presumes: a single root whose
+// parent is itself, the "process is its own child" chain, all leaves at
+// height 0, and every process reachable from the root.
+func (t *Tree) CheckLegal() error {
+	if len(t.procs) == 0 {
+		return nil
+	}
+	rp := t.procs[t.rootID]
+	if rp == nil {
+		return fmt.Errorf("core: root %d is not a live process", t.rootID)
+	}
+	rin := rp.Inst[t.rootH]
+	if rin == nil {
+		return fmt.Errorf("core: root %d has no instance at height %d", t.rootID, t.rootH)
+	}
+	if rin.Parent != t.rootID {
+		return fmt.Errorf("core: root instance parent is %d, want self", rin.Parent)
+	}
+	if t.rootH != rp.Top {
+		return fmt.Errorf("core: root height %d != root process top %d", t.rootH, rp.Top)
+	}
+	if t.rootH > 0 && len(t.procs) > 1 && len(rin.Children) < 2 {
+		return fmt.Errorf("core: interior root must have >= 2 children, has %d", len(rin.Children))
+	}
+
+	m, M := t.params.MinFanout, t.params.MaxFanout
+	reached := make(map[ProcID]bool)
+
+	var walk func(id ProcID, h int) error
+	walk = func(id ProcID, h int) error {
+		p := t.procs[id]
+		if p == nil {
+			return fmt.Errorf("core: dead process %d referenced at height %d", id, h)
+		}
+		in := p.Inst[h]
+		if in == nil {
+			return fmt.Errorf("core: process %d missing instance at height %d", id, h)
+		}
+		if h == 0 {
+			reached[id] = true
+			if len(in.Children) != 0 {
+				return fmt.Errorf("core: leaf instance of %d has children", id)
+			}
+			if !in.MBR.Equal(p.Filter) {
+				return fmt.Errorf("core: leaf MBR of %d is %v, want filter %v", id, in.MBR, p.Filter)
+			}
+			return nil
+		}
+		isRoot := id == t.rootID && h == t.rootH
+		if !isRoot && len(in.Children) < m {
+			return fmt.Errorf("core: node (%d,%d) underflows: %d < m=%d", id, h, len(in.Children), m)
+		}
+		if len(in.Children) > M {
+			return fmt.Errorf("core: node (%d,%d) overflows: %d > M=%d", id, h, len(in.Children), M)
+		}
+		if !in.hasChild(id) {
+			return fmt.Errorf("core: node (%d,%d) violates the own-child invariant", id, h)
+		}
+		ownMBR := t.childMBR(id, h-1)
+		var union geom.Rect
+		seen := make(map[ProcID]bool, len(in.Children))
+		for _, c := range in.Children {
+			if seen[c] {
+				return fmt.Errorf("core: node (%d,%d) lists child %d twice", id, h, c)
+			}
+			seen[c] = true
+			ci := t.instance(c, h-1)
+			if ci == nil {
+				return fmt.Errorf("core: child %d of (%d,%d) has no instance at %d", c, id, h, h-1)
+			}
+			if ci.Parent != id {
+				return fmt.Errorf("core: child %d of (%d,%d) names parent %d", c, id, h, ci.Parent)
+			}
+			if c != id && !t.params.DisableCoverRule && betterCover(ci.MBR, ownMBR) {
+				return fmt.Errorf("core: child %d (area %.2f) covers better than parent %d (area %.2f) at height %d",
+					c, ci.MBR.Area(), id, ownMBR.Area(), h)
+			}
+			union = union.Union(ci.MBR)
+			if err := walk(c, h-1); err != nil {
+				return err
+			}
+		}
+		if !in.MBR.Equal(union) {
+			return fmt.Errorf("core: MBR of (%d,%d) is %v, want %v", id, h, in.MBR, union)
+		}
+		// Underloaded flag coherence.
+		if want := len(in.Children) < m; in.Underloaded != want {
+			return fmt.Errorf("core: underloaded flag of (%d,%d) is %v, want %v", id, h, in.Underloaded, want)
+		}
+		return nil
+	}
+	if err := walk(t.rootID, t.rootH); err != nil {
+		return err
+	}
+	if len(reached) != len(t.procs) {
+		return fmt.Errorf("core: only %d of %d processes reachable from the root", len(reached), len(t.procs))
+	}
+	// Every process's instance chain must be contiguous 0..Top and every
+	// instance accounted for.
+	for id, p := range t.procs {
+		for h := 0; h <= p.Top; h++ {
+			if p.Inst[h] == nil {
+				return fmt.Errorf("core: process %d chain has a gap at height %d", id, h)
+			}
+		}
+		if len(p.Inst) != p.Top+1 {
+			return fmt.Errorf("core: process %d owns %d instances, top=%d", id, len(p.Inst), p.Top)
+		}
+	}
+	return nil
+}
+
+// CheckWeakContainment verifies Property 3.1: for filters S1 ⊏ S2
+// (strictly contained), the topmost instance of S1 must not be an
+// ancestor of the topmost instance of S2. It returns the number of
+// ordered pairs violating the property.
+func (t *Tree) CheckWeakContainment() int {
+	violations := 0
+	ids := t.ProcIDs()
+	for _, a := range ids {
+		for _, b := range ids {
+			if a == b {
+				continue
+			}
+			// a strictly contained in b: a must not be an ancestor of b.
+			if t.procs[b].Filter.StrictlyContains(t.procs[a].Filter) {
+				if t.isAncestor(a, b) {
+					violations++
+				}
+			}
+		}
+	}
+	return violations
+}
+
+// CheckStrongContainment verifies Property 3.2: for S1 ⊏ S2, either the
+// topmost instance of S2 is an ancestor or sibling of the topmost
+// instance of S1, or some S3 containing S1 (and incomparable with S2) is.
+// It returns the number of containee/container pairs violating the
+// property.
+func (t *Tree) CheckStrongContainment() int {
+	violations := 0
+	ids := t.ProcIDs()
+	for _, s1 := range ids {
+		for _, s2 := range ids {
+			if s1 == s2 || !t.procs[s2].Filter.StrictlyContains(t.procs[s1].Filter) {
+				continue
+			}
+			if t.isAncestor(s2, s1) || t.isSibling(s2, s1) {
+				continue
+			}
+			ok := false
+			for _, s3 := range ids {
+				if s3 == s1 || s3 == s2 {
+					continue
+				}
+				f3 := t.procs[s3].Filter
+				if f3.StrictlyContains(t.procs[s1].Filter) &&
+					!f3.Contains(t.procs[s2].Filter) && !t.procs[s2].Filter.Contains(f3) &&
+					(t.isAncestor(s3, s1) || t.isSibling(s3, s1)) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				violations++
+			}
+		}
+	}
+	return violations
+}
+
+// isAncestor reports whether a's topmost instance is a strict ancestor of
+// b's topmost instance.
+func (t *Tree) isAncestor(a, b ProcID) bool {
+	pb := t.procs[b]
+	if pb == nil || t.procs[a] == nil {
+		return false
+	}
+	cur, h := b, pb.Top
+	for !(cur == t.rootID && h == t.rootH) {
+		in := t.instance(cur, h)
+		if in == nil {
+			return false
+		}
+		next := in.Parent
+		if next == cur && h >= t.procs[cur].Top {
+			return false
+		}
+		cur, h = next, h+1
+		if cur == a {
+			return true
+		}
+		if h > t.rootH {
+			return false
+		}
+	}
+	return false
+}
+
+// isSibling reports whether the topmost instances of a and b share a
+// parent instance.
+func (t *Tree) isSibling(a, b ProcID) bool {
+	pa, pb := t.procs[a], t.procs[b]
+	if pa == nil || pb == nil {
+		return false
+	}
+	ia, ib := pa.Inst[pa.Top], pb.Inst[pb.Top]
+	if ia == nil || ib == nil {
+		return false
+	}
+	return pa.Top == pb.Top && ia.Parent == ib.Parent
+}
+
+// ContainmentGraph builds the containment graph of the live filters,
+// labeling items "P<id>".
+func (t *Tree) ContainmentGraph() (*containment.Graph, error) {
+	items := make([]containment.Item, 0, len(t.procs))
+	for _, id := range t.ProcIDs() {
+		items = append(items, containment.Item{
+			Label: fmt.Sprintf("P%d", id),
+			Rect:  t.procs[id].Filter,
+		})
+	}
+	return containment.Build(items)
+}
+
+// TreeStats aggregates the structural metrics of Lemma 3.1 (experiment
+// E2) and the coverage/overlap quality metrics of experiment E8.
+type TreeStats struct {
+	Procs     int
+	Height    int     // number of levels
+	HeightLog float64 // log_m(N), the paper's bound reference
+	Nodes     int     // total instances
+	// MaxLinks / AvgLinks measure per-process memory: stored parent and
+	// children references across all of a process's instances. Lemma 3.1
+	// bounds this by O(M log^2 N / log m).
+	MaxLinks int
+	AvgLinks float64
+	// MemoryBound is the lemma's reference value M * log2(N)^2 / log2(m).
+	MemoryBound   float64
+	TotalCoverage float64 // sum of interior MBR areas
+	TotalOverlap  float64 // sum of pairwise sibling MBR overlaps
+}
+
+// ComputeStats walks the overlay and gathers TreeStats.
+func (t *Tree) ComputeStats() TreeStats {
+	st := TreeStats{Procs: len(t.procs), Height: t.Height()}
+	if st.Procs == 0 {
+		return st
+	}
+	n := float64(st.Procs)
+	m := float64(t.params.MinFanout)
+	if m > 1 {
+		st.HeightLog = math.Log(n) / math.Log(m)
+	}
+	if m > 1 {
+		l2 := math.Log2(n)
+		st.MemoryBound = float64(t.params.MaxFanout) * l2 * l2 / math.Log2(m)
+	}
+	totalLinks := 0
+	for _, id := range t.ProcIDs() {
+		p := t.procs[id]
+		links := 0
+		for h := 0; h <= p.Top; h++ {
+			in := p.Inst[h]
+			if in == nil {
+				continue
+			}
+			st.Nodes++
+			links += 1 + len(in.Children) // parent + children references
+			if h >= 1 {
+				for i, c := range in.Children {
+					mbrC := t.childMBR(c, h-1)
+					st.TotalCoverage += mbrC.Area()
+					for _, c2 := range in.Children[i+1:] {
+						st.TotalOverlap += mbrC.OverlapArea(t.childMBR(c2, h-1))
+					}
+				}
+			}
+		}
+		totalLinks += links
+		if links > st.MaxLinks {
+			st.MaxLinks = links
+		}
+	}
+	st.AvgLinks = float64(totalLinks) / n
+	return st
+}

@@ -1,0 +1,302 @@
+// Package core implements the DR-tree, the paper's primary contribution:
+// a decentralized, self-stabilizing R-tree overlay for peer-to-peer
+// content-based publish/subscribe (Bianchi, Datta, Felber, Gradinariu,
+// ICDCS 2007, Section 3).
+//
+// Every tree node is owned by a physical process (a subscriber). A
+// process is recursively its own child (paper §3): if p owns an interior
+// node, p also owns one node on every level beneath it down to the
+// leaves. We call each per-level node an Instance, identified by its
+// height above the leaf level (leaves are height 0), so that a root split
+// never renumbers existing instances.
+//
+// The package provides the sequential DR-tree engine: every protocol rule
+// of the paper's Figures 7-14 (join, add-child with splitting and root
+// election, controlled leave, the five stabilization checks, compaction,
+// cover and false-positive-driven exchanges) is a directly callable and
+// individually testable state transition. The message-passing runtime in
+// internal/proto drives the same rules through an asynchronous network.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"drtree/internal/geom"
+	"drtree/internal/split"
+)
+
+// ProcID identifies a process (subscriber). IDs are assigned by the
+// caller and must be positive.
+type ProcID int
+
+// NoProc is the zero ProcID, used as "no process".
+const NoProc ProcID = 0
+
+// Params configures a DR-tree.
+type Params struct {
+	// MinFanout is m: the minimum number of children of every non-root
+	// interior node. Must be >= 1.
+	MinFanout int
+	// MaxFanout is M: the maximum number of children of any node. The
+	// paper requires M >= 2m so splits can produce two legal groups.
+	MaxFanout int
+	// Split selects the node-splitting method (linear, quadratic, rstar).
+	// Defaults to quadratic, the paper's primary method.
+	Split split.Policy
+	// Election selects the parent/root election policy. Defaults to
+	// LargestMBR, the paper's rule (Figure 6).
+	Election Election
+	// TrackReorgStats enables the per-instance false-positive counters
+	// that drive the dynamic reorganization of §3.2.
+	TrackReorgStats bool
+	// DisableCoverRule turns off the Is_Better_MBR_Cover exchanges (the
+	// CHECK_COVER module and its eager equivalents in the join path).
+	// Only for the root-election ablation (experiment E9); the paper's
+	// protocol always runs the cover rule.
+	DisableCoverRule bool
+}
+
+func (p Params) withDefaults() Params {
+	if p.Split == nil {
+		p.Split = split.Quadratic{}
+	}
+	if p.Election == nil {
+		p.Election = LargestMBR{}
+	}
+	return p
+}
+
+func (p Params) validate() error {
+	if p.MinFanout < 1 {
+		return fmt.Errorf("core: MinFanout must be >= 1, got %d", p.MinFanout)
+	}
+	if p.MaxFanout < 2*p.MinFanout {
+		return fmt.Errorf("core: MaxFanout must be >= 2*MinFanout (got m=%d, M=%d)",
+			p.MinFanout, p.MaxFanout)
+	}
+	return nil
+}
+
+// Instance is one tree node: the state a process maintains for one level
+// where it is active (paper §3.2 "Data Structures"). Heights count up
+// from the leaves: height 0 instances are leaves whose MBR equals the
+// process filter; an instance at height h>0 has children at height h-1.
+type Instance struct {
+	// Parent is the process owning this instance's parent node (at
+	// height+1). The root instance's parent is the owning process itself.
+	Parent ProcID
+	// Children are the processes owning the child nodes at height-1.
+	// Empty for leaves.
+	Children []ProcID
+	// MBR is the minimum bounding rectangle of the children's MBRs (for
+	// leaves, the process filter).
+	MBR geom.Rect
+	// Underloaded mirrors the paper's underloaded flag: the children set
+	// has fewer than m members.
+	Underloaded bool
+
+	// Dissemination statistics for the false-positive-driven
+	// reorganization (§3.2 "Dynamic Reorganizations").
+	seen    int
+	selfFP  int
+	childFP map[ProcID]int
+}
+
+func (in *Instance) hasChild(id ProcID) bool {
+	for _, c := range in.Children {
+		if c == id {
+			return true
+		}
+	}
+	return false
+}
+
+func (in *Instance) removeChild(id ProcID) bool {
+	for i, c := range in.Children {
+		if c == id {
+			in.Children = append(in.Children[:i], in.Children[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+func replaceID(ids []ProcID, old, new ProcID) {
+	for i, c := range ids {
+		if c == old {
+			ids[i] = new
+		}
+	}
+}
+
+// Process is a subscriber: a physical peer owning a constant filter and
+// one instance per level where it is active.
+type Process struct {
+	ID     ProcID
+	Filter geom.Rect
+	// Inst maps height -> instance. A live process always owns the
+	// contiguous range of heights 0..Top.
+	Inst map[int]*Instance
+	// Top is the height of the process's topmost instance.
+	Top int
+
+	// Delivery accounting (pub/sub layer).
+	Delivered int // events received
+	FalsePos  int // events received but not matching Filter
+}
+
+// Tree is the sequential DR-tree engine. It is not safe for concurrent
+// use.
+type Tree struct {
+	params Params
+	procs  map[ProcID]*Process
+	rootID ProcID
+	rootH  int
+	nextID ProcID
+
+	// pendingFragments queues detached subtrees awaiting re-attachment
+	// (drained by repair and stabilization passes).
+	pendingFragments []fragment
+}
+
+// fragment is a detached subtree: process id's instance chain topped at
+// height h, waiting to be re-attached to the tree.
+type fragment struct {
+	id ProcID
+	h  int
+}
+
+// New creates an empty DR-tree.
+func New(p Params) (*Tree, error) {
+	p = p.withDefaults()
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	return &Tree{
+		params: p,
+		procs:  make(map[ProcID]*Process),
+		nextID: 1,
+	}, nil
+}
+
+// MustNew is New that panics on invalid parameters; for tests.
+func MustNew(p Params) *Tree {
+	t, err := New(p)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Params returns the tree's configuration.
+func (t *Tree) Params() Params { return t.params }
+
+// Len returns the number of live processes.
+func (t *Tree) Len() int { return len(t.procs) }
+
+// Root returns the root process ID and the root height. For an empty
+// tree it returns (NoProc, -1).
+func (t *Tree) Root() (ProcID, int) {
+	if len(t.procs) == 0 {
+		return NoProc, -1
+	}
+	return t.rootID, t.rootH
+}
+
+// Height returns the number of levels of the tree: rootH+1 for nonempty
+// trees, 0 for the empty tree.
+func (t *Tree) Height() int {
+	if len(t.procs) == 0 {
+		return 0
+	}
+	return t.rootH + 1
+}
+
+// Proc returns the process with the given id, or nil.
+func (t *Tree) Proc(id ProcID) *Process { return t.procs[id] }
+
+// ProcIDs returns all live process IDs in ascending order.
+func (t *Tree) ProcIDs() []ProcID {
+	out := make([]ProcID, 0, len(t.procs))
+	for id := range t.procs {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Filter returns the subscription rectangle of process id.
+func (t *Tree) Filter(id ProcID) (geom.Rect, bool) {
+	p, ok := t.procs[id]
+	if !ok {
+		return geom.Rect{}, false
+	}
+	return p.Filter, true
+}
+
+// instance returns process id's instance at height h, or nil.
+func (t *Tree) instance(id ProcID, h int) *Instance {
+	p := t.procs[id]
+	if p == nil {
+		return nil
+	}
+	return p.Inst[h]
+}
+
+// childMBR returns the MBR of child c's instance at height h (empty if
+// missing). Interior nodes consult the children's MBRs to route and
+// filter; this helper is the sequential stand-in for that lookup.
+func (t *Tree) childMBR(c ProcID, h int) geom.Rect {
+	in := t.instance(c, h)
+	if in == nil {
+		return geom.Rect{}
+	}
+	return in.MBR
+}
+
+// computeMBR recomputes the MBR of instance (id, h) from its children
+// (paper's Compute_MBR) or from the filter for leaves.
+func (t *Tree) computeMBR(id ProcID, h int) {
+	p := t.procs[id]
+	in := p.Inst[h]
+	if h == 0 {
+		in.MBR = p.Filter
+		return
+	}
+	var mbr geom.Rect
+	for _, c := range in.Children {
+		mbr = mbr.Union(t.childMBR(c, h-1))
+	}
+	in.MBR = mbr
+}
+
+// refreshUnderloaded recomputes the underloaded flag of (id, h).
+func (t *Tree) refreshUnderloaded(id ProcID, h int) {
+	in := t.instance(id, h)
+	if in == nil || h == 0 {
+		return
+	}
+	in.Underloaded = len(in.Children) < t.params.MinFanout
+}
+
+// newInstance installs a fresh instance for p at height h.
+func (t *Tree) newInstance(p *Process, h int) *Instance {
+	in := &Instance{}
+	if t.params.TrackReorgStats {
+		in.childFP = make(map[ProcID]int)
+	}
+	p.Inst[h] = in
+	if h > p.Top {
+		p.Top = h
+	}
+	return in
+}
+
+// dims returns the dimensionality of the tree's filters (0 if empty).
+func (t *Tree) dims() int {
+	for _, p := range t.procs {
+		return p.Filter.Dims()
+	}
+	return 0
+}

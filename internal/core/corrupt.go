@@ -1,0 +1,102 @@
+package core
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"drtree/internal/geom"
+)
+
+// The paper's fault model allows transient corruption of every mutable
+// variable: parent, children sets, MBRs and the underloaded flag
+// ("memory and counter program corruptions"). Filters are the only
+// non-corruptible constants (§3.2). These helpers inject such faults for
+// the stabilization experiments (E5, Lemma 3.6).
+
+// CorruptParent overwrites the parent variable of instance (id, h).
+func (t *Tree) CorruptParent(id ProcID, h int, parent ProcID) error {
+	in := t.instance(id, h)
+	if in == nil {
+		return fmt.Errorf("core: no instance (%d,%d)", id, h)
+	}
+	in.Parent = parent
+	return nil
+}
+
+// CorruptChildren overwrites the children set of instance (id, h).
+func (t *Tree) CorruptChildren(id ProcID, h int, children []ProcID) error {
+	in := t.instance(id, h)
+	if in == nil {
+		return fmt.Errorf("core: no instance (%d,%d)", id, h)
+	}
+	in.Children = append([]ProcID(nil), children...)
+	return nil
+}
+
+// CorruptMBR overwrites the MBR of instance (id, h).
+func (t *Tree) CorruptMBR(id ProcID, h int, mbr geom.Rect) error {
+	in := t.instance(id, h)
+	if in == nil {
+		return fmt.Errorf("core: no instance (%d,%d)", id, h)
+	}
+	in.MBR = mbr
+	return nil
+}
+
+// CorruptUnderloaded flips the underloaded flag of instance (id, h).
+func (t *Tree) CorruptUnderloaded(id ProcID, h int) error {
+	in := t.instance(id, h)
+	if in == nil {
+		return fmt.Errorf("core: no instance (%d,%d)", id, h)
+	}
+	in.Underloaded = !in.Underloaded
+	return nil
+}
+
+// CorruptRandom applies k random corruptions drawn from the fault model
+// (parent, children, MBR, underloaded) to random instances. It returns
+// the number of corruptions applied.
+func (t *Tree) CorruptRandom(rng *rand.Rand, k int) int {
+	ids := t.ProcIDs()
+	if len(ids) == 0 {
+		return 0
+	}
+	applied := 0
+	for i := 0; i < k; i++ {
+		id := ids[rng.IntN(len(ids))]
+		p := t.procs[id]
+		h := rng.IntN(p.Top + 1)
+		in := p.Inst[h]
+		if in == nil {
+			continue
+		}
+		switch rng.IntN(4) {
+		case 0:
+			in.Parent = ids[rng.IntN(len(ids))]
+		case 1:
+			if h >= 1 && len(in.Children) > 0 {
+				switch rng.IntN(3) {
+				case 0: // drop a child
+					in.Children = in.Children[:len(in.Children)-1]
+				case 1: // duplicate / foreign child
+					in.Children = append(in.Children, ids[rng.IntN(len(ids))])
+				default: // scramble to a random subset
+					in.Children = []ProcID{ids[rng.IntN(len(ids))]}
+				}
+			}
+		case 2:
+			dims := t.dims()
+			lo := make([]float64, dims)
+			hi := make([]float64, dims)
+			for d := 0; d < dims; d++ {
+				lo[d] = rng.Float64() * 100
+				hi[d] = lo[d] + rng.Float64()*50
+			}
+			in.MBR = geom.MustRect(lo, hi)
+		default:
+			in.Underloaded = !in.Underloaded
+		}
+		applied++
+	}
+	return applied
+}

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"drtree/internal/geom"
+)
+
+// TestDebugChurnSeedVerbose narrows the op-55 failure: state before the
+// join, the join target, and the state after.
+func TestDebugChurnSeedVerbose(t *testing.T) {
+	seed := uint64(0x264e2dec53bef8c7)
+	rng := rand.New(rand.NewPCG(seed, 52))
+	tr := MustNew(Params{MinFanout: 2, MaxFanout: 4})
+	var live []ProcID
+	next := ProcID(1)
+	for op := 0; op < 120; op++ {
+		if len(live) == 0 || rng.Float64() < 0.6 {
+			x, y := rng.Float64()*300, rng.Float64()*300
+			f := geom.R2(x, y, x+rng.Float64()*30, y+rng.Float64()*30)
+			if op == 55 {
+				t.Logf("before join %d (filter %v):\n%s", next, f, tr.Describe(nil))
+				t.Logf("P31@1 mbr=%v P30@1 mbr=%v", tr.childMBR(31, 1), tr.childMBR(30, 1))
+			}
+			if _, err := tr.Join(next, f); err != nil {
+				t.Fatalf("op %d join: %v", op, err)
+			}
+			if op == 55 {
+				t.Logf("after join %d:\n%s", next, tr.Describe(nil))
+				t.Logf("P31@1 mbr=%v P30@1 mbr=%v", tr.childMBR(31, 1), tr.childMBR(30, 1))
+			}
+			if err := tr.CheckLegal(); err != nil {
+				t.Fatalf("op %d after join %d: %v", op, next, err)
+			}
+			live = append(live, next)
+			next++
+		} else {
+			k := rng.IntN(len(live))
+			if _, err := tr.Leave(live[k]); err != nil {
+				t.Fatalf("op %d leave: %v", op, live[k])
+			}
+			if err := tr.CheckLegal(); err != nil {
+				t.Fatalf("op %d after leave %d: %v", op, live[k], err)
+			}
+			live = append(live[:k], live[k+1:]...)
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"drtree/internal/geom"
+)
+
+// TestDebugCorruptSeed replays the failing random-corruption seed with
+// detailed output.
+func TestDebugCorruptSeed(t *testing.T) {
+	rng := rand.New(rand.NewPCG(0x9647d9bd18e8dad7, 51))
+	tr := MustNew(Params{MinFanout: 2, MaxFanout: 5})
+	n := 10 + rng.IntN(40)
+	for i := 1; i <= n; i++ {
+		x, y := rng.Float64()*500, rng.Float64()*500
+		if _, err := tr.Join(ProcID(i), geom.R2(x, y, x+rng.Float64()*40, y+rng.Float64()*40)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.CheckLegal(); err != nil {
+		t.Fatalf("before corruption: %v", err)
+	}
+	t.Logf("before corruption (n=%d):\n%s", n, tr.Describe(nil))
+	k := tr.CorruptRandom(rng, 1+rng.IntN(8))
+	t.Logf("applied %d corruptions:\n%s", k, tr.Describe(nil))
+	st := tr.Stabilize()
+	t.Logf("stabilize: %+v", st)
+	if !st.Converged {
+		t.Fatalf("did not converge:\n%s", tr.Describe(nil))
+	}
+	if err := tr.CheckLegal(); err != nil {
+		t.Fatalf("after stabilize: %v\n%s", err, tr.Describe(nil))
+	}
+}

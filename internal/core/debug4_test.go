@@ -1,0 +1,40 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"drtree/internal/geom"
+)
+
+// TestCrashRepairSeedSweep deterministically sweeps seeds for the crash
+// repair property to catch rare repair bugs.
+func TestCrashRepairSeedSweep(t *testing.T) {
+	for seed := uint64(0); seed < 400; seed++ {
+		rng := rand.New(rand.NewPCG(seed, 53))
+		tr := MustNew(Params{MinFanout: 2, MaxFanout: 4})
+		n := 12 + rng.IntN(30)
+		for i := 1; i <= n; i++ {
+			x, y := rng.Float64()*400, rng.Float64()*400
+			if _, err := tr.Join(ProcID(i), geom.R2(x, y, x+rng.Float64()*30, y+rng.Float64()*30)); err != nil {
+				t.Fatalf("seed %d join: %v", seed, err)
+			}
+		}
+		kills := 1 + rng.IntN(n/3)
+		ids := tr.ProcIDs()
+		rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+		for _, id := range ids[:kills] {
+			if err := tr.Crash(id); err != nil {
+				t.Fatalf("seed %d crash: %v", seed, err)
+			}
+		}
+		st := tr.RepairCrash()
+		if err := tr.CheckLegal(); err != nil {
+			t.Fatalf("seed %d (n=%d kills=%d, stats %+v): %v\n%s",
+				seed, n, kills, st, err, tr.Describe(nil))
+		}
+		if tr.Len() != n-kills {
+			t.Fatalf("seed %d: len %d want %d", seed, tr.Len(), n-kills)
+		}
+	}
+}

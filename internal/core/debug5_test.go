@@ -1,0 +1,58 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"drtree/internal/geom"
+)
+
+// TestChurnCorruptionSeedSweep deterministically sweeps the
+// churn+corruption+publish property over many seeds.
+func TestChurnCorruptionSeedSweep(t *testing.T) {
+	for seed := uint64(0); seed < 300; seed++ {
+		rng := rand.New(rand.NewPCG(seed, 62))
+		tr := MustNew(Params{MinFanout: 2, MaxFanout: 5})
+		n := 20 + rng.IntN(30)
+		for i := 1; i <= n; i++ {
+			x, y := rng.Float64()*100, rng.Float64()*100
+			if _, err := tr.Join(ProcID(i), geom.R2(x, y, x+rng.Float64()*25, y+rng.Float64()*25)); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+		}
+		ids := tr.ProcIDs()
+		rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+		for _, id := range ids[:3] {
+			if rng.Float64() < 0.5 {
+				if _, err := tr.Leave(id); err != nil {
+					t.Fatalf("seed %d leave %d: %v", seed, id, err)
+				}
+			} else if err := tr.Crash(id); err != nil {
+				t.Fatalf("seed %d crash %d: %v", seed, id, err)
+			}
+		}
+		tr.CorruptRandom(rng, 3)
+		st := tr.Stabilize()
+		if err := tr.CheckLegal(); err != nil {
+			t.Fatalf("seed %d (stab %+v): %v\n%s", seed, st, err, tr.Describe(nil))
+		}
+		live := tr.ProcIDs()
+		for k := 0; k < 10; k++ {
+			ev := geom.Point{rng.Float64() * 120, rng.Float64() * 120}
+			d, err := tr.Publish(live[rng.IntN(len(live))], ev)
+			if err != nil {
+				t.Fatalf("seed %d publish: %v", seed, err)
+			}
+			got := map[ProcID]bool{}
+			for _, id := range d.Received {
+				got[id] = true
+			}
+			for _, id := range live {
+				f, _ := tr.Filter(id)
+				if f.ContainsPoint(ev) && !got[id] {
+					t.Fatalf("seed %d: false negative for %d on %v\n%s", seed, id, ev, tr.Describe(nil))
+				}
+			}
+		}
+	}
+}

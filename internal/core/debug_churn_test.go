@@ -1,0 +1,41 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"drtree/internal/geom"
+)
+
+// TestDebugChurnSeed replays the failing seed from TestPropertyLegalUnderChurn
+// with verbose output. Kept as a regression test for that exact trace.
+func TestDebugChurnSeed(t *testing.T) {
+	seed := uint64(0x264e2dec53bef8c7)
+	rng := rand.New(rand.NewPCG(seed, 52))
+	tr := MustNew(Params{MinFanout: 2, MaxFanout: 4})
+	var live []ProcID
+	next := ProcID(1)
+	for op := 0; op < 120; op++ {
+		if len(live) == 0 || rng.Float64() < 0.6 {
+			x, y := rng.Float64()*300, rng.Float64()*300
+			if _, err := tr.Join(next, geom.R2(x, y, x+rng.Float64()*30, y+rng.Float64()*30)); err != nil {
+				t.Fatalf("op %d join %d: %v", op, next, err)
+			}
+			if err := tr.CheckLegal(); err != nil {
+				t.Fatalf("op %d after join %d: %v\n%s", op, next, err, tr.Describe(nil))
+			}
+			live = append(live, next)
+			next++
+		} else {
+			k := rng.IntN(len(live))
+			id := live[k]
+			if _, err := tr.Leave(id); err != nil {
+				t.Fatalf("op %d leave %d: %v", op, id, err)
+			}
+			if err := tr.CheckLegal(); err != nil {
+				t.Fatalf("op %d after leave %d: %v\n%s", op, id, err, tr.Describe(nil))
+			}
+			live = append(live[:k], live[k+1:]...)
+		}
+	}
+}

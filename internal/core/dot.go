@@ -1,0 +1,162 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Dot renders the logical DR-tree (the per-level node diagram of the
+// paper's Figure 4) in Graphviz DOT format. Each box is one instance,
+// labeled "P<id>@h"; edges connect parent instances to child instances.
+func (t *Tree) Dot(labels map[ProcID]string) string {
+	var b strings.Builder
+	b.WriteString("digraph drtree {\n  rankdir=TB;\n  node [shape=box];\n")
+	name := func(id ProcID) string {
+		if l, ok := labels[id]; ok {
+			return l
+		}
+		return fmt.Sprintf("P%d", id)
+	}
+	// Group instances per height so levels render as ranks.
+	for h := t.rootH; h >= 0; h-- {
+		var nodes []string
+		for _, id := range t.ProcIDs() {
+			if t.instance(id, h) != nil {
+				nodes = append(nodes, fmt.Sprintf("%q", fmt.Sprintf("%s@%d", name(id), h)))
+			}
+		}
+		if len(nodes) > 0 {
+			fmt.Fprintf(&b, "  { rank=same; %s }\n", strings.Join(nodes, "; "))
+		}
+	}
+	for _, id := range t.ProcIDs() {
+		p := t.procs[id]
+		for h := 1; h <= p.Top; h++ {
+			in := p.Inst[h]
+			if in == nil {
+				continue
+			}
+			for _, c := range in.Children {
+				fmt.Fprintf(&b, "  %q -> %q;\n",
+					fmt.Sprintf("%s@%d", name(id), h),
+					fmt.Sprintf("%s@%d", name(c), h-1))
+			}
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// CommunicationEdges returns the physical neighbor relation of the
+// overlay (the paper's Figure 5): unordered process pairs connected by at
+// least one parent/child link, sorted.
+func (t *Tree) CommunicationEdges() [][2]ProcID {
+	set := make(map[[2]ProcID]bool)
+	for _, id := range t.ProcIDs() {
+		p := t.procs[id]
+		for h := 1; h <= p.Top; h++ {
+			in := p.Inst[h]
+			if in == nil {
+				continue
+			}
+			for _, c := range in.Children {
+				if c == id {
+					continue
+				}
+				e := [2]ProcID{id, c}
+				if e[0] > e[1] {
+					e[0], e[1] = e[1], e[0]
+				}
+				set[e] = true
+			}
+		}
+	}
+	out := make([][2]ProcID, 0, len(set))
+	for e := range set {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// CommunicationDot renders the communication graph (Figure 5) in DOT.
+func (t *Tree) CommunicationDot(labels map[ProcID]string) string {
+	name := func(id ProcID) string {
+		if l, ok := labels[id]; ok {
+			return l
+		}
+		return fmt.Sprintf("P%d", id)
+	}
+	var b strings.Builder
+	b.WriteString("graph comm {\n  node [shape=circle];\n")
+	for _, e := range t.CommunicationEdges() {
+		fmt.Fprintf(&b, "  %q -- %q;\n", name(e[0]), name(e[1]))
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// IsConnected reports whether the overlay's communication graph is
+// connected over the live processes (used by the churn experiment E7).
+func (t *Tree) IsConnected() bool {
+	if len(t.procs) <= 1 {
+		return true
+	}
+	adj := make(map[ProcID][]ProcID)
+	for _, e := range t.CommunicationEdges() {
+		adj[e[0]] = append(adj[e[0]], e[1])
+		adj[e[1]] = append(adj[e[1]], e[0])
+	}
+	start := t.ProcIDs()[0]
+	seen := map[ProcID]bool{start: true}
+	queue := []ProcID{start}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, nb := range adj[cur] {
+			if !seen[nb] {
+				seen[nb] = true
+				queue = append(queue, nb)
+			}
+		}
+	}
+	return len(seen) == len(t.procs)
+}
+
+// Describe returns a compact textual rendering of the tree levels, one
+// line per instance, for debugging and golden tests.
+func (t *Tree) Describe(labels map[ProcID]string) string {
+	name := func(id ProcID) string {
+		if l, ok := labels[id]; ok {
+			return l
+		}
+		return fmt.Sprintf("P%d", id)
+	}
+	var b strings.Builder
+	for h := t.rootH; h >= 0; h-- {
+		fmt.Fprintf(&b, "height %d:", h)
+		for _, id := range t.ProcIDs() {
+			in := t.instance(id, h)
+			if in == nil {
+				continue
+			}
+			if h == 0 {
+				fmt.Fprintf(&b, " %s", name(id))
+				continue
+			}
+			kids := make([]string, len(in.Children))
+			for i, c := range in.Children {
+				kids[i] = name(c)
+			}
+			fmt.Fprintf(&b, " %s[%s]", name(id), strings.Join(kids, ","))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"math/rand/v2"
+
+	"drtree/internal/geom"
+)
+
+// Election chooses which group member is promoted as parent when a split
+// or root creation needs a leader. The paper's rule (Figure 6) elects the
+// node whose MBR is largest, which preserves the containment awareness
+// properties and minimizes false-positive area; alternative policies are
+// provided for the ablation of experiment E9.
+type Election interface {
+	// Name identifies the policy.
+	Name() string
+	// ChooseLeader returns the index of the member to promote, given the
+	// members' MBRs (parallel slices, len >= 1).
+	ChooseLeader(ids []ProcID, mbrs []geom.Rect) int
+}
+
+// LargestMBR is the paper's election rule: promote the member whose MBR
+// has the largest area (ties broken by lowest process ID so elections are
+// deterministic).
+type LargestMBR struct{}
+
+// Name implements Election.
+func (LargestMBR) Name() string { return "largest-mbr" }
+
+// ChooseLeader implements Election.
+func (LargestMBR) ChooseLeader(ids []ProcID, mbrs []geom.Rect) int {
+	best := 0
+	for i := 1; i < len(mbrs); i++ {
+		ai, ab := mbrs[i].Area(), mbrs[best].Area()
+		if ai > ab || (ai == ab && ids[i] < ids[best]) {
+			best = i
+		}
+	}
+	return best
+}
+
+// FirstChild is an ablation policy: promote the member with the lowest
+// process ID, ignoring geometry.
+type FirstChild struct{}
+
+// Name implements Election.
+func (FirstChild) Name() string { return "first-child" }
+
+// ChooseLeader implements Election.
+func (FirstChild) ChooseLeader(ids []ProcID, mbrs []geom.Rect) int {
+	best := 0
+	for i := 1; i < len(ids); i++ {
+		if ids[i] < ids[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// RandomElection is an ablation policy: promote a uniformly random
+// member. The random source is injected so simulations stay reproducible.
+type RandomElection struct {
+	Rand *rand.Rand
+}
+
+// Name implements Election.
+func (RandomElection) Name() string { return "random" }
+
+// ChooseLeader implements Election.
+func (e RandomElection) ChooseLeader(ids []ProcID, mbrs []geom.Rect) int {
+	if e.Rand == nil || len(ids) == 1 {
+		return 0
+	}
+	return e.Rand.IntN(len(ids))
+}
+
+// betterCover is the paper's Is_Better_MBR_Cover predicate: candidate
+// covers better than the incumbent when its MBR area is strictly larger.
+func betterCover(candidate, incumbent geom.Rect) bool {
+	return candidate.Area() > incumbent.Area()
+}

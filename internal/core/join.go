@@ -1,0 +1,498 @@
+package core
+
+import (
+	"fmt"
+
+	"drtree/internal/geom"
+)
+
+// JoinStats reports the cost of a join for experiment E3 (Lemma 3.2).
+type JoinStats struct {
+	// UpHops is the number of hops from the contact node to the root
+	// (zero when joining at the root).
+	UpHops int
+	// DownHops is the number of routing steps from the root down to the
+	// insertion node.
+	DownHops int
+	// Splits is the number of node splits the insertion triggered.
+	Splits int
+	// Messages approximates inter-process messages: hops plus split
+	// traffic (each split costs one ADD_CHILD to the parent).
+	Messages int
+}
+
+// Join inserts a new subscriber with the given filter, routing from the
+// root (the best starting point per §3.2 "Joins"). The process ID must be
+// positive and unused.
+func (t *Tree) Join(id ProcID, f geom.Rect) (JoinStats, error) {
+	return t.join(id, f, 0)
+}
+
+// JoinFrom inserts a new subscriber starting from an arbitrary contact
+// node (the paper's connection oracle): the request is first redirected
+// upward until it reaches the root, then routed down.
+func (t *Tree) JoinFrom(contact, id ProcID, f geom.Rect) (JoinStats, error) {
+	up, err := t.hopsToRoot(contact)
+	if err != nil {
+		return JoinStats{}, err
+	}
+	return t.join(id, f, up)
+}
+
+// AddSubscriber is Join with an auto-assigned process ID.
+func (t *Tree) AddSubscriber(f geom.Rect) (ProcID, JoinStats, error) {
+	for t.procs[t.nextID] != nil {
+		t.nextID++
+	}
+	id := t.nextID
+	t.nextID++
+	st, err := t.Join(id, f)
+	if err != nil {
+		return NoProc, JoinStats{}, err
+	}
+	return id, st, nil
+}
+
+func (t *Tree) join(id ProcID, f geom.Rect, upHops int) (JoinStats, error) {
+	if id <= NoProc {
+		return JoinStats{}, fmt.Errorf("core: process IDs must be positive, got %d", id)
+	}
+	if t.procs[id] != nil {
+		return JoinStats{}, fmt.Errorf("core: process %d already joined", id)
+	}
+	if f.IsEmpty() {
+		return JoinStats{}, fmt.Errorf("core: filter must be a non-empty rectangle")
+	}
+	if d := t.dims(); d != 0 && f.Dims() != d {
+		return JoinStats{}, fmt.Errorf("core: filter has %d dims, tree uses %d", f.Dims(), d)
+	}
+
+	p := &Process{ID: id, Filter: f, Inst: make(map[int]*Instance)}
+	t.procs[id] = p
+	leaf := t.newInstance(p, 0)
+	leaf.MBR = f
+	leaf.Parent = id // provisional; set below
+
+	st := JoinStats{UpHops: upHops}
+
+	switch {
+	case len(t.procs) == 1:
+		// First subscriber: it is the root, a lone leaf.
+		t.rootID, t.rootH = id, 0
+	case t.rootH == 0:
+		// Second subscriber: elect a root over the two leaves.
+		other := t.rootID
+		ids := []ProcID{other, id}
+		mbrs := []geom.Rect{t.procs[other].Filter, f}
+		w := ids[t.params.Election.ChooseLeader(ids, mbrs)]
+		root := t.newInstance(t.procs[w], 1)
+		root.Children = []ProcID{other, id}
+		root.Parent = w
+		t.procs[other].Inst[0].Parent = w
+		t.procs[id].Inst[0].Parent = w
+		t.computeMBR(w, 1)
+		t.refreshUnderloaded(w, 1)
+		t.rootID, t.rootH = w, 1
+		st.Messages = upHops + 1
+	default:
+		// Route down from the root to the last non-leaf level, adjusting
+		// MBRs on the way (Figure 8), then ADD_CHILD.
+		cur, h := t.rootID, t.rootH
+		for h > 1 {
+			in := t.instance(cur, h)
+			in.MBR = in.MBR.Union(f)
+			cur = t.chooseBestChild(in, h, f)
+			h--
+			st.DownHops++
+		}
+		splits := t.addChild(cur, 1, id)
+		st.Splits = splits
+		st.Messages = upHops + st.DownHops + 1 + splits
+		// Restore the cover invariant along the insertion path so a join
+		// leaves the configuration legitimate (Lemma 3.2). The paper
+		// defers this to the periodic CHECK_COVER; doing it inline is the
+		// eager equivalent.
+		t.fixCoverUp(id, 0)
+	}
+	return st, nil
+}
+
+// fixCoverLocal applies the CHECK_COVER rule at instance (pid, h): while
+// some child's MBR covers better than pid's own child node, the two
+// processes exchange roles. It returns the process finally occupying
+// height h.
+func (t *Tree) fixCoverLocal(pid ProcID, h int) ProcID {
+	if t.params.DisableCoverRule {
+		return pid
+	}
+	for {
+		in := t.instance(pid, h)
+		if in == nil {
+			return pid
+		}
+		own := t.childMBR(pid, h-1)
+		best := NoProc
+		bestArea := own.Area()
+		for _, c := range in.Children {
+			if c == pid {
+				continue
+			}
+			if a := t.childMBR(c, h-1).Area(); a > bestArea {
+				best, bestArea = c, a
+			}
+		}
+		if best == NoProc {
+			return pid
+		}
+		t.exchangeRoles(pid, best, h)
+		pid = best
+	}
+}
+
+// fixCoverUp climbs from instance (id, h) to the root and applies the
+// CHECK_COVER rule at every ancestor: if some child's MBR covers better
+// than the parent's own child node, the two processes exchange roles.
+func (t *Tree) fixCoverUp(id ProcID, h int) {
+	if t.params.DisableCoverRule {
+		return
+	}
+	for {
+		in := t.instance(id, h)
+		if in == nil {
+			return
+		}
+		if h >= 1 {
+			own := t.childMBR(id, h-1)
+			best := NoProc
+			bestArea := own.Area()
+			for _, c := range in.Children {
+				if c == id {
+					continue
+				}
+				if a := t.childMBR(c, h-1).Area(); a > bestArea {
+					best, bestArea = c, a
+				}
+			}
+			if best != NoProc {
+				t.exchangeRoles(id, best, h)
+				id = best
+				in = t.instance(id, h)
+				if in == nil {
+					return
+				}
+			}
+		}
+		if id == t.rootID && h == t.rootH {
+			return
+		}
+		next := in.Parent
+		if next == NoProc || t.procs[next] == nil || (next == id && h >= t.procs[id].Top) {
+			return
+		}
+		id, h = next, h+1
+		if h > t.rootH {
+			return
+		}
+	}
+}
+
+// hopsToRoot counts the parent-chain hops from contact's topmost instance
+// to the root (the upward redirection of join requests).
+func (t *Tree) hopsToRoot(contact ProcID) (int, error) {
+	p := t.procs[contact]
+	if p == nil {
+		return 0, fmt.Errorf("core: contact process %d not found", contact)
+	}
+	hops := 0
+	cur, h := contact, p.Top
+	for !(cur == t.rootID && h == t.rootH) {
+		in := t.instance(cur, h)
+		if in == nil {
+			return 0, fmt.Errorf("core: broken parent chain at process %d height %d", cur, h)
+		}
+		next := in.Parent
+		if next != cur {
+			hops++
+		}
+		cur = next
+		h++
+		if h > t.rootH+1 {
+			return 0, fmt.Errorf("core: parent chain of %d does not reach the root", contact)
+		}
+		// Continue from the next process's instance at height h; its
+		// topmost may be higher, which the loop handles one level at a
+		// time.
+	}
+	return hops, nil
+}
+
+// chooseBestChild implements Choose_Best_Child: the child whose MBR needs
+// the least enlargement to encompass the joining filter, ties broken by
+// smaller area, then by lower ID.
+func (t *Tree) chooseBestChild(in *Instance, h int, f geom.Rect) ProcID {
+	best := NoProc
+	var bestEnl, bestArea float64
+	for _, c := range in.Children {
+		if t.instance(c, h-1) == nil {
+			continue // stale reference mid-repair; skip
+		}
+		mbr := t.childMBR(c, h-1)
+		enl := mbr.Enlargement(f)
+		area := mbr.Area()
+		if best == NoProc ||
+			enl < bestEnl ||
+			(enl == bestEnl && area < bestArea) ||
+			(enl == bestEnl && area == bestArea && c < best) {
+			best, bestEnl, bestArea = c, enl, area
+		}
+	}
+	return best
+}
+
+// addChild attaches subtree root q (whose topmost instance is at height
+// h-1) as a child of p's instance at height h, splitting overflowing
+// nodes recursively (Figure 8's ADD_CHILD). It returns the number of
+// splits performed.
+func (t *Tree) addChild(pid ProcID, h int, qid ProcID) int {
+	in := t.instance(pid, h)
+	if in == nil {
+		// The target vanished mid-repair; requeue the subtree so a later
+		// pass re-attaches it.
+		t.pendingFragments = append(t.pendingFragments, fragment{id: qid, h: h - 1})
+		return 0
+	}
+	in.Children = append(in.Children, qid)
+	t.procs[qid].Inst[h-1].Parent = pid
+	in.MBR = in.MBR.Union(t.childMBR(qid, h-1))
+	t.refreshUnderloaded(pid, h)
+
+	if len(in.Children) <= t.params.MaxFanout {
+		// Is_Better_MBR_Cover: if a child covers better than the current
+		// parent, they exchange roles (Adjust_Parent / CHECK_COVER).
+		t.fixCoverLocal(pid, h)
+		return 0
+	}
+	return t.splitInstance(pid, h)
+}
+
+// splitInstance splits the overflowing children set of (pid, h) into two
+// groups (Split_Node), keeps the group containing pid's own child, elects
+// a leader for the other group, and pushes the new node to the parent —
+// creating a new root if pid's instance was the root (Create_Root).
+func (t *Tree) splitInstance(pid ProcID, h int) int {
+	in := t.instance(pid, h)
+	members := append([]ProcID(nil), in.Children...)
+	rects := make([]geom.Rect, len(members))
+	for i, c := range members {
+		rects[i] = t.childMBR(c, h-1)
+	}
+	leftIdx, rightIdx, err := t.params.Split.Split(rects, t.params.MinFanout)
+	if err != nil {
+		// Cannot happen for a legal overflow (M+1 >= 2m+1 members); keep
+		// the overflowing node rather than corrupting the structure.
+		return 0
+	}
+	// pid's own child instance must stay in pid's group. If the own child
+	// is missing entirely, the instance is corrupt: leave it for
+	// CHECK_CHILDREN to dissolve rather than splitting garbage.
+	own := indexOf(members, pid)
+	if own == -1 {
+		return 0
+	}
+	if containsIdx(rightIdx, own) {
+		leftIdx, rightIdx = rightIdx, leftIdx
+	}
+
+	// pid keeps the left group.
+	in.Children = in.Children[:0]
+	for _, i := range leftIdx {
+		in.Children = append(in.Children, members[i])
+	}
+	t.computeMBR(pid, h)
+	t.refreshUnderloaded(pid, h)
+
+	// Elect a leader for the right group (Figure 6) and promote it.
+	rightIDs := make([]ProcID, len(rightIdx))
+	rightMBRs := make([]geom.Rect, len(rightIdx))
+	for i, idx := range rightIdx {
+		rightIDs[i] = members[idx]
+		rightMBRs[i] = rects[idx]
+	}
+	rid := rightIDs[t.params.Election.ChooseLeader(rightIDs, rightMBRs)]
+	r := t.procs[rid]
+	rin := t.newInstance(r, h)
+	rin.Children = append(rin.Children, rightIDs...)
+	for _, c := range rightIDs {
+		t.procs[c].Inst[h-1].Parent = rid
+	}
+	t.computeMBR(rid, h)
+	t.refreshUnderloaded(rid, h)
+
+	// Splitting shrank pid's MBR at h; its own child node may no longer
+	// be the best cover of the kept group. Re-establish the cover
+	// invariant locally before wiring the new sibling upward.
+	leftID := t.fixCoverLocal(pid, h)
+	lin := t.instance(leftID, h)
+	if lin == nil {
+		// Corrupt surroundings (possible only mid-stabilization): requeue
+		// the new sibling so a later pass re-attaches it.
+		t.pendingFragments = append(t.pendingFragments, fragment{id: rid, h: h})
+		return 1
+	}
+
+	if leftID == t.rootID && h == t.rootH {
+		// Root split: elect the new root among the two group leaders.
+		ids := []ProcID{leftID, rid}
+		mbrs := []geom.Rect{lin.MBR, rin.MBR}
+		w := ids[t.params.Election.ChooseLeader(ids, mbrs)]
+		nr := t.newInstance(t.procs[w], h+1)
+		nr.Children = []ProcID{leftID, rid}
+		nr.Parent = w
+		lin.Parent = w
+		rin.Parent = w
+		t.computeMBR(w, h+1)
+		t.refreshUnderloaded(w, h+1)
+		t.rootID, t.rootH = w, h+1
+		return 1
+	}
+	g := lin.Parent
+	return 1 + t.addChild(g, h+1, rid)
+}
+
+// exchangeRoles makes q take over p's interior role from height h up to
+// p's topmost instance (the paper's Adjust_Parent, extended to cascade so
+// the "process is its own child" invariant is preserved at every level).
+// q must currently be a child of p at height h-1.
+func (t *Tree) exchangeRoles(pid, qid ProcID, h int) {
+	p := t.procs[pid]
+	q := t.procs[qid]
+	top := p.Top
+	wasRoot := t.rootID == pid
+
+	for hh := h; hh <= top; hh++ {
+		in := p.Inst[hh]
+		delete(p.Inst, hh)
+		if hh > h {
+			// p's own child at hh-1 has become q's.
+			replaceID(in.Children, pid, qid)
+		}
+		q.Inst[hh] = in
+		for _, c := range in.Children {
+			if ci := t.instance(c, hh-1); ci != nil {
+				ci.Parent = qid
+			}
+		}
+	}
+	p.Top = h - 1
+	q.Top = top
+
+	if wasRoot {
+		t.rootID = qid
+		q.Inst[top].Parent = qid
+		return
+	}
+	// Fix the grandparent's children list: p@top was replaced by q@top.
+	g := q.Inst[top].Parent
+	if gi := t.instance(g, top+1); gi != nil {
+		replaceID(gi.Children, pid, qid)
+	}
+}
+
+// insertSubtreeAt re-attaches a detached subtree whose root instance is
+// (id, h): the tree is descended from the root to height h+1 by least
+// enlargement and the subtree is added there. Subtrees at or above the
+// current root height are merged by electing a common root. It returns
+// the number of splits triggered.
+func (t *Tree) insertSubtreeAt(id ProcID, h int) int {
+	in := t.instance(id, h)
+	if in == nil {
+		return 0
+	}
+	if h >= t.rootH {
+		// The fragment is as tall as the tree: elect a new common root
+		// over the current root and the fragment.
+		for h > t.rootH {
+			// Dissolve the fragment's top level so heights align.
+			h = t.dissolveTop(id, h)
+			in = t.instance(id, h)
+			if in == nil {
+				return 0
+			}
+		}
+		if id == t.rootID {
+			return 0
+		}
+		rootIn := t.instance(t.rootID, t.rootH)
+		ids := []ProcID{t.rootID, id}
+		mbrs := []geom.Rect{rootIn.MBR, in.MBR}
+		w := ids[t.params.Election.ChooseLeader(ids, mbrs)]
+		oldRoot, oldH := t.rootID, t.rootH
+		nr := t.newInstance(t.procs[w], oldH+1)
+		nr.Children = []ProcID{oldRoot, id}
+		nr.Parent = w
+		rootIn.Parent = w
+		in.Parent = w
+		t.computeMBR(w, oldH+1)
+		t.refreshUnderloaded(w, oldH+1)
+		t.rootID, t.rootH = w, oldH+1
+		return 0
+	}
+	cur, hh := t.rootID, t.rootH
+	for hh > h+1 {
+		ci := t.instance(cur, hh)
+		if ci == nil {
+			t.pendingFragments = append(t.pendingFragments, fragment{id: id, h: h})
+			return 0
+		}
+		ci.MBR = ci.MBR.Union(in.MBR)
+		next := t.chooseBestChild(ci, hh, in.MBR)
+		if next == NoProc {
+			t.pendingFragments = append(t.pendingFragments, fragment{id: id, h: h})
+			return 0
+		}
+		cur = next
+		hh--
+	}
+	return t.addChild(cur, h+1, id)
+}
+
+// dissolveTop removes the instance (id, h), orphaning its children, and
+// immediately re-attaches each child subtree one level lower via
+// insertSubtreeAt once the caller realigns. It returns id's new top.
+func (t *Tree) dissolveTop(id ProcID, h int) int {
+	p := t.procs[id]
+	in := p.Inst[h]
+	delete(p.Inst, h)
+	p.Top = h - 1
+	for _, c := range in.Children {
+		if c == id {
+			continue
+		}
+		if ci := t.instance(c, h-1); ci != nil {
+			ci.Parent = c // mark as fragment root
+			t.pendingFragments = append(t.pendingFragments, fragment{id: c, h: h - 1})
+		}
+	}
+	if own := t.instance(id, h-1); own != nil {
+		own.Parent = id
+	}
+	return h - 1
+}
+
+func indexOf(ids []ProcID, id ProcID) int {
+	for i, c := range ids {
+		if c == id {
+			return i
+		}
+	}
+	return -1
+}
+
+func containsIdx(idx []int, v int) bool {
+	for _, i := range idx {
+		if i == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// LeaveStats reports the cost of a departure repair for experiment E4
+// (Lemmas 3.4 and 3.5).
+type LeaveStats struct {
+	// Orphans is the number of subtrees detached by the departure.
+	Orphans int
+	// Reinsertions is the number of subtree re-attachments performed.
+	Reinsertions int
+	// StabilizeSteps is the number of stabilization passes needed to
+	// return to a legitimate configuration.
+	StabilizeSteps int
+}
+
+// Leave removes a subscriber via a controlled departure (Figure 9): the
+// parent of the topmost instance drops the leaver, orphaned subtrees are
+// re-attached, and the stabilization checks run to a fixpoint.
+func (t *Tree) Leave(id ProcID) (LeaveStats, error) {
+	p := t.procs[id]
+	if p == nil {
+		return LeaveStats{}, fmt.Errorf("core: process %d not in the tree", id)
+	}
+	var st LeaveStats
+
+	if len(t.procs) == 1 {
+		delete(t.procs, id)
+		t.rootID, t.rootH = NoProc, 0
+		return st, nil
+	}
+
+	// Notify the parent of the topmost instance (LEAVE message).
+	if t.rootID != id {
+		top := p.Inst[p.Top]
+		if g := t.instance(top.Parent, p.Top+1); g != nil {
+			g.removeChild(id)
+			t.refreshUnderloaded(top.Parent, p.Top+1)
+		}
+	}
+
+	// Every child of every instance of the leaver (other than the leaver
+	// itself) roots an orphaned subtree.
+	t.enqueueOrphansOf(p)
+	delete(t.procs, id)
+	st.Orphans = len(t.pendingFragments)
+
+	if t.rootID == id {
+		t.electRootFromFragments()
+	}
+	st.Reinsertions = t.drainFragments()
+	st.StabilizeSteps = t.Stabilize().Passes
+	return st, nil
+}
+
+// Crash removes a subscriber without any notification (an uncontrolled
+// departure / permanent failure). The structure is left dangling; call
+// Stabilize (or RepairCrash) to restore a legitimate configuration, as
+// the paper's periodic checks would.
+func (t *Tree) Crash(id ProcID) error {
+	if t.procs[id] == nil {
+		return fmt.Errorf("core: process %d not in the tree", id)
+	}
+	delete(t.procs, id)
+	if len(t.procs) == 0 {
+		t.rootID, t.rootH = NoProc, 0
+	}
+	return nil
+}
+
+// RepairCrash runs the stabilization checks after one or more crashes and
+// returns the repair cost (Lemma 3.5). It is equivalent to waiting for
+// the periodic CHECK_* timers to fire until the structure is legal.
+func (t *Tree) RepairCrash() LeaveStats {
+	var st LeaveStats
+	stab := t.Stabilize()
+	st.StabilizeSteps = stab.Passes
+	st.Reinsertions = stab.Rejoins
+	return st
+}
+
+// enqueueOrphansOf queues every non-self child of every instance of p as
+// a detached fragment, highest first.
+func (t *Tree) enqueueOrphansOf(p *Process) {
+	for hh := p.Top; hh >= 1; hh-- {
+		in := p.Inst[hh]
+		if in == nil {
+			continue
+		}
+		for _, c := range in.Children {
+			if c == p.ID {
+				continue
+			}
+			if ci := t.instance(c, hh-1); ci != nil {
+				ci.Parent = c
+				t.pendingFragments = append(t.pendingFragments, fragment{id: c, h: hh - 1})
+			}
+		}
+	}
+}
+
+// electRootFromFragments promotes the tallest pending fragment (ties:
+// largest MBR, then lowest ID) as the new tree root after the previous
+// root vanished.
+func (t *Tree) electRootFromFragments() {
+	if len(t.pendingFragments) == 0 {
+		// Degenerate: no fragments (the root had only itself); pick any
+		// live process as a fresh single-node tree root.
+		for _, id := range t.ProcIDs() {
+			p := t.procs[id]
+			t.rootID, t.rootH = id, p.Top
+			p.Inst[p.Top].Parent = id
+			return
+		}
+		t.rootID, t.rootH = NoProc, 0
+		return
+	}
+	sort.Slice(t.pendingFragments, func(i, j int) bool {
+		fi, fj := t.pendingFragments[i], t.pendingFragments[j]
+		if fi.h != fj.h {
+			return fi.h > fj.h
+		}
+		ai := t.childMBR(fi.id, fi.h).Area()
+		aj := t.childMBR(fj.id, fj.h).Area()
+		if ai != aj {
+			return ai > aj
+		}
+		return fi.id < fj.id
+	})
+	head := t.pendingFragments[0]
+	t.pendingFragments = t.pendingFragments[1:]
+	t.rootID, t.rootH = head.id, head.h
+	if in := t.instance(head.id, head.h); in != nil {
+		in.Parent = head.id
+	}
+}
+
+// drainFragments re-attaches every queued fragment (tallest first) and
+// returns the number of re-insertions performed. Re-attachment can itself
+// enqueue more fragments (height realignment), which are processed too.
+func (t *Tree) drainFragments() int {
+	n := 0
+	// Bound the drain so a fragment that keeps getting requeued (mid-way
+	// through a multi-pass repair) is retried on the next stabilization
+	// pass instead of spinning here.
+	budget := 4*len(t.pendingFragments) + 8
+	for len(t.pendingFragments) > 0 && budget > 0 {
+		budget--
+		sort.SliceStable(t.pendingFragments, func(i, j int) bool {
+			return t.pendingFragments[i].h > t.pendingFragments[j].h
+		})
+		f := t.pendingFragments[0]
+		t.pendingFragments = t.pendingFragments[1:]
+		if t.procs[f.id] == nil || t.instance(f.id, f.h) == nil {
+			continue
+		}
+		// Skip fragments that were re-attached transitively.
+		if !t.isFragmentRoot(f.id, f.h) {
+			continue
+		}
+		t.insertSubtreeAt(f.id, f.h)
+		n++
+	}
+	return n
+}
+
+// isFragmentRoot reports whether (id, h) is still detached: its recorded
+// parent either is itself (while not being the tree root) or does not
+// list it as a child.
+func (t *Tree) isFragmentRoot(id ProcID, h int) bool {
+	if id == t.rootID && h == t.rootH {
+		return false
+	}
+	in := t.instance(id, h)
+	if in == nil {
+		return false
+	}
+	if in.Parent == id && h == t.procs[id].Top {
+		return true
+	}
+	gi := t.instance(in.Parent, h+1)
+	return gi == nil || !gi.hasChild(id)
+}

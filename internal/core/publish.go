@@ -1,0 +1,286 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"drtree/internal/geom"
+)
+
+// Delivery reports the outcome of disseminating one event (paper §2.3 and
+// the worked example of §3): which subscribers received it, how many
+// inter-process messages it took, and the routing accuracy.
+type Delivery struct {
+	// Received lists every process that physically received the event
+	// (via any of its instances), ascending.
+	Received []ProcID
+	// TruePositives are receivers whose filter matches the event.
+	TruePositives []ProcID
+	// FalsePositives are receivers whose filter does not match.
+	FalsePositives []ProcID
+	// Messages is the number of inter-process messages used. Traffic
+	// between two instances of the same process is free (it stays inside
+	// one peer).
+	Messages int
+	// InstanceVisits counts tree-node visits (instances entered),
+	// including same-process hops; the protocol-step metric.
+	InstanceVisits int
+}
+
+// Publish disseminates an event produced by process producer: the event
+// climbs from the producer's topmost instance to the root and, at every
+// step, descends into each sibling subtree whose MBR contains it
+// (paper §3, dissemination example).
+func (t *Tree) Publish(producer ProcID, ev geom.Point) (Delivery, error) {
+	p := t.procs[producer]
+	if p == nil {
+		return Delivery{}, fmt.Errorf("core: producer %d not in the tree", producer)
+	}
+	if d := t.dims(); len(ev) != d {
+		return Delivery{}, fmt.Errorf("core: event has %d dims, tree uses %d", len(ev), d)
+	}
+	var d Delivery
+	received := make(map[ProcID]bool)
+
+	// The producer trivially receives its own event.
+	t.receive(producer, ev, received)
+
+	// Descend into the producer's own subtree from its topmost instance.
+	t.descend(producer, p.Top, producer, ev, received, &d)
+
+	// Climb to the root; at each parent, fan out into sibling subtrees
+	// whose MBR contains the event.
+	cur, h := producer, p.Top
+	for !(cur == t.rootID && h == t.rootH) {
+		in := t.instance(cur, h)
+		if in == nil {
+			break
+		}
+		parent := in.Parent
+		if parent == NoProc || t.procs[parent] == nil {
+			break
+		}
+		if parent != cur {
+			d.Messages++
+		}
+		d.InstanceVisits++
+		t.receive(parent, ev, received)
+		t.noteSeen(parent, h+1, ev)
+		pin := t.instance(parent, h+1)
+		if pin == nil {
+			break
+		}
+		for _, c := range pin.Children {
+			if c == cur {
+				continue
+			}
+			if t.childMBR(c, h).ContainsPoint(ev) {
+				if c != parent {
+					d.Messages++
+				}
+				d.InstanceVisits++
+				t.receive(c, ev, received)
+				t.descend(c, h, parent, ev, received, &d)
+			}
+		}
+		cur, h = parent, h+1
+	}
+
+	d.Received = sortedIDs(received)
+	for _, id := range d.Received {
+		if t.procs[id].Filter.ContainsPoint(ev) {
+			d.TruePositives = append(d.TruePositives, id)
+		} else {
+			d.FalsePositives = append(d.FalsePositives, id)
+		}
+	}
+	return d, nil
+}
+
+// descend forwards the event down from instance (id, h) into every child
+// whose MBR contains it.
+func (t *Tree) descend(id ProcID, h int, from ProcID, ev geom.Point, received map[ProcID]bool, d *Delivery) {
+	if h == 0 {
+		return
+	}
+	in := t.instance(id, h)
+	if in == nil {
+		return
+	}
+	t.noteSeen(id, h, ev)
+	for _, c := range in.Children {
+		if !t.childMBR(c, h-1).ContainsPoint(ev) {
+			continue
+		}
+		if c != id {
+			d.Messages++
+		}
+		d.InstanceVisits++
+		t.receive(c, ev, received)
+		t.descend(c, h-1, id, ev, received, d)
+	}
+}
+
+// receive records the physical delivery of ev to process id (idempotent)
+// and updates the process's accuracy counters.
+func (t *Tree) receive(id ProcID, ev geom.Point, received map[ProcID]bool) {
+	if received[id] {
+		return
+	}
+	received[id] = true
+	p := t.procs[id]
+	p.Delivered++
+	if !p.Filter.ContainsPoint(ev) {
+		p.FalsePos++
+	}
+}
+
+// noteSeen updates the per-instance statistics used by the dynamic
+// reorganization of §3.2: the instance's own would-be false positive and,
+// for each child, the false positives the child would have experienced in
+// the parent's place.
+func (t *Tree) noteSeen(id ProcID, h int, ev geom.Point) {
+	if !t.params.TrackReorgStats {
+		return
+	}
+	in := t.instance(id, h)
+	if in == nil || h == 0 {
+		return
+	}
+	in.seen++
+	if !t.procs[id].Filter.ContainsPoint(ev) {
+		in.selfFP++
+	}
+	for _, c := range in.Children {
+		if c == id {
+			continue
+		}
+		cp := t.procs[c]
+		if cp != nil && !cp.Filter.ContainsPoint(ev) {
+			in.childFP[c]++
+		}
+	}
+}
+
+// ReorgStats summarizes a CheckReorg sweep.
+type ReorgStats struct {
+	Exchanges int
+}
+
+// CheckReorg performs the paper's false-positive-driven reorganization:
+// each interior instance compares its own false-positive count with the
+// count each child would have had in its place; when a child would do
+// strictly better, parent and child exchange positions. Counters reset
+// after each exchange. Requires Params.TrackReorgStats.
+func (t *Tree) CheckReorg() ReorgStats {
+	var st ReorgStats
+	if !t.params.TrackReorgStats {
+		return st
+	}
+	for _, id := range t.ProcIDs() {
+		p := t.procs[id]
+		if p == nil {
+			continue
+		}
+		for h := 1; h <= p.Top; h++ {
+			in := p.Inst[h]
+			if in == nil || in.seen == 0 {
+				continue
+			}
+			best := NoProc
+			bestFP := in.selfFP
+			for _, c := range in.Children {
+				if c == id {
+					continue
+				}
+				if fp, ok := in.childFP[c]; ok && fp < bestFP {
+					best, bestFP = c, fp
+				}
+			}
+			if best != NoProc {
+				t.resetReorgCounters(id)
+				t.resetReorgCounters(best)
+				t.exchangeRoles(id, best, h)
+				st.Exchanges++
+				break
+			}
+		}
+	}
+	return st
+}
+
+func (t *Tree) resetReorgCounters(id ProcID) {
+	p := t.procs[id]
+	if p == nil {
+		return
+	}
+	for _, in := range p.Inst {
+		in.seen, in.selfFP = 0, 0
+		if in.childFP != nil {
+			in.childFP = make(map[ProcID]int)
+		}
+	}
+}
+
+// ResetDeliveryStats clears the per-process delivery counters.
+func (t *Tree) ResetDeliveryStats() {
+	for _, p := range t.procs {
+		p.Delivered, p.FalsePos = 0, 0
+	}
+}
+
+// AccuracyReport aggregates delivery accuracy over a published workload
+// for experiment E6.
+type AccuracyReport struct {
+	Events         int
+	Deliveries     int
+	TruePositives  int
+	FalsePositives int
+	FalseNegatives int
+	Messages       int
+}
+
+// FPRate returns false positives per delivery (0 if none).
+func (r AccuracyReport) FPRate() float64 {
+	if r.Deliveries == 0 {
+		return 0
+	}
+	return float64(r.FalsePositives) / float64(r.Deliveries)
+}
+
+// PublishAll publishes every event from the given producer and verifies
+// delivery against the ground truth (every matching subscriber must
+// receive every event — no false negatives, §2.3).
+func (t *Tree) PublishAll(producer ProcID, events []geom.Point) (AccuracyReport, error) {
+	var rep AccuracyReport
+	for _, ev := range events {
+		d, err := t.Publish(producer, ev)
+		if err != nil {
+			return rep, err
+		}
+		rep.Events++
+		rep.Deliveries += len(d.Received)
+		rep.TruePositives += len(d.TruePositives)
+		rep.FalsePositives += len(d.FalsePositives)
+		rep.Messages += d.Messages
+		got := make(map[ProcID]bool, len(d.Received))
+		for _, id := range d.Received {
+			got[id] = true
+		}
+		for _, id := range t.ProcIDs() {
+			if t.procs[id].Filter.ContainsPoint(ev) && !got[id] {
+				rep.FalseNegatives++
+			}
+		}
+	}
+	return rep, nil
+}
+
+func sortedIDs(set map[ProcID]bool) []ProcID {
+	out := make([]ProcID, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

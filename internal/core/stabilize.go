@@ -1,0 +1,498 @@
+package core
+
+import (
+	"math"
+
+	"drtree/internal/geom"
+)
+
+// StabStats reports the work done by a stabilization run (Lemmas
+// 3.3-3.6).
+type StabStats struct {
+	// Passes is the number of full check rounds executed (one round runs
+	// every CHECK_* module once over the whole overlay).
+	Passes int
+	// Fixes counts individual repairs (discarded children, recomputed
+	// MBRs, exchanges, compactions, ...).
+	Fixes int
+	// Rejoins counts subtree re-insertions triggered by CHECK_PARENT or
+	// compaction fallback.
+	Rejoins int
+	// Converged is false only if the pass limit was hit before reaching a
+	// fixpoint (which would indicate a bug, not expected behaviour).
+	Converged bool
+}
+
+// Stabilize runs the paper's five periodic verification modules —
+// CHECK_CHILDREN, CHECK_PARENT, CHECK_MBR, CHECK_COVER, CHECK_STRUCTURE
+// (Figures 10-14) — repeatedly until the configuration stops changing.
+// Starting from an arbitrary (corrupted) configuration it restores a
+// legitimate one (Lemma 3.6).
+func (t *Tree) Stabilize() StabStats {
+	st := StabStats{Converged: true}
+	if len(t.procs) == 0 {
+		t.rootID, t.rootH = NoProc, 0
+		t.pendingFragments = nil
+		return st
+	}
+	maxPasses := 4*len(t.procs) + 16
+	for {
+		changed := false
+		changed = t.ensureRoot(&st) || changed
+		changed = t.checkChildrenAll(&st) || changed
+		changed = t.checkParentsAll(&st) || changed
+		changed = t.checkMBRsAll(&st) || changed
+		changed = t.checkCoverAll(&st) || changed
+		changed = t.checkStructureAll(&st) || changed
+		if n := t.drainFragments(); n > 0 {
+			st.Rejoins += n
+			changed = true
+		}
+		st.Passes++
+		if !changed {
+			return st
+		}
+		if st.Passes >= maxPasses {
+			st.Converged = false
+			return st
+		}
+	}
+}
+
+// ensureRoot repairs a dead or dangling root reference by promoting the
+// tallest live fragment.
+func (t *Tree) ensureRoot(st *StabStats) bool {
+	rp := t.procs[t.rootID]
+	if rp != nil && rp.Inst[t.rootH] != nil {
+		if t.rootH != rp.Top && rp.Inst[rp.Top] != nil {
+			// The root process grew or shrank; track its topmost instance.
+			t.rootH = rp.Top
+			rp.Inst[rp.Top].Parent = rp.ID
+			st.Fixes++
+			return true
+		}
+		return false
+	}
+	// Root gone: every process whose topmost instance has no valid parent
+	// is a fragment; promote the tallest.
+	t.pendingFragments = t.pendingFragments[:0]
+	for _, id := range t.ProcIDs() {
+		p := t.procs[id]
+		top := t.contiguousTop(p)
+		in := p.Inst[top]
+		g := t.instance(in.Parent, top+1)
+		if in.Parent == id || g == nil || !g.hasChild(id) {
+			t.pendingFragments = append(t.pendingFragments, fragment{id: id, h: top})
+		}
+	}
+	t.electRootFromFragments()
+	st.Fixes++
+	return true
+}
+
+// contiguousTop returns the largest h such that p owns instances at every
+// height 0..h (instances above a gap are corrupt and ignored).
+func (t *Tree) contiguousTop(p *Process) int {
+	h := 0
+	for p.Inst[h+1] != nil {
+		h++
+	}
+	return h
+}
+
+// checkChildrenAll runs CHECK_CHILDREN (Figure 12) on every instance:
+// children that are dead, have no instance at the child level, or whose
+// parent variable names another process are discarded; the underloaded
+// flag is refreshed; instances that lost their own child (corruption) or
+// all children are dissolved.
+func (t *Tree) checkChildrenAll(st *StabStats) bool {
+	changed := false
+	for _, id := range t.ProcIDs() {
+		p := t.procs[id]
+		if p == nil {
+			continue
+		}
+		// Dissolve instances above a gap in the chain first. Scan the
+		// actual map keys: Top itself may have been corrupted.
+		top := t.contiguousTop(p)
+		for h := range p.Inst {
+			if h > top {
+				t.dissolveInstance(p, h)
+				st.Fixes++
+				changed = true
+			}
+		}
+		p.Top = top
+		for h := p.Top; h >= 1; h-- {
+			in := p.Inst[h]
+			if in == nil {
+				continue
+			}
+			kept := in.Children[:0]
+			seen := make(map[ProcID]bool, len(in.Children))
+			for _, c := range in.Children {
+				ci := t.instance(c, h-1)
+				switch {
+				case seen[c]:
+					// Duplicate reference left by a corruption.
+					st.Fixes++
+					changed = true
+				case t.procs[c] == nil, ci == nil:
+					st.Fixes++
+					changed = true
+				case ci.Parent != id:
+					// "If a node discovers that one of its children has
+					// another parent, then it simply discards the child."
+					st.Fixes++
+					changed = true
+				default:
+					seen[c] = true
+					kept = append(kept, c)
+				}
+			}
+			in.Children = kept
+			if !in.hasChild(id) || len(in.Children) == 0 {
+				// The own-child invariant is broken (or the node is
+				// empty): the instance cannot stand; dissolve it and let
+				// the orphans rejoin.
+				t.dissolveInstance(p, h)
+				st.Fixes++
+				changed = true
+				continue
+			}
+			was := in.Underloaded
+			t.refreshUnderloaded(id, h)
+			if was != in.Underloaded {
+				st.Fixes++
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// dissolveInstance removes p's instance at height h, marking its children
+// (and p's own lower chain) as fragments to be re-attached. If the root
+// instance dissolves, the root reference moves down to p's remaining top.
+func (t *Tree) dissolveInstance(p *Process, h int) {
+	in := p.Inst[h]
+	if in == nil {
+		return
+	}
+	delete(p.Inst, h)
+	if p.Top >= h {
+		p.Top = h - 1
+	}
+	// Detach the dissolved node from its parent's children list so no
+	// stale reference survives.
+	if in.Parent != p.ID {
+		if gi := t.instance(in.Parent, h+1); gi != nil {
+			gi.removeChild(p.ID)
+			t.refreshUnderloaded(in.Parent, h+1)
+		}
+	}
+	for _, c := range in.Children {
+		if c == p.ID {
+			continue
+		}
+		if ci := t.instance(c, h-1); ci != nil && ci.Parent == p.ID {
+			ci.Parent = c
+			t.pendingFragments = append(t.pendingFragments, fragment{id: c, h: h - 1})
+		}
+	}
+	if own := p.Inst[h-1]; own != nil && h-1 >= 0 {
+		own.Parent = p.ID
+		if t.rootID == p.ID && t.rootH == h {
+			t.rootH = h - 1
+		} else if t.rootID != p.ID {
+			t.pendingFragments = append(t.pendingFragments, fragment{id: p.ID, h: h - 1})
+		}
+	}
+}
+
+// checkParentsAll runs CHECK_PARENT (Figure 11): an instance whose parent
+// does not list it as a child re-initiates a join for its whole subtree.
+func (t *Tree) checkParentsAll(st *StabStats) bool {
+	changed := false
+	for _, id := range t.ProcIDs() {
+		p := t.procs[id]
+		if p == nil {
+			continue
+		}
+		for h := p.Top; h >= 0; h-- {
+			in := p.Inst[h]
+			if in == nil {
+				continue
+			}
+			if h < p.Top {
+				// Interior of the own chain: the parent must be p itself.
+				if in.Parent != id {
+					in.Parent = id
+					st.Fixes++
+					changed = true
+				}
+				continue
+			}
+			// Topmost instance.
+			if id == t.rootID && h == t.rootH {
+				if in.Parent != id {
+					in.Parent = id
+					st.Fixes++
+					changed = true
+				}
+				continue
+			}
+			g := t.instance(in.Parent, h+1)
+			if in.Parent == id || g == nil || !g.hasChild(id) {
+				in.Parent = id
+				t.pendingFragments = append(t.pendingFragments, fragment{id: id, h: h})
+				st.Fixes++
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// checkMBRsAll runs CHECK_MBR (Figure 10) bottom-up over all instances.
+func (t *Tree) checkMBRsAll(st *StabStats) bool {
+	changed := false
+	for h := 0; h <= t.rootH; h++ {
+		for _, id := range t.ProcIDs() {
+			p := t.procs[id]
+			if p == nil || p.Inst[h] == nil {
+				continue
+			}
+			old := p.Inst[h].MBR
+			t.computeMBR(id, h)
+			if !old.Equal(p.Inst[h].MBR) {
+				st.Fixes++
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// checkCoverAll runs CHECK_COVER (Figure 13): whenever a child covers
+// better than its parent (larger MBR area), the two processes exchange
+// roles.
+func (t *Tree) checkCoverAll(st *StabStats) bool {
+	if t.params.DisableCoverRule {
+		return false
+	}
+	changed := false
+	for _, id := range t.ProcIDs() {
+		p := t.procs[id]
+		if p == nil {
+			continue
+		}
+		for h := 1; h <= p.Top; h++ {
+			in := p.Inst[h]
+			if in == nil {
+				continue
+			}
+			own := t.childMBR(id, h-1)
+			best := NoProc
+			bestArea := own.Area()
+			for _, c := range in.Children {
+				if c == id {
+					continue
+				}
+				if a := t.childMBR(c, h-1).Area(); a > bestArea {
+					best, bestArea = c, a
+				}
+			}
+			if best != NoProc {
+				t.exchangeRoles(id, best, h)
+				st.Fixes++
+				changed = true
+				break // p's instances moved; re-examine on the next pass
+			}
+		}
+	}
+	return changed
+}
+
+// checkStructureAll runs CHECK_STRUCTURE (Figure 14): compaction of
+// underloaded children, with join-based re-insertion as fallback, plus
+// root collapse when the root loses all but one child.
+func (t *Tree) checkStructureAll(st *StabStats) bool {
+	changed := false
+	for _, id := range t.ProcIDs() {
+		p := t.procs[id]
+		if p == nil {
+			continue
+		}
+		for h := 2; h <= p.Top; h++ {
+			if t.compactUnder(id, h, st) {
+				changed = true
+			}
+		}
+		// Overflow repair: a transient fault (or an aborted split during a
+		// corrupted phase) can leave a node with more than M children;
+		// split it like an overflowing ADD_CHILD would.
+		for h := 1; h <= p.Top; h++ {
+			in := p.Inst[h]
+			if in != nil && len(in.Children) > t.params.MaxFanout {
+				t.splitInstance(id, h)
+				st.Fixes++
+				changed = true
+				break // p's instances may have moved; rescan next pass
+			}
+		}
+	}
+	if t.collapseRoot(st) {
+		changed = true
+	}
+	return changed
+}
+
+// compactUnder looks for underloaded children of (id, h) and compacts
+// them with the sibling needing the least MBR growth; when no sibling can
+// absorb the merge, the underloaded node is dissolved and its children
+// rejoin (INITIATE_NEW_CONNECTION).
+func (t *Tree) compactUnder(id ProcID, h int, st *StabStats) bool {
+	p := t.procs[id]
+	in := p.Inst[h]
+	if in == nil {
+		return false
+	}
+	changed := false
+	for {
+		var uid ProcID
+		for _, c := range in.Children {
+			ci := t.instance(c, h-1)
+			if ci != nil && ci.Underloaded && len(ci.Children) > 0 {
+				uid = c
+				break
+			}
+		}
+		if uid == NoProc {
+			return changed
+		}
+		u := t.instance(uid, h-1)
+		// Search_Compaction_Candidate: sibling with the smallest MBR
+		// growth whose merged children set fits within M.
+		cand := NoProc
+		candCost := math.Inf(1)
+		for _, s := range in.Children {
+			if s == uid {
+				continue
+			}
+			si := t.instance(s, h-1)
+			if si == nil || len(si.Children)+len(u.Children) > t.params.MaxFanout {
+				continue
+			}
+			cost := si.MBR.Union(u.MBR).Area() - si.MBR.Area()
+			if cost < candCost || (cost == candCost && s < cand) {
+				cand, candCost = s, cost
+			}
+		}
+		if cand == NoProc {
+			// Fallback: dissolve the underloaded node; its children
+			// execute the join process again (INITIATE_NEW_CONNECTION).
+			// If the underloaded node is the parent's own child, the
+			// parent's node cannot survive either: dissolve the parent
+			// instance instead and let the whole neighborhood rejoin.
+			if uid == id {
+				t.dissolveInstance(p, h)
+				st.Rejoins++
+				st.Fixes++
+				return true
+			}
+			t.dissolveInstance(t.procs[uid], h-1)
+			in.removeChild(uid)
+			t.refreshUnderloaded(id, h)
+			st.Rejoins++
+			st.Fixes++
+			changed = true
+			continue
+		}
+		t.compactPair(id, h, cand, uid)
+		st.Fixes++
+		changed = true
+	}
+}
+
+// compactPair merges the children of underloaded uid into sibling cand
+// (or vice versa — Elect_Leader keeps the better cover as the surviving
+// parent), removing the loser's instance.
+func (t *Tree) compactPair(gid ProcID, h int, cand, uid ProcID) {
+	ci := t.instance(cand, h-1)
+	ui := t.instance(uid, h-1)
+	leaderID, loserID := cand, uid
+	li, lo := ci, ui
+	switch {
+	case cand == gid:
+		// The parent's own child must survive a merge, or the parent's
+		// node would lose its own-child invariant.
+	case uid == gid:
+		leaderID, loserID = uid, cand
+		li, lo = ui, ci
+	default:
+		ids := []ProcID{cand, uid}
+		mbrs := []geom.Rect{ci.MBR, ui.MBR}
+		if ids[t.params.Election.ChooseLeader(ids, mbrs)] == uid {
+			leaderID, loserID = uid, cand
+			li, lo = ui, ci
+		}
+	}
+	// Merge_Children: the leader adopts the loser's children.
+	for _, c := range lo.Children {
+		if c == loserID {
+			// The loser's own chain child joins the leader's set too.
+			if cc := t.instance(c, h-2); cc != nil {
+				cc.Parent = leaderID
+			}
+			li.Children = append(li.Children, c)
+			continue
+		}
+		if cc := t.instance(c, h-2); cc != nil {
+			cc.Parent = leaderID
+		}
+		li.Children = append(li.Children, c)
+	}
+	// Remove the loser's instance; the loser stays in the tree at h-2 as
+	// an ordinary child of the leader.
+	loser := t.procs[loserID]
+	delete(loser.Inst, h-1)
+	if loser.Top >= h-1 {
+		loser.Top = h - 2
+	}
+	g := t.instance(gid, h)
+	g.removeChild(loserID)
+	t.computeMBR(leaderID, h-1)
+	t.refreshUnderloaded(leaderID, h-1)
+	t.computeMBR(gid, h)
+	t.refreshUnderloaded(gid, h)
+}
+
+// collapseRoot removes degenerate roots: an interior root instance with a
+// single child hands the root role to that child.
+func (t *Tree) collapseRoot(st *StabStats) bool {
+	changed := false
+	for t.rootH >= 1 {
+		rp := t.procs[t.rootID]
+		if rp == nil {
+			return changed
+		}
+		in := rp.Inst[t.rootH]
+		if in == nil || len(in.Children) != 1 {
+			return changed
+		}
+		c := in.Children[0]
+		delete(rp.Inst, t.rootH)
+		if rp.Top >= t.rootH {
+			rp.Top = t.rootH - 1
+		}
+		t.rootID = c
+		t.rootH--
+		if ci := t.instance(c, t.rootH); ci != nil {
+			ci.Parent = c
+		}
+		st.Fixes++
+		changed = true
+	}
+	return changed
+}

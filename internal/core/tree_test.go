@@ -1,0 +1,597 @@
+package core
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"drtree/internal/geom"
+	"drtree/internal/split"
+)
+
+// fig1Rects is the canonical Figure 1 subscription set (see DESIGN.md):
+// S4 ⊂ S2, S4 ⊂ S3 with S2, S3 incomparable; S7, S8 ⊂ S3; S6 ⊂ S5.
+// IDs 1..8 map to S1..S8.
+func fig1Rects() map[ProcID]geom.Rect {
+	return map[ProcID]geom.Rect{
+		1: geom.R2(5, 5, 28, 45),
+		2: geom.R2(10, 50, 45, 90),
+		3: geom.R2(30, 5, 95, 75),
+		4: geom.R2(32, 52, 43, 73),
+		5: geom.R2(55, 55, 90, 95),
+		6: geom.R2(60, 60, 75, 85),
+		7: geom.R2(60, 10, 85, 40),
+		8: geom.R2(40, 15, 70, 35),
+	}
+}
+
+func defaultParams() Params {
+	return Params{MinFanout: 2, MaxFanout: 4}
+}
+
+func buildFig1(t *testing.T, p Params) *Tree {
+	t.Helper()
+	tr := MustNew(p)
+	rects := fig1Rects()
+	for id := ProcID(1); id <= 8; id++ {
+		if _, err := tr.Join(id, rects[id]); err != nil {
+			t.Fatalf("join %d: %v", id, err)
+		}
+		if err := tr.CheckLegal(); err != nil {
+			t.Fatalf("after join %d: %v", id, err)
+		}
+	}
+	return tr
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Params{MinFanout: 0, MaxFanout: 4}); err == nil {
+		t.Error("m=0 must be rejected")
+	}
+	if _, err := New(Params{MinFanout: 3, MaxFanout: 5}); err == nil {
+		t.Error("M < 2m must be rejected")
+	}
+	tr, err := New(defaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Params().Split == nil || tr.Params().Election == nil {
+		t.Error("defaults must be filled in")
+	}
+	if tr.Params().Split.Name() != "quadratic" || tr.Params().Election.Name() != "largest-mbr" {
+		t.Errorf("unexpected defaults: %s / %s", tr.Params().Split.Name(), tr.Params().Election.Name())
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := MustNew(defaultParams())
+	if tr.Len() != 0 || tr.Height() != 0 {
+		t.Fatalf("Len=%d Height=%d", tr.Len(), tr.Height())
+	}
+	if id, h := tr.Root(); id != NoProc || h != -1 {
+		t.Fatalf("Root = (%d,%d)", id, h)
+	}
+	if err := tr.CheckLegal(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Leave(1); err == nil {
+		t.Error("leaving an absent process must error")
+	}
+	if _, err := tr.Publish(1, geom.Point{0, 0}); err == nil {
+		t.Error("publishing from an absent process must error")
+	}
+	st := tr.Stabilize()
+	if !st.Converged {
+		t.Error("stabilizing the empty tree must converge")
+	}
+}
+
+func TestJoinValidation(t *testing.T) {
+	tr := MustNew(defaultParams())
+	if _, err := tr.Join(0, geom.R2(0, 0, 1, 1)); err == nil {
+		t.Error("id 0 must be rejected")
+	}
+	if _, err := tr.Join(-3, geom.R2(0, 0, 1, 1)); err == nil {
+		t.Error("negative id must be rejected")
+	}
+	if _, err := tr.Join(1, geom.Rect{}); err == nil {
+		t.Error("empty filter must be rejected")
+	}
+	if _, err := tr.Join(1, geom.R2(0, 0, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Join(1, geom.R2(2, 2, 3, 3)); err == nil {
+		t.Error("duplicate id must be rejected")
+	}
+	if _, err := tr.Join(2, geom.MustRect([]float64{0}, []float64{1})); err == nil {
+		t.Error("dimension mismatch must be rejected")
+	}
+}
+
+func TestSingleAndPair(t *testing.T) {
+	tr := MustNew(defaultParams())
+	if _, err := tr.Join(1, geom.R2(0, 0, 10, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if id, h := tr.Root(); id != 1 || h != 0 {
+		t.Fatalf("single-proc root = (%d,%d)", id, h)
+	}
+	if err := tr.CheckLegal(); err != nil {
+		t.Fatal(err)
+	}
+	// Second join: the larger filter must be elected root (Figure 6).
+	if _, err := tr.Join(2, geom.R2(0, 0, 50, 50)); err != nil {
+		t.Fatal(err)
+	}
+	if id, h := tr.Root(); id != 2 || h != 1 {
+		t.Fatalf("root after pair = (%d,%d), want (2,1): largest MBR is elected", id, h)
+	}
+	if err := tr.CheckLegal(); err != nil {
+		t.Fatal(err)
+	}
+	// The root is its own child.
+	rin := tr.instance(2, 1)
+	if !rin.hasChild(2) || !rin.hasChild(1) {
+		t.Fatalf("root children = %v", rin.Children)
+	}
+}
+
+func TestFigure1Construction(t *testing.T) {
+	tr := buildFig1(t, defaultParams())
+	if tr.Len() != 8 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if tr.Height() < 2 {
+		t.Fatalf("height = %d, want >= 2 for 8 procs with M=4", tr.Height())
+	}
+	// S3 has the largest filter; with largest-MBR election it should own
+	// the root (its MBR can only grow).
+	rootID, _ := tr.Root()
+	if rootID != 3 {
+		t.Logf("tree:\n%s", tr.Describe(nil))
+		t.Fatalf("root = %d, want 3 (largest cover)", rootID)
+	}
+	// Weak containment awareness must hold on this workload.
+	if v := tr.CheckWeakContainment(); v != 0 {
+		t.Fatalf("weak containment violations: %d\n%s", v, tr.Describe(nil))
+	}
+}
+
+func TestJoinStatsLogarithmic(t *testing.T) {
+	tr := MustNew(Params{MinFanout: 2, MaxFanout: 4})
+	rng := rand.New(rand.NewPCG(42, 1))
+	var maxHops int
+	for i := 1; i <= 300; i++ {
+		x, y := rng.Float64()*1000, rng.Float64()*1000
+		st, err := tr.Join(ProcID(i), geom.R2(x, y, x+5+rng.Float64()*20, y+5+rng.Float64()*20))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.DownHops > maxHops {
+			maxHops = st.DownHops
+		}
+	}
+	if err := tr.CheckLegal(); err != nil {
+		t.Fatal(err)
+	}
+	// Join routing is bounded by the height, which is O(log_m N).
+	bound := int(math.Ceil(math.Log(300)/math.Log(2))) + 2
+	if maxHops > bound {
+		t.Fatalf("max down-hops %d exceeds log bound %d", maxHops, bound)
+	}
+}
+
+func TestJoinFrom(t *testing.T) {
+	tr := buildFig1(t, defaultParams())
+	st, err := tr.JoinFrom(4, 9, geom.R2(1, 1, 3, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.UpHops < 1 {
+		t.Fatalf("joining from a leaf must climb: UpHops = %d", st.UpHops)
+	}
+	if err := tr.CheckLegal(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.JoinFrom(99, 10, geom.R2(0, 0, 1, 1)); err == nil {
+		t.Error("unknown contact must error")
+	}
+}
+
+func TestAddSubscriberAutoIDs(t *testing.T) {
+	tr := MustNew(defaultParams())
+	seen := map[ProcID]bool{}
+	for i := 0; i < 10; i++ {
+		id, _, err := tr.AddSubscriber(geom.R2(float64(i), 0, float64(i)+1, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate auto id %d", id)
+		}
+		seen[id] = true
+	}
+	if err := tr.CheckLegal(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeightBoundLemma31(t *testing.T) {
+	// Lemma 3.1: height O(log_m N); memory O(M log^2 N / log m).
+	for _, n := range []int{64, 256, 512} {
+		tr := MustNew(Params{MinFanout: 3, MaxFanout: 6})
+		rng := rand.New(rand.NewPCG(uint64(n), 3))
+		for i := 1; i <= n; i++ {
+			x, y := rng.Float64()*1000, rng.Float64()*1000
+			if _, err := tr.Join(ProcID(i), geom.R2(x, y, x+10, y+10)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := tr.CheckLegal(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		st := tr.ComputeStats()
+		if float64(st.Height) > st.HeightLog+3 {
+			t.Errorf("n=%d: height %d exceeds log_m(N)+3 = %.1f", n, st.Height, st.HeightLog+3)
+		}
+		if float64(st.MaxLinks) > 4*st.MemoryBound {
+			t.Errorf("n=%d: max links %d far exceeds memory bound %.1f", n, st.MaxLinks, st.MemoryBound)
+		}
+	}
+}
+
+func TestControlledLeave(t *testing.T) {
+	tr := buildFig1(t, defaultParams())
+	for _, id := range []ProcID{4, 7, 1, 5} {
+		st, err := tr.Leave(id)
+		if err != nil {
+			t.Fatalf("leave %d: %v", id, err)
+		}
+		if err := tr.CheckLegal(); err != nil {
+			t.Fatalf("after leave %d (stats %+v): %v\n%s", id, st, err, tr.Describe(nil))
+		}
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+func TestLeaveRoot(t *testing.T) {
+	tr := buildFig1(t, defaultParams())
+	rootID, _ := tr.Root()
+	if _, err := tr.Leave(rootID); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 7 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if err := tr.CheckLegal(); err != nil {
+		t.Fatalf("after root leave: %v\n%s", err, tr.Describe(nil))
+	}
+	newRoot, _ := tr.Root()
+	if newRoot == rootID {
+		t.Fatal("root did not change")
+	}
+}
+
+func TestLeaveDownToEmpty(t *testing.T) {
+	tr := buildFig1(t, defaultParams())
+	for _, id := range tr.ProcIDs() {
+		if _, err := tr.Leave(id); err != nil {
+			t.Fatalf("leave %d: %v", id, err)
+		}
+		if err := tr.CheckLegal(); err != nil {
+			t.Fatalf("after leave %d: %v\n%s", id, err, tr.Describe(nil))
+		}
+	}
+	if tr.Len() != 0 || tr.Height() != 0 {
+		t.Fatalf("Len=%d Height=%d after full drain", tr.Len(), tr.Height())
+	}
+}
+
+func TestCrashAndRepair(t *testing.T) {
+	tr := buildFig1(t, defaultParams())
+	if err := tr.Crash(3); err != nil { // crash the root process
+		t.Fatal(err)
+	}
+	if err := tr.Crash(5); err != nil {
+		t.Fatal(err)
+	}
+	st := tr.RepairCrash()
+	if st.StabilizeSteps == 0 {
+		t.Fatal("repair after crashes must take at least one pass")
+	}
+	if err := tr.CheckLegal(); err != nil {
+		t.Fatalf("after crash repair: %v\n%s", err, tr.Describe(nil))
+	}
+	if tr.Len() != 6 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if err := tr.Crash(99); err == nil {
+		t.Error("crashing an absent process must error")
+	}
+}
+
+func TestStabilizeAfterEachCorruption(t *testing.T) {
+	type inject func(tr *Tree) error
+	cases := []struct {
+		name string
+		f    inject
+	}{
+		{"parent", func(tr *Tree) error { return tr.CorruptParent(4, 0, 7) }},
+		{"parent-self", func(tr *Tree) error { return tr.CorruptParent(1, 0, 1) }},
+		{"children-drop", func(tr *Tree) error {
+			rootID, rootH := tr.Root()
+			in := tr.instance(rootID, rootH)
+			return tr.CorruptChildren(rootID, rootH, in.Children[:1])
+		}},
+		{"children-foreign", func(tr *Tree) error {
+			rootID, rootH := tr.Root()
+			in := tr.instance(rootID, rootH)
+			return tr.CorruptChildren(rootID, rootH, append(append([]ProcID{}, in.Children...), 4))
+		}},
+		{"mbr", func(tr *Tree) error { return tr.CorruptMBR(3, 1, geom.R2(0, 0, 1, 1)) }},
+		{"underloaded", func(tr *Tree) error {
+			rootID, rootH := tr.Root()
+			return tr.CorruptUnderloaded(rootID, rootH)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tr := buildFig1(t, defaultParams())
+			if err := tc.f(tr); err != nil {
+				t.Fatalf("inject: %v", err)
+			}
+			st := tr.Stabilize()
+			if !st.Converged {
+				t.Fatal("stabilization did not converge")
+			}
+			if err := tr.CheckLegal(); err != nil {
+				t.Fatalf("after stabilize: %v\n%s", err, tr.Describe(nil))
+			}
+		})
+	}
+}
+
+func TestCorruptionHelpersValidate(t *testing.T) {
+	tr := buildFig1(t, defaultParams())
+	if err := tr.CorruptParent(99, 0, 1); err == nil {
+		t.Error("corrupting absent instance must error")
+	}
+	if err := tr.CorruptChildren(1, 5, nil); err == nil {
+		t.Error("corrupting absent height must error")
+	}
+	if err := tr.CorruptMBR(99, 0, geom.R2(0, 0, 1, 1)); err == nil {
+		t.Error("corrupting absent instance must error")
+	}
+	if err := tr.CorruptUnderloaded(99, 0); err == nil {
+		t.Error("corrupting absent instance must error")
+	}
+}
+
+func TestPropertyStabilizeFromRandomCorruption(t *testing.T) {
+	// Lemma 3.6: starting from an arbitrary configuration, the system
+	// reaches a legitimate configuration in a finite number of steps.
+	prop := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 51))
+		tr := MustNew(Params{MinFanout: 2, MaxFanout: 5})
+		n := 10 + rng.IntN(40)
+		for i := 1; i <= n; i++ {
+			x, y := rng.Float64()*500, rng.Float64()*500
+			if _, err := tr.Join(ProcID(i), geom.R2(x, y, x+rng.Float64()*40, y+rng.Float64()*40)); err != nil {
+				return false
+			}
+		}
+		tr.CorruptRandom(rng, 1+rng.IntN(8))
+		st := tr.Stabilize()
+		if !st.Converged {
+			return false
+		}
+		return tr.CheckLegal() == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyLegalUnderChurn(t *testing.T) {
+	// Joins and controlled leaves in any interleaving keep the structure
+	// legal (Lemmas 3.2 and 3.4).
+	prop := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 52))
+		tr := MustNew(Params{MinFanout: 2, MaxFanout: 4})
+		var live []ProcID
+		next := ProcID(1)
+		for op := 0; op < 120; op++ {
+			if len(live) == 0 || rng.Float64() < 0.6 {
+				x, y := rng.Float64()*300, rng.Float64()*300
+				if _, err := tr.Join(next, geom.R2(x, y, x+rng.Float64()*30, y+rng.Float64()*30)); err != nil {
+					return false
+				}
+				live = append(live, next)
+				next++
+			} else {
+				k := rng.IntN(len(live))
+				if _, err := tr.Leave(live[k]); err != nil {
+					return false
+				}
+				live = append(live[:k], live[k+1:]...)
+			}
+			if tr.CheckLegal() != nil {
+				return false
+			}
+		}
+		return tr.Len() == len(live)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyCrashRepair(t *testing.T) {
+	// Lemma 3.5: uncontrolled departures are repaired by stabilization.
+	prop := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 53))
+		tr := MustNew(Params{MinFanout: 2, MaxFanout: 4})
+		n := 12 + rng.IntN(30)
+		for i := 1; i <= n; i++ {
+			x, y := rng.Float64()*400, rng.Float64()*400
+			if _, err := tr.Join(ProcID(i), geom.R2(x, y, x+rng.Float64()*30, y+rng.Float64()*30)); err != nil {
+				return false
+			}
+		}
+		// Crash up to a third of the population, then repair once.
+		kills := 1 + rng.IntN(n/3)
+		ids := tr.ProcIDs()
+		rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+		for _, id := range ids[:kills] {
+			if err := tr.Crash(id); err != nil {
+				return false
+			}
+		}
+		tr.RepairCrash()
+		return tr.CheckLegal() == nil && tr.Len() == n-kills
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoverExchangePromotesBigChild(t *testing.T) {
+	// A child whose MBR grows past its parent's must be promoted by
+	// CHECK_COVER (Figure 13).
+	tr := MustNew(defaultParams())
+	mustJoin := func(id ProcID, r geom.Rect) {
+		t.Helper()
+		if _, err := tr.Join(id, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustJoin(1, geom.R2(0, 0, 30, 30))
+	mustJoin(2, geom.R2(1, 1, 6, 6))
+	mustJoin(3, geom.R2(2, 2, 7, 7))
+	// Force a corrupt demotion: make the small proc 2 the root by hand.
+	rootID, rootH := tr.Root()
+	if rootID != 1 {
+		t.Skipf("unexpected root %d", rootID)
+	}
+	// Swap roles via corruption: give 2 the root's children.
+	in := tr.instance(1, rootH)
+	if err := tr.CorruptChildren(1, rootH, in.Children[:1]); err != nil {
+		t.Fatal(err)
+	}
+	st := tr.Stabilize()
+	if !st.Converged {
+		t.Fatal("no convergence")
+	}
+	if err := tr.CheckLegal(); err != nil {
+		t.Fatalf("%v\n%s", err, tr.Describe(nil))
+	}
+}
+
+func TestElectionPolicies(t *testing.T) {
+	ids := []ProcID{5, 2, 9}
+	mbrs := []geom.Rect{geom.R2(0, 0, 1, 1), geom.R2(0, 0, 10, 10), geom.R2(0, 0, 2, 2)}
+	if got := (LargestMBR{}).ChooseLeader(ids, mbrs); got != 1 {
+		t.Errorf("LargestMBR chose %d, want 1", got)
+	}
+	// Tie on area: lowest ID wins.
+	tie := []geom.Rect{geom.R2(0, 0, 2, 2), geom.R2(5, 5, 7, 7)}
+	if got := (LargestMBR{}).ChooseLeader([]ProcID{7, 3}, tie); got != 1 {
+		t.Errorf("LargestMBR tie-break chose %d, want 1 (lower id)", got)
+	}
+	if got := (FirstChild{}).ChooseLeader(ids, mbrs); got != 1 {
+		t.Errorf("FirstChild chose %d, want 1 (id 2)", got)
+	}
+	r := RandomElection{Rand: rand.New(rand.NewPCG(1, 1))}
+	if got := r.ChooseLeader(ids, mbrs); got < 0 || got > 2 {
+		t.Errorf("RandomElection out of range: %d", got)
+	}
+	if got := (RandomElection{}).ChooseLeader(ids, mbrs); got != 0 {
+		t.Errorf("RandomElection without source must pick 0, got %d", got)
+	}
+	for _, e := range []Election{LargestMBR{}, FirstChild{}, RandomElection{}} {
+		if e.Name() == "" {
+			t.Error("election policy must have a name")
+		}
+	}
+}
+
+func TestBuildWithAllSplitPoliciesAndElections(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 9))
+	elections := []Election{LargestMBR{}, FirstChild{}, RandomElection{Rand: rng}}
+	for _, pol := range split.All() {
+		for _, el := range elections {
+			tr := MustNew(Params{MinFanout: 2, MaxFanout: 4, Split: pol, Election: el})
+			for i := 1; i <= 60; i++ {
+				x, y := rng.Float64()*200, rng.Float64()*200
+				if _, err := tr.Join(ProcID(i), geom.R2(x, y, x+10, y+10)); err != nil {
+					t.Fatalf("%s/%s join %d: %v", pol.Name(), el.Name(), i, err)
+				}
+			}
+			// Random/first elections may violate the cover ordering;
+			// stabilization must restore legality.
+			tr.Stabilize()
+			if err := tr.CheckLegal(); err != nil {
+				t.Fatalf("%s/%s: %v", pol.Name(), el.Name(), err)
+			}
+		}
+	}
+}
+
+func TestDotAndDescribe(t *testing.T) {
+	tr := buildFig1(t, defaultParams())
+	labels := map[ProcID]string{}
+	for id := ProcID(1); id <= 8; id++ {
+		labels[id] = "S" + string(rune('0'+id))
+	}
+	dot := tr.Dot(labels)
+	if len(dot) == 0 || dot[0:7] != "digraph" {
+		t.Fatalf("Dot output malformed: %.40q", dot)
+	}
+	comm := tr.CommunicationDot(labels)
+	if len(comm) == 0 || comm[0:5] != "graph" {
+		t.Fatalf("CommunicationDot malformed: %.40q", comm)
+	}
+	if !tr.IsConnected() {
+		t.Fatal("legal tree must be connected")
+	}
+	if tr.Describe(nil) == "" {
+		t.Fatal("Describe must render something")
+	}
+}
+
+func TestCommunicationEdgesSymmetricSorted(t *testing.T) {
+	tr := buildFig1(t, defaultParams())
+	edges := tr.CommunicationEdges()
+	if len(edges) == 0 {
+		t.Fatal("no communication edges")
+	}
+	for i, e := range edges {
+		if e[0] >= e[1] {
+			t.Fatalf("edge %v not normalized", e)
+		}
+		if i > 0 {
+			prev := edges[i-1]
+			if prev[0] > e[0] || (prev[0] == e[0] && prev[1] >= e[1]) {
+				t.Fatalf("edges not sorted at %d: %v after %v", i, e, prev)
+			}
+		}
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	tr := buildFig1(t, defaultParams())
+	st := tr.ComputeStats()
+	if st.Procs != 8 || st.Height != tr.Height() {
+		t.Fatalf("Stats = %+v", st)
+	}
+	if st.MaxLinks <= 0 || st.AvgLinks <= 0 || st.Nodes < 8 {
+		t.Fatalf("Stats = %+v", st)
+	}
+	empty := MustNew(defaultParams()).ComputeStats()
+	if empty.Procs != 0 || empty.Nodes != 0 {
+		t.Fatalf("empty Stats = %+v", empty)
+	}
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func checkResult(t *testing.T, r Result) {
+	t.Helper()
+	if r.Err != nil {
+		t.Fatalf("%s failed: %v\n%s", r.ID, r.Err, r.Table)
+	}
+	if r.Table == "" {
+		t.Fatalf("%s produced no table", r.ID)
+	}
+	if len(r.Metrics) == 0 {
+		t.Fatalf("%s produced no metrics", r.ID)
+	}
+	if !strings.Contains(r.String(), r.ID) {
+		t.Fatalf("%s String() missing ID", r.ID)
+	}
+	t.Logf("\n%s", r)
+}
+
+func TestE1WorkedExample(t *testing.T) {
+	r := RunE1()
+	checkResult(t, r)
+	if r.Metrics["a_messages"] != 2 || r.Metrics["a_falsepos"] != 0 {
+		t.Fatalf("event a metrics: %v", r.Metrics)
+	}
+}
+
+func TestE2HeightMemory(t *testing.T) {
+	r := RunE2(1, []int{60, 240})
+	checkResult(t, r)
+	if r.Metrics["height_n240"] < r.Metrics["height_n60"] {
+		t.Fatal("height must not decrease with N")
+	}
+}
+
+func TestE3JoinCost(t *testing.T) {
+	r := RunE3(1, []int{60, 480})
+	checkResult(t, r)
+	// Logarithmic shape: 8x the nodes must cost far less than 8x hops.
+	if r.Metrics["hops_n480"] > 4*r.Metrics["hops_n60"]+4 {
+		t.Fatalf("join hops not logarithmic: %v", r.Metrics)
+	}
+}
+
+func TestE4LeaveRecovery(t *testing.T) {
+	checkResult(t, RunE4(1, []int{60, 150}))
+}
+
+func TestE5Corruption(t *testing.T) {
+	r := RunE5(1, 40, 8)
+	checkResult(t, r)
+	if r.Metrics["mean_passes"] < 1 {
+		t.Fatal("stabilization must take at least one pass")
+	}
+}
+
+func TestE6FalsePositives(t *testing.T) {
+	r := RunE6(1, 80, 120)
+	checkResult(t, r)
+	// The paper claims FP rates around 2-3% for most workloads; allow a
+	// generous envelope (our workloads differ) but catch broadcast-like
+	// degradation.
+	for _, k := range []string{"fp_uniform", "fp_clustered", "fp_contained"} {
+		if r.Metrics[k] > 0.35 {
+			t.Fatalf("%s = %.3f: broadcast-like false positive rate\n%s", k, r.Metrics[k], r.Table)
+		}
+	}
+}
+
+func TestE7Churn(t *testing.T) {
+	r := RunE7(1, 20, []float64{4, 20, 40})
+	checkResult(t, r)
+	// Survival time must not increase with churn rate (below critical).
+	if r.Metrics["simT_l40"] > r.Metrics["simT_l4"] {
+		t.Fatalf("survival grew with churn: %v", r.Metrics)
+	}
+}
+
+func TestE8SplitAblation(t *testing.T) {
+	r := RunE8(1, 100, 150)
+	checkResult(t, r)
+	for _, k := range []string{"fp_linear", "fp_quadratic", "fp_rstar"} {
+		if _, ok := r.Metrics[k]; !ok {
+			t.Fatalf("missing metric %s", k)
+		}
+	}
+}
+
+func TestE9ElectionAblation(t *testing.T) {
+	r := RunE9(1, 80, 150)
+	checkResult(t, r)
+}
+
+func TestE10Reorg(t *testing.T) {
+	checkResult(t, RunE10(1, 70, 200))
+}
+
+func TestRunAllSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep")
+	}
+	for _, r := range RunAll(2) {
+		if r.Err != nil {
+			t.Errorf("%s: %v\n%s", r.ID, r.Err, r.Table)
+		}
+	}
+}

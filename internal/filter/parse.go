@@ -1,0 +1,186 @@
+package filter
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse builds a Filter from a textual conjunction of predicates.
+//
+// Grammar (informal):
+//
+//	filter  := "true" | clause { "&&" clause }
+//	clause  := attr op number
+//	         | attr "in" "[" number "," number "]"
+//	op      := "=" | "==" | "<" | ">" | "<=" | ">="
+//	attr    := identifier ([A-Za-z_][A-Za-z0-9_.]*)
+//
+// Examples:
+//
+//	price >= 10 && price <= 20 && qty = 5
+//	x in [0, 40] && y in [10, 50]
+//
+// The "in" form expands to the two closed-range predicates of the paper's
+// canonical complex filter (v_i < a < v_j written with inclusive bounds).
+func Parse(src string) (Filter, error) {
+	src = strings.TrimSpace(src)
+	if src == "" {
+		return Filter{}, fmt.Errorf("filter: empty source")
+	}
+	if src == "true" {
+		return Filter{}, nil
+	}
+	var preds []Predicate
+	for _, clause := range strings.Split(src, "&&") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			return Filter{}, fmt.Errorf("filter: empty clause in %q", src)
+		}
+		ps, err := parseClause(clause)
+		if err != nil {
+			return Filter{}, err
+		}
+		preds = append(preds, ps...)
+	}
+	return Filter{preds: preds}, nil
+}
+
+// MustParse is Parse that panics on error; for tests and constants.
+func MustParse(src string) Filter {
+	f, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+func parseClause(clause string) ([]Predicate, error) {
+	fields := tokenize(clause)
+	if len(fields) < 3 {
+		return nil, fmt.Errorf("filter: cannot parse clause %q", clause)
+	}
+	attr := fields[0]
+	if !validIdent(attr) {
+		return nil, fmt.Errorf("filter: invalid attribute name %q", attr)
+	}
+	switch fields[1] {
+	case "in":
+		// attr in [ lo , hi ]
+		rest := strings.Join(fields[2:], "")
+		if !strings.HasPrefix(rest, "[") || !strings.HasSuffix(rest, "]") {
+			return nil, fmt.Errorf("filter: malformed range in clause %q", clause)
+		}
+		inner := strings.TrimSuffix(strings.TrimPrefix(rest, "["), "]")
+		parts := strings.Split(inner, ",")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("filter: range needs two bounds in clause %q", clause)
+		}
+		lo, err := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("filter: bad lower bound in %q: %w", clause, err)
+		}
+		hi, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("filter: bad upper bound in %q: %w", clause, err)
+		}
+		if lo > hi {
+			return nil, fmt.Errorf("filter: inverted range [%g, %g] in %q", lo, hi, clause)
+		}
+		return []Predicate{
+			{Attr: attr, Op: OpGe, Value: lo},
+			{Attr: attr, Op: OpLe, Value: hi},
+		}, nil
+	case "=", "==", "<", ">", "<=", ">=":
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("filter: trailing tokens in clause %q", clause)
+		}
+		v, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("filter: bad constant in %q: %w", clause, err)
+		}
+		var op Op
+		switch fields[1] {
+		case "=", "==":
+			op = OpEq
+		case "<":
+			op = OpLt
+		case ">":
+			op = OpGt
+		case "<=":
+			op = OpLe
+		case ">=":
+			op = OpGe
+		}
+		return []Predicate{{Attr: attr, Op: op, Value: v}}, nil
+	default:
+		return nil, fmt.Errorf("filter: unknown operator %q in clause %q", fields[1], clause)
+	}
+}
+
+// tokenize splits a clause on whitespace but also separates operators and
+// brackets glued to operands (e.g. "price>=10" -> ["price", ">=", "10"]).
+func tokenize(clause string) []string {
+	var out []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			out = append(out, cur.String())
+			cur.Reset()
+		}
+	}
+	i := 0
+	for i < len(clause) {
+		c := clause[i]
+		switch {
+		case c == ' ' || c == '\t':
+			flush()
+			i++
+		case c == '[' || c == ']' || c == ',':
+			flush()
+			out = append(out, string(c))
+			i++
+		case c == '<' || c == '>':
+			flush()
+			if i+1 < len(clause) && clause[i+1] == '=' {
+				out = append(out, clause[i:i+2])
+				i += 2
+			} else {
+				out = append(out, string(c))
+				i++
+			}
+		case c == '=':
+			flush()
+			if i+1 < len(clause) && clause[i+1] == '=' {
+				out = append(out, "==")
+				i += 2
+			} else {
+				out = append(out, "=")
+				i++
+			}
+		default:
+			cur.WriteByte(c)
+			i++
+		}
+	}
+	flush()
+	return out
+}
+
+func validIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9', c == '.':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,348 @@
+// Package geom implements the poly-space rectangle algebra underlying
+// spatial filters: points, axis-aligned hyper-rectangles, minimum bounding
+// rectangles (MBRs), containment, intersection, areas and enlargement
+// metrics.
+//
+// Subscriptions in the DR-tree paper are conjunctions of range predicates;
+// geometrically each subscription is a rectangle and each event is a point
+// (paper, Section 2.1). A dimension left unconstrained by a filter is
+// represented by an interval unbounded on the corresponding side
+// (±infinity), exactly as the paper's "unbounded in the associated
+// dimension".
+package geom
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Point is a location in d-dimensional space. Events correspond to points.
+type Point []float64
+
+// Dims reports the dimensionality of the point.
+func (p Point) Dims() int { return len(p) }
+
+// Equal reports whether p and q are the same point.
+func (p Point) Equal(q Point) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if p[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy of p.
+func (p Point) Clone() Point {
+	out := make(Point, len(p))
+	copy(out, p)
+	return out
+}
+
+// String renders the point as "(x, y, ...)".
+func (p Point) String() string {
+	parts := make([]string, len(p))
+	for i, v := range p {
+		parts[i] = trimFloat(v)
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Rect is an axis-aligned hyper-rectangle, stored as the per-dimension
+// minima and maxima. The zero value is the empty rectangle, which acts as
+// the identity element of Union and contains nothing.
+//
+// Rect values are treated as immutable: operations return new rectangles
+// and never modify their receivers.
+type Rect struct {
+	lo, hi []float64
+}
+
+// NewRect builds a rectangle from per-dimension bounds. It returns an
+// error if the slices disagree in length, are empty, or if lo[i] > hi[i]
+// in any dimension. NaN bounds are rejected; infinite bounds are allowed
+// (they encode dimensions unconstrained by a filter).
+func NewRect(lo, hi []float64) (Rect, error) {
+	if len(lo) != len(hi) {
+		return Rect{}, fmt.Errorf("geom: dimension mismatch: %d vs %d", len(lo), len(hi))
+	}
+	if len(lo) == 0 {
+		return Rect{}, fmt.Errorf("geom: zero-dimensional rectangle")
+	}
+	for i := range lo {
+		if math.IsNaN(lo[i]) || math.IsNaN(hi[i]) {
+			return Rect{}, fmt.Errorf("geom: NaN bound in dimension %d", i)
+		}
+		if lo[i] > hi[i] {
+			return Rect{}, fmt.Errorf("geom: inverted bounds in dimension %d: [%g, %g]", i, lo[i], hi[i])
+		}
+	}
+	r := Rect{lo: make([]float64, len(lo)), hi: make([]float64, len(hi))}
+	copy(r.lo, lo)
+	copy(r.hi, hi)
+	return r, nil
+}
+
+// MustRect is NewRect that panics on invalid input. It is intended for
+// tests and package-level literals with constant bounds.
+func MustRect(lo, hi []float64) Rect {
+	r, err := NewRect(lo, hi)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// R2 builds a two-dimensional rectangle from (x1,y1)-(x2,y2), normalizing
+// the corner order. It is the convenience constructor for the paper's
+// two-dimensional illustrations.
+func R2(x1, y1, x2, y2 float64) Rect {
+	return MustRect(
+		[]float64{math.Min(x1, x2), math.Min(y1, y2)},
+		[]float64{math.Max(x1, x2), math.Max(y1, y2)},
+	)
+}
+
+// IsEmpty reports whether r is the empty rectangle (the zero value).
+func (r Rect) IsEmpty() bool { return len(r.lo) == 0 }
+
+// Dims reports the dimensionality of r; the empty rectangle has zero
+// dimensions.
+func (r Rect) Dims() int { return len(r.lo) }
+
+// Lo returns the lower bound in dimension i.
+func (r Rect) Lo(i int) float64 { return r.lo[i] }
+
+// Hi returns the upper bound in dimension i.
+func (r Rect) Hi(i int) float64 { return r.hi[i] }
+
+// Side returns the extent of r along dimension i.
+func (r Rect) Side(i int) float64 { return r.hi[i] - r.lo[i] }
+
+// Center returns the center point of r. Dimensions with infinite bounds
+// yield 0 if doubly unbounded, else the finite bound.
+func (r Rect) Center() Point {
+	c := make(Point, len(r.lo))
+	for i := range r.lo {
+		switch {
+		case math.IsInf(r.lo[i], -1) && math.IsInf(r.hi[i], 1):
+			c[i] = 0
+		case math.IsInf(r.lo[i], -1):
+			c[i] = r.hi[i]
+		case math.IsInf(r.hi[i], 1):
+			c[i] = r.lo[i]
+		default:
+			c[i] = (r.lo[i] + r.hi[i]) / 2
+		}
+	}
+	return c
+}
+
+// Equal reports whether r and s have identical bounds. Two empty
+// rectangles are equal.
+func (r Rect) Equal(s Rect) bool {
+	if len(r.lo) != len(s.lo) {
+		return false
+	}
+	for i := range r.lo {
+		if r.lo[i] != s.lo[i] || r.hi[i] != s.hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ContainsPoint reports whether point p lies inside r (bounds inclusive).
+// The paper's event matching "event corresponds geometrically to a point"
+// reduces to this predicate.
+func (r Rect) ContainsPoint(p Point) bool {
+	if r.IsEmpty() || len(p) != len(r.lo) {
+		return false
+	}
+	for i := range p {
+		if p[i] < r.lo[i] || p[i] > r.hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Contains reports whether r spatially contains s (subscription
+// containment: every point of s is a point of r). The empty rectangle is
+// contained in everything and contains nothing but itself.
+func (r Rect) Contains(s Rect) bool {
+	if s.IsEmpty() {
+		return true
+	}
+	if r.IsEmpty() || len(r.lo) != len(s.lo) {
+		return false
+	}
+	for i := range r.lo {
+		if s.lo[i] < r.lo[i] || s.hi[i] > r.hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// StrictlyContains reports whether r contains s and r != s.
+func (r Rect) StrictlyContains(s Rect) bool {
+	return r.Contains(s) && !r.Equal(s)
+}
+
+// Intersects reports whether r and s share at least one point.
+func (r Rect) Intersects(s Rect) bool {
+	if r.IsEmpty() || s.IsEmpty() || len(r.lo) != len(s.lo) {
+		return false
+	}
+	for i := range r.lo {
+		if s.hi[i] < r.lo[i] || s.lo[i] > r.hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersection returns the largest rectangle contained in both r and s,
+// or the empty rectangle if they do not intersect.
+func (r Rect) Intersection(s Rect) Rect {
+	if !r.Intersects(s) {
+		return Rect{}
+	}
+	lo := make([]float64, len(r.lo))
+	hi := make([]float64, len(r.hi))
+	for i := range r.lo {
+		lo[i] = math.Max(r.lo[i], s.lo[i])
+		hi[i] = math.Min(r.hi[i], s.hi[i])
+	}
+	return Rect{lo: lo, hi: hi}
+}
+
+// Union returns the minimum bounding rectangle of r and s. The empty
+// rectangle is the identity: Union(empty, s) == s.
+func (r Rect) Union(s Rect) Rect {
+	if r.IsEmpty() {
+		return s
+	}
+	if s.IsEmpty() {
+		return r
+	}
+	lo := make([]float64, len(r.lo))
+	hi := make([]float64, len(r.hi))
+	for i := range r.lo {
+		lo[i] = math.Min(r.lo[i], s.lo[i])
+		hi[i] = math.Max(r.hi[i], s.hi[i])
+	}
+	return Rect{lo: lo, hi: hi}
+}
+
+// UnionPoint returns the minimum bounding rectangle of r and point p.
+func (r Rect) UnionPoint(p Point) Rect {
+	pt := Rect{lo: []float64(p), hi: []float64(p)}
+	return r.Union(pt)
+}
+
+// MBR returns the minimum bounding rectangle of all given rectangles.
+// With no arguments it returns the empty rectangle. This is the paper's
+// Compute_MBR over a children set.
+func MBR(rects ...Rect) Rect {
+	var out Rect
+	for _, r := range rects {
+		out = out.Union(r)
+	}
+	return out
+}
+
+// Area returns the d-dimensional volume of r. Empty rectangles have zero
+// area; rectangles unbounded in some dimension have infinite area unless a
+// degenerate (zero-width) dimension collapses the product to zero.
+func (r Rect) Area() float64 {
+	if r.IsEmpty() {
+		return 0
+	}
+	area := 1.0
+	for i := range r.lo {
+		side := r.hi[i] - r.lo[i]
+		if side == 0 {
+			return 0
+		}
+		area *= side
+	}
+	return area
+}
+
+// Margin returns the sum of the side lengths of r (the "margin" metric of
+// the R*-tree split heuristic).
+func (r Rect) Margin() float64 {
+	if r.IsEmpty() {
+		return 0
+	}
+	m := 0.0
+	for i := range r.lo {
+		m += r.hi[i] - r.lo[i]
+	}
+	return m
+}
+
+// Enlargement returns how much r's area grows to also cover s:
+// Area(Union(r,s)) − Area(r). Used by Choose_Best_Child ("the child whose
+// MBR needs the less adjustment to encompass the filter of the joining
+// subscriber").
+func (r Rect) Enlargement(s Rect) float64 {
+	return r.Union(s).Area() - r.Area()
+}
+
+// OverlapArea returns the area of the intersection of r and s, zero if
+// disjoint.
+func (r Rect) OverlapArea(s Rect) float64 {
+	return r.Intersection(s).Area()
+}
+
+// WasteArea returns the dead space when r and s are combined:
+// Area(Union) − Area(r) − Area(s). This is Guttman's pick-seeds metric
+// ("the union of their MBRs wastes the most area").
+func (r Rect) WasteArea(s Rect) float64 {
+	return r.Union(s).Area() - r.Area() - s.Area()
+}
+
+// Clone returns an independent copy of r.
+func (r Rect) Clone() Rect {
+	if r.IsEmpty() {
+		return Rect{}
+	}
+	lo := make([]float64, len(r.lo))
+	hi := make([]float64, len(r.hi))
+	copy(lo, r.lo)
+	copy(hi, r.hi)
+	return Rect{lo: lo, hi: hi}
+}
+
+// String renders the rectangle as "[lo1,hi1]x[lo2,hi2]...".
+func (r Rect) String() string {
+	if r.IsEmpty() {
+		return "[empty]"
+	}
+	var b strings.Builder
+	for i := range r.lo {
+		if i > 0 {
+			b.WriteByte('x')
+		}
+		fmt.Fprintf(&b, "[%s,%s]", trimFloat(r.lo[i]), trimFloat(r.hi[i]))
+	}
+	return b.String()
+}
+
+func trimFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+inf"
+	case math.IsInf(v, -1):
+		return "-inf"
+	default:
+		return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.4f", v), "0"), ".")
+	}
+}

@@ -1,0 +1,380 @@
+package geom
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRectValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		lo, hi  []float64
+		wantErr bool
+	}{
+		{"valid 2d", []float64{0, 0}, []float64{1, 1}, false},
+		{"valid point-like", []float64{3, 4}, []float64{3, 4}, false},
+		{"valid unbounded", []float64{math.Inf(-1), 0}, []float64{math.Inf(1), 5}, false},
+		{"dimension mismatch", []float64{0}, []float64{1, 2}, true},
+		{"zero dims", []float64{}, []float64{}, true},
+		{"inverted", []float64{2, 0}, []float64{1, 1}, true},
+		{"nan lo", []float64{math.NaN(), 0}, []float64{1, 1}, true},
+		{"nan hi", []float64{0, 0}, []float64{math.NaN(), 1}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := NewRect(tt.lo, tt.hi)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("NewRect(%v, %v) error = %v, wantErr %v", tt.lo, tt.hi, err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestMustRectPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustRect with inverted bounds did not panic")
+		}
+	}()
+	MustRect([]float64{1}, []float64{0})
+}
+
+func TestR2NormalizesCorners(t *testing.T) {
+	r := R2(5, 7, 1, 2)
+	want := R2(1, 2, 5, 7)
+	if !r.Equal(want) {
+		t.Fatalf("R2 did not normalize corners: got %v want %v", r, want)
+	}
+}
+
+func TestRectIsolationFromInputSlices(t *testing.T) {
+	lo := []float64{0, 0}
+	hi := []float64{1, 1}
+	r := MustRect(lo, hi)
+	lo[0] = 99
+	hi[1] = -99
+	if r.Lo(0) != 0 || r.Hi(1) != 1 {
+		t.Fatal("Rect aliases caller-owned slices; bounds must be copied at the boundary")
+	}
+}
+
+func TestContainsPoint(t *testing.T) {
+	r := R2(0, 0, 10, 10)
+	tests := []struct {
+		p    Point
+		want bool
+	}{
+		{Point{5, 5}, true},
+		{Point{0, 0}, true},   // inclusive lower corner
+		{Point{10, 10}, true}, // inclusive upper corner
+		{Point{10.0001, 5}, false},
+		{Point{-0.1, 5}, false},
+		{Point{5}, false},       // dimension mismatch
+		{Point{5, 5, 5}, false}, // dimension mismatch
+	}
+	for _, tt := range tests {
+		if got := r.ContainsPoint(tt.p); got != tt.want {
+			t.Errorf("ContainsPoint(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	if (Rect{}).ContainsPoint(Point{1, 2}) {
+		t.Error("empty rect must contain no point")
+	}
+}
+
+func TestContainsRect(t *testing.T) {
+	outer := R2(0, 0, 10, 10)
+	tests := []struct {
+		name  string
+		inner Rect
+		want  bool
+	}{
+		{"strict inside", R2(2, 2, 8, 8), true},
+		{"equal", R2(0, 0, 10, 10), true},
+		{"touching edge", R2(0, 0, 10, 5), true},
+		{"poking out", R2(5, 5, 11, 8), false},
+		{"disjoint", R2(20, 20, 30, 30), false},
+		{"empty inner", Rect{}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := outer.Contains(tt.inner); got != tt.want {
+				t.Fatalf("Contains = %v, want %v", got, tt.want)
+			}
+		})
+	}
+	if (Rect{}).Contains(R2(0, 0, 1, 1)) {
+		t.Error("empty rect contains nothing non-empty")
+	}
+	if !outer.StrictlyContains(R2(1, 1, 2, 2)) {
+		t.Error("StrictlyContains should hold for proper subset")
+	}
+	if outer.StrictlyContains(outer) {
+		t.Error("StrictlyContains must be false for equal rects")
+	}
+}
+
+func TestIntersectsAndIntersection(t *testing.T) {
+	a := R2(0, 0, 10, 10)
+	b := R2(5, 5, 15, 15)
+	if !a.Intersects(b) || !b.Intersects(a) {
+		t.Fatal("overlapping rects must intersect (symmetric)")
+	}
+	got := a.Intersection(b)
+	if want := R2(5, 5, 10, 10); !got.Equal(want) {
+		t.Fatalf("Intersection = %v, want %v", got, want)
+	}
+
+	c := R2(20, 20, 30, 30)
+	if a.Intersects(c) {
+		t.Fatal("disjoint rects must not intersect")
+	}
+	if !a.Intersection(c).IsEmpty() {
+		t.Fatal("Intersection of disjoint rects must be empty")
+	}
+
+	// Touching rectangles intersect on their shared boundary.
+	d := R2(10, 0, 20, 10)
+	if !a.Intersects(d) {
+		t.Fatal("edge-touching rects intersect")
+	}
+	if area := a.Intersection(d).Area(); area != 0 {
+		t.Fatalf("touching intersection area = %g, want 0", area)
+	}
+}
+
+func TestUnionBasics(t *testing.T) {
+	a := R2(0, 0, 1, 1)
+	b := R2(5, 5, 6, 6)
+	got := a.Union(b)
+	if want := R2(0, 0, 6, 6); !got.Equal(want) {
+		t.Fatalf("Union = %v, want %v", got, want)
+	}
+	if !(Rect{}).Union(a).Equal(a) || !a.Union(Rect{}).Equal(a) {
+		t.Fatal("empty rect must be the identity of Union")
+	}
+	if !MBR().IsEmpty() {
+		t.Fatal("MBR() of nothing is empty")
+	}
+	if got := MBR(a, b, R2(-1, -1, 0, 0)); !got.Equal(R2(-1, -1, 6, 6)) {
+		t.Fatalf("MBR of three rects = %v", got)
+	}
+}
+
+func TestUnionPoint(t *testing.T) {
+	a := R2(0, 0, 1, 1)
+	got := a.UnionPoint(Point{3, -2})
+	if want := R2(0, -2, 3, 1); !got.Equal(want) {
+		t.Fatalf("UnionPoint = %v, want %v", got, want)
+	}
+}
+
+func TestAreaMarginMetrics(t *testing.T) {
+	r := R2(0, 0, 4, 5)
+	if got := r.Area(); got != 20 {
+		t.Errorf("Area = %g, want 20", got)
+	}
+	if got := r.Margin(); got != 9 {
+		t.Errorf("Margin = %g, want 9", got)
+	}
+	if got := (Rect{}).Area(); got != 0 {
+		t.Errorf("empty Area = %g, want 0", got)
+	}
+	// Degenerate rect (zero width in one dim) has zero area but nonzero margin.
+	line := R2(0, 0, 0, 7)
+	if got := line.Area(); got != 0 {
+		t.Errorf("degenerate Area = %g, want 0", got)
+	}
+	if got := line.Margin(); got != 7 {
+		t.Errorf("degenerate Margin = %g, want 7", got)
+	}
+	// Unbounded dimension yields infinite area.
+	unb := MustRect([]float64{0, math.Inf(-1)}, []float64{1, math.Inf(1)})
+	if got := unb.Area(); !math.IsInf(got, 1) {
+		t.Errorf("unbounded Area = %g, want +Inf", got)
+	}
+}
+
+func TestEnlargementWasteOverlap(t *testing.T) {
+	a := R2(0, 0, 2, 2) // area 4
+	b := R2(3, 0, 4, 1) // area 1, union with a = (0,0)-(4,2) area 8
+	if got := a.Enlargement(b); got != 4 {
+		t.Errorf("Enlargement = %g, want 4", got)
+	}
+	if got := a.WasteArea(b); got != 3 {
+		t.Errorf("WasteArea = %g, want 3", got)
+	}
+	if got := a.Enlargement(R2(1, 1, 2, 2)); got != 0 {
+		t.Errorf("Enlargement by contained rect = %g, want 0", got)
+	}
+	c := R2(1, 1, 3, 3)
+	if got := a.OverlapArea(c); got != 1 {
+		t.Errorf("OverlapArea = %g, want 1", got)
+	}
+	if got := a.OverlapArea(R2(10, 10, 11, 11)); got != 0 {
+		t.Errorf("disjoint OverlapArea = %g, want 0", got)
+	}
+}
+
+func TestCenter(t *testing.T) {
+	if got := R2(0, 0, 4, 10).Center(); !got.Equal(Point{2, 5}) {
+		t.Errorf("Center = %v, want (2,5)", got)
+	}
+	unb := MustRect([]float64{math.Inf(-1), 2}, []float64{4, math.Inf(1)})
+	if got := unb.Center(); !got.Equal(Point{4, 2}) {
+		t.Errorf("half-unbounded Center = %v, want (4,2)", got)
+	}
+	both := MustRect([]float64{math.Inf(-1)}, []float64{math.Inf(1)})
+	if got := both.Center(); !got.Equal(Point{0}) {
+		t.Errorf("doubly-unbounded Center = %v, want (0)", got)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	r := R2(0, 0, 1, 1)
+	c := r.Clone()
+	if !c.Equal(r) {
+		t.Fatal("clone differs from original")
+	}
+	if !(Rect{}).Clone().IsEmpty() {
+		t.Fatal("clone of empty must be empty")
+	}
+	p := Point{1, 2}
+	q := p.Clone()
+	q[0] = 9
+	if p[0] != 1 {
+		t.Fatal("point clone aliases original")
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := R2(0, 0, 1.5, 2).String(); got != "[0,1.5]x[0,2]" {
+		t.Errorf("String = %q", got)
+	}
+	if got := (Rect{}).String(); got != "[empty]" {
+		t.Errorf("empty String = %q", got)
+	}
+	unb := MustRect([]float64{math.Inf(-1)}, []float64{math.Inf(1)})
+	if got := unb.String(); got != "[-inf,+inf]" {
+		t.Errorf("unbounded String = %q", got)
+	}
+	if got := (Point{1, 2.25}).String(); got != "(1, 2.25)" {
+		t.Errorf("point String = %q", got)
+	}
+}
+
+// randRect generates a random 2-D rectangle inside [0,100]^2.
+func randRect(rng *rand.Rand) Rect {
+	x1, y1 := rng.Float64()*100, rng.Float64()*100
+	x2, y2 := rng.Float64()*100, rng.Float64()*100
+	return R2(x1, y1, x2, y2)
+}
+
+func TestPropertyUnionCommutativeAssociative(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 0))
+		a, b, c := randRect(r), randRect(r), randRect(r)
+		if !a.Union(b).Equal(b.Union(a)) {
+			return false
+		}
+		return a.Union(b).Union(c).Equal(a.Union(b.Union(c)))
+	}
+	cfg := &quick.Config{MaxCount: 200, Values: nil, Rand: nil}
+	_ = rng
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyUnionContainsOperands(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 1))
+		a, b := randRect(r), randRect(r)
+		u := a.Union(b)
+		return u.Contains(a) && u.Contains(b) && u.Area() >= math.Max(a.Area(), b.Area())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyContainmentTransitive(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 2))
+		// Build a ⊇ b ⊇ c by shrinking.
+		a := randRect(r)
+		b := shrink(r, a)
+		c := shrink(r, b)
+		return a.Contains(b) && b.Contains(c) && a.Contains(c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// shrink returns a random sub-rectangle of r.
+func shrink(rng *rand.Rand, r Rect) Rect {
+	lo := make([]float64, r.Dims())
+	hi := make([]float64, r.Dims())
+	for i := 0; i < r.Dims(); i++ {
+		span := r.Hi(i) - r.Lo(i)
+		a := r.Lo(i) + rng.Float64()*span/2
+		b := r.Hi(i) - rng.Float64()*span/2
+		if a > b {
+			a, b = b, a
+		}
+		lo[i], hi[i] = a, b
+	}
+	return MustRect(lo, hi)
+}
+
+func TestPropertyIntersectionContainedInBoth(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 3))
+		a, b := randRect(r), randRect(r)
+		in := a.Intersection(b)
+		if in.IsEmpty() {
+			return !a.Intersects(b) || a.Intersection(b).IsEmpty()
+		}
+		return a.Contains(in) && b.Contains(in)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyEnlargementNonNegative(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 4))
+		a, b := randRect(r), randRect(r)
+		return a.Enlargement(b) >= 0 && a.WasteArea(b) >= -a.OverlapArea(b)-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyContainmentImpliesPointSubset(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 5))
+		a := randRect(r)
+		b := shrink(r, a)
+		// Any random point of b must be in a.
+		for i := 0; i < 10; i++ {
+			p := Point{
+				b.Lo(0) + r.Float64()*b.Side(0),
+				b.Lo(1) + r.Float64()*b.Side(1),
+			}
+			if !b.ContainsPoint(p) || !a.ContainsPoint(p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,145 @@
+package proto
+
+import (
+	"fmt"
+
+	"drtree/internal/core"
+	"drtree/internal/geom"
+)
+
+// CheckLegal verifies Definition 3.1 on the distributed configuration,
+// reading only the nodes' local states (as an omniscient observer):
+// unique root, mutual parent/children coherence, degree bounds, own-child
+// chains, contiguous instance chains, MBR coherence against the actual
+// child MBRs, and reachability of every live process. The cover condition
+// is repaired by the sequential engine's CHECK_COVER and is not part of
+// the wire protocol's legality (see DESIGN.md).
+func (c *Cluster) CheckLegal() error {
+	if len(c.nodes) == 0 {
+		return nil
+	}
+	// Exactly one root: a topmost, self-parented instance.
+	rootID := core.NoProc
+	rootH := -1
+	for _, id := range c.IDs() {
+		n := c.nodes[id]
+		in := n.inst[n.top]
+		if in == nil {
+			return fmt.Errorf("proto: node %d missing its topmost instance", id)
+		}
+		if in.parent == id {
+			if rootID != core.NoProc {
+				return fmt.Errorf("proto: two roots: %d@%d and %d@%d", rootID, rootH, id, n.top)
+			}
+			rootID, rootH = id, n.top
+		}
+	}
+	if rootID == core.NoProc {
+		return fmt.Errorf("proto: no root instance")
+	}
+
+	m, M := c.cfg.MinFanout, c.cfg.MaxFanout
+	reached := make(map[core.ProcID]bool)
+	var walk func(id core.ProcID, h int) (geom.Rect, error)
+	walk = func(id core.ProcID, h int) (geom.Rect, error) {
+		n := c.nodes[id]
+		if n == nil {
+			return geom.Rect{}, fmt.Errorf("proto: dead process %d referenced at height %d", id, h)
+		}
+		in := n.inst[h]
+		if in == nil {
+			return geom.Rect{}, fmt.Errorf("proto: process %d missing instance at %d", id, h)
+		}
+		if h == 0 {
+			reached[id] = true
+			if !in.mbr.Equal(n.filter) {
+				return geom.Rect{}, fmt.Errorf("proto: leaf MBR of %d is %v, want filter", id, in.mbr)
+			}
+			return in.mbr, nil
+		}
+		isRoot := id == rootID && h == rootH
+		if !isRoot && len(in.children) < m {
+			return geom.Rect{}, fmt.Errorf("proto: node (%d,%d) underflows: %d < m=%d", id, h, len(in.children), m)
+		}
+		if isRoot && len(c.nodes) > 1 && len(in.children) < 2 {
+			return geom.Rect{}, fmt.Errorf("proto: root (%d,%d) has %d children, want >= 2", id, h, len(in.children))
+		}
+		if len(in.children) > M {
+			return geom.Rect{}, fmt.Errorf("proto: node (%d,%d) overflows: %d > M=%d", id, h, len(in.children), M)
+		}
+		if in.children[id] == nil {
+			return geom.Rect{}, fmt.Errorf("proto: node (%d,%d) violates the own-child invariant", id, h)
+		}
+		var union geom.Rect
+		for _, ch := range sortedChildIDs(in) {
+			cn := c.nodes[ch]
+			if cn == nil {
+				return geom.Rect{}, fmt.Errorf("proto: node (%d,%d) lists dead child %d", id, h, ch)
+			}
+			ci := cn.inst[h-1]
+			if ci == nil {
+				return geom.Rect{}, fmt.Errorf("proto: child %d of (%d,%d) missing instance", ch, id, h)
+			}
+			if ci.parent != id {
+				return geom.Rect{}, fmt.Errorf("proto: child %d of (%d,%d) names parent %d", ch, id, h, ci.parent)
+			}
+			sub, err := walk(ch, h-1)
+			if err != nil {
+				return geom.Rect{}, err
+			}
+			union = union.Union(sub)
+		}
+		if !in.mbr.Equal(union) {
+			return geom.Rect{}, fmt.Errorf("proto: MBR of (%d,%d) is %v, want %v", id, h, in.mbr, union)
+		}
+		if want := len(in.children) < m; in.underloaded != want {
+			return geom.Rect{}, fmt.Errorf("proto: underloaded flag of (%d,%d) wrong", id, h)
+		}
+		return union, nil
+	}
+	if _, err := walk(rootID, rootH); err != nil {
+		return err
+	}
+	if len(reached) != len(c.nodes) {
+		return fmt.Errorf("proto: only %d of %d processes reachable from the root", len(reached), len(c.nodes))
+	}
+	for id, n := range c.nodes {
+		for h := 0; h <= n.top; h++ {
+			if n.inst[h] == nil {
+				return fmt.Errorf("proto: node %d chain gap at %d", id, h)
+			}
+		}
+		if len(n.inst) != n.top+1 {
+			return fmt.Errorf("proto: node %d owns %d instances, top=%d", id, len(n.inst), n.top)
+		}
+	}
+	return nil
+}
+
+// Describe renders the distributed configuration level by level.
+func (c *Cluster) Describe() string {
+	maxTop := 0
+	for _, n := range c.nodes {
+		if n.top > maxTop {
+			maxTop = n.top
+		}
+	}
+	out := ""
+	for h := maxTop; h >= 0; h-- {
+		out += fmt.Sprintf("height %d:", h)
+		for _, id := range c.IDs() {
+			n := c.nodes[id]
+			in := n.inst[h]
+			if in == nil {
+				continue
+			}
+			if h == 0 {
+				out += fmt.Sprintf(" P%d", id)
+				continue
+			}
+			out += fmt.Sprintf(" P%d%v", id, sortedChildIDs(in))
+		}
+		out += "\n"
+	}
+	return out
+}

@@ -1,0 +1,307 @@
+package proto
+
+import (
+	"fmt"
+	"sort"
+
+	"drtree/internal/core"
+	"drtree/internal/geom"
+	"drtree/internal/simnet"
+)
+
+// Cluster is the deterministic round scheduler driving the protocol
+// actors over a simnet.Network. Each round: deliver all in-flight
+// messages, let every node process its inbox, fire the periodic CHECK_*
+// timers every Config.CheckEvery rounds, and collect outboxes.
+type Cluster struct {
+	cfg   Config
+	net   *simnet.Network
+	nodes map[core.ProcID]*Node
+	round int
+	nextE int64
+}
+
+// NewCluster creates an empty cluster.
+func NewCluster(cfg Config) (*Cluster, error) {
+	cfg = cfg.withDefaults()
+	if cfg.MinFanout < 1 {
+		return nil, fmt.Errorf("proto: MinFanout must be >= 1, got %d", cfg.MinFanout)
+	}
+	if cfg.MaxFanout < 2*cfg.MinFanout {
+		return nil, fmt.Errorf("proto: MaxFanout must be >= 2*MinFanout")
+	}
+	return &Cluster{
+		cfg:   cfg,
+		net:   simnet.New(),
+		nodes: make(map[core.ProcID]*Node),
+	}, nil
+}
+
+// Len returns the live population.
+func (c *Cluster) Len() int { return len(c.nodes) }
+
+// Round returns the current round number.
+func (c *Cluster) Round() int { return c.round }
+
+// NetStats returns the network traffic counters.
+func (c *Cluster) NetStats() simnet.Stats { return c.net.Stats() }
+
+// Node returns the actor with the given ID, or nil.
+func (c *Cluster) Node(id core.ProcID) *Node { return c.nodes[id] }
+
+// IDs returns live process IDs, ascending.
+func (c *Cluster) IDs() []core.ProcID {
+	out := make([]core.ProcID, 0, len(c.nodes))
+	for id := range c.nodes {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Join introduces a new subscriber: the node is created locally and its
+// JOIN request is sent to the oracle-provided contact (the paper's
+// connection oracle). Run the cluster to let the request route.
+func (c *Cluster) Join(id core.ProcID, filter geom.Rect) error {
+	if id <= core.NoProc {
+		return fmt.Errorf("proto: process IDs must be positive, got %d", id)
+	}
+	if c.nodes[id] != nil {
+		return fmt.Errorf("proto: process %d already joined", id)
+	}
+	if filter.IsEmpty() {
+		return fmt.Errorf("proto: filter must be non-empty")
+	}
+	n := newNode(id, filter, c.cfg)
+	c.nodes[id] = n
+	c.net.Revive(simnet.NodeID(id))
+	if len(c.nodes) == 1 {
+		return nil // first node is the root
+	}
+	n.rejoinPending = true
+	n.rejoin(c.Oracle(), 0)
+	c.net.Send(n.drainOut()...)
+	return nil
+}
+
+// Leave performs a controlled departure (Figure 9): the leaver notifies
+// the parent of its topmost instance and disappears; stabilization
+// repairs the rest.
+func (c *Cluster) Leave(id core.ProcID) error {
+	n := c.nodes[id]
+	if n == nil {
+		return fmt.Errorf("proto: process %d not in the cluster", id)
+	}
+	if in := n.inst[n.top]; in != nil && in.parent != id {
+		c.net.Send(simnet.Message{
+			From:    simnet.NodeID(id),
+			To:      simnet.NodeID(in.parent),
+			Payload: mLeave{Height: n.top + 1, Child: id},
+		})
+	}
+	delete(c.nodes, id)
+	c.net.Kill(simnet.NodeID(id))
+	return nil
+}
+
+// Crash removes a node without notification; bounces and periodic checks
+// reveal the failure.
+func (c *Cluster) Crash(id core.ProcID) error {
+	if c.nodes[id] == nil {
+		return fmt.Errorf("proto: process %d not in the cluster", id)
+	}
+	delete(c.nodes, id)
+	c.net.Kill(simnet.NodeID(id))
+	return nil
+}
+
+// Oracle returns the current best contact: the root from a global view
+// (the tallest self-parented topmost instance; ties by lowest ID). The
+// paper assumes an accurate connection-time oracle (§3.2 Joins).
+func (c *Cluster) Oracle() core.ProcID {
+	best := core.NoProc
+	bestH := -1
+	bestArea := -1.0
+	for _, id := range c.IDs() {
+		n := c.nodes[id]
+		in := n.inst[n.top]
+		if in == nil {
+			continue
+		}
+		if in.parent != id || n.rejoinPending {
+			continue
+		}
+		area := in.mbr.Area()
+		if n.top > bestH || (n.top == bestH && area > bestArea) {
+			best, bestH, bestArea = id, n.top, area
+		}
+	}
+	if best == core.NoProc && len(c.nodes) > 0 {
+		return c.IDs()[0]
+	}
+	return best
+}
+
+// Step runs one round: deliver in-flight messages, let nodes process
+// them, and fire the CHECK_* timers when fireChecks is set. It reports
+// whether any message was delivered.
+func (c *Cluster) Step(fireChecks bool) bool {
+	c.round++
+	inboxes := c.net.DeliverRound()
+	busy := len(inboxes) > 0
+	for _, id := range c.IDs() {
+		n := c.nodes[id]
+		for _, m := range inboxes[simnet.NodeID(id)] {
+			n.process(m)
+		}
+		if fireChecks {
+			n.periodic(c.Oracle())
+		}
+		c.net.Send(n.drainOut()...)
+	}
+	return busy || fireChecks
+}
+
+// settle runs rounds without firing timers until the network drains.
+func (c *Cluster) settle(maxRounds int) bool {
+	for r := 0; r < maxRounds; r++ {
+		if c.net.Quiescent() {
+			return true
+		}
+		c.Step(false)
+	}
+	return c.net.Quiescent()
+}
+
+// RunUntilStable alternates check periods (one CHECK_* timer firing per
+// period, then draining the resulting traffic) until the configuration is
+// legal, no node awaits a re-join, and one extra period confirms the
+// fixpoint — or maxRounds elapse. It returns rounds consumed and whether
+// the stable point was reached. The number of check periods consumed is
+// the protocol-level stabilization-time metric of experiments E3-E5.
+func (c *Cluster) RunUntilStable(maxRounds int) (int, bool) {
+	start := c.round
+	confirmed := 0
+	for c.round-start < maxRounds {
+		if !c.settle(maxRounds - (c.round - start)) {
+			return c.round - start, false
+		}
+		if !c.anyRejoinPending() && c.CheckLegal() == nil {
+			confirmed++
+			if confirmed >= 2 {
+				return c.round - start, true
+			}
+		} else {
+			confirmed = 0
+		}
+		c.Step(true) // fire one check period
+	}
+	return c.round - start, false
+}
+
+func (c *Cluster) anyRejoinPending() bool {
+	for _, n := range c.nodes {
+		if n.rejoinPending {
+			return true
+		}
+	}
+	return false
+}
+
+// PublishResult reports a protocol-level dissemination.
+type PublishResult struct {
+	Received       []core.ProcID
+	FalsePositives int
+	FalseNegatives int
+	Messages       int
+	Rounds         int
+}
+
+// Publish injects an event at the producer and runs the cluster until the
+// network drains, then collects delivery accounting against the ground
+// truth.
+func (c *Cluster) Publish(producer core.ProcID, ev geom.Point, maxRounds int) (PublishResult, error) {
+	n := c.nodes[producer]
+	if n == nil {
+		return PublishResult{}, fmt.Errorf("proto: producer %d not in the cluster", producer)
+	}
+	c.nextE++
+	id := c.nextE
+	before := c.net.Stats().Delivered
+	for _, node := range c.nodes {
+		delete(node.seen, id)
+	}
+	n.onEvent(mEvent{ID: id, Ev: ev, Height: n.top, Up: true, From: n.id})
+	c.net.Send(n.drainOut()...)
+
+	var res PublishResult
+	start := c.round
+	for !c.net.Quiescent() && c.round-start < maxRounds {
+		// Run without periodic timers so message counts isolate the
+		// dissemination itself.
+		c.round++
+		inboxes := c.net.DeliverRound()
+		for _, nid := range simnet.SortedIDs(inboxes) {
+			node := c.nodes[core.ProcID(nid)]
+			if node == nil {
+				continue
+			}
+			for _, m := range inboxes[nid] {
+				node.process(m)
+			}
+			c.net.Send(node.drainOut()...)
+		}
+	}
+	res.Rounds = c.round - start
+	res.Messages = c.net.Stats().Delivered - before
+	for _, pid := range c.IDs() {
+		node := c.nodes[pid]
+		match := node.filter.ContainsPoint(ev)
+		if node.seen[id] {
+			res.Received = append(res.Received, pid)
+			if !match {
+				res.FalsePositives++
+			}
+		} else if match {
+			res.FalseNegatives++
+		}
+	}
+	return res, nil
+}
+
+// Corruption helpers for experiment E5 (the paper's transient fault
+// model: parent, children, MBR, underloaded are all corruptible).
+
+// CorruptParent overwrites the local parent variable of (id, h).
+func (c *Cluster) CorruptParent(id core.ProcID, h int, parent core.ProcID) error {
+	n := c.nodes[id]
+	if n == nil || n.inst[h] == nil {
+		return fmt.Errorf("proto: no instance (%d,%d)", id, h)
+	}
+	n.inst[h].parent = parent
+	return nil
+}
+
+// CorruptChildren replaces the local children set of (id, h).
+func (c *Cluster) CorruptChildren(id core.ProcID, h int, children []core.ProcID) error {
+	n := c.nodes[id]
+	if n == nil || n.inst[h] == nil {
+		return fmt.Errorf("proto: no instance (%d,%d)", id, h)
+	}
+	m := make(map[core.ProcID]*childState, len(children))
+	for _, ch := range children {
+		m[ch] = &childState{}
+	}
+	n.inst[h].children = m
+	return nil
+}
+
+// CorruptMBR overwrites the local MBR of (id, h).
+func (c *Cluster) CorruptMBR(id core.ProcID, h int, mbr geom.Rect) error {
+	n := c.nodes[id]
+	if n == nil || n.inst[h] == nil {
+		return fmt.Errorf("proto: no instance (%d,%d)", id, h)
+	}
+	n.inst[h].mbr = mbr
+	return nil
+}

@@ -1,0 +1,216 @@
+package proto
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"drtree/internal/core"
+	"drtree/internal/geom"
+	"drtree/internal/simnet"
+)
+
+// LiveCluster drives the same protocol actors with one goroutine per
+// process and real channels instead of the deterministic round scheduler:
+// the concurrent runtime the repro hint calls for ("goroutines fit node
+// simulation naturally"). Each actor goroutine drains its mailbox and
+// fires its CHECK_* timers on a real ticker; an undeliverable send (dead
+// mailbox) bounces back to the sender like the round-based substrate's
+// failure notices.
+//
+// LiveCluster trades determinism for real concurrency; the experiments
+// use the deterministic Cluster, and the live runtime demonstrates that
+// the actor logic is schedule-independent.
+type LiveCluster struct {
+	cfg Config
+
+	mu     sync.Mutex
+	actors map[core.ProcID]*liveActor
+	wg     sync.WaitGroup
+	closed bool
+}
+
+type liveActor struct {
+	node *Node
+	box  chan simnet.Message
+	stop chan struct{}
+}
+
+// NewLiveCluster creates an empty concurrent cluster.
+func NewLiveCluster(cfg Config) (*LiveCluster, error) {
+	cfg = cfg.withDefaults()
+	if cfg.MinFanout < 1 || cfg.MaxFanout < 2*cfg.MinFanout {
+		return nil, fmt.Errorf("proto: invalid fanout bounds m=%d M=%d", cfg.MinFanout, cfg.MaxFanout)
+	}
+	return &LiveCluster{cfg: cfg, actors: make(map[core.ProcID]*liveActor)}, nil
+}
+
+// Join spawns a new subscriber actor and routes its JOIN request through
+// the current root.
+func (lc *LiveCluster) Join(id core.ProcID, filter geom.Rect) error {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	if lc.closed {
+		return fmt.Errorf("proto: live cluster closed")
+	}
+	if id <= core.NoProc || filter.IsEmpty() {
+		return fmt.Errorf("proto: invalid id or filter")
+	}
+	if lc.actors[id] != nil {
+		return fmt.Errorf("proto: process %d already joined", id)
+	}
+	a := &liveActor{
+		node: newNode(id, filter, lc.cfg),
+		box:  make(chan simnet.Message, 256),
+		stop: make(chan struct{}),
+	}
+	lc.actors[id] = a
+	if len(lc.actors) > 1 {
+		a.node.rejoinPending = true
+		a.node.rejoin(lc.oracleLocked(), 0)
+		lc.dispatchLocked(a.node.drainOut())
+	}
+	lc.wg.Add(1)
+	go lc.run(a)
+	return nil
+}
+
+// Crash kills an actor without notification.
+func (lc *LiveCluster) Crash(id core.ProcID) error {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	a := lc.actors[id]
+	if a == nil {
+		return fmt.Errorf("proto: process %d not in the cluster", id)
+	}
+	delete(lc.actors, id)
+	close(a.stop)
+	return nil
+}
+
+// run is one actor goroutine: drain the mailbox, fire periodic checks.
+func (lc *LiveCluster) run(a *liveActor) {
+	defer lc.wg.Done()
+	ticker := time.NewTicker(2 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-a.stop:
+			return
+		case m := <-a.box:
+			lc.withActor(a, func() { a.node.process(m) })
+		case <-ticker.C:
+			contact := lc.Oracle()
+			lc.withActor(a, func() { a.node.periodic(contact) })
+		}
+	}
+}
+
+// withActor runs fn and the resulting dispatch under the cluster lock:
+// actor turns are serialized, which keeps the legality snapshot (and the
+// race detector) happy while preserving the message-driven semantics.
+func (lc *LiveCluster) withActor(a *liveActor, fn func()) {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	fn()
+	lc.dispatchLocked(a.node.drainOut())
+}
+
+// dispatchLocked delivers outgoing messages to mailboxes; sends to dead
+// or saturated mailboxes bounce back to the sender.
+func (lc *LiveCluster) dispatchLocked(msgs []simnet.Message) {
+	for _, m := range msgs {
+		dst := lc.actors[core.ProcID(m.To)]
+		if dst == nil {
+			if src := lc.actors[core.ProcID(m.From)]; src != nil {
+				select {
+				case src.box <- simnet.Message{
+					From: m.To, To: m.From,
+					Payload: simnet.Bounce{To: simnet.NodeID(m.To), Original: m.Payload},
+				}:
+				default:
+				}
+			}
+			continue
+		}
+		select {
+		case dst.box <- m:
+		default: // saturated mailbox: drop (transient loss; checks repair)
+		}
+	}
+}
+
+// Oracle returns the current best contact (tallest self-parented actor).
+func (lc *LiveCluster) Oracle() core.ProcID {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	return lc.oracleLocked()
+}
+
+func (lc *LiveCluster) oracleLocked() core.ProcID {
+	best := core.NoProc
+	bestH := -1
+	for id, a := range lc.actors {
+		n := a.node
+		in := n.inst[n.top]
+		if in == nil || in.parent != id || n.rejoinPending {
+			continue
+		}
+		if n.top > bestH || (n.top == bestH && (best == core.NoProc || id < best)) {
+			best, bestH = id, n.top
+		}
+	}
+	return best
+}
+
+// AwaitLegal polls until the configuration is legal and no re-join is
+// pending, or the timeout expires.
+func (lc *LiveCluster) AwaitLegal(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	var last error
+	for time.Now().Before(deadline) {
+		if last = lc.checkLegalSnapshot(); last == nil {
+			return nil
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return fmt.Errorf("proto: live cluster did not become legal: %w", last)
+}
+
+// checkLegalSnapshot freezes the membership and reuses the round-based
+// checker on a snapshot cluster.
+func (lc *LiveCluster) checkLegalSnapshot() error {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	snap := &Cluster{cfg: lc.cfg, nodes: make(map[core.ProcID]*Node, len(lc.actors))}
+	for id, a := range lc.actors {
+		if a.node.rejoinPending {
+			return fmt.Errorf("proto: process %d awaiting re-join", id)
+		}
+		snap.nodes[id] = a.node
+	}
+	return snap.CheckLegal()
+}
+
+// Len returns the live population.
+func (lc *LiveCluster) Len() int {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	return len(lc.actors)
+}
+
+// Close stops every actor goroutine and waits for them to exit.
+func (lc *LiveCluster) Close() {
+	lc.mu.Lock()
+	if lc.closed {
+		lc.mu.Unlock()
+		return
+	}
+	lc.closed = true
+	for id, a := range lc.actors {
+		close(a.stop)
+		delete(lc.actors, id)
+	}
+	lc.mu.Unlock()
+	lc.wg.Wait()
+}

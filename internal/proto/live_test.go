@@ -1,0 +1,86 @@
+package proto
+
+import (
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"drtree/internal/core"
+	"drtree/internal/geom"
+)
+
+func TestLiveClusterValidation(t *testing.T) {
+	if _, err := NewLiveCluster(Config{MinFanout: 0, MaxFanout: 4}); err == nil {
+		t.Error("bad config must be rejected")
+	}
+	lc, err := NewLiveCluster(Config{MinFanout: 2, MaxFanout: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lc.Close()
+	if err := lc.Join(0, geom.R2(0, 0, 1, 1)); err == nil {
+		t.Error("id 0 must be rejected")
+	}
+	if err := lc.Join(1, geom.Rect{}); err == nil {
+		t.Error("empty filter must be rejected")
+	}
+	if err := lc.Crash(9); err == nil {
+		t.Error("unknown crash must error")
+	}
+}
+
+func TestLiveClusterGrowsAndStabilizes(t *testing.T) {
+	lc, err := NewLiveCluster(Config{MinFanout: 2, MaxFanout: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lc.Close()
+	rng := rand.New(rand.NewPCG(31, 31))
+	for i := 1; i <= 20; i++ {
+		x, y := rng.Float64()*400, rng.Float64()*400
+		if err := lc.Join(core.ProcID(i), geom.R2(x, y, x+30, y+30)); err != nil {
+			t.Fatalf("join %d: %v", i, err)
+		}
+	}
+	if err := lc.AwaitLegal(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if lc.Len() != 20 {
+		t.Fatalf("Len = %d", lc.Len())
+	}
+}
+
+func TestLiveClusterRepairsCrash(t *testing.T) {
+	lc, err := NewLiveCluster(Config{MinFanout: 2, MaxFanout: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lc.Close()
+	rng := rand.New(rand.NewPCG(32, 32))
+	for i := 1; i <= 15; i++ {
+		x, y := rng.Float64()*400, rng.Float64()*400
+		if err := lc.Join(core.ProcID(i), geom.R2(x, y, x+30, y+30)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := lc.AwaitLegal(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Crash the current root; the live actors must elect and repair.
+	root := lc.Oracle()
+	if err := lc.Crash(root); err != nil {
+		t.Fatal(err)
+	}
+	if err := lc.AwaitLegal(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if lc.Len() != 14 {
+		t.Fatalf("Len = %d", lc.Len())
+	}
+	// Idempotent close.
+	lc.Close()
+	lc.Close()
+	if err := lc.Join(99, geom.R2(0, 0, 1, 1)); err == nil {
+		t.Error("join after close must error")
+	}
+}

@@ -1,0 +1,146 @@
+// Package proto is the message-passing implementation of the DR-tree
+// maintenance protocol (the paper's Figures 8-14) on top of the simulated
+// network substrate internal/simnet.
+//
+// Every process is a Node actor owning only its local state: its filter,
+// its per-level instances (parent pointer, children set with cached child
+// MBRs, own MBR, underloaded flag). All coordination — join routing,
+// ADD_CHILD with splitting and leader election, controlled leaves, the
+// periodic CHECK_PARENT / CHECK_CHILDREN / CHECK_MBR verifications, the
+// underload repair, and event dissemination — happens through messages.
+// Crash detection uses the substrate's bounce notices (the stand-in for a
+// timeout-based failure detector).
+//
+// The deterministic round scheduler (Cluster) measures convergence in
+// rounds and messages, which is how experiments E3-E5 quantify the
+// stabilization lemmas. The sequential engine in internal/core implements
+// the same rules as directly-callable transitions; see DESIGN.md.
+package proto
+
+import (
+	"drtree/internal/core"
+	"drtree/internal/geom"
+)
+
+// member describes one child in promotion and split messages.
+type member struct {
+	ID  core.ProcID
+	MBR geom.Rect
+}
+
+// mJoin routes a (re-)connection request: insert the subtree rooted at
+// Joiner (topmost instance at AtHeight) below the receiver. Height names
+// the receiver instance that should process the message.
+type mJoin struct {
+	Joiner   core.ProcID
+	MBR      geom.Rect
+	AtHeight int
+	Height   int
+	// Descend marks requests already redirected through the root: they
+	// route downward only (the paper's two join phases).
+	Descend bool
+}
+
+// mAdd is ADD_CHILD: attach Child (topmost instance at Height-1) to the
+// receiver's instance at Height.
+type mAdd struct {
+	Child  core.ProcID
+	MBR    geom.Rect
+	Height int
+}
+
+// mWelcome tells a joiner its new parent for the instance at Height.
+type mWelcome struct {
+	Height int
+	Parent core.ProcID
+}
+
+// mNewParent tells a process its instance at Height has a new parent.
+type mNewParent struct {
+	Height int
+	Parent core.ProcID
+}
+
+// mPromote tells the elected leader of a split group to create an
+// instance at Height adopting Members. If Root is set, the leader also
+// becomes the new tree root: it either hosts the new root instance at
+// Height+1 over {Sibling, itself} (when Sibling is set), or simply roots
+// itself. Parent is the leader's parent when not a root promotion.
+type mPromote struct {
+	Height  int
+	Members []member
+	Parent  core.ProcID
+	Root    bool
+	Sibling *member
+}
+
+// mLeave is the controlled departure notice sent to the parent of the
+// leaver's topmost instance (Figure 9).
+type mLeave struct {
+	Height int // the parent's instance height
+	Child  core.ProcID
+}
+
+// mRemoveChild tells a parent to drop Child from its children at Height
+// (used by self-dissolving underloaded nodes).
+type mRemoveChild struct {
+	Height int
+	Child  core.ProcID
+}
+
+// mDissolved tells a child that its parent's node dissolved; the child
+// must re-execute the join process for its subtree
+// (INITIATE_NEW_CONNECTION, Figure 14).
+type mDissolved struct {
+	Height int // the child's instance height
+}
+
+// mBecomeRoot tells the last child of a collapsing root to take over as
+// tree root at Height.
+type mBecomeRoot struct {
+	Height int
+}
+
+// mShrink tells a fragment taller than the current tree to dissolve its
+// instance at Height (its children re-join individually) before retrying.
+type mShrink struct {
+	Height int
+}
+
+// mParentQuery implements CHECK_PARENT (Figure 11): "is my instance at
+// Height still one of your children at Height+1?".
+type mParentQuery struct {
+	Height int
+	Child  core.ProcID
+}
+
+// mParentAck answers mParentQuery.
+type mParentAck struct {
+	Height  int
+	IsChild bool
+}
+
+// mChildQuery implements CHECK_CHILDREN / CHECK_MBR probing (Figures 10,
+// 12): the parent asks a child to report its instance at Height-1.
+type mChildQuery struct {
+	Height int // parent instance height
+}
+
+// mChildReport answers mChildQuery.
+type mChildReport struct {
+	Height      int // parent instance height the report belongs to
+	MBR         geom.Rect
+	Underloaded bool
+	ParentIs    core.ProcID
+	Exists      bool
+}
+
+// mEvent carries a published event through the overlay (§2.3): upward to
+// the root, downward into every subtree whose MBR contains it.
+type mEvent struct {
+	ID     int64
+	Ev     geom.Point
+	Height int // receiver instance height
+	Up     bool
+	From   core.ProcID
+}

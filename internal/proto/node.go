@@ -1,0 +1,597 @@
+package proto
+
+import (
+	"sort"
+
+	"drtree/internal/core"
+	"drtree/internal/geom"
+	"drtree/internal/simnet"
+	"drtree/internal/split"
+)
+
+// Config parameterizes a protocol cluster.
+type Config struct {
+	// MinFanout and MaxFanout are the paper's m and M (M >= 2m).
+	MinFanout, MaxFanout int
+	// Split is the node-splitting policy (default quadratic).
+	Split split.Policy
+	// CheckEvery is the period, in rounds, of the CHECK_* timers.
+	CheckEvery int
+	// UnderloadPatience is how many consecutive check periods a non-root
+	// node tolerates being underloaded before dissolving and re-inserting
+	// its children (the Figure 14 fallback).
+	UnderloadPatience int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Split == nil {
+		c.Split = split.Quadratic{}
+	}
+	if c.CheckEvery == 0 {
+		c.CheckEvery = 2
+	}
+	if c.UnderloadPatience == 0 {
+		c.UnderloadPatience = 2
+	}
+	return c
+}
+
+// childState is the cached view a parent keeps of one child.
+type childState struct {
+	mbr         geom.Rect
+	underloaded bool
+}
+
+// instance is one per-level node of a process (paper §3.2 data
+// structures), kept strictly local to its owner.
+type instance struct {
+	parent      core.ProcID
+	children    map[core.ProcID]*childState
+	mbr         geom.Rect
+	underloaded bool
+
+	underRounds int // consecutive check periods spent underloaded
+}
+
+// Node is one process actor.
+type Node struct {
+	id     core.ProcID
+	filter geom.Rect
+	cfg    Config
+
+	inst map[int]*instance
+	top  int
+
+	// rejoinPending marks an orphaned topmost instance awaiting re-join.
+	rejoinPending bool
+
+	// Delivery accounting.
+	seen      map[int64]bool
+	Delivered int
+	FalsePos  int
+
+	out []simnet.Message
+}
+
+func newNode(id core.ProcID, filter geom.Rect, cfg Config) *Node {
+	n := &Node{
+		id:     id,
+		filter: filter,
+		cfg:    cfg,
+		inst:   make(map[int]*instance),
+		seen:   make(map[int64]bool),
+	}
+	n.inst[0] = &instance{parent: id, mbr: filter}
+	return n
+}
+
+// ID returns the node's process ID.
+func (n *Node) ID() core.ProcID { return n.id }
+
+// Filter returns the node's subscription rectangle.
+func (n *Node) Filter() geom.Rect { return n.filter }
+
+// Top returns the height of the node's topmost instance.
+func (n *Node) Top() int { return n.top }
+
+// Instance returns a read-only view of the node's instance at height h
+// (parent, sorted children, MBR) for checkers and visualization.
+func (n *Node) Instance(h int) (parent core.ProcID, children []core.ProcID, mbr geom.Rect, ok bool) {
+	in := n.inst[h]
+	if in == nil {
+		return core.NoProc, nil, geom.Rect{}, false
+	}
+	for c := range in.children {
+		children = append(children, c)
+	}
+	sort.Slice(children, func(i, j int) bool { return children[i] < children[j] })
+	return in.parent, children, in.mbr, true
+}
+
+// send enqueues an outgoing message.
+func (n *Node) send(to core.ProcID, payload any) {
+	n.out = append(n.out, simnet.Message{
+		From:    simnet.NodeID(n.id),
+		To:      simnet.NodeID(to),
+		Payload: payload,
+	})
+}
+
+// drainOut returns and clears the outbox.
+func (n *Node) drainOut() []simnet.Message {
+	out := n.out
+	n.out = nil
+	return out
+}
+
+// isRootInstance reports whether instance h is the tree root from this
+// node's local view: topmost and self-parented.
+func (n *Node) isRootInstance(h int) bool {
+	in := n.inst[h]
+	return in != nil && h == n.top && in.parent == n.id && !n.rejoinPending
+}
+
+// process handles one inbound message.
+func (n *Node) process(m simnet.Message) {
+	switch p := m.Payload.(type) {
+	case mJoin:
+		n.onJoin(p)
+	case mAdd:
+		n.onAdd(p.Child, p.MBR, p.Height)
+	case mWelcome:
+		n.onNewParent(p.Height, p.Parent)
+		n.rejoinPending = false
+	case mNewParent:
+		n.onNewParent(p.Height, p.Parent)
+	case mPromote:
+		n.onPromote(p)
+	case mLeave:
+		n.removeChild(p.Height, p.Child)
+	case mRemoveChild:
+		n.removeChild(p.Height, p.Child)
+	case mDissolved:
+		n.markOrphan(p.Height)
+	case mBecomeRoot:
+		n.onBecomeRoot(p.Height)
+	case mShrink:
+		n.dissolve(p.Height)
+	case mParentQuery:
+		n.onParentQuery(core.ProcID(m.From), p)
+	case mParentAck:
+		n.onParentAck(p)
+	case mChildQuery:
+		n.onChildQuery(core.ProcID(m.From), p)
+	case mChildReport:
+		n.onChildReport(core.ProcID(m.From), p)
+	case mEvent:
+		n.onEvent(p)
+	case simnet.Bounce:
+		n.onBounce(core.ProcID(p.To), p.Original)
+	}
+}
+
+// onJoin routes a join request (Figure 8): climb to the root, then
+// descend by least enlargement, then ADD_CHILD at AtHeight+1.
+func (n *Node) onJoin(p mJoin) {
+	h := p.Height
+	if n.inst[h] == nil {
+		h = n.top
+	}
+	in := n.inst[h]
+	// Climb until this instance is the root, then descend.
+	if !p.Descend && !n.isRootInstance(h) {
+		parent := in.parent
+		if parent == n.id || parent == core.NoProc || n.inst[n.top] == nil {
+			// Orphaned contact: best effort, insert here if possible.
+			if n.top > p.AtHeight {
+				n.descendJoin(p, n.top)
+			}
+			return
+		}
+		n.send(parent, mJoin{
+			Joiner: p.Joiner, MBR: p.MBR, AtHeight: p.AtHeight,
+			Height: n.top + 1,
+		})
+		return
+	}
+	n.descendJoin(p, h)
+}
+
+func (n *Node) descendJoin(p mJoin, h int) {
+	in := n.inst[h]
+	if in == nil {
+		return
+	}
+	if h <= p.AtHeight {
+		// The joiner's subtree is as tall as (or taller than) this tree.
+		if !n.isRootInstance(h) {
+			return
+		}
+		if h == p.AtHeight {
+			n.mergeRoot(p, h)
+		} else {
+			// Taller fragment: it must shed a level and retry.
+			n.send(p.Joiner, mShrink{Height: p.AtHeight})
+		}
+		return
+	}
+	in.mbr = in.mbr.Union(p.MBR)
+	if h == p.AtHeight+1 {
+		n.onAdd(p.Joiner, p.MBR, h)
+		return
+	}
+	best := n.chooseBestChild(in, p.MBR)
+	if best == core.NoProc || best == n.id {
+		if n.inst[h-1] != nil {
+			// Continue down our own chain locally.
+			n.descendJoin(p, h-1)
+			return
+		}
+		return
+	}
+	n.send(best, mJoin{
+		Joiner: p.Joiner, MBR: p.MBR, AtHeight: p.AtHeight,
+		Height: h - 1, Descend: true,
+	})
+}
+
+// mergeRoot handles a join whose subtree is exactly as tall as the whole
+// tree (including the second-subscriber case over a lone leaf root): a
+// new common root is elected over the two by largest MBR (Figure 6).
+func (n *Node) mergeRoot(p mJoin, h int) {
+	in := n.inst[h]
+	if in.mbr.Area() >= p.MBR.Area() {
+		// We host the new root.
+		n.inst[h+1] = &instance{
+			parent: n.id,
+			children: map[core.ProcID]*childState{
+				n.id:     {mbr: in.mbr},
+				p.Joiner: {mbr: p.MBR},
+			},
+			mbr: in.mbr.Union(p.MBR),
+		}
+		n.top = h + 1
+		in.parent = n.id
+		n.refreshUnderloaded(h + 1)
+		n.send(p.Joiner, mWelcome{Height: p.AtHeight, Parent: n.id})
+		return
+	}
+	// The joiner hosts the new root.
+	in.parent = p.Joiner
+	n.send(p.Joiner, mPromote{
+		Height:  h + 1,
+		Members: []member{{ID: n.id, MBR: in.mbr}, {ID: p.Joiner, MBR: p.MBR}},
+		Root:    true,
+	})
+}
+
+func (n *Node) chooseBestChild(in *instance, f geom.Rect) core.ProcID {
+	best := core.NoProc
+	var bestEnl, bestArea float64
+	ids := make([]core.ProcID, 0, len(in.children))
+	for c := range in.children {
+		ids = append(ids, c)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, c := range ids {
+		cs := in.children[c]
+		enl := cs.mbr.Enlargement(f)
+		area := cs.mbr.Area()
+		if best == core.NoProc || enl < bestEnl || (enl == bestEnl && area < bestArea) {
+			best, bestEnl, bestArea = c, enl, area
+		}
+	}
+	return best
+}
+
+// onAdd is ADD_CHILD at instance Height (Figure 8): adopt the child,
+// split on overflow.
+func (n *Node) onAdd(child core.ProcID, mbr geom.Rect, h int) {
+	in := n.inst[h]
+	if in == nil {
+		// The target instance vanished; redirect the child to rejoin via
+		// our topmost instance.
+		n.send(child, mDissolved{Height: h - 1})
+		return
+	}
+	if in.children == nil {
+		in.children = make(map[core.ProcID]*childState)
+	}
+	in.children[child] = &childState{mbr: mbr}
+	in.mbr = in.mbr.Union(mbr)
+	n.send(child, mWelcome{Height: h - 1, Parent: n.id})
+	n.refreshUnderloaded(h)
+	if len(in.children) <= n.cfg.MaxFanout {
+		return
+	}
+	n.splitInstance(h)
+}
+
+// splitInstance splits the overflowing instance at h, keeps the group
+// containing the own child, and promotes an elected leader (largest MBR,
+// Figure 6) for the other group.
+func (n *Node) splitInstance(h int) {
+	in := n.inst[h]
+	ids := make([]core.ProcID, 0, len(in.children))
+	for c := range in.children {
+		ids = append(ids, c)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	rects := make([]geom.Rect, len(ids))
+	for i, c := range ids {
+		if c == n.id && n.inst[h-1] != nil {
+			rects[i] = n.inst[h-1].mbr
+		} else {
+			rects[i] = in.children[c].mbr
+		}
+	}
+	leftIdx, rightIdx, err := n.cfg.Split.Split(rects, n.cfg.MinFanout)
+	if err != nil {
+		return // keep the overflow; a later check retries
+	}
+	own := -1
+	for i, c := range ids {
+		if c == n.id {
+			own = i
+		}
+	}
+	if own >= 0 && containsInt(rightIdx, own) {
+		leftIdx, rightIdx = rightIdx, leftIdx
+	}
+
+	// Keep the left group.
+	left := make(map[core.ProcID]*childState, len(leftIdx))
+	var leftMBR geom.Rect
+	for _, i := range leftIdx {
+		left[ids[i]] = in.children[ids[i]]
+		leftMBR = leftMBR.Union(rects[i])
+	}
+	// Elect the right leader: largest MBR, ties by lowest ID.
+	bestAt := rightIdx[0]
+	for _, i := range rightIdx {
+		if rects[i].Area() > rects[bestAt].Area() ||
+			(rects[i].Area() == rects[bestAt].Area() && ids[i] < ids[bestAt]) {
+			bestAt = i
+		}
+	}
+	leader := ids[bestAt]
+	members := make([]member, 0, len(rightIdx))
+	var rightMBR geom.Rect
+	for _, i := range rightIdx {
+		members = append(members, member{ID: ids[i], MBR: rects[i]})
+		rightMBR = rightMBR.Union(rects[i])
+	}
+
+	wasRoot := n.isRootInstance(h)
+	in.children = left
+	in.mbr = leftMBR
+	n.refreshUnderloaded(h)
+
+	if wasRoot {
+		// Create_Root: elect the new root among the two leaders.
+		if leftMBR.Area() >= rightMBR.Area() {
+			// We stay root: host a new root instance at h+1.
+			nr := &instance{
+				parent: n.id,
+				children: map[core.ProcID]*childState{
+					n.id:   {mbr: leftMBR},
+					leader: {mbr: rightMBR},
+				},
+				mbr: leftMBR.Union(rightMBR),
+			}
+			n.inst[h+1] = nr
+			n.top = h + 1
+			in.parent = n.id
+			n.send(leader, mPromote{Height: h, Members: members, Parent: n.id})
+		} else {
+			in.parent = leader
+			n.send(leader, mPromote{
+				Height: h, Members: members, Root: true,
+				Sibling: &member{ID: n.id, MBR: leftMBR},
+			})
+		}
+		return
+	}
+	n.send(leader, mPromote{Height: h, Members: members, Parent: in.parent})
+	// The leader will announce itself to the parent via mAdd.
+}
+
+// onPromote creates the instance a split elected this node to lead.
+func (n *Node) onPromote(p mPromote) {
+	in := &instance{children: make(map[core.ProcID]*childState, len(p.Members))}
+	for _, m := range p.Members {
+		in.children[m.ID] = &childState{mbr: m.MBR}
+		in.mbr = in.mbr.Union(m.MBR)
+		if m.ID != n.id {
+			n.send(m.ID, mNewParent{Height: p.Height - 1, Parent: n.id})
+		}
+	}
+	n.inst[p.Height] = in
+	if p.Height > n.top {
+		n.top = p.Height
+	}
+	if own := n.inst[p.Height-1]; own != nil && in.children[n.id] != nil {
+		own.parent = n.id
+	}
+	n.refreshUnderloaded(p.Height)
+	switch {
+	case p.Root && p.Sibling != nil:
+		// Become the tree root over {sibling, self}.
+		root := &instance{
+			parent: n.id,
+			children: map[core.ProcID]*childState{
+				p.Sibling.ID: {mbr: p.Sibling.MBR},
+				n.id:         {mbr: in.mbr},
+			},
+			mbr: in.mbr.Union(p.Sibling.MBR),
+		}
+		n.inst[p.Height+1] = root
+		n.top = p.Height + 1
+		in.parent = n.id
+		n.rejoinPending = false
+		n.send(p.Sibling.ID, mNewParent{Height: p.Height, Parent: n.id})
+	case p.Root:
+		in.parent = n.id
+		n.rejoinPending = false
+	default:
+		in.parent = p.Parent
+		n.send(p.Parent, mAdd{Child: n.id, MBR: in.mbr, Height: p.Height + 1})
+	}
+}
+
+// onNewParent records a parent change for the instance at Height.
+func (n *Node) onNewParent(h int, parent core.ProcID) {
+	in := n.inst[h]
+	if in == nil {
+		return
+	}
+	in.parent = parent
+	if h == n.top {
+		n.rejoinPending = false
+	}
+}
+
+// onBecomeRoot promotes this node's instance at Height to tree root after
+// a root collapse.
+func (n *Node) onBecomeRoot(h int) {
+	in := n.inst[h]
+	if in == nil || h != n.top {
+		return
+	}
+	in.parent = n.id
+	n.rejoinPending = false
+}
+
+// removeChild drops a child from the instance at Height.
+func (n *Node) removeChild(h int, child core.ProcID) {
+	in := n.inst[h]
+	if in == nil {
+		return
+	}
+	delete(in.children, child)
+	n.recomputeMBR(h)
+	n.refreshUnderloaded(h)
+}
+
+// markOrphan flags the instance at Height as detached; the periodic check
+// re-joins it through the oracle.
+func (n *Node) markOrphan(h int) {
+	in := n.inst[h]
+	if in == nil {
+		return
+	}
+	in.parent = n.id
+	if h == n.top {
+		n.rejoinPending = true
+	}
+}
+
+// onParentQuery answers CHECK_PARENT.
+func (n *Node) onParentQuery(from core.ProcID, p mParentQuery) {
+	in := n.inst[p.Height+1]
+	is := in != nil && in.children[p.Child] != nil
+	n.send(from, mParentAck{Height: p.Height, IsChild: is})
+}
+
+// onParentAck reacts to a CHECK_PARENT answer: a negative answer orphans
+// the instance (Figure 11: set yourself as parent and re-join).
+func (n *Node) onParentAck(p mParentAck) {
+	if !p.IsChild {
+		n.markOrphan(p.Height)
+	}
+}
+
+// onChildQuery reports this node's instance at Height-1 to the parent.
+func (n *Node) onChildQuery(from core.ProcID, p mChildQuery) {
+	in := n.inst[p.Height-1]
+	rep := mChildReport{Height: p.Height}
+	if in != nil {
+		rep.Exists = true
+		rep.MBR = in.mbr
+		rep.Underloaded = in.underloaded
+		rep.ParentIs = in.parent
+	}
+	n.send(from, rep)
+}
+
+// onChildReport integrates a CHECK_CHILDREN answer: discard children with
+// another parent (Figure 12), refresh the MBR cache (Figure 10).
+func (n *Node) onChildReport(from core.ProcID, p mChildReport) {
+	in := n.inst[p.Height]
+	if in == nil {
+		return
+	}
+	cs := in.children[from]
+	if cs == nil {
+		return
+	}
+	if !p.Exists || p.ParentIs != n.id {
+		delete(in.children, from)
+	} else {
+		cs.mbr = p.MBR
+		cs.underloaded = p.Underloaded
+	}
+	n.recomputeMBR(p.Height)
+	n.refreshUnderloaded(p.Height)
+}
+
+// onBounce reacts to an undeliverable message: the peer is dead.
+func (n *Node) onBounce(dead core.ProcID, original any) {
+	switch orig := original.(type) {
+	case mChildQuery:
+		n.removeChild(orig.Height, dead)
+	case mParentQuery:
+		n.markOrphan(orig.Height)
+	case mJoin:
+		// Routing hop died; retry through our own top next check.
+		if orig.Joiner == n.id {
+			n.rejoinPending = true
+		}
+	case mAdd:
+		// Our new parent died before adopting us.
+		n.markOrphan(orig.Height - 1)
+	case mEvent, mChildReport, mParentAck, mWelcome, mNewParent:
+		// Stale traffic to a dead peer; the periodic checks handle it.
+	default:
+		// Conservative: if we were talking to our parent, re-check soon.
+	}
+}
+
+// recomputeMBR refreshes the instance MBR from the children cache
+// (CHECK_MBR, Figure 10).
+func (n *Node) recomputeMBR(h int) {
+	in := n.inst[h]
+	if in == nil {
+		return
+	}
+	if h == 0 {
+		in.mbr = n.filter
+		return
+	}
+	var mbr geom.Rect
+	for c, cs := range in.children {
+		if c == n.id && n.inst[h-1] != nil {
+			mbr = mbr.Union(n.inst[h-1].mbr)
+			continue
+		}
+		mbr = mbr.Union(cs.mbr)
+	}
+	in.mbr = mbr
+}
+
+func (n *Node) refreshUnderloaded(h int) {
+	in := n.inst[h]
+	if in == nil || h == 0 {
+		return
+	}
+	in.underloaded = len(in.children) < n.cfg.MinFanout
+}
+
+func containsInt(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,217 @@
+package proto
+
+import (
+	"sort"
+
+	"drtree/internal/core"
+	"drtree/internal/geom"
+)
+
+// periodic fires the node's CHECK_* timers (paper §3.3): probe children
+// and parent, fix the local chain, re-join orphaned fragments through the
+// oracle-provided contact, dissolve persistently underloaded nodes, and
+// collapse degenerate roots.
+func (n *Node) periodic(contact core.ProcID) {
+	n.fixChain()
+
+	for h := n.top; h >= 0; h-- {
+		in := n.inst[h]
+		if in == nil {
+			continue
+		}
+		if h > 0 {
+			// CHECK_CHILDREN + CHECK_MBR: probe every remote child.
+			ids := sortedChildIDs(in)
+			for _, c := range ids {
+				if c == n.id {
+					continue
+				}
+				n.send(c, mChildQuery{Height: h})
+			}
+			// Own child is read locally.
+			if cs := in.children[n.id]; cs != nil && n.inst[h-1] != nil {
+				cs.mbr = n.inst[h-1].mbr
+				cs.underloaded = n.inst[h-1].underloaded
+			}
+			n.recomputeMBR(h)
+			n.refreshUnderloaded(h)
+			// The own-child invariant: without it this node cannot stand.
+			if in.children[n.id] == nil || n.inst[h-1] == nil {
+				n.dissolve(h)
+				continue
+			}
+		} else {
+			n.recomputeMBR(0)
+		}
+
+		// CHECK_PARENT for the topmost instance.
+		if h == n.top {
+			if n.isRootInstance(h) {
+				n.maybeCollapseRoot(h)
+				continue
+			}
+			if n.rejoinPending || in.parent == n.id || in.parent == core.NoProc {
+				n.rejoin(contact, h)
+				continue
+			}
+			n.send(in.parent, mParentQuery{Height: h, Child: n.id})
+		} else if in.parent != n.id {
+			// Interior of the own chain must be self-parented.
+			in.parent = n.id
+		}
+	}
+
+	// CHECK_STRUCTURE: persistently underloaded non-root nodes dissolve
+	// and their children re-execute the join process (Figure 14's
+	// INITIATE_NEW_CONNECTION fallback).
+	for h := n.top; h >= 1; h-- {
+		in := n.inst[h]
+		if in == nil {
+			continue
+		}
+		if in.underloaded && !n.isRootInstance(h) {
+			in.underRounds++
+			if in.underRounds > n.cfg.UnderloadPatience {
+				n.dissolve(h)
+			}
+		} else {
+			in.underRounds = 0
+		}
+	}
+}
+
+// fixChain dissolves instances above a gap in the 0..top chain.
+func (n *Node) fixChain() {
+	top := 0
+	for n.inst[top+1] != nil {
+		top++
+	}
+	for h := range n.inst {
+		if h > top {
+			n.dissolve(h)
+		}
+	}
+	n.top = top
+}
+
+// dissolve removes the instance at h: remote children are told to re-join
+// (mDissolved), the parent is told to drop us, and our own chain below
+// becomes the new topmost fragment.
+func (n *Node) dissolve(h int) {
+	in := n.inst[h]
+	if in == nil {
+		return
+	}
+	delete(n.inst, h)
+	for c := range in.children {
+		if c != n.id {
+			n.send(c, mDissolved{Height: h - 1})
+		}
+	}
+	if in.parent != n.id && in.parent != core.NoProc {
+		n.send(in.parent, mRemoveChild{Height: h + 1, Child: n.id})
+	}
+	if n.top >= h {
+		n.top = h - 1
+		if low := n.inst[n.top]; low != nil {
+			low.parent = n.id
+			n.rejoinPending = true
+		}
+	}
+}
+
+// rejoin re-executes the join process for the subtree topped at h,
+// starting from the oracle-provided contact (Figure 11).
+func (n *Node) rejoin(contact core.ProcID, h int) {
+	if contact == core.NoProc || contact == n.id {
+		// We are the contact (likely the new root); stay put.
+		n.rejoinPending = false
+		if in := n.inst[h]; in != nil {
+			in.parent = n.id
+		}
+		return
+	}
+	in := n.inst[h]
+	if in == nil {
+		return
+	}
+	n.rejoinPending = true
+	n.send(contact, mJoin{Joiner: n.id, MBR: in.mbr, AtHeight: h, Height: -1})
+}
+
+// maybeCollapseRoot removes a degenerate root (single child).
+func (n *Node) maybeCollapseRoot(h int) {
+	in := n.inst[h]
+	if in == nil || h == 0 || len(in.children) != 1 {
+		return
+	}
+	var only core.ProcID
+	for c := range in.children {
+		only = c
+	}
+	delete(n.inst, h)
+	n.top = h - 1
+	if only == n.id {
+		if low := n.inst[h-1]; low != nil {
+			low.parent = n.id
+		}
+		return
+	}
+	n.send(only, mBecomeRoot{Height: h - 1})
+}
+
+// onEvent routes a published event (paper §2.3): deliver locally, descend
+// into children whose cached MBR contains it, and keep climbing when
+// traveling upward.
+func (n *Node) onEvent(p mEvent) {
+	n.deliver(p.ID, p.Ev)
+	h := p.Height
+	in := n.inst[h]
+	if in == nil {
+		return
+	}
+	if h > 0 {
+		ids := sortedChildIDs(in)
+		for _, c := range ids {
+			if c == p.From {
+				continue
+			}
+			cs := in.children[c]
+			if !cs.mbr.ContainsPoint(p.Ev) {
+				continue
+			}
+			if c == n.id {
+				n.onEvent(mEvent{ID: p.ID, Ev: p.Ev, Height: h - 1, From: n.id})
+				continue
+			}
+			n.send(c, mEvent{ID: p.ID, Ev: p.Ev, Height: h - 1, From: n.id})
+		}
+	}
+	if p.Up && !n.isRootInstance(h) && in.parent != n.id && in.parent != core.NoProc {
+		n.send(in.parent, mEvent{ID: p.ID, Ev: p.Ev, Height: h + 1, Up: true, From: n.id})
+	} else if p.Up && h < n.top {
+		// Climb our own chain locally.
+		n.onEvent(mEvent{ID: p.ID, Ev: p.Ev, Height: h + 1, Up: true, From: n.id})
+	}
+}
+
+// deliver records the physical receipt of an event (idempotent).
+func (n *Node) deliver(id int64, ev geom.Point) {
+	if n.seen[id] {
+		return
+	}
+	n.seen[id] = true
+	n.Delivered++
+	if !n.filter.ContainsPoint(ev) {
+		n.FalsePos++
+	}
+}
+
+func sortedChildIDs(in *instance) []core.ProcID {
+	ids := make([]core.ProcID, 0, len(in.children))
+	for c := range in.children {
+		ids = append(ids, c)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}

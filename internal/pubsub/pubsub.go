@@ -1,0 +1,155 @@
+// Package pubsub embeds a content-based publish/subscribe system in the
+// DR-tree overlay (the paper's overall goal): subscribers register
+// predicate filters (package filter), the broker compiles them to
+// poly-space rectangles over a fixed attribute Space, organizes them in
+// the DR-tree (package core), and routes events with no false negatives
+// and few false positives.
+package pubsub
+
+import (
+	"fmt"
+	"sort"
+
+	"drtree/internal/core"
+	"drtree/internal/filter"
+)
+
+// Broker is the pub/sub front end over one DR-tree overlay. It is not
+// safe for concurrent use.
+type Broker struct {
+	space *filter.Space
+	tree  *core.Tree
+	subs  map[core.ProcID]filter.Filter
+}
+
+// New creates a broker over the given attribute space and DR-tree
+// parameters.
+func New(space *filter.Space, params core.Params) (*Broker, error) {
+	if space == nil {
+		return nil, fmt.Errorf("pubsub: nil space")
+	}
+	tree, err := core.New(params)
+	if err != nil {
+		return nil, err
+	}
+	return &Broker{space: space, tree: tree, subs: make(map[core.ProcID]filter.Filter)}, nil
+}
+
+// Tree exposes the underlying overlay (for inspection and experiments).
+func (b *Broker) Tree() *core.Tree { return b.tree }
+
+// Space returns the broker's attribute space.
+func (b *Broker) Space() *filter.Space { return b.space }
+
+// Len returns the number of active subscribers.
+func (b *Broker) Len() int { return len(b.subs) }
+
+// Subscribe registers subscriber id with the given filter: the filter is
+// compiled to its rectangle and the subscriber joins the overlay.
+func (b *Broker) Subscribe(id core.ProcID, f filter.Filter) (core.JoinStats, error) {
+	rect, err := b.space.Rect(f)
+	if err != nil {
+		return core.JoinStats{}, fmt.Errorf("pubsub: compiling filter: %w", err)
+	}
+	st, err := b.tree.Join(id, rect)
+	if err != nil {
+		return core.JoinStats{}, err
+	}
+	b.subs[id] = f
+	return st, nil
+}
+
+// SubscribeExpr is Subscribe with a textual filter (filter.Parse syntax).
+func (b *Broker) SubscribeExpr(id core.ProcID, src string) (core.JoinStats, error) {
+	f, err := filter.Parse(src)
+	if err != nil {
+		return core.JoinStats{}, err
+	}
+	return b.Subscribe(id, f)
+}
+
+// Unsubscribe removes a subscriber via a controlled departure.
+func (b *Broker) Unsubscribe(id core.ProcID) error {
+	if _, ok := b.subs[id]; !ok {
+		return fmt.Errorf("pubsub: subscriber %d not registered", id)
+	}
+	if _, err := b.tree.Leave(id); err != nil {
+		return err
+	}
+	delete(b.subs, id)
+	return nil
+}
+
+// Fail simulates an abrupt subscriber failure; call Repair (or rely on
+// the next Repair) to restore the overlay.
+func (b *Broker) Fail(id core.ProcID) error {
+	if _, ok := b.subs[id]; !ok {
+		return fmt.Errorf("pubsub: subscriber %d not registered", id)
+	}
+	if err := b.tree.Crash(id); err != nil {
+		return err
+	}
+	delete(b.subs, id)
+	return nil
+}
+
+// Repair runs the overlay stabilization to a fixpoint.
+func (b *Broker) Repair() core.StabStats { return b.tree.Stabilize() }
+
+// Notification is the outcome of publishing one event.
+type Notification struct {
+	// Interested lists subscribers whose filter exactly matches the
+	// event (strict predicate semantics), ascending.
+	Interested []core.ProcID
+	// Received lists subscribers that physically received the event.
+	Received []core.ProcID
+	// FalsePositives = received but not interested.
+	FalsePositives []core.ProcID
+	// FalseNegatives = interested but not received (must always be
+	// empty; kept for verification).
+	FalseNegatives []core.ProcID
+	// Messages is the inter-process message count.
+	Messages int
+}
+
+// Publish routes an event from the given producer through the overlay.
+// The producer must be a subscriber (the paper's model: publishers and
+// consumers share the overlay).
+func (b *Broker) Publish(producer core.ProcID, ev filter.Event) (Notification, error) {
+	if _, ok := b.subs[producer]; !ok {
+		return Notification{}, fmt.Errorf("pubsub: producer %d not registered", producer)
+	}
+	p, err := b.space.Point(ev)
+	if err != nil {
+		return Notification{}, err
+	}
+	d, err := b.tree.Publish(producer, p)
+	if err != nil {
+		return Notification{}, err
+	}
+	var n Notification
+	n.Messages = d.Messages
+	n.Received = d.Received
+	got := make(map[core.ProcID]bool, len(d.Received))
+	for _, id := range d.Received {
+		got[id] = true
+	}
+	for id, f := range b.subs {
+		if f.Match(ev) {
+			n.Interested = append(n.Interested, id)
+			if !got[id] {
+				n.FalseNegatives = append(n.FalseNegatives, id)
+			}
+		} else if got[id] {
+			n.FalsePositives = append(n.FalsePositives, id)
+		}
+	}
+	sortIDs(n.Interested)
+	sortIDs(n.FalsePositives)
+	sortIDs(n.FalseNegatives)
+	return n, nil
+}
+
+func sortIDs(ids []core.ProcID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}

@@ -1,0 +1,61 @@
+package rtree
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"drtree/internal/geom"
+	"drtree/internal/split"
+)
+
+func benchFill(b *testing.B, pol split.Policy, n int) (*Tree, *rand.Rand) {
+	b.Helper()
+	rng := rand.New(rand.NewPCG(1, uint64(n)))
+	tr := MustNew(4, 8, pol)
+	for i := 0; i < n; i++ {
+		x, y := rng.Float64()*1000, rng.Float64()*1000
+		if err := tr.Insert(geom.R2(x, y, x+5, y+5), i); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return tr, rng
+}
+
+func BenchmarkInsert(b *testing.B) {
+	for _, pol := range split.All() {
+		b.Run(pol.Name(), func(b *testing.B) {
+			rng := rand.New(rand.NewPCG(2, 2))
+			tr := MustNew(4, 8, pol)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				x, y := rng.Float64()*1000, rng.Float64()*1000
+				if err := tr.Insert(geom.R2(x, y, x+5, y+5), i); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSearchPointN10000(b *testing.B) {
+	tr, rng := benchFill(b, split.RStar{}, 10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.SearchPoint(geom.Point{rng.Float64() * 1000, rng.Float64() * 1000})
+	}
+}
+
+func BenchmarkDeleteInsertCycle(b *testing.B) {
+	tr, rng := benchFill(b, split.Quadratic{}, 2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x, y := rng.Float64()*1000, rng.Float64()*1000
+		r := geom.R2(x, y, x+5, y+5)
+		if err := tr.Insert(r, -i-1); err != nil {
+			b.Fatal(err)
+		}
+		if ok, err := tr.Delete(r, -i-1); err != nil || !ok {
+			b.Fatalf("delete: %v %v", ok, err)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+// Package simnet is the simulated network substrate for the protocol
+// actors: a deterministic, round-based message bus. Messages sent during
+// round r are delivered at the start of round r+1 (FIFO per sender);
+// messages to crashed endpoints optionally bounce back to the sender as
+// failure notices (the simulation stand-in for a timeout-based failure
+// detector).
+//
+// The substrate replaces the paper's physical peer-to-peer network (see
+// DESIGN.md §4): the protocol's step and message counts are measured in
+// rounds and deliveries, both independent of wall-clock hardware.
+package simnet
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+)
+
+// NodeID identifies a network endpoint.
+type NodeID int
+
+// Message is one payload in flight.
+type Message struct {
+	From, To NodeID
+	Payload  any
+}
+
+// Bounce notifies a sender that its message could not be delivered
+// because the destination is dead (failure-detector surrogate).
+type Bounce struct {
+	// To is the dead destination.
+	To NodeID
+	// Original is the undeliverable payload.
+	Original any
+}
+
+// Stats aggregates traffic counters.
+type Stats struct {
+	Sent      int
+	Delivered int
+	Dropped   int
+	Bounced   int
+}
+
+// Network is the round-based bus. Not safe for concurrent use; the
+// goroutine runtime (proto.LiveCluster) provides a concurrent driver.
+type Network struct {
+	pending []Message
+	dead    map[NodeID]bool
+	stats   Stats
+
+	// DropRate randomly drops this fraction of messages (transient loss).
+	DropRate float64
+	// Rand drives random drops; required when DropRate > 0.
+	Rand *rand.Rand
+	// BounceDead controls whether sends to dead endpoints generate
+	// Bounce notices (true = failure detector available).
+	BounceDead bool
+}
+
+// New creates an empty network with dead-endpoint bounces enabled.
+func New() *Network {
+	return &Network{dead: make(map[NodeID]bool), BounceDead: true}
+}
+
+// Send enqueues messages for delivery at the next round.
+func (n *Network) Send(msgs ...Message) {
+	for _, m := range msgs {
+		n.stats.Sent++
+		n.pending = append(n.pending, m)
+	}
+}
+
+// Kill marks an endpoint as dead: future (and already pending) messages
+// to it are undeliverable.
+func (n *Network) Kill(id NodeID) { n.dead[id] = true }
+
+// Revive clears the dead mark (a fresh process reusing the address).
+func (n *Network) Revive(id NodeID) { delete(n.dead, id) }
+
+// Dead reports whether the endpoint is marked dead.
+func (n *Network) Dead(id NodeID) bool { return n.dead[id] }
+
+// Quiescent reports whether no messages are in flight.
+func (n *Network) Quiescent() bool { return len(n.pending) == 0 }
+
+// Stats returns the traffic counters.
+func (n *Network) Stats() Stats { return n.stats }
+
+// InFlight returns the number of pending messages.
+func (n *Network) InFlight() int { return len(n.pending) }
+
+// DeliverRound delivers every pending message, returning the per-node
+// inboxes (keys sorted for deterministic iteration by callers). Sends to
+// dead endpoints are dropped or bounced back to the (live) sender.
+func (n *Network) DeliverRound() map[NodeID][]Message {
+	batch := n.pending
+	n.pending = nil
+	inboxes := make(map[NodeID][]Message)
+	for _, m := range batch {
+		if n.DropRate > 0 && n.Rand != nil && n.Rand.Float64() < n.DropRate {
+			n.stats.Dropped++
+			continue
+		}
+		if n.dead[m.To] {
+			if n.BounceDead && !n.dead[m.From] {
+				n.stats.Bounced++
+				n.pending = append(n.pending, Message{
+					From:    m.To,
+					To:      m.From,
+					Payload: Bounce{To: m.To, Original: m.Payload},
+				})
+			} else {
+				n.stats.Dropped++
+			}
+			continue
+		}
+		n.stats.Delivered++
+		inboxes[m.To] = append(inboxes[m.To], m)
+	}
+	return inboxes
+}
+
+// SortedIDs returns the inbox keys in ascending order (deterministic
+// scheduling helper).
+func SortedIDs(inboxes map[NodeID][]Message) []NodeID {
+	out := make([]NodeID, 0, len(inboxes))
+	for id := range inboxes {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// String renders traffic counters.
+func (s Stats) String() string {
+	return fmt.Sprintf("sent=%d delivered=%d dropped=%d bounced=%d",
+		s.Sent, s.Delivered, s.Dropped, s.Bounced)
+}

@@ -1,0 +1,122 @@
+package simnet
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func TestDeliverRoundBasic(t *testing.T) {
+	n := New()
+	n.Send(Message{From: 1, To: 2, Payload: "hello"})
+	n.Send(Message{From: 2, To: 1, Payload: "hi"})
+	if n.Quiescent() || n.InFlight() != 2 {
+		t.Fatal("messages must be pending")
+	}
+	inboxes := n.DeliverRound()
+	if len(inboxes[2]) != 1 || inboxes[2][0].Payload != "hello" {
+		t.Fatalf("inbox 2 = %v", inboxes[2])
+	}
+	if len(inboxes[1]) != 1 {
+		t.Fatalf("inbox 1 = %v", inboxes[1])
+	}
+	if !n.Quiescent() {
+		t.Fatal("network must be quiescent after delivery")
+	}
+	st := n.Stats()
+	if st.Sent != 2 || st.Delivered != 2 || st.Dropped != 0 || st.Bounced != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.String() == "" {
+		t.Fatal("stats must render")
+	}
+}
+
+func TestFIFOPerSender(t *testing.T) {
+	n := New()
+	n.Send(Message{From: 1, To: 2, Payload: 1})
+	n.Send(Message{From: 1, To: 2, Payload: 2})
+	n.Send(Message{From: 1, To: 2, Payload: 3})
+	inbox := n.DeliverRound()[2]
+	for i, m := range inbox {
+		if m.Payload != i+1 {
+			t.Fatalf("out of order: %v", inbox)
+		}
+	}
+}
+
+func TestDeadBounce(t *testing.T) {
+	n := New()
+	n.Kill(9)
+	if !n.Dead(9) {
+		t.Fatal("Kill must mark dead")
+	}
+	n.Send(Message{From: 1, To: 9, Payload: "ping"})
+	inboxes := n.DeliverRound()
+	if len(inboxes) != 0 {
+		t.Fatal("dead endpoint must receive nothing")
+	}
+	// The bounce is in flight for the next round.
+	inboxes = n.DeliverRound()
+	b, ok := inboxes[1][0].Payload.(Bounce)
+	if !ok || b.To != 9 || b.Original != "ping" {
+		t.Fatalf("bounce = %v", inboxes[1])
+	}
+	if n.Stats().Bounced != 1 {
+		t.Fatalf("stats = %+v", n.Stats())
+	}
+	// Revive clears the mark.
+	n.Revive(9)
+	n.Send(Message{From: 1, To: 9, Payload: "again"})
+	if got := n.DeliverRound()[9]; len(got) != 1 {
+		t.Fatalf("revived endpoint inbox = %v", got)
+	}
+}
+
+func TestDeadToDeadDrops(t *testing.T) {
+	n := New()
+	n.Kill(1)
+	n.Kill(2)
+	n.Send(Message{From: 1, To: 2, Payload: "x"})
+	n.DeliverRound()
+	if n.Stats().Dropped != 1 || n.Stats().Bounced != 0 {
+		t.Fatalf("dead-to-dead must drop: %+v", n.Stats())
+	}
+}
+
+func TestNoBounceMode(t *testing.T) {
+	n := New()
+	n.BounceDead = false
+	n.Kill(9)
+	n.Send(Message{From: 1, To: 9, Payload: "ping"})
+	n.DeliverRound()
+	if !n.Quiescent() {
+		t.Fatal("drop mode must not generate traffic")
+	}
+	if n.Stats().Dropped != 1 {
+		t.Fatalf("stats = %+v", n.Stats())
+	}
+}
+
+func TestRandomDrops(t *testing.T) {
+	n := New()
+	n.DropRate = 0.5
+	n.Rand = rand.New(rand.NewPCG(7, 7))
+	for i := 0; i < 1000; i++ {
+		n.Send(Message{From: 1, To: 2, Payload: i})
+	}
+	inbox := n.DeliverRound()[2]
+	if len(inbox) < 350 || len(inbox) > 650 {
+		t.Fatalf("drop rate 0.5 delivered %d of 1000", len(inbox))
+	}
+	if n.Stats().Dropped+n.Stats().Delivered != 1000 {
+		t.Fatalf("accounting: %+v", n.Stats())
+	}
+}
+
+func TestSortedIDs(t *testing.T) {
+	inboxes := map[NodeID][]Message{5: nil, 1: nil, 3: nil}
+	ids := SortedIDs(inboxes)
+	if len(ids) != 3 || ids[0] != 1 || ids[1] != 3 || ids[2] != 5 {
+		t.Fatalf("SortedIDs = %v", ids)
+	}
+}

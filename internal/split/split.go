@@ -1,0 +1,320 @@
+// Package split implements the three node-splitting methods the paper
+// supports for its DR-tree structure (Section 3.2, "There are three
+// classical methods for splitting a children set"):
+//
+//   - Linear   — Guttman's linear-time pick-seeds + least-enlargement
+//     assignment [18].
+//   - Quadratic — Guttman's quadratic method: seeds are the pair wasting
+//     the most area, remaining entries are placed by maximum preference
+//     difference [18].
+//   - RStar    — the R*-tree split of Beckmann et al. [5]: choose the
+//     split axis by minimum margin sum, then the distribution with
+//     minimum overlap (ties by area).
+//
+// A Policy partitions a set of rectangles into two groups, each with at
+// least m members. The same engines back both the classical R-tree
+// baseline (internal/rtree) and the distributed DR-tree (internal/core).
+package split
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"drtree/internal/geom"
+)
+
+// Policy partitions rectangles into two groups.
+type Policy interface {
+	// Name identifies the policy ("linear", "quadratic", "rstar").
+	Name() string
+	// Split partitions rects into two index groups, each of size >= m.
+	// It returns an error if len(rects) < 2*m or m < 1.
+	Split(rects []geom.Rect, m int) (left, right []int, err error)
+}
+
+// ByName returns the policy with the given name.
+func ByName(name string) (Policy, error) {
+	switch name {
+	case "linear":
+		return Linear{}, nil
+	case "quadratic":
+		return Quadratic{}, nil
+	case "rstar":
+		return RStar{}, nil
+	default:
+		return nil, fmt.Errorf("split: unknown policy %q", name)
+	}
+}
+
+// All returns every available policy, in a stable order.
+func All() []Policy {
+	return []Policy{Linear{}, Quadratic{}, RStar{}}
+}
+
+func validate(rects []geom.Rect, m int) error {
+	if m < 1 {
+		return fmt.Errorf("split: m must be >= 1, got %d", m)
+	}
+	if len(rects) < 2*m {
+		return fmt.Errorf("split: need at least 2m=%d rects, got %d", 2*m, len(rects))
+	}
+	for i, r := range rects {
+		if r.IsEmpty() {
+			return fmt.Errorf("split: rect %d is empty", i)
+		}
+	}
+	return nil
+}
+
+// groupState tracks one side of a split in progress.
+type groupState struct {
+	idx []int
+	mbr geom.Rect
+}
+
+func (g *groupState) add(i int, r geom.Rect) {
+	g.idx = append(g.idx, i)
+	g.mbr = g.mbr.Union(r)
+}
+
+// Linear is Guttman's linear split.
+type Linear struct{}
+
+// Name implements Policy.
+func (Linear) Name() string { return "linear" }
+
+// Split implements Policy using linear pick-seeds: in each dimension find
+// the rectangle with the highest low side and the one with the lowest
+// high side, normalize their separation by the total extent, and seed the
+// groups with the pair of greatest normalized separation. Remaining
+// entries go to the group whose MBR is enlarged least.
+func (Linear) Split(rects []geom.Rect, m int) ([]int, []int, error) {
+	if err := validate(rects, m); err != nil {
+		return nil, nil, err
+	}
+	dims := rects[0].Dims()
+	bestSep := math.Inf(-1)
+	s1, s2 := 0, 1
+	for d := 0; d < dims; d++ {
+		highestLo, lowestHi := 0, 0
+		minLo, maxHi := math.Inf(1), math.Inf(-1)
+		for i, r := range rects {
+			if r.Lo(d) > rects[highestLo].Lo(d) {
+				highestLo = i
+			}
+			if r.Hi(d) < rects[lowestHi].Hi(d) {
+				lowestHi = i
+			}
+			minLo = math.Min(minLo, r.Lo(d))
+			maxHi = math.Max(maxHi, r.Hi(d))
+		}
+		if highestLo == lowestHi {
+			continue
+		}
+		width := maxHi - minLo
+		if width <= 0 {
+			width = 1
+		}
+		sep := (rects[highestLo].Lo(d) - rects[lowestHi].Hi(d)) / width
+		if sep > bestSep {
+			bestSep = sep
+			s1, s2 = lowestHi, highestLo
+		}
+	}
+	left, right := distribute(rects, m, s1, s2, false)
+	return left, right, nil
+}
+
+// Quadratic is Guttman's quadratic split.
+type Quadratic struct{}
+
+// Name implements Policy.
+func (Quadratic) Name() string { return "quadratic" }
+
+// Split implements Policy: seeds are the pair whose union wastes the most
+// area; each remaining rectangle is examined and the one maximizing the
+// difference in coverage between the groups is placed next, into the group
+// whose coverage grows least (paper §3.2, quadratic method).
+func (Quadratic) Split(rects []geom.Rect, m int) ([]int, []int, error) {
+	if err := validate(rects, m); err != nil {
+		return nil, nil, err
+	}
+	s1, s2 := 0, 1
+	worst := math.Inf(-1)
+	for i := 0; i < len(rects); i++ {
+		for j := i + 1; j < len(rects); j++ {
+			if waste := rects[i].WasteArea(rects[j]); waste > worst {
+				worst = waste
+				s1, s2 = i, j
+			}
+		}
+	}
+	left, right := distribute(rects, m, s1, s2, true)
+	return left, right, nil
+}
+
+// distribute seeds two groups with s1 and s2 and assigns the remaining
+// rectangles. With preferenceOrder set (quadratic method) the next entry
+// is the one with maximum enlargement difference between the groups; else
+// (linear method) entries are taken in index order. Both honor the
+// min-fill m.
+func distribute(rects []geom.Rect, m, s1, s2 int, preferenceOrder bool) ([]int, []int) {
+	left := &groupState{}
+	right := &groupState{}
+	left.add(s1, rects[s1])
+	right.add(s2, rects[s2])
+	remaining := otherIndexes(len(rects), s1, s2)
+
+	for len(remaining) > 0 {
+		// Min-fill guarantee: if one group needs everything left to reach
+		// m, give it the rest.
+		if len(left.idx)+len(remaining) == m {
+			for _, i := range remaining {
+				left.add(i, rects[i])
+			}
+			break
+		}
+		if len(right.idx)+len(remaining) == m {
+			for _, i := range remaining {
+				right.add(i, rects[i])
+			}
+			break
+		}
+		at := 0
+		if preferenceOrder {
+			bestDiff := math.Inf(-1)
+			for k, i := range remaining {
+				d1 := left.mbr.Enlargement(rects[i])
+				d2 := right.mbr.Enlargement(rects[i])
+				if diff := math.Abs(d1 - d2); diff > bestDiff {
+					bestDiff = diff
+					at = k
+				}
+			}
+		}
+		i := remaining[at]
+		remaining = append(remaining[:at], remaining[at+1:]...)
+		assignPreferred(left, right, i, rects[i])
+	}
+	return left.idx, right.idx
+}
+
+// RStar is the R*-tree-style split.
+type RStar struct{}
+
+// Name implements Policy.
+func (RStar) Name() string { return "rstar" }
+
+// Split implements Policy: for every axis, sort entries by lower then by
+// upper bound and consider all (m .. n-m) prefix distributions; pick the
+// axis with minimum total margin, then the distribution on that axis with
+// minimum overlap between the two MBRs (ties broken by total area).
+func (RStar) Split(rects []geom.Rect, m int) ([]int, []int, error) {
+	if err := validate(rects, m); err != nil {
+		return nil, nil, err
+	}
+	dims := rects[0].Dims()
+	n := len(rects)
+
+	type distribution struct {
+		order []int
+		k     int // left gets order[:k]
+	}
+	var (
+		bestAxisMargin = math.Inf(1)
+		bestAxisDists  []distribution
+	)
+	for d := 0; d < dims; d++ {
+		for _, byHi := range []bool{false, true} {
+			order := make([]int, n)
+			for i := range order {
+				order[i] = i
+			}
+			d, byHi := d, byHi
+			sort.SliceStable(order, func(a, b int) bool {
+				ra, rb := rects[order[a]], rects[order[b]]
+				if byHi {
+					if ra.Hi(d) != rb.Hi(d) {
+						return ra.Hi(d) < rb.Hi(d)
+					}
+					return ra.Lo(d) < rb.Lo(d)
+				}
+				if ra.Lo(d) != rb.Lo(d) {
+					return ra.Lo(d) < rb.Lo(d)
+				}
+				return ra.Hi(d) < rb.Hi(d)
+			})
+			marginSum := 0.0
+			var dists []distribution
+			for k := m; k <= n-m; k++ {
+				l := mbrOf(rects, order[:k])
+				r := mbrOf(rects, order[k:])
+				marginSum += l.Margin() + r.Margin()
+				dists = append(dists, distribution{order: order, k: k})
+			}
+			if marginSum < bestAxisMargin {
+				bestAxisMargin = marginSum
+				bestAxisDists = dists
+			}
+		}
+	}
+	bestOverlap, bestArea := math.Inf(1), math.Inf(1)
+	var chosen distribution
+	for _, dist := range bestAxisDists {
+		l := mbrOf(rects, dist.order[:dist.k])
+		r := mbrOf(rects, dist.order[dist.k:])
+		overlap := l.OverlapArea(r)
+		area := l.Area() + r.Area()
+		if overlap < bestOverlap || (overlap == bestOverlap && area < bestArea) {
+			bestOverlap, bestArea = overlap, area
+			chosen = dist
+		}
+	}
+	left := append([]int(nil), chosen.order[:chosen.k]...)
+	right := append([]int(nil), chosen.order[chosen.k:]...)
+	return left, right, nil
+}
+
+func otherIndexes(n int, skip ...int) []int {
+	skipSet := make(map[int]bool, len(skip))
+	for _, s := range skip {
+		skipSet[s] = true
+	}
+	out := make([]int, 0, n-len(skip))
+	for i := 0; i < n; i++ {
+		if !skipSet[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// assignPreferred puts rect i into the group with the smaller enlargement,
+// breaking ties by smaller area, then by fewer entries, then left.
+func assignPreferred(left, right *groupState, i int, r geom.Rect) {
+	d1 := left.mbr.Enlargement(r)
+	d2 := right.mbr.Enlargement(r)
+	switch {
+	case d1 < d2:
+		left.add(i, r)
+	case d2 < d1:
+		right.add(i, r)
+	case left.mbr.Area() < right.mbr.Area():
+		left.add(i, r)
+	case right.mbr.Area() < left.mbr.Area():
+		right.add(i, r)
+	case len(left.idx) <= len(right.idx):
+		left.add(i, r)
+	default:
+		right.add(i, r)
+	}
+}
+
+func mbrOf(rects []geom.Rect, idx []int) geom.Rect {
+	var out geom.Rect
+	for _, i := range idx {
+		out = out.Union(rects[i])
+	}
+	return out
+}

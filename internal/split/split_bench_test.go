@@ -1,0 +1,27 @@
+package split
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"drtree/internal/geom"
+)
+
+func BenchmarkSplit(b *testing.B) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	// An overflowing node of M+1 = 9 children, the common split size.
+	rects := make([]geom.Rect, 9)
+	for i := range rects {
+		x, y := rng.Float64()*100, rng.Float64()*100
+		rects[i] = geom.R2(x, y, x+rng.Float64()*20, y+rng.Float64()*20)
+	}
+	for _, pol := range All() {
+		b.Run(pol.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := pol.Split(rects, 4); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

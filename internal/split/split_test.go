@@ -1,0 +1,255 @@
+package split
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"drtree/internal/geom"
+)
+
+func rects(rs ...geom.Rect) []geom.Rect { return rs }
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"linear", "quadratic", "rstar"} {
+		p, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if p.Name() != name {
+			t.Fatalf("ByName(%q).Name() = %q", name, p.Name())
+		}
+	}
+	if _, err := ByName("bogus"); err == nil {
+		t.Fatal("ByName(bogus) must error")
+	}
+	if got := len(All()); got != 3 {
+		t.Fatalf("All() returned %d policies, want 3", got)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	two := rects(geom.R2(0, 0, 1, 1), geom.R2(2, 2, 3, 3))
+	for _, p := range All() {
+		if _, _, err := p.Split(two, 0); err == nil {
+			t.Errorf("%s: m=0 must error", p.Name())
+		}
+		if _, _, err := p.Split(two, 2); err == nil {
+			t.Errorf("%s: n < 2m must error", p.Name())
+		}
+		if _, _, err := p.Split(rects(geom.R2(0, 0, 1, 1), geom.Rect{}), 1); err == nil {
+			t.Errorf("%s: empty rect must error", p.Name())
+		}
+	}
+}
+
+// checkPartition verifies the structural contract of any split: disjoint
+// groups covering all indexes, each of size >= m.
+func checkPartition(t *testing.T, name string, n, m int, left, right []int) {
+	t.Helper()
+	if len(left) < m || len(right) < m {
+		t.Fatalf("%s: group sizes %d/%d below m=%d", name, len(left), len(right), m)
+	}
+	if len(left)+len(right) != n {
+		t.Fatalf("%s: partition covers %d of %d", name, len(left)+len(right), n)
+	}
+	seen := make(map[int]bool, n)
+	for _, i := range append(append([]int(nil), left...), right...) {
+		if i < 0 || i >= n || seen[i] {
+			t.Fatalf("%s: invalid or duplicate index %d", name, i)
+		}
+		seen[i] = true
+	}
+}
+
+func TestSplitSeparatesObviousClusters(t *testing.T) {
+	// Two well-separated clusters of 3; every policy must cut between them.
+	cluster := rects(
+		geom.R2(0, 0, 1, 1), geom.R2(1, 0, 2, 1), geom.R2(0, 1, 1, 2),
+		geom.R2(100, 100, 101, 101), geom.R2(101, 100, 102, 101), geom.R2(100, 101, 101, 102),
+	)
+	inLow := func(i int) bool { return i < 3 }
+	for _, p := range All() {
+		left, right, err := p.Split(cluster, 2)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		checkPartition(t, p.Name(), len(cluster), 2, left, right)
+		// All of one cluster must land in the same group.
+		leftLow := 0
+		for _, i := range left {
+			if inLow(i) {
+				leftLow++
+			}
+		}
+		if leftLow != 0 && leftLow != 3 {
+			t.Errorf("%s: split mixes separated clusters: left=%v right=%v", p.Name(), left, right)
+		}
+	}
+}
+
+func TestSplitRespectsMinFill(t *testing.T) {
+	// 4 rects in a line, m=2: both groups must get exactly 2 even though
+	// greedy assignment would prefer 3-1.
+	line := rects(
+		geom.R2(0, 0, 1, 1),
+		geom.R2(2, 0, 3, 1),
+		geom.R2(4, 0, 5, 1),
+		geom.R2(100, 0, 101, 1),
+	)
+	for _, p := range All() {
+		left, right, err := p.Split(line, 2)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		checkPartition(t, p.Name(), len(line), 2, left, right)
+	}
+}
+
+func TestSplitIdenticalRects(t *testing.T) {
+	// Degenerate input: all rectangles equal. Splits must still produce a
+	// legal partition.
+	same := make([]geom.Rect, 6)
+	for i := range same {
+		same[i] = geom.R2(5, 5, 10, 10)
+	}
+	for _, p := range All() {
+		left, right, err := p.Split(same, 2)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		checkPartition(t, p.Name(), len(same), 2, left, right)
+	}
+}
+
+func TestRStarPrefersLowOverlap(t *testing.T) {
+	// Four rects: two tall on the left, two tall on the right. The x-axis
+	// split yields zero overlap; a y split would overlap heavily.
+	rs := rects(
+		geom.R2(0, 0, 1, 10),
+		geom.R2(1.5, 0, 2.5, 10),
+		geom.R2(10, 0, 11, 10),
+		geom.R2(11.5, 0, 12.5, 10),
+	)
+	left, right, err := (RStar{}).Split(rs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := mbrOf(rs, left)
+	r := mbrOf(rs, right)
+	if l.OverlapArea(r) != 0 {
+		t.Fatalf("rstar split has overlap: left=%v right=%v", l, r)
+	}
+}
+
+func TestQuadraticSeedsMaxWaste(t *testing.T) {
+	// The far-apart pair (0, 3) wastes the most area and must be separated.
+	rs := rects(
+		geom.R2(0, 0, 1, 1),
+		geom.R2(1, 1, 2, 2),
+		geom.R2(2, 2, 3, 3),
+		geom.R2(50, 50, 51, 51),
+	)
+	left, right, err := (Quadratic{}).Split(rs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameGroup := func(a, b int) bool {
+		in := func(xs []int, v int) bool {
+			for _, x := range xs {
+				if x == v {
+					return true
+				}
+			}
+			return false
+		}
+		return in(left, a) == in(left, b)
+	}
+	if sameGroup(0, 3) {
+		t.Fatalf("quadratic kept max-waste pair together: left=%v right=%v", left, right)
+	}
+	checkPartition(t, "quadratic", len(rs), 1, left, right)
+}
+
+func TestPropertyAllPoliciesProduceLegalPartitions(t *testing.T) {
+	for _, p := range All() {
+		p := p
+		t.Run(p.Name(), func(t *testing.T) {
+			prop := func(seed uint64) bool {
+				rng := rand.New(rand.NewPCG(seed, 21))
+				n := 4 + rng.IntN(20)
+				m := 1 + rng.IntN(n/2) // 1 <= m <= n/2
+				rs := make([]geom.Rect, n)
+				for i := range rs {
+					x, y := rng.Float64()*100, rng.Float64()*100
+					rs[i] = geom.R2(x, y, x+rng.Float64()*20, y+rng.Float64()*20)
+				}
+				left, right, err := p.Split(rs, m)
+				if err != nil {
+					return false
+				}
+				if len(left) < m || len(right) < m || len(left)+len(right) != n {
+					return false
+				}
+				seen := make(map[int]bool, n)
+				for _, i := range append(append([]int(nil), left...), right...) {
+					if i < 0 || i >= n || seen[i] {
+						return false
+					}
+					seen[i] = true
+				}
+				// The two group MBRs must jointly cover the original MBR.
+				total := mbrOf(rs, allIdx(n))
+				joint := mbrOf(rs, left).Union(mbrOf(rs, right))
+				return joint.Equal(total)
+			}
+			if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestPropertySplitIsDeterministic(t *testing.T) {
+	for _, p := range All() {
+		p := p
+		prop := func(seed uint64) bool {
+			rng := rand.New(rand.NewPCG(seed, 22))
+			n := 4 + rng.IntN(12)
+			rs := make([]geom.Rect, n)
+			for i := range rs {
+				x, y := rng.Float64()*50, rng.Float64()*50
+				rs[i] = geom.R2(x, y, x+rng.Float64()*10, y+rng.Float64()*10)
+			}
+			l1, r1, err1 := p.Split(rs, 2)
+			l2, r2, err2 := p.Split(rs, 2)
+			if err1 != nil || err2 != nil {
+				return err1 != nil && err2 != nil
+			}
+			return equalInts(l1, l2) && equalInts(r1, r2)
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+	}
+}
+
+func allIdx(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

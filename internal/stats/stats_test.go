@@ -1,0 +1,127 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasic(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.P50 != 3 {
+		t.Fatalf("Summary = %+v", s)
+	}
+	if math.Abs(s.StdDev-math.Sqrt(2.5)) > 1e-12 {
+		t.Fatalf("StdDev = %g", s.StdDev)
+	}
+	if got := Summarize(nil); got.N != 0 || got.Mean != 0 {
+		t.Fatalf("empty Summary = %+v", got)
+	}
+	one := Summarize([]float64{7})
+	if one.StdDev != 0 || one.P99 != 7 {
+		t.Fatalf("singleton Summary = %+v", one)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 10}, {100, 40}, {-5, 10}, {105, 40}, {50, 25}, {25, 17.5},
+	}
+	for _, tt := range tests {
+		if got := Percentile(sorted, tt.p); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("Percentile(%g) = %g, want %g", tt.p, got, tt.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty percentile must be 0")
+	}
+}
+
+func TestInts(t *testing.T) {
+	got := Ints([]int{1, 2, 3})
+	if len(got) != 3 || got[2] != 3.0 {
+		t.Fatalf("Ints = %v", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := Histogram([]float64{0, 1, 2, 3, 9.99, -5, 42}, 0, 10, 5)
+	if len(h) != 5 {
+		t.Fatalf("bins = %d", len(h))
+	}
+	total := 0
+	for _, c := range h {
+		total += c
+	}
+	if total != 7 {
+		t.Fatalf("histogram lost values: %v", h)
+	}
+	if h[0] != 3 { // 0, 1, -5 (clamped)
+		t.Fatalf("first bin = %d, want 3 (%v)", h[0], h)
+	}
+	if h[4] != 2 { // 9.99 and 42 (clamped)
+		t.Fatalf("last bin = %d, want 2 (%v)", h[4], h)
+	}
+	if Histogram(nil, 0, 0, 5) != nil || Histogram(nil, 0, 10, 0) != nil {
+		t.Error("degenerate ranges must yield nil")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("N", "height", "bound")
+	tb.AddRow(100, 4, 6.64)
+	tb.AddRow(10000, 7, 13.28)
+	out := tb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "N") || !strings.Contains(lines[0], "height") {
+		t.Fatalf("bad header: %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "6.640") {
+		t.Fatalf("float formatting: %q", lines[2])
+	}
+	// Columns align: every line has the same separator positions.
+	if len(lines[1]) < len("N") {
+		t.Fatal("separator missing")
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	tb := NewTable("v")
+	tb.AddRow(1e9)
+	tb.AddRow(1e-9)
+	tb.AddRow(math.Inf(1))
+	tb.AddRow(math.Inf(-1))
+	tb.AddRow(0.0)
+	out := tb.String()
+	for _, want := range []string{"1.000e+09", "1.000e-09", "+inf", "-inf", "0.000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPropertySummaryBounds(t *testing.T) {
+	prop := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 71))
+		n := 1 + rng.IntN(200)
+		sample := make([]float64, n)
+		for i := range sample {
+			sample[i] = rng.NormFloat64() * 100
+		}
+		s := Summarize(sample)
+		return s.Min <= s.P50 && s.P50 <= s.P95 && s.P95 <= s.P99 &&
+			s.P99 <= s.Max && s.Min <= s.Mean && s.Mean <= s.Max && s.StdDev >= 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,62 @@
+package workload
+
+import (
+	"drtree/internal/geom"
+)
+
+// Figure1 is the canonical scenario of the paper's Figure 1: eight
+// two-dimensional subscriptions S1..S8 and four events a..d, modeled so
+// that every containment fact the paper states holds:
+//
+//   - S4 ⊂ S2 and S4 ⊂ S3, with S2 and S3 incomparable (§3.1);
+//   - S7 ⊂ S3, S8 ⊂ S3, S6 ⊂ S5;
+//   - event a matches exactly S2, S3 and S4 (the worked example: S2
+//     publishes a, only S2, S3, S4 receive it, 2 messages);
+//   - event d matches no subscription.
+type Figure1 struct {
+	// Labels are "S1".."S8" in order.
+	Labels []string
+	// Subs are the subscription rectangles, parallel to Labels.
+	Subs []geom.Rect
+	// Events maps the paper's event names a..d to points.
+	Events map[string]geom.Point
+}
+
+// NewFigure1 builds the canonical scenario.
+func NewFigure1() Figure1 {
+	return Figure1{
+		Labels: []string{"S1", "S2", "S3", "S4", "S5", "S6", "S7", "S8"},
+		Subs: []geom.Rect{
+			geom.R2(5, 5, 28, 45),   // S1
+			geom.R2(10, 50, 45, 90), // S2
+			geom.R2(30, 5, 95, 75),  // S3
+			geom.R2(32, 52, 43, 73), // S4 ⊂ S2 ∩ S3
+			geom.R2(55, 55, 90, 95), // S5
+			geom.R2(60, 60, 75, 85), // S6 ⊂ S5
+			geom.R2(60, 10, 85, 40), // S7 ⊂ S3
+			geom.R2(40, 15, 70, 35), // S8 ⊂ S3
+		},
+		Events: map[string]geom.Point{
+			"a": {35, 60}, // in S2, S3, S4
+			"b": {65, 20}, // in S3, S7, S8
+			"c": {70, 70}, // in S3, S5, S6
+			"d": {3, 97},  // in nothing
+		},
+	}
+}
+
+// Matching returns the labels of subscriptions containing the named
+// event, in S1..S8 order (the scenario's ground truth).
+func (f Figure1) Matching(event string) []string {
+	p, ok := f.Events[event]
+	if !ok {
+		return nil
+	}
+	var out []string
+	for i, r := range f.Subs {
+		if r.ContainsPoint(p) {
+			out = append(out, f.Labels[i])
+		}
+	}
+	return out
+}

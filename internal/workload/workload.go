@@ -1,0 +1,253 @@
+// Package workload generates the synthetic subscription and event
+// workloads used by the reproduction experiments. The paper's companion
+// TR evaluates "most workloads" without publishing them; these generators
+// span the same qualitative space: uniform rectangles, spatially
+// clustered communities, containment-heavy (nested) subscription
+// populations, and uniform or hot-spot event streams (see DESIGN.md §4).
+//
+// All generators draw from caller-provided seeded sources, so every
+// experiment is reproducible.
+package workload
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+
+	"drtree/internal/geom"
+)
+
+// World is the square universe all workloads live in: [0, Size]^2.
+type World struct {
+	Size float64
+}
+
+// DefaultWorld is the 1000x1000 universe used by the benchmarks.
+func DefaultWorld() World { return World{Size: 1000} }
+
+// SubscriptionKind selects a subscription-population shape.
+type SubscriptionKind int
+
+// Supported subscription populations.
+const (
+	// Uniform scatters fixed-scale rectangles uniformly.
+	Uniform SubscriptionKind = iota + 1
+	// Clustered concentrates subscriptions around a few community
+	// centers (semantic communities, paper §1).
+	Clustered
+	// Contained produces nested subscription chains (rich containment
+	// structure, the regime Properties 3.1/3.2 target).
+	Contained
+	// Mixed combines the three in equal parts.
+	Mixed
+)
+
+// String names the kind.
+func (k SubscriptionKind) String() string {
+	switch k {
+	case Uniform:
+		return "uniform"
+	case Clustered:
+		return "clustered"
+	case Contained:
+		return "contained"
+	case Mixed:
+		return "mixed"
+	default:
+		return fmt.Sprintf("SubscriptionKind(%d)", int(k))
+	}
+}
+
+// KindByName resolves a kind from its name.
+func KindByName(name string) (SubscriptionKind, error) {
+	switch name {
+	case "uniform":
+		return Uniform, nil
+	case "clustered":
+		return Clustered, nil
+	case "contained":
+		return Contained, nil
+	case "mixed":
+		return Mixed, nil
+	default:
+		return 0, fmt.Errorf("workload: unknown subscription kind %q", name)
+	}
+}
+
+// Subscriptions generates n subscription rectangles of the given kind.
+func Subscriptions(rng *rand.Rand, w World, kind SubscriptionKind, n int) []geom.Rect {
+	switch kind {
+	case Uniform:
+		return uniformRects(rng, w, n)
+	case Clustered:
+		return clusteredRects(rng, w, n)
+	case Contained:
+		return containedRects(rng, w, n)
+	case Mixed:
+		out := make([]geom.Rect, 0, n)
+		out = append(out, uniformRects(rng, w, n/3)...)
+		out = append(out, clusteredRects(rng, w, n/3)...)
+		out = append(out, containedRects(rng, w, n-2*(n/3))...)
+		return out
+	default:
+		return nil
+	}
+}
+
+func uniformRects(rng *rand.Rand, w World, n int) []geom.Rect {
+	out := make([]geom.Rect, n)
+	for i := range out {
+		// Sides between 1% and 8% of the world.
+		sx := w.Size * (0.01 + 0.07*rng.Float64())
+		sy := w.Size * (0.01 + 0.07*rng.Float64())
+		x := rng.Float64() * (w.Size - sx)
+		y := rng.Float64() * (w.Size - sy)
+		out[i] = geom.R2(x, y, x+sx, y+sy)
+	}
+	return out
+}
+
+func clusteredRects(rng *rand.Rand, w World, n int) []geom.Rect {
+	// A handful of community centers; subscriptions huddle around them.
+	centers := 3 + rng.IntN(4)
+	cx := make([]float64, centers)
+	cy := make([]float64, centers)
+	for i := 0; i < centers; i++ {
+		cx[i] = w.Size * (0.15 + 0.7*rng.Float64())
+		cy[i] = w.Size * (0.15 + 0.7*rng.Float64())
+	}
+	out := make([]geom.Rect, n)
+	for i := range out {
+		c := rng.IntN(centers)
+		sx := w.Size * (0.01 + 0.05*rng.Float64())
+		sy := w.Size * (0.01 + 0.05*rng.Float64())
+		x := clamp(cx[c]+rng.NormFloat64()*w.Size*0.05-sx/2, 0, w.Size-sx)
+		y := clamp(cy[c]+rng.NormFloat64()*w.Size*0.05-sy/2, 0, w.Size-sy)
+		out[i] = geom.R2(x, y, x+sx, y+sy)
+	}
+	return out
+}
+
+func containedRects(rng *rand.Rand, w World, n int) []geom.Rect {
+	out := make([]geom.Rect, 0, n)
+	// Seed a few top-level containers, then nest.
+	tops := 1 + n/12
+	for i := 0; i < tops && len(out) < n; i++ {
+		sx := w.Size * (0.2 + 0.3*rng.Float64())
+		sy := w.Size * (0.2 + 0.3*rng.Float64())
+		x := rng.Float64() * (w.Size - sx)
+		y := rng.Float64() * (w.Size - sy)
+		out = append(out, geom.R2(x, y, x+sx, y+sy))
+	}
+	for len(out) < n {
+		parent := out[rng.IntN(len(out))]
+		x1 := parent.Lo(0) + rng.Float64()*parent.Side(0)/3
+		y1 := parent.Lo(1) + rng.Float64()*parent.Side(1)/3
+		x2 := parent.Hi(0) - rng.Float64()*parent.Side(0)/3
+		y2 := parent.Hi(1) - rng.Float64()*parent.Side(1)/3
+		out = append(out, geom.R2(x1, y1, x2, y2))
+	}
+	return out
+}
+
+// EventKind selects an event-stream shape.
+type EventKind int
+
+// Supported event streams.
+const (
+	// UniformEvents scatter points uniformly over the world.
+	UniformEvents EventKind = iota + 1
+	// HotSpotEvents concentrate most points in a small hot region (the
+	// biased workload motivating the paper's dynamic reorganization).
+	HotSpotEvents
+	// MatchingEvents draw points inside randomly chosen subscription
+	// rectangles, so most events have at least one interested consumer.
+	MatchingEvents
+)
+
+// String names the kind.
+func (k EventKind) String() string {
+	switch k {
+	case UniformEvents:
+		return "uniform"
+	case HotSpotEvents:
+		return "hotspot"
+	case MatchingEvents:
+		return "matching"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Events generates n event points of the given kind. subs is consulted
+// only by MatchingEvents (it may be nil otherwise).
+func Events(rng *rand.Rand, w World, kind EventKind, n int, subs []geom.Rect) []geom.Point {
+	out := make([]geom.Point, n)
+	switch kind {
+	case UniformEvents:
+		for i := range out {
+			out[i] = geom.Point{rng.Float64() * w.Size, rng.Float64() * w.Size}
+		}
+	case HotSpotEvents:
+		// 90% of events in a 5%-wide hot square, the rest uniform.
+		hx := rng.Float64() * w.Size * 0.95
+		hy := rng.Float64() * w.Size * 0.95
+		side := w.Size * 0.05
+		for i := range out {
+			if rng.Float64() < 0.9 {
+				out[i] = geom.Point{hx + rng.Float64()*side, hy + rng.Float64()*side}
+			} else {
+				out[i] = geom.Point{rng.Float64() * w.Size, rng.Float64() * w.Size}
+			}
+		}
+	case MatchingEvents:
+		if len(subs) == 0 {
+			return Events(rng, w, UniformEvents, n, nil)
+		}
+		for i := range out {
+			r := subs[rng.IntN(len(subs))]
+			out[i] = geom.Point{
+				r.Lo(0) + rng.Float64()*r.Side(0),
+				r.Lo(1) + rng.Float64()*r.Side(1),
+			}
+		}
+	}
+	return out
+}
+
+// ChurnOp is one membership event in a churn trace.
+type ChurnOp struct {
+	// Time is the virtual instant of the operation.
+	Time float64
+	// Join is true for an arrival, false for a departure.
+	Join bool
+}
+
+// ChurnTrace draws a Poisson arrival/departure trace over the given
+// duration: inter-event times are exponential with rate lambda each for
+// arrivals and departures (the paper's Lemma 3.7 model).
+func ChurnTrace(rng *rand.Rand, lambda, duration float64) []ChurnOp {
+	var out []ChurnOp
+	for _, join := range []bool{true, false} {
+		t := 0.0
+		for {
+			t += rng.ExpFloat64() / lambda
+			if t >= duration {
+				break
+			}
+			out = append(out, ChurnOp{Time: t, Join: join})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Time < out[j].Time })
+	return out
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

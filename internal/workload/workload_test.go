@@ -1,0 +1,201 @@
+package workload
+
+import (
+	"math/rand/v2"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"drtree/internal/geom"
+)
+
+func TestKindNames(t *testing.T) {
+	for _, k := range []SubscriptionKind{Uniform, Clustered, Contained, Mixed} {
+		got, err := KindByName(k.String())
+		if err != nil || got != k {
+			t.Errorf("round trip %v: got %v, %v", k, got, err)
+		}
+	}
+	if _, err := KindByName("nope"); err == nil {
+		t.Error("unknown kind must error")
+	}
+	if SubscriptionKind(99).String() == "" || EventKind(99).String() == "" {
+		t.Error("unknown kinds must still render")
+	}
+	for _, k := range []EventKind{UniformEvents, HotSpotEvents, MatchingEvents} {
+		if k.String() == "" {
+			t.Errorf("EventKind %d has empty name", k)
+		}
+	}
+}
+
+func TestSubscriptionsInsideWorld(t *testing.T) {
+	w := DefaultWorld()
+	world := geom.R2(0, 0, w.Size, w.Size)
+	rng := rand.New(rand.NewPCG(1, 1))
+	for _, kind := range []SubscriptionKind{Uniform, Clustered, Contained, Mixed} {
+		subs := Subscriptions(rng, w, kind, 100)
+		if len(subs) != 100 {
+			t.Fatalf("%v: got %d subs", kind, len(subs))
+		}
+		for i, s := range subs {
+			if s.IsEmpty() {
+				t.Fatalf("%v: sub %d empty", kind, i)
+			}
+			if !world.Contains(s) {
+				t.Fatalf("%v: sub %d %v outside world", kind, i, s)
+			}
+		}
+	}
+	if Subscriptions(rng, w, SubscriptionKind(99), 5) != nil {
+		t.Error("unknown kind must yield nil")
+	}
+}
+
+func TestContainedWorkloadHasNesting(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	subs := Subscriptions(rng, DefaultWorld(), Contained, 60)
+	nested := 0
+	for i, a := range subs {
+		for j, b := range subs {
+			if i != j && a.StrictlyContains(b) {
+				nested++
+			}
+		}
+	}
+	if nested < 30 {
+		t.Fatalf("contained workload has only %d nesting pairs", nested)
+	}
+}
+
+func TestEventsKinds(t *testing.T) {
+	w := DefaultWorld()
+	rng := rand.New(rand.NewPCG(3, 3))
+	subs := Subscriptions(rng, w, Uniform, 30)
+
+	evs := Events(rng, w, UniformEvents, 200, nil)
+	if len(evs) != 200 {
+		t.Fatalf("got %d events", len(evs))
+	}
+	for _, e := range evs {
+		if e[0] < 0 || e[0] > w.Size || e[1] < 0 || e[1] > w.Size {
+			t.Fatalf("event %v outside world", e)
+		}
+	}
+
+	// Hot-spot events concentrate: the bounding box of the densest 80%
+	// must be far smaller than the world.
+	hot := Events(rng, w, HotSpotEvents, 500, nil)
+	inSmallBox := 0
+	var acc geom.Rect
+	for _, e := range hot {
+		acc = acc.UnionPoint(e)
+	}
+	// Find a 10%-side box with many points (crude density check).
+	for _, e := range hot {
+		box := geom.R2(hot[0][0]-w.Size*0.06, hot[0][1]-w.Size*0.06,
+			hot[0][0]+w.Size*0.06, hot[0][1]+w.Size*0.06)
+		if box.ContainsPoint(e) {
+			inSmallBox++
+		}
+	}
+	if inSmallBox < 250 {
+		t.Fatalf("hot-spot events not concentrated: %d/500 near first point", inSmallBox)
+	}
+
+	// Matching events always land inside some subscription.
+	match := Events(rng, w, MatchingEvents, 300, subs)
+	for _, e := range match {
+		found := false
+		for _, s := range subs {
+			if s.ContainsPoint(e) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("matching event %v hits no subscription", e)
+		}
+	}
+	// MatchingEvents without subs degrades to uniform.
+	if got := Events(rng, w, MatchingEvents, 10, nil); len(got) != 10 {
+		t.Fatal("matching without subs must fall back to uniform")
+	}
+}
+
+func TestChurnTrace(t *testing.T) {
+	rng := rand.New(rand.NewPCG(4, 4))
+	ops := ChurnTrace(rng, 5, 100)
+	if len(ops) == 0 {
+		t.Fatal("empty trace")
+	}
+	joins, leaves := 0, 0
+	last := 0.0
+	for _, op := range ops {
+		if op.Time < last {
+			t.Fatal("trace not sorted by time")
+		}
+		last = op.Time
+		if op.Time < 0 || op.Time >= 100 {
+			t.Fatalf("op at %.2f outside duration", op.Time)
+		}
+		if op.Join {
+			joins++
+		} else {
+			leaves++
+		}
+	}
+	// Poisson(5 * 100) = ~500 each; allow wide tolerance.
+	if joins < 350 || joins > 650 || leaves < 350 || leaves > 650 {
+		t.Fatalf("joins=%d leaves=%d, want ~500 each", joins, leaves)
+	}
+}
+
+func TestPropertyChurnTraceRateScales(t *testing.T) {
+	prop := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 5))
+		low := len(ChurnTrace(rng, 1, 200))
+		high := len(ChurnTrace(rng, 10, 200))
+		return high > low
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFigure1GroundTruth(t *testing.T) {
+	f := NewFigure1()
+	if len(f.Labels) != 8 || len(f.Subs) != 8 {
+		t.Fatal("figure 1 must have 8 subscriptions")
+	}
+	// Paper-stated containments.
+	idx := func(l string) geom.Rect {
+		for i, x := range f.Labels {
+			if x == l {
+				return f.Subs[i]
+			}
+		}
+		t.Fatalf("label %s missing", l)
+		return geom.Rect{}
+	}
+	if !idx("S2").StrictlyContains(idx("S4")) || !idx("S3").StrictlyContains(idx("S4")) {
+		t.Fatal("S4 must be contained in S2 and S3")
+	}
+	if idx("S2").Contains(idx("S3")) || idx("S3").Contains(idx("S2")) {
+		t.Fatal("S2 and S3 must be incomparable")
+	}
+	tests := map[string][]string{
+		"a": {"S2", "S3", "S4"},
+		"b": {"S3", "S7", "S8"},
+		"c": {"S3", "S5", "S6"},
+		"d": nil,
+	}
+	for ev, want := range tests {
+		if got := f.Matching(ev); !reflect.DeepEqual(got, want) {
+			t.Errorf("Matching(%s) = %v, want %v", ev, got, want)
+		}
+	}
+	if f.Matching("z") != nil {
+		t.Error("unknown event must match nothing")
+	}
+}
