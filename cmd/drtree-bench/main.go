@@ -1,19 +1,27 @@
 // Command drtree-bench regenerates the paper's quantitative artifacts
-// (experiments E1-E10, see DESIGN.md §3) and prints one paper-style table
-// per experiment.
+// (experiments E1-E10, see DESIGN.md §3 and EXPERIMENTS.md) and prints
+// one paper-style table per experiment. With -bench-core it instead runs
+// the core hot-path micro-benchmarks and records the ns/op and alloc
+// baselines to a JSON file (the repository keeps BENCH_core.json).
 //
 // Usage:
 //
 //	drtree-bench [-seed N] [-exp E1,E5,E7]
+//	drtree-bench -bench-core BENCH_core.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand/v2"
 	"os"
 	"strings"
+	"testing"
 
+	"drtree/internal/core"
 	"drtree/internal/experiments"
+	"drtree/internal/geom"
 )
 
 func main() {
@@ -23,7 +31,12 @@ func main() {
 func run() int {
 	seed := flag.Uint64("seed", 1, "random seed for all experiments")
 	exp := flag.String("exp", "", "comma-separated experiment IDs (default: all)")
+	benchCore := flag.String("bench-core", "", "run the core hot-path benchmarks and write the baselines to this JSON file")
 	flag.Parse()
+
+	if *benchCore != "" {
+		return runBenchCore(*benchCore)
+	}
 
 	want := map[string]bool{}
 	for _, e := range strings.Split(*exp, ",") {
@@ -63,5 +76,84 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "%d experiment(s) failed to reproduce\n", failures)
 		return 1
 	}
+	return 0
+}
+
+// benchRecord is one recorded benchmark baseline.
+type benchRecord struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// runBenchCore measures the two core hot paths guarded by this repo's
+// performance budget — a 1000-subscriber build-up (per-join cost) and
+// steady-state publishing on the resulting tree — and writes the result
+// as JSON. The workloads replicate BenchmarkJoin1000 and
+// BenchmarkPublishN1000 in internal/core seed-for-seed (PCG(2,2) for the
+// join build-up; benchTree's PCG(1,1000) build and continuing event
+// stream for publish) so numbers are comparable with `go test -bench`.
+func runBenchCore(path string) int {
+	build := func(b *testing.B, s1, s2 uint64) (*core.Tree, *rand.Rand) {
+		rng := rand.New(rand.NewPCG(s1, s2))
+		tr := core.MustNew(core.Params{MinFanout: 2, MaxFanout: 4})
+		for k := 1; k <= 1000; k++ {
+			x, y := rng.Float64()*1000, rng.Float64()*1000
+			if _, err := tr.Join(core.ProcID(k), geom.R2(x, y, x+15, y+15)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return tr, rng
+	}
+
+	joinRes := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			build(b, 2, 2)
+		}
+	})
+
+	publishRes := testing.Benchmark(func(b *testing.B) {
+		tr, rng := build(b, 1, 1000)
+		ids := tr.ProcIDs()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ev := geom.Point{rng.Float64() * 1000, rng.Float64() * 1000}
+			if _, err := tr.Publish(ids[i%len(ids)], ev); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	records := []benchRecord{
+		{
+			Name:        "BenchmarkJoin1000",
+			NsPerOp:     float64(joinRes.NsPerOp()),
+			BytesPerOp:  joinRes.AllocedBytesPerOp(),
+			AllocsPerOp: joinRes.AllocsPerOp(),
+		},
+		{
+			Name:        "BenchmarkPublishN1000",
+			NsPerOp:     float64(publishRes.NsPerOp()),
+			BytesPerOp:  publishRes.AllocedBytesPerOp(),
+			AllocsPerOp: publishRes.AllocsPerOp(),
+		},
+	}
+	out, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	for _, r := range records {
+		fmt.Printf("%-24s %12.0f ns/op %10d B/op %8d allocs/op\n", r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+	}
+	fmt.Printf("wrote %s\n", path)
 	return 0
 }

@@ -1,0 +1,3 @@
+module drtree
+
+go 1.24

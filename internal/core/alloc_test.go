@@ -1,0 +1,64 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"drtree/internal/geom"
+	"drtree/internal/split"
+)
+
+// Allocation budgets for the two hot paths. These lock in the wins of the
+// slice-backed instance storage: the seed's map-backed layout spent ~82.7
+// allocs per join on a 1000-subscriber build-up and ~9 per publish; the
+// budgets below hold the refactored paths to well under half of that, with
+// headroom so unrelated small changes don't flake the suite.
+
+// TestAllocBudgetJoin caps the average allocations per Join across a
+// 1000-subscriber build-up (the BenchmarkJoin1000 workload).
+func TestAllocBudgetJoin(t *testing.T) {
+	const perJoinBudget = 45.0
+	allocs := testing.AllocsPerRun(5, func() {
+		rng := rand.New(rand.NewPCG(2, 2))
+		tr := MustNew(Params{MinFanout: 2, MaxFanout: 4})
+		for k := 1; k <= 1000; k++ {
+			x, y := rng.Float64()*1000, rng.Float64()*1000
+			if _, err := tr.Join(ProcID(k), geom.R2(x, y, x+15, y+15)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	if perJoin := allocs / 1000; perJoin > perJoinBudget {
+		t.Errorf("Join allocates %.1f allocs/op on the 1000-subscriber build-up, budget is %.1f", perJoin, perJoinBudget)
+	}
+}
+
+// TestAllocBudgetPublish caps the allocations of a single Publish on a
+// settled 1000-subscriber tree. The per-tree scratch state (generation
+// stamped delivery set) means steady-state publishing only allocates the
+// caller-visible Delivery slices.
+func TestAllocBudgetPublish(t *testing.T) {
+	const publishBudget = 12.0
+	rng := rand.New(rand.NewPCG(1, 1000))
+	tr := MustNew(Params{MinFanout: 2, MaxFanout: 4, Split: split.Quadratic{}})
+	for i := 1; i <= 1000; i++ {
+		x, y := rng.Float64()*1000, rng.Float64()*1000
+		if _, err := tr.Join(ProcID(i), geom.R2(x, y, x+15, y+15)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ev := geom.Point{500, 500}
+	// Warm the scratch state once so the lazily-created reusable buffers
+	// don't count against the steady-state budget.
+	if _, err := tr.Publish(1, ev); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := tr.Publish(1, ev); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > publishBudget {
+		t.Errorf("Publish allocates %.1f allocs/op on a 1000-subscriber tree, budget is %.1f", allocs, publishBudget)
+	}
+}

@@ -26,7 +26,7 @@ func (t *Tree) CheckLegal() error {
 	if rp == nil {
 		return fmt.Errorf("core: root %d is not a live process", t.rootID)
 	}
-	rin := rp.Inst[t.rootH]
+	rin := rp.At(t.rootH)
 	if rin == nil {
 		return fmt.Errorf("core: root %d has no instance at height %d", t.rootID, t.rootH)
 	}
@@ -49,7 +49,7 @@ func (t *Tree) CheckLegal() error {
 		if p == nil {
 			return fmt.Errorf("core: dead process %d referenced at height %d", id, h)
 		}
-		in := p.Inst[h]
+		in := p.At(h)
 		if in == nil {
 			return fmt.Errorf("core: process %d missing instance at height %d", id, h)
 		}
@@ -116,12 +116,12 @@ func (t *Tree) CheckLegal() error {
 	// instance accounted for.
 	for id, p := range t.procs {
 		for h := 0; h <= p.Top; h++ {
-			if p.Inst[h] == nil {
+			if p.At(h) == nil {
 				return fmt.Errorf("core: process %d chain has a gap at height %d", id, h)
 			}
 		}
-		if len(p.Inst) != p.Top+1 {
-			return fmt.Errorf("core: process %d owns %d instances, top=%d", id, len(p.Inst), p.Top)
+		if n := p.InstCount(); n != p.Top+1 {
+			return fmt.Errorf("core: process %d owns %d instances, top=%d", id, n, p.Top)
 		}
 	}
 	return nil
@@ -222,7 +222,7 @@ func (t *Tree) isSibling(a, b ProcID) bool {
 	if pa == nil || pb == nil {
 		return false
 	}
-	ia, ib := pa.Inst[pa.Top], pb.Inst[pb.Top]
+	ia, ib := pa.At(pa.Top), pb.At(pb.Top)
 	if ia == nil || ib == nil {
 		return false
 	}
@@ -280,7 +280,7 @@ func (t *Tree) ComputeStats() TreeStats {
 		p := t.procs[id]
 		links := 0
 		for h := 0; h <= p.Top; h++ {
-			in := p.Inst[h]
+			in := p.At(h)
 			if in == nil {
 				continue
 			}

@@ -20,7 +20,7 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"drtree/internal/geom"
 	"drtree/internal/split"
@@ -130,20 +130,69 @@ func replaceID(ids []ProcID, old, new ProcID) {
 	}
 }
 
+func hasID(ids []ProcID, id ProcID) bool {
+	return indexOf(ids, id) >= 0
+}
+
 // Process is a subscriber: a physical peer owning a constant filter and
 // one instance per level where it is active.
 type Process struct {
 	ID     ProcID
 	Filter geom.Rect
-	// Inst maps height -> instance. A live process always owns the
-	// contiguous range of heights 0..Top.
-	Inst map[int]*Instance
+	// Inst is the instance table, indexed by height. A live process owns
+	// the contiguous range of heights 0..Top (paper §3.2), so a slice is
+	// the natural layout; nil entries mark gaps left by corruption, and
+	// entries above Top can exist only transiently mid-repair. Use At for
+	// reads so out-of-range heights resolve to nil.
+	Inst []*Instance
 	// Top is the height of the process's topmost instance.
 	Top int
 
 	// Delivery accounting (pub/sub layer).
 	Delivered int // events received
 	FalsePos  int // events received but not matching Filter
+}
+
+// At returns the process's instance at height h, or nil when h is out of
+// range or vacant.
+func (p *Process) At(h int) *Instance {
+	if h < 0 || h >= len(p.Inst) {
+		return nil
+	}
+	return p.Inst[h]
+}
+
+// InstCount returns the number of instances the process currently owns.
+func (p *Process) InstCount() int {
+	n := 0
+	for _, in := range p.Inst {
+		if in != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// setInst stores in at height h, growing the table as needed.
+func (p *Process) setInst(h int, in *Instance) {
+	for len(p.Inst) <= h {
+		p.Inst = append(p.Inst, nil)
+	}
+	p.Inst[h] = in
+}
+
+// clearInst vacates height h and trims trailing vacancies so the table
+// length tracks the owned range.
+func (p *Process) clearInst(h int) {
+	if h < 0 || h >= len(p.Inst) {
+		return
+	}
+	p.Inst[h] = nil
+	n := len(p.Inst)
+	for n > 0 && p.Inst[n-1] == nil {
+		n--
+	}
+	p.Inst = p.Inst[:n]
 }
 
 // Tree is the sequential DR-tree engine. It is not safe for concurrent
@@ -158,6 +207,14 @@ type Tree struct {
 	// pendingFragments queues detached subtrees awaiting re-attachment
 	// (drained by repair and stabilization passes).
 	pendingFragments []fragment
+
+	// Publish scratch state, reused across events so dissemination stays
+	// allocation-light. pubSeen is generation-stamped: an entry marks its
+	// process as having received the event of generation pubGen, which
+	// makes per-event clearing O(1).
+	pubSeen map[ProcID]int
+	pubGen  int
+	pubIDs  []ProcID
 }
 
 // fragment is a detached subtree: process id's instance chain topped at
@@ -222,7 +279,7 @@ func (t *Tree) ProcIDs() []ProcID {
 	for id := range t.procs {
 		out = append(out, id)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
@@ -241,7 +298,7 @@ func (t *Tree) instance(id ProcID, h int) *Instance {
 	if p == nil {
 		return nil
 	}
-	return p.Inst[h]
+	return p.At(h)
 }
 
 // childMBR returns the MBR of child c's instance at height h (empty if
@@ -259,7 +316,7 @@ func (t *Tree) childMBR(c ProcID, h int) geom.Rect {
 // (paper's Compute_MBR) or from the filter for leaves.
 func (t *Tree) computeMBR(id ProcID, h int) {
 	p := t.procs[id]
-	in := p.Inst[h]
+	in := p.At(h)
 	if h == 0 {
 		in.MBR = p.Filter
 		return
@@ -286,7 +343,7 @@ func (t *Tree) newInstance(p *Process, h int) *Instance {
 	if t.params.TrackReorgStats {
 		in.childFP = make(map[ProcID]int)
 	}
-	p.Inst[h] = in
+	p.setInst(h, in)
 	if h > p.Top {
 		p.Top = h
 	}

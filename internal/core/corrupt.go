@@ -66,7 +66,7 @@ func (t *Tree) CorruptRandom(rng *rand.Rand, k int) int {
 		id := ids[rng.IntN(len(ids))]
 		p := t.procs[id]
 		h := rng.IntN(p.Top + 1)
-		in := p.Inst[h]
+		in := p.At(h)
 		if in == nil {
 			continue
 		}

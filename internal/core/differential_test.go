@@ -1,0 +1,79 @@
+package core
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"strings"
+	"testing"
+
+	"drtree/internal/geom"
+)
+
+// TestDifferentialChurn500GoldenTranscript replays a seeded 500-node
+// churn workload (500 joins, 250 mixed churn ops, 200 published events)
+// and requires the tree shape and every delivery set to be byte-identical
+// to testdata/churn500.golden, which was recorded with the pre-refactor
+// map-backed instance storage. This pins down that the slice-backed
+// storage (and the allocation-light Join/Publish paths) are pure layout
+// changes with zero behavioral drift.
+func TestDifferentialChurn500GoldenTranscript(t *testing.T) {
+	var b strings.Builder
+	rng := rand.New(rand.NewPCG(7, 500))
+	tr := MustNew(Params{MinFanout: 2, MaxFanout: 4})
+	next := ProcID(1)
+	var live []ProcID
+
+	join := func() {
+		x, y := rng.Float64()*1000, rng.Float64()*1000
+		w, h := 5+rng.Float64()*40, 5+rng.Float64()*40
+		if _, err := tr.Join(next, geom.R2(x, y, x+w, y+h)); err != nil {
+			t.Fatalf("join %d: %v", next, err)
+		}
+		live = append(live, next)
+		next++
+	}
+
+	for i := 0; i < 500; i++ {
+		join()
+	}
+	for op := 0; op < 250; op++ {
+		if rng.Float64() < 0.5 {
+			join()
+		} else {
+			k := rng.IntN(len(live))
+			if _, err := tr.Leave(live[k]); err != nil {
+				t.Fatalf("op %d leave %d: %v", op, live[k], err)
+			}
+			live = append(live[:k], live[k+1:]...)
+		}
+	}
+
+	fmt.Fprintf(&b, "procs=%d\n", tr.Len())
+	b.WriteString(tr.Describe(nil))
+	for e := 0; e < 200; e++ {
+		ev := geom.Point{rng.Float64() * 1100, rng.Float64() * 1100}
+		prod := live[rng.IntN(len(live))]
+		d, err := tr.Publish(prod, ev)
+		if err != nil {
+			t.Fatalf("event %d: %v", e, err)
+		}
+		fmt.Fprintf(&b, "event %d from P%d at %v: msgs=%d visits=%d recv=%v tp=%v fp=%v\n",
+			e, prod, ev, d.Messages, d.InstanceVisits, d.Received, d.TruePositives, d.FalsePositives)
+	}
+
+	want, err := os.ReadFile("testdata/churn500.golden")
+	if err != nil {
+		t.Fatalf("read golden: %v", err)
+	}
+	got := b.String()
+	if got != string(want) {
+		gl, wl := strings.Split(got, "\n"), strings.Split(string(want), "\n")
+		for i := 0; i < len(gl) && i < len(wl); i++ {
+			if gl[i] != wl[i] {
+				t.Fatalf("transcript diverges from golden at line %d:\n got: %s\nwant: %s", i+1, gl[i], wl[i])
+			}
+		}
+		t.Fatalf("transcript length differs: got %d lines, want %d", len(gl), len(wl))
+	}
+}

@@ -33,7 +33,7 @@ func (t *Tree) Dot(labels map[ProcID]string) string {
 	for _, id := range t.ProcIDs() {
 		p := t.procs[id]
 		for h := 1; h <= p.Top; h++ {
-			in := p.Inst[h]
+			in := p.At(h)
 			if in == nil {
 				continue
 			}
@@ -56,7 +56,7 @@ func (t *Tree) CommunicationEdges() [][2]ProcID {
 	for _, id := range t.ProcIDs() {
 		p := t.procs[id]
 		for h := 1; h <= p.Top; h++ {
-			in := p.Inst[h]
+			in := p.At(h)
 			if in == nil {
 				continue
 			}

@@ -67,7 +67,7 @@ func (t *Tree) join(id ProcID, f geom.Rect, upHops int) (JoinStats, error) {
 		return JoinStats{}, fmt.Errorf("core: filter has %d dims, tree uses %d", f.Dims(), d)
 	}
 
-	p := &Process{ID: id, Filter: f, Inst: make(map[int]*Instance)}
+	p := &Process{ID: id, Filter: f, Inst: make([]*Instance, 0, 4)}
 	t.procs[id] = p
 	leaf := t.newInstance(p, 0)
 	leaf.MBR = f
@@ -88,8 +88,8 @@ func (t *Tree) join(id ProcID, f geom.Rect, upHops int) (JoinStats, error) {
 		root := t.newInstance(t.procs[w], 1)
 		root.Children = []ProcID{other, id}
 		root.Parent = w
-		t.procs[other].Inst[0].Parent = w
-		t.procs[id].Inst[0].Parent = w
+		t.procs[other].At(0).Parent = w
+		t.procs[id].At(0).Parent = w
 		t.computeMBR(w, 1)
 		t.refreshUnderloaded(w, 1)
 		t.rootID, t.rootH = w, 1
@@ -262,7 +262,7 @@ func (t *Tree) addChild(pid ProcID, h int, qid ProcID) int {
 		return 0
 	}
 	in.Children = append(in.Children, qid)
-	t.procs[qid].Inst[h-1].Parent = pid
+	t.procs[qid].At(h - 1).Parent = pid
 	in.MBR = in.MBR.Union(t.childMBR(qid, h-1))
 	t.refreshUnderloaded(pid, h)
 
@@ -323,7 +323,7 @@ func (t *Tree) splitInstance(pid ProcID, h int) int {
 	rin := t.newInstance(r, h)
 	rin.Children = append(rin.Children, rightIDs...)
 	for _, c := range rightIDs {
-		t.procs[c].Inst[h-1].Parent = rid
+		t.procs[c].At(h - 1).Parent = rid
 	}
 	t.computeMBR(rid, h)
 	t.refreshUnderloaded(rid, h)
@@ -370,13 +370,13 @@ func (t *Tree) exchangeRoles(pid, qid ProcID, h int) {
 	wasRoot := t.rootID == pid
 
 	for hh := h; hh <= top; hh++ {
-		in := p.Inst[hh]
-		delete(p.Inst, hh)
+		in := p.At(hh)
+		p.clearInst(hh)
 		if hh > h {
 			// p's own child at hh-1 has become q's.
 			replaceID(in.Children, pid, qid)
 		}
-		q.Inst[hh] = in
+		q.setInst(hh, in)
 		for _, c := range in.Children {
 			if ci := t.instance(c, hh-1); ci != nil {
 				ci.Parent = qid
@@ -388,11 +388,11 @@ func (t *Tree) exchangeRoles(pid, qid ProcID, h int) {
 
 	if wasRoot {
 		t.rootID = qid
-		q.Inst[top].Parent = qid
+		q.At(top).Parent = qid
 		return
 	}
 	// Fix the grandparent's children list: p@top was replaced by q@top.
-	g := q.Inst[top].Parent
+	g := q.At(top).Parent
 	if gi := t.instance(g, top+1); gi != nil {
 		replaceID(gi.Children, pid, qid)
 	}
@@ -461,8 +461,8 @@ func (t *Tree) insertSubtreeAt(id ProcID, h int) int {
 // insertSubtreeAt once the caller realigns. It returns id's new top.
 func (t *Tree) dissolveTop(id ProcID, h int) int {
 	p := t.procs[id]
-	in := p.Inst[h]
-	delete(p.Inst, h)
+	in := p.At(h)
+	p.clearInst(h)
 	p.Top = h - 1
 	for _, c := range in.Children {
 		if c == id {

@@ -29,13 +29,14 @@ func (t *Tree) Leave(id ProcID) (LeaveStats, error) {
 
 	if len(t.procs) == 1 {
 		delete(t.procs, id)
+		delete(t.pubSeen, id)
 		t.rootID, t.rootH = NoProc, 0
 		return st, nil
 	}
 
 	// Notify the parent of the topmost instance (LEAVE message).
 	if t.rootID != id {
-		top := p.Inst[p.Top]
+		top := p.At(p.Top)
 		if g := t.instance(top.Parent, p.Top+1); g != nil {
 			g.removeChild(id)
 			t.refreshUnderloaded(top.Parent, p.Top+1)
@@ -46,6 +47,7 @@ func (t *Tree) Leave(id ProcID) (LeaveStats, error) {
 	// itself) roots an orphaned subtree.
 	t.enqueueOrphansOf(p)
 	delete(t.procs, id)
+	delete(t.pubSeen, id)
 	st.Orphans = len(t.pendingFragments)
 
 	if t.rootID == id {
@@ -65,6 +67,7 @@ func (t *Tree) Crash(id ProcID) error {
 		return fmt.Errorf("core: process %d not in the tree", id)
 	}
 	delete(t.procs, id)
+	delete(t.pubSeen, id)
 	if len(t.procs) == 0 {
 		t.rootID, t.rootH = NoProc, 0
 	}
@@ -86,7 +89,7 @@ func (t *Tree) RepairCrash() LeaveStats {
 // a detached fragment, highest first.
 func (t *Tree) enqueueOrphansOf(p *Process) {
 	for hh := p.Top; hh >= 1; hh-- {
-		in := p.Inst[hh]
+		in := p.At(hh)
 		if in == nil {
 			continue
 		}
@@ -112,7 +115,7 @@ func (t *Tree) electRootFromFragments() {
 		for _, id := range t.ProcIDs() {
 			p := t.procs[id]
 			t.rootID, t.rootH = id, p.Top
-			p.Inst[p.Top].Parent = id
+			p.At(p.Top).Parent = id
 			return
 		}
 		t.rootID, t.rootH = NoProc, 0

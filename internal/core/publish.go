@@ -2,7 +2,7 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"drtree/internal/geom"
 )
@@ -40,13 +40,17 @@ func (t *Tree) Publish(producer ProcID, ev geom.Point) (Delivery, error) {
 		return Delivery{}, fmt.Errorf("core: event has %d dims, tree uses %d", len(ev), d)
 	}
 	var d Delivery
-	received := make(map[ProcID]bool)
+	if t.pubSeen == nil {
+		t.pubSeen = make(map[ProcID]int, len(t.procs))
+	}
+	t.pubGen++
+	t.pubIDs = t.pubIDs[:0]
 
 	// The producer trivially receives its own event.
-	t.receive(producer, ev, received)
+	t.receive(producer, ev)
 
 	// Descend into the producer's own subtree from its topmost instance.
-	t.descend(producer, p.Top, producer, ev, received, &d)
+	t.descend(producer, p.Top, producer, ev, &d)
 
 	// Climb to the root; at each parent, fan out into sibling subtrees
 	// whose MBR contains the event.
@@ -64,7 +68,7 @@ func (t *Tree) Publish(producer ProcID, ev geom.Point) (Delivery, error) {
 			d.Messages++
 		}
 		d.InstanceVisits++
-		t.receive(parent, ev, received)
+		t.receive(parent, ev)
 		t.noteSeen(parent, h+1, ev)
 		pin := t.instance(parent, h+1)
 		if pin == nil {
@@ -79,14 +83,16 @@ func (t *Tree) Publish(producer ProcID, ev geom.Point) (Delivery, error) {
 					d.Messages++
 				}
 				d.InstanceVisits++
-				t.receive(c, ev, received)
-				t.descend(c, h, parent, ev, received, &d)
+				t.receive(c, ev)
+				t.descend(c, h, parent, ev, &d)
 			}
 		}
 		cur, h = parent, h+1
 	}
 
-	d.Received = sortedIDs(received)
+	d.Received = make([]ProcID, len(t.pubIDs))
+	copy(d.Received, t.pubIDs)
+	slices.Sort(d.Received)
 	for _, id := range d.Received {
 		if t.procs[id].Filter.ContainsPoint(ev) {
 			d.TruePositives = append(d.TruePositives, id)
@@ -99,7 +105,7 @@ func (t *Tree) Publish(producer ProcID, ev geom.Point) (Delivery, error) {
 
 // descend forwards the event down from instance (id, h) into every child
 // whose MBR contains it.
-func (t *Tree) descend(id ProcID, h int, from ProcID, ev geom.Point, received map[ProcID]bool, d *Delivery) {
+func (t *Tree) descend(id ProcID, h int, from ProcID, ev geom.Point, d *Delivery) {
 	if h == 0 {
 		return
 	}
@@ -116,18 +122,20 @@ func (t *Tree) descend(id ProcID, h int, from ProcID, ev geom.Point, received ma
 			d.Messages++
 		}
 		d.InstanceVisits++
-		t.receive(c, ev, received)
-		t.descend(c, h-1, id, ev, received, d)
+		t.receive(c, ev)
+		t.descend(c, h-1, id, ev, d)
 	}
 }
 
-// receive records the physical delivery of ev to process id (idempotent)
-// and updates the process's accuracy counters.
-func (t *Tree) receive(id ProcID, ev geom.Point, received map[ProcID]bool) {
-	if received[id] {
+// receive records the physical delivery of ev to process id (idempotent
+// within the current publish generation) and updates the process's
+// accuracy counters.
+func (t *Tree) receive(id ProcID, ev geom.Point) {
+	if t.pubSeen[id] == t.pubGen {
 		return
 	}
-	received[id] = true
+	t.pubSeen[id] = t.pubGen
+	t.pubIDs = append(t.pubIDs, id)
 	p := t.procs[id]
 	p.Delivered++
 	if !p.Filter.ContainsPoint(ev) {
@@ -183,7 +191,7 @@ func (t *Tree) CheckReorg() ReorgStats {
 			continue
 		}
 		for h := 1; h <= p.Top; h++ {
-			in := p.Inst[h]
+			in := p.At(h)
 			if in == nil || in.seen == 0 {
 				continue
 			}
@@ -215,6 +223,9 @@ func (t *Tree) resetReorgCounters(id ProcID) {
 		return
 	}
 	for _, in := range p.Inst {
+		if in == nil {
+			continue
+		}
 		in.seen, in.selfFP = 0, 0
 		if in.childFP != nil {
 			in.childFP = make(map[ProcID]int)
@@ -274,13 +285,4 @@ func (t *Tree) PublishAll(producer ProcID, events []geom.Point) (AccuracyReport,
 		}
 	}
 	return rep, nil
-}
-
-func sortedIDs(set map[ProcID]bool) []ProcID {
-	out := make([]ProcID, 0, len(set))
-	for id := range set {
-		out = append(out, id)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
 }

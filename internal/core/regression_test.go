@@ -1,0 +1,165 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"drtree/internal/geom"
+)
+
+// Regression tests distilled from past debugging sessions. Each test
+// replays a scenario (or a deterministic seed sweep) that once exposed a
+// bug, and guards the invariant that was broken at the time.
+
+// TestRegressionChurnSeedLegalAfterEveryOp replays the churn trace of
+// seed 0x264e2dec53bef8c7 (the failing seed of TestPropertyLegalUnderChurn):
+// 120 mixed join/leave operations, asserting CheckLegal after every single
+// operation. It once caught a cover-invariant violation left behind by a
+// join that routed through instances P30/P31 mid-repair.
+func TestRegressionChurnSeedLegalAfterEveryOp(t *testing.T) {
+	seed := uint64(0x264e2dec53bef8c7)
+	rng := rand.New(rand.NewPCG(seed, 52))
+	tr := MustNew(Params{MinFanout: 2, MaxFanout: 4})
+	var live []ProcID
+	next := ProcID(1)
+	for op := 0; op < 120; op++ {
+		if len(live) == 0 || rng.Float64() < 0.6 {
+			x, y := rng.Float64()*300, rng.Float64()*300
+			if _, err := tr.Join(next, geom.R2(x, y, x+rng.Float64()*30, y+rng.Float64()*30)); err != nil {
+				t.Fatalf("op %d join %d: %v", op, next, err)
+			}
+			if err := tr.CheckLegal(); err != nil {
+				t.Fatalf("op %d after join %d: %v\n%s", op, next, err, tr.Describe(nil))
+			}
+			live = append(live, next)
+			next++
+		} else {
+			k := rng.IntN(len(live))
+			id := live[k]
+			if _, err := tr.Leave(id); err != nil {
+				t.Fatalf("op %d leave %d: %v", op, id, err)
+			}
+			if err := tr.CheckLegal(); err != nil {
+				t.Fatalf("op %d after leave %d: %v\n%s", op, id, err, tr.Describe(nil))
+			}
+			live = append(live[:k], live[k+1:]...)
+		}
+	}
+}
+
+// TestRegressionCorruptionSeedConverges replays the random-corruption
+// seed 0x9647d9bd18e8dad7: build a tree, apply a random burst of
+// corruptions from the paper's fault model, and require Stabilize to
+// converge back to a legal configuration. The seed once drove Stabilize
+// into a non-converging repair loop.
+func TestRegressionCorruptionSeedConverges(t *testing.T) {
+	rng := rand.New(rand.NewPCG(0x9647d9bd18e8dad7, 51))
+	tr := MustNew(Params{MinFanout: 2, MaxFanout: 5})
+	n := 10 + rng.IntN(40)
+	for i := 1; i <= n; i++ {
+		x, y := rng.Float64()*500, rng.Float64()*500
+		if _, err := tr.Join(ProcID(i), geom.R2(x, y, x+rng.Float64()*40, y+rng.Float64()*40)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.CheckLegal(); err != nil {
+		t.Fatalf("before corruption: %v", err)
+	}
+	tr.CorruptRandom(rng, 1+rng.IntN(8))
+	st := tr.Stabilize()
+	if !st.Converged {
+		t.Fatalf("did not converge:\n%s", tr.Describe(nil))
+	}
+	if err := tr.CheckLegal(); err != nil {
+		t.Fatalf("after stabilize: %v\n%s", err, tr.Describe(nil))
+	}
+}
+
+// TestRegressionCrashRepairSeedSweep sweeps 400 deterministic seeds of
+// the crash-repair property: build, crash a random subset, RepairCrash,
+// and require a legal configuration over exactly the survivors. The sweep
+// once exposed rare repair bugs where orphaned fragments were lost or
+// re-attached at the wrong height.
+func TestRegressionCrashRepairSeedSweep(t *testing.T) {
+	for seed := uint64(0); seed < 400; seed++ {
+		rng := rand.New(rand.NewPCG(seed, 53))
+		tr := MustNew(Params{MinFanout: 2, MaxFanout: 4})
+		n := 12 + rng.IntN(30)
+		for i := 1; i <= n; i++ {
+			x, y := rng.Float64()*400, rng.Float64()*400
+			if _, err := tr.Join(ProcID(i), geom.R2(x, y, x+rng.Float64()*30, y+rng.Float64()*30)); err != nil {
+				t.Fatalf("seed %d join: %v", seed, err)
+			}
+		}
+		kills := 1 + rng.IntN(n/3)
+		ids := tr.ProcIDs()
+		rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+		for _, id := range ids[:kills] {
+			if err := tr.Crash(id); err != nil {
+				t.Fatalf("seed %d crash: %v", seed, err)
+			}
+		}
+		st := tr.RepairCrash()
+		if err := tr.CheckLegal(); err != nil {
+			t.Fatalf("seed %d (n=%d kills=%d, stats %+v): %v\n%s",
+				seed, n, kills, st, err, tr.Describe(nil))
+		}
+		if tr.Len() != n-kills {
+			t.Fatalf("seed %d: len %d want %d", seed, tr.Len(), n-kills)
+		}
+	}
+}
+
+// TestRegressionChurnCorruptionNoFalseNegatives sweeps 300 deterministic
+// seeds of the full lifecycle: build, mixed leaves and crashes, random
+// corruption, stabilization, then publishing — asserting the paper's
+// zero-false-negative delivery guarantee (§2.3) holds on the repaired
+// tree. It once caught events silently skipping subtrees whose MBR cache
+// was left stale by the repair.
+func TestRegressionChurnCorruptionNoFalseNegatives(t *testing.T) {
+	for seed := uint64(0); seed < 300; seed++ {
+		rng := rand.New(rand.NewPCG(seed, 62))
+		tr := MustNew(Params{MinFanout: 2, MaxFanout: 5})
+		n := 20 + rng.IntN(30)
+		for i := 1; i <= n; i++ {
+			x, y := rng.Float64()*100, rng.Float64()*100
+			if _, err := tr.Join(ProcID(i), geom.R2(x, y, x+rng.Float64()*25, y+rng.Float64()*25)); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+		}
+		ids := tr.ProcIDs()
+		rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+		for _, id := range ids[:3] {
+			if rng.Float64() < 0.5 {
+				if _, err := tr.Leave(id); err != nil {
+					t.Fatalf("seed %d leave %d: %v", seed, id, err)
+				}
+			} else if err := tr.Crash(id); err != nil {
+				t.Fatalf("seed %d crash %d: %v", seed, id, err)
+			}
+		}
+		tr.CorruptRandom(rng, 3)
+		st := tr.Stabilize()
+		if err := tr.CheckLegal(); err != nil {
+			t.Fatalf("seed %d (stab %+v): %v\n%s", seed, st, err, tr.Describe(nil))
+		}
+		live := tr.ProcIDs()
+		for k := 0; k < 10; k++ {
+			ev := geom.Point{rng.Float64() * 120, rng.Float64() * 120}
+			d, err := tr.Publish(live[rng.IntN(len(live))], ev)
+			if err != nil {
+				t.Fatalf("seed %d publish: %v", seed, err)
+			}
+			got := map[ProcID]bool{}
+			for _, id := range d.Received {
+				got[id] = true
+			}
+			for _, id := range live {
+				f, _ := tr.Filter(id)
+				if f.ContainsPoint(ev) && !got[id] {
+					t.Fatalf("seed %d: false negative for %d on %v\n%s", seed, id, ev, tr.Describe(nil))
+				}
+			}
+		}
+	}
+}

@@ -63,11 +63,11 @@ func (t *Tree) Stabilize() StabStats {
 // tallest live fragment.
 func (t *Tree) ensureRoot(st *StabStats) bool {
 	rp := t.procs[t.rootID]
-	if rp != nil && rp.Inst[t.rootH] != nil {
-		if t.rootH != rp.Top && rp.Inst[rp.Top] != nil {
+	if rp != nil && rp.At(t.rootH) != nil {
+		if t.rootH != rp.Top && rp.At(rp.Top) != nil {
 			// The root process grew or shrank; track its topmost instance.
 			t.rootH = rp.Top
-			rp.Inst[rp.Top].Parent = rp.ID
+			rp.At(rp.Top).Parent = rp.ID
 			st.Fixes++
 			return true
 		}
@@ -79,7 +79,7 @@ func (t *Tree) ensureRoot(st *StabStats) bool {
 	for _, id := range t.ProcIDs() {
 		p := t.procs[id]
 		top := t.contiguousTop(p)
-		in := p.Inst[top]
+		in := p.At(top)
 		g := t.instance(in.Parent, top+1)
 		if in.Parent == id || g == nil || !g.hasChild(id) {
 			t.pendingFragments = append(t.pendingFragments, fragment{id: id, h: top})
@@ -94,7 +94,7 @@ func (t *Tree) ensureRoot(st *StabStats) bool {
 // height 0..h (instances above a gap are corrupt and ignored).
 func (t *Tree) contiguousTop(p *Process) int {
 	h := 0
-	for p.Inst[h+1] != nil {
+	for p.At(h+1) != nil {
 		h++
 	}
 	return h
@@ -112,11 +112,11 @@ func (t *Tree) checkChildrenAll(st *StabStats) bool {
 		if p == nil {
 			continue
 		}
-		// Dissolve instances above a gap in the chain first. Scan the
-		// actual map keys: Top itself may have been corrupted.
+		// Dissolve instances above a gap in the chain first, scanning the
+		// whole table top-down: Top itself may have been corrupted.
 		top := t.contiguousTop(p)
-		for h := range p.Inst {
-			if h > top {
+		for h := len(p.Inst) - 1; h > top; h-- {
+			if p.At(h) != nil {
 				t.dissolveInstance(p, h)
 				st.Fixes++
 				changed = true
@@ -124,16 +124,15 @@ func (t *Tree) checkChildrenAll(st *StabStats) bool {
 		}
 		p.Top = top
 		for h := p.Top; h >= 1; h-- {
-			in := p.Inst[h]
+			in := p.At(h)
 			if in == nil {
 				continue
 			}
 			kept := in.Children[:0]
-			seen := make(map[ProcID]bool, len(in.Children))
 			for _, c := range in.Children {
 				ci := t.instance(c, h-1)
 				switch {
-				case seen[c]:
+				case hasID(kept, c):
 					// Duplicate reference left by a corruption.
 					st.Fixes++
 					changed = true
@@ -146,7 +145,6 @@ func (t *Tree) checkChildrenAll(st *StabStats) bool {
 					st.Fixes++
 					changed = true
 				default:
-					seen[c] = true
 					kept = append(kept, c)
 				}
 			}
@@ -175,11 +173,11 @@ func (t *Tree) checkChildrenAll(st *StabStats) bool {
 // (and p's own lower chain) as fragments to be re-attached. If the root
 // instance dissolves, the root reference moves down to p's remaining top.
 func (t *Tree) dissolveInstance(p *Process, h int) {
-	in := p.Inst[h]
+	in := p.At(h)
 	if in == nil {
 		return
 	}
-	delete(p.Inst, h)
+	p.clearInst(h)
 	if p.Top >= h {
 		p.Top = h - 1
 	}
@@ -200,7 +198,7 @@ func (t *Tree) dissolveInstance(p *Process, h int) {
 			t.pendingFragments = append(t.pendingFragments, fragment{id: c, h: h - 1})
 		}
 	}
-	if own := p.Inst[h-1]; own != nil && h-1 >= 0 {
+	if own := p.At(h - 1); own != nil {
 		own.Parent = p.ID
 		if t.rootID == p.ID && t.rootH == h {
 			t.rootH = h - 1
@@ -220,7 +218,7 @@ func (t *Tree) checkParentsAll(st *StabStats) bool {
 			continue
 		}
 		for h := p.Top; h >= 0; h-- {
-			in := p.Inst[h]
+			in := p.At(h)
 			if in == nil {
 				continue
 			}
@@ -260,12 +258,12 @@ func (t *Tree) checkMBRsAll(st *StabStats) bool {
 	for h := 0; h <= t.rootH; h++ {
 		for _, id := range t.ProcIDs() {
 			p := t.procs[id]
-			if p == nil || p.Inst[h] == nil {
+			if p == nil || p.At(h) == nil {
 				continue
 			}
-			old := p.Inst[h].MBR
+			old := p.At(h).MBR
 			t.computeMBR(id, h)
-			if !old.Equal(p.Inst[h].MBR) {
+			if !old.Equal(p.At(h).MBR) {
 				st.Fixes++
 				changed = true
 			}
@@ -288,7 +286,7 @@ func (t *Tree) checkCoverAll(st *StabStats) bool {
 			continue
 		}
 		for h := 1; h <= p.Top; h++ {
-			in := p.Inst[h]
+			in := p.At(h)
 			if in == nil {
 				continue
 			}
@@ -333,7 +331,7 @@ func (t *Tree) checkStructureAll(st *StabStats) bool {
 		// corrupted phase) can leave a node with more than M children;
 		// split it like an overflowing ADD_CHILD would.
 		for h := 1; h <= p.Top; h++ {
-			in := p.Inst[h]
+			in := p.At(h)
 			if in != nil && len(in.Children) > t.params.MaxFanout {
 				t.splitInstance(id, h)
 				st.Fixes++
@@ -354,7 +352,7 @@ func (t *Tree) checkStructureAll(st *StabStats) bool {
 // rejoin (INITIATE_NEW_CONNECTION).
 func (t *Tree) compactUnder(id ProcID, h int, st *StabStats) bool {
 	p := t.procs[id]
-	in := p.Inst[h]
+	in := p.At(h)
 	if in == nil {
 		return false
 	}
@@ -456,7 +454,7 @@ func (t *Tree) compactPair(gid ProcID, h int, cand, uid ProcID) {
 	// Remove the loser's instance; the loser stays in the tree at h-2 as
 	// an ordinary child of the leader.
 	loser := t.procs[loserID]
-	delete(loser.Inst, h-1)
+	loser.clearInst(h - 1)
 	if loser.Top >= h-1 {
 		loser.Top = h - 2
 	}
@@ -477,12 +475,12 @@ func (t *Tree) collapseRoot(st *StabStats) bool {
 		if rp == nil {
 			return changed
 		}
-		in := rp.Inst[t.rootH]
+		in := rp.At(t.rootH)
 		if in == nil || len(in.Children) != 1 {
 			return changed
 		}
 		c := in.Children[0]
-		delete(rp.Inst, t.rootH)
+		rp.clearInst(t.rootH)
 		if rp.Top >= t.rootH {
 			rp.Top = t.rootH - 1
 		}

@@ -288,25 +288,57 @@ func (r Rect) Margin() float64 {
 	return m
 }
 
+// UnionArea returns Area(Union(r, s)) without materializing the union
+// rectangle. Routing and splitting decisions only ever need the area of a
+// hypothetical union, so this keeps those hot paths allocation-free.
+func (r Rect) UnionArea(s Rect) float64 {
+	if r.IsEmpty() {
+		return s.Area()
+	}
+	if s.IsEmpty() {
+		return r.Area()
+	}
+	area := 1.0
+	for i := range r.lo {
+		side := math.Max(r.hi[i], s.hi[i]) - math.Min(r.lo[i], s.lo[i])
+		if side == 0 {
+			return 0
+		}
+		area *= side
+	}
+	return area
+}
+
 // Enlargement returns how much r's area grows to also cover s:
 // Area(Union(r,s)) − Area(r). Used by Choose_Best_Child ("the child whose
 // MBR needs the less adjustment to encompass the filter of the joining
 // subscriber").
 func (r Rect) Enlargement(s Rect) float64 {
-	return r.Union(s).Area() - r.Area()
+	return r.UnionArea(s) - r.Area()
 }
 
 // OverlapArea returns the area of the intersection of r and s, zero if
 // disjoint.
 func (r Rect) OverlapArea(s Rect) float64 {
-	return r.Intersection(s).Area()
+	if r.IsEmpty() || s.IsEmpty() || len(r.lo) != len(s.lo) {
+		return 0
+	}
+	area := 1.0
+	for i := range r.lo {
+		side := math.Min(r.hi[i], s.hi[i]) - math.Max(r.lo[i], s.lo[i])
+		if side <= 0 {
+			return 0
+		}
+		area *= side
+	}
+	return area
 }
 
 // WasteArea returns the dead space when r and s are combined:
 // Area(Union) − Area(r) − Area(s). This is Guttman's pick-seeds metric
 // ("the union of their MBRs wastes the most area").
 func (r Rect) WasteArea(s Rect) float64 {
-	return r.Union(s).Area() - r.Area() - s.Area()
+	return r.UnionArea(s) - r.Area() - s.Area()
 }
 
 // Clone returns an independent copy of r.

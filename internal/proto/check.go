@@ -23,7 +23,7 @@ func (c *Cluster) CheckLegal() error {
 	rootH := -1
 	for _, id := range c.IDs() {
 		n := c.nodes[id]
-		in := n.inst[n.top]
+		in := n.at(n.top)
 		if in == nil {
 			return fmt.Errorf("proto: node %d missing its topmost instance", id)
 		}
@@ -46,7 +46,7 @@ func (c *Cluster) CheckLegal() error {
 		if n == nil {
 			return geom.Rect{}, fmt.Errorf("proto: dead process %d referenced at height %d", id, h)
 		}
-		in := n.inst[h]
+		in := n.at(h)
 		if in == nil {
 			return geom.Rect{}, fmt.Errorf("proto: process %d missing instance at %d", id, h)
 		}
@@ -76,7 +76,7 @@ func (c *Cluster) CheckLegal() error {
 			if cn == nil {
 				return geom.Rect{}, fmt.Errorf("proto: node (%d,%d) lists dead child %d", id, h, ch)
 			}
-			ci := cn.inst[h-1]
+			ci := cn.at(h - 1)
 			if ci == nil {
 				return geom.Rect{}, fmt.Errorf("proto: child %d of (%d,%d) missing instance", ch, id, h)
 			}
@@ -105,12 +105,12 @@ func (c *Cluster) CheckLegal() error {
 	}
 	for id, n := range c.nodes {
 		for h := 0; h <= n.top; h++ {
-			if n.inst[h] == nil {
+			if n.at(h) == nil {
 				return fmt.Errorf("proto: node %d chain gap at %d", id, h)
 			}
 		}
-		if len(n.inst) != n.top+1 {
-			return fmt.Errorf("proto: node %d owns %d instances, top=%d", id, len(n.inst), n.top)
+		if c := n.instCount(); c != n.top+1 {
+			return fmt.Errorf("proto: node %d owns %d instances, top=%d", id, c, n.top)
 		}
 	}
 	return nil
@@ -129,7 +129,7 @@ func (c *Cluster) Describe() string {
 		out += fmt.Sprintf("height %d:", h)
 		for _, id := range c.IDs() {
 			n := c.nodes[id]
-			in := n.inst[h]
+			in := n.at(h)
 			if in == nil {
 				continue
 			}

@@ -92,7 +92,7 @@ func (c *Cluster) Leave(id core.ProcID) error {
 	if n == nil {
 		return fmt.Errorf("proto: process %d not in the cluster", id)
 	}
-	if in := n.inst[n.top]; in != nil && in.parent != id {
+	if in := n.at(n.top); in != nil && in.parent != id {
 		c.net.Send(simnet.Message{
 			From:    simnet.NodeID(id),
 			To:      simnet.NodeID(in.parent),
@@ -124,7 +124,7 @@ func (c *Cluster) Oracle() core.ProcID {
 	bestArea := -1.0
 	for _, id := range c.IDs() {
 		n := c.nodes[id]
-		in := n.inst[n.top]
+		in := n.at(n.top)
 		if in == nil {
 			continue
 		}
@@ -275,33 +275,33 @@ func (c *Cluster) Publish(producer core.ProcID, ev geom.Point, maxRounds int) (P
 // CorruptParent overwrites the local parent variable of (id, h).
 func (c *Cluster) CorruptParent(id core.ProcID, h int, parent core.ProcID) error {
 	n := c.nodes[id]
-	if n == nil || n.inst[h] == nil {
+	if n == nil || n.at(h) == nil {
 		return fmt.Errorf("proto: no instance (%d,%d)", id, h)
 	}
-	n.inst[h].parent = parent
+	n.at(h).parent = parent
 	return nil
 }
 
 // CorruptChildren replaces the local children set of (id, h).
 func (c *Cluster) CorruptChildren(id core.ProcID, h int, children []core.ProcID) error {
 	n := c.nodes[id]
-	if n == nil || n.inst[h] == nil {
+	if n == nil || n.at(h) == nil {
 		return fmt.Errorf("proto: no instance (%d,%d)", id, h)
 	}
 	m := make(map[core.ProcID]*childState, len(children))
 	for _, ch := range children {
 		m[ch] = &childState{}
 	}
-	n.inst[h].children = m
+	n.at(h).children = m
 	return nil
 }
 
 // CorruptMBR overwrites the local MBR of (id, h).
 func (c *Cluster) CorruptMBR(id core.ProcID, h int, mbr geom.Rect) error {
 	n := c.nodes[id]
-	if n == nil || n.inst[h] == nil {
+	if n == nil || n.at(h) == nil {
 		return fmt.Errorf("proto: no instance (%d,%d)", id, h)
 	}
-	n.inst[h].mbr = mbr
+	n.at(h).mbr = mbr
 	return nil
 }

@@ -152,7 +152,7 @@ func (lc *LiveCluster) oracleLocked() core.ProcID {
 	bestH := -1
 	for id, a := range lc.actors {
 		n := a.node
-		in := n.inst[n.top]
+		in := n.at(n.top)
 		if in == nil || in.parent != id || n.rejoinPending {
 			continue
 		}

@@ -59,7 +59,10 @@ type Node struct {
 	filter geom.Rect
 	cfg    Config
 
-	inst map[int]*instance
+	// inst is the instance table indexed by height; a node owns the
+	// contiguous range 0..top (nil entries are gaps left by faults). Use
+	// at() for reads so out-of-range heights resolve to nil.
+	inst []*instance
 	top  int
 
 	// rejoinPending marks an orphaned topmost instance awaiting re-join.
@@ -78,11 +81,52 @@ func newNode(id core.ProcID, filter geom.Rect, cfg Config) *Node {
 		id:     id,
 		filter: filter,
 		cfg:    cfg,
-		inst:   make(map[int]*instance),
+		inst:   make([]*instance, 0, 4),
 		seen:   make(map[int64]bool),
 	}
-	n.inst[0] = &instance{parent: id, mbr: filter}
+	n.setInst(0, &instance{parent: id, mbr: filter})
 	return n
+}
+
+// at returns the node's instance at height h, or nil when h is out of
+// range or vacant.
+func (n *Node) at(h int) *instance {
+	if h < 0 || h >= len(n.inst) {
+		return nil
+	}
+	return n.inst[h]
+}
+
+// setInst stores in at height h, growing the table as needed.
+func (n *Node) setInst(h int, in *instance) {
+	for len(n.inst) <= h {
+		n.inst = append(n.inst, nil)
+	}
+	n.inst[h] = in
+}
+
+// clearInst vacates height h and trims trailing vacancies.
+func (n *Node) clearInst(h int) {
+	if h < 0 || h >= len(n.inst) {
+		return
+	}
+	n.inst[h] = nil
+	l := len(n.inst)
+	for l > 0 && n.inst[l-1] == nil {
+		l--
+	}
+	n.inst = n.inst[:l]
+}
+
+// instCount returns the number of instances the node currently owns.
+func (n *Node) instCount() int {
+	c := 0
+	for _, in := range n.inst {
+		if in != nil {
+			c++
+		}
+	}
+	return c
 }
 
 // ID returns the node's process ID.
@@ -97,7 +141,7 @@ func (n *Node) Top() int { return n.top }
 // Instance returns a read-only view of the node's instance at height h
 // (parent, sorted children, MBR) for checkers and visualization.
 func (n *Node) Instance(h int) (parent core.ProcID, children []core.ProcID, mbr geom.Rect, ok bool) {
-	in := n.inst[h]
+	in := n.at(h)
 	if in == nil {
 		return core.NoProc, nil, geom.Rect{}, false
 	}
@@ -127,7 +171,7 @@ func (n *Node) drainOut() []simnet.Message {
 // isRootInstance reports whether instance h is the tree root from this
 // node's local view: topmost and self-parented.
 func (n *Node) isRootInstance(h int) bool {
-	in := n.inst[h]
+	in := n.at(h)
 	return in != nil && h == n.top && in.parent == n.id && !n.rejoinPending
 }
 
@@ -174,14 +218,14 @@ func (n *Node) process(m simnet.Message) {
 // descend by least enlargement, then ADD_CHILD at AtHeight+1.
 func (n *Node) onJoin(p mJoin) {
 	h := p.Height
-	if n.inst[h] == nil {
+	if n.at(h) == nil {
 		h = n.top
 	}
-	in := n.inst[h]
+	in := n.at(h)
 	// Climb until this instance is the root, then descend.
 	if !p.Descend && !n.isRootInstance(h) {
 		parent := in.parent
-		if parent == n.id || parent == core.NoProc || n.inst[n.top] == nil {
+		if parent == n.id || parent == core.NoProc || n.at(n.top) == nil {
 			// Orphaned contact: best effort, insert here if possible.
 			if n.top > p.AtHeight {
 				n.descendJoin(p, n.top)
@@ -198,7 +242,7 @@ func (n *Node) onJoin(p mJoin) {
 }
 
 func (n *Node) descendJoin(p mJoin, h int) {
-	in := n.inst[h]
+	in := n.at(h)
 	if in == nil {
 		return
 	}
@@ -222,7 +266,7 @@ func (n *Node) descendJoin(p mJoin, h int) {
 	}
 	best := n.chooseBestChild(in, p.MBR)
 	if best == core.NoProc || best == n.id {
-		if n.inst[h-1] != nil {
+		if n.at(h-1) != nil {
 			// Continue down our own chain locally.
 			n.descendJoin(p, h-1)
 			return
@@ -239,17 +283,17 @@ func (n *Node) descendJoin(p mJoin, h int) {
 // tree (including the second-subscriber case over a lone leaf root): a
 // new common root is elected over the two by largest MBR (Figure 6).
 func (n *Node) mergeRoot(p mJoin, h int) {
-	in := n.inst[h]
+	in := n.at(h)
 	if in.mbr.Area() >= p.MBR.Area() {
 		// We host the new root.
-		n.inst[h+1] = &instance{
+		n.setInst(h+1, &instance{
 			parent: n.id,
 			children: map[core.ProcID]*childState{
 				n.id:     {mbr: in.mbr},
 				p.Joiner: {mbr: p.MBR},
 			},
 			mbr: in.mbr.Union(p.MBR),
-		}
+		})
 		n.top = h + 1
 		in.parent = n.id
 		n.refreshUnderloaded(h + 1)
@@ -287,7 +331,7 @@ func (n *Node) chooseBestChild(in *instance, f geom.Rect) core.ProcID {
 // onAdd is ADD_CHILD at instance Height (Figure 8): adopt the child,
 // split on overflow.
 func (n *Node) onAdd(child core.ProcID, mbr geom.Rect, h int) {
-	in := n.inst[h]
+	in := n.at(h)
 	if in == nil {
 		// The target instance vanished; redirect the child to rejoin via
 		// our topmost instance.
@@ -311,7 +355,7 @@ func (n *Node) onAdd(child core.ProcID, mbr geom.Rect, h int) {
 // containing the own child, and promotes an elected leader (largest MBR,
 // Figure 6) for the other group.
 func (n *Node) splitInstance(h int) {
-	in := n.inst[h]
+	in := n.at(h)
 	ids := make([]core.ProcID, 0, len(in.children))
 	for c := range in.children {
 		ids = append(ids, c)
@@ -319,8 +363,8 @@ func (n *Node) splitInstance(h int) {
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	rects := make([]geom.Rect, len(ids))
 	for i, c := range ids {
-		if c == n.id && n.inst[h-1] != nil {
-			rects[i] = n.inst[h-1].mbr
+		if c == n.id && n.at(h-1) != nil {
+			rects[i] = n.at(h - 1).mbr
 		} else {
 			rects[i] = in.children[c].mbr
 		}
@@ -379,7 +423,7 @@ func (n *Node) splitInstance(h int) {
 				},
 				mbr: leftMBR.Union(rightMBR),
 			}
-			n.inst[h+1] = nr
+			n.setInst(h+1, nr)
 			n.top = h + 1
 			in.parent = n.id
 			n.send(leader, mPromote{Height: h, Members: members, Parent: n.id})
@@ -406,11 +450,11 @@ func (n *Node) onPromote(p mPromote) {
 			n.send(m.ID, mNewParent{Height: p.Height - 1, Parent: n.id})
 		}
 	}
-	n.inst[p.Height] = in
+	n.setInst(p.Height, in)
 	if p.Height > n.top {
 		n.top = p.Height
 	}
-	if own := n.inst[p.Height-1]; own != nil && in.children[n.id] != nil {
+	if own := n.at(p.Height - 1); own != nil && in.children[n.id] != nil {
 		own.parent = n.id
 	}
 	n.refreshUnderloaded(p.Height)
@@ -425,7 +469,7 @@ func (n *Node) onPromote(p mPromote) {
 			},
 			mbr: in.mbr.Union(p.Sibling.MBR),
 		}
-		n.inst[p.Height+1] = root
+		n.setInst(p.Height+1, root)
 		n.top = p.Height + 1
 		in.parent = n.id
 		n.rejoinPending = false
@@ -441,7 +485,7 @@ func (n *Node) onPromote(p mPromote) {
 
 // onNewParent records a parent change for the instance at Height.
 func (n *Node) onNewParent(h int, parent core.ProcID) {
-	in := n.inst[h]
+	in := n.at(h)
 	if in == nil {
 		return
 	}
@@ -454,7 +498,7 @@ func (n *Node) onNewParent(h int, parent core.ProcID) {
 // onBecomeRoot promotes this node's instance at Height to tree root after
 // a root collapse.
 func (n *Node) onBecomeRoot(h int) {
-	in := n.inst[h]
+	in := n.at(h)
 	if in == nil || h != n.top {
 		return
 	}
@@ -464,7 +508,7 @@ func (n *Node) onBecomeRoot(h int) {
 
 // removeChild drops a child from the instance at Height.
 func (n *Node) removeChild(h int, child core.ProcID) {
-	in := n.inst[h]
+	in := n.at(h)
 	if in == nil {
 		return
 	}
@@ -476,7 +520,7 @@ func (n *Node) removeChild(h int, child core.ProcID) {
 // markOrphan flags the instance at Height as detached; the periodic check
 // re-joins it through the oracle.
 func (n *Node) markOrphan(h int) {
-	in := n.inst[h]
+	in := n.at(h)
 	if in == nil {
 		return
 	}
@@ -488,7 +532,7 @@ func (n *Node) markOrphan(h int) {
 
 // onParentQuery answers CHECK_PARENT.
 func (n *Node) onParentQuery(from core.ProcID, p mParentQuery) {
-	in := n.inst[p.Height+1]
+	in := n.at(p.Height + 1)
 	is := in != nil && in.children[p.Child] != nil
 	n.send(from, mParentAck{Height: p.Height, IsChild: is})
 }
@@ -503,7 +547,7 @@ func (n *Node) onParentAck(p mParentAck) {
 
 // onChildQuery reports this node's instance at Height-1 to the parent.
 func (n *Node) onChildQuery(from core.ProcID, p mChildQuery) {
-	in := n.inst[p.Height-1]
+	in := n.at(p.Height - 1)
 	rep := mChildReport{Height: p.Height}
 	if in != nil {
 		rep.Exists = true
@@ -517,7 +561,7 @@ func (n *Node) onChildQuery(from core.ProcID, p mChildQuery) {
 // onChildReport integrates a CHECK_CHILDREN answer: discard children with
 // another parent (Figure 12), refresh the MBR cache (Figure 10).
 func (n *Node) onChildReport(from core.ProcID, p mChildReport) {
-	in := n.inst[p.Height]
+	in := n.at(p.Height)
 	if in == nil {
 		return
 	}
@@ -560,7 +604,7 @@ func (n *Node) onBounce(dead core.ProcID, original any) {
 // recomputeMBR refreshes the instance MBR from the children cache
 // (CHECK_MBR, Figure 10).
 func (n *Node) recomputeMBR(h int) {
-	in := n.inst[h]
+	in := n.at(h)
 	if in == nil {
 		return
 	}
@@ -570,8 +614,8 @@ func (n *Node) recomputeMBR(h int) {
 	}
 	var mbr geom.Rect
 	for c, cs := range in.children {
-		if c == n.id && n.inst[h-1] != nil {
-			mbr = mbr.Union(n.inst[h-1].mbr)
+		if c == n.id && n.at(h-1) != nil {
+			mbr = mbr.Union(n.at(h - 1).mbr)
 			continue
 		}
 		mbr = mbr.Union(cs.mbr)
@@ -580,7 +624,7 @@ func (n *Node) recomputeMBR(h int) {
 }
 
 func (n *Node) refreshUnderloaded(h int) {
-	in := n.inst[h]
+	in := n.at(h)
 	if in == nil || h == 0 {
 		return
 	}

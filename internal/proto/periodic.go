@@ -15,7 +15,7 @@ func (n *Node) periodic(contact core.ProcID) {
 	n.fixChain()
 
 	for h := n.top; h >= 0; h-- {
-		in := n.inst[h]
+		in := n.at(h)
 		if in == nil {
 			continue
 		}
@@ -29,14 +29,14 @@ func (n *Node) periodic(contact core.ProcID) {
 				n.send(c, mChildQuery{Height: h})
 			}
 			// Own child is read locally.
-			if cs := in.children[n.id]; cs != nil && n.inst[h-1] != nil {
-				cs.mbr = n.inst[h-1].mbr
-				cs.underloaded = n.inst[h-1].underloaded
+			if cs := in.children[n.id]; cs != nil && n.at(h-1) != nil {
+				cs.mbr = n.at(h - 1).mbr
+				cs.underloaded = n.at(h - 1).underloaded
 			}
 			n.recomputeMBR(h)
 			n.refreshUnderloaded(h)
 			// The own-child invariant: without it this node cannot stand.
-			if in.children[n.id] == nil || n.inst[h-1] == nil {
+			if in.children[n.id] == nil || n.at(h-1) == nil {
 				n.dissolve(h)
 				continue
 			}
@@ -65,7 +65,7 @@ func (n *Node) periodic(contact core.ProcID) {
 	// and their children re-execute the join process (Figure 14's
 	// INITIATE_NEW_CONNECTION fallback).
 	for h := n.top; h >= 1; h-- {
-		in := n.inst[h]
+		in := n.at(h)
 		if in == nil {
 			continue
 		}
@@ -83,11 +83,11 @@ func (n *Node) periodic(contact core.ProcID) {
 // fixChain dissolves instances above a gap in the 0..top chain.
 func (n *Node) fixChain() {
 	top := 0
-	for n.inst[top+1] != nil {
+	for n.at(top+1) != nil {
 		top++
 	}
-	for h := range n.inst {
-		if h > top {
+	for h := len(n.inst) - 1; h > top; h-- {
+		if n.at(h) != nil {
 			n.dissolve(h)
 		}
 	}
@@ -98,11 +98,11 @@ func (n *Node) fixChain() {
 // (mDissolved), the parent is told to drop us, and our own chain below
 // becomes the new topmost fragment.
 func (n *Node) dissolve(h int) {
-	in := n.inst[h]
+	in := n.at(h)
 	if in == nil {
 		return
 	}
-	delete(n.inst, h)
+	n.clearInst(h)
 	for c := range in.children {
 		if c != n.id {
 			n.send(c, mDissolved{Height: h - 1})
@@ -113,7 +113,7 @@ func (n *Node) dissolve(h int) {
 	}
 	if n.top >= h {
 		n.top = h - 1
-		if low := n.inst[n.top]; low != nil {
+		if low := n.at(n.top); low != nil {
 			low.parent = n.id
 			n.rejoinPending = true
 		}
@@ -126,12 +126,12 @@ func (n *Node) rejoin(contact core.ProcID, h int) {
 	if contact == core.NoProc || contact == n.id {
 		// We are the contact (likely the new root); stay put.
 		n.rejoinPending = false
-		if in := n.inst[h]; in != nil {
+		if in := n.at(h); in != nil {
 			in.parent = n.id
 		}
 		return
 	}
-	in := n.inst[h]
+	in := n.at(h)
 	if in == nil {
 		return
 	}
@@ -141,7 +141,7 @@ func (n *Node) rejoin(contact core.ProcID, h int) {
 
 // maybeCollapseRoot removes a degenerate root (single child).
 func (n *Node) maybeCollapseRoot(h int) {
-	in := n.inst[h]
+	in := n.at(h)
 	if in == nil || h == 0 || len(in.children) != 1 {
 		return
 	}
@@ -149,10 +149,10 @@ func (n *Node) maybeCollapseRoot(h int) {
 	for c := range in.children {
 		only = c
 	}
-	delete(n.inst, h)
+	n.clearInst(h)
 	n.top = h - 1
 	if only == n.id {
-		if low := n.inst[h-1]; low != nil {
+		if low := n.at(h - 1); low != nil {
 			low.parent = n.id
 		}
 		return
@@ -166,7 +166,7 @@ func (n *Node) maybeCollapseRoot(h int) {
 func (n *Node) onEvent(p mEvent) {
 	n.deliver(p.ID, p.Ev)
 	h := p.Height
-	in := n.inst[h]
+	in := n.at(h)
 	if in == nil {
 		return
 	}
