@@ -1,0 +1,58 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestBenchCoreSmoke runs the -bench-core path into a temp file and
+// validates that the recorded JSON matches the schema of the committed
+// BENCH_core.json baseline: same benchmark names in the same order, same
+// fields, plausible values. This keeps the baseline artifact and the
+// recorder from drifting apart silently.
+func TestBenchCoreSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real benchmarks")
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if code := runBenchCore(path); code != 0 {
+		t.Fatalf("runBenchCore exited %d", code)
+	}
+	got := decodeRecords(t, path)
+	committed := decodeRecords(t, filepath.Join("..", "..", "BENCH_core.json"))
+
+	if len(got) != len(committed) {
+		t.Fatalf("recorded %d benchmarks, baseline has %d", len(got), len(committed))
+	}
+	for i := range got {
+		if got[i].Name != committed[i].Name {
+			t.Errorf("benchmark %d: name %q, baseline %q", i, got[i].Name, committed[i].Name)
+		}
+		if got[i].NsPerOp <= 0 || got[i].BytesPerOp <= 0 || got[i].AllocsPerOp <= 0 {
+			t.Errorf("benchmark %s: non-positive measurement %+v", got[i].Name, got[i])
+		}
+	}
+}
+
+// decodeRecords parses a baselines file strictly: unknown or missing
+// fields mean the schema drifted.
+func decodeRecords(t *testing.T, path string) []benchRecord {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	var recs []benchRecord
+	if err := dec.Decode(&recs); err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+	if len(recs) == 0 {
+		t.Fatalf("%s: no records", path)
+	}
+	return recs
+}

@@ -1,6 +1,8 @@
 // Command drtree-sim builds a DR-tree overlay from a synthetic workload,
 // publishes an event stream through it, and prints structure and routing
-// accuracy statistics.
+// accuracy statistics. With -replay it instead re-runs a recorded
+// adversarial schedule artifact (see internal/harness) byte-identically
+// through both engines and reports the certification verdict.
 //
 // Usage:
 //
@@ -8,51 +10,173 @@
 //	           [-workload uniform|clustered|contained|mixed]
 //	           [-events 1000] [-eventkind matching|uniform|hotspot]
 //	           [-churn 0.1] [-seed 1]
+//	drtree-sim -replay schedule.json
+//	drtree-sim -hunt 50 [-hunt-out dir]
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand/v2"
 	"os"
+	"path/filepath"
 
 	"drtree/internal/core"
+	"drtree/internal/harness"
 	"drtree/internal/split"
 	"drtree/internal/stats"
 	"drtree/internal/workload"
 )
 
 func main() {
-	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "drtree-sim:", err)
-		os.Exit(1)
-	}
+	os.Exit(run(os.Args[1:], os.Stdout))
 }
 
-func run() error {
+func run(args []string, out io.Writer) int {
+	fs := flag.NewFlagSet("drtree-sim", flag.ContinueOnError)
 	var (
-		n         = flag.Int("n", 500, "number of subscribers")
-		m         = flag.Int("m", 2, "minimum fanout m")
-		mm        = flag.Int("M", 4, "maximum fanout M (>= 2m)")
-		splitName = flag.String("split", "quadratic", "split policy: linear|quadratic|rstar")
-		wl        = flag.String("workload", "uniform", "subscription workload: uniform|clustered|contained|mixed")
-		events    = flag.Int("events", 1000, "number of events to publish")
-		evKind    = flag.String("eventkind", "matching", "event workload: matching|uniform|hotspot")
-		churnFrac = flag.Float64("churn", 0, "fraction of subscribers to crash mid-run (0..0.5)")
-		seed      = flag.Uint64("seed", 1, "random seed")
+		n         = fs.Int("n", 500, "number of subscribers")
+		m         = fs.Int("m", 2, "minimum fanout m")
+		mm        = fs.Int("M", 4, "maximum fanout M (>= 2m)")
+		splitName = fs.String("split", "quadratic", "split policy: linear|quadratic|rstar")
+		wl        = fs.String("workload", "uniform", "subscription workload: uniform|clustered|contained|mixed")
+		events    = fs.Int("events", 1000, "number of events to publish")
+		evKind    = fs.String("eventkind", "matching", "event workload: matching|uniform|hotspot")
+		churnFrac = fs.Float64("churn", 0, "fraction of subscribers to crash mid-run (0..0.5)")
+		seed      = fs.Uint64("seed", 1, "random seed")
+		replay    = fs.String("replay", "", "replay a recorded adversarial schedule artifact and exit")
+		hunt      = fs.Int("hunt", 0, "run N seeded adversarial schedules through the harness and exit")
+		huntOut   = fs.String("hunt-out", "", "directory for minimized failing-schedule artifacts (with -hunt)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	explicit := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	// Workload-simulation flags are meaningless in replay/hunt modes;
+	// reject them rather than silently certifying something else than
+	// the user asked for.
+	simOnly := []string{"n", "split", "workload", "events", "eventkind", "churn"}
 
-	pol, err := split.ByName(*splitName)
+	var err error
+	switch {
+	case *replay != "":
+		// The artifact pins every parameter, fanouts and seed included.
+		for _, f := range append(simOnly, "m", "M", "seed", "hunt", "hunt-out") {
+			if explicit[f] {
+				err = fmt.Errorf("-%s has no effect with -replay (the artifact is self-contained)", f)
+			}
+		}
+		if err == nil {
+			err = runReplay(*replay, out)
+		}
+	case *hunt > 0:
+		for _, f := range simOnly {
+			if explicit[f] {
+				err = fmt.Errorf("-%s has no effect with -hunt", f)
+			}
+		}
+		if err == nil {
+			cfg := harness.GenConfig{}
+			if explicit["m"] {
+				cfg.MinFanout = *m
+			}
+			if explicit["M"] {
+				cfg.MaxFanout = *mm
+			}
+			err = runHunt(*seed, *hunt, cfg, *huntOut, out)
+		}
+	default:
+		err = runSim(simParams{
+			n: *n, m: *m, mm: *mm, splitName: *splitName, wl: *wl,
+			events: *events, evKind: *evKind, churnFrac: *churnFrac, seed: *seed,
+		}, out)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "drtree-sim:", err)
+		return 1
+	}
+	return 0
+}
+
+// runReplay re-runs a schedule artifact. Load refuses artifacts that do
+// not re-encode byte-identically, so the replayed schedule is exactly
+// the recorded one. The verdict (certified or the reproduced violation)
+// decides the exit status.
+func runReplay(path string, out io.Writer) error {
+	s, err := harness.Load(path)
 	if err != nil {
 		return err
 	}
-	kind, err := workload.KindByName(*wl)
+	c := s.Counts()
+	fmt.Fprintf(out, "replay %s: %d steps (%d settle windows), seed %d, m=%d M=%d\n",
+		path, len(s.Steps), c[harness.OpSettle], s.Seed, s.MinFanout, s.MaxFanout)
+	rep, err := harness.Run(s)
+	if v, ok := harness.AsViolation(err); ok {
+		fmt.Fprintf(out, "violation reproduced: %v\n", v)
+		return fmt.Errorf("schedule violates: %w", v)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "certified: %v\n", rep)
+	return nil
+}
+
+// runHunt generates and certifies count seeded schedules; failures are
+// shrunk and written as replayable artifacts.
+func runHunt(seed uint64, count int, cfg harness.GenConfig, outDir string, out io.Writer) error {
+	failures := 0
+	for k := 0; k < count; k++ {
+		s := harness.Generate(seed+uint64(k), cfg)
+		rep, err := harness.Run(s)
+		if err == nil {
+			fmt.Fprintf(out, "seed %d: certified (%v)\n", s.Seed, rep)
+			continue
+		}
+		failures++
+		fmt.Fprintf(out, "seed %d: %v\n", s.Seed, err)
+		if _, ok := harness.AsViolation(err); ok && outDir != "" {
+			min := harness.Shrink(s, 0)
+			path := filepath.Join(outDir, fmt.Sprintf("violation-seed%d.json", s.Seed))
+			if err := min.Save(path); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "seed %d: minimized to %d steps -> %s\n", s.Seed, len(min.Steps), path)
+		}
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d of %d schedules failed certification", failures, count)
+	}
+	fmt.Fprintf(out, "all %d schedules certified\n", count)
+	return nil
+}
+
+type simParams struct {
+	n, m, mm      int
+	splitName, wl string
+	events        int
+	evKind        string
+	churnFrac     float64
+	seed          uint64
+}
+
+func runSim(p simParams, out io.Writer) error {
+	pol, err := split.ByName(p.splitName)
+	if err != nil {
+		return err
+	}
+	kind, err := workload.KindByName(p.wl)
 	if err != nil {
 		return err
 	}
 	var ek workload.EventKind
-	switch *evKind {
+	switch p.evKind {
 	case "matching":
 		ek = workload.MatchingEvents
 	case "uniform":
@@ -60,15 +184,15 @@ func run() error {
 	case "hotspot":
 		ek = workload.HotSpotEvents
 	default:
-		return fmt.Errorf("unknown event kind %q", *evKind)
+		return fmt.Errorf("unknown event kind %q", p.evKind)
 	}
 
-	rng := rand.New(rand.NewPCG(*seed, 0))
+	rng := rand.New(rand.NewPCG(p.seed, 0))
 	world := workload.DefaultWorld()
-	subs := workload.Subscriptions(rng, world, kind, *n)
-	evs := workload.Events(rng, world, ek, *events, subs)
+	subs := workload.Subscriptions(rng, world, kind, p.n)
+	evs := workload.Events(rng, world, ek, p.events, subs)
 
-	tr, err := core.New(core.Params{MinFanout: *m, MaxFanout: *mm, Split: pol})
+	tr, err := core.New(core.Params{MinFanout: p.m, MaxFanout: p.mm, Split: pol})
 	if err != nil {
 		return err
 	}
@@ -81,8 +205,8 @@ func run() error {
 		return fmt.Errorf("overlay not legal after construction: %w", err)
 	}
 
-	if *churnFrac > 0 {
-		kills := int(*churnFrac * float64(tr.Len()))
+	if p.churnFrac > 0 {
+		kills := int(p.churnFrac * float64(tr.Len()))
 		ids := tr.ProcIDs()
 		rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
 		for _, id := range ids[:kills] {
@@ -91,7 +215,7 @@ func run() error {
 			}
 		}
 		st := tr.RepairCrash()
-		fmt.Printf("churn: crashed %d subscribers; repaired in %d passes (%d rejoins)\n\n",
+		fmt.Fprintf(out, "churn: crashed %d subscribers; repaired in %d passes (%d rejoins)\n\n",
 			kills, st.StabilizeSteps, st.Reinsertions)
 		if err := tr.CheckLegal(); err != nil {
 			return fmt.Errorf("overlay not legal after churn repair: %w", err)
@@ -135,7 +259,7 @@ func run() error {
 	tb.AddRow("false positives/(N*events)", float64(fp)/float64(tr.Len()*max(len(evs), 1)))
 	tb.AddRow("false negatives", fn)
 	tb.AddRow("weak containment violations", tr.CheckWeakContainment())
-	fmt.Print(tb)
+	fmt.Fprint(out, tb)
 	if fn != 0 {
 		return fmt.Errorf("false negatives detected: %d", fn)
 	}

@@ -1,0 +1,149 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"drtree/internal/harness"
+)
+
+// TestReplayReproducesShrunkViolation is the end-to-end acceptance path:
+// a deliberately injected invariant violation (a convergence budget far
+// below what churn repair needs) is shrunk to a minimal schedule, saved,
+// and replayed byte-identically through the drtree-sim -replay command,
+// which must reproduce the exact same violation.
+func TestReplayReproducesShrunkViolation(t *testing.T) {
+	s := harness.Generate(11, harness.GenConfig{})
+	s.SettleRounds = 6
+	_, err := harness.Run(s)
+	orig, ok := harness.AsViolation(err)
+	if !ok {
+		t.Fatalf("tight budget must produce a violation, got %v", err)
+	}
+
+	min := harness.Shrink(s, 0)
+	if len(min.Steps) >= len(s.Steps) || len(min.Steps) > 8 {
+		t.Fatalf("shrink %d -> %d steps", len(s.Steps), len(min.Steps))
+	}
+	path := filepath.Join(t.TempDir(), "violation.json")
+	if err := min.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	saved, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Replay through the command (the -replay flag path). Load inside
+	// refuses any artifact whose re-encoding is not byte-identical.
+	var out bytes.Buffer
+	if code := run([]string{"-replay", path}, &out); code != 1 {
+		t.Fatalf("replay of a violating schedule must exit 1, got %d", code)
+	}
+	if !strings.Contains(out.String(), "violation reproduced") {
+		t.Fatalf("replay output missing verdict:\n%s", out.String())
+	}
+	// The violation reproduced by the replayed artifact matches the one
+	// the in-memory shrunk schedule produces.
+	_, replayErr := harness.Run(mustLoad(t, path))
+	v, ok := harness.AsViolation(replayErr)
+	if !ok {
+		t.Fatalf("replayed schedule did not violate: %v", replayErr)
+	}
+	if v.Kind != orig.Kind {
+		t.Fatalf("violation kind changed: %q -> %q", orig.Kind, v.Kind)
+	}
+	if !strings.Contains(out.String(), v.Error()) {
+		t.Fatalf("command output %q does not contain %q", out.String(), v.Error())
+	}
+
+	// The artifact on disk survived the round trip untouched.
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(saved, after) {
+		t.Fatal("artifact changed on disk")
+	}
+}
+
+// TestReplayCertifiesPassingSchedule: replaying a certifying schedule
+// exits 0.
+func TestReplayCertifiesPassingSchedule(t *testing.T) {
+	s := harness.Generate(1, harness.GenConfig{})
+	path := filepath.Join(t.TempDir(), "pass.json")
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if code := run([]string{"-replay", path}, &out); code != 0 {
+		t.Fatalf("replay of a certifying schedule must exit 0, got %d\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "certified") {
+		t.Fatalf("missing certification verdict:\n%s", out.String())
+	}
+}
+
+// TestReplayRejectsNonCanonicalArtifact: replay refuses artifacts that
+// would not re-encode byte-identically.
+func TestReplayRejectsNonCanonicalArtifact(t *testing.T) {
+	s := harness.Generate(1, harness.GenConfig{})
+	path := filepath.Join(t.TempDir(), "loose.json")
+	if err := os.WriteFile(path, append([]byte("\n"), s.Encode()...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if code := run([]string{"-replay", path}, &out); code != 1 {
+		t.Fatalf("non-canonical artifact must be rejected, got exit %d", code)
+	}
+}
+
+// TestModeFlagValidation: -h exits 0; sim-only flags are rejected in
+// replay/hunt modes instead of being silently ignored; pinned fanouts
+// reach the hunt generator.
+func TestModeFlagValidation(t *testing.T) {
+	var out bytes.Buffer
+	if code := run([]string{"-h"}, &out); code != 0 {
+		t.Fatalf("-h must exit 0, got %d", code)
+	}
+	if code := run([]string{"-badflag"}, &out); code != 2 {
+		t.Fatalf("unknown flag must exit 2, got %d", code)
+	}
+	if code := run([]string{"-replay", "x.json", "-n", "10"}, &out); code != 1 {
+		t.Fatalf("-replay with -n must be rejected, got %d", code)
+	}
+	if code := run([]string{"-hunt", "1", "-events", "5"}, &out); code != 1 {
+		t.Fatalf("-hunt with -events must be rejected, got %d", code)
+	}
+	out.Reset()
+	if code := run([]string{"-hunt", "2", "-m", "3", "-M", "6"}, &out); code != 0 {
+		t.Fatalf("-hunt with pinned fanouts failed: %d\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "all 2 schedules certified") {
+		t.Fatalf("hunt output:\n%s", out.String())
+	}
+}
+
+// TestSimSmoke drives the classic workload path end to end with a small
+// population.
+func TestSimSmoke(t *testing.T) {
+	var out bytes.Buffer
+	if code := run([]string{"-n", "60", "-events", "50", "-churn", "0.1"}, &out); code != 0 {
+		t.Fatalf("sim run failed with exit %d", code)
+	}
+	if !strings.Contains(out.String(), "false negatives") {
+		t.Fatalf("sim output missing stats table:\n%s", out.String())
+	}
+}
+
+func mustLoad(t *testing.T, path string) *harness.Schedule {
+	t.Helper()
+	s, err := harness.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}

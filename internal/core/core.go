@@ -273,6 +273,16 @@ func (t *Tree) Height() int {
 // Proc returns the process with the given id, or nil.
 func (t *Tree) Proc(id ProcID) *Process { return t.procs[id] }
 
+// RootMBR returns the MBR of the root instance, or the empty rectangle
+// for an empty tree. In a legal state this equals the union of every
+// live filter.
+func (t *Tree) RootMBR() geom.Rect {
+	if in := t.instance(t.rootID, t.rootH); in != nil {
+		return in.MBR
+	}
+	return geom.Rect{}
+}
+
 // ProcIDs returns all live process IDs in ascending order.
 func (t *Tree) ProcIDs() []ProcID {
 	out := make([]ProcID, 0, len(t.procs))

@@ -423,6 +423,13 @@ func (t *Tree) insertSubtreeAt(id ProcID, h int) int {
 			return 0
 		}
 		rootIn := t.instance(t.rootID, t.rootH)
+		if rootIn == nil {
+			// The root reference is dangling mid-repair (a corruption or
+			// crash dissolved it after this pass's ensureRoot ran); park
+			// the fragment until the next pass re-elects a root.
+			t.pendingFragments = append(t.pendingFragments, fragment{id: id, h: h})
+			return 0
+		}
 		ids := []ProcID{t.rootID, id}
 		mbrs := []geom.Rect{rootIn.MBR, in.MBR}
 		w := ids[t.params.Election.ChooseLeader(ids, mbrs)]

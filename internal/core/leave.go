@@ -111,11 +111,18 @@ func (t *Tree) enqueueOrphansOf(p *Process) {
 func (t *Tree) electRootFromFragments() {
 	if len(t.pendingFragments) == 0 {
 		// Degenerate: no fragments (the root had only itself); pick any
-		// live process as a fresh single-node tree root.
+		// live process as a fresh single-node tree root. Top can be stale
+		// mid-repair (a corruption the checks have not reached yet), so
+		// promote the top of the contiguous chain, never Top itself.
 		for _, id := range t.ProcIDs() {
 			p := t.procs[id]
-			t.rootID, t.rootH = id, p.Top
-			p.At(p.Top).Parent = id
+			top := t.contiguousTop(p)
+			in := p.At(top)
+			if in == nil {
+				continue
+			}
+			t.rootID, t.rootH = id, top
+			in.Parent = id
 			return
 		}
 		t.rootID, t.rootH = NoProc, 0

@@ -80,6 +80,9 @@ func (t *Tree) ensureRoot(st *StabStats) bool {
 		p := t.procs[id]
 		top := t.contiguousTop(p)
 		in := p.At(top)
+		if in == nil {
+			continue
+		}
 		g := t.instance(in.Parent, top+1)
 		if in.Parent == id || g == nil || !g.hasChild(id) {
 			t.pendingFragments = append(t.pendingFragments, fragment{id: id, h: top})

@@ -1,0 +1,143 @@
+package filter
+
+import (
+	"math"
+	"math/rand/v2"
+	"strings"
+	"testing"
+)
+
+// grid returns a random constant that survives the %.4f rendering of
+// Filter.String exactly, so parse → print → parse round-trips are exact.
+func grid(rng *rand.Rand) float64 {
+	return math.Round((rng.Float64()*2000-1000)*1e4) / 1e4
+}
+
+// TestPropertyParseRectStringRoundTrip: for random filters over grid
+// constants, source → Parse → Rect and source → Parse → String → Parse →
+// Rect agree exactly, and String∘Parse is idempotent (the canonical
+// form).
+func TestPropertyParseRectStringRoundTrip(t *testing.T) {
+	space := MustSpace("a", "b", "c")
+	ops := []Op{OpEq, OpLt, OpGt, OpLe, OpGe}
+	for seed := uint64(0); seed < 300; seed++ {
+		rng := rand.New(rand.NewPCG(seed, 17))
+		var preds []Predicate
+		for k := 1 + rng.IntN(5); k > 0; k-- {
+			preds = append(preds, Predicate{
+				Attr:  []string{"a", "b", "c"}[rng.IntN(3)],
+				Op:    ops[rng.IntN(len(ops))],
+				Value: grid(rng),
+			})
+		}
+		f := New(preds...)
+		src := f.String()
+		g, err := Parse(src)
+		if err != nil {
+			t.Fatalf("seed %d: canonical form %q does not parse: %v", seed, src, err)
+		}
+		if got := g.String(); got != src {
+			t.Fatalf("seed %d: String∘Parse not idempotent: %q -> %q", seed, src, got)
+		}
+		rf, errF := space.Rect(f)
+		rg, errG := space.Rect(g)
+		if (errF == nil) != (errG == nil) {
+			t.Fatalf("seed %d: satisfiability diverged: %v vs %v", seed, errF, errG)
+		}
+		if errF == nil && !rf.Equal(rg) {
+			t.Fatalf("seed %d: rect diverged: %v vs %v (src %q)", seed, rf, rg, src)
+		}
+	}
+}
+
+// TestPropertyRangeFormEquivalence: the "attr in [lo, hi]" sugar expands
+// to exactly the two-predicate closed range.
+func TestPropertyRangeFormEquivalence(t *testing.T) {
+	space := MustSpace("x")
+	for seed := uint64(0); seed < 100; seed++ {
+		rng := rand.New(rand.NewPCG(seed, 19))
+		lo, hi := grid(rng), grid(rng)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		sugar := MustParse(strings.ReplaceAll(
+			strings.ReplaceAll("x in [LO, HI]", "LO", trimFloat(lo)), "HI", trimFloat(hi)))
+		expanded := Range("x", lo, hi)
+		rs, err1 := space.Rect(sugar)
+		re, err2 := space.Rect(expanded)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("seed %d: %v / %v", seed, err1, err2)
+		}
+		if !rs.Equal(re) {
+			t.Fatalf("seed %d: in-form %v != range form %v", seed, rs, re)
+		}
+	}
+}
+
+// TestParseRejectsMalformed: the rejection surface, clause by clause.
+func TestParseRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"",
+		"   ",
+		"&&",
+		"a > 1 &&",
+		"&& a > 1",
+		"price >",
+		"price",
+		"price ! 5",
+		"price ~ 5",
+		"price = x",
+		"5 > price",
+		"9price > 5",
+		".price > 5",
+		"pri ce > 5",
+		"price > 5 6",
+		"price = = 5",
+		"a in [5, 1]",
+		"a in [1 2]",
+		"a in 1, 2]",
+		"a in [1, 2",
+		"a in [x, 2]",
+		"a in [1, y]",
+		"a in [1, 2, 3]",
+		"a in []",
+		"a <",
+		"a <= ",
+		"true && a > 1", // "true" is only valid alone
+	}
+	for _, src := range bad {
+		if f, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) accepted: %v", src, f)
+		}
+	}
+}
+
+// FuzzParse is the go test -fuzz entry: Parse must never panic, and any
+// accepted input must have an idempotent canonical form that re-parses
+// to the same predicates.
+func FuzzParse(f *testing.F) {
+	f.Add("true")
+	f.Add("price >= 10 && price <= 20 && qty = 5")
+	f.Add("x in [0, 40] && y in [10, 50]")
+	f.Add("a<1&&b>2")
+	f.Add("a in [1,2]")
+	f.Add("_x.y <= -3.5e2")
+	f.Fuzz(func(t *testing.T, src string) {
+		flt, err := Parse(src)
+		if err != nil {
+			return
+		}
+		canon := flt.String()
+		re, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not re-parse: %v", canon, src, err)
+		}
+		if again := re.String(); again != canon {
+			t.Fatalf("canonical form not stable: %q -> %q", canon, again)
+		}
+		a, b := flt.Predicates(), re.Predicates()
+		if len(a) != len(b) {
+			t.Fatalf("predicate count changed: %d -> %d", len(a), len(b))
+		}
+	})
+}

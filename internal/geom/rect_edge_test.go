@@ -1,0 +1,137 @@
+package geom
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// naiveUnionArea materializes the union rectangle and measures it — the
+// reference implementation UnionArea avoids for allocation reasons.
+func naiveUnionArea(r, s Rect) float64 { return r.Union(s).Area() }
+
+// naiveOverlapArea materializes the intersection and measures it.
+func naiveOverlapArea(r, s Rect) float64 { return r.Intersection(s).Area() }
+
+// degenerateCases enumerates the awkward rectangle pairs: point rects,
+// empty rects, identical rects, shared edges/corners, zero-width slabs,
+// containment, and unbounded dimensions.
+func degenerateCases() []struct {
+	name string
+	r, s Rect
+} {
+	point := MustRect([]float64{3, 4}, []float64{3, 4})
+	point2 := MustRect([]float64{5, 6}, []float64{5, 6})
+	box := R2(0, 0, 10, 10)
+	slab := MustRect([]float64{2, 0}, []float64{2, 10}) // zero width
+	unb := MustRect([]float64{0, math.Inf(-1)}, []float64{1, math.Inf(1)})
+	unbSlab := MustRect([]float64{7, math.Inf(-1)}, []float64{7, math.Inf(1)})
+	return []struct {
+		name string
+		r, s Rect
+	}{
+		{"empty-empty", Rect{}, Rect{}},
+		{"empty-box", Rect{}, box},
+		{"box-empty", box, Rect{}},
+		{"empty-point", Rect{}, point},
+		{"point-self", point, point},
+		{"point-point", point, point2},
+		{"point-in-box", box, point},
+		{"point-on-corner", box, MustRect([]float64{10, 10}, []float64{10, 10})},
+		{"identical", box, box.Clone()},
+		{"contained", box, R2(2, 2, 5, 5)},
+		{"shared-edge", box, R2(10, 0, 20, 10)},
+		{"shared-corner", box, R2(10, 10, 20, 20)},
+		{"disjoint", box, R2(20, 20, 30, 30)},
+		{"overlapping", box, R2(5, 5, 15, 15)},
+		{"slab-self", slab, slab},
+		{"slab-box", slab, box},
+		{"slab-beside-box", MustRect([]float64{-1, 0}, []float64{-1, 10}), box},
+		{"unbounded-box", unb, box},
+		{"unbounded-self", unb, unb},
+		{"unbounded-slab", unbSlab, box},
+		{"unbounded-vs-unbounded-slab", unb, unbSlab},
+	}
+}
+
+// TestUnionAreaMatchesNaive cross-checks the allocation-free UnionArea
+// against materialize-then-measure on every degenerate pair, both
+// orders.
+func TestUnionAreaMatchesNaive(t *testing.T) {
+	for _, c := range degenerateCases() {
+		for _, pair := range [][2]Rect{{c.r, c.s}, {c.s, c.r}} {
+			got := pair[0].UnionArea(pair[1])
+			want := naiveUnionArea(pair[0], pair[1])
+			if !sameArea(got, want) {
+				t.Errorf("%s: UnionArea(%v, %v) = %v, naive %v", c.name, pair[0], pair[1], got, want)
+			}
+		}
+	}
+}
+
+// TestOverlapAreaMatchesNaive cross-checks OverlapArea the same way.
+func TestOverlapAreaMatchesNaive(t *testing.T) {
+	for _, c := range degenerateCases() {
+		for _, pair := range [][2]Rect{{c.r, c.s}, {c.s, c.r}} {
+			got := pair[0].OverlapArea(pair[1])
+			want := naiveOverlapArea(pair[0], pair[1])
+			if !sameArea(got, want) {
+				t.Errorf("%s: OverlapArea(%v, %v) = %v, naive %v", c.name, pair[0], pair[1], got, want)
+			}
+		}
+	}
+}
+
+// TestWasteAreaMatchesNaive: WasteArea is defined in terms of UnionArea;
+// cross-check it on the finite degenerate pairs too (the infinite ones
+// produce Inf-Inf which is NaN in both formulations only when both are
+// materialized the same way, so they are skipped).
+func TestWasteAreaMatchesNaive(t *testing.T) {
+	for _, c := range degenerateCases() {
+		if math.IsInf(c.r.Area(), 1) || math.IsInf(c.s.Area(), 1) {
+			continue
+		}
+		got := c.r.WasteArea(c.s)
+		want := naiveUnionArea(c.r, c.s) - c.r.Area() - c.s.Area()
+		if !sameArea(got, want) {
+			t.Errorf("%s: WasteArea = %v, naive %v", c.name, got, want)
+		}
+	}
+}
+
+// TestDegenerateRandomizedCrossCheck hammers the fast paths with random
+// rectangle pairs biased toward degeneracy (snapped-to-grid bounds, so
+// point rects, shared edges and zero-width dimensions occur constantly).
+func TestDegenerateRandomizedCrossCheck(t *testing.T) {
+	for seed := uint64(0); seed < 200; seed++ {
+		rng := rand.New(rand.NewPCG(seed, 23))
+		snap := func() float64 { return math.Floor(rng.Float64() * 6) }
+		mk := func() Rect {
+			x1, x2 := snap(), snap()
+			y1, y2 := snap(), snap()
+			return R2(x1, y1, x2, y2)
+		}
+		for i := 0; i < 20; i++ {
+			r, s := mk(), mk()
+			if got, want := r.UnionArea(s), naiveUnionArea(r, s); !sameArea(got, want) {
+				t.Fatalf("seed %d: UnionArea(%v, %v) = %v, naive %v", seed, r, s, got, want)
+			}
+			if got, want := r.OverlapArea(s), naiveOverlapArea(r, s); !sameArea(got, want) {
+				t.Fatalf("seed %d: OverlapArea(%v, %v) = %v, naive %v", seed, r, s, got, want)
+			}
+			if enl := r.Enlargement(s); enl < 0 {
+				t.Fatalf("seed %d: negative enlargement %v for (%v, %v)", seed, enl, r, s)
+			}
+		}
+	}
+}
+
+// sameArea treats NaN == NaN (possible with mixed infinite bounds) and
+// requires exact equality otherwise: both implementations perform the
+// same float operations and must agree bit-for-bit.
+func sameArea(a, b float64) bool {
+	if math.IsNaN(a) && math.IsNaN(b) {
+		return true
+	}
+	return a == b
+}

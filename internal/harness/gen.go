@@ -1,0 +1,154 @@
+package harness
+
+import (
+	"math/rand/v2"
+	"slices"
+)
+
+// GenConfig bounds the shape of generated schedules.
+type GenConfig struct {
+	// MaxProcs caps the live population (default 24).
+	MaxProcs int
+	// Epochs is the number of operation/fault/settle cycles (default
+	// 2–4, seed-dependent).
+	Epochs int
+	// MinFanout / MaxFanout pin the tree parameters (defaults: m=2 and
+	// a seed-dependent M in 4..6). An invalid combination (M < 2m)
+	// surfaces as a validation error from Run, not here.
+	MinFanout int
+	MaxFanout int
+}
+
+func (g GenConfig) withDefaults(rng *rand.Rand) GenConfig {
+	if g.MaxProcs == 0 {
+		g.MaxProcs = 24
+	}
+	if g.Epochs == 0 {
+		g.Epochs = 2 + rng.IntN(3)
+	}
+	return g
+}
+
+// Generate builds a randomized adversarial schedule from a seed. The
+// schedule is structured as epochs, each of which applies overlay
+// operations on a settled configuration, then publishes, then injects
+// state corruption and message-level faults, and finally settles — the
+// self-stabilization contract is that once faults cease (the settle
+// window), the overlay converges back to a legal state. Within an epoch
+// joins/leaves precede publishes, which precede crashes and corruptions,
+// so removing arbitrary steps (shrinking) never makes a schedule
+// meaningless.
+func Generate(seed uint64, cfg GenConfig) *Schedule {
+	rng := rand.New(rand.NewPCG(seed, 0xD127))
+	cfg = cfg.withDefaults(rng)
+
+	s := &Schedule{
+		Seed:      seed,
+		MinFanout: 2,
+		MaxFanout: 4 + rng.IntN(3), // M in 4..6, m=2
+		Probes:    4,
+	}
+	if cfg.MinFanout > 0 {
+		s.MinFanout = cfg.MinFanout
+	}
+	if cfg.MaxFanout > 0 {
+		s.MaxFanout = cfg.MaxFanout
+	} else if s.MaxFanout < 2*s.MinFanout {
+		// Only m was pinned: raise the seed-default M to stay valid.
+		s.MaxFanout = 2 * s.MinFanout
+	}
+
+	const world = 500.0
+	live := []int{}
+	nextID := 1
+
+	randRect := func() []float64 {
+		x := rng.Float64() * world
+		y := rng.Float64() * world
+		w := 5 + rng.Float64()*80
+		h := 5 + rng.Float64()*80
+		return []float64{x, y, x + w, y + h}
+	}
+	pickLive := func() int {
+		if len(live) == 0 {
+			return 0
+		}
+		return live[rng.IntN(len(live))]
+	}
+
+	for e := 0; e < cfg.Epochs; e++ {
+		// Joins (front-loaded in the first epoch).
+		joins := 2 + rng.IntN(4)
+		if e == 0 {
+			joins = 8 + rng.IntN(8)
+		}
+		for j := 0; j < joins && len(live) < cfg.MaxProcs; j++ {
+			s.Steps = append(s.Steps, Step{Op: OpJoin, ID: nextID, Rect: randRect()})
+			live = append(live, nextID)
+			nextID++
+		}
+
+		// Controlled leaves.
+		for l := rng.IntN(3); l > 0 && len(live) > 3; l-- {
+			id := pickLive()
+			s.Steps = append(s.Steps, Step{Op: OpLeave, ID: id})
+			live = slices.DeleteFunc(live, func(x int) bool { return x == id })
+		}
+
+		// Publishes on the (still legal) configuration.
+		for p := 1 + rng.IntN(3); p > 0; p-- {
+			s.Steps = append(s.Steps, Step{
+				Op: OpPublish, ID: pickLive(),
+				Point: []float64{rng.Float64() * world, rng.Float64() * world},
+			})
+		}
+
+		// Crashes (uncontrolled, repaired only by stabilization).
+		for c := rng.IntN(3); c > 0 && len(live) > 3; c-- {
+			id := pickLive()
+			s.Steps = append(s.Steps, Step{Op: OpCrash, ID: id})
+			live = slices.DeleteFunc(live, func(x int) bool { return x == id })
+		}
+
+		// State corruption: every kind of the paper's fault model.
+		for k := 1 + rng.IntN(4); k > 0; k-- {
+			id, h := pickLive(), rng.IntN(3)
+			switch rng.IntN(4) {
+			case 0:
+				s.Steps = append(s.Steps, Step{Op: OpCorruptParent, ID: id, H: h, Parent: pickLive()})
+			case 1:
+				kids := []int{pickLive()}
+				if rng.IntN(2) == 0 {
+					kids = append(kids, id) // keep the own child sometimes
+				}
+				slices.Sort(kids)
+				s.Steps = append(s.Steps, Step{Op: OpCorruptChildren, ID: id, H: 1 + rng.IntN(2), Children: kids})
+			case 2:
+				s.Steps = append(s.Steps, Step{Op: OpCorruptMBR, ID: id, H: h, Rect: randRect()})
+			default:
+				s.Steps = append(s.Steps, Step{Op: OpCorruptUnderloaded, ID: id, H: h})
+			}
+		}
+
+		// Message-level faults for the wire protocol.
+		if rng.IntN(2) == 0 {
+			s.Steps = append(s.Steps, Step{Op: OpDropRate, Rate: 0.05 + rng.Float64()*0.2})
+		}
+		if rng.IntN(3) == 0 {
+			s.Steps = append(s.Steps, Step{Op: OpDelay, Delay: 1 + rng.IntN(3)})
+		}
+		if rng.IntN(3) == 0 && len(live) >= 4 {
+			cut := 1 + rng.IntN(len(live)-1)
+			shuffled := slices.Clone(live)
+			rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+			a, b := slices.Clone(shuffled[:cut]), slices.Clone(shuffled[cut:])
+			slices.Sort(a)
+			slices.Sort(b)
+			s.Steps = append(s.Steps, Step{Op: OpPartition, Groups: [][]int{a, b}})
+		}
+
+		// Faults cease: converge and certify.
+		s.Steps = append(s.Steps, Step{Op: OpSettle})
+	}
+	return s
+}

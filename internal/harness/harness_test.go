@@ -1,0 +1,194 @@
+package harness
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestAdversarialSchedulesCertifyBothEngines is the harness's core
+// promise: across many seeded randomized schedules — joins, controlled
+// leaves, crashes, publishes, every corruption kind, message drops,
+// per-link delays and partitions — both engines converge to a legal
+// state in every quiescent window, disseminate with zero false
+// negatives versus the centralized R-tree baseline, and agree with each
+// other structurally.
+func TestAdversarialSchedulesCertifyBothEngines(t *testing.T) {
+	const seeds = 60
+	var agg Report
+	for seed := uint64(1); seed <= seeds; seed++ {
+		s := Generate(seed, GenConfig{})
+		rep, err := Run(s)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		agg.Settles += rep.Settles
+		agg.ProbeEvents += rep.ProbeEvents
+		agg.Joins += rep.Joins
+		agg.Leaves += rep.Leaves
+		agg.Crashes += rep.Crashes
+		agg.Corruptions += rep.Corruptions
+	}
+	t.Logf("%d schedules: %v", seeds, agg)
+	if agg.Corruptions == 0 || agg.Crashes == 0 || agg.ProbeEvents == 0 {
+		t.Fatalf("degenerate schedule mix: %v", agg)
+	}
+}
+
+// Larger populations and longer fault histories, same certification.
+func TestLargerSchedulesCertify(t *testing.T) {
+	for seed := uint64(100); seed < 110; seed++ {
+		s := Generate(seed, GenConfig{MaxProcs: 48, Epochs: 6})
+		if _, err := Run(s); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestGenerateIsDeterministic(t *testing.T) {
+	a := Generate(42, GenConfig{}).Encode()
+	b := Generate(42, GenConfig{}).Encode()
+	if !bytes.Equal(a, b) {
+		t.Fatal("Generate is not deterministic")
+	}
+	if bytes.Equal(a, Generate(43, GenConfig{}).Encode()) {
+		t.Fatal("different seeds must differ")
+	}
+}
+
+func TestRunIsDeterministic(t *testing.T) {
+	s := Generate(7, GenConfig{})
+	r1, err1 := Run(s)
+	r2, err2 := Run(s)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("runs errored: %v / %v", err1, err2)
+	}
+	if *r1 != *r2 {
+		t.Fatalf("reports differ:\n%v\n%v", r1, r2)
+	}
+}
+
+func TestCodecRoundTripsByteIdentically(t *testing.T) {
+	s := Generate(9, GenConfig{})
+	b := s.Encode()
+	dec, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dec.Encode(), b) {
+		t.Fatal("Encode(Decode(b)) != b")
+	}
+}
+
+func TestDecodeRejectsMalformedArtifacts(t *testing.T) {
+	cases := map[string]string{
+		"unknown field": `{"seed":1,"min_fanout":2,"max_fanout":4,"bogus":1,"steps":[]}`,
+		"bad op":        `{"seed":1,"min_fanout":2,"max_fanout":4,"steps":[{"op":"explode"}]}`,
+		"bad fanout":    `{"seed":1,"min_fanout":3,"max_fanout":5,"steps":[]}`,
+		"join no rect":  `{"seed":1,"min_fanout":2,"max_fanout":4,"steps":[{"op":"join","id":1}]}`,
+		"bad rate":      `{"seed":1,"min_fanout":2,"max_fanout":4,"steps":[{"op":"drop-rate","rate":1.5}]}`,
+		"not json":      `hello`,
+	}
+	for name, src := range cases {
+		if _, err := Decode([]byte(src)); err == nil {
+			t.Errorf("%s: decode must fail", name)
+		}
+	}
+}
+
+func TestSaveLoadVerifiesCanonicalForm(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sched.json")
+	s := Generate(3, GenConfig{})
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Encode(), s.Encode()) {
+		t.Fatal("loaded schedule differs")
+	}
+	// A semantically equal but re-formatted artifact is rejected: replay
+	// must be byte-identical to the saved artifact.
+	if err := os.WriteFile(filepath.Join(dir, "loose.json"),
+		append([]byte(" \n"), s.Encode()...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(filepath.Join(dir, "loose.json")); err == nil {
+		t.Fatal("non-canonical artifact must be rejected")
+	}
+}
+
+// TestShrinkMinimizesInjectedViolation injects a deliberate invariant
+// violation (a convergence budget far below what the protocol needs
+// under churn) and checks the shrinker reduces the failing schedule to a
+// small replayable core that still reproduces a violation.
+func TestShrinkMinimizesInjectedViolation(t *testing.T) {
+	s := Generate(11, GenConfig{})
+	s.SettleRounds = 6
+	_, err := Run(s)
+	v, ok := AsViolation(err)
+	if !ok {
+		t.Fatalf("tight budget must violate convergence, got %v", err)
+	}
+	if v.Kind != "convergence" {
+		t.Fatalf("expected convergence violation, got %v", v)
+	}
+
+	min := Shrink(s, 0)
+	if len(min.Steps) >= len(s.Steps) {
+		t.Fatalf("shrink made no progress: %d -> %d steps", len(s.Steps), len(min.Steps))
+	}
+	if len(min.Steps) > 8 {
+		t.Fatalf("shrunk schedule still has %d steps", len(min.Steps))
+	}
+	if _, err := Run(min); err == nil {
+		t.Fatal("shrunk schedule must still fail")
+	} else if _, ok := AsViolation(err); !ok {
+		t.Fatalf("shrunk failure is not a violation: %v", err)
+	}
+
+	// The minimized artifact replays byte-identically.
+	path := filepath.Join(t.TempDir(), "min.json")
+	if err := min.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(loaded.Encode(), min.Encode()) {
+		t.Fatal("replayed artifact differs from the saved one")
+	}
+	_, errA := Run(min)
+	_, errB := Run(loaded)
+	if errA.Error() != errB.Error() {
+		t.Fatalf("replay diverged:\n%v\n%v", errA, errB)
+	}
+}
+
+// TestShrinkLeavesPassingScheduleAlone: shrinking a certifying schedule
+// is a no-op.
+func TestShrinkLeavesPassingScheduleAlone(t *testing.T) {
+	s := Generate(5, GenConfig{})
+	min := Shrink(s, 0)
+	if len(min.Steps) != len(s.Steps) {
+		t.Fatalf("passing schedule was shrunk: %d -> %d", len(s.Steps), len(min.Steps))
+	}
+}
+
+func TestViolationFormatting(t *testing.T) {
+	v := &Violation{StepIndex: 3, Engine: "proto", Kind: "legality", Detail: "boom"}
+	if v.Error() != "step 3 [proto/legality]: boom" {
+		t.Fatalf("violation format = %q", v.Error())
+	}
+	if got, ok := AsViolation(v); !ok || got != v {
+		t.Fatal("AsViolation must unwrap")
+	}
+	if _, ok := AsViolation(nil); ok {
+		t.Fatal("nil is not a violation")
+	}
+}

@@ -1,0 +1,443 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"slices"
+
+	"drtree/internal/core"
+	"drtree/internal/geom"
+	"drtree/internal/proto"
+	"drtree/internal/rtree"
+	"drtree/internal/simnet"
+	"drtree/internal/split"
+)
+
+// Violation is a certified invariant failure: which step surfaced it, in
+// which engine, and what broke. It is the error type Run returns for
+// schedule outcomes (as opposed to malformed-schedule errors).
+type Violation struct {
+	StepIndex int    // index into Schedule.Steps (the settle or publish step)
+	Engine    string // "core", "proto", "baseline" or "cross"
+	Kind      string // "convergence", "legality", "false-negative", "membership", "root-mbr", "baseline"
+	Detail    string
+}
+
+func (v *Violation) Error() string {
+	return fmt.Sprintf("step %d [%s/%s]: %s", v.StepIndex, v.Engine, v.Kind, v.Detail)
+}
+
+// AsViolation unwraps err into a *Violation if it is one.
+func AsViolation(err error) (*Violation, bool) {
+	var v *Violation
+	if errors.As(err, &v) {
+		return v, true
+	}
+	return nil, false
+}
+
+// Report summarizes a certified run.
+type Report struct {
+	Steps       int
+	Settles     int
+	ProbeEvents int
+	Joins       int
+	Leaves      int
+	Crashes     int
+	Corruptions int
+	// CorePasses is the total number of sequential stabilization passes
+	// consumed; ProtoRounds the total protocol rounds.
+	CorePasses  int
+	ProtoRounds int
+}
+
+func (r Report) String() string {
+	return fmt.Sprintf("steps=%d settles=%d probes=%d joins=%d leaves=%d crashes=%d corruptions=%d core-passes=%d proto-rounds=%d",
+		r.Steps, r.Settles, r.ProbeEvents, r.Joins, r.Leaves, r.Crashes, r.Corruptions, r.CorePasses, r.ProtoRounds)
+}
+
+// runner drives one schedule through both engines plus the centralized
+// baseline.
+type runner struct {
+	s    *Schedule
+	tr   *core.Tree
+	cl   *proto.Cluster
+	base *rtree.Tree
+	live map[int]geom.Rect
+	// coreDirty marks that crashes or corruptions have been applied to
+	// the sequential engine since its last stabilization; the sequential
+	// rules (join routing, publish climbing) are defined on legal-ish
+	// states, so the runner lets the periodic checks run first — exactly
+	// as the paper interleaves operations with the CHECK_* timers.
+	coreDirty bool
+	settles   int
+	rep       *Report
+}
+
+// Run replays a schedule through the sequential engine and the wire
+// protocol, certifying the three harness invariants at every settle
+// window. It returns a *Violation error when an invariant fails, a plain
+// error for malformed schedules, and the run report otherwise.
+func Run(s *Schedule) (*Report, error) {
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	tr, err := core.New(core.Params{MinFanout: s.MinFanout, MaxFanout: s.MaxFanout})
+	if err != nil {
+		return nil, err
+	}
+	cl, err := proto.NewCluster(proto.Config{MinFanout: s.MinFanout, MaxFanout: s.MaxFanout})
+	if err != nil {
+		return nil, err
+	}
+	base, err := rtree.New(s.MinFanout, s.MaxFanout, split.Quadratic{})
+	if err != nil {
+		return nil, err
+	}
+	cl.Net().Rand = rand.New(rand.NewPCG(s.Seed, 0x5EED))
+
+	r := &runner{s: s, tr: tr, cl: cl, base: base, live: make(map[int]geom.Rect), rep: &Report{}}
+	for i, st := range s.Steps {
+		r.rep.Steps++
+		if err := r.step(i, st); err != nil {
+			return r.rep, err
+		}
+	}
+	return r.rep, nil
+}
+
+func (r *runner) sortedLive() []int {
+	ids := make([]int, 0, len(r.live))
+	for id := range r.live {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	return ids
+}
+
+// settleBudget is the protocol-round budget of one settle window.
+func (r *runner) settleBudget() int {
+	if r.s.SettleRounds > 0 {
+		return r.s.SettleRounds
+	}
+	return 800 + 200*len(r.live)
+}
+
+func rectOf(xs []float64) geom.Rect { return geom.R2(xs[0], xs[1], xs[2], xs[3]) }
+
+func procIDs(xs []int) []core.ProcID {
+	out := make([]core.ProcID, len(xs))
+	for i, x := range xs {
+		out[i] = core.ProcID(x)
+	}
+	return out
+}
+
+func (r *runner) step(i int, st Step) error {
+	switch st.Op {
+	case OpJoin:
+		if _, ok := r.live[st.ID]; ok || st.ID <= 0 {
+			return nil
+		}
+		if err := r.stabilizeCore(i); err != nil {
+			return err
+		}
+		f := rectOf(st.Rect)
+		if _, err := r.tr.Join(core.ProcID(st.ID), f); err != nil {
+			return fmt.Errorf("harness: step %d: core join: %w", i, err)
+		}
+		if err := r.cl.Join(core.ProcID(st.ID), f); err != nil {
+			return fmt.Errorf("harness: step %d: proto join: %w", i, err)
+		}
+		if err := r.base.Insert(f, st.ID); err != nil {
+			return fmt.Errorf("harness: step %d: baseline insert: %w", i, err)
+		}
+		r.live[st.ID] = f
+		r.rep.Joins++
+		r.cl.Step(false)
+
+	case OpLeave:
+		if _, ok := r.live[st.ID]; !ok {
+			return nil
+		}
+		if err := r.stabilizeCore(i); err != nil {
+			return err
+		}
+		if _, err := r.tr.Leave(core.ProcID(st.ID)); err != nil {
+			return fmt.Errorf("harness: step %d: core leave: %w", i, err)
+		}
+		if err := r.cl.Leave(core.ProcID(st.ID)); err != nil {
+			return fmt.Errorf("harness: step %d: proto leave: %w", i, err)
+		}
+		r.baselineDelete(st.ID)
+		delete(r.live, st.ID)
+		r.rep.Leaves++
+		r.cl.Step(false)
+
+	case OpCrash:
+		if _, ok := r.live[st.ID]; !ok {
+			return nil
+		}
+		if err := r.tr.Crash(core.ProcID(st.ID)); err != nil {
+			return fmt.Errorf("harness: step %d: core crash: %w", i, err)
+		}
+		if err := r.cl.Crash(core.ProcID(st.ID)); err != nil {
+			return fmt.Errorf("harness: step %d: proto crash: %w", i, err)
+		}
+		r.baselineDelete(st.ID)
+		delete(r.live, st.ID)
+		r.coreDirty = true
+		r.rep.Crashes++
+
+	case OpPublish:
+		if _, ok := r.live[st.ID]; !ok {
+			return nil
+		}
+		if err := r.stabilizeCore(i); err != nil {
+			return err
+		}
+		if err := r.publishCore(i, st.ID, geom.Point(st.Point)); err != nil {
+			return err
+		}
+		// The wire protocol may legitimately miss subscribers whose
+		// (re-)join is still in flight mid-schedule; its zero-false-
+		// negative obligation is certified on the settled configuration.
+		if _, err := r.cl.Publish(core.ProcID(st.ID), geom.Point(st.Point), r.settleBudget()); err != nil {
+			return fmt.Errorf("harness: step %d: proto publish: %w", i, err)
+		}
+		r.rep.ProbeEvents++
+
+	case OpCorruptParent:
+		_ = r.tr.CorruptParent(core.ProcID(st.ID), st.H, core.ProcID(st.Parent))
+		_ = r.cl.CorruptParent(core.ProcID(st.ID), st.H, core.ProcID(st.Parent))
+		r.coreDirty = true
+		r.rep.Corruptions++
+	case OpCorruptChildren:
+		_ = r.tr.CorruptChildren(core.ProcID(st.ID), st.H, procIDs(st.Children))
+		_ = r.cl.CorruptChildren(core.ProcID(st.ID), st.H, procIDs(st.Children))
+		r.coreDirty = true
+		r.rep.Corruptions++
+	case OpCorruptMBR:
+		_ = r.tr.CorruptMBR(core.ProcID(st.ID), st.H, rectOf(st.Rect))
+		_ = r.cl.CorruptMBR(core.ProcID(st.ID), st.H, rectOf(st.Rect))
+		r.coreDirty = true
+		r.rep.Corruptions++
+	case OpCorruptUnderloaded:
+		_ = r.tr.CorruptUnderloaded(core.ProcID(st.ID), st.H)
+		_ = r.cl.CorruptUnderloaded(core.ProcID(st.ID), st.H)
+		r.coreDirty = true
+		r.rep.Corruptions++
+
+	case OpDropRate:
+		r.cl.Net().DropRate = st.Rate
+	case OpDelay:
+		r.cl.Net().DelayMax = st.Delay
+	case OpPartition:
+		groups := make([][]simnet.NodeID, len(st.Groups))
+		for g, ids := range st.Groups {
+			for _, id := range ids {
+				groups[g] = append(groups[g], simnet.NodeID(id))
+			}
+		}
+		r.cl.Net().Partition(groups...)
+	case OpHeal:
+		r.cl.Net().Heal()
+
+	case OpSettle:
+		return r.settle(i)
+	}
+	return nil
+}
+
+// stabilizeCore runs the sequential periodic checks if faults were
+// injected since the last run, certifying convergence and legality.
+func (r *runner) stabilizeCore(i int) error {
+	if !r.coreDirty {
+		return nil
+	}
+	st := r.tr.Stabilize()
+	r.rep.CorePasses += st.Passes
+	r.coreDirty = false
+	if !st.Converged {
+		return &Violation{StepIndex: i, Engine: "core", Kind: "convergence",
+			Detail: fmt.Sprintf("stabilization hit the pass limit after %d passes", st.Passes)}
+	}
+	if err := r.tr.CheckLegal(); err != nil {
+		return &Violation{StepIndex: i, Engine: "core", Kind: "legality", Detail: err.Error()}
+	}
+	return nil
+}
+
+// publishCore disseminates one event through the sequential engine and
+// certifies zero false negatives against the subscriber filters.
+func (r *runner) publishCore(i, producer int, ev geom.Point) error {
+	d, err := r.tr.Publish(core.ProcID(producer), ev)
+	if err != nil {
+		return fmt.Errorf("harness: step %d: core publish: %w", i, err)
+	}
+	got := make(map[core.ProcID]bool, len(d.Received))
+	for _, id := range d.Received {
+		got[id] = true
+	}
+	for _, id := range r.sortedLive() {
+		if r.live[id].ContainsPoint(ev) && !got[core.ProcID(id)] {
+			return &Violation{StepIndex: i, Engine: "core", Kind: "false-negative",
+				Detail: fmt.Sprintf("event %v from %d missed matching subscriber %d", ev, producer, id)}
+		}
+	}
+	return nil
+}
+
+// settle is the quiescent window: message-level faults cease, both
+// engines converge, and the three invariants are certified.
+func (r *runner) settle(i int) error {
+	r.settles++
+	r.rep.Settles++
+
+	// Faults cease for the window (the self-stabilization contract is
+	// convergence once transient faults stop).
+	net := r.cl.Net()
+	net.DropRate = 0
+	net.DelayMax = 0
+	net.Delay = nil
+	net.Heal()
+
+	// Invariant 1a: the sequential engine converges to a legal state.
+	r.coreDirty = true
+	if err := r.stabilizeCore(i); err != nil {
+		return err
+	}
+
+	// Invariant 1b: the wire protocol converges within the round budget.
+	rounds, ok := r.cl.RunUntilStable(r.settleBudget())
+	r.rep.ProtoRounds += rounds
+	if !ok {
+		detail := "network never drained"
+		if err := r.cl.CheckLegal(); err != nil {
+			detail = err.Error()
+		}
+		return &Violation{StepIndex: i, Engine: "proto", Kind: "convergence",
+			Detail: fmt.Sprintf("not stable after %d rounds (budget %d): %s", rounds, r.settleBudget(), detail)}
+	}
+	if err := r.cl.CheckLegal(); err != nil {
+		return &Violation{StepIndex: i, Engine: "proto", Kind: "legality", Detail: err.Error()}
+	}
+
+	// Invariant 3: cross-engine agreement — membership, filters, root MBR.
+	ids := r.sortedLive()
+	coreIDs, protoIDs := r.tr.ProcIDs(), r.cl.IDs()
+	if len(coreIDs) != len(ids) || len(protoIDs) != len(ids) {
+		return &Violation{StepIndex: i, Engine: "cross", Kind: "membership",
+			Detail: fmt.Sprintf("live=%d core=%d proto=%d", len(ids), len(coreIDs), len(protoIDs))}
+	}
+	var union geom.Rect
+	for k, id := range ids {
+		if int(coreIDs[k]) != id || int(protoIDs[k]) != id {
+			return &Violation{StepIndex: i, Engine: "cross", Kind: "membership",
+				Detail: fmt.Sprintf("member %d: core has %d, proto has %d", id, coreIDs[k], protoIDs[k])}
+		}
+		cf, _ := r.tr.Filter(core.ProcID(id))
+		pf := r.cl.Node(core.ProcID(id)).Filter()
+		if !cf.Equal(r.live[id]) || !pf.Equal(r.live[id]) {
+			return &Violation{StepIndex: i, Engine: "cross", Kind: "membership",
+				Detail: fmt.Sprintf("filter of %d diverged (core %v, proto %v, want %v)", id, cf, pf, r.live[id])}
+		}
+		union = union.Union(r.live[id])
+	}
+	if cm := r.tr.RootMBR(); !cm.Equal(union) {
+		return &Violation{StepIndex: i, Engine: "cross", Kind: "root-mbr",
+			Detail: fmt.Sprintf("core root MBR %v != filter union %v", cm, union)}
+	}
+	if pm := r.cl.RootMBR(); !pm.Equal(union) {
+		return &Violation{StepIndex: i, Engine: "cross", Kind: "root-mbr",
+			Detail: fmt.Sprintf("proto root MBR %v != filter union %v", pm, union)}
+	}
+
+	// Invariant 2: zero false negatives, certified against both the
+	// incrementally maintained and a freshly rebuilt centralized R-tree.
+	if err := r.base.CheckInvariants(); err != nil {
+		return &Violation{StepIndex: i, Engine: "baseline", Kind: "baseline", Detail: err.Error()}
+	}
+	fresh, err := rtree.New(r.s.MinFanout, r.s.MaxFanout, split.Quadratic{})
+	if err != nil {
+		return err
+	}
+	for _, id := range ids {
+		if err := fresh.Insert(r.live[id], id); err != nil {
+			return err
+		}
+	}
+	if len(ids) == 0 {
+		return nil
+	}
+	producer := ids[0]
+	probes := r.s.Probes
+	if probes <= 0 {
+		probes = 4
+	}
+	rng := rand.New(rand.NewPCG(r.s.Seed, 0xAB0^uint64(r.settles)))
+	for p := 0; p < probes; p++ {
+		ev := r.probePoint(rng, ids)
+		truth := make(map[int]bool)
+		for _, id := range ids {
+			if r.live[id].ContainsPoint(ev) {
+				truth[id] = true
+			}
+		}
+		baselines := []struct {
+			name string
+			t    *rtree.Tree
+		}{{"incremental", r.base}, {"rebuilt", fresh}}
+		for _, b := range baselines {
+			name, t := b.name, b.t
+			found := make(map[int]bool)
+			for _, v := range t.SearchPoint(ev) {
+				found[v.(int)] = true
+			}
+			if len(found) != len(truth) {
+				return &Violation{StepIndex: i, Engine: "baseline", Kind: "baseline",
+					Detail: fmt.Sprintf("%s R-tree found %d matches for %v, filters say %d", name, len(found), ev, len(truth))}
+			}
+			for id := range truth {
+				if !found[id] {
+					return &Violation{StepIndex: i, Engine: "baseline", Kind: "baseline",
+						Detail: fmt.Sprintf("%s R-tree missed subscriber %d for %v", name, id, ev)}
+				}
+			}
+		}
+		if err := r.publishCore(i, producer, ev); err != nil {
+			return err
+		}
+		res, err := r.cl.Publish(core.ProcID(producer), ev, r.settleBudget())
+		if err != nil {
+			return fmt.Errorf("harness: step %d: proto probe publish: %w", i, err)
+		}
+		if res.FalseNegatives != 0 {
+			return &Violation{StepIndex: i, Engine: "proto", Kind: "false-negative",
+				Detail: fmt.Sprintf("event %v from %d missed %d matching subscribers", ev, producer, res.FalseNegatives)}
+		}
+		r.rep.ProbeEvents++
+	}
+	return nil
+}
+
+// probePoint draws a certification event: half uniform over the world,
+// half targeted inside a random live filter (so probes exercise both
+// empty and dense regions).
+func (r *runner) probePoint(rng *rand.Rand, ids []int) geom.Point {
+	if rng.IntN(2) == 0 || len(ids) == 0 {
+		return geom.Point{rng.Float64() * 500, rng.Float64() * 500}
+	}
+	f := r.live[ids[rng.IntN(len(ids))]]
+	x := f.Lo(0) + rng.Float64()*(f.Hi(0)-f.Lo(0))
+	y := f.Lo(1) + rng.Float64()*(f.Hi(1)-f.Lo(1))
+	return geom.Point{x, y}
+}
+
+func (r *runner) baselineDelete(id int) {
+	ok, err := r.base.Delete(r.live[id], id)
+	if err != nil || !ok {
+		panic(fmt.Sprintf("harness: baseline lost track of subscriber %d (ok=%v err=%v)", id, ok, err))
+	}
+}

@@ -1,0 +1,181 @@
+// Package harness is the adversarial simulation subsystem: it generates
+// deterministic, seed-driven schedules mixing overlay operations (joins,
+// controlled leaves, crashes, publishes) with the paper's full transient
+// fault model (§3.2: parent / children / MBR / underloaded corruption)
+// plus message-level network faults (drops, per-link delays, partitions),
+// drives the *same* schedule through both engines — the sequential
+// DR-tree (internal/core) and the wire protocol (internal/proto over
+// internal/simnet) — and certifies three invariants at every quiescent
+// window:
+//
+//  1. convergence: once faults cease, each engine reaches a legal
+//     configuration (Definition 3.1, Lemma 3.6) within a bounded number
+//     of stabilization passes / protocol rounds;
+//  2. no false negatives: dissemination delivers every event to every
+//     matching subscriber, cross-checked against the centralized
+//     internal/rtree baseline;
+//  3. cross-engine agreement: both engines converge to the same live
+//     membership, the same filters, and the same root MBR (= the union
+//     of all live filters).
+//
+// A failing schedule is shrunk (delta debugging) to a minimal replayable
+// artifact; `drtree-sim -replay file` re-runs it byte-identically.
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Step operation kinds. The set covers every corruption helper of
+// internal/core/corrupt.go, the overlay operations, and the simnet
+// fault surface.
+const (
+	OpJoin               = "join"                // ID joins with filter Rect
+	OpLeave              = "leave"               // controlled departure of ID
+	OpCrash              = "crash"               // uncontrolled departure of ID
+	OpPublish            = "publish"             // ID publishes event Point
+	OpCorruptParent      = "corrupt-parent"      // instance (ID, H) parent := Parent
+	OpCorruptChildren    = "corrupt-children"    // instance (ID, H) children := Children
+	OpCorruptMBR         = "corrupt-mbr"         // instance (ID, H) MBR := Rect
+	OpCorruptUnderloaded = "corrupt-underloaded" // flip underloaded of (ID, H)
+	OpDropRate           = "drop-rate"           // network loses fraction Rate of messages
+	OpDelay              = "delay"               // per-link jitter of 0..Delay extra rounds
+	OpPartition          = "partition"           // sever links between Groups
+	OpHeal               = "heal"                // remove the partition
+	OpSettle             = "settle"              // faults cease: converge + certify
+)
+
+// Step is one schedule entry. Fields are meaningful per Op (see the Op
+// constants); unused fields stay zero and are omitted from the artifact.
+// Steps whose target does not exist at runtime (for example after
+// shrinking removed the join that created it) degrade to no-ops, which
+// keeps every sub-schedule of a valid schedule valid.
+type Step struct {
+	Op       string    `json:"op"`
+	ID       int       `json:"id,omitempty"`
+	H        int       `json:"h,omitempty"`
+	Parent   int       `json:"parent,omitempty"`
+	Children []int     `json:"children,omitempty"`
+	Rect     []float64 `json:"rect,omitempty"`  // x1, y1, x2, y2
+	Point    []float64 `json:"point,omitempty"` // x, y
+	Rate     float64   `json:"rate,omitempty"`
+	Delay    int       `json:"delay,omitempty"`
+	Groups   [][]int   `json:"groups,omitempty"`
+}
+
+// Schedule is a complete, self-contained adversarial scenario: the tree
+// parameters, the certification budgets, and the step list. Replaying
+// the same schedule always produces the same outcome.
+type Schedule struct {
+	// Seed drives every derived random stream (probe sweeps, network
+	// drop/delay sampling). The step list itself is already concrete.
+	Seed uint64 `json:"seed"`
+	// MinFanout / MaxFanout are the paper's m and M (M >= 2m).
+	MinFanout int `json:"min_fanout"`
+	MaxFanout int `json:"max_fanout"`
+	// SettleRounds is the protocol-round budget for each settle window
+	// (0 = a generous default derived from the population). Schedules
+	// with a deliberately tiny budget are how the shrinker and replay
+	// machinery are exercised against a reproducible violation.
+	SettleRounds int `json:"settle_rounds,omitempty"`
+	// Probes is the number of certification events swept per settle
+	// window (default 4).
+	Probes int    `json:"probes,omitempty"`
+	Steps  []Step `json:"steps"`
+}
+
+// Encode renders the schedule as its canonical artifact bytes. Encoding
+// is deterministic: Encode(Decode(b)) == b for any b produced by Encode.
+func (s *Schedule) Encode() []byte {
+	out, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		// A Schedule contains only plain data; marshal cannot fail.
+		panic(fmt.Sprintf("harness: encode: %v", err))
+	}
+	return append(out, '\n')
+}
+
+// Decode parses artifact bytes strictly (unknown fields are rejected, so
+// a typo'd hand-edited artifact fails loudly instead of silently
+// changing meaning).
+func Decode(b []byte) (*Schedule, error) {
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	var s Schedule
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("harness: decode schedule: %w", err)
+	}
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Save writes the canonical artifact to path.
+func (s *Schedule) Save(path string) error {
+	return os.WriteFile(path, s.Encode(), 0o644)
+}
+
+// Load reads an artifact, verifying that re-encoding reproduces the file
+// byte-for-byte (so a replayed schedule is exactly the saved one).
+func Load(path string) (*Schedule, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	s, err := Decode(b)
+	if err != nil {
+		return nil, err
+	}
+	if !bytes.Equal(s.Encode(), b) {
+		return nil, fmt.Errorf("harness: %s is not in canonical form (re-encode differs)", path)
+	}
+	return s, nil
+}
+
+func (s *Schedule) validate() error {
+	if s.MinFanout < 1 {
+		return fmt.Errorf("harness: MinFanout must be >= 1, got %d", s.MinFanout)
+	}
+	if s.MaxFanout < 2*s.MinFanout {
+		return fmt.Errorf("harness: MaxFanout must be >= 2*MinFanout (m=%d, M=%d)",
+			s.MinFanout, s.MaxFanout)
+	}
+	for i, st := range s.Steps {
+		switch st.Op {
+		case OpJoin:
+			if len(st.Rect) != 4 {
+				return fmt.Errorf("harness: step %d: join needs rect [x1 y1 x2 y2]", i)
+			}
+		case OpPublish:
+			if len(st.Point) != 2 {
+				return fmt.Errorf("harness: step %d: publish needs point [x y]", i)
+			}
+		case OpCorruptMBR:
+			if len(st.Rect) != 4 {
+				return fmt.Errorf("harness: step %d: corrupt-mbr needs rect [x1 y1 x2 y2]", i)
+			}
+		case OpDropRate:
+			if st.Rate < 0 || st.Rate >= 1 {
+				return fmt.Errorf("harness: step %d: drop rate %g out of [0,1)", i, st.Rate)
+			}
+		case OpLeave, OpCrash, OpCorruptParent, OpCorruptChildren,
+			OpCorruptUnderloaded, OpDelay, OpPartition, OpHeal, OpSettle:
+		default:
+			return fmt.Errorf("harness: step %d: unknown op %q", i, st.Op)
+		}
+	}
+	return nil
+}
+
+// Counts summarizes a schedule's composition (for logs and reports).
+func (s *Schedule) Counts() map[string]int {
+	out := make(map[string]int)
+	for _, st := range s.Steps {
+		out[st.Op]++
+	}
+	return out
+}

@@ -1,0 +1,75 @@
+package harness
+
+import "slices"
+
+// Shrink minimizes a failing schedule: it greedily removes chunks of
+// steps (halving chunk sizes down to single steps, delta-debugging
+// style) while the schedule keeps producing an invariant violation, and
+// returns the smallest failing schedule found. maxRuns bounds the total
+// number of replays (0 = a generous default). Because steps whose
+// targets no longer exist degrade to no-ops, every sub-schedule is
+// well-formed and the search never produces an invalid artifact.
+//
+// Shrinking preserves step order, so a minimized schedule is a
+// subsequence of the original and replays deterministically.
+func Shrink(s *Schedule, maxRuns int) *Schedule {
+	if maxRuns <= 0 {
+		maxRuns = 400
+	}
+	fails := func(c *Schedule) bool {
+		if maxRuns <= 0 {
+			return false
+		}
+		maxRuns--
+		_, err := Run(c)
+		_, isViolation := AsViolation(err)
+		return isViolation
+	}
+	cur := cloneSchedule(s)
+	if !fails(cur) {
+		return cur // not failing (or budget exhausted): nothing to shrink
+	}
+	for chunk := len(cur.Steps) / 2; chunk >= 1; {
+		removedAny := false
+		for start := 0; start+chunk <= len(cur.Steps); {
+			cand := cloneSchedule(cur)
+			cand.Steps = slices.Delete(cand.Steps, start, start+chunk)
+			if fails(cand) {
+				cur = cand
+				removedAny = true
+				// Same start now points at the next chunk; retry there.
+				continue
+			}
+			start += chunk
+		}
+		if !removedAny || chunk == 1 {
+			if chunk == 1 && !removedAny {
+				break
+			}
+			chunk = max(chunk/2, 1)
+			continue
+		}
+		// Progress at this granularity: try it again before refining.
+	}
+	return cur
+}
+
+func cloneSchedule(s *Schedule) *Schedule {
+	out := *s
+	out.Steps = make([]Step, len(s.Steps))
+	for i, st := range s.Steps {
+		st.Children = slices.Clone(st.Children)
+		st.Rect = slices.Clone(st.Rect)
+		st.Point = slices.Clone(st.Point)
+		groups := make([][]int, len(st.Groups))
+		for g, ids := range st.Groups {
+			groups[g] = slices.Clone(ids)
+		}
+		if st.Groups == nil {
+			groups = nil
+		}
+		st.Groups = groups
+		out.Steps[i] = st
+	}
+	return &out
+}

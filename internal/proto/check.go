@@ -83,6 +83,15 @@ func (c *Cluster) CheckLegal() error {
 			if ci.parent != id {
 				return geom.Rect{}, fmt.Errorf("proto: child %d of (%d,%d) names parent %d", ch, id, h, ci.parent)
 			}
+			// The parent's cached view of the child MBR routes both joins
+			// and events; a configuration is only legitimate once the
+			// cache agrees with the child's actual state (a stale, too
+			// small cache causes dissemination false negatives even when
+			// every node-local MBR is coherent).
+			if cached := in.children[ch].mbr; !cached.Equal(ci.mbr) {
+				return geom.Rect{}, fmt.Errorf("proto: node (%d,%d) caches child %d MBR %v, child has %v",
+					id, h, ch, cached, ci.mbr)
+			}
 			sub, err := walk(ch, h-1)
 			if err != nil {
 				return geom.Rect{}, err

@@ -46,6 +46,27 @@ func (c *Cluster) Round() int { return c.round }
 // NetStats returns the network traffic counters.
 func (c *Cluster) NetStats() simnet.Stats { return c.net.Stats() }
 
+// Net exposes the underlying simulated network so drivers can inject
+// message-level faults (drops, partitions, per-link delays).
+func (c *Cluster) Net() *simnet.Network { return c.net }
+
+// RootMBR returns the MBR of the tallest self-parented topmost instance
+// (the root from the omniscient view), or the empty rectangle for an
+// empty or root-less configuration. In a legal state this equals the
+// union of every live filter.
+func (c *Cluster) RootMBR() geom.Rect {
+	var best geom.Rect
+	bestH := -1
+	for _, id := range c.IDs() {
+		n := c.nodes[id]
+		in := n.at(n.top)
+		if in != nil && in.parent == id && !n.rejoinPending && n.top > bestH {
+			best, bestH = in.mbr, n.top
+		}
+	}
+	return best
+}
+
 // Node returns the actor with the given ID, or nil.
 func (c *Cluster) Node(id core.ProcID) *Node { return c.nodes[id] }
 
@@ -116,28 +137,39 @@ func (c *Cluster) Crash(id core.ProcID) error {
 }
 
 // Oracle returns the current best contact: the root from a global view
-// (the tallest self-parented topmost instance; ties by lowest ID). The
-// paper assumes an accurate connection-time oracle (§3.2 Joins).
+// (the tallest self-parented topmost instance; ties by largest MBR, then
+// lowest ID). The paper assumes an accurate connection-time oracle (§3.2
+// Joins). When every candidate is itself awaiting a re-join (no stable
+// root anywhere — e.g. after the root crashed or two corrupted roots
+// orphaned each other), the oracle names the tallest fragment instead:
+// rejoin() lets the named node elect itself root, exactly like the
+// sequential engine promotes the tallest fragment in ensureRoot.
 func (c *Cluster) Oracle() core.ProcID {
 	best := core.NoProc
 	bestH := -1
 	bestArea := -1.0
+	fallback := core.NoProc
+	fbH := -1
+	fbArea := -1.0
 	for _, id := range c.IDs() {
 		n := c.nodes[id]
 		in := n.at(n.top)
 		if in == nil {
 			continue
 		}
+		area := in.mbr.Area()
+		if n.top > fbH || (n.top == fbH && area > fbArea) {
+			fallback, fbH, fbArea = id, n.top, area
+		}
 		if in.parent != id || n.rejoinPending {
 			continue
 		}
-		area := in.mbr.Area()
 		if n.top > bestH || (n.top == bestH && area > bestArea) {
 			best, bestH, bestArea = id, n.top, area
 		}
 	}
-	if best == core.NoProc && len(c.nodes) > 0 {
-		return c.IDs()[0]
+	if best == core.NoProc {
+		return fallback
 	}
 	return best
 }
@@ -231,7 +263,10 @@ func (c *Cluster) Publish(producer core.ProcID, ev geom.Point, maxRounds int) (P
 	for _, node := range c.nodes {
 		delete(node.seen, id)
 	}
-	n.onEvent(mEvent{ID: id, Ev: ev, Height: n.top, Up: true, From: n.id})
+	// From must be NoProc at the injection point: a producer owning
+	// interior instances (for example the root) must still descend into
+	// its own subtree, and onEvent skips the From child.
+	n.onEvent(mEvent{ID: id, Ev: ev, Height: n.top, Up: true, From: core.NoProc})
 	c.net.Send(n.drainOut()...)
 
 	var res PublishResult
@@ -303,5 +338,15 @@ func (c *Cluster) CorruptMBR(id core.ProcID, h int, mbr geom.Rect) error {
 		return fmt.Errorf("proto: no instance (%d,%d)", id, h)
 	}
 	n.at(h).mbr = mbr
+	return nil
+}
+
+// CorruptUnderloaded flips the local underloaded flag of (id, h).
+func (c *Cluster) CorruptUnderloaded(id core.ProcID, h int) error {
+	n := c.nodes[id]
+	if n == nil || n.at(h) == nil {
+		return fmt.Errorf("proto: no instance (%d,%d)", id, h)
+	}
+	n.at(h).underloaded = !n.at(h).underloaded
 	return nil
 }

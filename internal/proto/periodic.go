@@ -47,7 +47,17 @@ func (n *Node) periodic(contact core.ProcID) {
 		// CHECK_PARENT for the topmost instance.
 		if h == n.top {
 			if n.isRootInstance(h) {
-				n.maybeCollapseRoot(h)
+				// A node that believes it is the root verifies the claim
+				// against the connection oracle: a corruption or healed
+				// partition can leave two self-proclaimed roots, and the
+				// one the oracle does not name must re-join under the
+				// other (the distributed twin of the sequential engine's
+				// ensureRoot election).
+				if contact != n.id && contact != core.NoProc {
+					n.rejoin(contact, h)
+				} else {
+					n.maybeCollapseRoot(h)
+				}
 				continue
 			}
 			if n.rejoinPending || in.parent == n.id || in.parent == core.NoProc {
@@ -181,7 +191,10 @@ func (n *Node) onEvent(p mEvent) {
 				continue
 			}
 			if c == n.id {
-				n.onEvent(mEvent{ID: p.ID, Ev: p.Ev, Height: h - 1, From: n.id})
+				// Descend the own chain locally. From must not name this
+				// node: the next level down would skip its own child and
+				// strand the whole own-chain subtree (a false negative).
+				n.onEvent(mEvent{ID: p.ID, Ev: p.Ev, Height: h - 1, From: core.NoProc})
 				continue
 			}
 			n.send(c, mEvent{ID: p.ID, Ev: p.Ev, Height: h - 1, From: n.id})

@@ -113,6 +113,95 @@ func TestRandomDrops(t *testing.T) {
 	}
 }
 
+func TestPartitionBlocksCrossGroupOnly(t *testing.T) {
+	n := New()
+	n.Partition([]NodeID{1, 2}, []NodeID{3, 4})
+	if !n.Partitioned(1, 3) || n.Partitioned(1, 2) || n.Partitioned(3, 4) {
+		t.Fatal("partition membership wrong")
+	}
+	// Unlisted nodes communicate freely with everyone.
+	if n.Partitioned(1, 9) || n.Partitioned(9, 3) {
+		t.Fatal("unlisted nodes must be unrestricted")
+	}
+	n.Send(Message{From: 1, To: 3, Payload: "cross"})
+	n.Send(Message{From: 1, To: 2, Payload: "intra"})
+	inboxes := n.DeliverRound()
+	if len(inboxes[3]) != 0 {
+		t.Fatal("cross-partition message must be dropped")
+	}
+	if len(inboxes[2]) != 1 {
+		t.Fatal("intra-partition message must be delivered")
+	}
+	if st := n.Stats(); st.Partitioned != 1 || st.Delivered != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Heal restores connectivity, including for messages still in flight.
+	n.Send(Message{From: 1, To: 3, Payload: "after"})
+	n.Heal()
+	if got := n.DeliverRound()[3]; len(got) != 1 || got[0].Payload != "after" {
+		t.Fatalf("healed inbox = %v", got)
+	}
+}
+
+func TestSingleGroupPartitionIsNoop(t *testing.T) {
+	n := New()
+	n.Partition([]NodeID{1, 2, 3})
+	if n.Partitioned(1, 2) {
+		t.Fatal("single group must not partition anything")
+	}
+}
+
+func TestDeterministicLinkDelay(t *testing.T) {
+	n := New()
+	n.Delay = func(from, to NodeID) int {
+		if from == 1 && to == 2 {
+			return 2
+		}
+		return 0
+	}
+	n.Send(Message{From: 1, To: 2, Payload: "slow"})
+	n.Send(Message{From: 3, To: 2, Payload: "fast"})
+	inbox := n.DeliverRound()[2]
+	if len(inbox) != 1 || inbox[0].Payload != "fast" {
+		t.Fatalf("round 1 inbox = %v", inbox)
+	}
+	if n.Quiescent() {
+		t.Fatal("delayed message must stay pending")
+	}
+	if got := n.DeliverRound()[2]; len(got) != 0 {
+		t.Fatalf("round 2 inbox = %v", got)
+	}
+	if got := n.DeliverRound()[2]; len(got) != 1 || got[0].Payload != "slow" {
+		t.Fatalf("round 3 inbox = %v", got)
+	}
+	if !n.Quiescent() {
+		t.Fatal("all messages delivered")
+	}
+	if st := n.Stats(); st.Delayed != 1 || st.Delivered != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestRandomLinkDelayBounded(t *testing.T) {
+	n := New()
+	n.DelayMax = 3
+	n.Rand = rand.New(rand.NewPCG(5, 5))
+	const total = 200
+	for i := 0; i < total; i++ {
+		n.Send(Message{From: 1, To: 2, Payload: i})
+	}
+	delivered := 0
+	for r := 0; r < n.DelayMax+1; r++ {
+		delivered += len(n.DeliverRound()[2])
+	}
+	if delivered != total || !n.Quiescent() {
+		t.Fatalf("delivered %d of %d, quiescent=%v", delivered, total, n.Quiescent())
+	}
+	if n.Stats().Delayed == 0 {
+		t.Fatal("some messages must have been delayed")
+	}
+}
+
 func TestSortedIDs(t *testing.T) {
 	inboxes := map[NodeID][]Message{5: nil, 1: nil, 3: nil}
 	ids := SortedIDs(inboxes)
