@@ -2,12 +2,16 @@
 // (experiments E1-E10, see DESIGN.md §3 and EXPERIMENTS.md) and prints
 // one paper-style table per experiment. With -bench-core it instead runs
 // the core hot-path micro-benchmarks and records the ns/op and alloc
-// baselines to a JSON file (the repository keeps BENCH_core.json).
+// baselines to a JSON file (the repository keeps BENCH_core.json); with
+// -bench-proto it measures the wire protocol's dissemination costs —
+// publish latency in rounds and per-round/per-publish message counts —
+// and records them likewise (the repository keeps BENCH_proto.json).
 //
 // Usage:
 //
 //	drtree-bench [-seed N] [-exp E1,E5,E7]
 //	drtree-bench -bench-core BENCH_core.json
+//	drtree-bench -bench-proto BENCH_proto.json
 package main
 
 import (
@@ -22,6 +26,7 @@ import (
 	"drtree/internal/core"
 	"drtree/internal/experiments"
 	"drtree/internal/geom"
+	"drtree/internal/proto"
 )
 
 func main() {
@@ -32,10 +37,14 @@ func run() int {
 	seed := flag.Uint64("seed", 1, "random seed for all experiments")
 	exp := flag.String("exp", "", "comma-separated experiment IDs (default: all)")
 	benchCore := flag.String("bench-core", "", "run the core hot-path benchmarks and write the baselines to this JSON file")
+	benchProto := flag.String("bench-proto", "", "run the wire-protocol dissemination benchmarks and write the baselines to this JSON file")
 	flag.Parse()
 
 	if *benchCore != "" {
 		return runBenchCore(*benchCore)
+	}
+	if *benchProto != "" {
+		return runBenchProto(*benchProto)
 	}
 
 	want := map[string]bool{}
@@ -100,7 +109,7 @@ func runBenchCore(path string) int {
 		tr := core.MustNew(core.Params{MinFanout: 2, MaxFanout: 4})
 		for k := 1; k <= 1000; k++ {
 			x, y := rng.Float64()*1000, rng.Float64()*1000
-			if _, err := tr.Join(core.ProcID(k), geom.R2(x, y, x+15, y+15)); err != nil {
+			if err := tr.Join(core.ProcID(k), geom.R2(x, y, x+15, y+15)); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -153,6 +162,84 @@ func runBenchCore(path string) int {
 	}
 	for _, r := range records {
 		fmt.Printf("%-24s %12.0f ns/op %10d B/op %8d allocs/op\n", r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+	}
+	fmt.Printf("wrote %s\n", path)
+	return 0
+}
+
+// protoRecord is one recorded wire-protocol dissemination baseline.
+type protoRecord struct {
+	Name             string  `json:"name"`
+	Population       int     `json:"population"`
+	Events           int     `json:"events"`
+	RoundsPerPublish float64 `json:"rounds_per_publish"`
+	MsgsPerPublish   float64 `json:"msgs_per_publish"`
+	MsgsPerRound     float64 `json:"msgs_per_round"`
+}
+
+// runBenchProto measures the message-passing engine's dissemination
+// costs at two populations: the overlay is built and stabilized once,
+// then a fixed seeded event stream is published and the per-publish
+// latency (in network rounds) and message counts are averaged. The
+// numbers are deterministic — the round scheduler and the PCG seeds pin
+// every delivery — so the artifact doubles as a regression baseline for
+// protocol chattiness.
+func runBenchProto(path string) int {
+	var records []protoRecord
+	for _, n := range []int{100, 400} {
+		const events = 200
+		cl, err := proto.NewCluster(proto.Config{MinFanout: 2, MaxFanout: 4})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		rng := rand.New(rand.NewPCG(uint64(n), 0xBE7C))
+		for i := 1; i <= n; i++ {
+			x, y := rng.Float64()*1000, rng.Float64()*1000
+			if err := cl.Join(core.ProcID(i), geom.R2(x, y, x+15, y+15)); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+			cl.Step(false)
+		}
+		if st := cl.Stabilize(); !st.Converged {
+			fmt.Fprintf(os.Stderr, "population %d did not stabilize: %v\n", n, cl.CheckLegal())
+			return 1
+		}
+		ids := cl.IDs()
+		var rounds, msgs int
+		for k := 0; k < events; k++ {
+			ev := geom.Point{rng.Float64() * 1000, rng.Float64() * 1000}
+			d, err := cl.Publish(ids[k%len(ids)], ev)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+			rounds += d.Rounds
+			msgs += d.Messages
+		}
+		records = append(records, protoRecord{
+			Name:             fmt.Sprintf("ProtoPublish%d", n),
+			Population:       n,
+			Events:           events,
+			RoundsPerPublish: float64(rounds) / float64(events),
+			MsgsPerPublish:   float64(msgs) / float64(events),
+			MsgsPerRound:     float64(msgs) / float64(max(rounds, 1)),
+		})
+	}
+	out, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	for _, r := range records {
+		fmt.Printf("%-20s %8.2f rounds/publish %8.2f msgs/publish %8.2f msgs/round\n",
+			r.Name, r.RoundsPerPublish, r.MsgsPerPublish, r.MsgsPerRound)
 	}
 	fmt.Printf("wrote %s\n", path)
 	return 0

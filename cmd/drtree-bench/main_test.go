@@ -56,3 +56,52 @@ func decodeRecords(t *testing.T, path string) []benchRecord {
 	}
 	return recs
 }
+
+// TestBenchProtoSmoke runs the -bench-proto path into a temp file and
+// validates that the recorded JSON matches the schema of the committed
+// BENCH_proto.json baseline, mirroring TestBenchCoreSmoke. The proto
+// benchmark is fully deterministic (round scheduler + pinned PCG seeds),
+// so the recorded values must equal the committed ones exactly.
+func TestBenchProtoSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real benchmarks")
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if code := runBenchProto(path); code != 0 {
+		t.Fatalf("runBenchProto exited %d", code)
+	}
+	got := decodeProtoRecords(t, path)
+	committed := decodeProtoRecords(t, filepath.Join("..", "..", "BENCH_proto.json"))
+
+	if len(got) != len(committed) {
+		t.Fatalf("recorded %d benchmarks, baseline has %d", len(got), len(committed))
+	}
+	for i := range got {
+		if got[i] != committed[i] {
+			t.Errorf("benchmark %d: recorded %+v, baseline %+v", i, got[i], committed[i])
+		}
+		if got[i].RoundsPerPublish <= 0 || got[i].MsgsPerPublish <= 0 || got[i].MsgsPerRound <= 0 {
+			t.Errorf("benchmark %s: non-positive measurement %+v", got[i].Name, got[i])
+		}
+	}
+}
+
+// decodeProtoRecords parses a proto baselines file strictly: unknown or
+// missing fields mean the schema drifted.
+func decodeProtoRecords(t *testing.T, path string) []protoRecord {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	var recs []protoRecord
+	if err := dec.Decode(&recs); err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+	if len(recs) == 0 {
+		t.Fatalf("%s: no records", path)
+	}
+	return recs
+}

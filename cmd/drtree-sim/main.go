@@ -23,9 +23,8 @@ import (
 	"os"
 	"path/filepath"
 
-	"drtree/internal/core"
+	"drtree"
 	"drtree/internal/harness"
-	"drtree/internal/split"
 	"drtree/internal/stats"
 	"drtree/internal/workload"
 )
@@ -40,6 +39,7 @@ func run(args []string, out io.Writer) int {
 		n         = fs.Int("n", 500, "number of subscribers")
 		m         = fs.Int("m", 2, "minimum fanout m")
 		mm        = fs.Int("M", 4, "maximum fanout M (>= 2m)")
+		engName   = fs.String("engine", "core", "overlay engine: core|proto|live")
 		splitName = fs.String("split", "quadratic", "split policy: linear|quadratic|rstar")
 		wl        = fs.String("workload", "uniform", "subscription workload: uniform|clustered|contained|mixed")
 		events    = fs.Int("events", 1000, "number of events to publish")
@@ -61,7 +61,7 @@ func run(args []string, out io.Writer) int {
 	// Workload-simulation flags are meaningless in replay/hunt modes;
 	// reject them rather than silently certifying something else than
 	// the user asked for.
-	simOnly := []string{"n", "split", "workload", "events", "eventkind", "churn"}
+	simOnly := []string{"n", "engine", "split", "workload", "events", "eventkind", "churn"}
 
 	var err error
 	switch {
@@ -93,7 +93,7 @@ func run(args []string, out io.Writer) int {
 		}
 	default:
 		err = runSim(simParams{
-			n: *n, m: *m, mm: *mm, splitName: *splitName, wl: *wl,
+			n: *n, m: *m, mm: *mm, engine: *engName, splitName: *splitName, wl: *wl,
 			events: *events, evKind: *evKind, churnFrac: *churnFrac, seed: *seed,
 		}, out)
 	}
@@ -158,16 +158,16 @@ func runHunt(seed uint64, count int, cfg harness.GenConfig, outDir string, out i
 }
 
 type simParams struct {
-	n, m, mm      int
-	splitName, wl string
-	events        int
-	evKind        string
-	churnFrac     float64
-	seed          uint64
+	n, m, mm              int
+	engine, splitName, wl string
+	events                int
+	evKind                string
+	churnFrac             float64
+	seed                  uint64
 }
 
 func runSim(p simParams, out io.Writer) error {
-	pol, err := split.ByName(p.splitName)
+	ekind, err := drtree.ParseEngineKind(p.engine)
 	if err != nil {
 		return err
 	}
@@ -192,73 +192,93 @@ func runSim(p simParams, out io.Writer) error {
 	subs := workload.Subscriptions(rng, world, kind, p.n)
 	evs := workload.Events(rng, world, ek, p.events, subs)
 
-	tr, err := core.New(core.Params{MinFanout: p.m, MaxFanout: p.mm, Split: pol})
+	eng, err := drtree.Open(
+		drtree.WithEngine(ekind),
+		drtree.WithFanout(p.m, p.mm),
+		drtree.WithSplit(p.splitName),
+		drtree.WithSeed(p.seed),
+	)
 	if err != nil {
 		return err
 	}
+	defer eng.Close()
 	for i, s := range subs {
-		if _, err := tr.Join(core.ProcID(i+1), s); err != nil {
+		if err := eng.Join(drtree.ProcID(i+1), s); err != nil {
 			return fmt.Errorf("join %d: %w", i+1, err)
 		}
 	}
-	if err := tr.CheckLegal(); err != nil {
+	// Message-passing engines route joins asynchronously; drive the
+	// overlay to quiescence before measuring.
+	if st := eng.Stabilize(); !st.Converged {
+		return fmt.Errorf("overlay did not stabilize after construction: %v", eng.CheckLegal())
+	}
+	if err := eng.CheckLegal(); err != nil {
 		return fmt.Errorf("overlay not legal after construction: %w", err)
 	}
 
 	if p.churnFrac > 0 {
-		kills := int(p.churnFrac * float64(tr.Len()))
-		ids := tr.ProcIDs()
+		kills := int(p.churnFrac * float64(eng.Len()))
+		ids := eng.ProcIDs()
 		rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
 		for _, id := range ids[:kills] {
-			if err := tr.Crash(id); err != nil {
+			if err := eng.Crash(id); err != nil {
 				return err
 			}
 		}
-		st := tr.RepairCrash()
-		fmt.Fprintf(out, "churn: crashed %d subscribers; repaired in %d passes (%d rejoins)\n\n",
-			kills, st.StabilizeSteps, st.Reinsertions)
-		if err := tr.CheckLegal(); err != nil {
+		st := eng.Stabilize()
+		if !st.Converged {
+			return fmt.Errorf("overlay did not stabilize after churn: %v", eng.CheckLegal())
+		}
+		fmt.Fprintf(out, "churn: crashed %d subscribers; repaired in %d passes / %d rounds (%d rejoins)\n\n",
+			kills, st.Passes, st.Rounds, st.Rejoins)
+		if err := eng.CheckLegal(); err != nil {
 			return fmt.Errorf("overlay not legal after churn repair: %w", err)
 		}
 	}
 
-	ids := tr.ProcIDs()
-	var fp, del, msgs, fn int
+	ids := eng.ProcIDs()
+	var fp, del, msgs, rounds, fn int
 	for _, ev := range evs {
-		d, err := tr.Publish(ids[rng.IntN(len(ids))], ev)
+		d, err := eng.Publish(ids[rng.IntN(len(ids))], ev)
 		if err != nil {
 			return err
 		}
 		fp += len(d.FalsePositives)
 		del += len(d.Received)
 		msgs += d.Messages
-		got := map[core.ProcID]bool{}
-		for _, id := range d.Received {
-			got[id] = true
-		}
-		for _, id := range ids {
-			f, _ := tr.Filter(id)
-			if f.ContainsPoint(ev) && !got[id] {
-				fn++
-			}
-		}
+		rounds += d.Rounds
+		fn += len(drtree.FalseNegatives(eng, d, ev))
 	}
 
-	st := tr.ComputeStats()
+	_, rootH := eng.Root()
 	tb := stats.NewTable("metric", "value")
-	tb.AddRow("subscribers", tr.Len())
-	tb.AddRow("height", st.Height)
-	tb.AddRow("log_m(N)", st.HeightLog)
-	tb.AddRow("instances", st.Nodes)
-	tb.AddRow("max links/process", st.MaxLinks)
-	tb.AddRow("avg links/process", st.AvgLinks)
+	tb.AddRow("engine", string(ekind))
+	tb.AddRow("subscribers", eng.Len())
+	tb.AddRow("height", rootH+1)
+	if tr, ok := eng.(*drtree.Tree); ok {
+		st := tr.ComputeStats()
+		tb.AddRow("log_m(N)", st.HeightLog)
+		tb.AddRow("instances", st.Nodes)
+		tb.AddRow("max links/process", st.MaxLinks)
+		tb.AddRow("avg links/process", st.AvgLinks)
+	}
 	tb.AddRow("events", len(evs))
 	tb.AddRow("deliveries", del)
 	tb.AddRow("messages/event", float64(msgs)/float64(max(len(evs), 1)))
+	if rounds > 0 {
+		tb.AddRow("rounds/event", float64(rounds)/float64(max(len(evs), 1)))
+	}
 	tb.AddRow("false positives/delivery", float64(fp)/float64(max(del, 1)))
-	tb.AddRow("false positives/(N*events)", float64(fp)/float64(tr.Len()*max(len(evs), 1)))
+	tb.AddRow("false positives/(N*events)", float64(fp)/float64(eng.Len()*max(len(evs), 1)))
 	tb.AddRow("false negatives", fn)
-	tb.AddRow("weak containment violations", tr.CheckWeakContainment())
+	if tr, ok := eng.(*drtree.Tree); ok {
+		tb.AddRow("weak containment violations", tr.CheckWeakContainment())
+	}
+	if net, ok := eng.(drtree.NetworkedEngine); ok {
+		s := net.NetStats()
+		tb.AddRow("net messages delivered", s.Delivered)
+		tb.AddRow("net messages dropped", s.Dropped)
+	}
 	fmt.Fprint(out, tb)
 	if fn != 0 {
 		return fmt.Errorf("false negatives detected: %d", fn)

@@ -139,6 +139,35 @@ func TestSimSmoke(t *testing.T) {
 	}
 }
 
+// TestSimEngineFlag drives the same workload through each overlay
+// engine; the wire-protocol run must also report network counters.
+func TestSimEngineFlag(t *testing.T) {
+	for _, eng := range []string{"proto", "live"} {
+		n, events := "30", "30"
+		if eng == "live" {
+			n, events = "12", "10" // real timers: keep the population small
+		}
+		var out bytes.Buffer
+		if code := run([]string{"-engine", eng, "-n", n, "-events", events, "-seed", "5"}, &out); code != 0 {
+			t.Fatalf("-engine %s failed with exit %d\n%s", eng, code, out.String())
+		}
+		if !strings.Contains(out.String(), "false negatives") {
+			t.Fatalf("-engine %s output missing stats table:\n%s", eng, out.String())
+		}
+		if eng == "proto" && !strings.Contains(out.String(), "net messages delivered") {
+			t.Fatalf("-engine proto output missing network counters:\n%s", out.String())
+		}
+	}
+	var out bytes.Buffer
+	if code := run([]string{"-engine", "bogus"}, &out); code != 1 {
+		t.Fatal("unknown engine must fail")
+	}
+	out.Reset()
+	if code := run([]string{"-replay", "nope.json", "-engine", "proto"}, &out); code != 1 {
+		t.Fatal("-engine must be rejected with -replay")
+	}
+}
+
 func mustLoad(t *testing.T, path string) *harness.Schedule {
 	t.Helper()
 	s, err := harness.Load(path)

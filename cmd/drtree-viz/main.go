@@ -52,7 +52,7 @@ func run() error {
 	for i, r := range fig.Subs {
 		id := core.ProcID(i + 1)
 		labels[id] = fig.Labels[i]
-		if _, err := tr.Join(id, r); err != nil {
+		if err := tr.Join(id, r); err != nil {
 			return err
 		}
 	}

@@ -3,31 +3,43 @@
 // content-based publish/subscribe, reproducing Bianchi, Datta, Felber,
 // Gradinariu, "Stabilizing Peer-to-Peer Spatial Filters" (ICDCS 2007).
 //
-// The facade re-exports the stable surface of the internal packages:
+// The central abstraction is Engine: the paper's DR-tree rules behind
+// one interface, implemented three times —
 //
-//   - Tree / Params — the DR-tree overlay engine (internal/core):
-//     joins, controlled leaves, crashes, stabilization, event
-//     dissemination, legality checking.
-//   - Broker — the publish/subscribe front end (internal/pubsub) over a
-//     predicate language (internal/filter).
-//   - Rect / Point — the poly-space geometry (internal/geom).
+//   - EngineCore — the sequential specification (internal/core): every
+//     protocol rule as a directly callable state transition.
+//   - EngineProto — the wire protocol (internal/proto) on a simulated
+//     network with deterministic message rounds, drops, delays and
+//     partitions.
+//   - EngineLive — the same protocol actors as free-running goroutines
+//     with real mailboxes and timers.
+//
+// Open builds an engine from functional options; Broker (the
+// content-based publish/subscribe front end) and the drtree-sim /
+// drtree-bench tools run over any of them.
 //
 // Quick start:
 //
-//	tree, _ := drtree.NewTree(drtree.Params{MinFanout: 2, MaxFanout: 4})
-//	tree.Join(1, drtree.R2(0, 0, 10, 10))
-//	tree.Join(2, drtree.R2(5, 5, 20, 20))
-//	delivery, _ := tree.Publish(1, drtree.Point{7, 7})
+//	eng, _ := drtree.Open(drtree.WithFanout(2, 4))
+//	eng.Join(1, drtree.R2(0, 0, 10, 10))
+//	eng.Join(2, drtree.R2(5, 5, 20, 20))
+//	delivery, _ := eng.Publish(1, drtree.Point{7, 7})
 //
 // See examples/ for runnable programs and DESIGN.md for the paper
 // reproduction map.
 package drtree
 
 import (
+	"fmt"
+	"math/rand/v2"
+
 	"drtree/internal/core"
+	"drtree/internal/engine"
 	"drtree/internal/filter"
 	"drtree/internal/geom"
+	"drtree/internal/proto"
 	"drtree/internal/pubsub"
+	"drtree/internal/split"
 )
 
 // Geometry re-exports.
@@ -44,21 +56,37 @@ func R2(x1, y1, x2, y2 float64) Rect { return geom.R2(x1, y1, x2, y2) }
 // NewRect builds an n-dimensional rectangle from per-dimension bounds.
 func NewRect(lo, hi []float64) (Rect, error) { return geom.NewRect(lo, hi) }
 
+// Engine re-exports: the unified overlay interface and its optional
+// capabilities.
+type (
+	// Engine is a DR-tree overlay backend; see Open.
+	Engine = engine.Engine
+	// NetworkedEngine is the capability of engines backed by an
+	// inspectable simulated network (message drops, delays, partitions,
+	// traffic counters). Satisfied by EngineProto.
+	NetworkedEngine = engine.NetworkedEngine
+	// SteppedEngine is the capability of deterministic round-based
+	// engines (advance one message round at a time). Satisfied by
+	// EngineProto.
+	SteppedEngine = engine.SteppedEngine
+)
+
 // Overlay re-exports.
 type (
-	// Tree is the DR-tree overlay.
+	// Tree is the sequential DR-tree engine (the EngineCore backend),
+	// exposed for callers that need its full surface beyond Engine.
 	Tree = core.Tree
 	// Params configures a Tree.
 	Params = core.Params
 	// ProcID identifies a subscriber process.
 	ProcID = core.ProcID
-	// JoinStats reports join costs.
+	// JoinStats reports join costs (Tree.JoinWithStats).
 	JoinStats = core.JoinStats
-	// LeaveStats reports departure repair costs.
+	// LeaveStats reports departure repair costs (Tree.LeaveWithStats).
 	LeaveStats = core.LeaveStats
-	// StabStats reports stabilization work.
-	StabStats = core.StabStats
-	// Delivery reports one event dissemination.
+	// StabReport is the unified stabilization result of Engine.Stabilize.
+	StabReport = core.StabReport
+	// Delivery is the unified dissemination result of Engine.Publish.
 	Delivery = core.Delivery
 	// Election is a parent/root election policy.
 	Election = core.Election
@@ -66,12 +94,173 @@ type (
 	LargestMBR = core.LargestMBR
 )
 
-// NewTree creates an empty DR-tree overlay.
+// NoProc is the zero ProcID, used as "no process".
+const NoProc = core.NoProc
+
+// EngineKind names an Engine backend for Open and the -engine CLI flags.
+type EngineKind string
+
+const (
+	// EngineCore is the sequential specification engine.
+	EngineCore EngineKind = "core"
+	// EngineProto is the wire protocol on a deterministic simulated
+	// network (rounds, drops, delays, partitions).
+	EngineProto EngineKind = "proto"
+	// EngineLive is the wire protocol as goroutine-per-node actors with
+	// real mailboxes and timers.
+	EngineLive EngineKind = "live"
+)
+
+// ParseEngineKind parses a -engine flag value.
+func ParseEngineKind(s string) (EngineKind, error) {
+	switch EngineKind(s) {
+	case EngineCore, EngineProto, EngineLive:
+		return EngineKind(s), nil
+	}
+	return "", fmt.Errorf("drtree: unknown engine %q (want core, proto or live)", s)
+}
+
+// openConfig collects the Open options.
+type openConfig struct {
+	kind       EngineKind
+	minFanout  int
+	maxFanout  int
+	split      split.Policy
+	election   Election
+	seed       uint64
+	seedSet    bool
+	checkEvery int
+}
+
+// Option configures Open.
+type Option func(*openConfig) error
+
+// WithEngine selects the backend (default EngineCore).
+func WithEngine(kind EngineKind) Option {
+	return func(c *openConfig) error {
+		if _, err := ParseEngineKind(string(kind)); err != nil {
+			return err
+		}
+		c.kind = kind
+		return nil
+	}
+}
+
+// WithFanout sets the paper's m and M bounds (default 2, 4; M >= 2m).
+func WithFanout(m, M int) Option {
+	return func(c *openConfig) error {
+		c.minFanout, c.maxFanout = m, M
+		return nil
+	}
+}
+
+// WithSplit selects the node-splitting policy by name
+// (linear, quadratic or rstar; default quadratic).
+func WithSplit(name string) Option {
+	return func(c *openConfig) error {
+		pol, err := split.ByName(name)
+		if err != nil {
+			return err
+		}
+		c.split = pol
+		return nil
+	}
+}
+
+// WithElection sets the parent/root election policy (EngineCore only;
+// default LargestMBR, the paper's Figure 6 rule).
+func WithElection(e Election) Option {
+	return func(c *openConfig) error {
+		c.election = e
+		return nil
+	}
+}
+
+// WithSeed seeds the simulated network's randomness (message drops,
+// delay jitter) for EngineProto. Other engines ignore it.
+func WithSeed(seed uint64) Option {
+	return func(c *openConfig) error {
+		c.seed, c.seedSet = seed, true
+		return nil
+	}
+}
+
+// WithCheckEvery sets the period, in rounds, of the periodic CHECK_*
+// timers for the message-passing engines.
+func WithCheckEvery(rounds int) Option {
+	return func(c *openConfig) error {
+		if rounds < 1 {
+			return fmt.Errorf("drtree: CheckEvery must be >= 1, got %d", rounds)
+		}
+		c.checkEvery = rounds
+		return nil
+	}
+}
+
+// Open builds a DR-tree overlay engine from functional options:
+//
+//	eng, err := drtree.Open(drtree.WithEngine(drtree.EngineProto),
+//		drtree.WithFanout(2, 4), drtree.WithSeed(42))
+//
+// With no options it opens the sequential engine with fanout (2, 4).
+// Close the returned engine when done; only EngineLive holds background
+// resources, but the call is uniform.
+func Open(opts ...Option) (Engine, error) {
+	cfg := openConfig{kind: EngineCore, minFanout: 2, maxFanout: 4}
+	for _, opt := range opts {
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	switch cfg.kind {
+	case EngineCore:
+		return core.New(core.Params{
+			MinFanout: cfg.minFanout,
+			MaxFanout: cfg.maxFanout,
+			Split:     cfg.split,
+			Election:  cfg.election,
+		})
+	case EngineProto:
+		cl, err := proto.NewCluster(proto.Config{
+			MinFanout:  cfg.minFanout,
+			MaxFanout:  cfg.maxFanout,
+			Split:      cfg.split,
+			CheckEvery: cfg.checkEvery,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if cfg.seedSet {
+			cl.Net().Rand = rand.New(rand.NewPCG(cfg.seed, 0x5EED))
+		}
+		return cl, nil
+	case EngineLive:
+		return proto.NewLiveCluster(proto.Config{
+			MinFanout:  cfg.minFanout,
+			MaxFanout:  cfg.maxFanout,
+			Split:      cfg.split,
+			CheckEvery: cfg.checkEvery,
+		})
+	}
+	return nil, fmt.Errorf("drtree: unknown engine %q", cfg.kind)
+}
+
+// NewTree creates an empty sequential DR-tree overlay with the full
+// Tree surface (Open(WithEngine(EngineCore)) narrowed to Engine is the
+// interface-first equivalent).
 func NewTree(p Params) (*Tree, error) { return core.New(p) }
+
+// FalseNegatives lists live subscribers whose filter matches ev but that
+// are absent from d.Received — the ground-truth delivery check shared by
+// the tools and examples. On a stabilized overlay it must return nil.
+func FalseNegatives(eng Engine, d Delivery, ev Point) []ProcID {
+	return engine.FalseNegatives(eng, d, ev)
+}
 
 // Publish/subscribe re-exports.
 type (
-	// Broker is the content-based publish/subscribe front end.
+	// Broker is the content-based publish/subscribe front end. It runs
+	// over any Engine.
 	Broker = pubsub.Broker
 	// Filter is a conjunction of attribute predicates.
 	Filter = filter.Filter
@@ -86,9 +275,12 @@ type (
 // NewSpace builds an attribute space over the given names.
 func NewSpace(attrs ...string) (*Space, error) { return filter.NewSpace(attrs...) }
 
-// NewBroker creates a publish/subscribe broker over space with the given
-// overlay parameters.
-func NewBroker(space *Space, p Params) (*Broker, error) { return pubsub.New(space, p) }
+// NewBroker creates a publish/subscribe broker over space on the given
+// overlay engine:
+//
+//	eng, _ := drtree.Open(drtree.WithEngine(drtree.EngineProto))
+//	broker, _ := drtree.NewBroker(space, eng)
+func NewBroker(space *Space, eng Engine) (*Broker, error) { return pubsub.New(space, eng) }
 
 // ParseFilter parses the textual predicate language, e.g.
 // "price in [10, 20] && qty >= 3".

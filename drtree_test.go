@@ -6,7 +6,8 @@ import (
 	"drtree"
 )
 
-// TestFacadeTreeRoundTrip exercises the public overlay API end to end.
+// TestFacadeTreeRoundTrip exercises the concrete sequential engine
+// through the public API end to end.
 func TestFacadeTreeRoundTrip(t *testing.T) {
 	tree, err := drtree.NewTree(drtree.Params{MinFanout: 2, MaxFanout: 4})
 	if err != nil {
@@ -14,7 +15,7 @@ func TestFacadeTreeRoundTrip(t *testing.T) {
 	}
 	for i := 1; i <= 12; i++ {
 		f := drtree.R2(float64(i*10), 0, float64(i*10)+15, 20)
-		if _, err := tree.Join(drtree.ProcID(i), f); err != nil {
+		if err := tree.Join(drtree.ProcID(i), f); err != nil {
 			t.Fatalf("join %d: %v", i, err)
 		}
 	}
@@ -28,7 +29,7 @@ func TestFacadeTreeRoundTrip(t *testing.T) {
 	if len(d.Received) == 0 {
 		t.Fatal("no deliveries")
 	}
-	if _, err := tree.Leave(5); err != nil {
+	if err := tree.Leave(5); err != nil {
 		t.Fatal(err)
 	}
 	if err := tree.Crash(7); err != nil {
@@ -43,24 +44,118 @@ func TestFacadeTreeRoundTrip(t *testing.T) {
 	}
 }
 
-// TestFacadeBrokerRoundTrip exercises the public pub/sub API.
+// TestOpenAllEngines drives the same tiny scenario through Open for
+// every engine kind, using only the Engine interface.
+func TestOpenAllEngines(t *testing.T) {
+	for _, kind := range []drtree.EngineKind{drtree.EngineCore, drtree.EngineProto, drtree.EngineLive} {
+		t.Run(string(kind), func(t *testing.T) {
+			eng, err := drtree.Open(drtree.WithEngine(kind), drtree.WithFanout(2, 4), drtree.WithSeed(7))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer eng.Close()
+			for i := 1; i <= 8; i++ {
+				f := drtree.R2(float64(i*10), 0, float64(i*10)+15, 20)
+				if err := eng.Join(drtree.ProcID(i), f); err != nil {
+					t.Fatalf("join %d: %v", i, err)
+				}
+			}
+			if st := eng.Stabilize(); !st.Converged {
+				t.Fatalf("stabilize did not converge: %+v", st)
+			}
+			if err := eng.CheckLegal(); err != nil {
+				t.Fatal(err)
+			}
+			if eng.Len() != 8 {
+				t.Fatalf("Len = %d", eng.Len())
+			}
+			if root, h := eng.Root(); root == drtree.NoProc || h < 0 {
+				t.Fatalf("no root: (%d, %d)", root, h)
+			}
+			d, err := eng.Publish(3, drtree.Point{35, 10})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fn := drtree.FalseNegatives(eng, d, drtree.Point{35, 10}); len(fn) != 0 {
+				t.Fatalf("engine %s: matching subscribers %v missed %+v", kind, fn, d)
+			}
+			if err := eng.Crash(2); err != nil {
+				t.Fatal(err)
+			}
+			if st := eng.Stabilize(); !st.Converged {
+				t.Fatalf("post-crash stabilize did not converge: %+v", st)
+			}
+			if err := eng.CheckLegal(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestOpenOptionValidation covers option errors and capability
+// narrowing.
+func TestOpenOptionValidation(t *testing.T) {
+	if _, err := drtree.Open(drtree.WithEngine("bogus")); err == nil {
+		t.Error("unknown engine must be rejected")
+	}
+	if _, err := drtree.Open(drtree.WithSplit("bogus")); err == nil {
+		t.Error("unknown split must be rejected")
+	}
+	if _, err := drtree.Open(drtree.WithFanout(0, 4)); err == nil {
+		t.Error("invalid fanout must be rejected")
+	}
+	if _, err := drtree.Open(drtree.WithCheckEvery(0)); err == nil {
+		t.Error("invalid check period must be rejected")
+	}
+	if _, err := drtree.ParseEngineKind("liv"); err == nil {
+		t.Error("ParseEngineKind must reject typos")
+	}
+
+	eng, err := drtree.Open(drtree.WithElection(drtree.LargestMBR{}), drtree.WithSplit("rstar"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if _, ok := eng.(drtree.NetworkedEngine); ok {
+		t.Error("sequential engine must not claim the networked capability")
+	}
+	neng, err := drtree.Open(drtree.WithEngine(drtree.EngineProto))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer neng.Close()
+	if _, ok := neng.(drtree.NetworkedEngine); !ok {
+		t.Error("proto engine must expose the networked capability")
+	}
+	if _, ok := neng.(drtree.SteppedEngine); !ok {
+		t.Error("proto engine must expose the stepped capability")
+	}
+}
+
+// TestFacadeBrokerRoundTrip exercises the public pub/sub API over the
+// default engine.
 func TestFacadeBrokerRoundTrip(t *testing.T) {
 	space, err := drtree.NewSpace("x", "y")
 	if err != nil {
 		t.Fatal(err)
 	}
-	broker, err := drtree.NewBroker(space, drtree.Params{MinFanout: 2, MaxFanout: 4})
+	eng, err := drtree.Open(drtree.WithFanout(2, 4))
 	if err != nil {
 		t.Fatal(err)
 	}
+	broker, err := drtree.NewBroker(space, eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer broker.Close()
 	f, err := drtree.ParseFilter("x in [0, 10] && y in [0, 10]")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := broker.Subscribe(1, f); err != nil {
+	if err := broker.Subscribe(1, f); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := broker.SubscribeExpr(2, "x in [5, 20] && y in [5, 20]"); err != nil {
+	if err := broker.SubscribeExpr(2, "x in [5, 20] && y in [5, 20]"); err != nil {
 		t.Fatal(err)
 	}
 	n, err := broker.Publish(1, drtree.Event{"x": 7, "y": 7})
@@ -69,6 +164,48 @@ func TestFacadeBrokerRoundTrip(t *testing.T) {
 	}
 	if len(n.Interested) != 2 || len(n.FalseNegatives) != 0 {
 		t.Fatalf("notification: %+v", n)
+	}
+}
+
+// TestFacadeBrokerOverWire runs the Broker over the message-passing
+// engine — the pub/sub front end and the wire protocol composed through
+// the Engine interface only.
+func TestFacadeBrokerOverWire(t *testing.T) {
+	space, err := drtree.NewSpace("x", "y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := drtree.Open(drtree.WithEngine(drtree.EngineProto), drtree.WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	broker, err := drtree.NewBroker(space, eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer broker.Close()
+	for i, expr := range []string{
+		"x in [0, 40] && y in [0, 40]",
+		"x in [20, 60] && y in [20, 60]",
+		"x in [50, 90] && y in [0, 30]",
+		"x in [10, 30] && y in [50, 80]",
+	} {
+		if err := broker.SubscribeExpr(drtree.ProcID(i+1), expr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := broker.Repair(); !st.Converged {
+		t.Fatalf("broker overlay did not stabilize: %+v", st)
+	}
+	n, err := broker.Publish(1, drtree.Event{"x": 25, "y": 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n.FalseNegatives) != 0 {
+		t.Fatalf("wire broker lost subscribers: %+v", n)
+	}
+	if len(n.Interested) != 2 {
+		t.Fatalf("want subscribers 1 and 2 interested: %+v", n)
 	}
 }
 

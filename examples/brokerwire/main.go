@@ -1,0 +1,128 @@
+// Brokerwire: the stockticker scenario running the content-based
+// publish/subscribe Broker over the wire-protocol engine — the Engine
+// interface composing the two halves of the paper end to end. Traders
+// subscribe while the simulated network drops and delays messages; a
+// trader crashes mid-session; once the transient faults cease, the
+// periodic CHECK_* timers repair the overlay (the self-stabilization
+// contract) and the market feed flows with zero false negatives.
+package main
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"os"
+
+	"drtree"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "brokerwire:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	space, err := drtree.NewSpace("price", "volume")
+	if err != nil {
+		return err
+	}
+	eng, err := drtree.Open(
+		drtree.WithEngine(drtree.EngineProto),
+		drtree.WithFanout(2, 4),
+		drtree.WithSeed(2026),
+	)
+	if err != nil {
+		return err
+	}
+	defer eng.Close()
+
+	// The engine is networked: make the substrate lossy while the
+	// overlay is under construction — 15% message drops plus up to 3
+	// rounds of per-hop delay jitter.
+	netEng, ok := eng.(drtree.NetworkedEngine)
+	if !ok {
+		return fmt.Errorf("proto engine must expose the simulated network")
+	}
+	netEng.Net().DropRate = 0.15
+	netEng.Net().DelayMax = 3
+	fmt.Println("network faults on: 15% drops, <=3 rounds delay jitter")
+
+	broker, err := drtree.NewBroker(space, eng)
+	if err != nil {
+		return err
+	}
+
+	subscriptions := []struct {
+		id   drtree.ProcID
+		expr string
+	}{
+		{1, "price in [0, 1000] && volume in [0, 100000]"}, // market maker: everything
+		{2, "price in [90, 110] && volume in [0, 100000]"}, // band watcher
+		{3, "price in [95, 105] && volume in [5000, 100000]"},
+		{4, "price >= 200 && volume >= 10000"},             // large-cap whale
+		{5, "price in [90, 100] && volume in [0, 1000]"},   // small lots
+		{6, "price in [100, 300] && volume in [0, 50000]"}, // momentum desk
+		{7, "price in [50, 150] && volume in [20000, 100000]"},
+		{8, "price <= 95 && volume in [0, 30000]"},
+	}
+	for _, sub := range subscriptions {
+		if err := broker.SubscribeExpr(sub.id, sub.expr); err != nil {
+			return fmt.Errorf("subscriber %d: %w", sub.id, err)
+		}
+		fmt.Printf("trader %d subscribed over the lossy wire: %s\n", sub.id, sub.expr)
+	}
+
+	// Drive the overlay while the network is still lossy: joins route,
+	// messages drop, the periodic checks retry. Convergence is best
+	// effort here — the paper only promises it once faults cease.
+	lossy := broker.Repair()
+	fmt.Printf("lossy construction: %d rounds, converged=%v, %d messages dropped so far\n",
+		lossy.Rounds, lossy.Converged, netEng.NetStats().Dropped)
+
+	// A trader drops out abruptly while the network is still lossy.
+	if err := broker.Fail(3); err != nil {
+		return err
+	}
+	fmt.Println("trader 3 crashed mid-churn")
+
+	// Transient faults cease (the paper's self-stabilization contract is
+	// convergence from then on); the delay jitter may stay.
+	netEng.Net().DropRate = 0
+	st := broker.Repair()
+	if !st.Converged {
+		return fmt.Errorf("overlay did not stabilize after faults ceased: %v", eng.CheckLegal())
+	}
+	if err := eng.CheckLegal(); err != nil {
+		return fmt.Errorf("overlay not legal after repair: %w", err)
+	}
+	stats := netEng.NetStats()
+	fmt.Printf("faults ceased; overlay legal after %d rounds (so far: %d messages delivered, %d dropped)\n\n",
+		st.Rounds, stats.Delivered, stats.Dropped)
+
+	// The market feed flows through the repaired overlay.
+	rng := rand.New(rand.NewPCG(2026, 8))
+	totalMsgs, totalFP, totalRounds := 0, 0, 0
+	quotes := 10
+	for i := 0; i < quotes; i++ {
+		q := drtree.Event{
+			"price":  80 + rng.Float64()*170,
+			"volume": rng.Float64() * 60000,
+		}
+		n, err := broker.Publish(1, q)
+		if err != nil {
+			return err
+		}
+		if len(n.FalseNegatives) != 0 {
+			return fmt.Errorf("quote %d lost subscribers %v", i, n.FalseNegatives)
+		}
+		totalMsgs += n.Messages
+		totalFP += len(n.FalsePositives)
+		totalRounds += n.Rounds
+		fmt.Printf("quote %d (price %6.2f, volume %7.0f) -> interested %v (%d msgs, %d rounds)\n",
+			i, q["price"], q["volume"], n.Interested, n.Messages, n.Rounds)
+	}
+	fmt.Printf("\n%d quotes over the wire: %d messages, %.1f rounds/quote, %d false-positive deliveries, 0 false negatives\n",
+		quotes, totalMsgs, float64(totalRounds)/float64(quotes), totalFP)
+	return nil
+}

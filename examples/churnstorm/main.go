@@ -37,7 +37,7 @@ func run() error {
 	next := 1
 	join := func() error {
 		x, y := rng.Float64()*1000, rng.Float64()*1000
-		_, err := tree.Join(drtree.ProcID(next), drtree.R2(x, y, x+25, y+25))
+		err := tree.Join(drtree.ProcID(next), drtree.R2(x, y, x+25, y+25))
 		next++
 		return err
 	}

@@ -32,7 +32,7 @@ func run() error {
 	for i, rect := range fig.Subs {
 		id := drtree.ProcID(i + 1)
 		labels[id] = fig.Labels[i]
-		if _, err := tree.Join(id, rect); err != nil {
+		if err := tree.Join(id, rect); err != nil {
 			return fmt.Errorf("join %s: %w", fig.Labels[i], err)
 		}
 	}

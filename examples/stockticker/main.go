@@ -25,7 +25,11 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	broker, err := drtree.NewBroker(space, drtree.Params{MinFanout: 2, MaxFanout: 4})
+	eng, err := drtree.Open(drtree.WithFanout(2, 4))
+	if err != nil {
+		return err
+	}
+	broker, err := drtree.NewBroker(space, eng)
 	if err != nil {
 		return err
 	}
@@ -39,7 +43,7 @@ func run() error {
 		6: "price in [100, 300] && volume in [0, 50000]", // momentum desk
 	}
 	for id, expr := range subscriptions {
-		if _, err := broker.SubscribeExpr(id, expr); err != nil {
+		if err := broker.SubscribeExpr(id, expr); err != nil {
 			return fmt.Errorf("subscriber %d: %w", id, err)
 		}
 		fmt.Printf("trader %d subscribed: %s\n", id, expr)
@@ -78,7 +82,7 @@ func run() error {
 	}
 	st := broker.Repair()
 	fmt.Printf("trader 3 crashed; overlay repaired in %d passes\n", st.Passes)
-	if err := broker.Tree().CheckLegal(); err != nil {
+	if err := broker.Engine().CheckLegal(); err != nil {
 		return fmt.Errorf("overlay not legal after repair: %w", err)
 	}
 	n, err := broker.Publish(1, drtree.Event{"price": 100, "volume": 20000})

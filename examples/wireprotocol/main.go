@@ -12,6 +12,7 @@ import (
 	"os"
 
 	"drtree/internal/core"
+	"drtree/internal/engine"
 	"drtree/internal/geom"
 	"drtree/internal/proto"
 )
@@ -52,14 +53,16 @@ func run() error {
 
 	// Publish an event end to end.
 	ids := cl.IDs()
-	res, err := cl.Publish(ids[0], geom.Point{250, 250}, 200)
+	ev := geom.Point{250, 250}
+	res, err := cl.Publish(ids[0], ev)
 	if err != nil {
 		return err
 	}
+	fn := engine.FalseNegatives(cl, res, ev)
 	fmt.Printf("publish: %d receivers, %d messages, %d rounds, false negatives=%d\n\n",
-		len(res.Received), res.Messages, res.Rounds, res.FalseNegatives)
-	if res.FalseNegatives != 0 {
-		return fmt.Errorf("protocol dissemination lost %d subscribers", res.FalseNegatives)
+		len(res.Received), res.Messages, res.Rounds, len(fn))
+	if len(fn) != 0 {
+		return fmt.Errorf("protocol dissemination lost subscribers %v", fn)
 	}
 
 	// Crash an interior process, then the root; the CHECK_* timers repair.

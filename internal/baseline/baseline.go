@@ -17,7 +17,7 @@ package baseline
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"drtree/internal/geom"
 )
@@ -61,7 +61,7 @@ func finish(subs []geom.Rect, received map[int]bool, messages int, ev geom.Point
 			rep.FalseNegatives++
 		}
 	}
-	sort.Ints(rep.Received)
+	slices.Sort(rep.Received)
 	return rep
 }
 

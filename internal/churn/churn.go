@@ -155,7 +155,7 @@ func (m Model) SimulateOverlay(rng *rand.Rand, windows int) (OverlayResult, erro
 	nextID := 1
 	join := func() error {
 		x, y := rng.Float64()*1000, rng.Float64()*1000
-		_, err := tr.Join(core.ProcID(nextID), geom.R2(x, y, x+20, y+20))
+		err := tr.Join(core.ProcID(nextID), geom.R2(x, y, x+20, y+20))
 		nextID++
 		return err
 	}

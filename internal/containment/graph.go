@@ -9,8 +9,9 @@
 package containment
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 
 	"drtree/internal/geom"
@@ -217,11 +218,11 @@ func (g *Graph) Edges() [][2]string {
 			out = append(out, [2]string{g.items[i].Label, g.items[c].Label})
 		}
 	}
-	sort.Slice(out, func(a, b int) bool {
-		if out[a][0] != out[b][0] {
-			return out[a][0] < out[b][0]
+	slices.SortFunc(out, func(a, b [2]string) int {
+		if c := cmp.Compare(a[0], b[0]); c != 0 {
+			return c
 		}
-		return out[a][1] < out[b][1]
+		return cmp.Compare(a[1], b[1])
 	})
 	return out
 }
@@ -235,7 +236,7 @@ func (g *Graph) Dot() string {
 	for i, it := range g.items {
 		labels[i] = it.Label
 	}
-	sort.Strings(labels)
+	slices.Sort(labels)
 	for _, l := range labels {
 		i := g.index[l]
 		fmt.Fprintf(&b, "  %q [label=\"%s\\n%s\"];\n", l, l, g.items[i].Rect)
@@ -252,7 +253,7 @@ func (g *Graph) labelsOf(idx []int) []string {
 	for i, j := range idx {
 		out[i] = g.items[j].Label
 	}
-	sort.Strings(out)
+	slices.Sort(out)
 	return out
 }
 
@@ -261,6 +262,6 @@ func setToSlice(set map[int]bool) []int {
 	for i := range set {
 		out = append(out, i)
 	}
-	sort.Ints(out)
+	slices.Sort(out)
 	return out
 }

@@ -23,7 +23,7 @@ func TestAllocBudgetJoin(t *testing.T) {
 		tr := MustNew(Params{MinFanout: 2, MaxFanout: 4})
 		for k := 1; k <= 1000; k++ {
 			x, y := rng.Float64()*1000, rng.Float64()*1000
-			if _, err := tr.Join(ProcID(k), geom.R2(x, y, x+15, y+15)); err != nil {
+			if err := tr.Join(ProcID(k), geom.R2(x, y, x+15, y+15)); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -43,7 +43,7 @@ func TestAllocBudgetPublish(t *testing.T) {
 	tr := MustNew(Params{MinFanout: 2, MaxFanout: 4, Split: split.Quadratic{}})
 	for i := 1; i <= 1000; i++ {
 		x, y := rng.Float64()*1000, rng.Float64()*1000
-		if _, err := tr.Join(ProcID(i), geom.R2(x, y, x+15, y+15)); err != nil {
+		if err := tr.Join(ProcID(i), geom.R2(x, y, x+15, y+15)); err != nil {
 			t.Fatal(err)
 		}
 	}

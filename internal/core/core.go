@@ -249,6 +249,11 @@ func MustNew(p Params) *Tree {
 // Params returns the tree's configuration.
 func (t *Tree) Params() Params { return t.params }
 
+// Close releases engine resources. The sequential engine holds none; the
+// method exists so Tree satisfies the unified Engine interface alongside
+// the goroutine-backed runtimes.
+func (t *Tree) Close() error { return nil }
+
 // Len returns the number of live processes.
 func (t *Tree) Len() int { return len(t.procs) }
 

@@ -17,7 +17,7 @@ func benchTree(b *testing.B, n int, pol split.Policy) (*Tree, *rand.Rand) {
 	tr := MustNew(Params{MinFanout: 2, MaxFanout: 4, Split: pol})
 	for i := 1; i <= n; i++ {
 		x, y := rng.Float64()*1000, rng.Float64()*1000
-		if _, err := tr.Join(ProcID(i), geom.R2(x, y, x+15, y+15)); err != nil {
+		if err := tr.Join(ProcID(i), geom.R2(x, y, x+15, y+15)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -30,7 +30,7 @@ func BenchmarkJoin1000(b *testing.B) {
 		tr := MustNew(Params{MinFanout: 2, MaxFanout: 4})
 		for k := 1; k <= 1000; k++ {
 			x, y := rng.Float64()*1000, rng.Float64()*1000
-			if _, err := tr.Join(ProcID(k), geom.R2(x, y, x+15, y+15)); err != nil {
+			if err := tr.Join(ProcID(k), geom.R2(x, y, x+15, y+15)); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -55,10 +55,10 @@ func BenchmarkLeaveJoinCycle(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		id := ProcID(10000 + i)
 		x, y := rng.Float64()*1000, rng.Float64()*1000
-		if _, err := tr.Join(id, geom.R2(x, y, x+15, y+15)); err != nil {
+		if err := tr.Join(id, geom.R2(x, y, x+15, y+15)); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := tr.Leave(id); err != nil {
+		if err := tr.Leave(id); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -27,7 +27,7 @@ func TestDifferentialChurn500GoldenTranscript(t *testing.T) {
 	join := func() {
 		x, y := rng.Float64()*1000, rng.Float64()*1000
 		w, h := 5+rng.Float64()*40, 5+rng.Float64()*40
-		if _, err := tr.Join(next, geom.R2(x, y, x+w, y+h)); err != nil {
+		if err := tr.Join(next, geom.R2(x, y, x+w, y+h)); err != nil {
 			t.Fatalf("join %d: %v", next, err)
 		}
 		live = append(live, next)
@@ -42,7 +42,7 @@ func TestDifferentialChurn500GoldenTranscript(t *testing.T) {
 			join()
 		} else {
 			k := rng.IntN(len(live))
-			if _, err := tr.Leave(live[k]); err != nil {
+			if err := tr.Leave(live[k]); err != nil {
 				t.Fatalf("op %d leave %d: %v", op, live[k], err)
 			}
 			live = append(live[:k], live[k+1:]...)

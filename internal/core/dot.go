@@ -1,8 +1,9 @@
 package core
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 )
 
@@ -76,11 +77,11 @@ func (t *Tree) CommunicationEdges() [][2]ProcID {
 	for e := range set {
 		out = append(out, e)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i][0] != out[j][0] {
-			return out[i][0] < out[j][0]
+	slices.SortFunc(out, func(a, b [2]ProcID) int {
+		if c := cmp.Compare(a[0], b[0]); c != 0 {
+			return c
 		}
-		return out[i][1] < out[j][1]
+		return cmp.Compare(a[1], b[1])
 	})
 	return out
 }

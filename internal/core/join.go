@@ -24,14 +24,27 @@ type JoinStats struct {
 // Join inserts a new subscriber with the given filter, routing from the
 // root (the best starting point per §3.2 "Joins"). The process ID must be
 // positive and unused.
-func (t *Tree) Join(id ProcID, f geom.Rect) (JoinStats, error) {
+func (t *Tree) Join(id ProcID, f geom.Rect) error {
+	_, err := t.join(id, f, 0)
+	return err
+}
+
+// JoinWithStats is Join reporting the insertion cost (experiment E3,
+// Lemma 3.2).
+func (t *Tree) JoinWithStats(id ProcID, f geom.Rect) (JoinStats, error) {
 	return t.join(id, f, 0)
 }
 
 // JoinFrom inserts a new subscriber starting from an arbitrary contact
 // node (the paper's connection oracle): the request is first redirected
 // upward until it reaches the root, then routed down.
-func (t *Tree) JoinFrom(contact, id ProcID, f geom.Rect) (JoinStats, error) {
+func (t *Tree) JoinFrom(contact, id ProcID, f geom.Rect) error {
+	_, err := t.JoinFromWithStats(contact, id, f)
+	return err
+}
+
+// JoinFromWithStats is JoinFrom reporting the insertion cost.
+func (t *Tree) JoinFromWithStats(contact, id ProcID, f geom.Rect) (JoinStats, error) {
 	up, err := t.hopsToRoot(contact)
 	if err != nil {
 		return JoinStats{}, err
@@ -46,7 +59,7 @@ func (t *Tree) AddSubscriber(f geom.Rect) (ProcID, JoinStats, error) {
 	}
 	id := t.nextID
 	t.nextID++
-	st, err := t.Join(id, f)
+	st, err := t.JoinWithStats(id, f)
 	if err != nil {
 		return NoProc, JoinStats{}, err
 	}

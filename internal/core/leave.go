@@ -1,8 +1,9 @@
 package core
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // LeaveStats reports the cost of a departure repair for experiment E4
@@ -20,7 +21,14 @@ type LeaveStats struct {
 // Leave removes a subscriber via a controlled departure (Figure 9): the
 // parent of the topmost instance drops the leaver, orphaned subtrees are
 // re-attached, and the stabilization checks run to a fixpoint.
-func (t *Tree) Leave(id ProcID) (LeaveStats, error) {
+func (t *Tree) Leave(id ProcID) error {
+	_, err := t.LeaveWithStats(id)
+	return err
+}
+
+// LeaveWithStats is Leave reporting the departure-repair cost
+// (experiment E4, Lemmas 3.4 and 3.5).
+func (t *Tree) LeaveWithStats(id ProcID) (LeaveStats, error) {
 	p := t.procs[id]
 	if p == nil {
 		return LeaveStats{}, fmt.Errorf("core: process %d not in the tree", id)
@@ -128,17 +136,16 @@ func (t *Tree) electRootFromFragments() {
 		t.rootID, t.rootH = NoProc, 0
 		return
 	}
-	sort.Slice(t.pendingFragments, func(i, j int) bool {
-		fi, fj := t.pendingFragments[i], t.pendingFragments[j]
+	slices.SortFunc(t.pendingFragments, func(fi, fj fragment) int {
 		if fi.h != fj.h {
-			return fi.h > fj.h
+			return cmp.Compare(fj.h, fi.h) // tallest first
 		}
 		ai := t.childMBR(fi.id, fi.h).Area()
 		aj := t.childMBR(fj.id, fj.h).Area()
 		if ai != aj {
-			return ai > aj
+			return cmp.Compare(aj, ai) // largest MBR first
 		}
-		return fi.id < fj.id
+		return cmp.Compare(fi.id, fj.id)
 	})
 	head := t.pendingFragments[0]
 	t.pendingFragments = t.pendingFragments[1:]
@@ -159,8 +166,8 @@ func (t *Tree) drainFragments() int {
 	budget := 4*len(t.pendingFragments) + 8
 	for len(t.pendingFragments) > 0 && budget > 0 {
 		budget--
-		sort.SliceStable(t.pendingFragments, func(i, j int) bool {
-			return t.pendingFragments[i].h > t.pendingFragments[j].h
+		slices.SortStableFunc(t.pendingFragments, func(a, b fragment) int {
+			return cmp.Compare(b.h, a.h) // tallest first
 		})
 		f := t.pendingFragments[0]
 		t.pendingFragments = t.pendingFragments[1:]

@@ -31,7 +31,7 @@ func TestSearchWorkedExampleOrder(t *testing.T) {
 				tr := MustNew(Params{MinFanout: mm[0], MaxFanout: mm[1]})
 				ok := true
 				for _, id := range order {
-					if _, err := tr.Join(id, rects[id]); err != nil {
+					if err := tr.Join(id, rects[id]); err != nil {
 						ok = false
 						break
 					}

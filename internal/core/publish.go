@@ -25,6 +25,10 @@ type Delivery struct {
 	// InstanceVisits counts tree-node visits (instances entered),
 	// including same-process hops; the protocol-step metric.
 	InstanceVisits int
+	// Rounds is the number of network rounds the dissemination took.
+	// Message-passing engines report it; the sequential engine delivers
+	// synchronously and always reports 0.
+	Rounds int
 }
 
 // Publish disseminates an event produced by process producer: the event

@@ -137,7 +137,7 @@ func TestPropertyNoFalseNegatives(t *testing.T) {
 		n := 5 + rng.IntN(60)
 		for i := 1; i <= n; i++ {
 			x, y := rng.Float64()*100, rng.Float64()*100
-			if _, err := tr.Join(ProcID(i), geom.R2(x, y, x+rng.Float64()*30, y+rng.Float64()*30)); err != nil {
+			if err := tr.Join(ProcID(i), geom.R2(x, y, x+rng.Float64()*30, y+rng.Float64()*30)); err != nil {
 				return false
 			}
 		}
@@ -176,7 +176,7 @@ func TestPropertyNoFalseNegativesAfterChurnAndCorruption(t *testing.T) {
 		n := 20 + rng.IntN(30)
 		for i := 1; i <= n; i++ {
 			x, y := rng.Float64()*100, rng.Float64()*100
-			if _, err := tr.Join(ProcID(i), geom.R2(x, y, x+rng.Float64()*25, y+rng.Float64()*25)); err != nil {
+			if err := tr.Join(ProcID(i), geom.R2(x, y, x+rng.Float64()*25, y+rng.Float64()*25)); err != nil {
 				return false
 			}
 		}
@@ -185,7 +185,7 @@ func TestPropertyNoFalseNegativesAfterChurnAndCorruption(t *testing.T) {
 		rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
 		for _, id := range ids[:3] {
 			if rng.Float64() < 0.5 {
-				if _, err := tr.Leave(id); err != nil {
+				if err := tr.Leave(id); err != nil {
 					return false
 				}
 			} else if err := tr.Crash(id); err != nil {
@@ -238,7 +238,7 @@ func TestContainmentAwarenessOnNestedWorkload(t *testing.T) {
 		rects = append(rects, geom.R2(x1, y1, x2, y2))
 	}
 	for i, r := range rects {
-		if _, err := tr.Join(ProcID(i+1), r); err != nil {
+		if err := tr.Join(ProcID(i+1), r); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -289,7 +289,7 @@ func TestCheckReorgExchangesHotChild(t *testing.T) {
 	tr := MustNew(Params{MinFanout: 2, MaxFanout: 4, TrackReorgStats: true})
 	mustJoin := func(id ProcID, r geom.Rect) {
 		t.Helper()
-		if _, err := tr.Join(id, r); err != nil {
+		if err := tr.Join(id, r); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -333,7 +333,7 @@ func TestMessagesScaleLogarithmically(t *testing.T) {
 	for i := 1; i <= 400; i++ {
 		// Small disjoint-ish filters scattered over a large space.
 		x, y := rng.Float64()*10000, rng.Float64()*10000
-		if _, err := tr.Join(ProcID(i), geom.R2(x, y, x+10, y+10)); err != nil {
+		if err := tr.Join(ProcID(i), geom.R2(x, y, x+10, y+10)); err != nil {
 			t.Fatal(err)
 		}
 	}

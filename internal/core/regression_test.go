@@ -25,7 +25,7 @@ func TestRegressionChurnSeedLegalAfterEveryOp(t *testing.T) {
 	for op := 0; op < 120; op++ {
 		if len(live) == 0 || rng.Float64() < 0.6 {
 			x, y := rng.Float64()*300, rng.Float64()*300
-			if _, err := tr.Join(next, geom.R2(x, y, x+rng.Float64()*30, y+rng.Float64()*30)); err != nil {
+			if err := tr.Join(next, geom.R2(x, y, x+rng.Float64()*30, y+rng.Float64()*30)); err != nil {
 				t.Fatalf("op %d join %d: %v", op, next, err)
 			}
 			if err := tr.CheckLegal(); err != nil {
@@ -36,7 +36,7 @@ func TestRegressionChurnSeedLegalAfterEveryOp(t *testing.T) {
 		} else {
 			k := rng.IntN(len(live))
 			id := live[k]
-			if _, err := tr.Leave(id); err != nil {
+			if err := tr.Leave(id); err != nil {
 				t.Fatalf("op %d leave %d: %v", op, id, err)
 			}
 			if err := tr.CheckLegal(); err != nil {
@@ -58,7 +58,7 @@ func TestRegressionCorruptionSeedConverges(t *testing.T) {
 	n := 10 + rng.IntN(40)
 	for i := 1; i <= n; i++ {
 		x, y := rng.Float64()*500, rng.Float64()*500
-		if _, err := tr.Join(ProcID(i), geom.R2(x, y, x+rng.Float64()*40, y+rng.Float64()*40)); err != nil {
+		if err := tr.Join(ProcID(i), geom.R2(x, y, x+rng.Float64()*40, y+rng.Float64()*40)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -87,7 +87,7 @@ func TestRegressionCrashRepairSeedSweep(t *testing.T) {
 		n := 12 + rng.IntN(30)
 		for i := 1; i <= n; i++ {
 			x, y := rng.Float64()*400, rng.Float64()*400
-			if _, err := tr.Join(ProcID(i), geom.R2(x, y, x+rng.Float64()*30, y+rng.Float64()*30)); err != nil {
+			if err := tr.Join(ProcID(i), geom.R2(x, y, x+rng.Float64()*30, y+rng.Float64()*30)); err != nil {
 				t.Fatalf("seed %d join: %v", seed, err)
 			}
 		}
@@ -123,7 +123,7 @@ func TestRegressionChurnCorruptionNoFalseNegatives(t *testing.T) {
 		n := 20 + rng.IntN(30)
 		for i := 1; i <= n; i++ {
 			x, y := rng.Float64()*100, rng.Float64()*100
-			if _, err := tr.Join(ProcID(i), geom.R2(x, y, x+rng.Float64()*25, y+rng.Float64()*25)); err != nil {
+			if err := tr.Join(ProcID(i), geom.R2(x, y, x+rng.Float64()*25, y+rng.Float64()*25)); err != nil {
 				t.Fatalf("seed %d: %v", seed, err)
 			}
 		}
@@ -131,7 +131,7 @@ func TestRegressionChurnCorruptionNoFalseNegatives(t *testing.T) {
 		rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
 		for _, id := range ids[:3] {
 			if rng.Float64() < 0.5 {
-				if _, err := tr.Leave(id); err != nil {
+				if err := tr.Leave(id); err != nil {
 					t.Fatalf("seed %d leave %d: %v", seed, id, err)
 				}
 			} else if err := tr.Crash(id); err != nil {

@@ -6,12 +6,17 @@ import (
 	"drtree/internal/geom"
 )
 
-// StabStats reports the work done by a stabilization run (Lemmas
-// 3.3-3.6).
-type StabStats struct {
+// StabReport is the unified stabilization result across engines (Lemmas
+// 3.3-3.6). The sequential engine fills Passes/Fixes/Rejoins; the
+// message-passing engines report the network Rounds their check periods
+// consumed.
+type StabReport struct {
 	// Passes is the number of full check rounds executed (one round runs
 	// every CHECK_* module once over the whole overlay).
 	Passes int
+	// Rounds is the number of network rounds consumed (message-passing
+	// engines only; 0 for the sequential engine).
+	Rounds int
 	// Fixes counts individual repairs (discarded children, recomputed
 	// MBRs, exchanges, compactions, ...).
 	Fixes int
@@ -28,8 +33,8 @@ type StabStats struct {
 // (Figures 10-14) — repeatedly until the configuration stops changing.
 // Starting from an arbitrary (corrupted) configuration it restores a
 // legitimate one (Lemma 3.6).
-func (t *Tree) Stabilize() StabStats {
-	st := StabStats{Converged: true}
+func (t *Tree) Stabilize() StabReport {
+	st := StabReport{Converged: true}
 	if len(t.procs) == 0 {
 		t.rootID, t.rootH = NoProc, 0
 		t.pendingFragments = nil
@@ -61,7 +66,7 @@ func (t *Tree) Stabilize() StabStats {
 
 // ensureRoot repairs a dead or dangling root reference by promoting the
 // tallest live fragment.
-func (t *Tree) ensureRoot(st *StabStats) bool {
+func (t *Tree) ensureRoot(st *StabReport) bool {
 	rp := t.procs[t.rootID]
 	if rp != nil && rp.At(t.rootH) != nil {
 		if t.rootH != rp.Top && rp.At(rp.Top) != nil {
@@ -108,7 +113,7 @@ func (t *Tree) contiguousTop(p *Process) int {
 // parent variable names another process are discarded; the underloaded
 // flag is refreshed; instances that lost their own child (corruption) or
 // all children are dissolved.
-func (t *Tree) checkChildrenAll(st *StabStats) bool {
+func (t *Tree) checkChildrenAll(st *StabReport) bool {
 	changed := false
 	for _, id := range t.ProcIDs() {
 		p := t.procs[id]
@@ -213,7 +218,7 @@ func (t *Tree) dissolveInstance(p *Process, h int) {
 
 // checkParentsAll runs CHECK_PARENT (Figure 11): an instance whose parent
 // does not list it as a child re-initiates a join for its whole subtree.
-func (t *Tree) checkParentsAll(st *StabStats) bool {
+func (t *Tree) checkParentsAll(st *StabReport) bool {
 	changed := false
 	for _, id := range t.ProcIDs() {
 		p := t.procs[id]
@@ -256,7 +261,7 @@ func (t *Tree) checkParentsAll(st *StabStats) bool {
 }
 
 // checkMBRsAll runs CHECK_MBR (Figure 10) bottom-up over all instances.
-func (t *Tree) checkMBRsAll(st *StabStats) bool {
+func (t *Tree) checkMBRsAll(st *StabReport) bool {
 	changed := false
 	for h := 0; h <= t.rootH; h++ {
 		for _, id := range t.ProcIDs() {
@@ -278,7 +283,7 @@ func (t *Tree) checkMBRsAll(st *StabStats) bool {
 // checkCoverAll runs CHECK_COVER (Figure 13): whenever a child covers
 // better than its parent (larger MBR area), the two processes exchange
 // roles.
-func (t *Tree) checkCoverAll(st *StabStats) bool {
+func (t *Tree) checkCoverAll(st *StabReport) bool {
 	if t.params.DisableCoverRule {
 		return false
 	}
@@ -318,7 +323,7 @@ func (t *Tree) checkCoverAll(st *StabStats) bool {
 // checkStructureAll runs CHECK_STRUCTURE (Figure 14): compaction of
 // underloaded children, with join-based re-insertion as fallback, plus
 // root collapse when the root loses all but one child.
-func (t *Tree) checkStructureAll(st *StabStats) bool {
+func (t *Tree) checkStructureAll(st *StabReport) bool {
 	changed := false
 	for _, id := range t.ProcIDs() {
 		p := t.procs[id]
@@ -353,7 +358,7 @@ func (t *Tree) checkStructureAll(st *StabStats) bool {
 // them with the sibling needing the least MBR growth; when no sibling can
 // absorb the merge, the underloaded node is dissolved and its children
 // rejoin (INITIATE_NEW_CONNECTION).
-func (t *Tree) compactUnder(id ProcID, h int, st *StabStats) bool {
+func (t *Tree) compactUnder(id ProcID, h int, st *StabReport) bool {
 	p := t.procs[id]
 	in := p.At(h)
 	if in == nil {
@@ -471,7 +476,7 @@ func (t *Tree) compactPair(gid ProcID, h int, cand, uid ProcID) {
 
 // collapseRoot removes degenerate roots: an interior root instance with a
 // single child hands the root role to that child.
-func (t *Tree) collapseRoot(st *StabStats) bool {
+func (t *Tree) collapseRoot(st *StabReport) bool {
 	changed := false
 	for t.rootH >= 1 {
 		rp := t.procs[t.rootID]

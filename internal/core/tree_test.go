@@ -35,7 +35,7 @@ func buildFig1(t *testing.T, p Params) *Tree {
 	tr := MustNew(p)
 	rects := fig1Rects()
 	for id := ProcID(1); id <= 8; id++ {
-		if _, err := tr.Join(id, rects[id]); err != nil {
+		if err := tr.Join(id, rects[id]); err != nil {
 			t.Fatalf("join %d: %v", id, err)
 		}
 		if err := tr.CheckLegal(); err != nil {
@@ -75,7 +75,7 @@ func TestEmptyTree(t *testing.T) {
 	if err := tr.CheckLegal(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := tr.Leave(1); err == nil {
+	if err := tr.Leave(1); err == nil {
 		t.Error("leaving an absent process must error")
 	}
 	if _, err := tr.Publish(1, geom.Point{0, 0}); err == nil {
@@ -89,29 +89,29 @@ func TestEmptyTree(t *testing.T) {
 
 func TestJoinValidation(t *testing.T) {
 	tr := MustNew(defaultParams())
-	if _, err := tr.Join(0, geom.R2(0, 0, 1, 1)); err == nil {
+	if err := tr.Join(0, geom.R2(0, 0, 1, 1)); err == nil {
 		t.Error("id 0 must be rejected")
 	}
-	if _, err := tr.Join(-3, geom.R2(0, 0, 1, 1)); err == nil {
+	if err := tr.Join(-3, geom.R2(0, 0, 1, 1)); err == nil {
 		t.Error("negative id must be rejected")
 	}
-	if _, err := tr.Join(1, geom.Rect{}); err == nil {
+	if err := tr.Join(1, geom.Rect{}); err == nil {
 		t.Error("empty filter must be rejected")
 	}
-	if _, err := tr.Join(1, geom.R2(0, 0, 1, 1)); err != nil {
+	if err := tr.Join(1, geom.R2(0, 0, 1, 1)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := tr.Join(1, geom.R2(2, 2, 3, 3)); err == nil {
+	if err := tr.Join(1, geom.R2(2, 2, 3, 3)); err == nil {
 		t.Error("duplicate id must be rejected")
 	}
-	if _, err := tr.Join(2, geom.MustRect([]float64{0}, []float64{1})); err == nil {
+	if err := tr.Join(2, geom.MustRect([]float64{0}, []float64{1})); err == nil {
 		t.Error("dimension mismatch must be rejected")
 	}
 }
 
 func TestSingleAndPair(t *testing.T) {
 	tr := MustNew(defaultParams())
-	if _, err := tr.Join(1, geom.R2(0, 0, 10, 10)); err != nil {
+	if err := tr.Join(1, geom.R2(0, 0, 10, 10)); err != nil {
 		t.Fatal(err)
 	}
 	if id, h := tr.Root(); id != 1 || h != 0 {
@@ -121,7 +121,7 @@ func TestSingleAndPair(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Second join: the larger filter must be elected root (Figure 6).
-	if _, err := tr.Join(2, geom.R2(0, 0, 50, 50)); err != nil {
+	if err := tr.Join(2, geom.R2(0, 0, 50, 50)); err != nil {
 		t.Fatal(err)
 	}
 	if id, h := tr.Root(); id != 2 || h != 1 {
@@ -164,7 +164,7 @@ func TestJoinStatsLogarithmic(t *testing.T) {
 	var maxHops int
 	for i := 1; i <= 300; i++ {
 		x, y := rng.Float64()*1000, rng.Float64()*1000
-		st, err := tr.Join(ProcID(i), geom.R2(x, y, x+5+rng.Float64()*20, y+5+rng.Float64()*20))
+		st, err := tr.JoinWithStats(ProcID(i), geom.R2(x, y, x+5+rng.Float64()*20, y+5+rng.Float64()*20))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -184,7 +184,7 @@ func TestJoinStatsLogarithmic(t *testing.T) {
 
 func TestJoinFrom(t *testing.T) {
 	tr := buildFig1(t, defaultParams())
-	st, err := tr.JoinFrom(4, 9, geom.R2(1, 1, 3, 3))
+	st, err := tr.JoinFromWithStats(4, 9, geom.R2(1, 1, 3, 3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,7 +194,7 @@ func TestJoinFrom(t *testing.T) {
 	if err := tr.CheckLegal(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := tr.JoinFrom(99, 10, geom.R2(0, 0, 1, 1)); err == nil {
+	if err := tr.JoinFrom(99, 10, geom.R2(0, 0, 1, 1)); err == nil {
 		t.Error("unknown contact must error")
 	}
 }
@@ -224,7 +224,7 @@ func TestHeightBoundLemma31(t *testing.T) {
 		rng := rand.New(rand.NewPCG(uint64(n), 3))
 		for i := 1; i <= n; i++ {
 			x, y := rng.Float64()*1000, rng.Float64()*1000
-			if _, err := tr.Join(ProcID(i), geom.R2(x, y, x+10, y+10)); err != nil {
+			if err := tr.Join(ProcID(i), geom.R2(x, y, x+10, y+10)); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -244,7 +244,7 @@ func TestHeightBoundLemma31(t *testing.T) {
 func TestControlledLeave(t *testing.T) {
 	tr := buildFig1(t, defaultParams())
 	for _, id := range []ProcID{4, 7, 1, 5} {
-		st, err := tr.Leave(id)
+		st, err := tr.LeaveWithStats(id)
 		if err != nil {
 			t.Fatalf("leave %d: %v", id, err)
 		}
@@ -260,7 +260,7 @@ func TestControlledLeave(t *testing.T) {
 func TestLeaveRoot(t *testing.T) {
 	tr := buildFig1(t, defaultParams())
 	rootID, _ := tr.Root()
-	if _, err := tr.Leave(rootID); err != nil {
+	if err := tr.Leave(rootID); err != nil {
 		t.Fatal(err)
 	}
 	if tr.Len() != 7 {
@@ -278,7 +278,7 @@ func TestLeaveRoot(t *testing.T) {
 func TestLeaveDownToEmpty(t *testing.T) {
 	tr := buildFig1(t, defaultParams())
 	for _, id := range tr.ProcIDs() {
-		if _, err := tr.Leave(id); err != nil {
+		if err := tr.Leave(id); err != nil {
 			t.Fatalf("leave %d: %v", id, err)
 		}
 		if err := tr.CheckLegal(); err != nil {
@@ -379,7 +379,7 @@ func TestPropertyStabilizeFromRandomCorruption(t *testing.T) {
 		n := 10 + rng.IntN(40)
 		for i := 1; i <= n; i++ {
 			x, y := rng.Float64()*500, rng.Float64()*500
-			if _, err := tr.Join(ProcID(i), geom.R2(x, y, x+rng.Float64()*40, y+rng.Float64()*40)); err != nil {
+			if err := tr.Join(ProcID(i), geom.R2(x, y, x+rng.Float64()*40, y+rng.Float64()*40)); err != nil {
 				return false
 			}
 		}
@@ -406,14 +406,14 @@ func TestPropertyLegalUnderChurn(t *testing.T) {
 		for op := 0; op < 120; op++ {
 			if len(live) == 0 || rng.Float64() < 0.6 {
 				x, y := rng.Float64()*300, rng.Float64()*300
-				if _, err := tr.Join(next, geom.R2(x, y, x+rng.Float64()*30, y+rng.Float64()*30)); err != nil {
+				if err := tr.Join(next, geom.R2(x, y, x+rng.Float64()*30, y+rng.Float64()*30)); err != nil {
 					return false
 				}
 				live = append(live, next)
 				next++
 			} else {
 				k := rng.IntN(len(live))
-				if _, err := tr.Leave(live[k]); err != nil {
+				if err := tr.Leave(live[k]); err != nil {
 					return false
 				}
 				live = append(live[:k], live[k+1:]...)
@@ -437,7 +437,7 @@ func TestPropertyCrashRepair(t *testing.T) {
 		n := 12 + rng.IntN(30)
 		for i := 1; i <= n; i++ {
 			x, y := rng.Float64()*400, rng.Float64()*400
-			if _, err := tr.Join(ProcID(i), geom.R2(x, y, x+rng.Float64()*30, y+rng.Float64()*30)); err != nil {
+			if err := tr.Join(ProcID(i), geom.R2(x, y, x+rng.Float64()*30, y+rng.Float64()*30)); err != nil {
 				return false
 			}
 		}
@@ -464,7 +464,7 @@ func TestCoverExchangePromotesBigChild(t *testing.T) {
 	tr := MustNew(defaultParams())
 	mustJoin := func(id ProcID, r geom.Rect) {
 		t.Helper()
-		if _, err := tr.Join(id, r); err != nil {
+		if err := tr.Join(id, r); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -526,7 +526,7 @@ func TestBuildWithAllSplitPoliciesAndElections(t *testing.T) {
 			tr := MustNew(Params{MinFanout: 2, MaxFanout: 4, Split: pol, Election: el})
 			for i := 1; i <= 60; i++ {
 				x, y := rng.Float64()*200, rng.Float64()*200
-				if _, err := tr.Join(ProcID(i), geom.R2(x, y, x+10, y+10)); err != nil {
+				if err := tr.Join(ProcID(i), geom.R2(x, y, x+10, y+10)); err != nil {
 					t.Fatalf("%s/%s join %d: %v", pol.Name(), el.Name(), i, err)
 				}
 			}

@@ -1,0 +1,127 @@
+// Package engine defines the unified DR-tree engine interface: the
+// operations the paper specifies once and implements twice — as a
+// sequential specification (internal/core) and as a self-stabilizing
+// message-passing protocol (internal/proto). Everything above the
+// engines (the pub/sub broker, the adversarial harness, the CLI tools)
+// programs against Engine, so a new backend (sharded, remote, ...) plugs
+// in by implementing this interface and registering with the layers
+// above — no engine-specific branches.
+//
+// The public facade re-exports Engine as drtree.Engine; this package
+// exists so internal consumers (which the facade itself imports) can
+// share the type without an import cycle.
+package engine
+
+import (
+	"drtree/internal/core"
+	"drtree/internal/geom"
+	"drtree/internal/proto"
+	"drtree/internal/simnet"
+)
+
+// Engine is one DR-tree overlay backend. All engines speak the same
+// result vocabulary (core.Delivery, core.StabReport) and the same
+// process/geometry types; they differ only in how the paper's rules
+// execute (direct state transitions, deterministic message rounds, or
+// free-running goroutine actors).
+//
+// Engines are not required to be safe for concurrent use by multiple
+// callers; the goroutine-backed runtimes synchronize internally.
+type Engine interface {
+	// Join inserts subscriber id with the given filter, routing from the
+	// root / connection oracle. Message-passing engines may complete the
+	// insertion asynchronously; Stabilize drives it to quiescence.
+	Join(id core.ProcID, f geom.Rect) error
+	// JoinFrom is Join routing through an explicit contact process.
+	JoinFrom(contact, id core.ProcID, f geom.Rect) error
+	// Leave removes a subscriber via a controlled departure (Figure 9).
+	Leave(id core.ProcID) error
+	// Crash removes a subscriber without notification; the stabilization
+	// checks repair the structure afterwards.
+	Crash(id core.ProcID) error
+	// Publish disseminates an event from producer and reports the
+	// unified delivery accounting.
+	Publish(producer core.ProcID, ev geom.Point) (core.Delivery, error)
+	// Stabilize runs the paper's periodic CHECK_* verifications until
+	// the configuration stops changing (or an engine budget runs out,
+	// reported via Converged=false).
+	Stabilize() core.StabReport
+
+	// Len returns the live population.
+	Len() int
+	// Root returns the root process and root height, or (NoProc, -1)
+	// when the overlay is empty or root-less.
+	Root() (core.ProcID, int)
+	// RootMBR returns the MBR of the root instance (the empty rectangle
+	// when there is none). In a legal state it equals the union of every
+	// live filter.
+	RootMBR() geom.Rect
+	// ProcIDs returns all live process IDs, ascending.
+	ProcIDs() []core.ProcID
+	// Filter returns the subscription rectangle of process id.
+	Filter(id core.ProcID) (geom.Rect, bool)
+	// CheckLegal verifies Definition 3.1 on the current configuration.
+	CheckLegal() error
+
+	// The four transient-fault injectors of the paper's fault model
+	// (§3.2): every per-instance variable is corruptible.
+	CorruptParent(id core.ProcID, h int, parent core.ProcID) error
+	CorruptChildren(id core.ProcID, h int, children []core.ProcID) error
+	CorruptMBR(id core.ProcID, h int, mbr geom.Rect) error
+	CorruptUnderloaded(id core.ProcID, h int) error
+
+	// Close releases engine resources (actor goroutines, network state).
+	// Engines without background resources return nil immediately.
+	Close() error
+}
+
+// NetworkedEngine is the optional capability of engines backed by an
+// inspectable simulated network: message-level fault injection (drops,
+// per-link delays, partitions) and traffic counters.
+type NetworkedEngine interface {
+	Engine
+	// Net exposes the simulated network for fault injection.
+	Net() *simnet.Network
+	// NetStats returns the network traffic counters.
+	NetStats() simnet.Stats
+}
+
+// SteppedEngine is the optional capability of deterministic round-based
+// engines: advancing the overlay one message round at a time.
+type SteppedEngine interface {
+	Engine
+	// Step runs one round — deliver in-flight messages, process inboxes,
+	// optionally fire the CHECK_* timers — and reports whether any
+	// message was delivered.
+	Step(fireChecks bool) bool
+}
+
+// Compile-time conformance: the sequential specification, the
+// deterministic round cluster, and the goroutine-per-node live cluster
+// all satisfy the unified interface.
+var (
+	_ Engine          = (*core.Tree)(nil)
+	_ Engine          = (*proto.Cluster)(nil)
+	_ Engine          = (*proto.LiveCluster)(nil)
+	_ NetworkedEngine = (*proto.Cluster)(nil)
+	_ SteppedEngine   = (*proto.Cluster)(nil)
+)
+
+// FalseNegatives lists live subscribers whose filter matches ev but that
+// are absent from d.Received. The unified Delivery deliberately leaves
+// the ground-truth comparison to the caller (the sequential engine's hot
+// path cannot afford an O(N) scan per publish); this helper is that
+// comparison, shared by the tools, examples and tests.
+func FalseNegatives(e Engine, d core.Delivery, ev geom.Point) []core.ProcID {
+	got := make(map[core.ProcID]bool, len(d.Received))
+	for _, id := range d.Received {
+		got[id] = true
+	}
+	var out []core.ProcID
+	for _, id := range e.ProcIDs() {
+		if f, ok := e.Filter(id); ok && f.ContainsPoint(ev) && !got[id] {
+			out = append(out, id)
+		}
+	}
+	return out
+}

@@ -1,0 +1,59 @@
+package enginetest
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"drtree/internal/core"
+	"drtree/internal/engine"
+	"drtree/internal/proto"
+)
+
+// factories is the conformance matrix: every Engine implementation in
+// the repository. A future backend joins the certification by adding one
+// row here.
+var factories = map[string]Factory{
+	"core": func(t *testing.T) engine.Engine {
+		tr, err := core.New(core.Params{MinFanout: 2, MaxFanout: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	},
+	"proto": func(t *testing.T) engine.Engine {
+		cl, err := proto.NewCluster(proto.Config{MinFanout: 2, MaxFanout: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl.Net().Rand = rand.New(rand.NewPCG(7, 7))
+		return cl
+	},
+	"live": func(t *testing.T) engine.Engine {
+		lc, err := proto.NewLiveCluster(proto.Config{MinFanout: 2, MaxFanout: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return lc
+	},
+}
+
+// TestConformance certifies every engine against the fixed seeded
+// schedule's ground truth.
+func TestConformance(t *testing.T) {
+	for name, mk := range factories {
+		t.Run(name, func(t *testing.T) { Run(t, mk) })
+	}
+}
+
+// TestCrossEngineTranscripts certifies that all engines produce
+// identical observable transcripts — memberships, root MBRs, legality
+// verdicts and delivery sets — for the fixed schedule.
+func TestCrossEngineTranscripts(t *testing.T) {
+	ref := Run(t, factories["core"])
+	for _, name := range []string{"proto", "live"} {
+		got := Run(t, factories[name])
+		if err := ref.Equal(got); err != nil {
+			t.Errorf("core vs %s: %v", name, err)
+		}
+	}
+}

@@ -55,7 +55,7 @@ func buildTree(rng *rand.Rand, p core.Params, kind workload.SubscriptionKind, n 
 	}
 	subs := workload.Subscriptions(rng, workload.DefaultWorld(), kind, n)
 	for i, s := range subs {
-		if _, err := tr.Join(core.ProcID(i+1), s); err != nil {
+		if err := tr.Join(core.ProcID(i+1), s); err != nil {
 			return nil, err
 		}
 	}
@@ -79,7 +79,7 @@ func RunE1() Result {
 		return res
 	}
 	for i, r := range fig.Subs {
-		if _, err := tr.Join(core.ProcID(i+1), r); err != nil {
+		if err := tr.Join(core.ProcID(i+1), r); err != nil {
 			res.Err = err
 			return res
 		}
@@ -162,14 +162,14 @@ func RunE3(seed uint64, sizes []int) Result {
 		for k := 0; k < 50; k++ {
 			x, y := rng.Float64()*1000, rng.Float64()*1000
 			id := core.ProcID(n + k + 1)
-			st, err := tr.Join(id, geom.R2(x, y, x+20, y+20))
+			st, err := tr.JoinWithStats(id, geom.R2(x, y, x+20, y+20))
 			if err != nil {
 				res.Err = err
 				return res
 			}
 			hops = append(hops, float64(st.DownHops))
 			msgs = append(msgs, float64(st.Messages))
-			if _, err := tr.Leave(id); err != nil {
+			if err := tr.Leave(id); err != nil {
 				res.Err = err
 				return res
 			}
@@ -203,7 +203,7 @@ func RunE4(seed uint64, sizes []int) Result {
 		ids := tr.ProcIDs()
 		rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
 		for k := 0; k < 10; k++ {
-			st, err := tr.Leave(ids[k])
+			st, err := tr.LeaveWithStats(ids[k])
 			if err != nil {
 				res.Err = err
 				return res
@@ -322,7 +322,7 @@ func RunE6(seed uint64, n, events int) Result {
 			return res
 		}
 		for i, s := range subs {
-			if _, err := tr.Join(core.ProcID(i+1), s); err != nil {
+			if err := tr.Join(core.ProcID(i+1), s); err != nil {
 				res.Err = err
 				return res
 			}
@@ -446,7 +446,7 @@ func RunE8(seed uint64, n, events int) Result {
 		}
 		rt := rtree.MustNew(2, 4, pol)
 		for i, s := range subs {
-			if _, err := tr.Join(core.ProcID(i+1), s); err != nil {
+			if err := tr.Join(core.ProcID(i+1), s); err != nil {
 				res.Err = err
 				return res
 			}
@@ -511,7 +511,7 @@ func RunE9(seed uint64, n, events int) Result {
 			return res
 		}
 		for i, s := range subs {
-			if _, err := tr.Join(core.ProcID(i+1), s); err != nil {
+			if err := tr.Join(core.ProcID(i+1), s); err != nil {
 				res.Err = err
 				return res
 			}
@@ -563,7 +563,7 @@ func RunE10(seed uint64, n, events int) Result {
 			return res
 		}
 		for i, s := range subs {
-			if _, err := tr.Join(core.ProcID(i+1), s); err != nil {
+			if err := tr.Join(core.ProcID(i+1), s); err != nil {
 				res.Err = err
 				return res
 			}

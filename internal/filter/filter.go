@@ -11,7 +11,7 @@ package filter
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"strings"
 
 	"drtree/internal/geom"
@@ -127,7 +127,7 @@ func (f Filter) Attrs() []string {
 			out = append(out, p.Attr)
 		}
 	}
-	sort.Strings(out)
+	slices.Sort(out)
 	return out
 }
 
@@ -202,7 +202,7 @@ func (e Event) String() string {
 	for k := range e {
 		keys = append(keys, k)
 	}
-	sort.Strings(keys)
+	slices.Sort(keys)
 	parts := make([]string, len(keys))
 	for i, k := range keys {
 		parts[i] = fmt.Sprintf("%s=%s", k, trimFloat(e[k]))

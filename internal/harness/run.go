@@ -7,6 +7,7 @@ import (
 	"slices"
 
 	"drtree/internal/core"
+	"drtree/internal/engine"
 	"drtree/internal/geom"
 	"drtree/internal/proto"
 	"drtree/internal/rtree"
@@ -19,7 +20,7 @@ import (
 // schedule outcomes (as opposed to malformed-schedule errors).
 type Violation struct {
 	StepIndex int    // index into Schedule.Steps (the settle or publish step)
-	Engine    string // "core", "proto", "baseline" or "cross"
+	Engine    string // engine name, "baseline" or "cross"
 	Kind      string // "convergence", "legality", "false-negative", "membership", "root-mbr", "baseline"
 	Detail    string
 }
@@ -46,8 +47,9 @@ type Report struct {
 	Leaves      int
 	Crashes     int
 	Corruptions int
-	// CorePasses is the total number of sequential stabilization passes
-	// consumed; ProtoRounds the total protocol rounds.
+	// CorePasses is the total number of synchronous stabilization passes
+	// consumed; ProtoRounds the total protocol rounds across the
+	// asynchronous engines.
 	CorePasses  int
 	ProtoRounds int
 }
@@ -57,28 +59,43 @@ func (r Report) String() string {
 		r.Steps, r.Settles, r.ProbeEvents, r.Joins, r.Leaves, r.Crashes, r.Corruptions, r.CorePasses, r.ProtoRounds)
 }
 
-// runner drives one schedule through both engines plus the centralized
-// baseline.
-type runner struct {
-	s    *Schedule
-	tr   *core.Tree
-	cl   *proto.Cluster
-	base *rtree.Tree
-	live map[int]geom.Rect
-	// coreDirty marks that crashes or corruptions have been applied to
-	// the sequential engine since its last stabilization; the sequential
-	// rules (join routing, publish climbing) are defined on legal-ish
-	// states, so the runner lets the periodic checks run first — exactly
-	// as the paper interleaves operations with the CHECK_* timers.
-	coreDirty bool
-	settles   int
-	rep       *Report
+// NamedEngine is one row of the conformance matrix: an overlay engine
+// under certification.
+type NamedEngine struct {
+	// Name labels violations ("core", "proto", ...).
+	Name string
+	// E is the engine, consumed exclusively through the interface.
+	E engine.Engine
+	// Async marks message-passing engines whose operations complete in
+	// the background: the runner certifies their zero-false-negative
+	// obligation only on settled configurations (a mid-schedule join may
+	// legitimately still be routing) and lets their own periodic checks
+	// repair faults. Synchronous engines are instead lazily stabilized —
+	// and certified — before each operation that assumes a legal-ish
+	// state, exactly as the paper interleaves operations with the
+	// CHECK_* timers.
+	Async bool
 }
 
-// Run replays a schedule through the sequential engine and the wire
-// protocol, certifying the three harness invariants at every settle
-// window. It returns a *Violation error when an invariant fails, a plain
-// error for malformed schedules, and the run report otherwise.
+// runner drives one schedule through the engine matrix plus the
+// centralized baseline.
+type runner struct {
+	s       *Schedule
+	engines []NamedEngine
+	base    *rtree.Tree
+	live    map[int]geom.Rect
+	// dirty marks, per synchronous engine, that crashes or corruptions
+	// were applied since its last stabilization.
+	dirty   map[string]bool
+	settles int
+	rep     *Report
+}
+
+// Run replays a schedule through the default conformance matrix — the
+// sequential engine and the wire protocol — certifying the three harness
+// invariants at every settle window. It returns a *Violation error when
+// an invariant fails, a plain error for malformed schedules, and the run
+// report otherwise.
 func Run(s *Schedule) (*Report, error) {
 	if err := s.validate(); err != nil {
 		return nil, err
@@ -87,17 +104,47 @@ func Run(s *Schedule) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	cl, err := proto.NewCluster(proto.Config{MinFanout: s.MinFanout, MaxFanout: s.MaxFanout})
+	cl, err := proto.NewCluster(proto.Config{
+		MinFanout: s.MinFanout, MaxFanout: s.MaxFanout,
+		PublishBudget: s.SettleRounds, StabilizeBudget: s.SettleRounds,
+	})
 	if err != nil {
 		return nil, err
+	}
+	cl.Net().Rand = rand.New(rand.NewPCG(s.Seed, 0x5EED))
+	return RunEngines(s, []NamedEngine{
+		{Name: "core", E: tr},
+		{Name: "proto", E: cl, Async: true},
+	})
+}
+
+// RunEngines is Run over an arbitrary engine matrix: adding a new engine
+// to the certification is one more NamedEngine row. Engine names must be
+// unique and non-empty.
+func RunEngines(s *Schedule, engines []NamedEngine) (*Report, error) {
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	if len(engines) == 0 {
+		return nil, fmt.Errorf("harness: empty engine matrix")
+	}
+	seen := make(map[string]bool, len(engines))
+	for _, ne := range engines {
+		if ne.Name == "" || ne.E == nil || seen[ne.Name] {
+			return nil, fmt.Errorf("harness: engine matrix needs unique names and non-nil engines")
+		}
+		seen[ne.Name] = true
 	}
 	base, err := rtree.New(s.MinFanout, s.MaxFanout, split.Quadratic{})
 	if err != nil {
 		return nil, err
 	}
-	cl.Net().Rand = rand.New(rand.NewPCG(s.Seed, 0x5EED))
-
-	r := &runner{s: s, tr: tr, cl: cl, base: base, live: make(map[int]geom.Rect), rep: &Report{}}
+	r := &runner{
+		s: s, engines: engines, base: base,
+		live:  make(map[int]geom.Rect),
+		dirty: make(map[string]bool),
+		rep:   &Report{},
+	}
 	for i, st := range s.Steps {
 		r.rep.Steps++
 		if err := r.step(i, st); err != nil {
@@ -134,105 +181,187 @@ func procIDs(xs []int) []core.ProcID {
 	return out
 }
 
+// eachNetworked applies fn to every engine exposing the simulated
+// network (message-level fault injection).
+func (r *runner) eachNetworked(fn func(*simnet.Network)) {
+	for _, ne := range r.engines {
+		if net, ok := ne.E.(engine.NetworkedEngine); ok {
+			fn(net.Net())
+		}
+	}
+}
+
+// stabilizeSync runs a synchronous engine's periodic checks if faults
+// were injected since its last run, certifying convergence and legality.
+func (r *runner) stabilizeSync(i int, ne NamedEngine) error {
+	if ne.Async || !r.dirty[ne.Name] {
+		return nil
+	}
+	st := ne.E.Stabilize()
+	r.rep.CorePasses += st.Passes
+	r.dirty[ne.Name] = false
+	if !st.Converged {
+		return &Violation{StepIndex: i, Engine: ne.Name, Kind: "convergence",
+			Detail: fmt.Sprintf("stabilization hit the pass limit after %d passes", st.Passes)}
+	}
+	if err := ne.E.CheckLegal(); err != nil {
+		return &Violation{StepIndex: i, Engine: ne.Name, Kind: "legality", Detail: err.Error()}
+	}
+	return nil
+}
+
+// stabilizeAllSync lazily stabilizes every synchronous engine (before
+// operations that assume a legal-ish state).
+func (r *runner) stabilizeAllSync(i int) error {
+	for _, ne := range r.engines {
+		if err := r.stabilizeSync(i, ne); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// stepAfterOp advances round-based engines one round so a just-submitted
+// operation starts routing (mirrors the paper's asynchronous rounds).
+func (r *runner) stepAfterOp() {
+	for _, ne := range r.engines {
+		if st, ok := ne.E.(engine.SteppedEngine); ok {
+			st.Step(false)
+		}
+	}
+}
+
+// certifyNoFalseNegatives checks d against the live filter map.
+func (r *runner) certifyNoFalseNegatives(i int, name string, producer int, ev geom.Point, d core.Delivery) error {
+	got := make(map[core.ProcID]bool, len(d.Received))
+	for _, id := range d.Received {
+		got[id] = true
+	}
+	for _, id := range r.sortedLive() {
+		if r.live[id].ContainsPoint(ev) && !got[core.ProcID(id)] {
+			return &Violation{StepIndex: i, Engine: name, Kind: "false-negative",
+				Detail: fmt.Sprintf("event %v from %d missed matching subscriber %d", ev, producer, id)}
+		}
+	}
+	return nil
+}
+
+// markDirty flags every synchronous engine for lazy stabilization.
+func (r *runner) markDirty() {
+	for _, ne := range r.engines {
+		if !ne.Async {
+			r.dirty[ne.Name] = true
+		}
+	}
+}
+
 func (r *runner) step(i int, st Step) error {
 	switch st.Op {
 	case OpJoin:
 		if _, ok := r.live[st.ID]; ok || st.ID <= 0 {
 			return nil
 		}
-		if err := r.stabilizeCore(i); err != nil {
+		if err := r.stabilizeAllSync(i); err != nil {
 			return err
 		}
 		f := rectOf(st.Rect)
-		if _, err := r.tr.Join(core.ProcID(st.ID), f); err != nil {
-			return fmt.Errorf("harness: step %d: core join: %w", i, err)
-		}
-		if err := r.cl.Join(core.ProcID(st.ID), f); err != nil {
-			return fmt.Errorf("harness: step %d: proto join: %w", i, err)
+		for _, ne := range r.engines {
+			if err := ne.E.Join(core.ProcID(st.ID), f); err != nil {
+				return fmt.Errorf("harness: step %d: %s join: %w", i, ne.Name, err)
+			}
 		}
 		if err := r.base.Insert(f, st.ID); err != nil {
 			return fmt.Errorf("harness: step %d: baseline insert: %w", i, err)
 		}
 		r.live[st.ID] = f
 		r.rep.Joins++
-		r.cl.Step(false)
+		r.stepAfterOp()
 
 	case OpLeave:
 		if _, ok := r.live[st.ID]; !ok {
 			return nil
 		}
-		if err := r.stabilizeCore(i); err != nil {
+		if err := r.stabilizeAllSync(i); err != nil {
 			return err
 		}
-		if _, err := r.tr.Leave(core.ProcID(st.ID)); err != nil {
-			return fmt.Errorf("harness: step %d: core leave: %w", i, err)
-		}
-		if err := r.cl.Leave(core.ProcID(st.ID)); err != nil {
-			return fmt.Errorf("harness: step %d: proto leave: %w", i, err)
+		for _, ne := range r.engines {
+			if err := ne.E.Leave(core.ProcID(st.ID)); err != nil {
+				return fmt.Errorf("harness: step %d: %s leave: %w", i, ne.Name, err)
+			}
 		}
 		r.baselineDelete(st.ID)
 		delete(r.live, st.ID)
 		r.rep.Leaves++
-		r.cl.Step(false)
+		r.stepAfterOp()
 
 	case OpCrash:
 		if _, ok := r.live[st.ID]; !ok {
 			return nil
 		}
-		if err := r.tr.Crash(core.ProcID(st.ID)); err != nil {
-			return fmt.Errorf("harness: step %d: core crash: %w", i, err)
-		}
-		if err := r.cl.Crash(core.ProcID(st.ID)); err != nil {
-			return fmt.Errorf("harness: step %d: proto crash: %w", i, err)
+		for _, ne := range r.engines {
+			if err := ne.E.Crash(core.ProcID(st.ID)); err != nil {
+				return fmt.Errorf("harness: step %d: %s crash: %w", i, ne.Name, err)
+			}
 		}
 		r.baselineDelete(st.ID)
 		delete(r.live, st.ID)
-		r.coreDirty = true
+		r.markDirty()
 		r.rep.Crashes++
 
 	case OpPublish:
 		if _, ok := r.live[st.ID]; !ok {
 			return nil
 		}
-		if err := r.stabilizeCore(i); err != nil {
+		if err := r.stabilizeAllSync(i); err != nil {
 			return err
 		}
-		if err := r.publishCore(i, st.ID, geom.Point(st.Point)); err != nil {
-			return err
-		}
-		// The wire protocol may legitimately miss subscribers whose
-		// (re-)join is still in flight mid-schedule; its zero-false-
-		// negative obligation is certified on the settled configuration.
-		if _, err := r.cl.Publish(core.ProcID(st.ID), geom.Point(st.Point), r.settleBudget()); err != nil {
-			return fmt.Errorf("harness: step %d: proto publish: %w", i, err)
+		for _, ne := range r.engines {
+			d, err := ne.E.Publish(core.ProcID(st.ID), geom.Point(st.Point))
+			if err != nil {
+				return fmt.Errorf("harness: step %d: %s publish: %w", i, ne.Name, err)
+			}
+			// Asynchronous engines may legitimately miss subscribers
+			// whose (re-)join is still in flight mid-schedule; their
+			// zero-false-negative obligation is certified on the settled
+			// configuration.
+			if ne.Async {
+				continue
+			}
+			if err := r.certifyNoFalseNegatives(i, ne.Name, st.ID, geom.Point(st.Point), d); err != nil {
+				return err
+			}
 		}
 		r.rep.ProbeEvents++
 
 	case OpCorruptParent:
-		_ = r.tr.CorruptParent(core.ProcID(st.ID), st.H, core.ProcID(st.Parent))
-		_ = r.cl.CorruptParent(core.ProcID(st.ID), st.H, core.ProcID(st.Parent))
-		r.coreDirty = true
+		for _, ne := range r.engines {
+			_ = ne.E.CorruptParent(core.ProcID(st.ID), st.H, core.ProcID(st.Parent))
+		}
+		r.markDirty()
 		r.rep.Corruptions++
 	case OpCorruptChildren:
-		_ = r.tr.CorruptChildren(core.ProcID(st.ID), st.H, procIDs(st.Children))
-		_ = r.cl.CorruptChildren(core.ProcID(st.ID), st.H, procIDs(st.Children))
-		r.coreDirty = true
+		for _, ne := range r.engines {
+			_ = ne.E.CorruptChildren(core.ProcID(st.ID), st.H, procIDs(st.Children))
+		}
+		r.markDirty()
 		r.rep.Corruptions++
 	case OpCorruptMBR:
-		_ = r.tr.CorruptMBR(core.ProcID(st.ID), st.H, rectOf(st.Rect))
-		_ = r.cl.CorruptMBR(core.ProcID(st.ID), st.H, rectOf(st.Rect))
-		r.coreDirty = true
+		for _, ne := range r.engines {
+			_ = ne.E.CorruptMBR(core.ProcID(st.ID), st.H, rectOf(st.Rect))
+		}
+		r.markDirty()
 		r.rep.Corruptions++
 	case OpCorruptUnderloaded:
-		_ = r.tr.CorruptUnderloaded(core.ProcID(st.ID), st.H)
-		_ = r.cl.CorruptUnderloaded(core.ProcID(st.ID), st.H)
-		r.coreDirty = true
+		for _, ne := range r.engines {
+			_ = ne.E.CorruptUnderloaded(core.ProcID(st.ID), st.H)
+		}
+		r.markDirty()
 		r.rep.Corruptions++
 
 	case OpDropRate:
-		r.cl.Net().DropRate = st.Rate
+		r.eachNetworked(func(net *simnet.Network) { net.DropRate = st.Rate })
 	case OpDelay:
-		r.cl.Net().DelayMax = st.Delay
+		r.eachNetworked(func(net *simnet.Network) { net.DelayMax = st.Delay })
 	case OpPartition:
 		groups := make([][]simnet.NodeID, len(st.Groups))
 		for g, ids := range st.Groups {
@@ -240,9 +369,9 @@ func (r *runner) step(i int, st Step) error {
 				groups[g] = append(groups[g], simnet.NodeID(id))
 			}
 		}
-		r.cl.Net().Partition(groups...)
+		r.eachNetworked(func(net *simnet.Network) { net.Partition(groups...) })
 	case OpHeal:
-		r.cl.Net().Heal()
+		r.eachNetworked(func(net *simnet.Network) { net.Heal() })
 
 	case OpSettle:
 		return r.settle(i)
@@ -250,108 +379,72 @@ func (r *runner) step(i int, st Step) error {
 	return nil
 }
 
-// stabilizeCore runs the sequential periodic checks if faults were
-// injected since the last run, certifying convergence and legality.
-func (r *runner) stabilizeCore(i int) error {
-	if !r.coreDirty {
-		return nil
-	}
-	st := r.tr.Stabilize()
-	r.rep.CorePasses += st.Passes
-	r.coreDirty = false
-	if !st.Converged {
-		return &Violation{StepIndex: i, Engine: "core", Kind: "convergence",
-			Detail: fmt.Sprintf("stabilization hit the pass limit after %d passes", st.Passes)}
-	}
-	if err := r.tr.CheckLegal(); err != nil {
-		return &Violation{StepIndex: i, Engine: "core", Kind: "legality", Detail: err.Error()}
-	}
-	return nil
-}
-
-// publishCore disseminates one event through the sequential engine and
-// certifies zero false negatives against the subscriber filters.
-func (r *runner) publishCore(i, producer int, ev geom.Point) error {
-	d, err := r.tr.Publish(core.ProcID(producer), ev)
-	if err != nil {
-		return fmt.Errorf("harness: step %d: core publish: %w", i, err)
-	}
-	got := make(map[core.ProcID]bool, len(d.Received))
-	for _, id := range d.Received {
-		got[id] = true
-	}
-	for _, id := range r.sortedLive() {
-		if r.live[id].ContainsPoint(ev) && !got[core.ProcID(id)] {
-			return &Violation{StepIndex: i, Engine: "core", Kind: "false-negative",
-				Detail: fmt.Sprintf("event %v from %d missed matching subscriber %d", ev, producer, id)}
-		}
-	}
-	return nil
-}
-
-// settle is the quiescent window: message-level faults cease, both
-// engines converge, and the three invariants are certified.
+// settle is the quiescent window: message-level faults cease, every
+// engine converges, and the three invariants are certified.
 func (r *runner) settle(i int) error {
 	r.settles++
 	r.rep.Settles++
 
 	// Faults cease for the window (the self-stabilization contract is
 	// convergence once transient faults stop).
-	net := r.cl.Net()
-	net.DropRate = 0
-	net.DelayMax = 0
-	net.Delay = nil
-	net.Heal()
+	r.eachNetworked(func(net *simnet.Network) {
+		net.DropRate = 0
+		net.DelayMax = 0
+		net.Delay = nil
+		net.Heal()
+	})
 
-	// Invariant 1a: the sequential engine converges to a legal state.
-	r.coreDirty = true
-	if err := r.stabilizeCore(i); err != nil {
-		return err
-	}
-
-	// Invariant 1b: the wire protocol converges within the round budget.
-	rounds, ok := r.cl.RunUntilStable(r.settleBudget())
-	r.rep.ProtoRounds += rounds
-	if !ok {
-		detail := "network never drained"
-		if err := r.cl.CheckLegal(); err != nil {
-			detail = err.Error()
+	// Invariant 1: every engine converges to a legal state.
+	for _, ne := range r.engines {
+		if !ne.Async {
+			r.dirty[ne.Name] = true
+			if err := r.stabilizeSync(i, ne); err != nil {
+				return err
+			}
+			continue
 		}
-		return &Violation{StepIndex: i, Engine: "proto", Kind: "convergence",
-			Detail: fmt.Sprintf("not stable after %d rounds (budget %d): %s", rounds, r.settleBudget(), detail)}
-	}
-	if err := r.cl.CheckLegal(); err != nil {
-		return &Violation{StepIndex: i, Engine: "proto", Kind: "legality", Detail: err.Error()}
+		st := ne.E.Stabilize()
+		r.rep.ProtoRounds += st.Rounds
+		if !st.Converged {
+			detail := "network never drained"
+			if err := ne.E.CheckLegal(); err != nil {
+				detail = err.Error()
+			}
+			return &Violation{StepIndex: i, Engine: ne.Name, Kind: "convergence",
+				Detail: fmt.Sprintf("not stable after %d rounds (budget %d): %s", st.Rounds, r.settleBudget(), detail)}
+		}
+		if err := ne.E.CheckLegal(); err != nil {
+			return &Violation{StepIndex: i, Engine: ne.Name, Kind: "legality", Detail: err.Error()}
+		}
 	}
 
 	// Invariant 3: cross-engine agreement — membership, filters, root MBR.
 	ids := r.sortedLive()
-	coreIDs, protoIDs := r.tr.ProcIDs(), r.cl.IDs()
-	if len(coreIDs) != len(ids) || len(protoIDs) != len(ids) {
-		return &Violation{StepIndex: i, Engine: "cross", Kind: "membership",
-			Detail: fmt.Sprintf("live=%d core=%d proto=%d", len(ids), len(coreIDs), len(protoIDs))}
-	}
 	var union geom.Rect
-	for k, id := range ids {
-		if int(coreIDs[k]) != id || int(protoIDs[k]) != id {
-			return &Violation{StepIndex: i, Engine: "cross", Kind: "membership",
-				Detail: fmt.Sprintf("member %d: core has %d, proto has %d", id, coreIDs[k], protoIDs[k])}
-		}
-		cf, _ := r.tr.Filter(core.ProcID(id))
-		pf := r.cl.Node(core.ProcID(id)).Filter()
-		if !cf.Equal(r.live[id]) || !pf.Equal(r.live[id]) {
-			return &Violation{StepIndex: i, Engine: "cross", Kind: "membership",
-				Detail: fmt.Sprintf("filter of %d diverged (core %v, proto %v, want %v)", id, cf, pf, r.live[id])}
-		}
+	for _, id := range ids {
 		union = union.Union(r.live[id])
 	}
-	if cm := r.tr.RootMBR(); !cm.Equal(union) {
-		return &Violation{StepIndex: i, Engine: "cross", Kind: "root-mbr",
-			Detail: fmt.Sprintf("core root MBR %v != filter union %v", cm, union)}
-	}
-	if pm := r.cl.RootMBR(); !pm.Equal(union) {
-		return &Violation{StepIndex: i, Engine: "cross", Kind: "root-mbr",
-			Detail: fmt.Sprintf("proto root MBR %v != filter union %v", pm, union)}
+	for _, ne := range r.engines {
+		engIDs := ne.E.ProcIDs()
+		if len(engIDs) != len(ids) {
+			return &Violation{StepIndex: i, Engine: "cross", Kind: "membership",
+				Detail: fmt.Sprintf("live=%d %s=%d", len(ids), ne.Name, len(engIDs))}
+		}
+		for k, id := range ids {
+			if int(engIDs[k]) != id {
+				return &Violation{StepIndex: i, Engine: "cross", Kind: "membership",
+					Detail: fmt.Sprintf("member %d: %s has %d", id, ne.Name, engIDs[k])}
+			}
+			f, ok := ne.E.Filter(core.ProcID(id))
+			if !ok || !f.Equal(r.live[id]) {
+				return &Violation{StepIndex: i, Engine: "cross", Kind: "membership",
+					Detail: fmt.Sprintf("filter of %d diverged (%s %v, want %v)", id, ne.Name, f, r.live[id])}
+			}
+		}
+		if m := ne.E.RootMBR(); !m.Equal(union) {
+			return &Violation{StepIndex: i, Engine: "cross", Kind: "root-mbr",
+				Detail: fmt.Sprintf("%s root MBR %v != filter union %v", ne.Name, m, union)}
+		}
 	}
 
 	// Invariant 2: zero false negatives, certified against both the
@@ -406,16 +499,14 @@ func (r *runner) settle(i int) error {
 				}
 			}
 		}
-		if err := r.publishCore(i, producer, ev); err != nil {
-			return err
-		}
-		res, err := r.cl.Publish(core.ProcID(producer), ev, r.settleBudget())
-		if err != nil {
-			return fmt.Errorf("harness: step %d: proto probe publish: %w", i, err)
-		}
-		if res.FalseNegatives != 0 {
-			return &Violation{StepIndex: i, Engine: "proto", Kind: "false-negative",
-				Detail: fmt.Sprintf("event %v from %d missed %d matching subscribers", ev, producer, res.FalseNegatives)}
+		for _, ne := range r.engines {
+			d, err := ne.E.Publish(core.ProcID(producer), ev)
+			if err != nil {
+				return fmt.Errorf("harness: step %d: %s probe publish: %w", i, ne.Name, err)
+			}
+			if err := r.certifyNoFalseNegatives(i, ne.Name, producer, ev, d); err != nil {
+				return err
+			}
 		}
 		r.rep.ProbeEvents++
 	}

@@ -2,7 +2,7 @@ package proto
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"drtree/internal/core"
 	"drtree/internal/geom"
@@ -40,8 +40,21 @@ func NewCluster(cfg Config) (*Cluster, error) {
 // Len returns the live population.
 func (c *Cluster) Len() int { return len(c.nodes) }
 
+// Close releases engine resources. The round-based cluster holds none
+// (no goroutines); the method exists for the unified Engine lifecycle.
+func (c *Cluster) Close() error { return nil }
+
 // Round returns the current round number.
 func (c *Cluster) Round() int { return c.round }
+
+// budget resolves a configured round budget, falling back to an adaptive
+// default that scales with the population.
+func (c *Cluster) budget(configured int) int {
+	if configured > 0 {
+		return configured
+	}
+	return 800 + 200*len(c.nodes)
+}
 
 // NetStats returns the network traffic counters.
 func (c *Cluster) NetStats() simnet.Stats { return c.net.Stats() }
@@ -50,21 +63,40 @@ func (c *Cluster) NetStats() simnet.Stats { return c.net.Stats() }
 // message-level faults (drops, partitions, per-link delays).
 func (c *Cluster) Net() *simnet.Network { return c.net }
 
-// RootMBR returns the MBR of the tallest self-parented topmost instance
-// (the root from the omniscient view), or the empty rectangle for an
-// empty or root-less configuration. In a legal state this equals the
-// union of every live filter.
-func (c *Cluster) RootMBR() geom.Rect {
-	var best geom.Rect
+// Root returns the root process and root height from the omniscient
+// view: the tallest self-parented topmost instance. For an empty or
+// root-less configuration it returns (NoProc, -1).
+func (c *Cluster) Root() (core.ProcID, int) {
+	best := core.NoProc
 	bestH := -1
 	for _, id := range c.IDs() {
 		n := c.nodes[id]
 		in := n.at(n.top)
 		if in != nil && in.parent == id && !n.rejoinPending && n.top > bestH {
-			best, bestH = in.mbr, n.top
+			best, bestH = id, n.top
 		}
 	}
-	return best
+	return best, bestH
+}
+
+// RootMBR returns the MBR of the root instance, or the empty rectangle
+// for an empty or root-less configuration. In a legal state this equals
+// the union of every live filter.
+func (c *Cluster) RootMBR() geom.Rect {
+	id, h := c.Root()
+	if id == core.NoProc {
+		return geom.Rect{}
+	}
+	return c.nodes[id].at(h).mbr
+}
+
+// Filter returns the subscription rectangle of process id.
+func (c *Cluster) Filter(id core.ProcID) (geom.Rect, bool) {
+	n := c.nodes[id]
+	if n == nil {
+		return geom.Rect{}, false
+	}
+	return n.filter, true
 }
 
 // Node returns the actor with the given ID, or nil.
@@ -76,14 +108,31 @@ func (c *Cluster) IDs() []core.ProcID {
 	for id := range c.nodes {
 		out = append(out, id)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
+
+// ProcIDs returns live process IDs, ascending (the Engine-interface name
+// for IDs).
+func (c *Cluster) ProcIDs() []core.ProcID { return c.IDs() }
 
 // Join introduces a new subscriber: the node is created locally and its
 // JOIN request is sent to the oracle-provided contact (the paper's
 // connection oracle). Run the cluster to let the request route.
 func (c *Cluster) Join(id core.ProcID, filter geom.Rect) error {
+	return c.join(id, filter, core.NoProc)
+}
+
+// JoinFrom introduces a new subscriber whose JOIN request routes through
+// an explicit contact node rather than the connection oracle.
+func (c *Cluster) JoinFrom(contact, id core.ProcID, filter geom.Rect) error {
+	if c.nodes[contact] == nil {
+		return fmt.Errorf("proto: contact %d not in the cluster", contact)
+	}
+	return c.join(id, filter, contact)
+}
+
+func (c *Cluster) join(id core.ProcID, filter geom.Rect, contact core.ProcID) error {
 	if id <= core.NoProc {
 		return fmt.Errorf("proto: process IDs must be positive, got %d", id)
 	}
@@ -99,8 +148,11 @@ func (c *Cluster) Join(id core.ProcID, filter geom.Rect) error {
 	if len(c.nodes) == 1 {
 		return nil // first node is the root
 	}
+	if contact == core.NoProc {
+		contact = c.Oracle()
+	}
 	n.rejoinPending = true
-	n.rejoin(c.Oracle(), 0)
+	n.rejoin(contact, 0)
 	c.net.Send(n.drainOut()...)
 	return nil
 }
@@ -240,23 +292,16 @@ func (c *Cluster) anyRejoinPending() bool {
 	return false
 }
 
-// PublishResult reports a protocol-level dissemination.
-type PublishResult struct {
-	Received       []core.ProcID
-	FalsePositives int
-	FalseNegatives int
-	Messages       int
-	Rounds         int
-}
-
-// Publish injects an event at the producer and runs the cluster until the
-// network drains, then collects delivery accounting against the ground
-// truth.
-func (c *Cluster) Publish(producer core.ProcID, ev geom.Point, maxRounds int) (PublishResult, error) {
+// Publish injects an event at the producer, runs the cluster until the
+// network drains (bounded by Config.PublishBudget rounds), and collects
+// the unified delivery accounting. Received/TruePositives/FalsePositives
+// are ascending; Rounds is the dissemination latency in network rounds.
+func (c *Cluster) Publish(producer core.ProcID, ev geom.Point) (core.Delivery, error) {
 	n := c.nodes[producer]
 	if n == nil {
-		return PublishResult{}, fmt.Errorf("proto: producer %d not in the cluster", producer)
+		return core.Delivery{}, fmt.Errorf("proto: producer %d not in the cluster", producer)
 	}
+	maxRounds := c.budget(c.cfg.PublishBudget)
 	c.nextE++
 	id := c.nextE
 	before := c.net.Stats().Delivered
@@ -269,7 +314,7 @@ func (c *Cluster) Publish(producer core.ProcID, ev geom.Point, maxRounds int) (P
 	n.onEvent(mEvent{ID: id, Ev: ev, Height: n.top, Up: true, From: core.NoProc})
 	c.net.Send(n.drainOut()...)
 
-	var res PublishResult
+	var d core.Delivery
 	start := c.round
 	for !c.net.Quiescent() && c.round-start < maxRounds {
 		// Run without periodic timers so message counts isolate the
@@ -287,21 +332,29 @@ func (c *Cluster) Publish(producer core.ProcID, ev geom.Point, maxRounds int) (P
 			c.net.Send(node.drainOut()...)
 		}
 	}
-	res.Rounds = c.round - start
-	res.Messages = c.net.Stats().Delivered - before
+	d.Rounds = c.round - start
+	d.Messages = c.net.Stats().Delivered - before
 	for _, pid := range c.IDs() {
 		node := c.nodes[pid]
-		match := node.filter.ContainsPoint(ev)
-		if node.seen[id] {
-			res.Received = append(res.Received, pid)
-			if !match {
-				res.FalsePositives++
-			}
-		} else if match {
-			res.FalseNegatives++
+		if !node.seen[id] {
+			continue
+		}
+		d.Received = append(d.Received, pid)
+		if node.filter.ContainsPoint(ev) {
+			d.TruePositives = append(d.TruePositives, pid)
+		} else {
+			d.FalsePositives = append(d.FalsePositives, pid)
 		}
 	}
-	return res, nil
+	return d, nil
+}
+
+// Stabilize runs the periodic checks until the configuration is legal
+// and confirmed stable (RunUntilStable) under the configured or adaptive
+// round budget, reporting the unified stabilization result.
+func (c *Cluster) Stabilize() core.StabReport {
+	rounds, ok := c.RunUntilStable(c.budget(c.cfg.StabilizeBudget))
+	return core.StabReport{Rounds: rounds, Converged: ok}
 }
 
 // Corruption helpers for experiment E5 (the paper's transient fault

@@ -2,6 +2,7 @@ package proto
 
 import (
 	"fmt"
+	"slices"
 	"sync"
 	"time"
 
@@ -28,6 +29,14 @@ type LiveCluster struct {
 	actors map[core.ProcID]*liveActor
 	wg     sync.WaitGroup
 	closed bool
+	nextE  int64
+	// sent counts dispatched messages; eventMsgs counts only event
+	// dissemination messages (the Delivery.Messages metric);
+	// pendingEvents counts event messages enqueued in mailboxes but not
+	// yet processed (Publish waits for it to reach zero).
+	sent          int
+	eventMsgs     int
+	pendingEvents int
 }
 
 type liveActor struct {
@@ -48,6 +57,22 @@ func NewLiveCluster(cfg Config) (*LiveCluster, error) {
 // Join spawns a new subscriber actor and routes its JOIN request through
 // the current root.
 func (lc *LiveCluster) Join(id core.ProcID, filter geom.Rect) error {
+	return lc.join(id, filter, core.NoProc)
+}
+
+// JoinFrom spawns a new subscriber actor whose JOIN request routes
+// through an explicit contact rather than the connection oracle.
+func (lc *LiveCluster) JoinFrom(contact, id core.ProcID, filter geom.Rect) error {
+	lc.mu.Lock()
+	known := lc.actors[contact] != nil
+	lc.mu.Unlock()
+	if !known {
+		return fmt.Errorf("proto: contact %d not in the cluster", contact)
+	}
+	return lc.join(id, filter, contact)
+}
+
+func (lc *LiveCluster) join(id core.ProcID, filter geom.Rect, contact core.ProcID) error {
 	lc.mu.Lock()
 	defer lc.mu.Unlock()
 	if lc.closed {
@@ -66,12 +91,38 @@ func (lc *LiveCluster) Join(id core.ProcID, filter geom.Rect) error {
 	}
 	lc.actors[id] = a
 	if len(lc.actors) > 1 {
+		if contact == core.NoProc {
+			contact = lc.oracleLocked()
+		}
 		a.node.rejoinPending = true
-		a.node.rejoin(lc.oracleLocked(), 0)
+		a.node.rejoin(contact, 0)
 		lc.dispatchLocked(a.node.drainOut())
 	}
 	lc.wg.Add(1)
 	go lc.run(a)
+	return nil
+}
+
+// Leave performs a controlled departure: the leaver notifies the parent
+// of its topmost instance and its actor stops; the periodic checks of
+// the survivors repair the rest.
+func (lc *LiveCluster) Leave(id core.ProcID) error {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	a := lc.actors[id]
+	if a == nil {
+		return fmt.Errorf("proto: process %d not in the cluster", id)
+	}
+	n := a.node
+	if in := n.at(n.top); in != nil && in.parent != id {
+		lc.dispatchLocked([]simnet.Message{{
+			From:    simnet.NodeID(id),
+			To:      simnet.NodeID(in.parent),
+			Payload: mLeave{Height: n.top + 1, Child: id},
+		}})
+	}
+	delete(lc.actors, id)
+	close(a.stop)
 	return nil
 }
 
@@ -98,7 +149,12 @@ func (lc *LiveCluster) run(a *liveActor) {
 		case <-a.stop:
 			return
 		case m := <-a.box:
-			lc.withActor(a, func() { a.node.process(m) })
+			lc.withActor(a, func() {
+				if _, ok := m.Payload.(mEvent); ok {
+					lc.pendingEvents--
+				}
+				a.node.process(m)
+			})
 		case <-ticker.C:
 			contact := lc.Oracle()
 			lc.withActor(a, func() { a.node.periodic(contact) })
@@ -120,6 +176,10 @@ func (lc *LiveCluster) withActor(a *liveActor, fn func()) {
 // or saturated mailboxes bounce back to the sender.
 func (lc *LiveCluster) dispatchLocked(msgs []simnet.Message) {
 	for _, m := range msgs {
+		lc.sent++
+		if _, ok := m.Payload.(mEvent); ok {
+			lc.eventMsgs++
+		}
 		dst := lc.actors[core.ProcID(m.To)]
 		if dst == nil {
 			if src := lc.actors[core.ProcID(m.From)]; src != nil {
@@ -135,7 +195,14 @@ func (lc *LiveCluster) dispatchLocked(msgs []simnet.Message) {
 		}
 		select {
 		case dst.box <- m:
-		default: // saturated mailbox: drop (transient loss; checks repair)
+			if _, ok := m.Payload.(mEvent); ok {
+				lc.pendingEvents++
+			}
+		default:
+			// Saturated mailbox: drop. For protocol traffic this is
+			// transient loss the periodic checks repair; a dropped event
+			// message is a lost delivery, which the 256-slot mailboxes
+			// make practically unreachable for test workloads.
 		}
 	}
 }
@@ -161,6 +228,190 @@ func (lc *LiveCluster) oracleLocked() core.ProcID {
 		}
 	}
 	return best
+}
+
+// Publish injects an event at the producer and waits for the
+// dissemination to quiesce: no event message may be sitting in a mailbox
+// and the receiver set must stop changing for a few consecutive polls
+// (the in-flight counter makes a descheduled actor with a queued event
+// hold the poll open rather than cause a spurious miss). Messages counts
+// only event messages (periodic check traffic keeps flowing in the
+// background); Rounds is always 0 — the live runtime has no round clock.
+func (lc *LiveCluster) Publish(producer core.ProcID, ev geom.Point) (core.Delivery, error) {
+	lc.mu.Lock()
+	if lc.closed {
+		lc.mu.Unlock()
+		return core.Delivery{}, fmt.Errorf("proto: live cluster closed")
+	}
+	a := lc.actors[producer]
+	if a == nil {
+		lc.mu.Unlock()
+		return core.Delivery{}, fmt.Errorf("proto: producer %d not in the cluster", producer)
+	}
+	lc.nextE++
+	id := lc.nextE
+	for _, b := range lc.actors {
+		delete(b.node.seen, id)
+	}
+	before := lc.eventMsgs
+	a.node.onEvent(mEvent{ID: id, Ev: ev, Height: a.node.top, Up: true, From: core.NoProc})
+	lc.dispatchLocked(a.node.drainOut())
+	lc.mu.Unlock()
+
+	poll := func() (int, int, int) {
+		lc.mu.Lock()
+		defer lc.mu.Unlock()
+		n := 0
+		for _, b := range lc.actors {
+			if b.node.seen[id] {
+				n++
+			}
+		}
+		return n, lc.eventMsgs, lc.pendingEvents
+	}
+	deadline := time.Now().Add(lc.budgetDuration(lc.cfg.PublishBudget))
+	stable, lastSeen, lastMsgs := 0, -1, -1
+	for stable < 8 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+		seen, msgs, pending := poll()
+		if pending == 0 && seen == lastSeen && msgs == lastMsgs {
+			stable++
+		} else {
+			stable, lastSeen, lastMsgs = 0, seen, msgs
+		}
+	}
+
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	var d core.Delivery
+	d.Messages = lc.eventMsgs - before
+	for _, pid := range lc.procIDsLocked() {
+		n := lc.actors[pid].node
+		if !n.seen[id] {
+			continue
+		}
+		d.Received = append(d.Received, pid)
+		if n.filter.ContainsPoint(ev) {
+			d.TruePositives = append(d.TruePositives, pid)
+		} else {
+			d.FalsePositives = append(d.FalsePositives, pid)
+		}
+	}
+	return d, nil
+}
+
+// budgetDuration maps a round budget onto the live runtime's 2ms actor
+// tick (one tick ≈ one round of repair opportunity), so a configured
+// budget means the same thing on both message-passing runtimes. 0 uses
+// the same adaptive default as the round scheduler.
+func (lc *LiveCluster) budgetDuration(configured int) time.Duration {
+	rounds := configured
+	if rounds <= 0 {
+		lc.mu.Lock()
+		rounds = 800 + 200*len(lc.actors)
+		lc.mu.Unlock()
+	}
+	return time.Duration(rounds) * 2 * time.Millisecond
+}
+
+// Stabilize waits for the actors' periodic checks to restore a legal
+// configuration (the live runtime's RunUntilStable equivalent), within
+// the Config.StabilizeBudget round budget mapped onto the actor tick.
+func (lc *LiveCluster) Stabilize() core.StabReport {
+	return core.StabReport{Converged: lc.AwaitLegal(lc.budgetDuration(lc.cfg.StabilizeBudget)) == nil}
+}
+
+// CheckLegal verifies Definition 3.1 on a frozen membership snapshot.
+func (lc *LiveCluster) CheckLegal() error { return lc.checkLegalSnapshot() }
+
+// Root returns the root process and height from the omniscient view
+// (tallest self-parented topmost instance), or (NoProc, -1).
+func (lc *LiveCluster) Root() (core.ProcID, int) {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	id := lc.oracleLocked()
+	if id == core.NoProc {
+		return core.NoProc, -1
+	}
+	return id, lc.actors[id].node.top
+}
+
+// RootMBR returns the MBR of the root instance, or the empty rectangle.
+func (lc *LiveCluster) RootMBR() geom.Rect {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	id := lc.oracleLocked()
+	if id == core.NoProc {
+		return geom.Rect{}
+	}
+	n := lc.actors[id].node
+	return n.at(n.top).mbr
+}
+
+// ProcIDs returns live process IDs, ascending.
+func (lc *LiveCluster) ProcIDs() []core.ProcID {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	return lc.procIDsLocked()
+}
+
+func (lc *LiveCluster) procIDsLocked() []core.ProcID {
+	out := make([]core.ProcID, 0, len(lc.actors))
+	for id := range lc.actors {
+		out = append(out, id)
+	}
+	slices.Sort(out)
+	return out
+}
+
+// Filter returns the subscription rectangle of process id.
+func (lc *LiveCluster) Filter(id core.ProcID) (geom.Rect, bool) {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	a := lc.actors[id]
+	if a == nil {
+		return geom.Rect{}, false
+	}
+	return a.node.filter, true
+}
+
+// corrupt locks the cluster and applies fn to the instance (id, h),
+// mirroring the round-based cluster's transient-fault injectors.
+func (lc *LiveCluster) corrupt(id core.ProcID, h int, fn func(*instance)) error {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	a := lc.actors[id]
+	if a == nil || a.node.at(h) == nil {
+		return fmt.Errorf("proto: no instance (%d,%d)", id, h)
+	}
+	fn(a.node.at(h))
+	return nil
+}
+
+// CorruptParent overwrites the local parent variable of (id, h).
+func (lc *LiveCluster) CorruptParent(id core.ProcID, h int, parent core.ProcID) error {
+	return lc.corrupt(id, h, func(in *instance) { in.parent = parent })
+}
+
+// CorruptChildren replaces the local children set of (id, h).
+func (lc *LiveCluster) CorruptChildren(id core.ProcID, h int, children []core.ProcID) error {
+	return lc.corrupt(id, h, func(in *instance) {
+		m := make(map[core.ProcID]*childState, len(children))
+		for _, ch := range children {
+			m[ch] = &childState{}
+		}
+		in.children = m
+	})
+}
+
+// CorruptMBR overwrites the local MBR of (id, h).
+func (lc *LiveCluster) CorruptMBR(id core.ProcID, h int, mbr geom.Rect) error {
+	return lc.corrupt(id, h, func(in *instance) { in.mbr = mbr })
+}
+
+// CorruptUnderloaded flips the local underloaded flag of (id, h).
+func (lc *LiveCluster) CorruptUnderloaded(id core.ProcID, h int) error {
+	return lc.corrupt(id, h, func(in *instance) { in.underloaded = !in.underloaded })
 }
 
 // AwaitLegal polls until the configuration is legal and no re-join is
@@ -200,11 +451,11 @@ func (lc *LiveCluster) Len() int {
 }
 
 // Close stops every actor goroutine and waits for them to exit.
-func (lc *LiveCluster) Close() {
+func (lc *LiveCluster) Close() error {
 	lc.mu.Lock()
 	if lc.closed {
 		lc.mu.Unlock()
-		return
+		return nil
 	}
 	lc.closed = true
 	for id, a := range lc.actors {
@@ -213,4 +464,5 @@ func (lc *LiveCluster) Close() {
 	}
 	lc.mu.Unlock()
 	lc.wg.Wait()
+	return nil
 }

@@ -84,3 +84,93 @@ func TestLiveClusterRepairsCrash(t *testing.T) {
 		t.Error("join after close must error")
 	}
 }
+
+// TestLiveEngineSurface exercises the Engine-interface additions of the
+// live runtime: observers, controlled departure, JoinFrom, the four
+// fault injectors, and Stabilize-driven repair.
+func TestLiveEngineSurface(t *testing.T) {
+	lc, err := NewLiveCluster(Config{MinFanout: 2, MaxFanout: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lc.Close()
+	var union geom.Rect
+	for i := 1; i <= 6; i++ {
+		f := geom.R2(float64(i*10), 0, float64(i*10)+15, 20)
+		if err := lc.Join(core.ProcID(i), f); err != nil {
+			t.Fatal(err)
+		}
+		union = union.Union(f)
+	}
+	if err := lc.AwaitLegal(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := lc.ProcIDs(); len(got) != 6 || got[0] != 1 || got[5] != 6 {
+		t.Fatalf("ProcIDs = %v", got)
+	}
+	if f, ok := lc.Filter(3); !ok || !f.Equal(geom.R2(30, 0, 45, 20)) {
+		t.Fatalf("Filter(3) = %v, %v", f, ok)
+	}
+	if _, ok := lc.Filter(99); ok {
+		t.Fatal("Filter of unknown process must report !ok")
+	}
+	if root, h := lc.Root(); root == core.NoProc || h < 0 {
+		t.Fatalf("Root = (%d, %d)", root, h)
+	}
+	if !lc.RootMBR().Equal(union) {
+		t.Fatalf("RootMBR %v, want %v", lc.RootMBR(), union)
+	}
+
+	// JoinFrom routes through an explicit contact.
+	if err := lc.JoinFrom(99, 7, geom.R2(0, 0, 5, 5)); err == nil {
+		t.Fatal("JoinFrom with unknown contact must error")
+	}
+	if err := lc.JoinFrom(1, 7, geom.R2(0, 0, 5, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := lc.Leave(2); err != nil {
+		t.Fatal(err)
+	}
+	if st := lc.Stabilize(); !st.Converged {
+		t.Fatalf("no convergence after join/leave: %v", lc.CheckLegal())
+	}
+
+	// The paper's four transient corruptions, then self-repair.
+	if err := lc.CorruptParent(3, 0, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := lc.CorruptMBR(4, 0, geom.R2(0, 0, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := lc.CorruptChildren(5, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := lc.CorruptUnderloaded(6, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := lc.CorruptParent(99, 0, 1); err == nil {
+		t.Fatal("corrupting a dead process must error")
+	}
+	if st := lc.Stabilize(); !st.Converged {
+		t.Fatalf("no convergence after corruption: %v", lc.CheckLegal())
+	}
+
+	// Publish on the repaired overlay: zero false negatives.
+	ev := geom.Point{35, 10}
+	d, err := lc.Publish(3, ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[core.ProcID]bool{}
+	for _, id := range d.Received {
+		got[id] = true
+	}
+	for _, id := range lc.ProcIDs() {
+		if f, _ := lc.Filter(id); f.ContainsPoint(ev) && !got[id] {
+			t.Fatalf("matching subscriber %d missed event: %+v", id, d)
+		}
+	}
+	if _, err := lc.Publish(99, ev); err == nil {
+		t.Fatal("publish from unknown producer must error")
+	}
+}

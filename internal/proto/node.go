@@ -1,7 +1,7 @@
 package proto
 
 import (
-	"sort"
+	"slices"
 
 	"drtree/internal/core"
 	"drtree/internal/geom"
@@ -21,6 +21,15 @@ type Config struct {
 	// node tolerates being underloaded before dissolving and re-inserting
 	// its children (the Figure 14 fallback).
 	UnderloadPatience int
+	// PublishBudget bounds, in rounds, how long one Publish may run
+	// before giving up on draining the network. 0 means adaptive
+	// (800 + 200 per live process). The goroutine-backed LiveCluster
+	// maps rounds onto its 2ms actor tick.
+	PublishBudget int
+	// StabilizeBudget bounds, in rounds, one Stabilize call. 0 means
+	// adaptive (800 + 200 per live process); the LiveCluster tick
+	// mapping applies here too.
+	StabilizeBudget int
 }
 
 func (c Config) withDefaults() Config {
@@ -148,7 +157,7 @@ func (n *Node) Instance(h int) (parent core.ProcID, children []core.ProcID, mbr 
 	for c := range in.children {
 		children = append(children, c)
 	}
-	sort.Slice(children, func(i, j int) bool { return children[i] < children[j] })
+	slices.Sort(children)
 	return in.parent, children, in.mbr, true
 }
 
@@ -316,7 +325,7 @@ func (n *Node) chooseBestChild(in *instance, f geom.Rect) core.ProcID {
 	for c := range in.children {
 		ids = append(ids, c)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slices.Sort(ids)
 	for _, c := range ids {
 		cs := in.children[c]
 		enl := cs.mbr.Enlargement(f)
@@ -360,7 +369,7 @@ func (n *Node) splitInstance(h int) {
 	for c := range in.children {
 		ids = append(ids, c)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slices.Sort(ids)
 	rects := make([]geom.Rect, len(ids))
 	for i, c := range ids {
 		if c == n.id && n.at(h-1) != nil {

@@ -1,7 +1,7 @@
 package proto
 
 import (
-	"sort"
+	"slices"
 
 	"drtree/internal/core"
 	"drtree/internal/geom"
@@ -225,6 +225,6 @@ func sortedChildIDs(in *instance) []core.ProcID {
 	for c := range in.children {
 		ids = append(ids, c)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slices.Sort(ids)
 	return ids
 }

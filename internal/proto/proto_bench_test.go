@@ -67,7 +67,7 @@ func BenchmarkProtocolPublish(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ev := geom.Point{rng.Float64() * 500, rng.Float64() * 500}
-		if _, err := cl.Publish(ids[i%len(ids)], ev, 200); err != nil {
+		if _, err := cl.Publish(ids[i%len(ids)], ev); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -2,41 +2,58 @@
 // DR-tree overlay (the paper's overall goal): subscribers register
 // predicate filters (package filter), the broker compiles them to
 // poly-space rectangles over a fixed attribute Space, organizes them in
-// the DR-tree (package core), and routes events with no false negatives
-// and few false positives.
+// a DR-tree engine, and routes events with no false negatives and few
+// false positives.
+//
+// The broker is engine-agnostic: it consumes only the unified
+// engine.Engine interface, so the same pub/sub front end runs over the
+// sequential tree, the deterministic message-passing cluster (including
+// lossy simulated networks), or the goroutine-per-node live cluster.
 package pubsub
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"drtree/internal/core"
+	"drtree/internal/engine"
 	"drtree/internal/filter"
 )
 
-// Broker is the pub/sub front end over one DR-tree overlay. It is not
+// Broker is the pub/sub front end over one DR-tree engine. It is not
 // safe for concurrent use.
 type Broker struct {
 	space *filter.Space
-	tree  *core.Tree
+	eng   engine.Engine
 	subs  map[core.ProcID]filter.Filter
 }
 
-// New creates a broker over the given attribute space and DR-tree
-// parameters.
-func New(space *filter.Space, params core.Params) (*Broker, error) {
+// New creates a broker over the given attribute space and overlay
+// engine. The broker owns the engine from then on: subscribers must be
+// managed through the broker only.
+func New(space *filter.Space, eng engine.Engine) (*Broker, error) {
 	if space == nil {
 		return nil, fmt.Errorf("pubsub: nil space")
 	}
+	if eng == nil {
+		return nil, fmt.Errorf("pubsub: nil engine")
+	}
+	return &Broker{space: space, eng: eng, subs: make(map[core.ProcID]filter.Filter)}, nil
+}
+
+// NewCore is New over a fresh sequential engine — the common case and
+// the previous hardwired behaviour.
+func NewCore(space *filter.Space, params core.Params) (*Broker, error) {
 	tree, err := core.New(params)
 	if err != nil {
 		return nil, err
 	}
-	return &Broker{space: space, tree: tree, subs: make(map[core.ProcID]filter.Filter)}, nil
+	return New(space, tree)
 }
 
-// Tree exposes the underlying overlay (for inspection and experiments).
-func (b *Broker) Tree() *core.Tree { return b.tree }
+// Engine exposes the underlying overlay engine (for inspection and
+// experiments).
+func (b *Broker) Engine() engine.Engine { return b.eng }
 
 // Space returns the broker's attribute space.
 func (b *Broker) Space() *filter.Space { return b.space }
@@ -46,24 +63,25 @@ func (b *Broker) Len() int { return len(b.subs) }
 
 // Subscribe registers subscriber id with the given filter: the filter is
 // compiled to its rectangle and the subscriber joins the overlay.
-func (b *Broker) Subscribe(id core.ProcID, f filter.Filter) (core.JoinStats, error) {
+// Message-passing engines may still be routing the join when Subscribe
+// returns; Repair drives the overlay to quiescence.
+func (b *Broker) Subscribe(id core.ProcID, f filter.Filter) error {
 	rect, err := b.space.Rect(f)
 	if err != nil {
-		return core.JoinStats{}, fmt.Errorf("pubsub: compiling filter: %w", err)
+		return fmt.Errorf("pubsub: compiling filter: %w", err)
 	}
-	st, err := b.tree.Join(id, rect)
-	if err != nil {
-		return core.JoinStats{}, err
+	if err := b.eng.Join(id, rect); err != nil {
+		return err
 	}
 	b.subs[id] = f
-	return st, nil
+	return nil
 }
 
 // SubscribeExpr is Subscribe with a textual filter (filter.Parse syntax).
-func (b *Broker) SubscribeExpr(id core.ProcID, src string) (core.JoinStats, error) {
+func (b *Broker) SubscribeExpr(id core.ProcID, src string) error {
 	f, err := filter.Parse(src)
 	if err != nil {
-		return core.JoinStats{}, err
+		return err
 	}
 	return b.Subscribe(id, f)
 }
@@ -73,7 +91,7 @@ func (b *Broker) Unsubscribe(id core.ProcID) error {
 	if _, ok := b.subs[id]; !ok {
 		return fmt.Errorf("pubsub: subscriber %d not registered", id)
 	}
-	if _, err := b.tree.Leave(id); err != nil {
+	if err := b.eng.Leave(id); err != nil {
 		return err
 	}
 	delete(b.subs, id)
@@ -86,15 +104,18 @@ func (b *Broker) Fail(id core.ProcID) error {
 	if _, ok := b.subs[id]; !ok {
 		return fmt.Errorf("pubsub: subscriber %d not registered", id)
 	}
-	if err := b.tree.Crash(id); err != nil {
+	if err := b.eng.Crash(id); err != nil {
 		return err
 	}
 	delete(b.subs, id)
 	return nil
 }
 
-// Repair runs the overlay stabilization to a fixpoint.
-func (b *Broker) Repair() core.StabStats { return b.tree.Stabilize() }
+// Repair runs the overlay stabilization to quiescence.
+func (b *Broker) Repair() core.StabReport { return b.eng.Stabilize() }
+
+// Close releases the underlying engine's resources.
+func (b *Broker) Close() error { return b.eng.Close() }
 
 // Notification is the outcome of publishing one event.
 type Notification struct {
@@ -106,10 +127,13 @@ type Notification struct {
 	// FalsePositives = received but not interested.
 	FalsePositives []core.ProcID
 	// FalseNegatives = interested but not received (must always be
-	// empty; kept for verification).
+	// empty on a stabilized overlay; kept for verification).
 	FalseNegatives []core.ProcID
 	// Messages is the inter-process message count.
 	Messages int
+	// Rounds is the dissemination latency in network rounds
+	// (message-passing engines; 0 for the sequential engine).
+	Rounds int
 }
 
 // Publish routes an event from the given producer through the overlay.
@@ -123,12 +147,13 @@ func (b *Broker) Publish(producer core.ProcID, ev filter.Event) (Notification, e
 	if err != nil {
 		return Notification{}, err
 	}
-	d, err := b.tree.Publish(producer, p)
+	d, err := b.eng.Publish(producer, p)
 	if err != nil {
 		return Notification{}, err
 	}
 	var n Notification
 	n.Messages = d.Messages
+	n.Rounds = d.Rounds
 	n.Received = d.Received
 	got := make(map[core.ProcID]bool, len(d.Received))
 	for _, id := range d.Received {
@@ -144,12 +169,8 @@ func (b *Broker) Publish(producer core.ProcID, ev filter.Event) (Notification, e
 			n.FalsePositives = append(n.FalsePositives, id)
 		}
 	}
-	sortIDs(n.Interested)
-	sortIDs(n.FalsePositives)
-	sortIDs(n.FalseNegatives)
+	slices.Sort(n.Interested)
+	slices.Sort(n.FalsePositives)
+	slices.Sort(n.FalseNegatives)
 	return n, nil
-}
-
-func sortIDs(ids []core.ProcID) {
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 }

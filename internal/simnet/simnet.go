@@ -13,7 +13,7 @@ package simnet
 import (
 	"fmt"
 	"math/rand/v2"
-	"sort"
+	"slices"
 )
 
 // NodeID identifies a network endpoint.
@@ -207,7 +207,7 @@ func SortedIDs(inboxes map[NodeID][]Message) []NodeID {
 	for id := range inboxes {
 		out = append(out, id)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 

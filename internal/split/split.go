@@ -17,9 +17,10 @@
 package split
 
 import (
+	"cmp"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"drtree/internal/geom"
 )
@@ -231,19 +232,18 @@ func (RStar) Split(rects []geom.Rect, m int) ([]int, []int, error) {
 			for i := range order {
 				order[i] = i
 			}
-			d, byHi := d, byHi
-			sort.SliceStable(order, func(a, b int) bool {
-				ra, rb := rects[order[a]], rects[order[b]]
+			slices.SortStableFunc(order, func(a, b int) int {
+				ra, rb := rects[a], rects[b]
 				if byHi {
-					if ra.Hi(d) != rb.Hi(d) {
-						return ra.Hi(d) < rb.Hi(d)
+					if c := cmp.Compare(ra.Hi(d), rb.Hi(d)); c != 0 {
+						return c
 					}
-					return ra.Lo(d) < rb.Lo(d)
+					return cmp.Compare(ra.Lo(d), rb.Lo(d))
 				}
-				if ra.Lo(d) != rb.Lo(d) {
-					return ra.Lo(d) < rb.Lo(d)
+				if c := cmp.Compare(ra.Lo(d), rb.Lo(d)); c != 0 {
+					return c
 				}
-				return ra.Hi(d) < rb.Hi(d)
+				return cmp.Compare(ra.Hi(d), rb.Hi(d))
 			})
 			marginSum := 0.0
 			var dists []distribution

@@ -6,7 +6,7 @@ package stats
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"strings"
 )
 
@@ -31,7 +31,7 @@ func Summarize(sample []float64) Summary {
 	}
 	sorted := make([]float64, len(sample))
 	copy(sorted, sample)
-	sort.Float64s(sorted)
+	slices.Sort(sorted)
 	sum := 0.0
 	for _, v := range sorted {
 		sum += v

@@ -10,9 +10,10 @@
 package workload
 
 import (
+	"cmp"
 	"fmt"
 	"math/rand/v2"
-	"sort"
+	"slices"
 
 	"drtree/internal/geom"
 )
@@ -238,7 +239,7 @@ func ChurnTrace(rng *rand.Rand, lambda, duration float64) []ChurnOp {
 			out = append(out, ChurnOp{Time: t, Join: join})
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Time < out[j].Time })
+	slices.SortFunc(out, func(a, b ChurnOp) int { return cmp.Compare(a.Time, b.Time) })
 	return out
 }
 
