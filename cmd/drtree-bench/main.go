@@ -5,28 +5,49 @@
 // baselines to a JSON file (the repository keeps BENCH_core.json); with
 // -bench-proto it measures the wire protocol's dissemination costs —
 // publish latency in rounds and per-round/per-publish message counts —
-// and records them likewise (the repository keeps BENCH_proto.json).
+// and records them likewise (BENCH_proto.json); with -bench-broker it
+// measures the batched publish pipeline through the sharded Broker at
+// batch sizes 1/16/256 over both the sequential and the wire engine
+// (BENCH_broker.json).
+//
+// -gate re-runs all three benchmark suites and diffs the deterministic
+// counters (allocs, message and round counts — never wall-clock fields)
+// against the committed BENCH_*.json baselines, failing on any
+// difference: the CI perf-gate job locks the recorded wins in.
+//
+// -loadgen drives the sharded Broker with concurrent publishers and
+// reports wall-clock throughput (the EXPERIMENTS.md loadgen table).
 //
 // Usage:
 //
 //	drtree-bench [-seed N] [-exp E1,E5,E7]
 //	drtree-bench -bench-core BENCH_core.json
 //	drtree-bench -bench-proto BENCH_proto.json
+//	drtree-bench -bench-broker BENCH_broker.json
+//	drtree-bench -gate
+//	drtree-bench -loadgen [-loadgen-publishers 1,2,4,8] [-loadgen-subs N] [-loadgen-events N] [-loadgen-batch K]
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand/v2"
 	"os"
+	"strconv"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"drtree/internal/core"
+	"drtree/internal/engine"
 	"drtree/internal/experiments"
+	"drtree/internal/filter"
 	"drtree/internal/geom"
 	"drtree/internal/proto"
+	"drtree/internal/pubsub"
 )
 
 func main() {
@@ -38,13 +59,31 @@ func run() int {
 	exp := flag.String("exp", "", "comma-separated experiment IDs (default: all)")
 	benchCore := flag.String("bench-core", "", "run the core hot-path benchmarks and write the baselines to this JSON file")
 	benchProto := flag.String("bench-proto", "", "run the wire-protocol dissemination benchmarks and write the baselines to this JSON file")
+	benchBroker := flag.String("bench-broker", "", "run the batched broker-pipeline benchmarks and write the baselines to this JSON file")
+	gate := flag.Bool("gate", false, "re-run all benchmark suites and fail if any deterministic counter differs from the committed BENCH_*.json")
+	loadgen := flag.Bool("loadgen", false, "drive the sharded broker with concurrent publishers and report wall-clock throughput")
+	lgPublishers := flag.String("loadgen-publishers", "1,2,4,8", "comma-separated publisher counts for -loadgen")
+	lgSubs := flag.Int("loadgen-subs", 1000, "subscriber population for -loadgen")
+	lgEvents := flag.Int("loadgen-events", 20000, "events published per -loadgen row")
+	lgBatch := flag.Int("loadgen-batch", 64, "events per PublishBatch call in -loadgen")
 	flag.Parse()
 
-	if *benchCore != "" {
+	switch {
+	case *benchCore != "":
 		return runBenchCore(*benchCore)
-	}
-	if *benchProto != "" {
+	case *benchProto != "":
 		return runBenchProto(*benchProto)
+	case *benchBroker != "":
+		return runBenchBroker(*benchBroker)
+	case *gate:
+		return runGate()
+	case *loadgen:
+		pubs, err := parseIntList(*lgPublishers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		return runLoadgen(pubs, *lgSubs, *lgEvents, *lgBatch)
 	}
 
 	want := map[string]bool{}
@@ -88,6 +127,48 @@ func run() int {
 	return 0
 }
 
+// parseIntList parses a comma-separated list of positive integers.
+func parseIntList(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("drtree-bench: bad count %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("drtree-bench: empty count list %q", s)
+	}
+	return out, nil
+}
+
+// writeJSON writes v to path as indented JSON with a trailing newline.
+func writeJSON(path string, v any) error {
+	out, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	return os.WriteFile(path, out, 0o644)
+}
+
+// readJSONStrict decodes path into v, rejecting unknown fields so the
+// committed baselines and the recorder cannot drift apart silently.
+func readJSONStrict(path string, v any) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
 // benchRecord is one recorded benchmark baseline.
 type benchRecord struct {
 	Name        string  `json:"name"`
@@ -96,14 +177,14 @@ type benchRecord struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 }
 
-// runBenchCore measures the two core hot paths guarded by this repo's
-// performance budget — a 1000-subscriber build-up (per-join cost) and
-// steady-state publishing on the resulting tree — and writes the result
-// as JSON. The workloads replicate BenchmarkJoin1000 and
-// BenchmarkPublishN1000 in internal/core seed-for-seed (PCG(2,2) for the
-// join build-up; benchTree's PCG(1,1000) build and continuing event
-// stream for publish) so numbers are comparable with `go test -bench`.
-func runBenchCore(path string) int {
+// measureBenchCore measures the two core hot paths guarded by this
+// repo's performance budget — a 1000-subscriber build-up (per-join cost)
+// and steady-state publishing on the resulting tree. The workloads
+// replicate BenchmarkJoin1000 and BenchmarkPublishN1000 in internal/core
+// seed-for-seed (PCG(2,2) for the join build-up; benchTree's PCG(1,1000)
+// build and continuing event stream for publish) so numbers are
+// comparable with `go test -bench`.
+func measureBenchCore() []benchRecord {
 	build := func(b *testing.B, s1, s2 uint64) (*core.Tree, *rand.Rand) {
 		rng := rand.New(rand.NewPCG(s1, s2))
 		tr := core.MustNew(core.Params{MinFanout: 2, MaxFanout: 4})
@@ -136,7 +217,7 @@ func runBenchCore(path string) int {
 		}
 	})
 
-	records := []benchRecord{
+	return []benchRecord{
 		{
 			Name:        "BenchmarkJoin1000",
 			NsPerOp:     float64(joinRes.NsPerOp()),
@@ -150,13 +231,12 @@ func runBenchCore(path string) int {
 			AllocsPerOp: publishRes.AllocsPerOp(),
 		},
 	}
-	out, err := json.MarshalIndent(records, "", "  ")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		return 1
-	}
-	out = append(out, '\n')
-	if err := os.WriteFile(path, out, 0o644); err != nil {
+}
+
+// runBenchCore records the core baselines to path.
+func runBenchCore(path string) int {
+	records := measureBenchCore()
+	if err := writeJSON(path, records); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
@@ -177,34 +257,31 @@ type protoRecord struct {
 	MsgsPerRound     float64 `json:"msgs_per_round"`
 }
 
-// runBenchProto measures the message-passing engine's dissemination
+// measureBenchProto measures the message-passing engine's dissemination
 // costs at two populations: the overlay is built and stabilized once,
 // then a fixed seeded event stream is published and the per-publish
 // latency (in network rounds) and message counts are averaged. The
 // numbers are deterministic — the round scheduler and the PCG seeds pin
 // every delivery — so the artifact doubles as a regression baseline for
 // protocol chattiness.
-func runBenchProto(path string) int {
+func measureBenchProto() ([]protoRecord, error) {
 	var records []protoRecord
 	for _, n := range []int{100, 400} {
 		const events = 200
 		cl, err := proto.NewCluster(proto.Config{MinFanout: 2, MaxFanout: 4})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			return 1
+			return nil, err
 		}
 		rng := rand.New(rand.NewPCG(uint64(n), 0xBE7C))
 		for i := 1; i <= n; i++ {
 			x, y := rng.Float64()*1000, rng.Float64()*1000
 			if err := cl.Join(core.ProcID(i), geom.R2(x, y, x+15, y+15)); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				return 1
+				return nil, err
 			}
 			cl.Step(false)
 		}
 		if st := cl.Stabilize(); !st.Converged {
-			fmt.Fprintf(os.Stderr, "population %d did not stabilize: %v\n", n, cl.CheckLegal())
-			return 1
+			return nil, fmt.Errorf("population %d did not stabilize: %v", n, cl.CheckLegal())
 		}
 		ids := cl.IDs()
 		var rounds, msgs int
@@ -212,8 +289,7 @@ func runBenchProto(path string) int {
 			ev := geom.Point{rng.Float64() * 1000, rng.Float64() * 1000}
 			d, err := cl.Publish(ids[k%len(ids)], ev)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				return 1
+				return nil, err
 			}
 			rounds += d.Rounds
 			msgs += d.Messages
@@ -227,13 +303,17 @@ func runBenchProto(path string) int {
 			MsgsPerRound:     float64(msgs) / float64(max(rounds, 1)),
 		})
 	}
-	out, err := json.MarshalIndent(records, "", "  ")
+	return records, nil
+}
+
+// runBenchProto records the wire-protocol baselines to path.
+func runBenchProto(path string) int {
+	records, err := measureBenchProto()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
-	out = append(out, '\n')
-	if err := os.WriteFile(path, out, 0o644); err != nil {
+	if err := writeJSON(path, records); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
@@ -242,5 +322,345 @@ func runBenchProto(path string) int {
 			r.Name, r.RoundsPerPublish, r.MsgsPerPublish, r.MsgsPerRound)
 	}
 	fmt.Printf("wrote %s\n", path)
+	return 0
+}
+
+// brokerRecord is one recorded broker batch-pipeline baseline. The
+// wall-clock NsPerEvent is informational only; AllocsPerEvent (sequential
+// engine; -1 when not measured), MsgsPerEvent and RoundsPerBatch are
+// deterministic and enforced by the perf gate.
+type brokerRecord struct {
+	Name           string  `json:"name"`
+	Engine         string  `json:"engine"`
+	Population     int     `json:"population"`
+	Batch          int     `json:"batch"`
+	NsPerEvent     float64 `json:"ns_per_event"`
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+	MsgsPerEvent   float64 `json:"msgs_per_event"`
+	RoundsPerBatch float64 `json:"rounds_per_batch"`
+}
+
+// batchSizes are the broker pipeline's measured batch sizes. Powers of
+// two keep the allocs/event division exact in float64, so the baseline
+// survives a JSON round trip bit-for-bit.
+var batchSizes = []int{1, 16, 256}
+
+// brokerWorkload builds a broker over eng with n seeded rectangle
+// subscribers and returns it with a fixed 256-event stream. Seeds are
+// pinned so every measurement (and every CI run) sees the same overlay
+// and the same events.
+func brokerWorkload(eng engine.Engine, n int) (*pubsub.Broker, []filter.Event, error) {
+	b, err := pubsub.New(filter.MustSpace("x", "y"), eng)
+	if err != nil {
+		return nil, nil, err
+	}
+	rng := rand.New(rand.NewPCG(uint64(n), 0xB20CE2))
+	for i := 1; i <= n; i++ {
+		x, y := rng.Float64()*1000, rng.Float64()*1000
+		f := filter.Range("x", x, x+15).And(filter.Range("y", y, y+15))
+		if err := b.Subscribe(core.ProcID(i), f); err != nil {
+			return nil, nil, err
+		}
+	}
+	evs := make([]filter.Event, 256)
+	for k := range evs {
+		evs[k] = filter.Event{"x": rng.Float64() * 1000, "y": rng.Float64() * 1000}
+	}
+	return b, evs, nil
+}
+
+// measureBenchBroker measures the batched publish pipeline end to end
+// through the sharded Broker: over the sequential engine (population
+// 1000; wall-clock and allocation cost per event as the batch grows) and
+// over the deterministic wire engine (population 100; message and round
+// cost per event — the shared round budget is what makes a proto batch
+// cheaper than sequential publishes).
+func measureBenchBroker() ([]brokerRecord, error) {
+	var records []brokerRecord
+
+	// Sequential engine: testing.Benchmark gives per-op wall/alloc costs;
+	// one op = one PublishBatch of the first `size` fixed events.
+	for _, size := range batchSizes {
+		tree, err := core.New(core.Params{MinFanout: 2, MaxFanout: 4})
+		if err != nil {
+			return nil, err
+		}
+		b, evs, err := brokerWorkload(tree, 1000)
+		if err != nil {
+			return nil, err
+		}
+		chunk := evs[:size]
+		notes, err := b.PublishBatch(1, chunk)
+		if err != nil {
+			return nil, err
+		}
+		msgs := 0
+		for _, n := range notes {
+			msgs += n.Messages
+		}
+		res := testing.Benchmark(func(bb *testing.B) {
+			bb.ReportAllocs()
+			for i := 0; i < bb.N; i++ {
+				if _, err := b.PublishBatch(1, chunk); err != nil {
+					bb.Fatal(err)
+				}
+			}
+		})
+		records = append(records, brokerRecord{
+			Name:           fmt.Sprintf("BrokerBatchCore/b%d", size),
+			Engine:         "core",
+			Population:     1000,
+			Batch:          size,
+			NsPerEvent:     float64(res.NsPerOp()) / float64(size),
+			AllocsPerEvent: float64(res.AllocsPerOp()) / float64(size),
+			MsgsPerEvent:   float64(msgs) / float64(size),
+		})
+	}
+
+	// Wire engine: the round scheduler is deterministic, so one measured
+	// batch pins msgs/event and rounds/batch exactly; wall time is
+	// informational.
+	cl, err := proto.NewCluster(proto.Config{MinFanout: 2, MaxFanout: 4})
+	if err != nil {
+		return nil, err
+	}
+	bp, evs, err := brokerWorkload(cl, 100)
+	if err != nil {
+		return nil, err
+	}
+	if st := bp.Repair(); !st.Converged {
+		return nil, fmt.Errorf("broker wire overlay did not stabilize")
+	}
+	for _, size := range batchSizes {
+		chunk := evs[:size]
+		start := time.Now()
+		notes, err := bp.PublishBatch(1, chunk)
+		if err != nil {
+			return nil, err
+		}
+		elapsed := time.Since(start)
+		msgs := 0
+		for _, n := range notes {
+			msgs += n.Messages
+		}
+		records = append(records, brokerRecord{
+			Name:           fmt.Sprintf("BrokerBatchProto/b%d", size),
+			Engine:         "proto",
+			Population:     100,
+			Batch:          size,
+			NsPerEvent:     float64(elapsed.Nanoseconds()) / float64(size),
+			AllocsPerEvent: -1,
+			MsgsPerEvent:   float64(msgs) / float64(size),
+			RoundsPerBatch: float64(notes[0].Rounds),
+		})
+	}
+	return records, nil
+}
+
+// runBenchBroker records the broker batch-pipeline baselines to path.
+func runBenchBroker(path string) int {
+	records, err := measureBenchBroker()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if err := writeJSON(path, records); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	for _, r := range records {
+		fmt.Printf("%-22s %10.0f ns/event %8.2f allocs/event %8.2f msgs/event %6.0f rounds/batch\n",
+			r.Name, r.NsPerEvent, r.AllocsPerEvent, r.MsgsPerEvent, r.RoundsPerBatch)
+	}
+	fmt.Printf("wrote %s\n", path)
+	return 0
+}
+
+// gateViolations diffs the deterministic counters of the three suites
+// against the committed baselines, returning one message per mismatch.
+// Wall-clock and byte counters are never compared; a mismatch in either
+// direction fails (an improvement means the baseline must be re-recorded
+// and committed so the win is locked in).
+func gateViolations(coreGot, coreWant []benchRecord, protoGot, protoWant []protoRecord, brokerGot, brokerWant []brokerRecord) []string {
+	var out []string
+	mismatch := func(format string, args ...any) {
+		out = append(out, fmt.Sprintf(format, args...))
+	}
+	if len(coreGot) != len(coreWant) {
+		mismatch("core: %d records, baseline has %d", len(coreGot), len(coreWant))
+	} else {
+		for i := range coreGot {
+			g, w := coreGot[i], coreWant[i]
+			if g.Name != w.Name {
+				mismatch("core[%d]: name %q, baseline %q", i, g.Name, w.Name)
+			} else if g.AllocsPerOp != w.AllocsPerOp {
+				mismatch("core %s: %d allocs/op, baseline %d", g.Name, g.AllocsPerOp, w.AllocsPerOp)
+			}
+		}
+	}
+	if len(protoGot) != len(protoWant) {
+		mismatch("proto: %d records, baseline has %d", len(protoGot), len(protoWant))
+	} else {
+		for i := range protoGot {
+			g, w := protoGot[i], protoWant[i]
+			if g.Name != w.Name {
+				mismatch("proto[%d]: name %q, baseline %q", i, g.Name, w.Name)
+				continue
+			}
+			if g.RoundsPerPublish != w.RoundsPerPublish {
+				mismatch("proto %s: %.4f rounds/publish, baseline %.4f", g.Name, g.RoundsPerPublish, w.RoundsPerPublish)
+			}
+			if g.MsgsPerPublish != w.MsgsPerPublish {
+				mismatch("proto %s: %.4f msgs/publish, baseline %.4f", g.Name, g.MsgsPerPublish, w.MsgsPerPublish)
+			}
+			if g.MsgsPerRound != w.MsgsPerRound {
+				mismatch("proto %s: %.4f msgs/round, baseline %.4f", g.Name, g.MsgsPerRound, w.MsgsPerRound)
+			}
+		}
+	}
+	if len(brokerGot) != len(brokerWant) {
+		mismatch("broker: %d records, baseline has %d", len(brokerGot), len(brokerWant))
+	} else {
+		for i := range brokerGot {
+			g, w := brokerGot[i], brokerWant[i]
+			if g.Name != w.Name {
+				mismatch("broker[%d]: name %q, baseline %q", i, g.Name, w.Name)
+				continue
+			}
+			if g.MsgsPerEvent != w.MsgsPerEvent {
+				mismatch("broker %s: %.4f msgs/event, baseline %.4f", g.Name, g.MsgsPerEvent, w.MsgsPerEvent)
+			}
+			if g.RoundsPerBatch != w.RoundsPerBatch {
+				mismatch("broker %s: %.0f rounds/batch, baseline %.0f", g.Name, g.RoundsPerBatch, w.RoundsPerBatch)
+			}
+			// Allocation counts are gated only where both sides measured
+			// them (the wire engine's grow-only actor state makes its
+			// allocs non-constant, recorded as -1).
+			if g.AllocsPerEvent >= 0 && w.AllocsPerEvent >= 0 && g.AllocsPerEvent != w.AllocsPerEvent {
+				mismatch("broker %s: %.4f allocs/event, baseline %.4f", g.Name, g.AllocsPerEvent, w.AllocsPerEvent)
+			}
+		}
+	}
+	return out
+}
+
+// runGate re-runs every benchmark suite and compares the deterministic
+// counters against the committed baselines in the current directory.
+func runGate() int {
+	var coreWant []benchRecord
+	var protoWant []protoRecord
+	var brokerWant []brokerRecord
+	for path, v := range map[string]any{
+		"BENCH_core.json":   &coreWant,
+		"BENCH_proto.json":  &protoWant,
+		"BENCH_broker.json": &brokerWant,
+	} {
+		if err := readJSONStrict(path, v); err != nil {
+			fmt.Fprintf(os.Stderr, "perf-gate: reading %s: %v\n", path, err)
+			return 1
+		}
+	}
+	coreGot := measureBenchCore()
+	protoGot, err := measureBenchProto()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "perf-gate: proto suite: %v\n", err)
+		return 1
+	}
+	brokerGot, err := measureBenchBroker()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "perf-gate: broker suite: %v\n", err)
+		return 1
+	}
+	violations := gateViolations(coreGot, coreWant, protoGot, protoWant, brokerGot, brokerWant)
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintf(os.Stderr, "perf-gate: MISMATCH %s\n", v)
+		}
+		fmt.Fprintln(os.Stderr, "perf-gate: deterministic counters drifted from the committed baselines.")
+		fmt.Fprintln(os.Stderr, "perf-gate: if the change is intended (a recorded win or an accepted cost), re-run")
+		fmt.Fprintln(os.Stderr, "perf-gate:   drtree-bench -bench-core BENCH_core.json -- then -bench-proto / -bench-broker likewise --")
+		fmt.Fprintln(os.Stderr, "perf-gate: and commit the refreshed baselines with the change.")
+		return 1
+	}
+	fmt.Printf("perf-gate: OK — %d core, %d proto, %d broker records match the committed baselines\n",
+		len(coreGot), len(protoGot), len(brokerGot))
+	return 0
+}
+
+// runLoadgen builds a 1000-subscriber broker over the sequential engine
+// and, for each publisher count, streams a fixed event load through
+// PublishBatch from that many concurrent goroutines, printing the
+// wall-clock throughput. The broker's sharded subscriber table keeps the
+// per-event match scan parallel; the overlay traversal serializes behind
+// the engine mutex, so the scaling shows how much of the pipeline the
+// sharding took off the critical path.
+func runLoadgen(pubCounts []int, subs, events, batchSize int) int {
+	if subs < 1 || events < 1 || batchSize < 1 {
+		fmt.Fprintln(os.Stderr, "drtree-bench: -loadgen sizes must be positive")
+		return 1
+	}
+	fmt.Printf("loadgen: %d subscribers, %d events per row, batch size %d\n", subs, events, batchSize)
+	fmt.Printf("%-12s %12s %14s %14s\n", "publishers", "wall (ms)", "events/sec", "msgs/event")
+	for _, p := range pubCounts {
+		tree, err := core.New(core.Params{MinFanout: 2, MaxFanout: 4})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		b, evs, err := brokerWorkload(tree, subs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		var wg sync.WaitGroup
+		var totalMsgs int64
+		var firstErr error
+		var mu sync.Mutex
+		start := time.Now()
+		for w := 0; w < p; w++ {
+			// Distribute the remainder so exactly `events` are published
+			// whatever the publisher count.
+			perPub := events / p
+			if w < events%p {
+				perPub++
+			}
+			wg.Add(1)
+			go func(w, perPub int) {
+				defer wg.Done()
+				producer := core.ProcID(1 + w%subs)
+				msgs := int64(0)
+				var err error
+				for done := 0; done < perPub && err == nil; {
+					n := min(batchSize, perPub-done)
+					chunk := make([]filter.Event, n)
+					for i := range chunk {
+						chunk[i] = evs[(done+i)%len(evs)]
+					}
+					var notes []pubsub.Notification
+					notes, err = b.PublishBatch(producer, chunk)
+					for _, note := range notes {
+						msgs += int64(note.Messages)
+					}
+					done += n
+				}
+				mu.Lock()
+				totalMsgs += msgs
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}(w, perPub)
+		}
+		wg.Wait()
+		wall := time.Since(start)
+		if firstErr != nil {
+			fmt.Fprintf(os.Stderr, "drtree-bench: loadgen publish failed: %v\n", firstErr)
+			return 1
+		}
+		fmt.Printf("%-12d %12.1f %14.0f %14.2f\n",
+			p, float64(wall.Microseconds())/1000,
+			float64(events)/wall.Seconds(),
+			float64(totalMsgs)/float64(events))
+	}
 	return 0
 }

@@ -86,6 +86,154 @@ func TestBenchProtoSmoke(t *testing.T) {
 	}
 }
 
+// TestBenchBrokerSmoke runs the -bench-broker path into a temp file and
+// validates the recorded JSON against the committed BENCH_broker.json
+// baseline: same schema, and exact equality on every deterministic
+// counter (allocs/event where measured, msgs/event, rounds/batch) —
+// the same comparison the CI perf gate enforces.
+func TestBenchBrokerSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real benchmarks")
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if code := runBenchBroker(path); code != 0 {
+		t.Fatalf("runBenchBroker exited %d", code)
+	}
+	got := decodeBrokerRecords(t, path)
+	committed := decodeBrokerRecords(t, filepath.Join("..", "..", "BENCH_broker.json"))
+
+	if len(got) != len(committed) {
+		t.Fatalf("recorded %d benchmarks, baseline has %d", len(got), len(committed))
+	}
+	for i := range got {
+		g, w := got[i], committed[i]
+		if g.Name != w.Name || g.Engine != w.Engine || g.Population != w.Population || g.Batch != w.Batch {
+			t.Errorf("benchmark %d: identity %+v, baseline %+v", i, g, w)
+			continue
+		}
+		if g.MsgsPerEvent != w.MsgsPerEvent || g.RoundsPerBatch != w.RoundsPerBatch {
+			t.Errorf("benchmark %s: deterministic counters %+v, baseline %+v", g.Name, g, w)
+		}
+		if g.AllocsPerEvent >= 0 && g.AllocsPerEvent != w.AllocsPerEvent {
+			t.Errorf("benchmark %s: %.4f allocs/event, baseline %.4f", g.Name, g.AllocsPerEvent, w.AllocsPerEvent)
+		}
+		if g.NsPerEvent <= 0 {
+			t.Errorf("benchmark %s: non-positive wall measurement %+v", g.Name, g)
+		}
+	}
+}
+
+// decodeBrokerRecords parses a broker baselines file strictly.
+func decodeBrokerRecords(t *testing.T, path string) []brokerRecord {
+	t.Helper()
+	var recs []brokerRecord
+	if err := readJSONStrict(path, &recs); err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+	if len(recs) == 0 {
+		t.Fatalf("%s: no records", path)
+	}
+	return recs
+}
+
+// TestGateViolations exercises the perf gate's comparison rules on
+// synthetic records: identical inputs pass; drift in any deterministic
+// counter (either direction) fails; wall-clock drift never fails;
+// unmeasured alloc counts (-1) are exempt.
+func TestGateViolations(t *testing.T) {
+	coreRecs := []benchRecord{{Name: "J", NsPerOp: 100, BytesPerOp: 5, AllocsPerOp: 42}}
+	protoRecs := []protoRecord{{Name: "P", Population: 100, Events: 10, RoundsPerPublish: 3, MsgsPerPublish: 7, MsgsPerRound: 2.5}}
+	brokerRecs := []brokerRecord{
+		{Name: "B/core", Engine: "core", Population: 10, Batch: 16, NsPerEvent: 50, AllocsPerEvent: 2.5, MsgsPerEvent: 7},
+		{Name: "B/proto", Engine: "proto", Population: 10, Batch: 16, NsPerEvent: 50, AllocsPerEvent: -1, MsgsPerEvent: 6, RoundsPerBatch: 4},
+	}
+	clone := func() ([]benchRecord, []protoRecord, []brokerRecord) {
+		return append([]benchRecord(nil), coreRecs...),
+			append([]protoRecord(nil), protoRecs...),
+			append([]brokerRecord(nil), brokerRecs...)
+	}
+
+	if v := gateViolations(coreRecs, coreRecs, protoRecs, protoRecs, brokerRecs, brokerRecs); len(v) != 0 {
+		t.Fatalf("identical records must pass, got %v", v)
+	}
+
+	c, p, b := clone()
+	c[0].NsPerOp, p[0].Events, b[0].NsPerEvent = 9999, 10, 9999
+	if v := gateViolations(c, coreRecs, p, protoRecs, b, brokerRecs); len(v) != 0 {
+		t.Errorf("wall-clock drift must not fail the gate: %v", v)
+	}
+
+	c, p, b = clone()
+	c[0].AllocsPerOp = 41 // an improvement still requires re-recording
+	if v := gateViolations(c, coreRecs, p, protoRecs, b, brokerRecs); len(v) != 1 {
+		t.Errorf("core alloc drift must fail once, got %v", v)
+	}
+
+	c, p, b = clone()
+	p[0].MsgsPerPublish = 8
+	b[1].RoundsPerBatch = 5
+	if v := gateViolations(c, coreRecs, p, protoRecs, b, brokerRecs); len(v) != 2 {
+		t.Errorf("proto msgs + broker rounds drift must fail twice, got %v", v)
+	}
+
+	c, p, b = clone()
+	b[1].AllocsPerEvent = 3 // baseline recorded -1: exempt
+	if v := gateViolations(c, coreRecs, p, protoRecs, b, brokerRecs); len(v) != 0 {
+		t.Errorf("unmeasured alloc baseline must be exempt, got %v", v)
+	}
+
+	if v := gateViolations(nil, coreRecs, protoRecs, protoRecs, brokerRecs, brokerRecs); len(v) != 1 {
+		t.Errorf("record-count drift must fail, got %v", v)
+	}
+}
+
+// TestGateEndToEnd runs the real perf gate from the repository root: it
+// must re-measure all three suites and find them exactly equal to the
+// committed baselines. This is the same invocation the CI perf-gate job
+// uses, so a drifted baseline fails here first.
+func TestGateEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs all benchmark suites")
+	}
+	t.Chdir(filepath.Join("..", ".."))
+	if code := runGate(); code != 0 {
+		t.Fatalf("runGate exited %d against the committed baselines", code)
+	}
+}
+
+// TestGateMissingBaseline covers the gate's unreadable-baseline path.
+func TestGateMissingBaseline(t *testing.T) {
+	t.Chdir(t.TempDir())
+	if code := runGate(); code == 0 {
+		t.Fatal("runGate must fail without committed baselines")
+	}
+}
+
+// TestParseIntList covers the -loadgen-publishers parser.
+func TestParseIntList(t *testing.T) {
+	if got, err := parseIntList("1, 2,8"); err != nil || len(got) != 3 || got[2] != 8 {
+		t.Errorf("parseIntList: %v, %v", got, err)
+	}
+	for _, bad := range []string{"", "0", "x", "-2"} {
+		if _, err := parseIntList(bad); err == nil {
+			t.Errorf("parseIntList(%q) must error", bad)
+		}
+	}
+}
+
+// TestLoadgenSmoke runs a tiny loadgen sweep end to end.
+func TestLoadgenSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("publishes a real event load")
+	}
+	if code := runLoadgen([]int{1, 2}, 50, 400, 16); code != 0 {
+		t.Fatalf("runLoadgen exited %d", code)
+	}
+	if code := runLoadgen([]int{1}, 0, 1, 1); code == 0 {
+		t.Fatal("invalid sizes must fail")
+	}
+}
+
 // decodeProtoRecords parses a proto baselines file strictly: unknown or
 // missing fields mean the schema drifted.
 func decodeProtoRecords(t *testing.T, path string) []protoRecord {

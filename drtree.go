@@ -24,6 +24,10 @@
 //	eng.Join(1, drtree.R2(0, 0, 10, 10))
 //	eng.Join(2, drtree.R2(5, 5, 20, 20))
 //	delivery, _ := eng.Publish(1, drtree.Point{7, 7})
+//	batch, _ := eng.PublishBatch([]drtree.Publication{
+//		{Producer: 1, Event: drtree.Point{7, 7}},
+//		{Producer: 2, Event: drtree.Point{12, 12}},
+//	})
 //
 // See examples/ for runnable programs and DESIGN.md for the paper
 // reproduction map.
@@ -88,6 +92,12 @@ type (
 	StabReport = core.StabReport
 	// Delivery is the unified dissemination result of Engine.Publish.
 	Delivery = core.Delivery
+	// Publication is one entry of an Engine.PublishBatch batch: an event
+	// and the process that produces it. Batches keep multiple events in
+	// flight at once (shared scratch in the sequential engine, shared
+	// round budget on the wire, pipelined injection in the live runtime)
+	// while delivering exactly like sequential publishes.
+	Publication = core.Publication
 	// Election is a parent/root election policy.
 	Election = core.Election
 	// LargestMBR is the paper's election rule (Figure 6).

@@ -79,6 +79,22 @@ func TestOpenAllEngines(t *testing.T) {
 			if fn := drtree.FalseNegatives(eng, d, drtree.Point{35, 10}); len(fn) != 0 {
 				t.Fatalf("engine %s: matching subscribers %v missed %+v", kind, fn, d)
 			}
+			batch := []drtree.Publication{
+				{Producer: 3, Event: drtree.Point{35, 10}},
+				{Producer: 5, Event: drtree.Point{62, 10}},
+			}
+			ds, err := eng.PublishBatch(batch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(ds) != len(batch) {
+				t.Fatalf("batch returned %d deliveries", len(ds))
+			}
+			for k := range ds {
+				if fn := drtree.FalseNegatives(eng, ds[k], batch[k].Event); len(fn) != 0 {
+					t.Fatalf("engine %s batch %d: matching subscribers %v missed %+v", kind, k, fn, ds[k])
+				}
+			}
 			if err := eng.Crash(2); err != nil {
 				t.Fatal(err)
 			}

@@ -80,6 +80,17 @@ func (t *Tree) join(id ProcID, f geom.Rect, upHops int) (JoinStats, error) {
 		return JoinStats{}, fmt.Errorf("core: filter has %d dims, tree uses %d", f.Dims(), d)
 	}
 
+	// A crash can leave the root reference dangling until the periodic
+	// checks fire. A join routes from the root and the paper's connection
+	// oracle always names a live one, so repair the reference eagerly
+	// before routing.
+	if len(t.procs) > 0 {
+		if rp := t.procs[t.rootID]; rp == nil || rp.At(t.rootH) == nil {
+			var rst StabReport
+			t.ensureRoot(&rst)
+		}
+	}
+
 	p := &Process{ID: id, Filter: f, Inst: make([]*Instance, 0, 4)}
 	t.procs[id] = p
 	leaf := t.newInstance(p, 0)
@@ -114,7 +125,16 @@ func (t *Tree) join(id ProcID, f geom.Rect, upHops int) (JoinStats, error) {
 		for h > 1 {
 			in := t.instance(cur, h)
 			in.MBR = in.MBR.Union(f)
-			cur = t.chooseBestChild(in, h, f)
+			next := t.chooseBestChild(in, h, f)
+			if next == NoProc {
+				// Every child reference at this level is stale (crashes the
+				// checks have not repaired yet): park the new leaf as a
+				// fragment for the next stabilization pass, like ADD_CHILD
+				// does when its target vanishes mid-repair.
+				t.pendingFragments = append(t.pendingFragments, fragment{id: id, h: 0})
+				return st, nil
+			}
+			cur = next
 			h--
 			st.DownHops++
 		}

@@ -44,6 +44,28 @@ func (t *Tree) Publish(producer ProcID, ev geom.Point) (Delivery, error) {
 		return Delivery{}, fmt.Errorf("core: event has %d dims, tree uses %d", len(ev), d)
 	}
 	var d Delivery
+	t.disseminate(producer, ev, &d)
+
+	d.Received = make([]ProcID, len(t.pubIDs))
+	copy(d.Received, t.pubIDs)
+	slices.Sort(d.Received)
+	for _, id := range d.Received {
+		if t.procs[id].Filter.ContainsPoint(ev) {
+			d.TruePositives = append(d.TruePositives, id)
+		} else {
+			d.FalsePositives = append(d.FalsePositives, id)
+		}
+	}
+	return d, nil
+}
+
+// disseminate runs one event through the overlay, recording receivers in
+// t.pubIDs (unsorted) and the message/visit counters in d. Callers
+// materialize the Delivery slices from t.pubIDs afterwards; the split
+// lets Publish and PublishBatch share the routing while choosing their
+// own result-memory strategy.
+func (t *Tree) disseminate(producer ProcID, ev geom.Point, d *Delivery) {
+	p := t.procs[producer]
 	if t.pubSeen == nil {
 		t.pubSeen = make(map[ProcID]int, len(t.procs))
 	}
@@ -54,7 +76,7 @@ func (t *Tree) Publish(producer ProcID, ev geom.Point) (Delivery, error) {
 	t.receive(producer, ev)
 
 	// Descend into the producer's own subtree from its topmost instance.
-	t.descend(producer, p.Top, producer, ev, &d)
+	t.descend(producer, p.Top, producer, ev, d)
 
 	// Climb to the root; at each parent, fan out into sibling subtrees
 	// whose MBR contains the event.
@@ -88,23 +110,78 @@ func (t *Tree) Publish(producer ProcID, ev geom.Point) (Delivery, error) {
 				}
 				d.InstanceVisits++
 				t.receive(c, ev)
-				t.descend(c, h, parent, ev, &d)
+				t.descend(c, h, parent, ev, d)
 			}
 		}
 		cur, h = parent, h+1
 	}
+}
 
-	d.Received = make([]ProcID, len(t.pubIDs))
-	copy(d.Received, t.pubIDs)
-	slices.Sort(d.Received)
-	for _, id := range d.Received {
-		if t.procs[id].Filter.ContainsPoint(ev) {
-			d.TruePositives = append(d.TruePositives, id)
-		} else {
-			d.FalsePositives = append(d.FalsePositives, id)
+// Publication is one entry of a publish batch: an event and the process
+// that produces it.
+type Publication struct {
+	Producer ProcID
+	Event    geom.Point
+}
+
+// PublishBatch disseminates a batch of events and returns one Delivery
+// per entry, index-aligned with the batch. Deliveries are identical to
+// len(batch) sequential Publish calls (the routing is the same state
+// transition, certified by internal/enginetest); the batch amortizes the
+// per-event costs — input validation and the dimensionality check happen
+// once, the per-tree dissemination scratch stays hot, and the result
+// slices of the whole batch share three backing arrays instead of
+// allocating three per event.
+func (t *Tree) PublishBatch(batch []Publication) ([]Delivery, error) {
+	out := make([]Delivery, len(batch))
+	if len(batch) == 0 {
+		return out, nil
+	}
+	dims := t.dims()
+	for i := range batch {
+		if t.procs[batch[i].Producer] == nil {
+			return nil, fmt.Errorf("core: producer %d not in the tree", batch[i].Producer)
+		}
+		if len(batch[i].Event) != dims {
+			return nil, fmt.Errorf("core: event has %d dims, tree uses %d", len(batch[i].Event), dims)
 		}
 	}
-	return d, nil
+
+	// One receiver arena for the whole batch: segments are cut after the
+	// dissemination loop because append may move the backing array.
+	offs := make([]int, len(batch)+1)
+	var arena []ProcID
+	for i := range batch {
+		t.disseminate(batch[i].Producer, batch[i].Event, &out[i])
+		arena = append(arena, t.pubIDs...)
+		offs[i+1] = len(arena)
+	}
+
+	// Every receiver is exactly one of true/false positive, so two more
+	// arenas of the same total capacity hold every classification without
+	// reallocating (the three-index sub-slices keep segments independent).
+	tp := make([]ProcID, 0, len(arena))
+	fp := make([]ProcID, 0, len(arena))
+	for i := range batch {
+		seg := arena[offs[i]:offs[i+1]:offs[i+1]]
+		slices.Sort(seg)
+		out[i].Received = seg
+		t0, f0 := len(tp), len(fp)
+		for _, id := range seg {
+			if t.procs[id].Filter.ContainsPoint(batch[i].Event) {
+				tp = append(tp, id)
+			} else {
+				fp = append(fp, id)
+			}
+		}
+		if len(tp) > t0 {
+			out[i].TruePositives = tp[t0:len(tp):len(tp)]
+		}
+		if len(fp) > f0 {
+			out[i].FalsePositives = fp[f0:len(fp):len(fp)]
+		}
+	}
+	return out, nil
 }
 
 // descend forwards the event down from instance (id, h) into every child
@@ -263,26 +340,34 @@ func (r AccuracyReport) FPRate() float64 {
 	return float64(r.FalsePositives) / float64(r.Deliveries)
 }
 
-// PublishAll publishes every event from the given producer and verifies
-// delivery against the ground truth (every matching subscriber must
-// receive every event — no false negatives, §2.3).
+// PublishAll publishes every event from the given producer (as one
+// batch through the amortized pipeline) and verifies delivery against
+// the ground truth (every matching subscriber must receive every event —
+// no false negatives, §2.3).
 func (t *Tree) PublishAll(producer ProcID, events []geom.Point) (AccuracyReport, error) {
 	var rep AccuracyReport
-	for _, ev := range events {
-		d, err := t.Publish(producer, ev)
-		if err != nil {
-			return rep, err
-		}
+	batch := make([]Publication, len(events))
+	for i, ev := range events {
+		batch[i] = Publication{Producer: producer, Event: ev}
+	}
+	ds, err := t.PublishBatch(batch)
+	if err != nil {
+		return rep, err
+	}
+	ids := t.ProcIDs()
+	got := make(map[ProcID]bool, len(t.procs))
+	for i, d := range ds {
+		ev := events[i]
 		rep.Events++
 		rep.Deliveries += len(d.Received)
 		rep.TruePositives += len(d.TruePositives)
 		rep.FalsePositives += len(d.FalsePositives)
 		rep.Messages += d.Messages
-		got := make(map[ProcID]bool, len(d.Received))
+		clear(got)
 		for _, id := range d.Received {
 			got[id] = true
 		}
-		for _, id := range t.ProcIDs() {
+		for _, id := range ids {
 			if t.procs[id].Filter.ContainsPoint(ev) && !got[id] {
 				rep.FalseNegatives++
 			}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"math/rand/v2"
+	"reflect"
+	"testing"
+
+	"drtree/internal/geom"
+)
+
+// buildBatchTree grows a seeded tree for the batch tests.
+func buildBatchTree(t *testing.T, n int, seed uint64) *Tree {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(seed, seed))
+	tr := MustNew(Params{MinFanout: 2, MaxFanout: 4})
+	for i := 1; i <= n; i++ {
+		x, y := rng.Float64()*200, rng.Float64()*200
+		if err := tr.Join(ProcID(i), geom.R2(x, y, x+20, y+20)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tr
+}
+
+// TestPublishBatchMatchesSequential runs the same seeded event stream
+// through Publish and PublishBatch on twin trees and requires identical
+// Deliveries — receivers, classification, message and visit counts.
+func TestPublishBatchMatchesSequential(t *testing.T) {
+	const n, events = 120, 64
+	rng := rand.New(rand.NewPCG(3, 33))
+	batch := make([]Publication, events)
+	for k := range batch {
+		batch[k] = Publication{
+			Producer: ProcID(1 + rng.IntN(n)),
+			Event:    geom.Point{rng.Float64() * 220, rng.Float64() * 220},
+		}
+	}
+
+	seq := buildBatchTree(t, n, 9)
+	var want []Delivery
+	for _, pb := range batch {
+		d, err := seq.Publish(pb.Producer, pb.Event)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, d)
+	}
+
+	got, err := buildBatchTree(t, n, 9).PublishBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != events {
+		t.Fatalf("batch returned %d deliveries, want %d", len(got), events)
+	}
+	for k := range got {
+		if !reflect.DeepEqual(got[k], want[k]) {
+			t.Errorf("event %d: batch %+v, sequential %+v", k, got[k], want[k])
+		}
+	}
+}
+
+// TestPublishBatchValidation covers the batch entry's error paths: the
+// whole batch is validated before any event disseminates.
+func TestPublishBatchValidation(t *testing.T) {
+	tr := buildBatchTree(t, 10, 4)
+	if ds, err := tr.PublishBatch(nil); err != nil || len(ds) != 0 {
+		t.Errorf("empty batch: %v, %v", ds, err)
+	}
+	before := tr.Proc(1).Delivered
+	if _, err := tr.PublishBatch([]Publication{
+		{Producer: 1, Event: geom.Point{1, 1}},
+		{Producer: 999, Event: geom.Point{1, 1}},
+	}); err == nil {
+		t.Error("unknown producer must error")
+	}
+	if _, err := tr.PublishBatch([]Publication{
+		{Producer: 1, Event: geom.Point{1, 1}},
+		{Producer: 2, Event: geom.Point{1}},
+	}); err == nil {
+		t.Error("dimension mismatch must error")
+	}
+	if got := tr.Proc(1).Delivered; got != before {
+		t.Errorf("failed validation must not deliver anything (Delivered %d -> %d)", before, got)
+	}
+}
+
+// TestPublishBatchSharedArenas makes sure the per-event result slices
+// cut from the shared arenas are independent: mutating one delivery's
+// slices must not leak into another's.
+func TestPublishBatchSharedArenas(t *testing.T) {
+	tr := buildBatchTree(t, 40, 5)
+	batch := []Publication{
+		{Producer: 1, Event: geom.Point{50, 50}},
+		{Producer: 2, Event: geom.Point{120, 120}},
+		{Producer: 3, Event: geom.Point{80, 30}},
+	}
+	ds, err := tr.PublishBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshot := make([][]ProcID, len(ds))
+	for i := range ds {
+		snapshot[i] = append([]ProcID(nil), ds[i].Received...)
+	}
+	// Appending through one segment must not clobber its neighbours.
+	for i := range ds {
+		ds[i].Received = append(ds[i].Received, 9999)
+		ds[i].TruePositives = append(ds[i].TruePositives, 9999)
+		ds[i].FalsePositives = append(ds[i].FalsePositives, 9999)
+	}
+	for i := range ds {
+		if !reflect.DeepEqual(ds[i].Received[:len(snapshot[i])], snapshot[i]) {
+			t.Errorf("event %d: appending to a sibling delivery corrupted Received", i)
+		}
+	}
+}

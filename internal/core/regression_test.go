@@ -163,3 +163,53 @@ func TestRegressionChurnCorruptionNoFalseNegatives(t *testing.T) {
 		}
 	}
 }
+
+// TestRegressionJoinAfterCrashNoStabilize sweeps seeded join/leave/crash
+// interleavings with no stabilization between operations. A Crash leaves
+// the root reference dangling until the periodic checks fire, and Join
+// once dereferenced that dead root (nil instance panic, found by the
+// concurrent-broker hammer in internal/pubsub); joins must instead
+// repair the reference eagerly, like the connection oracle naming a live
+// root. After each churn burst, Stabilize must still restore legality.
+func TestRegressionJoinAfterCrashNoStabilize(t *testing.T) {
+	for seed := uint64(0); seed < 60; seed++ {
+		rng := rand.New(rand.NewPCG(seed, 1))
+		tr := MustNew(Params{MinFanout: 2, MaxFanout: 4})
+		live := map[ProcID]bool{}
+		for k := 0; k < 400; k++ {
+			id := ProcID(1 + rng.IntN(25))
+			switch rng.IntN(4) {
+			case 0, 1:
+				if !live[id] {
+					x, y := rng.Float64()*80, rng.Float64()*80
+					if err := tr.Join(id, geom.R2(x, y, x+15, y+15)); err != nil {
+						t.Fatalf("seed %d: join %d: %v", seed, id, err)
+					}
+					live[id] = true
+				}
+			case 2:
+				if live[id] {
+					if err := tr.Leave(id); err != nil {
+						t.Fatalf("seed %d: leave %d: %v", seed, id, err)
+					}
+					delete(live, id)
+				}
+			case 3:
+				if live[id] {
+					if err := tr.Crash(id); err != nil {
+						t.Fatalf("seed %d: crash %d: %v", seed, id, err)
+					}
+					delete(live, id)
+				}
+			}
+		}
+		if st := tr.Stabilize(); !st.Converged {
+			t.Fatalf("seed %d: stabilization did not converge", seed)
+		}
+		if len(live) > 0 {
+			if err := tr.CheckLegal(); err != nil {
+				t.Fatalf("seed %d: illegal after churn + stabilize: %v", seed, err)
+			}
+		}
+	}
+}

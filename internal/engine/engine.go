@@ -42,6 +42,16 @@ type Engine interface {
 	// Publish disseminates an event from producer and reports the
 	// unified delivery accounting.
 	Publish(producer core.ProcID, ev geom.Point) (core.Delivery, error)
+	// PublishBatch disseminates a batch of events with multiple
+	// publications in flight at once, returning one Delivery per entry,
+	// index-aligned with the batch. On a quiescent overlay it is
+	// delivery-equivalent to len(batch) sequential Publish calls
+	// (certified by internal/enginetest); engines exploit the batch for
+	// amortization — shared dissemination scratch and result arenas
+	// (core), multiple in-flight events per round under one shared round
+	// budget (proto), pipelined event injection with in-flight tracking
+	// (live). Message counts are attributed per event.
+	PublishBatch(batch []core.Publication) ([]core.Delivery, error)
 	// Stabilize runs the paper's periodic CHECK_* verifications until
 	// the configuration stops changing (or an engine budget runs out,
 	// reported via Converged=false).

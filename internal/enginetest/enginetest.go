@@ -38,6 +38,10 @@ type Checkpoint struct {
 	// Deliveries holds the true-positive receiver set of each probe
 	// publish in the window, in schedule order.
 	Deliveries [][]core.ProcID
+	// BatchDeliveries holds the true-positive receiver sets of the same
+	// probes re-published as one PublishBatch call; a conforming engine's
+	// batch path delivers exactly like its sequential path.
+	BatchDeliveries [][]core.ProcID
 }
 
 // Transcript is the full observable outcome of the schedule, built from
@@ -74,6 +78,15 @@ func (tr *Transcript) Equal(other *Transcript) error {
 			if !slices.Equal(a.Deliveries[k], b.Deliveries[k]) {
 				return fmt.Errorf("checkpoint %s probe %d: deliveries differ (%v vs %v)",
 					a.Label, k, a.Deliveries[k], b.Deliveries[k])
+			}
+		}
+		if len(a.BatchDeliveries) != len(b.BatchDeliveries) {
+			return fmt.Errorf("checkpoint %s: batch probe counts differ", a.Label)
+		}
+		for k := range a.BatchDeliveries {
+			if !slices.Equal(a.BatchDeliveries[k], b.BatchDeliveries[k]) {
+				return fmt.Errorf("checkpoint %s batch probe %d: deliveries differ (%v vs %v)",
+					a.Label, k, a.BatchDeliveries[k], b.BatchDeliveries[k])
 			}
 		}
 	}
@@ -261,6 +274,34 @@ func (s *suite) checkpoint(label string, probes []geom.Point) {
 		// Record what the engine reported, not the ground truth, so the
 		// transcript is an observation of the engine under test.
 		cp.Deliveries = append(cp.Deliveries, d.TruePositives)
+	}
+
+	// Batch certification: the same probes re-published as one
+	// PublishBatch call must deliver exactly like the sequential publishes
+	// above — the batch pipeline is an amortization, never a semantic
+	// change.
+	batch := make([]core.Publication, len(probes))
+	for k, ev := range probes {
+		batch[k] = core.Publication{Producer: want[(k*5)%len(want)], Event: ev}
+	}
+	ds, err := s.eng.PublishBatch(batch)
+	if err != nil {
+		s.t.Fatalf("enginetest: %s: publish batch: %v", label, err)
+	}
+	if len(ds) != len(probes) {
+		s.t.Fatalf("enginetest: %s: batch returned %d deliveries for %d probes", label, len(ds), len(probes))
+	}
+	for k := range ds {
+		truth := s.matching(probes[k])
+		if !slices.Equal(ds[k].TruePositives, truth) {
+			s.t.Fatalf("enginetest: %s batch probe %d (%v): true positives %v, want %v",
+				label, k, probes[k], ds[k].TruePositives, truth)
+		}
+		if !slices.Equal(ds[k].TruePositives, cp.Deliveries[k]) {
+			s.t.Fatalf("enginetest: %s batch probe %d: batch delivery %v diverges from sequential %v",
+				label, k, ds[k].TruePositives, cp.Deliveries[k])
+		}
+		cp.BatchDeliveries = append(cp.BatchDeliveries, ds[k].TruePositives)
 	}
 	s.tr.Checkpoints = append(s.tr.Checkpoints, cp)
 }

@@ -296,25 +296,53 @@ func (c *Cluster) anyRejoinPending() bool {
 // network drains (bounded by Config.PublishBudget rounds), and collects
 // the unified delivery accounting. Received/TruePositives/FalsePositives
 // are ascending; Rounds is the dissemination latency in network rounds.
+// It is PublishBatch with a batch of one.
 func (c *Cluster) Publish(producer core.ProcID, ev geom.Point) (core.Delivery, error) {
-	n := c.nodes[producer]
-	if n == nil {
-		return core.Delivery{}, fmt.Errorf("proto: producer %d not in the cluster", producer)
+	ds, err := c.PublishBatch([]core.Publication{{Producer: producer, Event: ev}})
+	if err != nil {
+		return core.Delivery{}, err
+	}
+	return ds[0], nil
+}
+
+// PublishBatch injects every event of the batch at its producer in the
+// same round — multiple publications in flight at once — then runs the
+// cluster until the network drains under one shared round budget
+// (Config.PublishBudget covers the whole batch, not each event), and
+// collects one Delivery per entry. Because disseminations overlap, the
+// per-event Rounds all report the rounds the batch took to drain; a
+// batch therefore costs roughly one tree traversal's worth of rounds
+// rather than len(batch) of them. Messages are attributed per event by
+// the event ID its messages carry.
+func (c *Cluster) PublishBatch(batch []core.Publication) ([]core.Delivery, error) {
+	out := make([]core.Delivery, len(batch))
+	if len(batch) == 0 {
+		return out, nil
+	}
+	for i := range batch {
+		if c.nodes[batch[i].Producer] == nil {
+			return nil, fmt.Errorf("proto: producer %d not in the cluster", batch[i].Producer)
+		}
 	}
 	maxRounds := c.budget(c.cfg.PublishBudget)
-	c.nextE++
-	id := c.nextE
-	before := c.net.Stats().Delivered
-	for _, node := range c.nodes {
-		delete(node.seen, id)
+	ids := make([]int64, len(batch))
+	idx := make(map[int64]int, len(batch))
+	msgs := make([]int, len(batch))
+	for i := range batch {
+		c.nextE++
+		ids[i] = c.nextE
+		idx[ids[i]] = i
+		for _, node := range c.nodes {
+			delete(node.seen, ids[i])
+		}
+		// From must be NoProc at the injection point: a producer owning
+		// interior instances (for example the root) must still descend
+		// into its own subtree, and onEvent skips the From child.
+		n := c.nodes[batch[i].Producer]
+		n.onEvent(mEvent{ID: ids[i], Ev: batch[i].Event, Height: n.top, Up: true, From: core.NoProc})
+		c.net.Send(n.drainOut()...)
 	}
-	// From must be NoProc at the injection point: a producer owning
-	// interior instances (for example the root) must still descend into
-	// its own subtree, and onEvent skips the From child.
-	n.onEvent(mEvent{ID: id, Ev: ev, Height: n.top, Up: true, From: core.NoProc})
-	c.net.Send(n.drainOut()...)
 
-	var d core.Delivery
 	start := c.round
 	for !c.net.Quiescent() && c.round-start < maxRounds {
 		// Run without periodic timers so message counts isolate the
@@ -323,30 +351,54 @@ func (c *Cluster) Publish(producer core.ProcID, ev geom.Point) (core.Delivery, e
 		inboxes := c.net.DeliverRound()
 		for _, nid := range simnet.SortedIDs(inboxes) {
 			node := c.nodes[core.ProcID(nid)]
-			if node == nil {
+			for _, m := range inboxes[nid] {
+				if k, ok := idx[eventIDOf(m.Payload)]; ok {
+					msgs[k]++
+				}
+				if node != nil {
+					node.process(m)
+				}
+			}
+			if node != nil {
+				c.net.Send(node.drainOut()...)
+			}
+		}
+	}
+	rounds := c.round - start
+	idList := c.IDs()
+	for i := range batch {
+		d := &out[i]
+		d.Rounds = rounds
+		d.Messages = msgs[i]
+		for _, pid := range idList {
+			node := c.nodes[pid]
+			if !node.seen[ids[i]] {
 				continue
 			}
-			for _, m := range inboxes[nid] {
-				node.process(m)
+			d.Received = append(d.Received, pid)
+			if node.filter.ContainsPoint(batch[i].Event) {
+				d.TruePositives = append(d.TruePositives, pid)
+			} else {
+				d.FalsePositives = append(d.FalsePositives, pid)
 			}
-			c.net.Send(node.drainOut()...)
 		}
 	}
-	d.Rounds = c.round - start
-	d.Messages = c.net.Stats().Delivered - before
-	for _, pid := range c.IDs() {
-		node := c.nodes[pid]
-		if !node.seen[id] {
-			continue
-		}
-		d.Received = append(d.Received, pid)
-		if node.filter.ContainsPoint(ev) {
-			d.TruePositives = append(d.TruePositives, pid)
-		} else {
-			d.FalsePositives = append(d.FalsePositives, pid)
+	return out, nil
+}
+
+// eventIDOf extracts the event ID a delivered message is accounted to:
+// the ID of an event message, or of the event inside a dead-endpoint
+// bounce. Non-event traffic returns 0, which is never a live event ID.
+func eventIDOf(payload any) int64 {
+	switch m := payload.(type) {
+	case mEvent:
+		return m.ID
+	case simnet.Bounce:
+		if e, ok := m.Original.(mEvent); ok {
+			return e.ID
 		}
 	}
-	return d, nil
+	return 0
 }
 
 // Stabilize runs the periodic checks until the configuration is legal

@@ -31,11 +31,13 @@ type LiveCluster struct {
 	closed bool
 	nextE  int64
 	// sent counts dispatched messages; eventMsgs counts only event
-	// dissemination messages (the Delivery.Messages metric);
+	// dissemination messages (the Delivery.Messages metric), with
+	// msgsByEvent attributing them to the event ID they carry;
 	// pendingEvents counts event messages enqueued in mailboxes but not
 	// yet processed (Publish waits for it to reach zero).
 	sent          int
 	eventMsgs     int
+	msgsByEvent   map[int64]int
 	pendingEvents int
 }
 
@@ -51,7 +53,11 @@ func NewLiveCluster(cfg Config) (*LiveCluster, error) {
 	if cfg.MinFanout < 1 || cfg.MaxFanout < 2*cfg.MinFanout {
 		return nil, fmt.Errorf("proto: invalid fanout bounds m=%d M=%d", cfg.MinFanout, cfg.MaxFanout)
 	}
-	return &LiveCluster{cfg: cfg, actors: make(map[core.ProcID]*liveActor)}, nil
+	return &LiveCluster{
+		cfg:         cfg,
+		actors:      make(map[core.ProcID]*liveActor),
+		msgsByEvent: make(map[int64]int),
+	}, nil
 }
 
 // Join spawns a new subscriber actor and routes its JOIN request through
@@ -177,8 +183,14 @@ func (lc *LiveCluster) withActor(a *liveActor, fn func()) {
 func (lc *LiveCluster) dispatchLocked(msgs []simnet.Message) {
 	for _, m := range msgs {
 		lc.sent++
-		if _, ok := m.Payload.(mEvent); ok {
+		if ev, ok := m.Payload.(mEvent); ok {
 			lc.eventMsgs++
+			// Attribute to the owning publish only while it is being
+			// tracked, so stragglers past a budget expiry cannot grow the
+			// map without bound.
+			if _, tracked := lc.msgsByEvent[ev.ID]; tracked {
+				lc.msgsByEvent[ev.ID]++
+			}
 		}
 		dst := lc.actors[core.ProcID(m.To)]
 		if dst == nil {
@@ -231,43 +243,72 @@ func (lc *LiveCluster) oracleLocked() core.ProcID {
 }
 
 // Publish injects an event at the producer and waits for the
-// dissemination to quiesce: no event message may be sitting in a mailbox
-// and the receiver set must stop changing for a few consecutive polls
-// (the in-flight counter makes a descheduled actor with a queued event
-// hold the poll open rather than cause a spurious miss). Messages counts
-// only event messages (periodic check traffic keeps flowing in the
-// background); Rounds is always 0 — the live runtime has no round clock.
+// dissemination to quiesce. It is PublishBatch with a batch of one.
 func (lc *LiveCluster) Publish(producer core.ProcID, ev geom.Point) (core.Delivery, error) {
+	ds, err := lc.PublishBatch([]core.Publication{{Producer: producer, Event: ev}})
+	if err != nil {
+		return core.Delivery{}, err
+	}
+	return ds[0], nil
+}
+
+// PublishBatch injects every event of the batch at its producer in one
+// locked turn — the whole batch is in flight through the actor mailboxes
+// at once — and waits for the pipelined dissemination to quiesce: no
+// event message may be sitting in a mailbox and the receiver sets and
+// per-event message counts must stop changing for a few consecutive
+// polls (the in-flight counter makes a descheduled actor with a queued
+// event hold the poll open rather than cause a spurious miss). One
+// quiescence wait covers the whole batch, so a batch costs one
+// settle-time rather than len(batch) of them. Messages counts only the
+// event messages carrying each entry's event ID (periodic check traffic
+// keeps flowing in the background); Rounds is always 0 — the live
+// runtime has no round clock.
+func (lc *LiveCluster) PublishBatch(batch []core.Publication) ([]core.Delivery, error) {
+	out := make([]core.Delivery, len(batch))
+	if len(batch) == 0 {
+		return out, nil
+	}
 	lc.mu.Lock()
 	if lc.closed {
 		lc.mu.Unlock()
-		return core.Delivery{}, fmt.Errorf("proto: live cluster closed")
+		return nil, fmt.Errorf("proto: live cluster closed")
 	}
-	a := lc.actors[producer]
-	if a == nil {
-		lc.mu.Unlock()
-		return core.Delivery{}, fmt.Errorf("proto: producer %d not in the cluster", producer)
+	for i := range batch {
+		if lc.actors[batch[i].Producer] == nil {
+			lc.mu.Unlock()
+			return nil, fmt.Errorf("proto: producer %d not in the cluster", batch[i].Producer)
+		}
 	}
-	lc.nextE++
-	id := lc.nextE
-	for _, b := range lc.actors {
-		delete(b.node.seen, id)
+	ids := make([]int64, len(batch))
+	for i := range batch {
+		lc.nextE++
+		ids[i] = lc.nextE
+		for _, b := range lc.actors {
+			delete(b.node.seen, ids[i])
+		}
+		lc.msgsByEvent[ids[i]] = 0
+		a := lc.actors[batch[i].Producer]
+		a.node.onEvent(mEvent{ID: ids[i], Ev: batch[i].Event, Height: a.node.top, Up: true, From: core.NoProc})
+		lc.dispatchLocked(a.node.drainOut())
 	}
-	before := lc.eventMsgs
-	a.node.onEvent(mEvent{ID: id, Ev: ev, Height: a.node.top, Up: true, From: core.NoProc})
-	lc.dispatchLocked(a.node.drainOut())
 	lc.mu.Unlock()
 
 	poll := func() (int, int, int) {
 		lc.mu.Lock()
 		defer lc.mu.Unlock()
-		n := 0
+		seen, msgs := 0, 0
 		for _, b := range lc.actors {
-			if b.node.seen[id] {
-				n++
+			for _, id := range ids {
+				if b.node.seen[id] {
+					seen++
+				}
 			}
 		}
-		return n, lc.eventMsgs, lc.pendingEvents
+		for _, id := range ids {
+			msgs += lc.msgsByEvent[id]
+		}
+		return seen, msgs, lc.pendingEvents
 	}
 	deadline := time.Now().Add(lc.budgetDuration(lc.cfg.PublishBudget))
 	stable, lastSeen, lastMsgs := 0, -1, -1
@@ -283,21 +324,25 @@ func (lc *LiveCluster) Publish(producer core.ProcID, ev geom.Point) (core.Delive
 
 	lc.mu.Lock()
 	defer lc.mu.Unlock()
-	var d core.Delivery
-	d.Messages = lc.eventMsgs - before
-	for _, pid := range lc.procIDsLocked() {
-		n := lc.actors[pid].node
-		if !n.seen[id] {
-			continue
-		}
-		d.Received = append(d.Received, pid)
-		if n.filter.ContainsPoint(ev) {
-			d.TruePositives = append(d.TruePositives, pid)
-		} else {
-			d.FalsePositives = append(d.FalsePositives, pid)
+	pids := lc.procIDsLocked()
+	for i := range batch {
+		d := &out[i]
+		d.Messages = lc.msgsByEvent[ids[i]]
+		delete(lc.msgsByEvent, ids[i])
+		for _, pid := range pids {
+			n := lc.actors[pid].node
+			if !n.seen[ids[i]] {
+				continue
+			}
+			d.Received = append(d.Received, pid)
+			if n.filter.ContainsPoint(batch[i].Event) {
+				d.TruePositives = append(d.TruePositives, pid)
+			} else {
+				d.FalsePositives = append(d.FalsePositives, pid)
+			}
 		}
 	}
-	return d, nil
+	return out, nil
 }
 
 // budgetDuration maps a round budget onto the live runtime's 2ms actor

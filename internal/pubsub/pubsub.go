@@ -14,18 +14,39 @@ package pubsub
 import (
 	"fmt"
 	"slices"
+	"sync"
 
 	"drtree/internal/core"
 	"drtree/internal/engine"
 	"drtree/internal/filter"
 )
 
-// Broker is the pub/sub front end over one DR-tree engine. It is not
-// safe for concurrent use.
+// shardCount is the number of subscriber-table shards. Sixteen keeps a
+// shard's lock essentially uncontended for any realistic publisher count
+// while the per-shard maps stay cache-friendly.
+const shardCount = 16
+
+// subShard is one slice of the subscriber table with its own lock, so
+// subscribe/unsubscribe churn on one shard never blocks match scans or
+// churn on the other fifteen.
+type subShard struct {
+	mu   sync.RWMutex
+	subs map[core.ProcID]filter.Filter
+}
+
+// Broker is the pub/sub front end over one DR-tree engine. It is safe
+// for concurrent use: the subscriber table is sharded by subscriber ID
+// under per-shard read/write locks, and overlay-engine calls (which the
+// Engine contract does not require to be concurrency-safe) are
+// serialized behind a single engine mutex. The expensive per-event work
+// — compiling filters and events, and scanning every subscriber to
+// classify interest — runs outside the engine mutex, so concurrent
+// publishers only serialize on the overlay traversal itself.
 type Broker struct {
-	space *filter.Space
-	eng   engine.Engine
-	subs  map[core.ProcID]filter.Filter
+	space  *filter.Space
+	engMu  sync.Mutex // serializes all calls into eng; never taken while holding a shard lock
+	eng    engine.Engine
+	shards [shardCount]subShard
 }
 
 // New creates a broker over the given attribute space and overlay
@@ -38,7 +59,11 @@ func New(space *filter.Space, eng engine.Engine) (*Broker, error) {
 	if eng == nil {
 		return nil, fmt.Errorf("pubsub: nil engine")
 	}
-	return &Broker{space: space, eng: eng, subs: make(map[core.ProcID]filter.Filter)}, nil
+	b := &Broker{space: space, eng: eng}
+	for i := range b.shards {
+		b.shards[i].subs = make(map[core.ProcID]filter.Filter)
+	}
+	return b, nil
 }
 
 // NewCore is New over a fresh sequential engine — the common case and
@@ -51,15 +76,39 @@ func NewCore(space *filter.Space, params core.Params) (*Broker, error) {
 	return New(space, tree)
 }
 
+// shard returns the table slice owning subscriber id.
+func (b *Broker) shard(id core.ProcID) *subShard {
+	return &b.shards[uint64(id)%shardCount]
+}
+
+// registered reports whether id is a current subscriber.
+func (b *Broker) registered(id core.ProcID) bool {
+	sh := b.shard(id)
+	sh.mu.RLock()
+	_, ok := sh.subs[id]
+	sh.mu.RUnlock()
+	return ok
+}
+
 // Engine exposes the underlying overlay engine (for inspection and
-// experiments).
+// experiments). Callers must not mutate the engine concurrently with
+// broker operations.
 func (b *Broker) Engine() engine.Engine { return b.eng }
 
 // Space returns the broker's attribute space.
 func (b *Broker) Space() *filter.Space { return b.space }
 
 // Len returns the number of active subscribers.
-func (b *Broker) Len() int { return len(b.subs) }
+func (b *Broker) Len() int {
+	n := 0
+	for i := range b.shards {
+		sh := &b.shards[i]
+		sh.mu.RLock()
+		n += len(sh.subs)
+		sh.mu.RUnlock()
+	}
+	return n
+}
 
 // Subscribe registers subscriber id with the given filter: the filter is
 // compiled to its rectangle and the subscriber joins the overlay.
@@ -70,10 +119,19 @@ func (b *Broker) Subscribe(id core.ProcID, f filter.Filter) error {
 	if err != nil {
 		return fmt.Errorf("pubsub: compiling filter: %w", err)
 	}
-	if err := b.eng.Join(id, rect); err != nil {
+	// Engine mutex first, shard lock second (the fixed lock order): the
+	// engine join is the authority on duplicate IDs, and the table entry
+	// appears only once the overlay accepted the subscriber.
+	b.engMu.Lock()
+	err = b.eng.Join(id, rect)
+	b.engMu.Unlock()
+	if err != nil {
 		return err
 	}
-	b.subs[id] = f
+	sh := b.shard(id)
+	sh.mu.Lock()
+	sh.subs[id] = f
+	sh.mu.Unlock()
 	return nil
 }
 
@@ -86,36 +144,56 @@ func (b *Broker) SubscribeExpr(id core.ProcID, src string) error {
 	return b.Subscribe(id, f)
 }
 
-// Unsubscribe removes a subscriber via a controlled departure.
-func (b *Broker) Unsubscribe(id core.ProcID) error {
-	if _, ok := b.subs[id]; !ok {
+// remove is the shared tail of Unsubscribe and Fail: claim the table
+// entry, then detach the subscriber from the overlay via leave. If the
+// engine refuses, the claim is rolled back.
+func (b *Broker) remove(id core.ProcID, leave func(core.ProcID) error) error {
+	sh := b.shard(id)
+	sh.mu.Lock()
+	f, ok := sh.subs[id]
+	if ok {
+		delete(sh.subs, id)
+	}
+	sh.mu.Unlock()
+	if !ok {
 		return fmt.Errorf("pubsub: subscriber %d not registered", id)
 	}
-	if err := b.eng.Leave(id); err != nil {
+	b.engMu.Lock()
+	err := leave(id)
+	b.engMu.Unlock()
+	if err != nil {
+		sh.mu.Lock()
+		sh.subs[id] = f
+		sh.mu.Unlock()
 		return err
 	}
-	delete(b.subs, id)
 	return nil
+}
+
+// Unsubscribe removes a subscriber via a controlled departure.
+func (b *Broker) Unsubscribe(id core.ProcID) error {
+	return b.remove(id, b.eng.Leave)
 }
 
 // Fail simulates an abrupt subscriber failure; call Repair (or rely on
 // the next Repair) to restore the overlay.
 func (b *Broker) Fail(id core.ProcID) error {
-	if _, ok := b.subs[id]; !ok {
-		return fmt.Errorf("pubsub: subscriber %d not registered", id)
-	}
-	if err := b.eng.Crash(id); err != nil {
-		return err
-	}
-	delete(b.subs, id)
-	return nil
+	return b.remove(id, b.eng.Crash)
 }
 
 // Repair runs the overlay stabilization to quiescence.
-func (b *Broker) Repair() core.StabReport { return b.eng.Stabilize() }
+func (b *Broker) Repair() core.StabReport {
+	b.engMu.Lock()
+	defer b.engMu.Unlock()
+	return b.eng.Stabilize()
+}
 
 // Close releases the underlying engine's resources.
-func (b *Broker) Close() error { return b.eng.Close() }
+func (b *Broker) Close() error {
+	b.engMu.Lock()
+	defer b.engMu.Unlock()
+	return b.eng.Close()
+}
 
 // Notification is the outcome of publishing one event.
 type Notification struct {
@@ -127,7 +205,10 @@ type Notification struct {
 	// FalsePositives = received but not interested.
 	FalsePositives []core.ProcID
 	// FalseNegatives = interested but not received (must always be
-	// empty on a stabilized overlay; kept for verification).
+	// empty on a stabilized overlay; kept for verification). Under
+	// concurrent subscriber churn the classification is best-effort: a
+	// subscriber joining between overlay routing and the match scan can
+	// appear here transiently.
 	FalseNegatives []core.ProcID
 	// Messages is the inter-process message count.
 	Messages int
@@ -138,39 +219,84 @@ type Notification struct {
 
 // Publish routes an event from the given producer through the overlay.
 // The producer must be a subscriber (the paper's model: publishers and
-// consumers share the overlay).
+// consumers share the overlay). It is PublishBatch with a batch of one.
 func (b *Broker) Publish(producer core.ProcID, ev filter.Event) (Notification, error) {
-	if _, ok := b.subs[producer]; !ok {
-		return Notification{}, fmt.Errorf("pubsub: producer %d not registered", producer)
-	}
-	p, err := b.space.Point(ev)
+	notes, err := b.PublishBatch(producer, []filter.Event{ev})
 	if err != nil {
 		return Notification{}, err
 	}
-	d, err := b.eng.Publish(producer, p)
+	return notes[0], nil
+}
+
+// PublishBatch routes a batch of events from the given producer through
+// the overlay's batched pipeline (engine.Engine.PublishBatch) and
+// returns one Notification per event, index-aligned. The overlay is
+// traversed with the whole batch in flight under one engine-mutex
+// acquisition, and the subscriber match scan visits each table shard
+// once for all events, so the per-event cost falls with the batch size.
+func (b *Broker) PublishBatch(producer core.ProcID, evs []filter.Event) ([]Notification, error) {
+	if len(evs) == 0 {
+		return nil, nil
+	}
+	if !b.registered(producer) {
+		return nil, fmt.Errorf("pubsub: producer %d not registered", producer)
+	}
+	batch := make([]core.Publication, len(evs))
+	for i, ev := range evs {
+		p, err := b.space.Point(ev)
+		if err != nil {
+			return nil, err
+		}
+		batch[i] = core.Publication{Producer: producer, Event: p}
+	}
+	b.engMu.Lock()
+	ds, err := b.eng.PublishBatch(batch)
+	b.engMu.Unlock()
 	if err != nil {
-		return Notification{}, err
+		return nil, err
 	}
-	var n Notification
-	n.Messages = d.Messages
-	n.Rounds = d.Rounds
-	n.Received = d.Received
-	got := make(map[core.ProcID]bool, len(d.Received))
-	for _, id := range d.Received {
-		got[id] = true
+	notes := make([]Notification, len(evs))
+	for i := range ds {
+		notes[i].Messages = ds[i].Messages
+		notes[i].Rounds = ds[i].Rounds
+		notes[i].Received = ds[i].Received
 	}
-	for id, f := range b.subs {
-		if f.Match(ev) {
-			n.Interested = append(n.Interested, id)
-			if !got[id] {
-				n.FalseNegatives = append(n.FalseNegatives, id)
-			}
-		} else if got[id] {
-			n.FalsePositives = append(n.FalsePositives, id)
+	b.classifyBatch(notes, evs)
+	return notes, nil
+}
+
+// classifyBatch fills the Interested/FalsePositives/FalseNegatives sets
+// of each notification from the sharded subscriber table: each shard is
+// locked and scanned once, matching every subscriber against every
+// event of the batch.
+func (b *Broker) classifyBatch(notes []Notification, evs []filter.Event) {
+	got := make([]map[core.ProcID]bool, len(notes))
+	for k := range notes {
+		got[k] = make(map[core.ProcID]bool, len(notes[k].Received))
+		for _, id := range notes[k].Received {
+			got[k][id] = true
 		}
 	}
-	slices.Sort(n.Interested)
-	slices.Sort(n.FalsePositives)
-	slices.Sort(n.FalseNegatives)
-	return n, nil
+	for i := range b.shards {
+		sh := &b.shards[i]
+		sh.mu.RLock()
+		for id, f := range sh.subs {
+			for k := range notes {
+				if f.Match(evs[k]) {
+					notes[k].Interested = append(notes[k].Interested, id)
+					if !got[k][id] {
+						notes[k].FalseNegatives = append(notes[k].FalseNegatives, id)
+					}
+				} else if got[k][id] {
+					notes[k].FalsePositives = append(notes[k].FalsePositives, id)
+				}
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	for k := range notes {
+		slices.Sort(notes[k].Interested)
+		slices.Sort(notes[k].FalsePositives)
+		slices.Sort(notes[k].FalseNegatives)
+	}
 }

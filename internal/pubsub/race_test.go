@@ -1,0 +1,173 @@
+package pubsub
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"testing"
+
+	"drtree/internal/core"
+	"drtree/internal/filter"
+)
+
+// TestConcurrentBrokerHammer drives the sharded broker from many
+// goroutines at once — publishers (single and batched), subscribe/
+// unsubscribe churners and readers — and relies on the race detector
+// (CI runs the suite with -race) to certify the shard locking. A core
+// population of pinned subscribers guarantees every publisher keeps a
+// registered producer for the whole run.
+func TestConcurrentBrokerHammer(t *testing.T) {
+	b, err := NewCore(filter.MustSpace("x", "y"), core.Params{MinFanout: 2, MaxFanout: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const pinned = 8
+	for i := 1; i <= pinned; i++ {
+		if err := b.SubscribeExpr(core.ProcID(i), fmt.Sprintf("x in [%d, %d] && y in [0, 100]", i*5, i*5+30)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const (
+		publishers = 4
+		churners   = 4
+		ops        = 150
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < publishers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(uint64(w), 0xF00))
+			producer := core.ProcID(1 + w%pinned)
+			for k := 0; k < ops; k++ {
+				ev := filter.Event{"x": rng.Float64() * 100, "y": rng.Float64() * 100}
+				if k%3 == 0 {
+					evs := []filter.Event{ev, {"x": rng.Float64() * 100, "y": rng.Float64() * 100}}
+					if _, err := b.PublishBatch(producer, evs); err != nil {
+						t.Errorf("publisher %d: batch: %v", w, err)
+						return
+					}
+				} else {
+					if _, err := b.Publish(producer, ev); err != nil {
+						t.Errorf("publisher %d: %v", w, err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < churners; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(uint64(w), 0xC0))
+			// Disjoint ID ranges per churner: a churner only races its own
+			// subscribers' lifecycle, never another goroutine's.
+			base := core.ProcID(100 + w*1000)
+			for k := 0; k < ops; k++ {
+				id := base + core.ProcID(k%17)
+				x := rng.Float64() * 80
+				if err := b.SubscribeExpr(id, fmt.Sprintf("x in [%.2f, %.2f]", x, x+15)); err == nil {
+					_ = b.Len()
+					if rng.IntN(4) == 0 {
+						if err := b.Fail(id); err != nil {
+							t.Errorf("churner %d: fail %d: %v", w, id, err)
+							return
+						}
+					} else if err := b.Unsubscribe(id); err != nil {
+						t.Errorf("churner %d: unsubscribe %d: %v", w, id, err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if st := b.Repair(); !st.Converged {
+		t.Fatalf("overlay did not stabilize after the hammer: %v", b.Engine().CheckLegal())
+	}
+	if err := b.Engine().CheckLegal(); err != nil {
+		t.Fatalf("illegal configuration after concurrent churn: %v", err)
+	}
+	if got := b.Len(); got < pinned {
+		t.Fatalf("Len = %d, want >= %d pinned subscribers", got, pinned)
+	}
+	// After quiescence the accuracy guarantees hold again.
+	n, err := b.Publish(1, filter.Event{"x": 20, "y": 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n.FalseNegatives) != 0 {
+		t.Fatalf("false negatives after quiescence: %v", n.FalseNegatives)
+	}
+}
+
+// TestPublishBatchMatchesSequential certifies at the broker layer what
+// enginetest certifies at the engine layer: a batch notification stream
+// equals the sequential one, event for event.
+func TestPublishBatchMatchesSequential(t *testing.T) {
+	mk := func() *Broker {
+		b, err := NewCore(filter.MustSpace("x", "y"), core.Params{MinFanout: 2, MaxFanout: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewPCG(7, 7))
+		for i := 1; i <= 60; i++ {
+			x, y := rng.Float64()*80, rng.Float64()*80
+			f := filter.Range("x", x, x+15).And(filter.Range("y", y, y+15))
+			if err := b.Subscribe(core.ProcID(i), f); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return b
+	}
+	rng := rand.New(rand.NewPCG(8, 8))
+	evs := make([]filter.Event, 32)
+	for k := range evs {
+		evs[k] = filter.Event{"x": rng.Float64() * 100, "y": rng.Float64() * 100}
+	}
+
+	seq := mk()
+	var want []Notification
+	for _, ev := range evs {
+		n, err := seq.Publish(3, ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, n)
+	}
+	got, err := mk().PublishBatch(3, evs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("batch returned %d notifications, want %d", len(got), len(want))
+	}
+	for k := range got {
+		if fmt.Sprint(got[k]) != fmt.Sprint(want[k]) {
+			t.Errorf("event %d: batch %+v, sequential %+v", k, got[k], want[k])
+		}
+	}
+}
+
+// TestPublishBatchErrors covers the batch entry points' validation.
+func TestPublishBatchErrors(t *testing.T) {
+	b, err := NewCore(filter.MustSpace("x"), core.Params{MinFanout: 2, MaxFanout: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if notes, err := b.PublishBatch(1, nil); err != nil || notes != nil {
+		t.Errorf("empty batch: %v, %v", notes, err)
+	}
+	if _, err := b.PublishBatch(1, []filter.Event{{"x": 1}}); err == nil {
+		t.Error("unregistered producer must error")
+	}
+	if err := b.SubscribeExpr(1, "x in [0, 10]"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.PublishBatch(1, []filter.Event{{"y": 1}}); err == nil {
+		t.Error("event outside the space must error")
+	}
+}
