@@ -6,8 +6,10 @@
 // -bench-proto it measures the wire protocol's dissemination costs —
 // publish latency in rounds and per-round/per-publish message counts —
 // and records them likewise (BENCH_proto.json); with -bench-broker it
-// measures the batched publish pipeline through the sharded Broker at
-// batch sizes 1/16/256 over both the sequential and the wire engine
+// measures the batched publish pipeline through the gateway Broker at
+// batch sizes 1/16/256 over both the sequential and the wire engine,
+// plus the subscriber-scale sweep (1k/10k/100k subscribers on a fixed
+// 16-gateway pool, pinning the sublinear match-scan cost)
 // (BENCH_broker.json).
 //
 // -gate re-runs all three benchmark suites and diffs the deterministic
@@ -33,6 +35,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"math/rand/v2"
 	"os"
 	"strconv"
@@ -64,6 +67,7 @@ func run() int {
 	loadgen := flag.Bool("loadgen", false, "drive the sharded broker with concurrent publishers and report wall-clock throughput")
 	lgPublishers := flag.String("loadgen-publishers", "1,2,4,8", "comma-separated publisher counts for -loadgen")
 	lgSubs := flag.Int("loadgen-subs", 1000, "subscriber population for -loadgen")
+	lgGateways := flag.Int("loadgen-gateways", 16, "gateway pool size for -loadgen (overlay processes shared by all subscribers)")
 	lgEvents := flag.Int("loadgen-events", 20000, "events published per -loadgen row")
 	lgBatch := flag.Int("loadgen-batch", 64, "events per PublishBatch call in -loadgen")
 	flag.Parse()
@@ -83,7 +87,7 @@ func run() int {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}
-		return runLoadgen(pubs, *lgSubs, *lgEvents, *lgBatch)
+		return runLoadgen(pubs, *lgSubs, *lgGateways, *lgEvents, *lgBatch)
 	}
 
 	want := map[string]bool{}
@@ -327,17 +331,21 @@ func runBenchProto(path string) int {
 
 // brokerRecord is one recorded broker batch-pipeline baseline. The
 // wall-clock NsPerEvent is informational only; AllocsPerEvent (sequential
-// engine; -1 when not measured), MsgsPerEvent and RoundsPerBatch are
+// engine; -1 when not measured), MsgsPerEvent, RoundsPerBatch and
+// ScanVisitedPerEvent (the gateway match-index nodes visited to classify
+// one event — the cost that replaced the global subscriber scan) are
 // deterministic and enforced by the perf gate.
 type brokerRecord struct {
-	Name           string  `json:"name"`
-	Engine         string  `json:"engine"`
-	Population     int     `json:"population"`
-	Batch          int     `json:"batch"`
-	NsPerEvent     float64 `json:"ns_per_event"`
-	AllocsPerEvent float64 `json:"allocs_per_event"`
-	MsgsPerEvent   float64 `json:"msgs_per_event"`
-	RoundsPerBatch float64 `json:"rounds_per_batch"`
+	Name                string  `json:"name"`
+	Engine              string  `json:"engine"`
+	Population          int     `json:"population"`
+	Gateways            int     `json:"gateways"`
+	Batch               int     `json:"batch"`
+	NsPerEvent          float64 `json:"ns_per_event"`
+	AllocsPerEvent      float64 `json:"allocs_per_event"`
+	MsgsPerEvent        float64 `json:"msgs_per_event"`
+	RoundsPerBatch      float64 `json:"rounds_per_batch"`
+	ScanVisitedPerEvent float64 `json:"scan_visited_per_event"`
 }
 
 // batchSizes are the broker pipeline's measured batch sizes. Powers of
@@ -345,19 +353,33 @@ type brokerRecord struct {
 // survives a JSON round trip bit-for-bit.
 var batchSizes = []int{1, 16, 256}
 
+// scaleSizes are the subscriber populations of the gateway-scale sweep:
+// the per-event classification cost at the top size must stay within ~2x
+// of the bottom size at the fixed gateway count — the sublinear-scan
+// contract of the gateway layer (asserted by the smoke test and pinned
+// exactly by the perf gate).
+var scaleSizes = []int{1_000, 10_000, 100_000}
+
+// scaleGateways is the fixed pool size of the scale sweep.
+const scaleGateways = 16
+
 // brokerWorkload builds a broker over eng with n seeded rectangle
-// subscribers and returns it with a fixed 256-event stream. Seeds are
-// pinned so every measurement (and every CI run) sees the same overlay
-// and the same events.
-func brokerWorkload(eng engine.Engine, n int) (*pubsub.Broker, []filter.Event, error) {
-	b, err := pubsub.New(filter.MustSpace("x", "y"), eng)
+// subscribers on a pool of gws gateways and returns it with a fixed
+// 256-event stream. The subscription side length shrinks as 1/sqrt(n) so
+// the expected matching population per event is constant across n — the
+// sweep then isolates the *scan* cost from the (necessarily linear)
+// output size. Seeds are pinned so every measurement (and every CI run)
+// sees the same overlay and the same events.
+func brokerWorkload(eng engine.Engine, n, gws int) (*pubsub.Broker, []filter.Event, error) {
+	b, err := pubsub.New(filter.MustSpace("x", "y"), eng, pubsub.WithGateways(gws))
 	if err != nil {
 		return nil, nil, err
 	}
+	side := 15 * math.Sqrt(1000/float64(n))
 	rng := rand.New(rand.NewPCG(uint64(n), 0xB20CE2))
 	for i := 1; i <= n; i++ {
 		x, y := rng.Float64()*1000, rng.Float64()*1000
-		f := filter.Range("x", x, x+15).And(filter.Range("y", y, y+15))
+		f := filter.Range("x", x, x+side).And(filter.Range("y", y, y+side))
 		if err := b.Subscribe(core.ProcID(i), f); err != nil {
 			return nil, nil, err
 		}
@@ -369,12 +391,24 @@ func brokerWorkload(eng engine.Engine, n int) (*pubsub.Broker, []filter.Event, e
 	return b, evs, nil
 }
 
+// sumCounters totals the deterministic per-event counters of a batch.
+func sumCounters(notes []pubsub.Notification) (msgs, visited int) {
+	for _, n := range notes {
+		msgs += n.Messages
+		visited += n.ScanVisited
+	}
+	return msgs, visited
+}
+
 // measureBenchBroker measures the batched publish pipeline end to end
-// through the sharded Broker: over the sequential engine (population
-// 1000; wall-clock and allocation cost per event as the batch grows) and
-// over the deterministic wire engine (population 100; message and round
-// cost per event — the shared round budget is what makes a proto batch
-// cheaper than sequential publishes).
+// through the gateway Broker: over the sequential engine (1000
+// subscribers on 16 gateways; wall-clock and allocation cost per event
+// as the batch grows), over the deterministic wire engine (100
+// subscribers on 16 gateways; message and round cost per event — the
+// shared round budget is what makes a proto batch cheaper than
+// sequential publishes), and the subscriber-scale sweep (1k/10k/100k
+// subscribers at the fixed gateway count, pinning the match-scan cost
+// and allocs/event that certify the sublinear local matching).
 func measureBenchBroker() ([]brokerRecord, error) {
 	var records []brokerRecord
 
@@ -385,7 +419,7 @@ func measureBenchBroker() ([]brokerRecord, error) {
 		if err != nil {
 			return nil, err
 		}
-		b, evs, err := brokerWorkload(tree, 1000)
+		b, evs, err := brokerWorkload(tree, 1000, scaleGateways)
 		if err != nil {
 			return nil, err
 		}
@@ -394,10 +428,7 @@ func measureBenchBroker() ([]brokerRecord, error) {
 		if err != nil {
 			return nil, err
 		}
-		msgs := 0
-		for _, n := range notes {
-			msgs += n.Messages
-		}
+		msgs, visited := sumCounters(notes)
 		res := testing.Benchmark(func(bb *testing.B) {
 			bb.ReportAllocs()
 			for i := 0; i < bb.N; i++ {
@@ -407,13 +438,15 @@ func measureBenchBroker() ([]brokerRecord, error) {
 			}
 		})
 		records = append(records, brokerRecord{
-			Name:           fmt.Sprintf("BrokerBatchCore/b%d", size),
-			Engine:         "core",
-			Population:     1000,
-			Batch:          size,
-			NsPerEvent:     float64(res.NsPerOp()) / float64(size),
-			AllocsPerEvent: float64(res.AllocsPerOp()) / float64(size),
-			MsgsPerEvent:   float64(msgs) / float64(size),
+			Name:                fmt.Sprintf("BrokerBatchCore/b%d", size),
+			Engine:              "core",
+			Population:          1000,
+			Gateways:            scaleGateways,
+			Batch:               size,
+			NsPerEvent:          float64(res.NsPerOp()) / float64(size),
+			AllocsPerEvent:      float64(res.AllocsPerOp()) / float64(size),
+			MsgsPerEvent:        float64(msgs) / float64(size),
+			ScanVisitedPerEvent: float64(visited) / float64(size),
 		})
 	}
 
@@ -424,7 +457,7 @@ func measureBenchBroker() ([]brokerRecord, error) {
 	if err != nil {
 		return nil, err
 	}
-	bp, evs, err := brokerWorkload(cl, 100)
+	bp, evs, err := brokerWorkload(cl, 100, scaleGateways)
 	if err != nil {
 		return nil, err
 	}
@@ -439,19 +472,59 @@ func measureBenchBroker() ([]brokerRecord, error) {
 			return nil, err
 		}
 		elapsed := time.Since(start)
-		msgs := 0
-		for _, n := range notes {
-			msgs += n.Messages
-		}
+		msgs, visited := sumCounters(notes)
 		records = append(records, brokerRecord{
-			Name:           fmt.Sprintf("BrokerBatchProto/b%d", size),
-			Engine:         "proto",
-			Population:     100,
-			Batch:          size,
-			NsPerEvent:     float64(elapsed.Nanoseconds()) / float64(size),
-			AllocsPerEvent: -1,
-			MsgsPerEvent:   float64(msgs) / float64(size),
-			RoundsPerBatch: float64(notes[0].Rounds),
+			Name:                fmt.Sprintf("BrokerBatchProto/b%d", size),
+			Engine:              "proto",
+			Population:          100,
+			Gateways:            scaleGateways,
+			Batch:               size,
+			NsPerEvent:          float64(elapsed.Nanoseconds()) / float64(size),
+			AllocsPerEvent:      -1,
+			MsgsPerEvent:        float64(msgs) / float64(size),
+			RoundsPerBatch:      float64(notes[0].Rounds),
+			ScanVisitedPerEvent: float64(visited) / float64(size),
+		})
+	}
+
+	// Subscriber-scale sweep: the gateway count stays fixed while the
+	// subscriber population grows 100x; the recorded match-scan cost and
+	// allocs/event certify that per-event classification no longer scales
+	// with the subscriber table (batch 16 keeps the division float-exact).
+	for _, n := range scaleSizes {
+		tree, err := core.New(core.Params{MinFanout: 2, MaxFanout: 4})
+		if err != nil {
+			return nil, err
+		}
+		b, evs, err := brokerWorkload(tree, n, scaleGateways)
+		if err != nil {
+			return nil, err
+		}
+		const size = 16
+		chunk := evs[:size]
+		notes, err := b.PublishBatch(1, chunk)
+		if err != nil {
+			return nil, err
+		}
+		msgs, visited := sumCounters(notes)
+		res := testing.Benchmark(func(bb *testing.B) {
+			bb.ReportAllocs()
+			for i := 0; i < bb.N; i++ {
+				if _, err := b.PublishBatch(1, chunk); err != nil {
+					bb.Fatal(err)
+				}
+			}
+		})
+		records = append(records, brokerRecord{
+			Name:                fmt.Sprintf("BrokerScale/n%d", n),
+			Engine:              "core",
+			Population:          n,
+			Gateways:            scaleGateways,
+			Batch:               size,
+			NsPerEvent:          float64(res.NsPerOp()) / float64(size),
+			AllocsPerEvent:      float64(res.AllocsPerOp()) / float64(size),
+			MsgsPerEvent:        float64(msgs) / float64(size),
+			ScanVisitedPerEvent: float64(visited) / float64(size),
 		})
 	}
 	return records, nil
@@ -469,8 +542,8 @@ func runBenchBroker(path string) int {
 		return 1
 	}
 	for _, r := range records {
-		fmt.Printf("%-22s %10.0f ns/event %8.2f allocs/event %8.2f msgs/event %6.0f rounds/batch\n",
-			r.Name, r.NsPerEvent, r.AllocsPerEvent, r.MsgsPerEvent, r.RoundsPerBatch)
+		fmt.Printf("%-22s %10.0f ns/event %8.2f allocs/event %8.2f msgs/event %6.0f rounds/batch %8.2f scan-visits/event\n",
+			r.Name, r.NsPerEvent, r.AllocsPerEvent, r.MsgsPerEvent, r.RoundsPerBatch, r.ScanVisitedPerEvent)
 	}
 	fmt.Printf("wrote %s\n", path)
 	return 0
@@ -533,6 +606,9 @@ func gateViolations(coreGot, coreWant []benchRecord, protoGot, protoWant []proto
 			if g.RoundsPerBatch != w.RoundsPerBatch {
 				mismatch("broker %s: %.0f rounds/batch, baseline %.0f", g.Name, g.RoundsPerBatch, w.RoundsPerBatch)
 			}
+			if g.ScanVisitedPerEvent != w.ScanVisitedPerEvent {
+				mismatch("broker %s: %.4f scan-visits/event, baseline %.4f", g.Name, g.ScanVisitedPerEvent, w.ScanVisitedPerEvent)
+			}
 			// Allocation counts are gated only where both sides measured
 			// them (the wire engine's grow-only actor state makes its
 			// allocs non-constant, recorded as -1).
@@ -587,19 +663,20 @@ func runGate() int {
 	return 0
 }
 
-// runLoadgen builds a 1000-subscriber broker over the sequential engine
-// and, for each publisher count, streams a fixed event load through
-// PublishBatch from that many concurrent goroutines, printing the
-// wall-clock throughput. The broker's sharded subscriber table keeps the
-// per-event match scan parallel; the overlay traversal serializes behind
-// the engine mutex, so the scaling shows how much of the pipeline the
-// sharding took off the critical path.
-func runLoadgen(pubCounts []int, subs, events, batchSize int) int {
-	if subs < 1 || events < 1 || batchSize < 1 {
+// runLoadgen builds a gateway broker over the sequential engine and, for
+// each publisher count, streams a fixed event load through PublishBatch
+// from that many concurrent goroutines, printing the wall-clock
+// throughput. The broker's per-gateway locks keep the match scans
+// parallel; the overlay traversal serializes behind the engine mutex, so
+// the scaling shows how much of the pipeline the gateway layer took off
+// the critical path.
+func runLoadgen(pubCounts []int, subs, gateways, events, batchSize int) int {
+	if subs < 1 || gateways < 1 || events < 1 || batchSize < 1 {
 		fmt.Fprintln(os.Stderr, "drtree-bench: -loadgen sizes must be positive")
 		return 1
 	}
-	fmt.Printf("loadgen: %d subscribers, %d events per row, batch size %d\n", subs, events, batchSize)
+	fmt.Printf("loadgen: %d subscribers on %d gateways, %d events per row, batch size %d\n",
+		subs, gateways, events, batchSize)
 	fmt.Printf("%-12s %12s %14s %14s\n", "publishers", "wall (ms)", "events/sec", "msgs/event")
 	for _, p := range pubCounts {
 		tree, err := core.New(core.Params{MinFanout: 2, MaxFanout: 4})
@@ -607,7 +684,7 @@ func runLoadgen(pubCounts []int, subs, events, batchSize int) int {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}
-		b, evs, err := brokerWorkload(tree, subs)
+		b, evs, err := brokerWorkload(tree, subs, gateways)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1

@@ -111,7 +111,8 @@ func TestBenchBrokerSmoke(t *testing.T) {
 			t.Errorf("benchmark %d: identity %+v, baseline %+v", i, g, w)
 			continue
 		}
-		if g.MsgsPerEvent != w.MsgsPerEvent || g.RoundsPerBatch != w.RoundsPerBatch {
+		if g.MsgsPerEvent != w.MsgsPerEvent || g.RoundsPerBatch != w.RoundsPerBatch ||
+			g.ScanVisitedPerEvent != w.ScanVisitedPerEvent {
 			t.Errorf("benchmark %s: deterministic counters %+v, baseline %+v", g.Name, g, w)
 		}
 		if g.AllocsPerEvent >= 0 && g.AllocsPerEvent != w.AllocsPerEvent {
@@ -120,6 +121,35 @@ func TestBenchBrokerSmoke(t *testing.T) {
 		if g.NsPerEvent <= 0 {
 			t.Errorf("benchmark %s: non-positive wall measurement %+v", g.Name, g)
 		}
+	}
+	assertSublinearScale(t, got)
+}
+
+// assertSublinearScale enforces the gateway layer's scaling contract on
+// the recorded subscriber-scale sweep: at the fixed gateway count, the
+// per-event classification cost (match-index nodes visited) at the top
+// population must stay within ~2x of the bottom population — sublinear
+// in subscribers, where the old global scan grew 100x.
+func assertSublinearScale(t *testing.T, recs []brokerRecord) {
+	t.Helper()
+	byName := map[string]brokerRecord{}
+	for _, r := range recs {
+		byName[r.Name] = r
+	}
+	lo, okLo := byName["BrokerScale/n1000"]
+	hi, okHi := byName["BrokerScale/n100000"]
+	if !okLo || !okHi {
+		t.Fatal("scale sweep records missing from BENCH_broker.json")
+	}
+	if hi.Gateways != lo.Gateways {
+		t.Fatalf("scale sweep gateway counts differ: %d vs %d", hi.Gateways, lo.Gateways)
+	}
+	if lo.ScanVisitedPerEvent <= 0 {
+		t.Fatalf("no scan cost recorded at n=1000: %+v", lo)
+	}
+	if ratio := hi.ScanVisitedPerEvent / lo.ScanVisitedPerEvent; ratio > 2 {
+		t.Errorf("match-scan cost grew %.2fx from 1k to 100k subscribers (want <= 2x): %+v vs %+v",
+			ratio, hi, lo)
 	}
 }
 
@@ -144,8 +174,8 @@ func TestGateViolations(t *testing.T) {
 	coreRecs := []benchRecord{{Name: "J", NsPerOp: 100, BytesPerOp: 5, AllocsPerOp: 42}}
 	protoRecs := []protoRecord{{Name: "P", Population: 100, Events: 10, RoundsPerPublish: 3, MsgsPerPublish: 7, MsgsPerRound: 2.5}}
 	brokerRecs := []brokerRecord{
-		{Name: "B/core", Engine: "core", Population: 10, Batch: 16, NsPerEvent: 50, AllocsPerEvent: 2.5, MsgsPerEvent: 7},
-		{Name: "B/proto", Engine: "proto", Population: 10, Batch: 16, NsPerEvent: 50, AllocsPerEvent: -1, MsgsPerEvent: 6, RoundsPerBatch: 4},
+		{Name: "B/core", Engine: "core", Population: 10, Gateways: 4, Batch: 16, NsPerEvent: 50, AllocsPerEvent: 2.5, MsgsPerEvent: 7, ScanVisitedPerEvent: 12},
+		{Name: "B/proto", Engine: "proto", Population: 10, Gateways: 4, Batch: 16, NsPerEvent: 50, AllocsPerEvent: -1, MsgsPerEvent: 6, RoundsPerBatch: 4, ScanVisitedPerEvent: 12},
 	}
 	clone := func() ([]benchRecord, []protoRecord, []brokerRecord) {
 		return append([]benchRecord(nil), coreRecs...),
@@ -180,6 +210,12 @@ func TestGateViolations(t *testing.T) {
 	b[1].AllocsPerEvent = 3 // baseline recorded -1: exempt
 	if v := gateViolations(c, coreRecs, p, protoRecs, b, brokerRecs); len(v) != 0 {
 		t.Errorf("unmeasured alloc baseline must be exempt, got %v", v)
+	}
+
+	c, p, b = clone()
+	b[0].ScanVisitedPerEvent = 13 // the match-scan cost is gated too
+	if v := gateViolations(c, coreRecs, p, protoRecs, b, brokerRecs); len(v) != 1 {
+		t.Errorf("scan-visit drift must fail once, got %v", v)
 	}
 
 	if v := gateViolations(nil, coreRecs, protoRecs, protoRecs, brokerRecs, brokerRecs); len(v) != 1 {
@@ -226,11 +262,14 @@ func TestLoadgenSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("publishes a real event load")
 	}
-	if code := runLoadgen([]int{1, 2}, 50, 400, 16); code != 0 {
+	if code := runLoadgen([]int{1, 2}, 50, 4, 400, 16); code != 0 {
 		t.Fatalf("runLoadgen exited %d", code)
 	}
-	if code := runLoadgen([]int{1}, 0, 1, 1); code == 0 {
+	if code := runLoadgen([]int{1}, 0, 1, 1, 1); code == 0 {
 		t.Fatal("invalid sizes must fail")
+	}
+	if code := runLoadgen([]int{1}, 10, 0, 1, 1); code == 0 {
+		t.Fatal("invalid gateway count must fail")
 	}
 }
 

@@ -1,8 +1,12 @@
 // Command drtree-sim builds a DR-tree overlay from a synthetic workload,
 // publishes an event stream through it, and prints structure and routing
-// accuracy statistics. With -replay it instead re-runs a recorded
-// adversarial schedule artifact (see internal/harness) byte-identically
-// through both engines and reports the certification verdict.
+// accuracy statistics. With -subscribers it instead runs the gateway
+// broker mode: N subscribers attach to a bounded pool of G gateway
+// processes (the subscriber:process ratio as a first-class experimental
+// axis), and per-event classification goes through the gateways' local
+// match indexes. With -replay it re-runs a recorded adversarial schedule
+// artifact (see internal/harness) byte-identically through both engines
+// and reports the certification verdict.
 //
 // Usage:
 //
@@ -10,6 +14,7 @@
 //	           [-workload uniform|clustered|contained|mixed]
 //	           [-events 1000] [-eventkind matching|uniform|hotspot]
 //	           [-churn 0.1] [-seed 1]
+//	drtree-sim -subscribers 5000 [-gateways 16] [-engine core|proto|live]
 //	drtree-sim -replay schedule.json
 //	drtree-sim -hunt 50 [-hunt-out dir]
 package main
@@ -46,6 +51,8 @@ func run(args []string, out io.Writer) int {
 		evKind    = fs.String("eventkind", "matching", "event workload: matching|uniform|hotspot")
 		churnFrac = fs.Float64("churn", 0, "fraction of subscribers to crash mid-run (0..0.5)")
 		seed      = fs.Uint64("seed", 1, "random seed")
+		subs      = fs.Int("subscribers", 0, "gateway broker mode: number of subscribers attached to the gateway pool")
+		gateways  = fs.Int("gateways", 16, "gateway broker mode: overlay processes shared by all subscribers")
 		replay    = fs.String("replay", "", "replay a recorded adversarial schedule artifact and exit")
 		hunt      = fs.Int("hunt", 0, "run N seeded adversarial schedules through the harness and exit")
 		huntOut   = fs.String("hunt-out", "", "directory for minimized failing-schedule artifacts (with -hunt)")
@@ -61,7 +68,7 @@ func run(args []string, out io.Writer) int {
 	// Workload-simulation flags are meaningless in replay/hunt modes;
 	// reject them rather than silently certifying something else than
 	// the user asked for.
-	simOnly := []string{"n", "engine", "split", "workload", "events", "eventkind", "churn"}
+	simOnly := []string{"n", "engine", "split", "workload", "events", "eventkind", "churn", "subscribers", "gateways"}
 
 	var err error
 	switch {
@@ -91,11 +98,27 @@ func run(args []string, out io.Writer) int {
 			}
 			err = runHunt(*seed, *hunt, cfg, *huntOut, out)
 		}
+	case *subs > 0:
+		if explicit["n"] {
+			err = fmt.Errorf("-n has no effect with -subscribers (the overlay holds gateways, not subscribers)")
+		}
+		if err == nil {
+			err = runBrokerSim(brokerSimParams{
+				subscribers: *subs, gateways: *gateways,
+				m: *m, mm: *mm, engine: *engName, splitName: *splitName, wl: *wl,
+				events: *events, evKind: *evKind, churnFrac: *churnFrac, seed: *seed,
+			}, out)
+		}
 	default:
-		err = runSim(simParams{
-			n: *n, m: *m, mm: *mm, engine: *engName, splitName: *splitName, wl: *wl,
-			events: *events, evKind: *evKind, churnFrac: *churnFrac, seed: *seed,
-		}, out)
+		if explicit["gateways"] {
+			err = fmt.Errorf("-gateways needs -subscribers (the gateway broker mode)")
+		}
+		if err == nil {
+			err = runSim(simParams{
+				n: *n, m: *m, mm: *mm, engine: *engName, splitName: *splitName, wl: *wl,
+				events: *events, evKind: *evKind, churnFrac: *churnFrac, seed: *seed,
+			}, out)
+		}
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "drtree-sim:", err)
@@ -154,6 +177,155 @@ func runHunt(seed uint64, count int, cfg harness.GenConfig, outDir string, out i
 		return fmt.Errorf("%d of %d schedules failed certification", failures, count)
 	}
 	fmt.Fprintf(out, "all %d schedules certified\n", count)
+	return nil
+}
+
+type brokerSimParams struct {
+	subscribers, gateways int
+	m, mm                 int
+	engine, splitName, wl string
+	events                int
+	evKind                string
+	churnFrac             float64
+	seed                  uint64
+}
+
+// runBrokerSim runs the gateway broker mode: -subscribers subscribers
+// attach to a -gateways pool over the selected engine, an event stream
+// is published through the gateway overlay and classified by the
+// per-gateway match indexes, and a churn fraction unsubscribes mid-run
+// (exercising the opportunistic filter shrink and gateway departures).
+func runBrokerSim(p brokerSimParams, out io.Writer) error {
+	ekind, err := drtree.ParseEngineKind(p.engine)
+	if err != nil {
+		return err
+	}
+	kind, err := workload.KindByName(p.wl)
+	if err != nil {
+		return err
+	}
+	var ek workload.EventKind
+	switch p.evKind {
+	case "matching":
+		ek = workload.MatchingEvents
+	case "uniform":
+		ek = workload.UniformEvents
+	case "hotspot":
+		ek = workload.HotSpotEvents
+	default:
+		return fmt.Errorf("unknown event kind %q", p.evKind)
+	}
+	if p.gateways < 1 {
+		return fmt.Errorf("gateway count must be >= 1, got %d", p.gateways)
+	}
+	if p.churnFrac < 0 || p.churnFrac > 0.5 {
+		return fmt.Errorf("churn fraction must be in [0, 0.5], got %g", p.churnFrac)
+	}
+
+	rng := rand.New(rand.NewPCG(p.seed, 0))
+	world := workload.DefaultWorld()
+	rects := workload.Subscriptions(rng, world, kind, p.subscribers)
+	points := workload.Events(rng, world, ek, p.events, rects)
+
+	eng, err := drtree.Open(
+		drtree.WithEngine(ekind),
+		drtree.WithFanout(p.m, p.mm),
+		drtree.WithSplit(p.splitName),
+		drtree.WithSeed(p.seed),
+	)
+	if err != nil {
+		return err
+	}
+	space, err := drtree.NewSpace("x", "y")
+	if err != nil {
+		return err
+	}
+	broker, err := drtree.NewBroker(space, eng, drtree.WithGateways(p.gateways))
+	if err != nil {
+		return err
+	}
+	defer broker.Close()
+
+	toFilter := func(r drtree.Rect) drtree.Filter {
+		return drtree.Range("x", r.Lo(0), r.Hi(0)).And(drtree.Range("y", r.Lo(1), r.Hi(1)))
+	}
+	for i, r := range rects {
+		if err := broker.Subscribe(drtree.ProcID(i+1), toFilter(r)); err != nil {
+			return fmt.Errorf("subscribe %d: %w", i+1, err)
+		}
+	}
+	if st := broker.Repair(); !st.Converged {
+		return fmt.Errorf("gateway overlay did not stabilize: %v", eng.CheckLegal())
+	}
+	if err := eng.CheckLegal(); err != nil {
+		return fmt.Errorf("gateway overlay not legal after construction: %w", err)
+	}
+
+	alive := make([]drtree.ProcID, p.subscribers)
+	for i := range alive {
+		alive[i] = drtree.ProcID(i + 1)
+	}
+	if p.churnFrac > 0 {
+		kills := int(p.churnFrac * float64(p.subscribers))
+		rng.Shuffle(len(alive), func(i, j int) { alive[i], alive[j] = alive[j], alive[i] })
+		for _, id := range alive[:kills] {
+			if err := broker.Unsubscribe(id); err != nil {
+				return err
+			}
+		}
+		alive = alive[kills:]
+		if st := broker.Repair(); !st.Converged {
+			return fmt.Errorf("gateway overlay did not stabilize after churn: %v", eng.CheckLegal())
+		}
+		fmt.Fprintf(out, "churn: unsubscribed %d of %d subscribers\n\n", kills, p.subscribers)
+	}
+
+	var interested, received, fp, fn, msgs, rounds, visited int
+	for _, pt := range points {
+		ev := drtree.Event{"x": pt[0], "y": pt[1]}
+		note, err := broker.Publish(alive[rng.IntN(len(alive))], ev)
+		if err != nil {
+			return err
+		}
+		interested += len(note.Interested)
+		received += len(note.Received)
+		fp += len(note.FalsePositives)
+		fn += len(note.FalseNegatives)
+		msgs += note.Messages
+		rounds += note.Rounds
+		visited += note.ScanVisited
+	}
+
+	joined := 0
+	for _, st := range broker.GatewayStats() {
+		if st.Joined {
+			joined++
+		}
+	}
+	_, rootH := eng.Root()
+	nEv := max(len(points), 1)
+	tb := stats.NewTable("metric", "value")
+	tb.AddRow("engine", string(ekind))
+	tb.AddRow("subscribers", broker.Len())
+	tb.AddRow("gateways (pool)", p.gateways)
+	tb.AddRow("gateways (joined)", joined)
+	tb.AddRow("overlay processes", eng.Len())
+	tb.AddRow("subscribers/process", float64(broker.Len())/float64(max(eng.Len(), 1)))
+	tb.AddRow("overlay height", rootH+1)
+	tb.AddRow("events", len(points))
+	tb.AddRow("interested/event", float64(interested)/float64(nEv))
+	tb.AddRow("received/event", float64(received)/float64(nEv))
+	tb.AddRow("overlay messages/event", float64(msgs)/float64(nEv))
+	if rounds > 0 {
+		tb.AddRow("rounds/event", float64(rounds)/float64(nEv))
+	}
+	tb.AddRow("match-scan visits/event", float64(visited)/float64(nEv))
+	tb.AddRow("false positives/delivery", float64(fp)/float64(max(received, 1)))
+	tb.AddRow("false negatives", fn)
+	fmt.Fprint(out, tb)
+	if fn != 0 {
+		return fmt.Errorf("false negatives detected: %d", fn)
+	}
 	return nil
 }
 

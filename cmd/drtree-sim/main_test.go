@@ -168,6 +168,46 @@ func TestSimEngineFlag(t *testing.T) {
 	}
 }
 
+// TestBrokerSimSmoke drives the gateway broker mode end to end: many
+// subscribers over a small gateway pool, with churn, over both the
+// sequential and the wire engine.
+func TestBrokerSimSmoke(t *testing.T) {
+	var out bytes.Buffer
+	if code := run([]string{"-subscribers", "400", "-gateways", "8", "-events", "60", "-churn", "0.1"}, &out); code != 0 {
+		t.Fatalf("broker sim failed with exit %d\n%s", code, out.String())
+	}
+	for _, want := range []string{"gateways (pool)", "subscribers/process", "match-scan visits/event", "false negatives"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("broker sim output missing %q:\n%s", want, out.String())
+		}
+	}
+	out.Reset()
+	if code := run([]string{"-subscribers", "120", "-gateways", "4", "-engine", "proto", "-events", "30"}, &out); code != 0 {
+		t.Fatalf("broker sim over proto failed with exit %d\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "rounds/event") {
+		t.Fatalf("proto broker sim output missing rounds:\n%s", out.String())
+	}
+}
+
+// TestBrokerSimFlagValidation: the gateway mode rejects contradictory
+// flags instead of silently ignoring them.
+func TestBrokerSimFlagValidation(t *testing.T) {
+	var out bytes.Buffer
+	if code := run([]string{"-subscribers", "50", "-n", "10"}, &out); code != 1 {
+		t.Fatalf("-subscribers with -n must be rejected, got %d", code)
+	}
+	if code := run([]string{"-gateways", "4"}, &out); code != 1 {
+		t.Fatalf("-gateways without -subscribers must be rejected, got %d", code)
+	}
+	if code := run([]string{"-subscribers", "50", "-gateways", "0"}, &out); code != 1 {
+		t.Fatalf("zero gateways must be rejected, got %d", code)
+	}
+	if code := run([]string{"-replay", "x.json", "-subscribers", "5"}, &out); code != 1 {
+		t.Fatalf("-replay with -subscribers must be rejected, got %d", code)
+	}
+}
+
 func mustLoad(t *testing.T, path string) *harness.Schedule {
 	t.Helper()
 	s, err := harness.Load(path)

@@ -9,8 +9,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"drtree/internal/containment"
@@ -19,19 +21,29 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "drtree-viz:", err)
-		os.Exit(1)
-	}
+	os.Exit(run(os.Args[1:], os.Stdout))
 }
 
-func run() error {
-	what := flag.String("what", "tree", "diagram: containment|tree|comm|describe")
-	flag.Parse()
+func run(args []string, out io.Writer) int {
+	fs := flag.NewFlagSet("drtree-viz", flag.ContinueOnError)
+	what := fs.String("what", "tree", "diagram: containment|tree|comm|describe")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	if err := render(*what, out); err != nil {
+		fmt.Fprintln(os.Stderr, "drtree-viz:", err)
+		return 1
+	}
+	return 0
+}
 
+func render(what string, out io.Writer) error {
 	fig := workload.NewFigure1()
 
-	if *what == "containment" {
+	if what == "containment" {
 		items := make([]containment.Item, len(fig.Subs))
 		for i := range fig.Subs {
 			items[i] = containment.Item{Label: fig.Labels[i], Rect: fig.Subs[i]}
@@ -40,7 +52,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fmt.Print(g.Dot())
+		fmt.Fprint(out, g.Dot())
 		return nil
 	}
 
@@ -56,15 +68,15 @@ func run() error {
 			return err
 		}
 	}
-	switch *what {
+	switch what {
 	case "tree":
-		fmt.Print(tr.Dot(labels))
+		fmt.Fprint(out, tr.Dot(labels))
 	case "comm":
-		fmt.Print(tr.CommunicationDot(labels))
+		fmt.Fprint(out, tr.CommunicationDot(labels))
 	case "describe":
-		fmt.Print(tr.Describe(labels))
+		fmt.Fprint(out, tr.Describe(labels))
 	default:
-		return fmt.Errorf("unknown -what %q (containment|tree|comm|describe)", *what)
+		return fmt.Errorf("unknown -what %q (containment|tree|comm|describe)", what)
 	}
 	return nil
 }

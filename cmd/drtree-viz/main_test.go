@@ -1,0 +1,132 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"regexp"
+	"strings"
+	"testing"
+
+	"drtree/internal/workload"
+)
+
+// figLabels are the Figure 1 subscription labels every rendering must
+// mention.
+func figLabels(t *testing.T) []string {
+	t.Helper()
+	fig := workload.NewFigure1()
+	if len(fig.Labels) == 0 {
+		t.Fatal("Figure 1 scenario has no subscriptions")
+	}
+	return fig.Labels
+}
+
+// TestTreeDotStructure renders the DR-tree level diagram and checks the
+// structural invariants of the DOT output: a well-formed digraph,
+// balanced braces, every subscriber present as a height-0 leaf box, and
+// every edge descending exactly one level (a parent at height h points
+// to a child at height h-1).
+func TestTreeDotStructure(t *testing.T) {
+	var out bytes.Buffer
+	if code := run([]string{"-what", "tree"}, &out); code != 0 {
+		t.Fatalf("run exited %d", code)
+	}
+	dot := out.String()
+	if !strings.HasPrefix(dot, "digraph drtree {") || !strings.HasSuffix(dot, "}\n") {
+		t.Fatalf("not a well-formed digraph:\n%s", dot)
+	}
+	if open, close := strings.Count(dot, "{"), strings.Count(dot, "}"); open != close {
+		t.Fatalf("unbalanced braces: %d vs %d", open, close)
+	}
+	for _, l := range figLabels(t) {
+		if !strings.Contains(dot, fmt.Sprintf("%q", l+"@0")) {
+			t.Errorf("leaf instance of %s missing from the diagram", l)
+		}
+	}
+	edge := regexp.MustCompile(`"[^"]+@(\d+)" -> "[^"]+@(\d+)";`)
+	edges := edge.FindAllStringSubmatch(dot, -1)
+	if len(edges) == 0 {
+		t.Fatal("level diagram has no edges")
+	}
+	for _, e := range edges {
+		if e[1] == "" || e[2] == "" || e[1] == e[2] {
+			t.Fatalf("edge does not descend a level: %q", e[0])
+		}
+		var hp, hc int
+		fmt.Sscanf(e[1], "%d", &hp)
+		fmt.Sscanf(e[2], "%d", &hc)
+		if hp != hc+1 {
+			t.Fatalf("edge spans heights %d -> %d, want exactly one level", hp, hc)
+		}
+	}
+}
+
+// TestContainmentDotStructure renders the Figure 1 containment graph and
+// checks it is a well-formed digraph mentioning every subscription, with
+// the canonical S2 -> S4 containment edge present.
+func TestContainmentDotStructure(t *testing.T) {
+	var out bytes.Buffer
+	if code := run([]string{"-what", "containment"}, &out); code != 0 {
+		t.Fatalf("run exited %d", code)
+	}
+	dot := out.String()
+	if !strings.HasPrefix(dot, "digraph containment {") || !strings.HasSuffix(dot, "}\n") {
+		t.Fatalf("not a well-formed digraph:\n%s", dot)
+	}
+	for _, l := range figLabels(t) {
+		if !strings.Contains(dot, fmt.Sprintf("%q", l)) {
+			t.Errorf("subscription %s missing from the containment graph", l)
+		}
+	}
+	if !strings.Contains(dot, `"S2" -> "S4";`) {
+		t.Errorf("canonical containment edge S2 -> S4 missing:\n%s", dot)
+	}
+}
+
+// TestCommDotStructure renders the communication graph: an undirected
+// well-formed graph whose every edge joins two known subscribers.
+func TestCommDotStructure(t *testing.T) {
+	var out bytes.Buffer
+	if code := run([]string{"-what", "comm"}, &out); code != 0 {
+		t.Fatalf("run exited %d", code)
+	}
+	dot := out.String()
+	if !strings.HasPrefix(dot, "graph comm {") || !strings.HasSuffix(dot, "}\n") {
+		t.Fatalf("not a well-formed graph:\n%s", dot)
+	}
+	known := map[string]bool{}
+	for _, l := range figLabels(t) {
+		known[l] = true
+	}
+	edge := regexp.MustCompile(`"([^"]+)" -- "([^"]+)";`)
+	edges := edge.FindAllStringSubmatch(dot, -1)
+	if len(edges) == 0 {
+		t.Fatal("communication graph has no edges")
+	}
+	for _, e := range edges {
+		if !known[e[1]] || !known[e[2]] {
+			t.Fatalf("edge references unknown process: %q", e[0])
+		}
+	}
+}
+
+// TestDescribeAndFlagValidation covers the textual rendering and the
+// error paths.
+func TestDescribeAndFlagValidation(t *testing.T) {
+	var out bytes.Buffer
+	if code := run([]string{"-what", "describe"}, &out); code != 0 {
+		t.Fatalf("run exited %d", code)
+	}
+	if !strings.Contains(out.String(), "height 0:") {
+		t.Fatalf("describe output missing leaf level:\n%s", out.String())
+	}
+	if code := run([]string{"-what", "bogus"}, &out); code != 1 {
+		t.Fatal("unknown -what must exit 1")
+	}
+	if code := run([]string{"-badflag"}, &out); code != 2 {
+		t.Fatal("unknown flag must exit 2")
+	}
+	if code := run([]string{"-h"}, &out); code != 0 {
+		t.Fatal("-h must exit 0")
+	}
+}

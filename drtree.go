@@ -73,6 +73,12 @@ type (
 	// engines (advance one message round at a time). Satisfied by
 	// EngineProto.
 	SteppedEngine = engine.SteppedEngine
+	// FilterUpdater is the capability of engines that can change a live
+	// subscriber's filter in place (UpdateFilter), without a
+	// leave/re-join cycle. Satisfied by all three built-in engines; the
+	// Broker's gateway layer uses it to move each gateway's aggregate
+	// filter as subscriptions come and go.
+	FilterUpdater = engine.FilterUpdater
 )
 
 // Overlay re-exports.
@@ -270,8 +276,14 @@ func FalseNegatives(eng Engine, d Delivery, ev Point) []ProcID {
 // Publish/subscribe re-exports.
 type (
 	// Broker is the content-based publish/subscribe front end. It runs
-	// over any Engine.
+	// over any Engine; subscribers attach to a bounded pool of gateway
+	// processes rather than joining the overlay individually, so the
+	// overlay size is decoupled from the subscriber count.
 	Broker = pubsub.Broker
+	// BrokerOption configures NewBroker (see WithGateways).
+	BrokerOption = pubsub.Option
+	// GatewayStat describes one broker gateway (Broker.GatewayStats).
+	GatewayStat = pubsub.GatewayStat
 	// Filter is a conjunction of attribute predicates.
 	Filter = filter.Filter
 	// Event is an attribute/value message.
@@ -285,13 +297,25 @@ type (
 // NewSpace builds an attribute space over the given names.
 func NewSpace(attrs ...string) (*Space, error) { return filter.NewSpace(attrs...) }
 
+// WithGateways sets the Broker's gateway pool size: the number of
+// overlay processes its subscribers share (default 16). More gateways
+// mean tighter aggregate filters and smaller per-gateway match indexes;
+// fewer mean a smaller overlay.
+func WithGateways(n int) BrokerOption { return pubsub.WithGateways(n) }
+
 // NewBroker creates a publish/subscribe broker over space on the given
 // overlay engine:
 //
 //	eng, _ := drtree.Open(drtree.WithEngine(drtree.EngineProto))
-//	broker, _ := drtree.NewBroker(space, eng)
-func NewBroker(space *Space, eng Engine) (*Broker, error) { return pubsub.New(space, eng) }
+//	broker, _ := drtree.NewBroker(space, eng, drtree.WithGateways(8))
+func NewBroker(space *Space, eng Engine, opts ...BrokerOption) (*Broker, error) {
+	return pubsub.New(space, eng, opts...)
+}
 
 // ParseFilter parses the textual predicate language, e.g.
 // "price in [10, 20] && qty >= 3".
 func ParseFilter(src string) (Filter, error) { return filter.Parse(src) }
+
+// Range is a convenience filter constructor: the closed interval
+// lo <= attr <= hi. Conjoin ranges with Filter.And.
+func Range(attr string, lo, hi float64) Filter { return filter.Range(attr, lo, hi) }

@@ -1,0 +1,253 @@
+package containment
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"slices"
+	"testing"
+	"testing/quick"
+
+	"drtree/internal/geom"
+)
+
+// naiveOracle recomputes every relation of the containment graph by the
+// O(n²)/O(n³) definitions, with no sharing with the Graph implementation:
+// strict containment straight off the rectangles, direct edges by the
+// transitive-reduction definition, equivalence by rectangle equality,
+// roots as items with no strict container.
+type naiveOracle struct {
+	items []Item
+}
+
+func (o naiveOracle) strict(i, j int) bool {
+	return o.items[i].Rect.StrictlyContains(o.items[j].Rect) &&
+		!o.items[i].Rect.Equal(o.items[j].Rect)
+}
+
+func (o naiveOracle) direct(i, j int) bool {
+	if !o.strict(i, j) {
+		return false
+	}
+	for k := range o.items {
+		if k != i && k != j && o.strict(i, k) && o.strict(k, j) {
+			return false
+		}
+	}
+	return true
+}
+
+func (o naiveOracle) equivalents(i int) []string {
+	var out []string
+	for j := range o.items {
+		if j != i && o.items[i].Rect.Equal(o.items[j].Rect) {
+			out = append(out, o.items[j].Label)
+		}
+	}
+	slices.Sort(out)
+	return out
+}
+
+func (o naiveOracle) children(i int) []string {
+	var out []string
+	for j := range o.items {
+		if o.direct(i, j) {
+			out = append(out, o.items[j].Label)
+		}
+	}
+	slices.Sort(out)
+	return out
+}
+
+func (o naiveOracle) parents(i int) []string {
+	var out []string
+	for j := range o.items {
+		if o.direct(j, i) {
+			out = append(out, o.items[j].Label)
+		}
+	}
+	slices.Sort(out)
+	return out
+}
+
+func (o naiveOracle) roots() []string {
+	var out []string
+	for i := range o.items {
+		top := true
+		for j := range o.items {
+			if j != i && o.strict(j, i) {
+				top = false
+				break
+			}
+		}
+		if top {
+			out = append(out, o.items[i].Label)
+		}
+	}
+	slices.Sort(out)
+	return out
+}
+
+func (o naiveOracle) ancestors(i int) []string {
+	var out []string
+	for j := range o.items {
+		if o.strict(j, i) {
+			out = append(out, o.items[j].Label)
+		}
+	}
+	slices.Sort(out)
+	return out
+}
+
+func (o naiveOracle) descendants(i int) []string {
+	var out []string
+	for j := range o.items {
+		if o.strict(i, j) {
+			out = append(out, o.items[j].Label)
+		}
+	}
+	slices.Sort(out)
+	return out
+}
+
+// randomItems generates a rectangle set biased toward interesting
+// structure: nested rectangles, exact duplicates (equivalents), and
+// degenerate (zero-extent) rectangles — the shapes the gateway layer
+// feeds the graph from real subscription workloads.
+func randomItems(rng *rand.Rand, n int) []Item {
+	items := make([]Item, 0, n)
+	for i := 0; i < n; i++ {
+		label := fmt.Sprintf("r%d", i)
+		switch {
+		case i > 0 && rng.IntN(5) == 0:
+			// Exact duplicate of an earlier rectangle (equivalence class).
+			items = append(items, Item{Label: label, Rect: items[rng.IntN(i)].Rect})
+		case i > 0 && rng.IntN(3) == 0:
+			// Strictly nested inside an earlier rectangle.
+			base := items[rng.IntN(i)].Rect
+			w, h := base.Side(0), base.Side(1)
+			x := base.Lo(0) + rng.Float64()*w/2
+			y := base.Lo(1) + rng.Float64()*h/2
+			items = append(items, Item{Label: label,
+				Rect: geom.R2(x, y, x+rng.Float64()*(base.Hi(0)-x), y+rng.Float64()*(base.Hi(1)-y))})
+		case rng.IntN(8) == 0:
+			// Degenerate: a point or a zero-height segment.
+			x, y := rng.Float64()*100, rng.Float64()*100
+			if rng.IntN(2) == 0 {
+				items = append(items, Item{Label: label, Rect: geom.R2(x, y, x, y)})
+			} else {
+				items = append(items, Item{Label: label, Rect: geom.R2(x, y, x+rng.Float64()*20, y)})
+			}
+		default:
+			x, y := rng.Float64()*100, rng.Float64()*100
+			items = append(items, Item{Label: label,
+				Rect: geom.R2(x, y, x+rng.Float64()*40, y+rng.Float64()*40)})
+		}
+	}
+	return items
+}
+
+// TestPropertyGraphMatchesNaiveOracle checks every Graph relation —
+// Contains, Children, Parents, Equivalents, Roots, Ancestors,
+// Descendants, Edges — against the naive oracle on random rectangle
+// sets including equivalents and degenerate rectangles. The final
+// root-union check pins the identity the broker's gateway layer relies
+// on when shrinking an aggregate filter: the union of the containment
+// order's maximal elements equals the union of every rectangle.
+func TestPropertyGraphMatchesNaiveOracle(t *testing.T) {
+	prop := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 0xC0DE))
+		items := randomItems(rng, 3+rng.IntN(28))
+		g, err := Build(items)
+		if err != nil {
+			t.Logf("seed %d: build: %v", seed, err)
+			return false
+		}
+		o := naiveOracle{items: items}
+		for i, it := range items {
+			if !slices.Equal(g.Children(it.Label), o.children(i)) {
+				t.Logf("seed %d: children of %s: %v vs oracle %v", seed, it.Label, g.Children(it.Label), o.children(i))
+				return false
+			}
+			if !slices.Equal(g.Parents(it.Label), o.parents(i)) {
+				t.Logf("seed %d: parents of %s differ", seed, it.Label)
+				return false
+			}
+			if !slices.Equal(g.Equivalents(it.Label), o.equivalents(i)) {
+				t.Logf("seed %d: equivalents of %s differ", seed, it.Label)
+				return false
+			}
+			if !slices.Equal(g.Ancestors(it.Label), o.ancestors(i)) {
+				t.Logf("seed %d: ancestors of %s: %v vs oracle %v", seed, it.Label, g.Ancestors(it.Label), o.ancestors(i))
+				return false
+			}
+			if !slices.Equal(g.Descendants(it.Label), o.descendants(i)) {
+				t.Logf("seed %d: descendants of %s differ", seed, it.Label)
+				return false
+			}
+			for j, jt := range items {
+				if g.Contains(it.Label, jt.Label) != o.strict(i, j) {
+					t.Logf("seed %d: Contains(%s,%s) disagrees with oracle", seed, it.Label, jt.Label)
+					return false
+				}
+			}
+		}
+		if !slices.Equal(g.Roots(), o.roots()) {
+			t.Logf("seed %d: roots %v vs oracle %v", seed, g.Roots(), o.roots())
+			return false
+		}
+		// Edges must be exactly the direct pairs.
+		var wantEdges [][2]string
+		for i := range items {
+			for j := range items {
+				if o.direct(i, j) {
+					wantEdges = append(wantEdges, [2]string{items[i].Label, items[j].Label})
+				}
+			}
+		}
+		slices.SortFunc(wantEdges, func(a, b [2]string) int {
+			if a[0] != b[0] {
+				if a[0] < b[0] {
+					return -1
+				}
+				return 1
+			}
+			if a[1] < b[1] {
+				return -1
+			}
+			if a[1] > b[1] {
+				return 1
+			}
+			return 0
+		})
+		got := g.Edges()
+		if len(got) != len(wantEdges) {
+			t.Logf("seed %d: %d edges vs oracle %d", seed, len(got), len(wantEdges))
+			return false
+		}
+		for k := range got {
+			if got[k] != wantEdges[k] {
+				t.Logf("seed %d: edge %d: %v vs %v", seed, k, got[k], wantEdges[k])
+				return false
+			}
+		}
+		// The gateway invariant: the union of the roots equals the union
+		// of every rectangle.
+		var all, roots geom.Rect
+		for _, it := range items {
+			all = all.Union(it.Rect)
+		}
+		for _, label := range g.Roots() {
+			if i, ok := g.IndexOf(label); ok {
+				roots = roots.Union(g.Item(i).Rect)
+			}
+		}
+		if !all.Equal(roots) {
+			t.Logf("seed %d: root union %v != full union %v", seed, roots, all)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"drtree/internal/geom"
+)
+
+// TestUpdateFilterValidation covers the error paths.
+func TestUpdateFilterValidation(t *testing.T) {
+	tr := MustNew(Params{MinFanout: 2, MaxFanout: 4})
+	if err := tr.UpdateFilter(1, geom.R2(0, 0, 1, 1)); err == nil {
+		t.Error("unknown process must error")
+	}
+	if err := tr.Join(1, geom.R2(0, 0, 10, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.UpdateFilter(1, geom.Rect{}); err == nil {
+		t.Error("empty filter must error")
+	}
+	if err := tr.UpdateFilter(1, geom.MustRect([]float64{0}, []float64{1})); err == nil {
+		t.Error("dimension mismatch must error")
+	}
+	if err := tr.UpdateFilter(1, geom.R2(0, 0, 10, 10)); err != nil {
+		t.Errorf("no-op update must succeed: %v", err)
+	}
+}
+
+// TestUpdateFilterKeepsLegality grows, shrinks and moves filters on a
+// seeded population and requires, after every single update with NO
+// stabilization pass in between: a legal configuration, root MBR equal
+// to the union of the current filters, and zero false negatives on probe
+// events inside the updated filters.
+func TestUpdateFilterKeepsLegality(t *testing.T) {
+	rng := rand.New(rand.NewPCG(41, 17))
+	tr := MustNew(Params{MinFanout: 2, MaxFanout: 4})
+	live := map[ProcID]geom.Rect{}
+	for i := 1; i <= 120; i++ {
+		x, y := rng.Float64()*500, rng.Float64()*500
+		f := geom.R2(x, y, x+10+rng.Float64()*30, y+10+rng.Float64()*30)
+		if err := tr.Join(ProcID(i), f); err != nil {
+			t.Fatal(err)
+		}
+		live[ProcID(i)] = f
+	}
+
+	check := func(step string) {
+		t.Helper()
+		if err := tr.CheckLegal(); err != nil {
+			t.Fatalf("%s: illegal configuration: %v", step, err)
+		}
+		var union geom.Rect
+		for _, f := range live {
+			union = union.Union(f)
+		}
+		if got := tr.RootMBR(); !got.Equal(union) {
+			t.Fatalf("%s: root MBR %v, want filter union %v", step, got, union)
+		}
+	}
+	probe := func(step string, ev geom.Point) {
+		t.Helper()
+		d, err := tr.Publish(1, ev)
+		if err != nil {
+			t.Fatalf("%s: publish: %v", step, err)
+		}
+		got := make(map[ProcID]bool, len(d.Received))
+		for _, id := range d.Received {
+			got[id] = true
+		}
+		for id, f := range live {
+			if f.ContainsPoint(ev) && !got[id] {
+				t.Fatalf("%s: false negative %d for %v", step, id, ev)
+			}
+		}
+	}
+
+	for k := 0; k < 60; k++ {
+		id := ProcID(1 + rng.IntN(120))
+		old := live[id]
+		var f geom.Rect
+		switch k % 3 {
+		case 0: // grow: union with a fresh random rectangle
+			x, y := rng.Float64()*600, rng.Float64()*600
+			f = old.Union(geom.R2(x, y, x+20, y+20))
+		case 1: // shrink: keep the lower quarter
+			f = geom.R2(old.Lo(0), old.Lo(1),
+				(old.Lo(0)+old.Hi(0))/2, (old.Lo(1)+old.Hi(1))/2)
+		default: // move: a disjoint region
+			x, y := 700+rng.Float64()*200, 700+rng.Float64()*200
+			f = geom.R2(x, y, x+15, y+15)
+		}
+		if err := tr.UpdateFilter(id, f); err != nil {
+			t.Fatalf("update %d: %v", k, err)
+		}
+		live[id] = f
+		check("after update")
+		probe("after update", f.Center())
+		probe("after update", geom.Point{rng.Float64() * 900, rng.Float64() * 900})
+	}
+}
+
+// TestUpdateFilterSingleProcess covers the lone-leaf-root path.
+func TestUpdateFilterSingleProcess(t *testing.T) {
+	tr := MustNew(Params{MinFanout: 2, MaxFanout: 4})
+	if err := tr.Join(1, geom.R2(0, 0, 10, 10)); err != nil {
+		t.Fatal(err)
+	}
+	want := geom.R2(50, 50, 60, 60)
+	if err := tr.UpdateFilter(1, want); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.CheckLegal(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.RootMBR(); !got.Equal(want) {
+		t.Fatalf("root MBR %v, want %v", got, want)
+	}
+	if f, ok := tr.Filter(1); !ok || !f.Equal(want) {
+		t.Fatalf("Filter = %v, %v", f, ok)
+	}
+}

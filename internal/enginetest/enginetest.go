@@ -152,6 +152,21 @@ func Run(t *testing.T, mk Factory) *Transcript {
 	probesD := []geom.Point{probe(), probe(), {80, 30}}
 	s.checkpoint("D/rejoined", probesD)
 
+	// Phase 5: engine-level filter updates (the FilterUpdater
+	// capability): one filter grows, one shrinks to its lower quarter,
+	// one moves to a disjoint region. The checkpoint then certifies
+	// post-update legality, root MBR = union of the *updated* filters,
+	// and zero false negatives — including probes aimed at the moved and
+	// grown regions, which only deliver correctly if the MBR change
+	// propagated all the way to the root.
+	s.updateFilter(4, s.live[4].Union(geom.R2(100, 100, 120, 120)))
+	old6 := s.live[6]
+	s.updateFilter(6, geom.R2(old6.Lo(0), old6.Lo(1),
+		(old6.Lo(0)+old6.Hi(0))/2, (old6.Lo(1)+old6.Hi(1))/2))
+	s.updateFilter(10, geom.R2(140, 10, 160, 30))
+	probesE := []geom.Point{{110, 110}, {150, 20}, old6.Center(), probe(), probe()}
+	s.checkpoint("E/refiltered", probesE)
+
 	return s.tr
 }
 
@@ -185,6 +200,18 @@ func (s *suite) crash(id core.ProcID) {
 		s.t.Fatalf("enginetest: crash %d: %v", id, err)
 	}
 	delete(s.live, id)
+}
+
+func (s *suite) updateFilter(id core.ProcID, f geom.Rect) {
+	s.t.Helper()
+	fu, ok := s.eng.(engine.FilterUpdater)
+	if !ok {
+		s.t.Fatalf("enginetest: engine does not implement FilterUpdater")
+	}
+	if err := fu.UpdateFilter(id, f); err != nil {
+		s.t.Fatalf("enginetest: update filter of %d: %v", id, err)
+	}
+	s.live[id] = f
 }
 
 func (s *suite) corruptParent(id core.ProcID, h int, parent core.ProcID) {

@@ -157,6 +157,33 @@ func (c *Cluster) join(id core.ProcID, filter geom.Rect, contact core.ProcID) er
 	return nil
 }
 
+// UpdateFilter replaces the subscription filter of live process id (the
+// FilterUpdater capability). The FILTER_UPDATE is applied at the owning
+// node directly — it is application-to-local-process traffic, so it
+// cannot be lost to the simulated network's faults — and the resulting
+// MBR change propagates through the node's eager child report plus the
+// periodic CHECK_MBR probes; Stabilize drives the configuration back to
+// a legal state whose root MBR is the union of the updated filters.
+func (c *Cluster) UpdateFilter(id core.ProcID, f geom.Rect) error {
+	n := c.nodes[id]
+	if n == nil {
+		return fmt.Errorf("proto: process %d not in the cluster", id)
+	}
+	if f.IsEmpty() {
+		return fmt.Errorf("proto: filter must be non-empty")
+	}
+	if f.Dims() != n.filter.Dims() {
+		return fmt.Errorf("proto: filter has %d dims, cluster uses %d", f.Dims(), n.filter.Dims())
+	}
+	n.process(simnet.Message{
+		From:    simnet.NodeID(id),
+		To:      simnet.NodeID(id),
+		Payload: mFilterUpdate{Filter: f},
+	})
+	c.net.Send(n.drainOut()...)
+	return nil
+}
+
 // Leave performs a controlled departure (Figure 9): the leaver notifies
 // the parent of its topmost instance and disappears; stabilization
 // repairs the rest.

@@ -109,6 +109,35 @@ func (lc *LiveCluster) join(id core.ProcID, filter geom.Rect, contact core.ProcI
 	return nil
 }
 
+// UpdateFilter replaces the subscription filter of live process id (the
+// FilterUpdater capability): the FILTER_UPDATE is applied in the owning
+// actor's next locked turn, and the periodic CHECK_MBR probes carry the
+// MBR change to the root; Stabilize (AwaitLegal) confirms convergence.
+func (lc *LiveCluster) UpdateFilter(id core.ProcID, f geom.Rect) error {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	if lc.closed {
+		return fmt.Errorf("proto: live cluster closed")
+	}
+	a := lc.actors[id]
+	if a == nil {
+		return fmt.Errorf("proto: process %d not in the cluster", id)
+	}
+	if f.IsEmpty() {
+		return fmt.Errorf("proto: filter must be non-empty")
+	}
+	if f.Dims() != a.node.filter.Dims() {
+		return fmt.Errorf("proto: filter has %d dims, cluster uses %d", f.Dims(), a.node.filter.Dims())
+	}
+	a.node.process(simnet.Message{
+		From:    simnet.NodeID(id),
+		To:      simnet.NodeID(id),
+		Payload: mFilterUpdate{Filter: f},
+	})
+	lc.dispatchLocked(a.node.drainOut())
+	return nil
+}
+
 // Leave performs a controlled departure: the leaver notifies the parent
 // of its topmost instance and its actor stops; the periodic checks of
 // the survivors repair the rest.

@@ -135,6 +135,17 @@ type mChildReport struct {
 	Exists      bool
 }
 
+// mFilterUpdate replaces the receiver's own subscription filter (the
+// FilterUpdater capability). It is handed to the owning node by its
+// local application layer — the cluster applies it directly rather than
+// routing it over the lossy substrate, so an update can never be lost —
+// and the resulting MBR change rides the normal repair machinery: an
+// eager child report one level up, then the periodic CHECK_MBR probes
+// the rest of the way.
+type mFilterUpdate struct {
+	Filter geom.Rect
+}
+
 // mEvent carries a published event through the overlay (§2.3): upward to
 // the root, downward into every subtree whose MBR contains it.
 type mEvent struct {

@@ -216,10 +216,53 @@ func (n *Node) process(m simnet.Message) {
 		n.onChildQuery(core.ProcID(m.From), p)
 	case mChildReport:
 		n.onChildReport(core.ProcID(m.From), p)
+	case mFilterUpdate:
+		n.onFilterUpdate(p)
 	case mEvent:
 		n.onEvent(p)
 	case simnet.Bounce:
 		n.onBounce(core.ProcID(p.To), p.Original)
+	}
+}
+
+// onFilterUpdate replaces this node's subscription filter (FILTER_UPDATE,
+// the FilterUpdater capability): the leaf MBR follows the filter, the
+// parent's cached view is refreshed eagerly one level up, and the
+// periodic CHECK_MBR probes propagate the change to the root over the
+// following check periods.
+func (n *Node) onFilterUpdate(p mFilterUpdate) {
+	n.filter = p.Filter
+	n.recomputeMBR(0)
+	in := n.at(0)
+	if in == nil {
+		return
+	}
+	if n.top > 0 {
+		// The node owns interior instances: its own-child cache at height 1
+		// is read locally; refresh it and recompute upward along the own
+		// chain so the local view is coherent immediately.
+		for h := 1; h <= n.top; h++ {
+			hi := n.at(h)
+			if hi == nil {
+				break
+			}
+			if cs := hi.children[n.id]; cs != nil && n.at(h-1) != nil {
+				cs.mbr = n.at(h - 1).mbr
+			}
+			n.recomputeMBR(h)
+		}
+	}
+	// Tell the parent of the topmost instance about the new MBR without
+	// waiting for its next CHECK_CHILDREN probe.
+	top := n.at(n.top)
+	if top != nil && top.parent != n.id && top.parent != core.NoProc {
+		n.send(top.parent, mChildReport{
+			Height:      n.top + 1,
+			MBR:         top.mbr,
+			Underloaded: top.underloaded,
+			ParentIs:    top.parent,
+			Exists:      true,
+		})
 	}
 }
 

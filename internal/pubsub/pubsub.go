@@ -1,92 +1,187 @@
 // Package pubsub embeds a content-based publish/subscribe system in the
 // DR-tree overlay (the paper's overall goal): subscribers register
 // predicate filters (package filter), the broker compiles them to
-// poly-space rectangles over a fixed attribute Space, organizes them in
-// a DR-tree engine, and routes events with no false negatives and few
-// false positives.
+// poly-space rectangles over a fixed attribute Space, and routes events
+// with no false negatives and few false positives.
+//
+// The broker decouples subscribers from overlay processes through a
+// gateway layer: subscribers attach to a bounded pool of gateway
+// processes (the only members of the DR-tree), and each gateway's
+// overlay filter is the MBR-union of its local subscriptions — the
+// paper's §2.2 containment relation applied at runtime. The overlay
+// size, join traffic and per-event routing cost therefore scale with
+// the gateway count, not the subscriber count; per-gateway matching
+// uses a local R-tree index over the unique subscription rectangles
+// (equivalent filters share one entry), so per-event classification is
+// sublinear in subscribers too.
 //
 // The broker is engine-agnostic: it consumes only the unified
 // engine.Engine interface, so the same pub/sub front end runs over the
 // sequential tree, the deterministic message-passing cluster (including
 // lossy simulated networks), or the goroutine-per-node live cluster.
+// Gateways move their overlay filter through the engine.FilterUpdater
+// capability; engines without it fall back to a leave/re-join cycle.
 package pubsub
 
 import (
 	"fmt"
+	"math"
 	"slices"
+	"strconv"
 	"sync"
 
 	"drtree/internal/core"
 	"drtree/internal/engine"
 	"drtree/internal/filter"
+	"drtree/internal/geom"
+	"drtree/internal/rtree"
+	"drtree/internal/split"
 )
 
-// shardCount is the number of subscriber-table shards. Sixteen keeps a
-// shard's lock essentially uncontended for any realistic publisher count
-// while the per-shard maps stay cache-friendly.
-const shardCount = 16
+// DefaultGateways is the default size of the gateway pool. Sixteen keeps
+// a gateway's lock essentially uncontended for any realistic publisher
+// count while the overlay stays small and the per-gateway match indexes
+// stay cache-friendly.
+const DefaultGateways = 16
 
-// subShard is one slice of the subscriber table with its own lock, so
-// subscribe/unsubscribe churn on one shard never blocks match scans or
-// churn on the other fifteen.
-type subShard struct {
-	mu   sync.RWMutex
+// subscription is the broker-side record of one subscriber.
+type subscription struct {
+	f   filter.Filter
+	key string // rectKey of the compiled rectangle, into gateway.entries
+}
+
+// matchEntry is one unique subscription rectangle inside a gateway's
+// match index, shared by every subscriber whose filter compiles to the
+// same rectangle (equivalent-filter dedup: the containment order's
+// equivalence classes collapse to one R-tree entry).
+type matchEntry struct {
+	rect geom.Rect
 	subs map[core.ProcID]filter.Filter
 }
 
+// gateway is one overlay process aggregating many local subscriptions.
+// Its overlay filter is the running MBR-union of the local rectangles:
+// it grows when a subscription escapes the current union (a contained
+// filter rides for free — §2.2 at runtime) and shrinks opportunistically
+// when the unique rectangle set loses a maximal element.
+type gateway struct {
+	procID core.ProcID // overlay process ID (pool index + 1)
+
+	mu      sync.RWMutex
+	subs    map[core.ProcID]subscription
+	entries map[string]*matchEntry
+	index   *rtree.Tree // unique rectangles -> *matchEntry
+	union   geom.Rect   // == the gateway's overlay filter while joined
+	joined  bool
+}
+
 // Broker is the pub/sub front end over one DR-tree engine. It is safe
-// for concurrent use: the subscriber table is sharded by subscriber ID
-// under per-shard read/write locks, and overlay-engine calls (which the
+// for concurrent use: subscriber state is sharded per gateway under
+// per-gateway read/write locks, and overlay-engine calls (which the
 // Engine contract does not require to be concurrency-safe) are
 // serialized behind a single engine mutex. The expensive per-event work
-// — compiling filters and events, and scanning every subscriber to
+// — compiling filters and events, and the match-index scans that
 // classify interest — runs outside the engine mutex, so concurrent
-// publishers only serialize on the overlay traversal itself.
+// publishers only serialize on the overlay traversal itself. The lock
+// order is fixed: a gateway lock may be held while taking the engine
+// mutex, never the reverse.
 type Broker struct {
-	space  *filter.Space
-	engMu  sync.Mutex // serializes all calls into eng; never taken while holding a shard lock
-	eng    engine.Engine
-	shards [shardCount]subShard
+	space   *filter.Space
+	engMu   sync.Mutex // serializes all calls into eng
+	eng     engine.Engine
+	updater engine.FilterUpdater // nil when the engine lacks the capability
+	gws     []*gateway
+}
+
+// Option configures a Broker.
+type Option func(*brokerConfig) error
+
+type brokerConfig struct {
+	gateways int
+}
+
+// WithGateways sets the gateway pool size: the number of overlay
+// processes the broker's subscribers share (default DefaultGateways).
+// More gateways mean smaller per-gateway match indexes and tighter
+// overlay filters; fewer mean a smaller overlay.
+func WithGateways(n int) Option {
+	return func(c *brokerConfig) error {
+		if n < 1 {
+			return fmt.Errorf("pubsub: gateway count must be >= 1, got %d", n)
+		}
+		c.gateways = n
+		return nil
+	}
 }
 
 // New creates a broker over the given attribute space and overlay
-// engine. The broker owns the engine from then on: subscribers must be
-// managed through the broker only.
-func New(space *filter.Space, eng engine.Engine) (*Broker, error) {
+// engine. The broker owns the engine from then on: overlay membership
+// must be managed through the broker only.
+func New(space *filter.Space, eng engine.Engine, opts ...Option) (*Broker, error) {
 	if space == nil {
 		return nil, fmt.Errorf("pubsub: nil space")
 	}
 	if eng == nil {
 		return nil, fmt.Errorf("pubsub: nil engine")
 	}
+	cfg := brokerConfig{gateways: DefaultGateways}
+	for _, opt := range opts {
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
 	b := &Broker{space: space, eng: eng}
-	for i := range b.shards {
-		b.shards[i].subs = make(map[core.ProcID]filter.Filter)
+	b.updater, _ = eng.(engine.FilterUpdater)
+	b.gws = make([]*gateway, cfg.gateways)
+	for i := range b.gws {
+		b.gws[i] = &gateway{
+			procID:  core.ProcID(i + 1),
+			subs:    make(map[core.ProcID]subscription),
+			entries: make(map[string]*matchEntry),
+			// Wide nodes + the R*-style split keep sibling overlap (and so
+			// point-query node visits) low as the index grows: measured
+			// ~1.7x visit growth for a 100x subscriber growth, the best of
+			// the swept (m, M, policy) combinations.
+			index: rtree.MustNew(8, 32, split.RStar{}),
+		}
 	}
 	return b, nil
 }
 
 // NewCore is New over a fresh sequential engine — the common case and
 // the previous hardwired behaviour.
-func NewCore(space *filter.Space, params core.Params) (*Broker, error) {
+func NewCore(space *filter.Space, params core.Params, opts ...Option) (*Broker, error) {
 	tree, err := core.New(params)
 	if err != nil {
 		return nil, err
 	}
-	return New(space, tree)
+	return New(space, tree, opts...)
 }
 
-// shard returns the table slice owning subscriber id.
-func (b *Broker) shard(id core.ProcID) *subShard {
-	return &b.shards[uint64(id)%shardCount]
+// rectKey is an exact, collision-free encoding of a rectangle's bounds
+// (bit-level, not printf-rounded) used to detect equivalent filters.
+func rectKey(r geom.Rect) string {
+	buf := make([]byte, 0, 16*r.Dims())
+	for i := 0; i < r.Dims(); i++ {
+		buf = strconv.AppendUint(buf, math.Float64bits(r.Lo(i)), 16)
+		buf = append(buf, ':')
+		buf = strconv.AppendUint(buf, math.Float64bits(r.Hi(i)), 16)
+		buf = append(buf, ';')
+	}
+	return string(buf)
+}
+
+// gateway returns the pool member owning subscriber id.
+func (b *Broker) gateway(id core.ProcID) *gateway {
+	return b.gws[uint64(id)%uint64(len(b.gws))]
 }
 
 // registered reports whether id is a current subscriber.
 func (b *Broker) registered(id core.ProcID) bool {
-	sh := b.shard(id)
-	sh.mu.RLock()
-	_, ok := sh.subs[id]
-	sh.mu.RUnlock()
+	gw := b.gateway(id)
+	gw.mu.RLock()
+	_, ok := gw.subs[id]
+	gw.mu.RUnlock()
 	return ok
 }
 
@@ -98,40 +193,143 @@ func (b *Broker) Engine() engine.Engine { return b.eng }
 // Space returns the broker's attribute space.
 func (b *Broker) Space() *filter.Space { return b.space }
 
+// Gateways returns the gateway pool size.
+func (b *Broker) Gateways() int { return len(b.gws) }
+
 // Len returns the number of active subscribers.
 func (b *Broker) Len() int {
 	n := 0
-	for i := range b.shards {
-		sh := &b.shards[i]
-		sh.mu.RLock()
-		n += len(sh.subs)
-		sh.mu.RUnlock()
+	for _, gw := range b.gws {
+		gw.mu.RLock()
+		n += len(gw.subs)
+		gw.mu.RUnlock()
 	}
 	return n
 }
 
+// GatewayStat describes one gateway of the pool.
+type GatewayStat struct {
+	// ProcID is the gateway's overlay process ID.
+	ProcID core.ProcID
+	// Subscribers is the number of local subscriptions.
+	Subscribers int
+	// UniqueFilters is the number of distinct subscription rectangles
+	// (the match-index size; equivalent filters share an entry).
+	UniqueFilters int
+	// Filter is the gateway's overlay filter: the MBR-union of the local
+	// subscription rectangles (empty when the gateway is not joined).
+	Filter geom.Rect
+	// Joined reports whether the gateway is currently an overlay member.
+	Joined bool
+}
+
+// GatewayStats returns a snapshot of every gateway in pool order.
+func (b *Broker) GatewayStats() []GatewayStat {
+	out := make([]GatewayStat, len(b.gws))
+	for i, gw := range b.gws {
+		gw.mu.RLock()
+		out[i] = GatewayStat{
+			ProcID:        gw.procID,
+			Subscribers:   len(gw.subs),
+			UniqueFilters: len(gw.entries),
+			Filter:        gw.union,
+			Joined:        gw.joined,
+		}
+		gw.mu.RUnlock()
+	}
+	return out
+}
+
+// engJoin joins a gateway to the overlay under the engine mutex.
+func (b *Broker) engJoin(id core.ProcID, f geom.Rect) error {
+	b.engMu.Lock()
+	defer b.engMu.Unlock()
+	return b.eng.Join(id, f)
+}
+
+// engUpdateFilter moves gw's overlay filter under the engine mutex, via
+// the FilterUpdater capability when the engine has it, else through a
+// leave/re-join cycle. The caller holds gw.mu. On a failed move the
+// gateway's membership state is kept accurate: the fallback re-joins
+// with the old filter, and if even that fails the gateway is marked
+// unjoined so the next Subscribe re-establishes membership (with a
+// union covering every local subscription) instead of the broker
+// believing in a membership the engine no longer has.
+func (b *Broker) engUpdateFilter(gw *gateway, f geom.Rect) error {
+	b.engMu.Lock()
+	defer b.engMu.Unlock()
+	if b.updater != nil {
+		return b.updater.UpdateFilter(gw.procID, f)
+	}
+	if err := b.eng.Leave(gw.procID); err != nil {
+		return err
+	}
+	if err := b.eng.Join(gw.procID, f); err != nil {
+		if rerr := b.eng.Join(gw.procID, gw.union); rerr != nil {
+			gw.joined = false
+			gw.union = geom.Rect{}
+		}
+		return err
+	}
+	return nil
+}
+
 // Subscribe registers subscriber id with the given filter: the filter is
-// compiled to its rectangle and the subscriber joins the overlay.
-// Message-passing engines may still be routing the join when Subscribe
-// returns; Repair drives the overlay to quiescence.
+// compiled to its rectangle, indexed at the owning gateway, and the
+// gateway's overlay filter grows to cover it if it does not already
+// (message-passing engines may still be routing the join or the filter
+// update when Subscribe returns; Repair drives the overlay to
+// quiescence). Subscriber IDs must be positive and unused.
 func (b *Broker) Subscribe(id core.ProcID, f filter.Filter) error {
+	if id <= core.NoProc {
+		return fmt.Errorf("pubsub: subscriber IDs must be positive, got %d", id)
+	}
 	rect, err := b.space.Rect(f)
 	if err != nil {
 		return fmt.Errorf("pubsub: compiling filter: %w", err)
 	}
-	// Engine mutex first, shard lock second (the fixed lock order): the
-	// engine join is the authority on duplicate IDs, and the table entry
-	// appears only once the overlay accepted the subscriber.
-	b.engMu.Lock()
-	err = b.eng.Join(id, rect)
-	b.engMu.Unlock()
-	if err != nil {
-		return err
+	gw := b.gateway(id)
+	gw.mu.Lock()
+	defer gw.mu.Unlock()
+	if _, dup := gw.subs[id]; dup {
+		return fmt.Errorf("pubsub: subscriber %d already registered", id)
 	}
-	sh := b.shard(id)
-	sh.mu.Lock()
-	sh.subs[id] = f
-	sh.mu.Unlock()
+	// Overlay side first: if the engine refuses, no local state was
+	// touched. A rectangle inside the current union costs no engine
+	// traffic at all (the containment relation rides for free).
+	switch {
+	case !gw.joined:
+		// Normally the gateway is empty here; after a failed filter move
+		// (see engUpdateFilter) it may hold subscriptions, so the join
+		// filter must cover every local rectangle, not just the new one.
+		union := rect
+		for _, e := range gw.entries {
+			union = union.Union(e.rect)
+		}
+		if err := b.engJoin(gw.procID, union); err != nil {
+			return err
+		}
+		gw.joined = true
+		gw.union = union
+	case !gw.union.Contains(rect):
+		union := gw.union.Union(rect)
+		if err := b.engUpdateFilter(gw, union); err != nil {
+			return err
+		}
+		gw.union = union
+	}
+	key := rectKey(rect)
+	e := gw.entries[key]
+	if e == nil {
+		e = &matchEntry{rect: rect, subs: make(map[core.ProcID]filter.Filter)}
+		gw.entries[key] = e
+		if err := gw.index.Insert(rect, e); err != nil {
+			delete(gw.entries, key)
+			return fmt.Errorf("pubsub: indexing filter: %w", err)
+		}
+	}
+	e.subs[id] = f
+	gw.subs[id] = subscription{f: f, key: key}
 	return nil
 }
 
@@ -144,39 +342,84 @@ func (b *Broker) SubscribeExpr(id core.ProcID, src string) error {
 	return b.Subscribe(id, f)
 }
 
-// remove is the shared tail of Unsubscribe and Fail: claim the table
-// entry, then detach the subscriber from the overlay via leave. If the
-// engine refuses, the claim is rolled back.
+// remove is the shared tail of Unsubscribe and Fail: drop the local
+// subscription, then either detach the whole gateway from the overlay
+// (when this was its last subscription — a gateway never lingers with a
+// stale filter) or shrink the gateway's overlay filter opportunistically
+// when a maximal rectangle disappeared. If the engine refuses, the local
+// removal is rolled back.
 func (b *Broker) remove(id core.ProcID, leave func(core.ProcID) error) error {
-	sh := b.shard(id)
-	sh.mu.Lock()
-	f, ok := sh.subs[id]
-	if ok {
-		delete(sh.subs, id)
-	}
-	sh.mu.Unlock()
+	gw := b.gateway(id)
+	gw.mu.Lock()
+	defer gw.mu.Unlock()
+	sub, ok := gw.subs[id]
 	if !ok {
 		return fmt.Errorf("pubsub: subscriber %d not registered", id)
 	}
-	b.engMu.Lock()
-	err := leave(id)
-	b.engMu.Unlock()
-	if err != nil {
-		sh.mu.Lock()
-		sh.subs[id] = f
-		sh.mu.Unlock()
-		return err
+	e := gw.entries[sub.key]
+	delete(gw.subs, id)
+	delete(e.subs, id)
+	entryGone := len(e.subs) == 0
+	if entryGone {
+		delete(gw.entries, sub.key)
+		gw.index.Delete(e.rect, e)
+	}
+	rollback := func() {
+		gw.subs[id] = sub
+		e.subs[id] = sub.f
+		if entryGone {
+			gw.entries[sub.key] = e
+			gw.index.Insert(e.rect, e)
+		}
+	}
+	if len(gw.subs) == 0 {
+		b.engMu.Lock()
+		err := leave(gw.procID)
+		b.engMu.Unlock()
+		if err != nil {
+			rollback()
+			return err
+		}
+		gw.joined = false
+		gw.union = geom.Rect{}
+		return nil
+	}
+	if entryGone {
+		if union := gw.recomputeUnion(); !union.Equal(gw.union) {
+			if err := b.engUpdateFilter(gw, union); err != nil {
+				rollback()
+				return err
+			}
+			gw.union = union
+		}
 	}
 	return nil
 }
 
-// Unsubscribe removes a subscriber via a controlled departure.
+// recomputeUnion derives the gateway's tightest overlay filter after a
+// unique rectangle disappeared. By the §2.2 containment order this
+// equals the union of the order's maximal elements (every non-maximal
+// rectangle is inside a maximal one, and equivalents already collapsed
+// into one entry) — which is exactly the direct union of all entries,
+// computed in one O(entries) pass rather than via an O(entries²)
+// containment-graph build on the churn path.
+func (gw *gateway) recomputeUnion() geom.Rect {
+	var u geom.Rect
+	for _, e := range gw.entries {
+		u = u.Union(e.rect)
+	}
+	return u
+}
+
+// Unsubscribe removes a subscriber; a gateway losing its last
+// subscription leaves the overlay via a controlled departure.
 func (b *Broker) Unsubscribe(id core.ProcID) error {
 	return b.remove(id, b.eng.Leave)
 }
 
-// Fail simulates an abrupt subscriber failure; call Repair (or rely on
-// the next Repair) to restore the overlay.
+// Fail simulates an abrupt subscriber failure; a gateway losing its last
+// subscription crashes out of the overlay (call Repair, or rely on the
+// next Repair, to restore the structure).
 func (b *Broker) Fail(id core.ProcID) error {
 	return b.remove(id, b.eng.Crash)
 }
@@ -200,9 +443,12 @@ type Notification struct {
 	// Interested lists subscribers whose filter exactly matches the
 	// event (strict predicate semantics), ascending.
 	Interested []core.ProcID
-	// Received lists subscribers that physically received the event.
+	// Received lists subscribers that physically received the event:
+	// their subscription rectangle contains it and their gateway's
+	// overlay dissemination reached the gateway.
 	Received []core.ProcID
-	// FalsePositives = received but not interested.
+	// FalsePositives = received but not interested (rectangle vs strict
+	// predicate boundary cases).
 	FalsePositives []core.ProcID
 	// FalseNegatives = interested but not received (must always be
 	// empty on a stabilized overlay; kept for verification). Under
@@ -210,16 +456,23 @@ type Notification struct {
 	// subscriber joining between overlay routing and the match scan can
 	// appear here transiently.
 	FalseNegatives []core.ProcID
-	// Messages is the inter-process message count.
+	// Messages is the inter-process message count of the overlay
+	// dissemination (gateway-to-gateway traffic).
 	Messages int
 	// Rounds is the dissemination latency in network rounds
 	// (message-passing engines; 0 for the sequential engine).
 	Rounds int
+	// ScanVisited counts the match-index nodes visited to classify this
+	// event across all gateways — the local matching cost that replaced
+	// the global linear subscriber scan. It is deterministic for a fixed
+	// subscription set and event, and grows sublinearly in subscribers.
+	ScanVisited int
 }
 
 // Publish routes an event from the given producer through the overlay.
 // The producer must be a subscriber (the paper's model: publishers and
-// consumers share the overlay). It is PublishBatch with a batch of one.
+// consumers share the overlay — the producer's gateway injects the
+// event). It is PublishBatch with a batch of one.
 func (b *Broker) Publish(producer core.ProcID, ev filter.Event) (Notification, error) {
 	notes, err := b.PublishBatch(producer, []filter.Event{ev})
 	if err != nil {
@@ -228,12 +481,13 @@ func (b *Broker) Publish(producer core.ProcID, ev filter.Event) (Notification, e
 	return notes[0], nil
 }
 
-// PublishBatch routes a batch of events from the given producer through
-// the overlay's batched pipeline (engine.Engine.PublishBatch) and
-// returns one Notification per event, index-aligned. The overlay is
-// traversed with the whole batch in flight under one engine-mutex
-// acquisition, and the subscriber match scan visits each table shard
-// once for all events, so the per-event cost falls with the batch size.
+// PublishBatch routes a batch of events from the given producer's
+// gateway through the overlay's batched pipeline
+// (engine.Engine.PublishBatch) and returns one Notification per event,
+// index-aligned. The overlay is traversed with the whole batch in flight
+// under one engine-mutex acquisition, and each gateway's match index is
+// queried once per event for the whole batch, so the per-event cost
+// falls with the batch size.
 func (b *Broker) PublishBatch(producer core.ProcID, evs []filter.Event) ([]Notification, error) {
 	if len(evs) == 0 {
 		return nil, nil
@@ -241,13 +495,16 @@ func (b *Broker) PublishBatch(producer core.ProcID, evs []filter.Event) ([]Notif
 	if !b.registered(producer) {
 		return nil, fmt.Errorf("pubsub: producer %d not registered", producer)
 	}
+	gwID := b.gateway(producer).procID
 	batch := make([]core.Publication, len(evs))
+	points := make([]geom.Point, len(evs))
 	for i, ev := range evs {
 		p, err := b.space.Point(ev)
 		if err != nil {
 			return nil, err
 		}
-		batch[i] = core.Publication{Producer: producer, Event: p}
+		points[i] = p
+		batch[i] = core.Publication{Producer: gwID, Event: p}
 	}
 	b.engMu.Lock()
 	ds, err := b.eng.PublishBatch(batch)
@@ -256,46 +513,63 @@ func (b *Broker) PublishBatch(producer core.ProcID, evs []filter.Event) ([]Notif
 		return nil, err
 	}
 	notes := make([]Notification, len(evs))
+	reached := make([]map[core.ProcID]bool, len(evs))
 	for i := range ds {
 		notes[i].Messages = ds[i].Messages
 		notes[i].Rounds = ds[i].Rounds
-		notes[i].Received = ds[i].Received
+		reached[i] = make(map[core.ProcID]bool, len(ds[i].Received))
+		for _, id := range ds[i].Received {
+			reached[i][id] = true
+		}
 	}
-	b.classifyBatch(notes, evs)
+	b.classifyBatch(notes, evs, points, reached)
 	return notes, nil
 }
 
-// classifyBatch fills the Interested/FalsePositives/FalseNegatives sets
-// of each notification from the sharded subscriber table: each shard is
-// locked and scanned once, matching every subscriber against every
-// event of the batch.
-func (b *Broker) classifyBatch(notes []Notification, evs []filter.Event) {
-	got := make([]map[core.ProcID]bool, len(notes))
-	for k := range notes {
-		got[k] = make(map[core.ProcID]bool, len(notes[k].Received))
-		for _, id := range notes[k].Received {
-			got[k][id] = true
+// classifyBatch fills the per-subscriber sets of each notification from
+// the gateways' match indexes: for every gateway, every event queries
+// the local R-tree once (sublinear in the gateway's subscription count),
+// and only the candidates whose rectangle contains the event are checked
+// against the strict predicate semantics. reached[k] is the set of
+// overlay processes the engine delivered event k to.
+func (b *Broker) classifyBatch(notes []Notification, evs []filter.Event, points []geom.Point, reached []map[core.ProcID]bool) {
+	for _, gw := range b.gws {
+		gw.mu.RLock()
+		if len(gw.subs) == 0 {
+			gw.mu.RUnlock()
+			continue
 		}
-	}
-	for i := range b.shards {
-		sh := &b.shards[i]
-		sh.mu.RLock()
-		for id, f := range sh.subs {
-			for k := range notes {
-				if f.Match(evs[k]) {
-					notes[k].Interested = append(notes[k].Interested, id)
-					if !got[k][id] {
+		for k := range notes {
+			matches, visited := gw.index.VisitCount(points[k])
+			notes[k].ScanVisited += visited
+			if len(matches) == 0 {
+				continue
+			}
+			got := reached[k][gw.procID]
+			for _, m := range matches {
+				e := m.(*matchEntry)
+				for id, f := range e.subs {
+					interested := f.Match(evs[k])
+					if interested {
+						notes[k].Interested = append(notes[k].Interested, id)
+					}
+					switch {
+					case got:
+						notes[k].Received = append(notes[k].Received, id)
+						if !interested {
+							notes[k].FalsePositives = append(notes[k].FalsePositives, id)
+						}
+					case interested:
 						notes[k].FalseNegatives = append(notes[k].FalseNegatives, id)
 					}
-				} else if got[k][id] {
-					notes[k].FalsePositives = append(notes[k].FalsePositives, id)
 				}
 			}
 		}
-		sh.mu.RUnlock()
+		gw.mu.RUnlock()
 	}
 	for k := range notes {
 		slices.Sort(notes[k].Interested)
+		slices.Sort(notes[k].Received)
 		slices.Sort(notes[k].FalsePositives)
 		slices.Sort(notes[k].FalseNegatives)
 	}
