@@ -173,25 +173,36 @@ func readJSONStrict(path string, v any) error {
 	return dec.Decode(v)
 }
 
-// benchRecord is one recorded benchmark baseline.
+// benchRecord is one recorded benchmark baseline. The arena_* fields are
+// the sequential engine's instance-arena residency after the workload
+// (slots allocated / live / on the free list): they are exact,
+// deterministic counters, so the perf gate catches both handle leaks
+// (live drifting above the process count) and recycling regressions
+// (free slots piling up where reuse is expected).
 type benchRecord struct {
 	Name        string  `json:"name"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+	ArenaCap    int     `json:"arena_cap"`
+	ArenaLive   int     `json:"arena_live"`
+	ArenaFree   int     `json:"arena_free"`
 }
 
-// measureBenchCore measures the two core hot paths guarded by this
-// repo's performance budget — a 1000-subscriber build-up (per-join cost)
-// and steady-state publishing on the resulting tree. The workloads
-// replicate BenchmarkJoin1000 and BenchmarkPublishN1000 in internal/core
-// seed-for-seed (PCG(2,2) for the join build-up; benchTree's PCG(1,1000)
-// build and continuing event stream for publish) so numbers are
-// comparable with `go test -bench`.
+// measureBenchCore measures the core hot paths guarded by this repo's
+// performance budget — a 1000-subscriber build-up (per-join cost),
+// steady-state publishing on the resulting tree, and a seeded
+// join/leave/crash churn cycle that exercises the arena free list. The
+// first two workloads replicate BenchmarkJoin1000 and
+// BenchmarkPublishN1000 in internal/core seed-for-seed (PCG(2,2) for the
+// join build-up; benchTree's PCG(1,1000) build and continuing event
+// stream for publish) so numbers are comparable with `go test -bench`.
+// PublishWorkers is pinned to 1 everywhere: the recorded counters must
+// not depend on the machine's core count.
 func measureBenchCore() []benchRecord {
 	build := func(b *testing.B, s1, s2 uint64) (*core.Tree, *rand.Rand) {
 		rng := rand.New(rand.NewPCG(s1, s2))
-		tr := core.MustNew(core.Params{MinFanout: 2, MaxFanout: 4})
+		tr := core.MustNew(core.Params{MinFanout: 2, MaxFanout: 4, PublishWorkers: 1})
 		for k := 1; k <= 1000; k++ {
 			x, y := rng.Float64()*1000, rng.Float64()*1000
 			if err := tr.Join(core.ProcID(k), geom.R2(x, y, x+15, y+15)); err != nil {
@@ -201,10 +212,12 @@ func measureBenchCore() []benchRecord {
 		return tr, rng
 	}
 
+	var joinArena, publishArena, churnArena core.ArenaStats
 	joinRes := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			build(b, 2, 2)
+			tr, _ := build(b, 2, 2)
+			joinArena = tr.ArenaStats()
 		}
 	})
 
@@ -219,21 +232,58 @@ func measureBenchCore() []benchRecord {
 				b.Fatal(err)
 			}
 		}
+		publishArena = tr.ArenaStats()
 	})
 
+	// Churn: half the population leaves or crashes and a new cohort joins,
+	// so departures push handles onto the free list and the joins reclaim
+	// them. The final residency is a deterministic fingerprint of the
+	// release/reuse discipline.
+	churnRes := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tr, rng := build(b, 7, 7)
+			for k := 1; k <= 500; k++ {
+				id := core.ProcID(1 + rng.IntN(1000))
+				if _, ok := tr.Filter(id); !ok {
+					continue
+				}
+				var err error
+				if k%2 == 0 {
+					err = tr.Leave(id)
+				} else {
+					err = tr.Crash(id)
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			tr.Stabilize()
+			for k := 1001; k <= 1250; k++ {
+				x, y := rng.Float64()*1000, rng.Float64()*1000
+				if err := tr.Join(core.ProcID(k), geom.R2(x, y, x+15, y+15)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			churnArena = tr.ArenaStats()
+		}
+	})
+
+	rec := func(name string, r testing.BenchmarkResult, ar core.ArenaStats) benchRecord {
+		return benchRecord{
+			Name:        name,
+			NsPerOp:     float64(r.NsPerOp()),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			ArenaCap:    ar.Cap,
+			ArenaLive:   ar.Live,
+			ArenaFree:   ar.Free,
+		}
+	}
 	return []benchRecord{
-		{
-			Name:        "BenchmarkJoin1000",
-			NsPerOp:     float64(joinRes.NsPerOp()),
-			BytesPerOp:  joinRes.AllocedBytesPerOp(),
-			AllocsPerOp: joinRes.AllocsPerOp(),
-		},
-		{
-			Name:        "BenchmarkPublishN1000",
-			NsPerOp:     float64(publishRes.NsPerOp()),
-			BytesPerOp:  publishRes.AllocedBytesPerOp(),
-			AllocsPerOp: publishRes.AllocsPerOp(),
-		},
+		rec("BenchmarkJoin1000", joinRes, joinArena),
+		rec("BenchmarkPublishN1000", publishRes, publishArena),
+		rec("BenchmarkChurnArena", churnRes, churnArena),
 	}
 }
 
@@ -346,6 +396,11 @@ type brokerRecord struct {
 	MsgsPerEvent        float64 `json:"msgs_per_event"`
 	RoundsPerBatch      float64 `json:"rounds_per_batch"`
 	ScanVisitedPerEvent float64 `json:"scan_visited_per_event"`
+	// Arena residency of the sequential engine's instance arena after
+	// the workload (zero for the wire engine): deterministic, gated.
+	ArenaCap  int `json:"arena_cap"`
+	ArenaLive int `json:"arena_live"`
+	ArenaFree int `json:"arena_free"`
 }
 
 // batchSizes are the broker pipeline's measured batch sizes. Powers of
@@ -354,11 +409,15 @@ type brokerRecord struct {
 var batchSizes = []int{1, 16, 256}
 
 // scaleSizes are the subscriber populations of the gateway-scale sweep:
-// the per-event classification cost at the top size must stay within ~2x
+// the per-event classification cost at the top size must stay within ~3x
 // of the bottom size at the fixed gateway count — the sublinear-scan
 // contract of the gateway layer (asserted by the smoke test and pinned
-// exactly by the perf gate).
-var scaleSizes = []int{1_000, 10_000, 100_000}
+// exactly by the perf gate). The sweep tops out at one million
+// subscribers: the overlay stays at 16 gateway processes while the
+// match indexes absorb the full population, so the row certifies the
+// arena/SoA layout at three orders of magnitude above the seed's
+// original scale.
+var scaleSizes = []int{1_000, 10_000, 100_000, 1_000_000}
 
 // scaleGateways is the fixed pool size of the scale sweep.
 const scaleGateways = 16
@@ -414,8 +473,11 @@ func measureBenchBroker() ([]brokerRecord, error) {
 
 	// Sequential engine: testing.Benchmark gives per-op wall/alloc costs;
 	// one op = one PublishBatch of the first `size` fixed events.
+	// PublishWorkers is pinned to 1 so allocs/event cannot vary with the
+	// machine's core count (the parallel path's per-worker scratch would
+	// otherwise make the gate machine-dependent).
 	for _, size := range batchSizes {
-		tree, err := core.New(core.Params{MinFanout: 2, MaxFanout: 4})
+		tree, err := core.New(core.Params{MinFanout: 2, MaxFanout: 4, PublishWorkers: 1})
 		if err != nil {
 			return nil, err
 		}
@@ -437,6 +499,7 @@ func measureBenchBroker() ([]brokerRecord, error) {
 				}
 			}
 		})
+		ar := tree.ArenaStats()
 		records = append(records, brokerRecord{
 			Name:                fmt.Sprintf("BrokerBatchCore/b%d", size),
 			Engine:              "core",
@@ -447,6 +510,9 @@ func measureBenchBroker() ([]brokerRecord, error) {
 			AllocsPerEvent:      float64(res.AllocsPerOp()) / float64(size),
 			MsgsPerEvent:        float64(msgs) / float64(size),
 			ScanVisitedPerEvent: float64(visited) / float64(size),
+			ArenaCap:            ar.Cap,
+			ArenaLive:           ar.Live,
+			ArenaFree:           ar.Free,
 		})
 	}
 
@@ -492,7 +558,7 @@ func measureBenchBroker() ([]brokerRecord, error) {
 	// allocs/event certify that per-event classification no longer scales
 	// with the subscriber table (batch 16 keeps the division float-exact).
 	for _, n := range scaleSizes {
-		tree, err := core.New(core.Params{MinFanout: 2, MaxFanout: 4})
+		tree, err := core.New(core.Params{MinFanout: 2, MaxFanout: 4, PublishWorkers: 1})
 		if err != nil {
 			return nil, err
 		}
@@ -515,6 +581,7 @@ func measureBenchBroker() ([]brokerRecord, error) {
 				}
 			}
 		})
+		ar := tree.ArenaStats()
 		records = append(records, brokerRecord{
 			Name:                fmt.Sprintf("BrokerScale/n%d", n),
 			Engine:              "core",
@@ -525,6 +592,9 @@ func measureBenchBroker() ([]brokerRecord, error) {
 			AllocsPerEvent:      float64(res.AllocsPerOp()) / float64(size),
 			MsgsPerEvent:        float64(msgs) / float64(size),
 			ScanVisitedPerEvent: float64(visited) / float64(size),
+			ArenaCap:            ar.Cap,
+			ArenaLive:           ar.Live,
+			ArenaFree:           ar.Free,
 		})
 	}
 	return records, nil
@@ -566,8 +636,14 @@ func gateViolations(coreGot, coreWant []benchRecord, protoGot, protoWant []proto
 			g, w := coreGot[i], coreWant[i]
 			if g.Name != w.Name {
 				mismatch("core[%d]: name %q, baseline %q", i, g.Name, w.Name)
-			} else if g.AllocsPerOp != w.AllocsPerOp {
-				mismatch("core %s: %d allocs/op, baseline %d", g.Name, g.AllocsPerOp, w.AllocsPerOp)
+			} else {
+				if g.AllocsPerOp != w.AllocsPerOp {
+					mismatch("core %s: %d allocs/op, baseline %d", g.Name, g.AllocsPerOp, w.AllocsPerOp)
+				}
+				if g.ArenaCap != w.ArenaCap || g.ArenaLive != w.ArenaLive || g.ArenaFree != w.ArenaFree {
+					mismatch("core %s: arena cap/live/free %d/%d/%d, baseline %d/%d/%d",
+						g.Name, g.ArenaCap, g.ArenaLive, g.ArenaFree, w.ArenaCap, w.ArenaLive, w.ArenaFree)
+				}
 			}
 		}
 	}
@@ -614,6 +690,13 @@ func gateViolations(coreGot, coreWant []benchRecord, protoGot, protoWant []proto
 			// allocs non-constant, recorded as -1).
 			if g.AllocsPerEvent >= 0 && w.AllocsPerEvent >= 0 && g.AllocsPerEvent != w.AllocsPerEvent {
 				mismatch("broker %s: %.4f allocs/event, baseline %.4f", g.Name, g.AllocsPerEvent, w.AllocsPerEvent)
+			}
+			// Arena residency is exact for core-engine records and zero on
+			// both sides for the wire engine, so a plain comparison covers
+			// every row.
+			if g.ArenaCap != w.ArenaCap || g.ArenaLive != w.ArenaLive || g.ArenaFree != w.ArenaFree {
+				mismatch("broker %s: arena cap/live/free %d/%d/%d, baseline %d/%d/%d",
+					g.Name, g.ArenaCap, g.ArenaLive, g.ArenaFree, w.ArenaCap, w.ArenaLive, w.ArenaFree)
 			}
 		}
 	}

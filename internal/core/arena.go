@@ -1,0 +1,174 @@
+package core
+
+import "drtree/internal/geom"
+
+// Handle addresses one instance inside a Tree's arena. Handles are dense
+// int32 indexes into the arena's parallel slices; nilH marks "no
+// instance". Freed handles are recycled through a free list, so a handle
+// is only meaningful together with the (owner, height) pair it was
+// resolved for — see instArena and (*Tree).liveH.
+type Handle = int32
+
+// nilH is the null handle.
+const nilH Handle = -1
+
+// instArena is the structure-of-arrays instance store of one Tree. Every
+// per-instance field lives in its own slice, indexed by Handle, so the
+// hot routing loops (publish.go) scan cache-linear arrays — in
+// particular mbr, the minimum bounding rectangles — instead of chasing
+// per-node heap objects.
+//
+// Free-list recycling: Leave/Crash/dissolve push handles onto free;
+// alloc pops them first, reusing the kids/kidH slice capacity left
+// behind. A freed slot keeps owner == NoProc, which makes every cached
+// handle to it fail verification (process IDs are positive).
+//
+// Handle caches (parentH, kidH) are pure accelerators: the ProcID-based
+// parent/kids fields remain the ground truth, and a cache entry is only
+// trusted after verifying owner and height at the target slot. Because a
+// process owns at most one instance per height, a verified (owner,
+// height) pair identifies the live instance uniquely even after the slot
+// was freed and recycled — a stale cache can therefore never alias a
+// wrong instance, only miss.
+type instArena struct {
+	owner   []ProcID    // owning process; NoProc when the slot is free
+	height  []int32     // instance height (leaves are 0)
+	parent  []ProcID    // parent process (ground truth)
+	parentH []Handle    // cached handle of the parent instance
+	kids    [][]ProcID  // child processes (ground truth); empty for leaves
+	kidH    [][]Handle  // cached handles of the children, parallel to kids
+	mbr     []geom.Rect // minimum bounding rectangles (the hot SoA lane)
+	under   []bool      // underloaded flag
+	slot    []int32     // owner's dense delivery slot (see Tree.slots)
+
+	// Reorganization statistics (§3.2), tracked only when
+	// Params.TrackReorgStats is set.
+	seen    []int32
+	selfFP  []int32
+	childFP []map[ProcID]int
+
+	free []Handle // recycled handles
+	live int      // number of live (allocated) handles
+}
+
+// alloc returns a fresh handle owned by (owner, h), recycling the free
+// list first. The slot comes back with empty children and zeroed stats.
+func (a *instArena) alloc(owner ProcID, h int, slot int32) Handle {
+	if n := len(a.free); n > 0 {
+		x := a.free[n-1]
+		a.free = a.free[:n-1]
+		a.owner[x] = owner
+		a.height[x] = int32(h)
+		a.parent[x] = NoProc
+		a.parentH[x] = nilH
+		a.kids[x] = a.kids[x][:0]
+		a.kidH[x] = a.kidH[x][:0]
+		a.mbr[x] = geom.Rect{}
+		a.under[x] = false
+		a.slot[x] = slot
+		a.seen[x], a.selfFP[x] = 0, 0
+		a.childFP[x] = nil
+		a.live++
+		return x
+	}
+	x := Handle(len(a.owner))
+	a.owner = append(a.owner, owner)
+	a.height = append(a.height, int32(h))
+	a.parent = append(a.parent, NoProc)
+	a.parentH = append(a.parentH, nilH)
+	a.kids = append(a.kids, nil)
+	a.kidH = append(a.kidH, nil)
+	a.mbr = append(a.mbr, geom.Rect{})
+	a.under = append(a.under, false)
+	a.slot = append(a.slot, slot)
+	a.seen = append(a.seen, 0)
+	a.selfFP = append(a.selfFP, 0)
+	a.childFP = append(a.childFP, nil)
+	a.live++
+	return x
+}
+
+// release frees handle x. The kids/kidH capacity stays with the slot for
+// the next alloc; owner is cleared so stale cached handles to x can
+// never verify.
+func (a *instArena) release(x Handle) {
+	a.owner[x] = NoProc
+	a.parent[x] = NoProc
+	a.parentH[x] = nilH
+	a.kids[x] = a.kids[x][:0]
+	a.kidH[x] = a.kidH[x][:0]
+	a.childFP[x] = nil
+	a.free = append(a.free, x)
+	a.live--
+}
+
+// addKid appends child c to x. The first child of a slot gets capacity
+// for a full node up front (M+1 so an overflowing node still fits before
+// its split), so a node's whole lifetime costs at most one kids and one
+// kidH allocation.
+func (a *instArena) addKid(x Handle, c ProcID, maxFanout int) {
+	if cap(a.kids[x]) == 0 {
+		a.kids[x] = make([]ProcID, 0, maxFanout+1)
+		a.kidH[x] = make([]Handle, 0, maxFanout+1)
+	}
+	a.kids[x] = append(a.kids[x], c)
+	a.kidH[x] = append(a.kidH[x], nilH)
+}
+
+// setKids replaces the children of x, invalidating the handle cache. ids
+// may alias a prefix of the current kids slice.
+func (a *instArena) setKids(x Handle, ids []ProcID, maxFanout int) {
+	if cap(a.kids[x]) < len(ids) {
+		n := max(len(ids), maxFanout+1)
+		a.kids[x] = append(make([]ProcID, 0, n), ids...)
+		a.kidH[x] = make([]Handle, len(ids), n)
+	} else {
+		a.kids[x] = append(a.kids[x][:0], ids...)
+		a.kidH[x] = a.kidH[x][:len(ids)]
+	}
+	for i := range a.kidH[x] {
+		a.kidH[x][i] = nilH
+	}
+}
+
+// removeKid deletes child c from x (first occurrence), keeping kids and
+// kidH parallel. It reports whether c was present.
+func (a *instArena) removeKid(x Handle, c ProcID) bool {
+	kids := a.kids[x]
+	for i, k := range kids {
+		if k == c {
+			a.kids[x] = append(kids[:i], kids[i+1:]...)
+			kh := a.kidH[x]
+			a.kidH[x] = append(kh[:i], kh[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// replaceKid rewrites every occurrence of old to new in x's children,
+// invalidating the affected cache entries.
+func (a *instArena) replaceKid(x Handle, old, new ProcID) {
+	for i, k := range a.kids[x] {
+		if k == old {
+			a.kids[x][i] = new
+			a.kidH[x][i] = nilH
+		}
+	}
+}
+
+// ArenaStats describes the residency of the tree's instance arena: how
+// many handle slots exist, how many are live, and how many sit on the
+// free list awaiting recycling. Cap == Live + Free always holds; after
+// churn, Free > 0 shows the free list absorbing Leave/Crash instead of
+// growing the arena.
+type ArenaStats struct {
+	Cap  int // total handle slots ever allocated
+	Live int // slots currently backing a live instance
+	Free int // recycled slots available for reuse
+}
+
+// ArenaStats reports the instance-arena residency counters.
+func (t *Tree) ArenaStats() ArenaStats {
+	return ArenaStats{Cap: len(t.ar.owner), Live: t.ar.live, Free: len(t.ar.free)}
+}

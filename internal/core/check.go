@@ -26,18 +26,18 @@ func (t *Tree) CheckLegal() error {
 	if rp == nil {
 		return fmt.Errorf("core: root %d is not a live process", t.rootID)
 	}
-	rin := rp.At(t.rootH)
-	if rin == nil {
+	rx := rp.at(t.rootH)
+	if rx == nilH {
 		return fmt.Errorf("core: root %d has no instance at height %d", t.rootID, t.rootH)
 	}
-	if rin.Parent != t.rootID {
-		return fmt.Errorf("core: root instance parent is %d, want self", rin.Parent)
+	if t.ar.parent[rx] != t.rootID {
+		return fmt.Errorf("core: root instance parent is %d, want self", t.ar.parent[rx])
 	}
 	if t.rootH != rp.Top {
 		return fmt.Errorf("core: root height %d != root process top %d", t.rootH, rp.Top)
 	}
-	if t.rootH > 0 && len(t.procs) > 1 && len(rin.Children) < 2 {
-		return fmt.Errorf("core: interior root must have >= 2 children, has %d", len(rin.Children))
+	if t.rootH > 0 && len(t.procs) > 1 && len(t.ar.kids[rx]) < 2 {
+		return fmt.Errorf("core: interior root must have >= 2 children, has %d", len(t.ar.kids[rx]))
 	}
 
 	m, M := t.params.MinFanout, t.params.MaxFanout
@@ -49,60 +49,61 @@ func (t *Tree) CheckLegal() error {
 		if p == nil {
 			return fmt.Errorf("core: dead process %d referenced at height %d", id, h)
 		}
-		in := p.At(h)
-		if in == nil {
+		x := p.at(h)
+		if x == nilH {
 			return fmt.Errorf("core: process %d missing instance at height %d", id, h)
 		}
+		kids := t.ar.kids[x]
 		if h == 0 {
 			reached[id] = true
-			if len(in.Children) != 0 {
+			if len(kids) != 0 {
 				return fmt.Errorf("core: leaf instance of %d has children", id)
 			}
-			if !in.MBR.Equal(p.Filter) {
-				return fmt.Errorf("core: leaf MBR of %d is %v, want filter %v", id, in.MBR, p.Filter)
+			if !t.ar.mbr[x].Equal(p.Filter) {
+				return fmt.Errorf("core: leaf MBR of %d is %v, want filter %v", id, t.ar.mbr[x], p.Filter)
 			}
 			return nil
 		}
 		isRoot := id == t.rootID && h == t.rootH
-		if !isRoot && len(in.Children) < m {
-			return fmt.Errorf("core: node (%d,%d) underflows: %d < m=%d", id, h, len(in.Children), m)
+		if !isRoot && len(kids) < m {
+			return fmt.Errorf("core: node (%d,%d) underflows: %d < m=%d", id, h, len(kids), m)
 		}
-		if len(in.Children) > M {
-			return fmt.Errorf("core: node (%d,%d) overflows: %d > M=%d", id, h, len(in.Children), M)
+		if len(kids) > M {
+			return fmt.Errorf("core: node (%d,%d) overflows: %d > M=%d", id, h, len(kids), M)
 		}
-		if !in.hasChild(id) {
+		if !hasID(kids, id) {
 			return fmt.Errorf("core: node (%d,%d) violates the own-child invariant", id, h)
 		}
 		ownMBR := t.childMBR(id, h-1)
 		var union geom.Rect
-		seen := make(map[ProcID]bool, len(in.Children))
-		for _, c := range in.Children {
+		seen := make(map[ProcID]bool, len(kids))
+		for _, c := range kids {
 			if seen[c] {
 				return fmt.Errorf("core: node (%d,%d) lists child %d twice", id, h, c)
 			}
 			seen[c] = true
-			ci := t.instance(c, h-1)
-			if ci == nil {
+			cx := t.at(c, h-1)
+			if cx == nilH {
 				return fmt.Errorf("core: child %d of (%d,%d) has no instance at %d", c, id, h, h-1)
 			}
-			if ci.Parent != id {
-				return fmt.Errorf("core: child %d of (%d,%d) names parent %d", c, id, h, ci.Parent)
+			if t.ar.parent[cx] != id {
+				return fmt.Errorf("core: child %d of (%d,%d) names parent %d", c, id, h, t.ar.parent[cx])
 			}
-			if c != id && !t.params.DisableCoverRule && betterCover(ci.MBR, ownMBR) {
+			if c != id && !t.params.DisableCoverRule && betterCover(t.ar.mbr[cx], ownMBR) {
 				return fmt.Errorf("core: child %d (area %.2f) covers better than parent %d (area %.2f) at height %d",
-					c, ci.MBR.Area(), id, ownMBR.Area(), h)
+					c, t.ar.mbr[cx].Area(), id, ownMBR.Area(), h)
 			}
-			union = union.Union(ci.MBR)
+			union = union.Union(t.ar.mbr[cx])
 			if err := walk(c, h-1); err != nil {
 				return err
 			}
 		}
-		if !in.MBR.Equal(union) {
-			return fmt.Errorf("core: MBR of (%d,%d) is %v, want %v", id, h, in.MBR, union)
+		if !t.ar.mbr[x].Equal(union) {
+			return fmt.Errorf("core: MBR of (%d,%d) is %v, want %v", id, h, t.ar.mbr[x], union)
 		}
 		// Underloaded flag coherence.
-		if want := len(in.Children) < m; in.Underloaded != want {
-			return fmt.Errorf("core: underloaded flag of (%d,%d) is %v, want %v", id, h, in.Underloaded, want)
+		if want := len(kids) < m; t.ar.under[x] != want {
+			return fmt.Errorf("core: underloaded flag of (%d,%d) is %v, want %v", id, h, t.ar.under[x], want)
 		}
 		return nil
 	}
@@ -116,12 +117,34 @@ func (t *Tree) CheckLegal() error {
 	// instance accounted for.
 	for id, p := range t.procs {
 		for h := 0; h <= p.Top; h++ {
-			if p.At(h) == nil {
+			if p.at(h) == nilH {
 				return fmt.Errorf("core: process %d chain has a gap at height %d", id, h)
 			}
 		}
-		if n := p.InstCount(); n != p.Top+1 {
+		if n := p.instCount(); n != p.Top+1 {
 			return fmt.Errorf("core: process %d owns %d instances, top=%d", id, n, p.Top)
+		}
+	}
+	// Arena residency coherence: live slots equal the instances reachable
+	// through the process tables, and every live slot's owner/height pair
+	// resolves back to itself (no aliasing between free list and live
+	// handles).
+	total := 0
+	for _, p := range t.procs {
+		total += p.instCount()
+	}
+	if total != t.ar.live {
+		return fmt.Errorf("core: arena accounts %d live instances, process tables own %d", t.ar.live, total)
+	}
+	for id, p := range t.procs {
+		for h, x := range p.inst {
+			if x == nilH {
+				continue
+			}
+			if t.ar.owner[x] != id || t.ar.height[x] != int32(h) {
+				return fmt.Errorf("core: handle %d of process %d at height %d is owned by (%d,%d)",
+					x, id, h, t.ar.owner[x], t.ar.height[x])
+			}
 		}
 	}
 	return nil
@@ -196,11 +219,11 @@ func (t *Tree) isAncestor(a, b ProcID) bool {
 	}
 	cur, h := b, pb.Top
 	for !(cur == t.rootID && h == t.rootH) {
-		in := t.instance(cur, h)
-		if in == nil {
+		x := t.at(cur, h)
+		if x == nilH {
 			return false
 		}
-		next := in.Parent
+		next := t.ar.parent[x]
 		if next == cur && h >= t.procs[cur].Top {
 			return false
 		}
@@ -222,11 +245,11 @@ func (t *Tree) isSibling(a, b ProcID) bool {
 	if pa == nil || pb == nil {
 		return false
 	}
-	ia, ib := pa.At(pa.Top), pb.At(pb.Top)
-	if ia == nil || ib == nil {
+	xa, xb := pa.at(pa.Top), pb.at(pb.Top)
+	if xa == nilH || xb == nilH {
 		return false
 	}
-	return pa.Top == pb.Top && ia.Parent == ib.Parent
+	return pa.Top == pb.Top && t.ar.parent[xa] == t.ar.parent[xb]
 }
 
 // ContainmentGraph builds the containment graph of the live filters,
@@ -280,17 +303,18 @@ func (t *Tree) ComputeStats() TreeStats {
 		p := t.procs[id]
 		links := 0
 		for h := 0; h <= p.Top; h++ {
-			in := p.At(h)
-			if in == nil {
+			x := p.at(h)
+			if x == nilH {
 				continue
 			}
 			st.Nodes++
-			links += 1 + len(in.Children) // parent + children references
+			kids := t.ar.kids[x]
+			links += 1 + len(kids) // parent + children references
 			if h >= 1 {
-				for i, c := range in.Children {
+				for i, c := range kids {
 					mbrC := t.childMBR(c, h-1)
 					st.TotalCoverage += mbrC.Area()
-					for _, c2 := range in.Children[i+1:] {
+					for _, c2 := range kids[i+1:] {
 						st.TotalOverlap += mbrC.OverlapArea(t.childMBR(c2, h-1))
 					}
 				}

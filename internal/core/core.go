@@ -10,6 +10,13 @@
 // height above the leaf level (leaves are height 0), so that a root split
 // never renumbers existing instances.
 //
+// Instances are stored in a per-tree arena with a structure-of-arrays
+// layout (see arena.go): a process's instance table maps heights to dense
+// int32 handles, and every per-instance field — parents, children sets,
+// MBRs — lives in its own parallel slice. The routing loops in publish.go
+// scan those slices cache-linearly instead of dereferencing per-node heap
+// objects, and Leave/Crash recycle handles through a free list.
+//
 // The package provides the sequential DR-tree engine: every protocol rule
 // of the paper's Figures 7-14 (join, add-child with splitting and root
 // election, controlled leave, the five stabilization checks, compaction,
@@ -48,13 +55,20 @@ type Params struct {
 	// LargestMBR, the paper's rule (Figure 6).
 	Election Election
 	// TrackReorgStats enables the per-instance false-positive counters
-	// that drive the dynamic reorganization of §3.2.
+	// that drive the dynamic reorganization of §3.2. Tracking forces
+	// PublishBatch onto the sequential path (the counters are not
+	// mergeable across workers).
 	TrackReorgStats bool
 	// DisableCoverRule turns off the Is_Better_MBR_Cover exchanges (the
 	// CHECK_COVER module and its eager equivalents in the join path).
 	// Only for the root-election ablation (experiment E9); the paper's
 	// protocol always runs the cover rule.
 	DisableCoverRule bool
+	// PublishWorkers bounds the worker pool PublishBatch disseminates
+	// with: 0 picks min(GOMAXPROCS, 8), 1 forces the sequential path,
+	// and any other value is clamped to [1, 8]. Deliveries are identical
+	// either way; only wall-clock changes.
+	PublishWorkers int
 }
 
 func (p Params) withDefaults() Params {
@@ -75,13 +89,21 @@ func (p Params) validate() error {
 		return fmt.Errorf("core: MaxFanout must be >= 2*MinFanout (got m=%d, M=%d)",
 			p.MinFanout, p.MaxFanout)
 	}
+	if p.PublishWorkers < 0 {
+		return fmt.Errorf("core: PublishWorkers must be >= 0, got %d", p.PublishWorkers)
+	}
 	return nil
 }
 
-// Instance is one tree node: the state a process maintains for one level
-// where it is active (paper §3.2 "Data Structures"). Heights count up
-// from the leaves: height 0 instances are leaves whose MBR equals the
-// process filter; an instance at height h>0 has children at height h-1.
+// Instance is a materialized view of one tree node: the state a process
+// maintains for one level where it is active (paper §3.2 "Data
+// Structures"). Heights count up from the leaves: height 0 instances are
+// leaves whose MBR equals the process filter; an instance at height h>0
+// has children at height h-1.
+//
+// The engine stores instances in the tree's arena (arena.go); an
+// Instance value is a read-only snapshot assembled on demand for
+// inspection and tests. Mutating it does not change the tree.
 type Instance struct {
 	// Parent is the process owning this instance's parent node (at
 	// height+1). The root instance's parent is the owning process itself.
@@ -95,31 +117,10 @@ type Instance struct {
 	// Underloaded mirrors the paper's underloaded flag: the children set
 	// has fewer than m members.
 	Underloaded bool
-
-	// Dissemination statistics for the false-positive-driven
-	// reorganization (§3.2 "Dynamic Reorganizations").
-	seen    int
-	selfFP  int
-	childFP map[ProcID]int
 }
 
 func (in *Instance) hasChild(id ProcID) bool {
-	for _, c := range in.Children {
-		if c == id {
-			return true
-		}
-	}
-	return false
-}
-
-func (in *Instance) removeChild(id ProcID) bool {
-	for i, c := range in.Children {
-		if c == id {
-			in.Children = append(in.Children[:i], in.Children[i+1:]...)
-			return true
-		}
-	}
-	return false
+	return hasID(in.Children, id)
 }
 
 func replaceID(ids []ProcID, old, new ProcID) {
@@ -139,60 +140,65 @@ func hasID(ids []ProcID, id ProcID) bool {
 type Process struct {
 	ID     ProcID
 	Filter geom.Rect
-	// Inst is the instance table, indexed by height. A live process owns
-	// the contiguous range of heights 0..Top (paper §3.2), so a slice is
-	// the natural layout; nil entries mark gaps left by corruption, and
-	// entries above Top can exist only transiently mid-repair. Use At for
-	// reads so out-of-range heights resolve to nil.
-	Inst []*Instance
+	// inst is the instance table, indexed by height, holding arena
+	// handles. A live process owns the contiguous range of heights 0..Top
+	// (paper §3.2), so a slice is the natural layout; nilH entries mark
+	// gaps left by corruption, and entries above Top can exist only
+	// transiently mid-repair. Use at for reads so out-of-range heights
+	// resolve to nilH.
+	inst []Handle
 	// Top is the height of the process's topmost instance.
 	Top int
+	// slot is the process's dense delivery slot, indexing the
+	// generation-stamp tables of the publish path (recycled on leave).
+	slot int32
 
 	// Delivery accounting (pub/sub layer).
 	Delivered int // events received
 	FalsePos  int // events received but not matching Filter
 }
 
-// At returns the process's instance at height h, or nil when h is out of
-// range or vacant.
-func (p *Process) At(h int) *Instance {
-	if h < 0 || h >= len(p.Inst) {
-		return nil
+// at returns the process's instance handle at height h, or nilH when h
+// is out of range or vacant.
+func (p *Process) at(h int) Handle {
+	if h < 0 || h >= len(p.inst) {
+		return nilH
 	}
-	return p.Inst[h]
+	return p.inst[h]
 }
 
-// InstCount returns the number of instances the process currently owns.
-func (p *Process) InstCount() int {
+// instCount returns the number of instances the process currently owns.
+func (p *Process) instCount() int {
 	n := 0
-	for _, in := range p.Inst {
-		if in != nil {
+	for _, x := range p.inst {
+		if x != nilH {
 			n++
 		}
 	}
 	return n
 }
 
-// setInst stores in at height h, growing the table as needed.
-func (p *Process) setInst(h int, in *Instance) {
-	for len(p.Inst) <= h {
-		p.Inst = append(p.Inst, nil)
+// setInst stores handle x at height h, growing the table as needed.
+func (p *Process) setInst(h int, x Handle) {
+	for len(p.inst) <= h {
+		p.inst = append(p.inst, nilH)
 	}
-	p.Inst[h] = in
+	p.inst[h] = x
 }
 
 // clearInst vacates height h and trims trailing vacancies so the table
-// length tracks the owned range.
+// length tracks the owned range. The handle is not released; callers
+// that retire the instance for good must release it to the arena.
 func (p *Process) clearInst(h int) {
-	if h < 0 || h >= len(p.Inst) {
+	if h < 0 || h >= len(p.inst) {
 		return
 	}
-	p.Inst[h] = nil
-	n := len(p.Inst)
-	for n > 0 && p.Inst[n-1] == nil {
+	p.inst[h] = nilH
+	n := len(p.inst)
+	for n > 0 && p.inst[n-1] == nilH {
 		n--
 	}
-	p.Inst = p.Inst[:n]
+	p.inst = p.inst[:n]
 }
 
 // Tree is the sequential DR-tree engine. It is not safe for concurrent
@@ -204,17 +210,21 @@ type Tree struct {
 	rootH  int
 	nextID ProcID
 
+	// ar is the arena every instance of this tree lives in.
+	ar instArena
+
+	// Dense delivery-slot allocator: every live process holds one slot
+	// indexing the publish stamp tables; slots recycle on leave/crash.
+	slotFree []int32
+	nslots   int32
+
 	// pendingFragments queues detached subtrees awaiting re-attachment
 	// (drained by repair and stabilization passes).
 	pendingFragments []fragment
 
-	// Publish scratch state, reused across events so dissemination stays
-	// allocation-light. pubSeen is generation-stamped: an entry marks its
-	// process as having received the event of generation pubGen, which
-	// makes per-event clearing O(1).
-	pubSeen map[ProcID]int
-	pubGen  int
-	pubIDs  []ProcID
+	// pub is the sequential publish scratch state, reused across events
+	// so dissemination stays allocation-free (see pubCtx).
+	pub pubCtx
 }
 
 // fragment is a detached subtree: process id's instance chain topped at
@@ -282,8 +292,8 @@ func (t *Tree) Proc(id ProcID) *Process { return t.procs[id] }
 // for an empty tree. In a legal state this equals the union of every
 // live filter.
 func (t *Tree) RootMBR() geom.Rect {
-	if in := t.instance(t.rootID, t.rootH); in != nil {
-		return in.MBR
+	if x := t.at(t.rootID, t.rootH); x != nilH {
+		return t.ar.mbr[x]
 	}
 	return geom.Rect{}
 }
@@ -307,62 +317,152 @@ func (t *Tree) Filter(id ProcID) (geom.Rect, bool) {
 	return p.Filter, true
 }
 
-// instance returns process id's instance at height h, or nil.
-func (t *Tree) instance(id ProcID, h int) *Instance {
+// at returns the handle of process id's instance at height h, or nilH.
+func (t *Tree) at(id ProcID, h int) Handle {
 	p := t.procs[id]
 	if p == nil {
+		return nilH
+	}
+	return p.at(h)
+}
+
+// liveH reports whether handle x currently backs the live instance
+// (owner, h). This is the cache-verification predicate: a recycled slot
+// has owner NoProc or a different (owner, height) pair, and a process
+// owns at most one instance per height, so a positive answer identifies
+// the instance uniquely.
+func (t *Tree) liveH(x Handle, owner ProcID, h int) bool {
+	return x >= 0 && t.ar.owner[x] == owner && t.ar.height[x] == int32(h)
+}
+
+// kidHandle resolves the i-th child of instance x (child process c at
+// height h), going through the kidH cache and writing back on miss.
+func (t *Tree) kidHandle(x Handle, i int, c ProcID, h int) Handle {
+	ch := t.ar.kidH[x][i]
+	if t.liveH(ch, c, h) {
+		return ch
+	}
+	ch = t.at(c, h)
+	t.ar.kidH[x][i] = ch
+	return ch
+}
+
+// kidHandleRO is kidHandle without the write-back, for the read-only
+// traversals of the parallel disseminator.
+func (t *Tree) kidHandleRO(x Handle, i int, c ProcID, h int) Handle {
+	ch := t.ar.kidH[x][i]
+	if t.liveH(ch, c, h) {
+		return ch
+	}
+	return t.at(c, h)
+}
+
+// instance returns a read-only snapshot of process id's instance at
+// height h, or nil. For inspection and tests; the engine itself works on
+// handles.
+func (t *Tree) instance(id ProcID, h int) *Instance {
+	x := t.at(id, h)
+	if x == nilH {
 		return nil
 	}
-	return p.At(h)
+	return &Instance{
+		Parent:      t.ar.parent[x],
+		Children:    slices.Clone(t.ar.kids[x]),
+		MBR:         t.ar.mbr[x],
+		Underloaded: t.ar.under[x],
+	}
 }
 
 // childMBR returns the MBR of child c's instance at height h (empty if
 // missing). Interior nodes consult the children's MBRs to route and
 // filter; this helper is the sequential stand-in for that lookup.
 func (t *Tree) childMBR(c ProcID, h int) geom.Rect {
-	in := t.instance(c, h)
-	if in == nil {
+	x := t.at(c, h)
+	if x == nilH {
 		return geom.Rect{}
 	}
-	return in.MBR
+	return t.ar.mbr[x]
 }
 
 // computeMBR recomputes the MBR of instance (id, h) from its children
 // (paper's Compute_MBR) or from the filter for leaves.
 func (t *Tree) computeMBR(id ProcID, h int) {
 	p := t.procs[id]
-	in := p.At(h)
+	x := p.at(h)
 	if h == 0 {
-		in.MBR = p.Filter
+		t.ar.mbr[x] = p.Filter
 		return
 	}
 	var mbr geom.Rect
-	for _, c := range in.Children {
-		mbr = mbr.Union(t.childMBR(c, h-1))
+	for i, c := range t.ar.kids[x] {
+		if ch := t.kidHandle(x, i, c, h-1); ch != nilH && !mbr.Contains(t.ar.mbr[ch]) {
+			mbr = mbr.Union(t.ar.mbr[ch])
+		}
 	}
-	in.MBR = mbr
+	t.ar.mbr[x] = mbr
 }
 
 // refreshUnderloaded recomputes the underloaded flag of (id, h).
 func (t *Tree) refreshUnderloaded(id ProcID, h int) {
-	in := t.instance(id, h)
-	if in == nil || h == 0 {
+	x := t.at(id, h)
+	if x == nilH || h == 0 {
 		return
 	}
-	in.Underloaded = len(in.Children) < t.params.MinFanout
+	t.ar.under[x] = len(t.ar.kids[x]) < t.params.MinFanout
 }
 
-// newInstance installs a fresh instance for p at height h.
-func (t *Tree) newInstance(p *Process, h int) *Instance {
-	in := &Instance{}
-	if t.params.TrackReorgStats {
-		in.childFP = make(map[ProcID]int)
+// newInstance installs a fresh instance for p at height h and returns
+// its handle. Any instance already stored at that height is discarded
+// (its handle returns to the free list), matching the pointer-era
+// semantics where the overwritten *Instance became garbage.
+func (t *Tree) newInstance(p *Process, h int) Handle {
+	if old := p.at(h); old != nilH {
+		t.ar.release(old)
 	}
-	p.setInst(h, in)
+	x := t.ar.alloc(p.ID, h, p.slot)
+	if t.params.TrackReorgStats {
+		t.ar.childFP[x] = make(map[ProcID]int)
+	}
+	p.setInst(h, x)
 	if h > p.Top {
 		p.Top = h
 	}
-	return in
+	return x
+}
+
+// releaseInst retires the instance at (p, h) for good: the height is
+// vacated and the handle goes back to the arena's free list.
+func (t *Tree) releaseInst(p *Process, h int) {
+	x := p.at(h)
+	p.clearInst(h)
+	if x != nilH {
+		t.ar.release(x)
+	}
+}
+
+// allocSlot assigns a dense delivery slot to a joining process.
+func (t *Tree) allocSlot() int32 {
+	if n := len(t.slotFree); n > 0 {
+		s := t.slotFree[n-1]
+		t.slotFree = t.slotFree[:n-1]
+		return s
+	}
+	s := t.nslots
+	t.nslots++
+	return s
+}
+
+// dropProc removes a departing process: its remaining instances go back
+// to the arena and its delivery slot is recycled.
+func (t *Tree) dropProc(p *Process) {
+	for h := len(p.inst) - 1; h >= 0; h-- {
+		if p.inst[h] != nilH {
+			t.ar.release(p.inst[h])
+		}
+	}
+	p.inst = p.inst[:0]
+	t.slotFree = append(t.slotFree, p.slot)
+	delete(t.procs, p.ID)
 }
 
 // dims returns the dimensionality of the tree's filters (0 if empty).

@@ -11,45 +11,47 @@ import (
 // variable: parent, children sets, MBRs and the underloaded flag
 // ("memory and counter program corruptions"). Filters are the only
 // non-corruptible constants (§3.2). These helpers inject such faults for
-// the stabilization experiments (E5, Lemma 3.6).
+// the stabilization experiments (E5, Lemma 3.6). They write the arena
+// fields directly — including stale handle caches, which the verified
+// resolution of the routing path must survive.
 
 // CorruptParent overwrites the parent variable of instance (id, h).
 func (t *Tree) CorruptParent(id ProcID, h int, parent ProcID) error {
-	in := t.instance(id, h)
-	if in == nil {
+	x := t.at(id, h)
+	if x == nilH {
 		return fmt.Errorf("core: no instance (%d,%d)", id, h)
 	}
-	in.Parent = parent
+	t.ar.parent[x] = parent
 	return nil
 }
 
 // CorruptChildren overwrites the children set of instance (id, h).
 func (t *Tree) CorruptChildren(id ProcID, h int, children []ProcID) error {
-	in := t.instance(id, h)
-	if in == nil {
+	x := t.at(id, h)
+	if x == nilH {
 		return fmt.Errorf("core: no instance (%d,%d)", id, h)
 	}
-	in.Children = append([]ProcID(nil), children...)
+	t.ar.setKids(x, children, t.params.MaxFanout)
 	return nil
 }
 
 // CorruptMBR overwrites the MBR of instance (id, h).
 func (t *Tree) CorruptMBR(id ProcID, h int, mbr geom.Rect) error {
-	in := t.instance(id, h)
-	if in == nil {
+	x := t.at(id, h)
+	if x == nilH {
 		return fmt.Errorf("core: no instance (%d,%d)", id, h)
 	}
-	in.MBR = mbr
+	t.ar.mbr[x] = mbr
 	return nil
 }
 
 // CorruptUnderloaded flips the underloaded flag of instance (id, h).
 func (t *Tree) CorruptUnderloaded(id ProcID, h int) error {
-	in := t.instance(id, h)
-	if in == nil {
+	x := t.at(id, h)
+	if x == nilH {
 		return fmt.Errorf("core: no instance (%d,%d)", id, h)
 	}
-	in.Underloaded = !in.Underloaded
+	t.ar.under[x] = !t.ar.under[x]
 	return nil
 }
 
@@ -66,22 +68,22 @@ func (t *Tree) CorruptRandom(rng *rand.Rand, k int) int {
 		id := ids[rng.IntN(len(ids))]
 		p := t.procs[id]
 		h := rng.IntN(p.Top + 1)
-		in := p.At(h)
-		if in == nil {
+		x := p.at(h)
+		if x == nilH {
 			continue
 		}
 		switch rng.IntN(4) {
 		case 0:
-			in.Parent = ids[rng.IntN(len(ids))]
+			t.ar.parent[x] = ids[rng.IntN(len(ids))]
 		case 1:
-			if h >= 1 && len(in.Children) > 0 {
+			if kids := t.ar.kids[x]; h >= 1 && len(kids) > 0 {
 				switch rng.IntN(3) {
 				case 0: // drop a child
-					in.Children = in.Children[:len(in.Children)-1]
+					t.ar.setKids(x, kids[:len(kids)-1], t.params.MaxFanout)
 				case 1: // duplicate / foreign child
-					in.Children = append(in.Children, ids[rng.IntN(len(ids))])
+					t.ar.addKid(x, ids[rng.IntN(len(ids))], t.params.MaxFanout)
 				default: // scramble to a random subset
-					in.Children = []ProcID{ids[rng.IntN(len(ids))]}
+					t.ar.setKids(x, []ProcID{ids[rng.IntN(len(ids))]}, t.params.MaxFanout)
 				}
 			}
 		case 2:
@@ -92,9 +94,9 @@ func (t *Tree) CorruptRandom(rng *rand.Rand, k int) int {
 				lo[d] = rng.Float64() * 100
 				hi[d] = lo[d] + rng.Float64()*50
 			}
-			in.MBR = geom.MustRect(lo, hi)
+			t.ar.mbr[x] = geom.MustRect(lo, hi)
 		default:
-			in.Underloaded = !in.Underloaded
+			t.ar.under[x] = !t.ar.under[x]
 		}
 		applied++
 	}

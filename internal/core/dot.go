@@ -23,7 +23,7 @@ func (t *Tree) Dot(labels map[ProcID]string) string {
 	for h := t.rootH; h >= 0; h-- {
 		var nodes []string
 		for _, id := range t.ProcIDs() {
-			if t.instance(id, h) != nil {
+			if t.at(id, h) != nilH {
 				nodes = append(nodes, fmt.Sprintf("%q", fmt.Sprintf("%s@%d", name(id), h)))
 			}
 		}
@@ -34,11 +34,11 @@ func (t *Tree) Dot(labels map[ProcID]string) string {
 	for _, id := range t.ProcIDs() {
 		p := t.procs[id]
 		for h := 1; h <= p.Top; h++ {
-			in := p.At(h)
-			if in == nil {
+			x := p.at(h)
+			if x == nilH {
 				continue
 			}
-			for _, c := range in.Children {
+			for _, c := range t.ar.kids[x] {
 				fmt.Fprintf(&b, "  %q -> %q;\n",
 					fmt.Sprintf("%s@%d", name(id), h),
 					fmt.Sprintf("%s@%d", name(c), h-1))
@@ -57,11 +57,11 @@ func (t *Tree) CommunicationEdges() [][2]ProcID {
 	for _, id := range t.ProcIDs() {
 		p := t.procs[id]
 		for h := 1; h <= p.Top; h++ {
-			in := p.At(h)
-			if in == nil {
+			x := p.at(h)
+			if x == nilH {
 				continue
 			}
-			for _, c := range in.Children {
+			for _, c := range t.ar.kids[x] {
 				if c == id {
 					continue
 				}
@@ -143,16 +143,17 @@ func (t *Tree) Describe(labels map[ProcID]string) string {
 	for h := t.rootH; h >= 0; h-- {
 		fmt.Fprintf(&b, "height %d:", h)
 		for _, id := range t.ProcIDs() {
-			in := t.instance(id, h)
-			if in == nil {
+			x := t.at(id, h)
+			if x == nilH {
 				continue
 			}
 			if h == 0 {
 				fmt.Fprintf(&b, " %s", name(id))
 				continue
 			}
-			kids := make([]string, len(in.Children))
-			for i, c := range in.Children {
+			children := t.ar.kids[x]
+			kids := make([]string, len(children))
+			for i, c := range children {
 				kids[i] = name(c)
 			}
 			fmt.Fprintf(&b, " %s[%s]", name(id), strings.Join(kids, ","))

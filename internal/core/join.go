@@ -85,17 +85,17 @@ func (t *Tree) join(id ProcID, f geom.Rect, upHops int) (JoinStats, error) {
 	// oracle always names a live one, so repair the reference eagerly
 	// before routing.
 	if len(t.procs) > 0 {
-		if rp := t.procs[t.rootID]; rp == nil || rp.At(t.rootH) == nil {
+		if rp := t.procs[t.rootID]; rp == nil || rp.at(t.rootH) == nilH {
 			var rst StabReport
 			t.ensureRoot(&rst)
 		}
 	}
 
-	p := &Process{ID: id, Filter: f, Inst: make([]*Instance, 0, 4)}
+	p := &Process{ID: id, Filter: f, inst: make([]Handle, 0, 4), slot: t.allocSlot()}
 	t.procs[id] = p
 	leaf := t.newInstance(p, 0)
-	leaf.MBR = f
-	leaf.Parent = id // provisional; set below
+	t.ar.mbr[leaf] = f
+	t.ar.parent[leaf] = id // provisional; set below
 
 	st := JoinStats{UpHops: upHops}
 
@@ -110,10 +110,10 @@ func (t *Tree) join(id ProcID, f geom.Rect, upHops int) (JoinStats, error) {
 		mbrs := []geom.Rect{t.procs[other].Filter, f}
 		w := ids[t.params.Election.ChooseLeader(ids, mbrs)]
 		root := t.newInstance(t.procs[w], 1)
-		root.Children = []ProcID{other, id}
-		root.Parent = w
-		t.procs[other].At(0).Parent = w
-		t.procs[id].At(0).Parent = w
+		t.ar.setKids(root, ids, t.params.MaxFanout)
+		t.ar.parent[root] = w
+		t.ar.parent[t.at(other, 0)] = w
+		t.ar.parent[leaf] = w
 		t.computeMBR(w, 1)
 		t.refreshUnderloaded(w, 1)
 		t.rootID, t.rootH = w, 1
@@ -123,9 +123,11 @@ func (t *Tree) join(id ProcID, f geom.Rect, upHops int) (JoinStats, error) {
 		// MBRs on the way (Figure 8), then ADD_CHILD.
 		cur, h := t.rootID, t.rootH
 		for h > 1 {
-			in := t.instance(cur, h)
-			in.MBR = in.MBR.Union(f)
-			next := t.chooseBestChild(in, h, f)
+			x := t.at(cur, h)
+			if !t.ar.mbr[x].Contains(f) { // Union is a no-op (and an alloc) when covered
+				t.ar.mbr[x] = t.ar.mbr[x].Union(f)
+			}
+			next := t.chooseBestChild(x, h, f)
 			if next == NoProc {
 				// Every child reference at this level is stale (crashes the
 				// checks have not repaired yet): park the new leaf as a
@@ -159,14 +161,14 @@ func (t *Tree) fixCoverLocal(pid ProcID, h int) ProcID {
 		return pid
 	}
 	for {
-		in := t.instance(pid, h)
-		if in == nil {
+		x := t.at(pid, h)
+		if x == nilH {
 			return pid
 		}
 		own := t.childMBR(pid, h-1)
 		best := NoProc
 		bestArea := own.Area()
-		for _, c := range in.Children {
+		for _, c := range t.ar.kids[x] {
 			if c == pid {
 				continue
 			}
@@ -190,15 +192,15 @@ func (t *Tree) fixCoverUp(id ProcID, h int) {
 		return
 	}
 	for {
-		in := t.instance(id, h)
-		if in == nil {
+		x := t.at(id, h)
+		if x == nilH {
 			return
 		}
 		if h >= 1 {
 			own := t.childMBR(id, h-1)
 			best := NoProc
 			bestArea := own.Area()
-			for _, c := range in.Children {
+			for _, c := range t.ar.kids[x] {
 				if c == id {
 					continue
 				}
@@ -209,8 +211,8 @@ func (t *Tree) fixCoverUp(id ProcID, h int) {
 			if best != NoProc {
 				t.exchangeRoles(id, best, h)
 				id = best
-				in = t.instance(id, h)
-				if in == nil {
+				x = t.at(id, h)
+				if x == nilH {
 					return
 				}
 			}
@@ -218,7 +220,7 @@ func (t *Tree) fixCoverUp(id ProcID, h int) {
 		if id == t.rootID && h == t.rootH {
 			return
 		}
-		next := in.Parent
+		next := t.ar.parent[x]
 		if next == NoProc || t.procs[next] == nil || (next == id && h >= t.procs[id].Top) {
 			return
 		}
@@ -239,11 +241,11 @@ func (t *Tree) hopsToRoot(contact ProcID) (int, error) {
 	hops := 0
 	cur, h := contact, p.Top
 	for !(cur == t.rootID && h == t.rootH) {
-		in := t.instance(cur, h)
-		if in == nil {
+		x := t.at(cur, h)
+		if x == nilH {
 			return 0, fmt.Errorf("core: broken parent chain at process %d height %d", cur, h)
 		}
-		next := in.Parent
+		next := t.ar.parent[x]
 		if next != cur {
 			hops++
 		}
@@ -261,15 +263,16 @@ func (t *Tree) hopsToRoot(contact ProcID) (int, error) {
 
 // chooseBestChild implements Choose_Best_Child: the child whose MBR needs
 // the least enlargement to encompass the joining filter, ties broken by
-// smaller area, then by lower ID.
-func (t *Tree) chooseBestChild(in *Instance, h int, f geom.Rect) ProcID {
+// smaller area, then by lower ID. x is the instance routing at height h.
+func (t *Tree) chooseBestChild(x Handle, h int, f geom.Rect) ProcID {
 	best := NoProc
 	var bestEnl, bestArea float64
-	for _, c := range in.Children {
-		if t.instance(c, h-1) == nil {
+	for i, c := range t.ar.kids[x] {
+		ch := t.kidHandle(x, i, c, h-1)
+		if ch == nilH {
 			continue // stale reference mid-repair; skip
 		}
-		mbr := t.childMBR(c, h-1)
+		mbr := t.ar.mbr[ch]
 		enl := mbr.Enlargement(f)
 		area := mbr.Area()
 		if best == NoProc ||
@@ -287,19 +290,21 @@ func (t *Tree) chooseBestChild(in *Instance, h int, f geom.Rect) ProcID {
 // nodes recursively (Figure 8's ADD_CHILD). It returns the number of
 // splits performed.
 func (t *Tree) addChild(pid ProcID, h int, qid ProcID) int {
-	in := t.instance(pid, h)
-	if in == nil {
+	x := t.at(pid, h)
+	if x == nilH {
 		// The target vanished mid-repair; requeue the subtree so a later
 		// pass re-attaches it.
 		t.pendingFragments = append(t.pendingFragments, fragment{id: qid, h: h - 1})
 		return 0
 	}
-	in.Children = append(in.Children, qid)
-	t.procs[qid].At(h - 1).Parent = pid
-	in.MBR = in.MBR.Union(t.childMBR(qid, h-1))
+	t.ar.addKid(x, qid, t.params.MaxFanout)
+	t.ar.parent[t.at(qid, h-1)] = pid
+	if qm := t.childMBR(qid, h-1); !t.ar.mbr[x].Contains(qm) {
+		t.ar.mbr[x] = t.ar.mbr[x].Union(qm)
+	}
 	t.refreshUnderloaded(pid, h)
 
-	if len(in.Children) <= t.params.MaxFanout {
+	if len(t.ar.kids[x]) <= t.params.MaxFanout {
 		// Is_Better_MBR_Cover: if a child covers better than the current
 		// parent, they exchange roles (Adjust_Parent / CHECK_COVER).
 		t.fixCoverLocal(pid, h)
@@ -313,8 +318,8 @@ func (t *Tree) addChild(pid ProcID, h int, qid ProcID) int {
 // a leader for the other group, and pushes the new node to the parent —
 // creating a new root if pid's instance was the root (Create_Root).
 func (t *Tree) splitInstance(pid ProcID, h int) int {
-	in := t.instance(pid, h)
-	members := append([]ProcID(nil), in.Children...)
+	x := t.at(pid, h)
+	members := append([]ProcID(nil), t.ar.kids[x]...)
 	rects := make([]geom.Rect, len(members))
 	for i, c := range members {
 		rects[i] = t.childMBR(c, h-1)
@@ -337,10 +342,11 @@ func (t *Tree) splitInstance(pid ProcID, h int) int {
 	}
 
 	// pid keeps the left group.
-	in.Children = in.Children[:0]
+	left := make([]ProcID, 0, len(leftIdx))
 	for _, i := range leftIdx {
-		in.Children = append(in.Children, members[i])
+		left = append(left, members[i])
 	}
+	t.ar.setKids(x, left, t.params.MaxFanout)
 	t.computeMBR(pid, h)
 	t.refreshUnderloaded(pid, h)
 
@@ -353,10 +359,10 @@ func (t *Tree) splitInstance(pid ProcID, h int) int {
 	}
 	rid := rightIDs[t.params.Election.ChooseLeader(rightIDs, rightMBRs)]
 	r := t.procs[rid]
-	rin := t.newInstance(r, h)
-	rin.Children = append(rin.Children, rightIDs...)
+	rx := t.newInstance(r, h)
+	t.ar.setKids(rx, rightIDs, t.params.MaxFanout)
 	for _, c := range rightIDs {
-		t.procs[c].At(h - 1).Parent = rid
+		t.ar.parent[t.at(c, h-1)] = rid
 	}
 	t.computeMBR(rid, h)
 	t.refreshUnderloaded(rid, h)
@@ -365,8 +371,8 @@ func (t *Tree) splitInstance(pid ProcID, h int) int {
 	// be the best cover of the kept group. Re-establish the cover
 	// invariant locally before wiring the new sibling upward.
 	leftID := t.fixCoverLocal(pid, h)
-	lin := t.instance(leftID, h)
-	if lin == nil {
+	lx := t.at(leftID, h)
+	if lx == nilH {
 		// Corrupt surroundings (possible only mid-stabilization): requeue
 		// the new sibling so a later pass re-attaches it.
 		t.pendingFragments = append(t.pendingFragments, fragment{id: rid, h: h})
@@ -376,26 +382,28 @@ func (t *Tree) splitInstance(pid ProcID, h int) int {
 	if leftID == t.rootID && h == t.rootH {
 		// Root split: elect the new root among the two group leaders.
 		ids := []ProcID{leftID, rid}
-		mbrs := []geom.Rect{lin.MBR, rin.MBR}
+		mbrs := []geom.Rect{t.ar.mbr[lx], t.ar.mbr[rx]}
 		w := ids[t.params.Election.ChooseLeader(ids, mbrs)]
 		nr := t.newInstance(t.procs[w], h+1)
-		nr.Children = []ProcID{leftID, rid}
-		nr.Parent = w
-		lin.Parent = w
-		rin.Parent = w
+		t.ar.setKids(nr, ids, t.params.MaxFanout)
+		t.ar.parent[nr] = w
+		t.ar.parent[lx] = w
+		t.ar.parent[rx] = w
 		t.computeMBR(w, h+1)
 		t.refreshUnderloaded(w, h+1)
 		t.rootID, t.rootH = w, h+1
 		return 1
 	}
-	g := lin.Parent
+	g := t.ar.parent[lx]
 	return 1 + t.addChild(g, h+1, rid)
 }
 
 // exchangeRoles makes q take over p's interior role from height h up to
 // p's topmost instance (the paper's Adjust_Parent, extended to cascade so
 // the "process is its own child" invariant is preserved at every level).
-// q must currently be a child of p at height h-1.
+// q must currently be a child of p at height h-1. The instances
+// themselves stay in place in the arena: only their owner (and the
+// processes' handle tables) change.
 func (t *Tree) exchangeRoles(pid, qid ProcID, h int) {
 	p := t.procs[pid]
 	q := t.procs[qid]
@@ -403,16 +411,22 @@ func (t *Tree) exchangeRoles(pid, qid ProcID, h int) {
 	wasRoot := t.rootID == pid
 
 	for hh := h; hh <= top; hh++ {
-		in := p.At(hh)
+		x := p.at(hh)
 		p.clearInst(hh)
 		if hh > h {
 			// p's own child at hh-1 has become q's.
-			replaceID(in.Children, pid, qid)
+			t.ar.replaceKid(x, pid, qid)
 		}
-		q.setInst(hh, in)
-		for _, c := range in.Children {
-			if ci := t.instance(c, hh-1); ci != nil {
-				ci.Parent = qid
+		t.ar.owner[x] = qid
+		t.ar.slot[x] = q.slot
+		if old := q.at(hh); old != nilH {
+			t.ar.release(old) // mid-repair leftovers are discarded, as before
+		}
+		q.setInst(hh, x)
+		for _, c := range t.ar.kids[x] {
+			if ci := t.at(c, hh-1); ci != nilH {
+				t.ar.parent[ci] = qid
+				t.ar.parentH[ci] = x
 			}
 		}
 	}
@@ -421,13 +435,13 @@ func (t *Tree) exchangeRoles(pid, qid ProcID, h int) {
 
 	if wasRoot {
 		t.rootID = qid
-		q.At(top).Parent = qid
+		t.ar.parent[q.at(top)] = qid
 		return
 	}
 	// Fix the grandparent's children list: p@top was replaced by q@top.
-	g := q.At(top).Parent
-	if gi := t.instance(g, top+1); gi != nil {
-		replaceID(gi.Children, pid, qid)
+	g := t.ar.parent[q.at(top)]
+	if gx := t.at(g, top+1); gx != nilH {
+		t.ar.replaceKid(gx, pid, qid)
 	}
 }
 
@@ -437,8 +451,8 @@ func (t *Tree) exchangeRoles(pid, qid ProcID, h int) {
 // current root height are merged by electing a common root. It returns
 // the number of splits triggered.
 func (t *Tree) insertSubtreeAt(id ProcID, h int) int {
-	in := t.instance(id, h)
-	if in == nil {
+	x := t.at(id, h)
+	if x == nilH {
 		return 0
 	}
 	if h >= t.rootH {
@@ -447,16 +461,16 @@ func (t *Tree) insertSubtreeAt(id ProcID, h int) int {
 		for h > t.rootH {
 			// Dissolve the fragment's top level so heights align.
 			h = t.dissolveTop(id, h)
-			in = t.instance(id, h)
-			if in == nil {
+			x = t.at(id, h)
+			if x == nilH {
 				return 0
 			}
 		}
 		if id == t.rootID {
 			return 0
 		}
-		rootIn := t.instance(t.rootID, t.rootH)
-		if rootIn == nil {
+		rootX := t.at(t.rootID, t.rootH)
+		if rootX == nilH {
 			// The root reference is dangling mid-repair (a corruption or
 			// crash dissolved it after this pass's ensureRoot ran); park
 			// the fragment until the next pass re-elects a root.
@@ -464,14 +478,14 @@ func (t *Tree) insertSubtreeAt(id ProcID, h int) int {
 			return 0
 		}
 		ids := []ProcID{t.rootID, id}
-		mbrs := []geom.Rect{rootIn.MBR, in.MBR}
+		mbrs := []geom.Rect{t.ar.mbr[rootX], t.ar.mbr[x]}
 		w := ids[t.params.Election.ChooseLeader(ids, mbrs)]
 		oldRoot, oldH := t.rootID, t.rootH
 		nr := t.newInstance(t.procs[w], oldH+1)
-		nr.Children = []ProcID{oldRoot, id}
-		nr.Parent = w
-		rootIn.Parent = w
-		in.Parent = w
+		t.ar.setKids(nr, []ProcID{oldRoot, id}, t.params.MaxFanout)
+		t.ar.parent[nr] = w
+		t.ar.parent[rootX] = w
+		t.ar.parent[x] = w
 		t.computeMBR(w, oldH+1)
 		t.refreshUnderloaded(w, oldH+1)
 		t.rootID, t.rootH = w, oldH+1
@@ -479,13 +493,15 @@ func (t *Tree) insertSubtreeAt(id ProcID, h int) int {
 	}
 	cur, hh := t.rootID, t.rootH
 	for hh > h+1 {
-		ci := t.instance(cur, hh)
-		if ci == nil {
+		cx := t.at(cur, hh)
+		if cx == nilH {
 			t.pendingFragments = append(t.pendingFragments, fragment{id: id, h: h})
 			return 0
 		}
-		ci.MBR = ci.MBR.Union(in.MBR)
-		next := t.chooseBestChild(ci, hh, in.MBR)
+		if !t.ar.mbr[cx].Contains(t.ar.mbr[x]) {
+			t.ar.mbr[cx] = t.ar.mbr[cx].Union(t.ar.mbr[x])
+		}
+		next := t.chooseBestChild(cx, hh, t.ar.mbr[x])
 		if next == NoProc {
 			t.pendingFragments = append(t.pendingFragments, fragment{id: id, h: h})
 			return 0
@@ -501,21 +517,22 @@ func (t *Tree) insertSubtreeAt(id ProcID, h int) int {
 // insertSubtreeAt once the caller realigns. It returns id's new top.
 func (t *Tree) dissolveTop(id ProcID, h int) int {
 	p := t.procs[id]
-	in := p.At(h)
+	x := p.at(h)
 	p.clearInst(h)
 	p.Top = h - 1
-	for _, c := range in.Children {
+	for _, c := range t.ar.kids[x] {
 		if c == id {
 			continue
 		}
-		if ci := t.instance(c, h-1); ci != nil {
-			ci.Parent = c // mark as fragment root
+		if ci := t.at(c, h-1); ci != nilH {
+			t.ar.parent[ci] = c // mark as fragment root
 			t.pendingFragments = append(t.pendingFragments, fragment{id: c, h: h - 1})
 		}
 	}
-	if own := t.instance(id, h-1); own != nil {
-		own.Parent = id
+	if own := t.at(id, h-1); own != nilH {
+		t.ar.parent[own] = id
 	}
+	t.ar.release(x)
 	return h - 1
 }
 

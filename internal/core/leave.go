@@ -36,26 +36,26 @@ func (t *Tree) LeaveWithStats(id ProcID) (LeaveStats, error) {
 	var st LeaveStats
 
 	if len(t.procs) == 1 {
-		delete(t.procs, id)
-		delete(t.pubSeen, id)
+		t.dropProc(p)
 		t.rootID, t.rootH = NoProc, 0
 		return st, nil
 	}
 
 	// Notify the parent of the topmost instance (LEAVE message).
 	if t.rootID != id {
-		top := p.At(p.Top)
-		if g := t.instance(top.Parent, p.Top+1); g != nil {
-			g.removeChild(id)
-			t.refreshUnderloaded(top.Parent, p.Top+1)
+		if top := p.at(p.Top); top != nilH {
+			par := t.ar.parent[top]
+			if g := t.at(par, p.Top+1); g != nilH {
+				t.ar.removeKid(g, id)
+				t.refreshUnderloaded(par, p.Top+1)
+			}
 		}
 	}
 
 	// Every child of every instance of the leaver (other than the leaver
 	// itself) roots an orphaned subtree.
 	t.enqueueOrphansOf(p)
-	delete(t.procs, id)
-	delete(t.pubSeen, id)
+	t.dropProc(p)
 	st.Orphans = len(t.pendingFragments)
 
 	if t.rootID == id {
@@ -71,11 +71,11 @@ func (t *Tree) LeaveWithStats(id ProcID) (LeaveStats, error) {
 // Stabilize (or RepairCrash) to restore a legitimate configuration, as
 // the paper's periodic checks would.
 func (t *Tree) Crash(id ProcID) error {
-	if t.procs[id] == nil {
+	p := t.procs[id]
+	if p == nil {
 		return fmt.Errorf("core: process %d not in the tree", id)
 	}
-	delete(t.procs, id)
-	delete(t.pubSeen, id)
+	t.dropProc(p)
 	if len(t.procs) == 0 {
 		t.rootID, t.rootH = NoProc, 0
 	}
@@ -97,16 +97,16 @@ func (t *Tree) RepairCrash() LeaveStats {
 // a detached fragment, highest first.
 func (t *Tree) enqueueOrphansOf(p *Process) {
 	for hh := p.Top; hh >= 1; hh-- {
-		in := p.At(hh)
-		if in == nil {
+		x := p.at(hh)
+		if x == nilH {
 			continue
 		}
-		for _, c := range in.Children {
+		for _, c := range t.ar.kids[x] {
 			if c == p.ID {
 				continue
 			}
-			if ci := t.instance(c, hh-1); ci != nil {
-				ci.Parent = c
+			if ci := t.at(c, hh-1); ci != nilH {
+				t.ar.parent[ci] = c
 				t.pendingFragments = append(t.pendingFragments, fragment{id: c, h: hh - 1})
 			}
 		}
@@ -125,12 +125,12 @@ func (t *Tree) electRootFromFragments() {
 		for _, id := range t.ProcIDs() {
 			p := t.procs[id]
 			top := t.contiguousTop(p)
-			in := p.At(top)
-			if in == nil {
+			x := p.at(top)
+			if x == nilH {
 				continue
 			}
 			t.rootID, t.rootH = id, top
-			in.Parent = id
+			t.ar.parent[x] = id
 			return
 		}
 		t.rootID, t.rootH = NoProc, 0
@@ -150,8 +150,8 @@ func (t *Tree) electRootFromFragments() {
 	head := t.pendingFragments[0]
 	t.pendingFragments = t.pendingFragments[1:]
 	t.rootID, t.rootH = head.id, head.h
-	if in := t.instance(head.id, head.h); in != nil {
-		in.Parent = head.id
+	if x := t.at(head.id, head.h); x != nilH {
+		t.ar.parent[x] = head.id
 	}
 }
 
@@ -171,7 +171,7 @@ func (t *Tree) drainFragments() int {
 		})
 		f := t.pendingFragments[0]
 		t.pendingFragments = t.pendingFragments[1:]
-		if t.procs[f.id] == nil || t.instance(f.id, f.h) == nil {
+		if t.procs[f.id] == nil || t.at(f.id, f.h) == nilH {
 			continue
 		}
 		// Skip fragments that were re-attached transitively.
@@ -191,13 +191,14 @@ func (t *Tree) isFragmentRoot(id ProcID, h int) bool {
 	if id == t.rootID && h == t.rootH {
 		return false
 	}
-	in := t.instance(id, h)
-	if in == nil {
+	x := t.at(id, h)
+	if x == nilH {
 		return false
 	}
-	if in.Parent == id && h == t.procs[id].Top {
+	par := t.ar.parent[x]
+	if par == id && h == t.procs[id].Top {
 		return true
 	}
-	gi := t.instance(in.Parent, h+1)
-	return gi == nil || !gi.hasChild(id)
+	g := t.at(par, h+1)
+	return g == nilH || !hasID(t.ar.kids[g], id)
 }

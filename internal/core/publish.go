@@ -2,7 +2,9 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"slices"
+	"sync"
 
 	"drtree/internal/geom"
 )
@@ -31,28 +33,80 @@ type Delivery struct {
 	Rounds int
 }
 
+// pubCtx is the per-disseminator scratch state: a slot-indexed
+// generation-stamp table for O(1) per-event dedup and the receiver
+// accumulator. The sequential engine owns one (Tree.pub); the parallel
+// batch disseminator gives each worker its own, so traversals never
+// share mutable state.
+//
+// Stamps are monotonic int64 generations and are never cleared: a slot
+// recycled to a new process still holds a stamp strictly below every
+// future generation, so it reads as "not seen" without zeroing.
+type pubCtx struct {
+	stamp []int64
+	gen   int64
+	ids   []ProcID
+}
+
+// receive records the physical delivery of the current event to process
+// id (idempotent within the context's generation).
+func (st *pubCtx) receive(id ProcID, sl int32) {
+	if st.stamp[sl] == st.gen {
+		return
+	}
+	st.stamp[sl] = st.gen
+	st.ids = append(st.ids, id)
+}
+
+// grow makes the stamp table cover n slots.
+func (st *pubCtx) grow(n int32) {
+	if int32(len(st.stamp)) < n {
+		st.stamp = append(st.stamp, make([]int64, int(n)-len(st.stamp))...)
+	}
+}
+
 // Publish disseminates an event produced by process producer: the event
 // climbs from the producer's topmost instance to the root and, at every
 // step, descends into each sibling subtree whose MBR contains it
 // (paper §3, dissemination example).
 func (t *Tree) Publish(producer ProcID, ev geom.Point) (Delivery, error) {
-	p := t.procs[producer]
-	if p == nil {
+	if t.procs[producer] == nil {
 		return Delivery{}, fmt.Errorf("core: producer %d not in the tree", producer)
 	}
 	if d := t.dims(); len(ev) != d {
 		return Delivery{}, fmt.Errorf("core: event has %d dims, tree uses %d", len(ev), d)
 	}
 	var d Delivery
-	t.disseminate(producer, ev, &d)
+	t.pub.grow(t.nslots)
+	t.pub.gen++
+	t.pub.ids = t.pub.ids[:0]
+	t.disseminate(producer, ev, &d, &t.pub, true)
 
-	d.Received = make([]ProcID, len(t.pubIDs))
-	copy(d.Received, t.pubIDs)
+	// Exactly three result allocations: receivers, then true and false
+	// positives at their exact sizes (counted up front).
+	ids := t.pub.ids
+	d.Received = make([]ProcID, len(ids))
+	copy(d.Received, ids)
 	slices.Sort(d.Received)
-	for _, id := range d.Received {
+	ntp := 0
+	for _, id := range ids {
 		if t.procs[id].Filter.ContainsPoint(ev) {
+			ntp++
+		}
+	}
+	if ntp > 0 {
+		d.TruePositives = make([]ProcID, 0, ntp)
+	}
+	if nfp := len(ids) - ntp; nfp > 0 {
+		d.FalsePositives = make([]ProcID, 0, nfp)
+	}
+	for _, id := range d.Received {
+		p := t.procs[id]
+		p.Delivered++
+		if p.Filter.ContainsPoint(ev) {
 			d.TruePositives = append(d.TruePositives, id)
 		} else {
+			p.FalsePos++
 			d.FalsePositives = append(d.FalsePositives, id)
 		}
 	}
@@ -60,60 +114,77 @@ func (t *Tree) Publish(producer ProcID, ev geom.Point) (Delivery, error) {
 }
 
 // disseminate runs one event through the overlay, recording receivers in
-// t.pubIDs (unsorted) and the message/visit counters in d. Callers
-// materialize the Delivery slices from t.pubIDs afterwards; the split
-// lets Publish and PublishBatch share the routing while choosing their
-// own result-memory strategy.
-func (t *Tree) disseminate(producer ProcID, ev geom.Point, d *Delivery) {
+// st.ids (unsorted) and the message/visit counters in d. Callers
+// materialize the Delivery slices from st.ids afterwards and account the
+// per-process delivery counters while classifying.
+//
+// rw selects the cache discipline: true lets the traversal write back
+// resolved parentH/kidH handles (the sequential path); false keeps the
+// tree strictly read-only so concurrent workers can traverse it
+// simultaneously (caches are pre-warmed by prepareRoutingCaches, misses
+// fall back to the process map without writing).
+func (t *Tree) disseminate(producer ProcID, ev geom.Point, d *Delivery, st *pubCtx, rw bool) {
 	p := t.procs[producer]
-	if t.pubSeen == nil {
-		t.pubSeen = make(map[ProcID]int, len(t.procs))
-	}
-	t.pubGen++
-	t.pubIDs = t.pubIDs[:0]
 
 	// The producer trivially receives its own event.
-	t.receive(producer, ev)
+	st.receive(producer, p.slot)
 
 	// Descend into the producer's own subtree from its topmost instance.
-	t.descend(producer, p.Top, producer, ev, d)
+	t.descendEv(p.at(p.Top), producer, p.Top, ev, d, st, rw)
 
 	// Climb to the root; at each parent, fan out into sibling subtrees
 	// whose MBR contains the event.
 	cur, h := producer, p.Top
+	x := p.at(p.Top)
 	for !(cur == t.rootID && h == t.rootH) {
-		in := t.instance(cur, h)
-		if in == nil {
+		if x == nilH {
 			break
 		}
-		parent := in.Parent
-		if parent == NoProc || t.procs[parent] == nil {
+		parent := t.ar.parent[x]
+		pp := t.procs[parent]
+		if parent == NoProc || pp == nil {
 			break
 		}
 		if parent != cur {
 			d.Messages++
 		}
 		d.InstanceVisits++
-		t.receive(parent, ev)
-		t.noteSeen(parent, h+1, ev)
-		pin := t.instance(parent, h+1)
-		if pin == nil {
+		st.receive(parent, pp.slot)
+		px := t.ar.parentH[x]
+		if !t.liveH(px, parent, h+1) {
+			px = pp.at(h + 1)
+			if rw {
+				t.ar.parentH[x] = px
+			}
+		}
+		if t.params.TrackReorgStats {
+			t.noteSeen(px, parent, ev)
+		}
+		if px == nilH {
 			break
 		}
-		for _, c := range pin.Children {
+		kids := t.ar.kids[px]
+		for i, c := range kids {
 			if c == cur {
 				continue
 			}
-			if t.childMBR(c, h).ContainsPoint(ev) {
-				if c != parent {
-					d.Messages++
-				}
-				d.InstanceVisits++
-				t.receive(c, ev)
-				t.descend(c, h, parent, ev, d)
+			var ch Handle
+			if rw {
+				ch = t.kidHandle(px, i, c, h)
+			} else {
+				ch = t.kidHandleRO(px, i, c, h)
 			}
+			if ch == nilH || !t.ar.mbr[ch].ContainsPoint(ev) {
+				continue
+			}
+			if c != parent {
+				d.Messages++
+			}
+			d.InstanceVisits++
+			st.receive(c, t.ar.slot[ch])
+			t.descendEv(ch, c, h, ev, d, st, rw)
 		}
-		cur, h = parent, h+1
+		cur, h, x = parent, h+1, px
 	}
 }
 
@@ -132,6 +203,13 @@ type Publication struct {
 // once, the per-tree dissemination scratch stays hot, and the result
 // slices of the whole batch share three backing arrays instead of
 // allocating three per event.
+//
+// With Params.PublishWorkers > 1 and a batch large enough to feed the
+// pool, dissemination runs on a bounded worker pool: the tree is
+// traversed strictly read-only, each worker owns its stamp table and
+// receiver arena, events are assigned round-robin (deterministically),
+// and the per-worker arenas are merged and classified sequentially —
+// so the results are byte-identical to the sequential path.
 func (t *Tree) PublishBatch(batch []Publication) ([]Delivery, error) {
 	out := make([]Delivery, len(batch))
 	if len(batch) == 0 {
@@ -147,16 +225,97 @@ func (t *Tree) PublishBatch(batch []Publication) ([]Delivery, error) {
 		}
 	}
 
+	if w := t.publishWorkers(); w > 1 && len(batch) >= 2*w && !t.params.TrackReorgStats {
+		t.publishBatchParallel(batch, out, w)
+		return out, nil
+	}
+
 	// One receiver arena for the whole batch: segments are cut after the
 	// dissemination loop because append may move the backing array.
+	t.pub.grow(t.nslots)
 	offs := make([]int, len(batch)+1)
 	var arena []ProcID
 	for i := range batch {
-		t.disseminate(batch[i].Producer, batch[i].Event, &out[i])
-		arena = append(arena, t.pubIDs...)
+		t.pub.gen++
+		t.pub.ids = t.pub.ids[:0]
+		t.disseminate(batch[i].Producer, batch[i].Event, &out[i], &t.pub, true)
+		arena = append(arena, t.pub.ids...)
 		offs[i+1] = len(arena)
 	}
+	t.classifySegments(batch, out, arena, offs)
+	return out, nil
+}
 
+// publishWorkers resolves Params.PublishWorkers: 0 is min(GOMAXPROCS, 8)
+// and every value is clamped to [1, 8].
+func (t *Tree) publishWorkers() int {
+	w := t.params.PublishWorkers
+	if w == 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	return min(max(w, 1), 8)
+}
+
+// publishBatchParallel fans the batch out over w workers. Worker k
+// disseminates events k, k+w, k+2w, ... with its own pubCtx against the
+// read-only tree, accumulating receivers in a per-worker arena with one
+// offset per event; generations are allocated disjointly per event
+// (base+index+1), so a worker's stamp table distinguishes its events
+// without clearing. The merge phase stitches the per-worker arenas back
+// into batch order and runs the same classification as the sequential
+// path, which also applies the per-process delivery counters — workers
+// never mutate shared state.
+func (t *Tree) publishBatchParallel(batch []Publication, out []Delivery, w int) {
+	t.prepareRoutingCaches()
+	base := t.pub.gen
+	n := len(batch)
+	type wres struct {
+		ids  []ProcID
+		offs []int32
+	}
+	res := make([]wres, w)
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			st := pubCtx{stamp: make([]int64, t.nslots)}
+			r := &res[k]
+			r.offs = make([]int32, 0, (n-k+w-1)/w)
+			for i := k; i < n; i += w {
+				st.gen = base + int64(i) + 1
+				t.disseminate(batch[i].Producer, batch[i].Event, &out[i], &st, false)
+				r.offs = append(r.offs, int32(len(st.ids)))
+			}
+			r.ids = st.ids
+		}(k)
+	}
+	wg.Wait()
+	t.pub.gen = base + int64(n)
+
+	offs := make([]int, n+1)
+	total := 0
+	for k := range res {
+		total += len(res[k].ids)
+	}
+	arena := make([]ProcID, 0, total)
+	for i := 0; i < n; i++ {
+		r := &res[i%w]
+		ord := i / w
+		lo := int32(0)
+		if ord > 0 {
+			lo = r.offs[ord-1]
+		}
+		arena = append(arena, r.ids[lo:r.offs[ord]]...)
+		offs[i+1] = len(arena)
+	}
+	t.classifySegments(batch, out, arena, offs)
+}
+
+// classifySegments sorts each event's receiver segment, classifies the
+// receivers into true/false positives (two further shared arenas), and
+// applies the per-process delivery counters.
+func (t *Tree) classifySegments(batch []Publication, out []Delivery, arena []ProcID, offs []int) {
 	// Every receiver is exactly one of true/false positive, so two more
 	// arenas of the same total capacity hold every classification without
 	// reallocating (the three-index sub-slices keep segments independent).
@@ -168,9 +327,12 @@ func (t *Tree) PublishBatch(batch []Publication) ([]Delivery, error) {
 		out[i].Received = seg
 		t0, f0 := len(tp), len(fp)
 		for _, id := range seg {
-			if t.procs[id].Filter.ContainsPoint(batch[i].Event) {
+			p := t.procs[id]
+			p.Delivered++
+			if p.Filter.ContainsPoint(batch[i].Event) {
 				tp = append(tp, id)
 			} else {
+				p.FalsePos++
 				fp = append(fp, id)
 			}
 		}
@@ -181,72 +343,80 @@ func (t *Tree) PublishBatch(batch []Publication) ([]Delivery, error) {
 			out[i].FalsePositives = fp[f0:len(fp):len(fp)]
 		}
 	}
-	return out, nil
 }
 
-// descend forwards the event down from instance (id, h) into every child
-// whose MBR contains it.
-func (t *Tree) descend(id ProcID, h int, from ProcID, ev geom.Point, d *Delivery) {
-	if h == 0 {
+// prepareRoutingCaches resolves every parentH and kidH cache entry so the
+// read-only traversals of the parallel disseminator run without cache
+// writes (and almost never fall back to the process map).
+func (t *Tree) prepareRoutingCaches() {
+	for _, p := range t.procs {
+		for h, x := range p.inst {
+			if x == nilH {
+				continue
+			}
+			if par := t.ar.parent[x]; !t.liveH(t.ar.parentH[x], par, h+1) {
+				t.ar.parentH[x] = t.at(par, h+1)
+			}
+			kids := t.ar.kids[x]
+			kidH := t.ar.kidH[x]
+			for i, c := range kids {
+				if !t.liveH(kidH[i], c, h-1) {
+					kidH[i] = t.at(c, h-1)
+				}
+			}
+		}
+	}
+}
+
+// descendEv forwards the event down from instance x = (id, h) into every
+// child whose MBR contains it.
+func (t *Tree) descendEv(x Handle, id ProcID, h int, ev geom.Point, d *Delivery, st *pubCtx, rw bool) {
+	if h == 0 || x == nilH {
 		return
 	}
-	in := t.instance(id, h)
-	if in == nil {
-		return
+	if t.params.TrackReorgStats {
+		t.noteSeen(x, id, ev)
 	}
-	t.noteSeen(id, h, ev)
-	for _, c := range in.Children {
-		if !t.childMBR(c, h-1).ContainsPoint(ev) {
+	kids := t.ar.kids[x]
+	for i, c := range kids {
+		var ch Handle
+		if rw {
+			ch = t.kidHandle(x, i, c, h-1)
+		} else {
+			ch = t.kidHandleRO(x, i, c, h-1)
+		}
+		if ch == nilH || !t.ar.mbr[ch].ContainsPoint(ev) {
 			continue
 		}
 		if c != id {
 			d.Messages++
 		}
 		d.InstanceVisits++
-		t.receive(c, ev)
-		t.descend(c, h-1, id, ev, d)
-	}
-}
-
-// receive records the physical delivery of ev to process id (idempotent
-// within the current publish generation) and updates the process's
-// accuracy counters.
-func (t *Tree) receive(id ProcID, ev geom.Point) {
-	if t.pubSeen[id] == t.pubGen {
-		return
-	}
-	t.pubSeen[id] = t.pubGen
-	t.pubIDs = append(t.pubIDs, id)
-	p := t.procs[id]
-	p.Delivered++
-	if !p.Filter.ContainsPoint(ev) {
-		p.FalsePos++
+		st.receive(c, t.ar.slot[ch])
+		t.descendEv(ch, c, h-1, ev, d, st, rw)
 	}
 }
 
 // noteSeen updates the per-instance statistics used by the dynamic
 // reorganization of §3.2: the instance's own would-be false positive and,
 // for each child, the false positives the child would have experienced in
-// the parent's place.
-func (t *Tree) noteSeen(id ProcID, h int, ev geom.Point) {
-	if !t.params.TrackReorgStats {
+// the parent's place. x is the instance of process id; leaves and missing
+// instances are skipped.
+func (t *Tree) noteSeen(x Handle, id ProcID, ev geom.Point) {
+	if x == nilH || t.ar.height[x] == 0 {
 		return
 	}
-	in := t.instance(id, h)
-	if in == nil || h == 0 {
-		return
-	}
-	in.seen++
+	t.ar.seen[x]++
 	if !t.procs[id].Filter.ContainsPoint(ev) {
-		in.selfFP++
+		t.ar.selfFP[x]++
 	}
-	for _, c := range in.Children {
+	for _, c := range t.ar.kids[x] {
 		if c == id {
 			continue
 		}
 		cp := t.procs[c]
 		if cp != nil && !cp.Filter.ContainsPoint(ev) {
-			in.childFP[c]++
+			t.ar.childFP[x][c]++
 		}
 	}
 }
@@ -272,18 +442,18 @@ func (t *Tree) CheckReorg() ReorgStats {
 			continue
 		}
 		for h := 1; h <= p.Top; h++ {
-			in := p.At(h)
-			if in == nil || in.seen == 0 {
+			x := p.at(h)
+			if x == nilH || t.ar.seen[x] == 0 {
 				continue
 			}
 			best := NoProc
-			bestFP := in.selfFP
-			for _, c := range in.Children {
+			bestFP := t.ar.selfFP[x]
+			for _, c := range t.ar.kids[x] {
 				if c == id {
 					continue
 				}
-				if fp, ok := in.childFP[c]; ok && fp < bestFP {
-					best, bestFP = c, fp
+				if fp, ok := t.ar.childFP[x][c]; ok && int32(fp) < bestFP {
+					best, bestFP = c, int32(fp)
 				}
 			}
 			if best != NoProc {
@@ -303,13 +473,13 @@ func (t *Tree) resetReorgCounters(id ProcID) {
 	if p == nil {
 		return
 	}
-	for _, in := range p.Inst {
-		if in == nil {
+	for _, x := range p.inst {
+		if x == nilH {
 			continue
 		}
-		in.seen, in.selfFP = 0, 0
-		if in.childFP != nil {
-			in.childFP = make(map[ProcID]int)
+		t.ar.seen[x], t.ar.selfFP[x] = 0, 0
+		if t.ar.childFP[x] != nil {
+			t.ar.childFP[x] = make(map[ProcID]int)
 		}
 	}
 }

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"math/rand/v2"
+	"reflect"
+	"testing"
+
+	"drtree/internal/geom"
+)
+
+// buildWorkerTree grows a seeded tree with an explicit worker setting.
+func buildWorkerTree(t *testing.T, n int, seed uint64, workers int) *Tree {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(seed, seed))
+	tr := MustNew(Params{MinFanout: 2, MaxFanout: 4, PublishWorkers: workers})
+	for i := 1; i <= n; i++ {
+		x, y := rng.Float64()*200, rng.Float64()*200
+		if err := tr.Join(ProcID(i), geom.R2(x, y, x+20, y+20)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tr
+}
+
+// TestPublishBatchParallelEquivalence is the certification behind the
+// parallel disseminator: for every worker count the same seeded batch
+// must produce byte-identical Deliveries and identical per-process
+// Delivered / FalsePos counters. Worker counts are forced explicitly so
+// the test exercises the parallel path even on GOMAXPROCS=1 machines
+// (where the auto setting would stay sequential).
+func TestPublishBatchParallelEquivalence(t *testing.T) {
+	const n, events = 160, 96
+	rng := rand.New(rand.NewPCG(7, 77))
+	batch := make([]Publication, events)
+	for k := range batch {
+		batch[k] = Publication{
+			Producer: ProcID(1 + rng.IntN(n)),
+			Event:    geom.Point{rng.Float64() * 220, rng.Float64() * 220},
+		}
+	}
+
+	type snapshot struct {
+		ds        []Delivery
+		delivered map[ProcID]int
+		falsePos  map[ProcID]int
+	}
+	run := func(workers int) snapshot {
+		tr := buildWorkerTree(t, n, 11, workers)
+		ds, err := tr.PublishBatch(batch)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		s := snapshot{ds: ds, delivered: map[ProcID]int{}, falsePos: map[ProcID]int{}}
+		for _, id := range tr.ProcIDs() {
+			p := tr.Proc(id)
+			s.delivered[id] = p.Delivered
+			s.falsePos[id] = p.FalsePos
+		}
+		return s
+	}
+
+	want := run(1)
+	for _, workers := range []int{2, 3, 8} {
+		got := run(workers)
+		for k := range want.ds {
+			if !reflect.DeepEqual(got.ds[k], want.ds[k]) {
+				t.Fatalf("workers=%d event %d:\n got %+v\nwant %+v", workers, k, got.ds[k], want.ds[k])
+			}
+		}
+		if !reflect.DeepEqual(got.delivered, want.delivered) {
+			t.Errorf("workers=%d: Delivered counters diverge", workers)
+		}
+		if !reflect.DeepEqual(got.falsePos, want.falsePos) {
+			t.Errorf("workers=%d: FalsePos counters diverge", workers)
+		}
+	}
+}
+
+// TestPublishBatchParallelThenSequential interleaves parallel batches
+// with single-event publishes on the same tree: the shared scratch state
+// (generation stamps, delivery slots) must stay coherent across the two
+// entry points.
+func TestPublishBatchParallelThenSequential(t *testing.T) {
+	const n = 120
+	tr := buildWorkerTree(t, n, 13, 4)
+	ref := buildWorkerTree(t, n, 13, 1)
+	rng := rand.New(rand.NewPCG(5, 55))
+	for round := 0; round < 6; round++ {
+		batch := make([]Publication, 24)
+		for k := range batch {
+			batch[k] = Publication{
+				Producer: ProcID(1 + rng.IntN(n)),
+				Event:    geom.Point{rng.Float64() * 220, rng.Float64() * 220},
+			}
+		}
+		got, err := tr.PublishBatch(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := ref.PublishBatch(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("round %d: batch deliveries diverge", round)
+		}
+		ev := geom.Point{rng.Float64() * 220, rng.Float64() * 220}
+		producer := ProcID(1 + rng.IntN(n))
+		gd, err := tr.Publish(producer, ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wd, err := ref.Publish(producer, ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(gd, wd) {
+			t.Fatalf("round %d: single publish diverges after parallel batch", round)
+		}
+	}
+}
+
+// TestPublishBatchParallelReorgStatsGate verifies the parallel path is
+// declined while reorganization statistics are on (the seen/selfFP
+// counters are per-instance mutable state workers would race on), and
+// the sequential fallback still tracks them.
+func TestPublishBatchParallelReorgStatsGate(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 2))
+	tr := MustNew(Params{MinFanout: 2, MaxFanout: 4, PublishWorkers: 8, TrackReorgStats: true})
+	for i := 1; i <= 60; i++ {
+		x, y := rng.Float64()*200, rng.Float64()*200
+		if err := tr.Join(ProcID(i), geom.R2(x, y, x+20, y+20)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	batch := make([]Publication, 32)
+	for k := range batch {
+		batch[k] = Publication{Producer: 1, Event: geom.Point{rng.Float64() * 220, rng.Float64() * 220}}
+	}
+	if _, err := tr.PublishBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	var seen int64
+	for _, id := range tr.ProcIDs() {
+		p := tr.Proc(id)
+		for h := 1; h <= p.Top; h++ {
+			if x := tr.at(id, h); x != nilH {
+				seen += int64(tr.ar.seen[x])
+			}
+		}
+	}
+	if seen == 0 {
+		t.Error("reorg counters untouched after batch publish; parallel path must fall back to sequential when TrackReorgStats is on")
+	}
+}
+
+// TestPublishWorkersValidation pins the Params contract.
+func TestPublishWorkersValidation(t *testing.T) {
+	if _, err := New(Params{MinFanout: 2, MaxFanout: 4, PublishWorkers: -1}); err == nil {
+		t.Error("negative PublishWorkers must be rejected")
+	}
+	if _, err := New(Params{MinFanout: 2, MaxFanout: 4, PublishWorkers: 64}); err != nil {
+		t.Errorf("large PublishWorkers should clamp, not error: %v", err)
+	}
+}

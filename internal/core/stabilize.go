@@ -68,11 +68,11 @@ func (t *Tree) Stabilize() StabReport {
 // tallest live fragment.
 func (t *Tree) ensureRoot(st *StabReport) bool {
 	rp := t.procs[t.rootID]
-	if rp != nil && rp.At(t.rootH) != nil {
-		if t.rootH != rp.Top && rp.At(rp.Top) != nil {
+	if rp != nil && rp.at(t.rootH) != nilH {
+		if t.rootH != rp.Top && rp.at(rp.Top) != nilH {
 			// The root process grew or shrank; track its topmost instance.
 			t.rootH = rp.Top
-			rp.At(rp.Top).Parent = rp.ID
+			t.ar.parent[rp.at(rp.Top)] = rp.ID
 			st.Fixes++
 			return true
 		}
@@ -84,12 +84,13 @@ func (t *Tree) ensureRoot(st *StabReport) bool {
 	for _, id := range t.ProcIDs() {
 		p := t.procs[id]
 		top := t.contiguousTop(p)
-		in := p.At(top)
-		if in == nil {
+		x := p.at(top)
+		if x == nilH {
 			continue
 		}
-		g := t.instance(in.Parent, top+1)
-		if in.Parent == id || g == nil || !g.hasChild(id) {
+		par := t.ar.parent[x]
+		g := t.at(par, top+1)
+		if par == id || g == nilH || !hasID(t.ar.kids[g], id) {
 			t.pendingFragments = append(t.pendingFragments, fragment{id: id, h: top})
 		}
 	}
@@ -102,7 +103,7 @@ func (t *Tree) ensureRoot(st *StabReport) bool {
 // height 0..h (instances above a gap are corrupt and ignored).
 func (t *Tree) contiguousTop(p *Process) int {
 	h := 0
-	for p.At(h+1) != nil {
+	for p.at(h+1) != nilH {
 		h++
 	}
 	return h
@@ -123,8 +124,8 @@ func (t *Tree) checkChildrenAll(st *StabReport) bool {
 		// Dissolve instances above a gap in the chain first, scanning the
 		// whole table top-down: Top itself may have been corrupted.
 		top := t.contiguousTop(p)
-		for h := len(p.Inst) - 1; h > top; h-- {
-			if p.At(h) != nil {
+		for h := len(p.inst) - 1; h > top; h-- {
+			if p.at(h) != nilH {
 				t.dissolveInstance(p, h)
 				st.Fixes++
 				changed = true
@@ -132,22 +133,25 @@ func (t *Tree) checkChildrenAll(st *StabReport) bool {
 		}
 		p.Top = top
 		for h := p.Top; h >= 1; h-- {
-			in := p.At(h)
-			if in == nil {
+			x := p.at(h)
+			if x == nilH {
 				continue
 			}
-			kept := in.Children[:0]
-			for _, c := range in.Children {
-				ci := t.instance(c, h-1)
+			// Filter the children in place; setKids afterwards restores
+			// the kids/kidH pairing.
+			kids := t.ar.kids[x]
+			kept := kids[:0]
+			for _, c := range kids {
+				cx := t.at(c, h-1)
 				switch {
 				case hasID(kept, c):
 					// Duplicate reference left by a corruption.
 					st.Fixes++
 					changed = true
-				case t.procs[c] == nil, ci == nil:
+				case t.procs[c] == nil, cx == nilH:
 					st.Fixes++
 					changed = true
-				case ci.Parent != id:
+				case t.ar.parent[cx] != id:
 					// "If a node discovers that one of its children has
 					// another parent, then it simply discards the child."
 					st.Fixes++
@@ -156,8 +160,8 @@ func (t *Tree) checkChildrenAll(st *StabReport) bool {
 					kept = append(kept, c)
 				}
 			}
-			in.Children = kept
-			if !in.hasChild(id) || len(in.Children) == 0 {
+			t.ar.setKids(x, kept, t.params.MaxFanout)
+			if !hasID(kept, id) || len(kept) == 0 {
 				// The own-child invariant is broken (or the node is
 				// empty): the instance cannot stand; dissolve it and let
 				// the orphans rejoin.
@@ -166,9 +170,9 @@ func (t *Tree) checkChildrenAll(st *StabReport) bool {
 				changed = true
 				continue
 			}
-			was := in.Underloaded
+			was := t.ar.under[x]
 			t.refreshUnderloaded(id, h)
-			if was != in.Underloaded {
+			if was != t.ar.under[x] {
 				st.Fixes++
 				changed = true
 			}
@@ -181,8 +185,8 @@ func (t *Tree) checkChildrenAll(st *StabReport) bool {
 // (and p's own lower chain) as fragments to be re-attached. If the root
 // instance dissolves, the root reference moves down to p's remaining top.
 func (t *Tree) dissolveInstance(p *Process, h int) {
-	in := p.At(h)
-	if in == nil {
+	x := p.at(h)
+	if x == nilH {
 		return
 	}
 	p.clearInst(h)
@@ -191,29 +195,30 @@ func (t *Tree) dissolveInstance(p *Process, h int) {
 	}
 	// Detach the dissolved node from its parent's children list so no
 	// stale reference survives.
-	if in.Parent != p.ID {
-		if gi := t.instance(in.Parent, h+1); gi != nil {
-			gi.removeChild(p.ID)
-			t.refreshUnderloaded(in.Parent, h+1)
+	if par := t.ar.parent[x]; par != p.ID {
+		if g := t.at(par, h+1); g != nilH {
+			t.ar.removeKid(g, p.ID)
+			t.refreshUnderloaded(par, h+1)
 		}
 	}
-	for _, c := range in.Children {
+	for _, c := range t.ar.kids[x] {
 		if c == p.ID {
 			continue
 		}
-		if ci := t.instance(c, h-1); ci != nil && ci.Parent == p.ID {
-			ci.Parent = c
+		if cx := t.at(c, h-1); cx != nilH && t.ar.parent[cx] == p.ID {
+			t.ar.parent[cx] = c
 			t.pendingFragments = append(t.pendingFragments, fragment{id: c, h: h - 1})
 		}
 	}
-	if own := p.At(h - 1); own != nil {
-		own.Parent = p.ID
+	if own := p.at(h - 1); own != nilH {
+		t.ar.parent[own] = p.ID
 		if t.rootID == p.ID && t.rootH == h {
 			t.rootH = h - 1
 		} else if t.rootID != p.ID {
 			t.pendingFragments = append(t.pendingFragments, fragment{id: p.ID, h: h - 1})
 		}
 	}
+	t.ar.release(x)
 }
 
 // checkParentsAll runs CHECK_PARENT (Figure 11): an instance whose parent
@@ -226,14 +231,14 @@ func (t *Tree) checkParentsAll(st *StabReport) bool {
 			continue
 		}
 		for h := p.Top; h >= 0; h-- {
-			in := p.At(h)
-			if in == nil {
+			x := p.at(h)
+			if x == nilH {
 				continue
 			}
 			if h < p.Top {
 				// Interior of the own chain: the parent must be p itself.
-				if in.Parent != id {
-					in.Parent = id
+				if t.ar.parent[x] != id {
+					t.ar.parent[x] = id
 					st.Fixes++
 					changed = true
 				}
@@ -241,16 +246,17 @@ func (t *Tree) checkParentsAll(st *StabReport) bool {
 			}
 			// Topmost instance.
 			if id == t.rootID && h == t.rootH {
-				if in.Parent != id {
-					in.Parent = id
+				if t.ar.parent[x] != id {
+					t.ar.parent[x] = id
 					st.Fixes++
 					changed = true
 				}
 				continue
 			}
-			g := t.instance(in.Parent, h+1)
-			if in.Parent == id || g == nil || !g.hasChild(id) {
-				in.Parent = id
+			par := t.ar.parent[x]
+			g := t.at(par, h+1)
+			if par == id || g == nilH || !hasID(t.ar.kids[g], id) {
+				t.ar.parent[x] = id
 				t.pendingFragments = append(t.pendingFragments, fragment{id: id, h: h})
 				st.Fixes++
 				changed = true
@@ -266,12 +272,16 @@ func (t *Tree) checkMBRsAll(st *StabReport) bool {
 	for h := 0; h <= t.rootH; h++ {
 		for _, id := range t.ProcIDs() {
 			p := t.procs[id]
-			if p == nil || p.At(h) == nil {
+			if p == nil {
 				continue
 			}
-			old := p.At(h).MBR
+			x := p.at(h)
+			if x == nilH {
+				continue
+			}
+			old := t.ar.mbr[x]
 			t.computeMBR(id, h)
-			if !old.Equal(p.At(h).MBR) {
+			if !old.Equal(t.ar.mbr[x]) {
 				st.Fixes++
 				changed = true
 			}
@@ -294,14 +304,14 @@ func (t *Tree) checkCoverAll(st *StabReport) bool {
 			continue
 		}
 		for h := 1; h <= p.Top; h++ {
-			in := p.At(h)
-			if in == nil {
+			x := p.at(h)
+			if x == nilH {
 				continue
 			}
 			own := t.childMBR(id, h-1)
 			best := NoProc
 			bestArea := own.Area()
-			for _, c := range in.Children {
+			for _, c := range t.ar.kids[x] {
 				if c == id {
 					continue
 				}
@@ -339,8 +349,8 @@ func (t *Tree) checkStructureAll(st *StabReport) bool {
 		// corrupted phase) can leave a node with more than M children;
 		// split it like an overflowing ADD_CHILD would.
 		for h := 1; h <= p.Top; h++ {
-			in := p.At(h)
-			if in != nil && len(in.Children) > t.params.MaxFanout {
+			x := p.at(h)
+			if x != nilH && len(t.ar.kids[x]) > t.params.MaxFanout {
 				t.splitInstance(id, h)
 				st.Fixes++
 				changed = true
@@ -360,16 +370,16 @@ func (t *Tree) checkStructureAll(st *StabReport) bool {
 // rejoin (INITIATE_NEW_CONNECTION).
 func (t *Tree) compactUnder(id ProcID, h int, st *StabReport) bool {
 	p := t.procs[id]
-	in := p.At(h)
-	if in == nil {
+	x := p.at(h)
+	if x == nilH {
 		return false
 	}
 	changed := false
 	for {
 		var uid ProcID
-		for _, c := range in.Children {
-			ci := t.instance(c, h-1)
-			if ci != nil && ci.Underloaded && len(ci.Children) > 0 {
+		for _, c := range t.ar.kids[x] {
+			cx := t.at(c, h-1)
+			if cx != nilH && t.ar.under[cx] && len(t.ar.kids[cx]) > 0 {
 				uid = c
 				break
 			}
@@ -377,20 +387,20 @@ func (t *Tree) compactUnder(id ProcID, h int, st *StabReport) bool {
 		if uid == NoProc {
 			return changed
 		}
-		u := t.instance(uid, h-1)
+		u := t.at(uid, h-1)
 		// Search_Compaction_Candidate: sibling with the smallest MBR
 		// growth whose merged children set fits within M.
 		cand := NoProc
 		candCost := math.Inf(1)
-		for _, s := range in.Children {
+		for _, s := range t.ar.kids[x] {
 			if s == uid {
 				continue
 			}
-			si := t.instance(s, h-1)
-			if si == nil || len(si.Children)+len(u.Children) > t.params.MaxFanout {
+			sx := t.at(s, h-1)
+			if sx == nilH || len(t.ar.kids[sx])+len(t.ar.kids[u]) > t.params.MaxFanout {
 				continue
 			}
-			cost := si.MBR.Union(u.MBR).Area() - si.MBR.Area()
+			cost := t.ar.mbr[sx].Union(t.ar.mbr[u]).Area() - t.ar.mbr[sx].Area()
 			if cost < candCost || (cost == candCost && s < cand) {
 				cand, candCost = s, cost
 			}
@@ -408,7 +418,7 @@ func (t *Tree) compactUnder(id ProcID, h int, st *StabReport) bool {
 				return true
 			}
 			t.dissolveInstance(t.procs[uid], h-1)
-			in.removeChild(uid)
+			t.ar.removeKid(x, uid)
 			t.refreshUnderloaded(id, h)
 			st.Rejoins++
 			st.Fixes++
@@ -425,49 +435,43 @@ func (t *Tree) compactUnder(id ProcID, h int, st *StabReport) bool {
 // (or vice versa — Elect_Leader keeps the better cover as the surviving
 // parent), removing the loser's instance.
 func (t *Tree) compactPair(gid ProcID, h int, cand, uid ProcID) {
-	ci := t.instance(cand, h-1)
-	ui := t.instance(uid, h-1)
+	cx := t.at(cand, h-1)
+	ux := t.at(uid, h-1)
 	leaderID, loserID := cand, uid
-	li, lo := ci, ui
+	lx, lo := cx, ux
 	switch {
 	case cand == gid:
 		// The parent's own child must survive a merge, or the parent's
 		// node would lose its own-child invariant.
 	case uid == gid:
 		leaderID, loserID = uid, cand
-		li, lo = ui, ci
+		lx, lo = ux, cx
 	default:
 		ids := []ProcID{cand, uid}
-		mbrs := []geom.Rect{ci.MBR, ui.MBR}
+		mbrs := []geom.Rect{t.ar.mbr[cx], t.ar.mbr[ux]}
 		if ids[t.params.Election.ChooseLeader(ids, mbrs)] == uid {
 			leaderID, loserID = uid, cand
-			li, lo = ui, ci
+			lx, lo = ux, cx
 		}
 	}
-	// Merge_Children: the leader adopts the loser's children.
-	for _, c := range lo.Children {
-		if c == loserID {
-			// The loser's own chain child joins the leader's set too.
-			if cc := t.instance(c, h-2); cc != nil {
-				cc.Parent = leaderID
-			}
-			li.Children = append(li.Children, c)
-			continue
+	// Merge_Children: the leader adopts the loser's children (the loser's
+	// own chain child joins the leader's set like any other).
+	for _, c := range t.ar.kids[lo] {
+		if cc := t.at(c, h-2); cc != nilH {
+			t.ar.parent[cc] = leaderID
 		}
-		if cc := t.instance(c, h-2); cc != nil {
-			cc.Parent = leaderID
-		}
-		li.Children = append(li.Children, c)
+		t.ar.addKid(lx, c, t.params.MaxFanout)
 	}
 	// Remove the loser's instance; the loser stays in the tree at h-2 as
 	// an ordinary child of the leader.
 	loser := t.procs[loserID]
-	loser.clearInst(h - 1)
+	t.releaseInst(loser, h-1)
 	if loser.Top >= h-1 {
 		loser.Top = h - 2
 	}
-	g := t.instance(gid, h)
-	g.removeChild(loserID)
+	if g := t.at(gid, h); g != nilH {
+		t.ar.removeKid(g, loserID)
+	}
 	t.computeMBR(leaderID, h-1)
 	t.refreshUnderloaded(leaderID, h-1)
 	t.computeMBR(gid, h)
@@ -483,19 +487,19 @@ func (t *Tree) collapseRoot(st *StabReport) bool {
 		if rp == nil {
 			return changed
 		}
-		in := rp.At(t.rootH)
-		if in == nil || len(in.Children) != 1 {
+		x := rp.at(t.rootH)
+		if x == nilH || len(t.ar.kids[x]) != 1 {
 			return changed
 		}
-		c := in.Children[0]
-		rp.clearInst(t.rootH)
+		c := t.ar.kids[x][0]
+		t.releaseInst(rp, t.rootH)
 		if rp.Top >= t.rootH {
 			rp.Top = t.rootH - 1
 		}
 		t.rootID = c
 		t.rootH--
-		if ci := t.instance(c, t.rootH); ci != nil {
-			ci.Parent = c
+		if cx := t.at(c, t.rootH); cx != nilH {
+			t.ar.parent[cx] = c
 		}
 		st.Fixes++
 		changed = true

@@ -40,18 +40,18 @@ func (t *Tree) UpdateFilter(id ProcID, f geom.Rect) error {
 	// union), so shrinking filters propagate exactly like growing ones.
 	cur, h := id, 0
 	for !(cur == t.rootID && h == t.rootH) {
-		in := t.instance(cur, h)
-		if in == nil {
+		x := t.at(cur, h)
+		if x == nilH {
 			break
 		}
-		parent := in.Parent
+		parent := t.ar.parent[x]
 		if parent == NoProc || t.procs[parent] == nil {
 			break // dangling mid-repair; stabilization reconciles
 		}
 		if parent == cur && h >= t.procs[cur].Top {
 			break
 		}
-		if t.instance(parent, h+1) == nil {
+		if t.at(parent, h+1) == nilH {
 			break
 		}
 		t.computeMBR(parent, h+1)

@@ -58,20 +58,20 @@ func (c *Cluster) CheckLegal() error {
 			return in.mbr, nil
 		}
 		isRoot := id == rootID && h == rootH
-		if !isRoot && len(in.children) < m {
-			return geom.Rect{}, fmt.Errorf("proto: node (%d,%d) underflows: %d < m=%d", id, h, len(in.children), m)
+		if !isRoot && in.numChildren() < m {
+			return geom.Rect{}, fmt.Errorf("proto: node (%d,%d) underflows: %d < m=%d", id, h, in.numChildren(), m)
 		}
-		if isRoot && len(c.nodes) > 1 && len(in.children) < 2 {
-			return geom.Rect{}, fmt.Errorf("proto: root (%d,%d) has %d children, want >= 2", id, h, len(in.children))
+		if isRoot && len(c.nodes) > 1 && in.numChildren() < 2 {
+			return geom.Rect{}, fmt.Errorf("proto: root (%d,%d) has %d children, want >= 2", id, h, in.numChildren())
 		}
-		if len(in.children) > M {
-			return geom.Rect{}, fmt.Errorf("proto: node (%d,%d) overflows: %d > M=%d", id, h, len(in.children), M)
+		if in.numChildren() > M {
+			return geom.Rect{}, fmt.Errorf("proto: node (%d,%d) overflows: %d > M=%d", id, h, in.numChildren(), M)
 		}
-		if in.children[id] == nil {
+		if !in.hasChild(id) {
 			return geom.Rect{}, fmt.Errorf("proto: node (%d,%d) violates the own-child invariant", id, h)
 		}
 		var union geom.Rect
-		for _, ch := range sortedChildIDs(in) {
+		for _, ch := range in.childID {
 			cn := c.nodes[ch]
 			if cn == nil {
 				return geom.Rect{}, fmt.Errorf("proto: node (%d,%d) lists dead child %d", id, h, ch)
@@ -88,7 +88,7 @@ func (c *Cluster) CheckLegal() error {
 			// cache agrees with the child's actual state (a stale, too
 			// small cache causes dissemination false negatives even when
 			// every node-local MBR is coherent).
-			if cached := in.children[ch].mbr; !cached.Equal(ci.mbr) {
+			if cached := in.childMBR[in.childIndex(ch)]; !cached.Equal(ci.mbr) {
 				return geom.Rect{}, fmt.Errorf("proto: node (%d,%d) caches child %d MBR %v, child has %v",
 					id, h, ch, cached, ci.mbr)
 			}
@@ -101,7 +101,7 @@ func (c *Cluster) CheckLegal() error {
 		if !in.mbr.Equal(union) {
 			return geom.Rect{}, fmt.Errorf("proto: MBR of (%d,%d) is %v, want %v", id, h, in.mbr, union)
 		}
-		if want := len(in.children) < m; in.underloaded != want {
+		if want := in.numChildren() < m; in.underloaded != want {
 			return geom.Rect{}, fmt.Errorf("proto: underloaded flag of (%d,%d) wrong", id, h)
 		}
 		return union, nil
@@ -146,7 +146,7 @@ func (c *Cluster) Describe() string {
 				out += fmt.Sprintf(" P%d", id)
 				continue
 			}
-			out += fmt.Sprintf(" P%d%v", id, sortedChildIDs(in))
+			out += fmt.Sprintf(" P%d%v", id, in.childID)
 		}
 		out += "\n"
 	}

@@ -455,11 +455,7 @@ func (c *Cluster) CorruptChildren(id core.ProcID, h int, children []core.ProcID)
 	if n == nil || n.at(h) == nil {
 		return fmt.Errorf("proto: no instance (%d,%d)", id, h)
 	}
-	m := make(map[core.ProcID]*childState, len(children))
-	for _, ch := range children {
-		m[ch] = &childState{}
-	}
-	n.at(h).children = m
+	n.at(h).setChildren(children, nil)
 	return nil
 }
 

@@ -470,11 +470,7 @@ func (lc *LiveCluster) CorruptParent(id core.ProcID, h int, parent core.ProcID) 
 // CorruptChildren replaces the local children set of (id, h).
 func (lc *LiveCluster) CorruptChildren(id core.ProcID, h int, children []core.ProcID) error {
 	return lc.corrupt(id, h, func(in *instance) {
-		m := make(map[core.ProcID]*childState, len(children))
-		for _, ch := range children {
-			m[ch] = &childState{}
-		}
-		in.children = m
+		in.setChildren(children, nil)
 	})
 }
 

@@ -45,21 +45,81 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// childState is the cached view a parent keeps of one child.
-type childState struct {
-	mbr         geom.Rect
-	underloaded bool
-}
-
 // instance is one per-level node of a process (paper §3.2 data
-// structures), kept strictly local to its owner.
+// structures), kept strictly local to its owner. Instances are stored by
+// value in the node's height-indexed table; the cached view of the
+// children lives in parallel slices sorted by ascending ProcID, so the
+// hot paths (event routing, best-child descent, MBR recomputation) scan
+// contiguous memory without map iteration or per-visit sort allocations.
 type instance struct {
-	parent      core.ProcID
-	children    map[core.ProcID]*childState
+	live   bool // false marks a vacant table slot (a gap left by faults)
+	parent core.ProcID
+
+	// Children, ascending by ID. childMBR and childUnder are the cached
+	// parent-side view of each child (the paper's MBR and underloaded
+	// variables), index-parallel with childID.
+	childID    []core.ProcID
+	childMBR   []geom.Rect
+	childUnder []bool
+
 	mbr         geom.Rect
 	underloaded bool
 
 	underRounds int // consecutive check periods spent underloaded
+}
+
+// numChildren returns the size of the children set.
+func (in *instance) numChildren() int { return len(in.childID) }
+
+// childIndex returns the position of child c, or -1 if absent.
+func (in *instance) childIndex(c core.ProcID) int {
+	if i, ok := slices.BinarySearch(in.childID, c); ok {
+		return i
+	}
+	return -1
+}
+
+// hasChild reports whether c is in the children set.
+func (in *instance) hasChild(c core.ProcID) bool { return in.childIndex(c) >= 0 }
+
+// putChild inserts (or updates) child c with the given cached view,
+// keeping the parallel slices sorted by ID.
+func (in *instance) putChild(c core.ProcID, mbr geom.Rect, under bool) {
+	i, ok := slices.BinarySearch(in.childID, c)
+	if ok {
+		in.childMBR[i] = mbr
+		in.childUnder[i] = under
+		return
+	}
+	in.childID = slices.Insert(in.childID, i, c)
+	in.childMBR = slices.Insert(in.childMBR, i, mbr)
+	in.childUnder = slices.Insert(in.childUnder, i, under)
+}
+
+// delChild removes child c, preserving order.
+func (in *instance) delChild(c core.ProcID) {
+	i := in.childIndex(c)
+	if i < 0 {
+		return
+	}
+	in.childID = slices.Delete(in.childID, i, i+1)
+	in.childMBR = slices.Delete(in.childMBR, i, i+1)
+	in.childUnder = slices.Delete(in.childUnder, i, i+1)
+}
+
+// setChildren replaces the whole children set. The ids need not arrive
+// sorted; cached views default to the zero rectangle unless provided.
+func (in *instance) setChildren(ids []core.ProcID, mbrs map[core.ProcID]geom.Rect) {
+	in.childID = append(in.childID[:0], ids...)
+	slices.Sort(in.childID)
+	in.childID = slices.Compact(in.childID)
+	in.childMBR = make([]geom.Rect, len(in.childID))
+	in.childUnder = make([]bool, len(in.childID))
+	for i, c := range in.childID {
+		if mbrs != nil {
+			in.childMBR[i] = mbrs[c]
+		}
+	}
 }
 
 // Node is one process actor.
@@ -68,10 +128,13 @@ type Node struct {
 	filter geom.Rect
 	cfg    Config
 
-	// inst is the instance table indexed by height; a node owns the
-	// contiguous range 0..top (nil entries are gaps left by faults). Use
-	// at() for reads so out-of-range heights resolve to nil.
-	inst []*instance
+	// inst is the instance table indexed by height, stored by value so a
+	// node's whole chain lives in one allocation; a node owns the
+	// contiguous range 0..top (non-live entries are gaps left by faults).
+	// Use at() for reads so out-of-range heights resolve to nil. Pointers
+	// returned by at() are invalidated by setInst (the table may grow);
+	// re-fetch after any call that can add an instance.
+	inst []instance
 	top  int
 
 	// rejoinPending marks an orphaned topmost instance awaiting re-join.
@@ -90,27 +153,30 @@ func newNode(id core.ProcID, filter geom.Rect, cfg Config) *Node {
 		id:     id,
 		filter: filter,
 		cfg:    cfg,
-		inst:   make([]*instance, 0, 4),
+		inst:   make([]instance, 0, 4),
 		seen:   make(map[int64]bool),
 	}
-	n.setInst(0, &instance{parent: id, mbr: filter})
+	n.setInst(0, instance{parent: id, mbr: filter})
 	return n
 }
 
 // at returns the node's instance at height h, or nil when h is out of
-// range or vacant.
+// range or vacant. The pointer aims into the node's instance table: it is
+// valid until the next setInst.
 func (n *Node) at(h int) *instance {
-	if h < 0 || h >= len(n.inst) {
+	if h < 0 || h >= len(n.inst) || !n.inst[h].live {
 		return nil
 	}
-	return n.inst[h]
+	return &n.inst[h]
 }
 
-// setInst stores in at height h, growing the table as needed.
-func (n *Node) setInst(h int, in *instance) {
+// setInst stores in at height h, growing the table as needed. Existing
+// *instance pointers into the table are invalidated.
+func (n *Node) setInst(h int, in instance) {
 	for len(n.inst) <= h {
-		n.inst = append(n.inst, nil)
+		n.inst = append(n.inst, instance{})
 	}
+	in.live = true
 	n.inst[h] = in
 }
 
@@ -119,9 +185,9 @@ func (n *Node) clearInst(h int) {
 	if h < 0 || h >= len(n.inst) {
 		return
 	}
-	n.inst[h] = nil
+	n.inst[h] = instance{}
 	l := len(n.inst)
-	for l > 0 && n.inst[l-1] == nil {
+	for l > 0 && !n.inst[l-1].live {
 		l--
 	}
 	n.inst = n.inst[:l]
@@ -130,8 +196,8 @@ func (n *Node) clearInst(h int) {
 // instCount returns the number of instances the node currently owns.
 func (n *Node) instCount() int {
 	c := 0
-	for _, in := range n.inst {
-		if in != nil {
+	for i := range n.inst {
+		if n.inst[i].live {
 			c++
 		}
 	}
@@ -154,10 +220,7 @@ func (n *Node) Instance(h int) (parent core.ProcID, children []core.ProcID, mbr 
 	if in == nil {
 		return core.NoProc, nil, geom.Rect{}, false
 	}
-	for c := range in.children {
-		children = append(children, c)
-	}
-	slices.Sort(children)
+	children = append([]core.ProcID(nil), in.childID...)
 	return in.parent, children, in.mbr, true
 }
 
@@ -233,8 +296,7 @@ func (n *Node) process(m simnet.Message) {
 func (n *Node) onFilterUpdate(p mFilterUpdate) {
 	n.filter = p.Filter
 	n.recomputeMBR(0)
-	in := n.at(0)
-	if in == nil {
+	if n.at(0) == nil {
 		return
 	}
 	if n.top > 0 {
@@ -246,8 +308,10 @@ func (n *Node) onFilterUpdate(p mFilterUpdate) {
 			if hi == nil {
 				break
 			}
-			if cs := hi.children[n.id]; cs != nil && n.at(h-1) != nil {
-				cs.mbr = n.at(h - 1).mbr
+			if low := n.at(h - 1); low != nil {
+				if i := hi.childIndex(n.id); i >= 0 {
+					hi.childMBR[i] = low.mbr
+				}
 			}
 			n.recomputeMBR(h)
 		}
@@ -338,16 +402,13 @@ func (n *Node) mergeRoot(p mJoin, h int) {
 	in := n.at(h)
 	if in.mbr.Area() >= p.MBR.Area() {
 		// We host the new root.
-		n.setInst(h+1, &instance{
-			parent: n.id,
-			children: map[core.ProcID]*childState{
-				n.id:     {mbr: in.mbr},
-				p.Joiner: {mbr: p.MBR},
-			},
-			mbr: in.mbr.Union(p.MBR),
-		})
+		ownMBR := in.mbr
+		nr := instance{parent: n.id, mbr: ownMBR.Union(p.MBR)}
+		nr.putChild(n.id, ownMBR, false)
+		nr.putChild(p.Joiner, p.MBR, false)
+		n.setInst(h+1, nr) // invalidates in
 		n.top = h + 1
-		in.parent = n.id
+		n.at(h).parent = n.id
 		n.refreshUnderloaded(h + 1)
 		n.send(p.Joiner, mWelcome{Height: p.AtHeight, Parent: n.id})
 		return
@@ -361,18 +422,14 @@ func (n *Node) mergeRoot(p mJoin, h int) {
 	})
 }
 
+// chooseBestChild scans the sorted children slices directly: ascending ID
+// order gives the deterministic tie-break without per-call sorting.
 func (n *Node) chooseBestChild(in *instance, f geom.Rect) core.ProcID {
 	best := core.NoProc
 	var bestEnl, bestArea float64
-	ids := make([]core.ProcID, 0, len(in.children))
-	for c := range in.children {
-		ids = append(ids, c)
-	}
-	slices.Sort(ids)
-	for _, c := range ids {
-		cs := in.children[c]
-		enl := cs.mbr.Enlargement(f)
-		area := cs.mbr.Area()
+	for i, c := range in.childID {
+		enl := in.childMBR[i].Enlargement(f)
+		area := in.childMBR[i].Area()
 		if best == core.NoProc || enl < bestEnl || (enl == bestEnl && area < bestArea) {
 			best, bestEnl, bestArea = c, enl, area
 		}
@@ -390,14 +447,11 @@ func (n *Node) onAdd(child core.ProcID, mbr geom.Rect, h int) {
 		n.send(child, mDissolved{Height: h - 1})
 		return
 	}
-	if in.children == nil {
-		in.children = make(map[core.ProcID]*childState)
-	}
-	in.children[child] = &childState{mbr: mbr}
+	in.putChild(child, mbr, false)
 	in.mbr = in.mbr.Union(mbr)
 	n.send(child, mWelcome{Height: h - 1, Parent: n.id})
 	n.refreshUnderloaded(h)
-	if len(in.children) <= n.cfg.MaxFanout {
+	if in.numChildren() <= n.cfg.MaxFanout {
 		return
 	}
 	n.splitInstance(h)
@@ -408,17 +462,13 @@ func (n *Node) onAdd(child core.ProcID, mbr geom.Rect, h int) {
 // Figure 6) for the other group.
 func (n *Node) splitInstance(h int) {
 	in := n.at(h)
-	ids := make([]core.ProcID, 0, len(in.children))
-	for c := range in.children {
-		ids = append(ids, c)
-	}
-	slices.Sort(ids)
+	ids := append([]core.ProcID(nil), in.childID...) // already ascending
 	rects := make([]geom.Rect, len(ids))
 	for i, c := range ids {
 		if c == n.id && n.at(h-1) != nil {
 			rects[i] = n.at(h - 1).mbr
 		} else {
-			rects[i] = in.children[c].mbr
+			rects[i] = in.childMBR[i]
 		}
 	}
 	leftIdx, rightIdx, err := n.cfg.Split.Split(rects, n.cfg.MinFanout)
@@ -436,10 +486,15 @@ func (n *Node) splitInstance(h int) {
 	}
 
 	// Keep the left group.
-	left := make(map[core.ProcID]*childState, len(leftIdx))
+	slices.Sort(leftIdx)
+	leftIDs := make([]core.ProcID, 0, len(leftIdx))
+	leftMBRs := make(map[core.ProcID]geom.Rect, len(leftIdx))
+	leftUnder := make(map[core.ProcID]bool, len(leftIdx))
 	var leftMBR geom.Rect
 	for _, i := range leftIdx {
-		left[ids[i]] = in.children[ids[i]]
+		leftIDs = append(leftIDs, ids[i])
+		leftMBRs[ids[i]] = in.childMBR[i]
+		leftUnder[ids[i]] = in.childUnder[i]
 		leftMBR = leftMBR.Union(rects[i])
 	}
 	// Elect the right leader: largest MBR, ties by lowest ID.
@@ -459,7 +514,10 @@ func (n *Node) splitInstance(h int) {
 	}
 
 	wasRoot := n.isRootInstance(h)
-	in.children = left
+	in.setChildren(leftIDs, leftMBRs)
+	for i, c := range in.childID {
+		in.childUnder[i] = leftUnder[c]
+	}
 	in.mbr = leftMBR
 	n.refreshUnderloaded(h)
 
@@ -467,17 +525,12 @@ func (n *Node) splitInstance(h int) {
 		// Create_Root: elect the new root among the two leaders.
 		if leftMBR.Area() >= rightMBR.Area() {
 			// We stay root: host a new root instance at h+1.
-			nr := &instance{
-				parent: n.id,
-				children: map[core.ProcID]*childState{
-					n.id:   {mbr: leftMBR},
-					leader: {mbr: rightMBR},
-				},
-				mbr: leftMBR.Union(rightMBR),
-			}
-			n.setInst(h+1, nr)
+			nr := instance{parent: n.id, mbr: leftMBR.Union(rightMBR)}
+			nr.putChild(n.id, leftMBR, false)
+			nr.putChild(leader, rightMBR, false)
+			n.setInst(h+1, nr) // invalidates in
 			n.top = h + 1
-			in.parent = n.id
+			n.at(h).parent = n.id
 			n.send(leader, mPromote{Height: h, Members: members, Parent: n.id})
 		} else {
 			in.parent = leader
@@ -494,44 +547,41 @@ func (n *Node) splitInstance(h int) {
 
 // onPromote creates the instance a split elected this node to lead.
 func (n *Node) onPromote(p mPromote) {
-	in := &instance{children: make(map[core.ProcID]*childState, len(p.Members))}
+	in := instance{}
 	for _, m := range p.Members {
-		in.children[m.ID] = &childState{mbr: m.MBR}
+		in.putChild(m.ID, m.MBR, false)
 		in.mbr = in.mbr.Union(m.MBR)
 		if m.ID != n.id {
 			n.send(m.ID, mNewParent{Height: p.Height - 1, Parent: n.id})
 		}
 	}
+	ownChild := in.hasChild(n.id)
+	inMBR := in.mbr
 	n.setInst(p.Height, in)
 	if p.Height > n.top {
 		n.top = p.Height
 	}
-	if own := n.at(p.Height - 1); own != nil && in.children[n.id] != nil {
+	if own := n.at(p.Height - 1); own != nil && ownChild {
 		own.parent = n.id
 	}
 	n.refreshUnderloaded(p.Height)
 	switch {
 	case p.Root && p.Sibling != nil:
 		// Become the tree root over {sibling, self}.
-		root := &instance{
-			parent: n.id,
-			children: map[core.ProcID]*childState{
-				p.Sibling.ID: {mbr: p.Sibling.MBR},
-				n.id:         {mbr: in.mbr},
-			},
-			mbr: in.mbr.Union(p.Sibling.MBR),
-		}
+		root := instance{parent: n.id, mbr: inMBR.Union(p.Sibling.MBR)}
+		root.putChild(p.Sibling.ID, p.Sibling.MBR, false)
+		root.putChild(n.id, inMBR, false)
 		n.setInst(p.Height+1, root)
 		n.top = p.Height + 1
-		in.parent = n.id
+		n.at(p.Height).parent = n.id
 		n.rejoinPending = false
 		n.send(p.Sibling.ID, mNewParent{Height: p.Height, Parent: n.id})
 	case p.Root:
-		in.parent = n.id
+		n.at(p.Height).parent = n.id
 		n.rejoinPending = false
 	default:
-		in.parent = p.Parent
-		n.send(p.Parent, mAdd{Child: n.id, MBR: in.mbr, Height: p.Height + 1})
+		n.at(p.Height).parent = p.Parent
+		n.send(p.Parent, mAdd{Child: n.id, MBR: inMBR, Height: p.Height + 1})
 	}
 }
 
@@ -564,7 +614,7 @@ func (n *Node) removeChild(h int, child core.ProcID) {
 	if in == nil {
 		return
 	}
-	delete(in.children, child)
+	in.delChild(child)
 	n.recomputeMBR(h)
 	n.refreshUnderloaded(h)
 }
@@ -585,7 +635,7 @@ func (n *Node) markOrphan(h int) {
 // onParentQuery answers CHECK_PARENT.
 func (n *Node) onParentQuery(from core.ProcID, p mParentQuery) {
 	in := n.at(p.Height + 1)
-	is := in != nil && in.children[p.Child] != nil
+	is := in != nil && in.hasChild(p.Child)
 	n.send(from, mParentAck{Height: p.Height, IsChild: is})
 }
 
@@ -617,15 +667,15 @@ func (n *Node) onChildReport(from core.ProcID, p mChildReport) {
 	if in == nil {
 		return
 	}
-	cs := in.children[from]
-	if cs == nil {
+	i := in.childIndex(from)
+	if i < 0 {
 		return
 	}
 	if !p.Exists || p.ParentIs != n.id {
-		delete(in.children, from)
+		in.delChild(from)
 	} else {
-		cs.mbr = p.MBR
-		cs.underloaded = p.Underloaded
+		in.childMBR[i] = p.MBR
+		in.childUnder[i] = p.Underloaded
 	}
 	n.recomputeMBR(p.Height)
 	n.refreshUnderloaded(p.Height)
@@ -665,12 +715,16 @@ func (n *Node) recomputeMBR(h int) {
 		return
 	}
 	var mbr geom.Rect
-	for c, cs := range in.children {
-		if c == n.id && n.at(h-1) != nil {
-			mbr = mbr.Union(n.at(h - 1).mbr)
-			continue
+	for i, c := range in.childID {
+		cm := in.childMBR[i]
+		if c == n.id {
+			if low := n.at(h - 1); low != nil {
+				cm = low.mbr
+			}
 		}
-		mbr = mbr.Union(cs.mbr)
+		if !mbr.Contains(cm) {
+			mbr = mbr.Union(cm)
+		}
 	}
 	in.mbr = mbr
 }
@@ -680,7 +734,7 @@ func (n *Node) refreshUnderloaded(h int) {
 	if in == nil || h == 0 {
 		return
 	}
-	in.underloaded = len(in.children) < n.cfg.MinFanout
+	in.underloaded = in.numChildren() < n.cfg.MinFanout
 }
 
 func containsInt(xs []int, v int) bool {

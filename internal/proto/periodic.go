@@ -1,8 +1,6 @@
 package proto
 
 import (
-	"slices"
-
 	"drtree/internal/core"
 	"drtree/internal/geom"
 )
@@ -20,23 +18,26 @@ func (n *Node) periodic(contact core.ProcID) {
 			continue
 		}
 		if h > 0 {
-			// CHECK_CHILDREN + CHECK_MBR: probe every remote child.
-			ids := sortedChildIDs(in)
-			for _, c := range ids {
+			// CHECK_CHILDREN + CHECK_MBR: probe every remote child. The
+			// children slices are kept in ascending ID order, so the scan
+			// is the deterministic probe order with no per-round sort.
+			for _, c := range in.childID {
 				if c == n.id {
 					continue
 				}
 				n.send(c, mChildQuery{Height: h})
 			}
 			// Own child is read locally.
-			if cs := in.children[n.id]; cs != nil && n.at(h-1) != nil {
-				cs.mbr = n.at(h - 1).mbr
-				cs.underloaded = n.at(h - 1).underloaded
+			if low := n.at(h - 1); low != nil {
+				if i := in.childIndex(n.id); i >= 0 {
+					in.childMBR[i] = low.mbr
+					in.childUnder[i] = low.underloaded
+				}
 			}
 			n.recomputeMBR(h)
 			n.refreshUnderloaded(h)
 			// The own-child invariant: without it this node cannot stand.
-			if in.children[n.id] == nil || n.at(h-1) == nil {
+			if !in.hasChild(n.id) || n.at(h-1) == nil {
 				n.dissolve(h)
 				continue
 			}
@@ -108,12 +109,13 @@ func (n *Node) fixChain() {
 // (mDissolved), the parent is told to drop us, and our own chain below
 // becomes the new topmost fragment.
 func (n *Node) dissolve(h int) {
-	in := n.at(h)
-	if in == nil {
+	ptr := n.at(h)
+	if ptr == nil {
 		return
 	}
+	in := *ptr // value copy: clearInst zeroes the table slot
 	n.clearInst(h)
-	for c := range in.children {
+	for _, c := range in.childID {
 		if c != n.id {
 			n.send(c, mDissolved{Height: h - 1})
 		}
@@ -152,13 +154,10 @@ func (n *Node) rejoin(contact core.ProcID, h int) {
 // maybeCollapseRoot removes a degenerate root (single child).
 func (n *Node) maybeCollapseRoot(h int) {
 	in := n.at(h)
-	if in == nil || h == 0 || len(in.children) != 1 {
+	if in == nil || h == 0 || in.numChildren() != 1 {
 		return
 	}
-	var only core.ProcID
-	for c := range in.children {
-		only = c
-	}
+	only := in.childID[0]
 	n.clearInst(h)
 	n.top = h - 1
 	if only == n.id {
@@ -181,13 +180,13 @@ func (n *Node) onEvent(p mEvent) {
 		return
 	}
 	if h > 0 {
-		ids := sortedChildIDs(in)
-		for _, c := range ids {
+		// Hot path: one cache-linear sweep over the sorted parallel
+		// slices, no allocation per visit.
+		for i, c := range in.childID {
 			if c == p.From {
 				continue
 			}
-			cs := in.children[c]
-			if !cs.mbr.ContainsPoint(p.Ev) {
+			if !in.childMBR[i].ContainsPoint(p.Ev) {
 				continue
 			}
 			if c == n.id {
@@ -218,13 +217,4 @@ func (n *Node) deliver(id int64, ev geom.Point) {
 	if !n.filter.ContainsPoint(ev) {
 		n.FalsePos++
 	}
-}
-
-func sortedChildIDs(in *instance) []core.ProcID {
-	ids := make([]core.ProcID, 0, len(in.children))
-	for c := range in.children {
-		ids = append(ids, c)
-	}
-	slices.Sort(ids)
-	return ids
 }
