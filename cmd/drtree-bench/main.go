@@ -9,7 +9,9 @@
 // measures the batched publish pipeline through the gateway Broker at
 // batch sizes 1/16/256 over both the sequential and the wire engine,
 // plus the subscriber-scale sweep (1k/10k/100k subscribers on a fixed
-// 16-gateway pool, pinning the sublinear match-scan cost)
+// 16-gateway pool, pinning the sublinear match-scan cost) and the
+// frozen-consumer delivery scenario (pinning the delivery-layer
+// delivered/dropped totals that certify the never-block guarantee)
 // (BENCH_broker.json).
 //
 // -gate re-runs all three benchmark suites and diffs the deterministic
@@ -401,6 +403,12 @@ type brokerRecord struct {
 	ArenaCap  int `json:"arena_cap"`
 	ArenaLive int `json:"arena_live"`
 	ArenaFree int `json:"arena_free"`
+	// Delivery-layer counters of the frozen-consumer scenario (zero for
+	// the publish-pipeline rows): events handed to subscriber handlers
+	// and events shed by bounded queues. Deterministic, gated — a
+	// regression in the never-block guarantee shifts both.
+	DeliveredEvents int64 `json:"delivered_events"`
+	DroppedEvents   int64 `json:"dropped_events"`
 }
 
 // batchSizes are the broker pipeline's measured batch sizes. Powers of
@@ -467,7 +475,9 @@ func sumCounters(notes []pubsub.Notification) (msgs, visited int) {
 // shared round budget is what makes a proto batch cheaper than
 // sequential publishes), and the subscriber-scale sweep (1k/10k/100k
 // subscribers at the fixed gateway count, pinning the match-scan cost
-// and allocs/event that certify the sublinear local matching).
+// and allocs/event that certify the sublinear local matching), plus the
+// frozen-consumer delivery scenario whose exact delivered/dropped totals
+// pin the delivery layer's backpressure contract.
 func measureBenchBroker() ([]brokerRecord, error) {
 	var records []brokerRecord
 
@@ -597,7 +607,141 @@ func measureBenchBroker() ([]brokerRecord, error) {
 			ArenaFree:           ar.Free,
 		})
 	}
-	return records, nil
+
+	// Delivery layer: a frozen consumer behind a bounded drop-oldest queue
+	// next to fast consumers. The drop and delivery totals are exact by
+	// construction, so the gate pins the never-block contract.
+	del, err := measureBrokerDelivery()
+	if err != nil {
+		return nil, err
+	}
+	return append(records, del), nil
+}
+
+// measureBrokerDelivery runs the frozen-consumer delivery scenario: four
+// whole-domain subscribers on a 4-gateway pool, three draining instantly
+// and one frozen inside its handler behind a 32-slot drop-oldest queue.
+// One event is published and trapped in the frozen handler, then the
+// remaining 255 are published while the consumer stays stuck — the
+// publisher must never block, the fast consumers must receive all 256
+// events each, and the frozen queue must keep exactly its newest 32.
+// Every total is deterministic: delivered = 3*256 + (1 trapped + 32
+// queued) = 801, dropped = 255 - 32 = 223.
+func measureBrokerDelivery() (brokerRecord, error) {
+	const (
+		events    = 256
+		gws       = 4
+		frozenCap = 32
+		fast      = 3
+		frozenID  = core.ProcID(fast + 1)
+	)
+	tree, err := core.New(core.Params{MinFanout: 2, MaxFanout: 4, PublishWorkers: 1})
+	if err != nil {
+		return brokerRecord{}, err
+	}
+	b, err := pubsub.New(filter.MustSpace("x", "y"), tree, pubsub.WithGateways(gws))
+	if err != nil {
+		return brokerRecord{}, err
+	}
+	defer b.Close()
+	all := filter.Range("x", 0, 1000).And(filter.Range("y", 0, 1000))
+	for id := 1; id <= fast; id++ {
+		err := b.SubscribeFunc(core.ProcID(id), all,
+			func(pubsub.Envelope) error { return nil },
+			pubsub.WithQueueDepth(events))
+		if err != nil {
+			return brokerRecord{}, err
+		}
+	}
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	err = b.SubscribeFunc(frozenID, all, func(pubsub.Envelope) error {
+		once.Do(func() { close(entered) })
+		<-release
+		return nil
+	}, pubsub.WithQueueDepth(frozenCap))
+	if err != nil {
+		return brokerRecord{}, err
+	}
+
+	rng := rand.New(rand.NewPCG(events, 0xF2023E))
+	evs := make([]filter.Event, events)
+	for k := range evs {
+		evs[k] = filter.Event{"x": rng.Float64() * 1000, "y": rng.Float64() * 1000}
+	}
+	waitFor := func(what string, cond func() bool) error {
+		deadline := time.Now().Add(30 * time.Second)
+		for !cond() {
+			if time.Now().After(deadline) {
+				return fmt.Errorf("broker delivery scenario: timed out waiting for %s", what)
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+		return nil
+	}
+	delivered := func(id core.ProcID) uint64 {
+		st, ok := b.DeliveryStatsOf(id)
+		if !ok {
+			return 0
+		}
+		return st.Delivered
+	}
+
+	// Trap the frozen consumer inside its handler with the first event,
+	// so its queue depth is pinned before the flood arrives.
+	start := time.Now()
+	notes, err := b.PublishBatch(1, evs[:1])
+	if err != nil {
+		return brokerRecord{}, err
+	}
+	select {
+	case <-entered:
+	case <-time.After(30 * time.Second):
+		return brokerRecord{}, fmt.Errorf("broker delivery scenario: frozen handler never entered")
+	}
+	flood, err := b.PublishBatch(1, evs[1:])
+	if err != nil {
+		return brokerRecord{}, err
+	}
+	notes = append(notes, flood...)
+	for id := 1; id <= fast; id++ {
+		id := core.ProcID(id)
+		if err := waitFor(fmt.Sprintf("fast consumer %d", id), func() bool { return delivered(id) == events }); err != nil {
+			return brokerRecord{}, err
+		}
+	}
+	// Thaw the consumer; it finishes the trapped event plus the newest
+	// frozenCap survivors of the flood.
+	close(release)
+	if err := waitFor("frozen consumer drain", func() bool { return delivered(frozenID) == 1+frozenCap }); err != nil {
+		return brokerRecord{}, err
+	}
+	elapsed := time.Since(start)
+
+	var deliveredTotal, droppedTotal int64
+	for _, st := range b.DeliveryStats() {
+		deliveredTotal += int64(st.Delivered)
+		droppedTotal += int64(st.Dropped)
+	}
+	msgs, visited := sumCounters(notes)
+	ar := tree.ArenaStats()
+	return brokerRecord{
+		Name:                "BrokerDeliveryFrozen",
+		Engine:              "core",
+		Population:          fast + 1,
+		Gateways:            gws,
+		Batch:               events,
+		NsPerEvent:          float64(elapsed.Nanoseconds()) / float64(events),
+		AllocsPerEvent:      -1, // concurrent drainers make allocs nondeterministic
+		MsgsPerEvent:        float64(msgs) / float64(events),
+		ScanVisitedPerEvent: float64(visited) / float64(events),
+		ArenaCap:            ar.Cap,
+		ArenaLive:           ar.Live,
+		ArenaFree:           ar.Free,
+		DeliveredEvents:     deliveredTotal,
+		DroppedEvents:       droppedTotal,
+	}, nil
 }
 
 // runBenchBroker records the broker batch-pipeline baselines to path.
@@ -612,8 +756,9 @@ func runBenchBroker(path string) int {
 		return 1
 	}
 	for _, r := range records {
-		fmt.Printf("%-22s %10.0f ns/event %8.2f allocs/event %8.2f msgs/event %6.0f rounds/batch %8.2f scan-visits/event\n",
-			r.Name, r.NsPerEvent, r.AllocsPerEvent, r.MsgsPerEvent, r.RoundsPerBatch, r.ScanVisitedPerEvent)
+		fmt.Printf("%-22s %10.0f ns/event %8.2f allocs/event %8.2f msgs/event %6.0f rounds/batch %8.2f scan-visits/event %5d delivered %5d dropped\n",
+			r.Name, r.NsPerEvent, r.AllocsPerEvent, r.MsgsPerEvent, r.RoundsPerBatch, r.ScanVisitedPerEvent,
+			r.DeliveredEvents, r.DroppedEvents)
 	}
 	fmt.Printf("wrote %s\n", path)
 	return 0
@@ -697,6 +842,16 @@ func gateViolations(coreGot, coreWant []benchRecord, protoGot, protoWant []proto
 			if g.ArenaCap != w.ArenaCap || g.ArenaLive != w.ArenaLive || g.ArenaFree != w.ArenaFree {
 				mismatch("broker %s: arena cap/live/free %d/%d/%d, baseline %d/%d/%d",
 					g.Name, g.ArenaCap, g.ArenaLive, g.ArenaFree, w.ArenaCap, w.ArenaLive, w.ArenaFree)
+			}
+			// Delivery totals are exact for the frozen-consumer scenario
+			// and zero on both sides everywhere else; a drift means the
+			// backpressure contract (what bounded queues keep and shed)
+			// changed.
+			if g.DeliveredEvents != w.DeliveredEvents {
+				mismatch("broker %s: %d delivered events, baseline %d", g.Name, g.DeliveredEvents, w.DeliveredEvents)
+			}
+			if g.DroppedEvents != w.DroppedEvents {
+				mismatch("broker %s: %d dropped events, baseline %d", g.Name, g.DroppedEvents, w.DroppedEvents)
 			}
 		}
 	}

@@ -132,11 +132,43 @@ func TestBenchBrokerSmoke(t *testing.T) {
 		if g.AllocsPerEvent >= 0 && g.AllocsPerEvent != w.AllocsPerEvent {
 			t.Errorf("benchmark %s: %.4f allocs/event, baseline %.4f", g.Name, g.AllocsPerEvent, w.AllocsPerEvent)
 		}
+		if g.DeliveredEvents != w.DeliveredEvents || g.DroppedEvents != w.DroppedEvents {
+			t.Errorf("benchmark %s: delivered/dropped %d/%d, baseline %d/%d",
+				g.Name, g.DeliveredEvents, g.DroppedEvents, w.DeliveredEvents, w.DroppedEvents)
+		}
 		if g.NsPerEvent <= 0 {
 			t.Errorf("benchmark %s: non-positive wall measurement %+v", g.Name, g)
 		}
 	}
 	assertSublinearScale(t, got)
+	assertFrozenDelivery(t, got)
+}
+
+// assertFrozenDelivery pins the delivery scenario's totals to the values
+// that follow from its construction: three fast whole-domain consumers
+// receive all 256 events each, the frozen consumer finishes the one event
+// trapped in its handler plus the newest 32 survivors of its drop-oldest
+// queue, and everything else is shed. If either total moves, the bounded
+// queues changed what they keep or drop under a stalled consumer.
+func assertFrozenDelivery(t *testing.T, recs []brokerRecord) {
+	t.Helper()
+	for _, r := range recs {
+		if r.Name != "BrokerDeliveryFrozen" {
+			if r.DeliveredEvents != 0 || r.DroppedEvents != 0 {
+				t.Errorf("benchmark %s: unexpected delivery counters %d/%d on a pipeline row",
+					r.Name, r.DeliveredEvents, r.DroppedEvents)
+			}
+			continue
+		}
+		if want := int64(3*256 + 1 + 32); r.DeliveredEvents != want {
+			t.Errorf("frozen scenario delivered %d events, want %d", r.DeliveredEvents, want)
+		}
+		if want := int64(255 - 32); r.DroppedEvents != want {
+			t.Errorf("frozen scenario dropped %d events, want %d", r.DroppedEvents, want)
+		}
+		return
+	}
+	t.Error("BrokerDeliveryFrozen record missing from the broker sweep")
 }
 
 // assertSublinearScale enforces the gateway layer's scaling contract on
@@ -236,6 +268,13 @@ func TestGateViolations(t *testing.T) {
 	b[0].ScanVisitedPerEvent = 13 // the match-scan cost is gated too
 	if v := gateViolations(c, coreRecs, p, protoRecs, b, brokerRecs); len(v) != 1 {
 		t.Errorf("scan-visit drift must fail once, got %v", v)
+	}
+
+	c, p, b = clone()
+	b[0].DeliveredEvents = 800 // a lost delivery is a gated regression
+	b[1].DroppedEvents = 1     // so is a queue shedding events it used to keep
+	if v := gateViolations(c, coreRecs, p, protoRecs, b, brokerRecs); len(v) != 2 {
+		t.Errorf("delivery-counter drift must fail twice, got %v", v)
 	}
 
 	c, p, b = clone()

@@ -1,8 +1,11 @@
 package drtree_test
 
 import (
+	"errors"
 	"reflect"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"drtree"
 )
@@ -288,5 +291,66 @@ func TestFacadeRectConstructors(t *testing.T) {
 	}
 	if _, err := drtree.NewRect([]float64{1}, []float64{0}); err == nil {
 		t.Fatal("inverted bounds must error")
+	}
+}
+
+// TestFacadeDeliveryLayer exercises the queue-backed subscriber surface
+// through the public API: SubscribeFunc with options, SubscribeChan,
+// overflow policies, delivery stats and the producer sentinel.
+func TestFacadeDeliveryLayer(t *testing.T) {
+	space, err := drtree.NewSpace("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := drtree.Open(drtree.WithFanout(2, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	broker, err := drtree.NewBroker(space, eng, drtree.WithGateways(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer broker.Close()
+
+	var delivered atomic.Uint64
+	err = broker.SubscribeFunc(1, drtree.Range("x", 0, 10),
+		func(e drtree.Envelope) error { delivered.Add(1); return nil },
+		drtree.WithQueueDepth(drtree.DefaultQueueDepth),
+		drtree.WithOverflowPolicy(drtree.DropOldest),
+		drtree.WithAtLeastOnce(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := broker.SubscribeChan(2, drtree.Range("x", 0, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := broker.Publish(1, drtree.Event{"x": 5}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case e := <-ch:
+		if e.Seq != 1 || e.Event["x"] != 5.0 {
+			t.Fatalf("channel envelope %+v", e)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("no channel delivery through the facade")
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for delivered.Load() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("no handler delivery through the facade")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	st, ok := broker.DeliveryStatsOf(1)
+	if !ok || st.Delivered != 1 || st.Policy != drtree.DropOldest {
+		t.Fatalf("DeliveryStatsOf(1) = %+v, %v", st, ok)
+	}
+	if all := broker.DeliveryStats(); len(all) != 2 {
+		t.Fatalf("DeliveryStats lists %d subscribers, want 2", len(all))
+	}
+	if _, err := broker.Publish(42, drtree.Event{"x": 5}); !errors.Is(err, drtree.ErrProducerNotRegistered) {
+		t.Fatalf("unregistered producer: %v, want drtree.ErrProducerNotRegistered", err)
 	}
 }

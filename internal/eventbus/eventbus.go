@@ -1,0 +1,365 @@
+// Package eventbus gives each subscriber of a broker its own bounded
+// delivery queue, drained by a dedicated goroutine, so a slow or dead
+// consumer can never stall producers or its sibling consumers.
+//
+// A Queue is a fixed-capacity ring buffer with a pluggable overflow
+// Policy applied at enqueue time:
+//
+//   - DropOldest (the default): the oldest pending message is discarded
+//     to make room — Enqueue never blocks.
+//   - CoalesceByFilter: the oldest pending message with the same
+//     coalescing key (Config.KeyOf) as the incoming one is replaced by
+//     it — under pressure a single-filter subscriber degrades to
+//     "newest events win", again without blocking.
+//   - Block: Enqueue waits for space — opt-in lossless backpressure
+//     that intentionally slows the producer down instead of shedding.
+//
+// Messages are handed to the consumer callback on the queue's own
+// drainer goroutine (Run). In the default at-most-once mode a message
+// is done the moment it is handed over; with Config.AtLeastOnce the
+// ring slot stays occupied until the callback acknowledges by returning
+// nil, and a failed delivery is retried up to Config.MaxRedeliver times
+// before the message is counted as dropped.
+//
+// A callback that never returns pins its drainer goroutine (goroutines
+// cannot be killed), but it cannot block anyone else: Close stops the
+// queue immediately, Enqueue keeps returning without waiting (except
+// under Block), and the drainer exits as soon as the callback returns.
+package eventbus
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Policy selects what Enqueue does when the ring is full.
+type Policy int
+
+const (
+	// DropOldest discards the oldest pending message to make room.
+	DropOldest Policy = iota
+	// CoalesceByFilter replaces the oldest pending message carrying the
+	// same coalescing key as the incoming one (falling back to
+	// DropOldest when no key matches). Requires Config.KeyOf.
+	CoalesceByFilter
+	// Block makes Enqueue wait until the consumer frees a slot (or the
+	// queue closes). The only policy under which a producer can be
+	// slowed by a consumer — strictly opt-in.
+	Block
+)
+
+// String names the policy for stats and error messages.
+func (p Policy) String() string {
+	switch p {
+	case DropOldest:
+		return "drop-oldest"
+	case CoalesceByFilter:
+		return "coalesce-by-filter"
+	case Block:
+		return "block"
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
+
+// ErrClosed is returned by Enqueue after Close, and may be returned by
+// a delivery callback to tell the drainer the consumer is gone.
+var ErrClosed = errors.New("eventbus: queue closed")
+
+// Config configures a Queue.
+type Config[T any] struct {
+	// Capacity is the ring size (required, >= 1).
+	Capacity int
+	// Policy is the overflow policy (default DropOldest).
+	Policy Policy
+	// KeyOf derives the coalescing key of a message. Required for
+	// CoalesceByFilter, ignored otherwise.
+	KeyOf func(T) string
+	// AtLeastOnce keeps a message's ring slot occupied until the
+	// delivery callback returns nil; a non-nil return triggers
+	// redelivery. Off, a message is consumed when handed over.
+	AtLeastOnce bool
+	// MaxRedeliver bounds the redeliveries after the first failed
+	// attempt (AtLeastOnce only): a message is dropped after
+	// 1+MaxRedeliver failed attempts.
+	MaxRedeliver int
+}
+
+// Stats is a point-in-time snapshot of a queue's counters.
+type Stats struct {
+	// Capacity is the fixed ring size.
+	Capacity int
+	// Depth is the number of messages currently held (including one
+	// in-flight message in at-least-once mode).
+	Depth int
+	// HighWater is the maximum Depth ever observed.
+	HighWater int
+	// Enqueued counts messages accepted into the ring.
+	Enqueued uint64
+	// Delivered counts messages successfully handed to the consumer
+	// (acknowledged, in at-least-once mode).
+	Delivered uint64
+	// Dropped counts messages lost: overflow evictions, redelivery
+	// exhaustion, and backlog discarded at Close.
+	Dropped uint64
+	// Coalesced counts overflow evictions that replaced a same-key
+	// message under CoalesceByFilter (not included in Dropped).
+	Coalesced uint64
+	// Redelivered counts delivery retries (at-least-once mode).
+	Redelivered uint64
+	// Failed counts delivery attempts whose callback returned an error.
+	Failed uint64
+	// Blocked counts Enqueue calls that had to wait (Block policy).
+	Blocked uint64
+}
+
+// slot is one ring entry.
+type slot[T any] struct {
+	v        T
+	attempts int // delivery attempts performed so far
+}
+
+// Queue is a bounded single-consumer delivery queue. Enqueue is safe
+// for concurrent use; Run may be called at most once.
+type Queue[T any] struct {
+	cfg Config[T]
+
+	mu       sync.Mutex
+	notEmpty *sync.Cond
+	notFull  *sync.Cond
+	buf      []slot[T]
+	head, n  int
+	inflight bool // head slot handed to the callback (AtLeastOnce)
+	closed   bool
+	running  bool
+	st       Stats
+
+	stop chan struct{} // closed by Close: releases blocked callbacks
+	done chan struct{} // closed when the drainer has exited
+}
+
+// New builds a queue. The drainer is not started until Run.
+func New[T any](cfg Config[T]) (*Queue[T], error) {
+	if cfg.Capacity < 1 {
+		return nil, fmt.Errorf("eventbus: capacity must be >= 1, got %d", cfg.Capacity)
+	}
+	switch cfg.Policy {
+	case DropOldest, Block:
+	case CoalesceByFilter:
+		if cfg.KeyOf == nil {
+			return nil, fmt.Errorf("eventbus: CoalesceByFilter requires a KeyOf function")
+		}
+	default:
+		return nil, fmt.Errorf("eventbus: unknown overflow policy %v", cfg.Policy)
+	}
+	if cfg.MaxRedeliver < 0 {
+		return nil, fmt.Errorf("eventbus: MaxRedeliver must be >= 0, got %d", cfg.MaxRedeliver)
+	}
+	q := &Queue[T]{
+		cfg:  cfg,
+		buf:  make([]slot[T], cfg.Capacity),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	q.notEmpty = sync.NewCond(&q.mu)
+	q.notFull = sync.NewCond(&q.mu)
+	q.st.Capacity = cfg.Capacity
+	return q, nil
+}
+
+// Stopping is closed when Close is called. Delivery callbacks that can
+// block indefinitely (e.g. a channel send to an absent consumer) should
+// select on it and return ErrClosed so the drainer can exit.
+func (q *Queue[T]) Stopping() <-chan struct{} { return q.stop }
+
+// Done is closed once the drainer goroutine has exited (immediately at
+// Close when Run was never called). A callback that never returns keeps
+// Done open until it does.
+func (q *Queue[T]) Done() <-chan struct{} { return q.done }
+
+// Stats returns a snapshot of the queue's counters.
+func (q *Queue[T]) Stats() Stats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	st := q.st
+	st.Depth = q.n
+	return st
+}
+
+// Enqueue offers a message to the queue, applying the overflow policy
+// when the ring is full. It never waits on the consumer except under
+// the Block policy, and returns ErrClosed after Close. A message shed
+// by DropOldest/CoalesceByFilter is accounted in Stats, never an error:
+// shedding is the policy working as configured.
+func (q *Queue[T]) Enqueue(v T) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrClosed
+	}
+	if q.n == len(q.buf) {
+		switch q.cfg.Policy {
+		case Block:
+			q.st.Blocked++
+			for q.n == len(q.buf) && !q.closed {
+				q.notFull.Wait()
+			}
+			if q.closed {
+				return ErrClosed
+			}
+		case CoalesceByFilter:
+			key := q.cfg.KeyOf(v)
+			if q.evictOldest(&key) {
+				q.st.Coalesced++
+				break
+			}
+			fallthrough
+		default: // DropOldest
+			q.st.Dropped++
+			if !q.evictOldest(nil) {
+				// Every slot is in flight (capacity-1 queue mid-delivery):
+				// the incoming message is the one shed.
+				return nil
+			}
+		}
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = slot[T]{v: v}
+	q.n++
+	q.st.Enqueued++
+	if q.n > q.st.HighWater {
+		q.st.HighWater = q.n
+	}
+	q.notEmpty.Signal()
+	return nil
+}
+
+// evictOldest removes the oldest pending message — restricted to those
+// carrying the given coalescing key when key is non-nil — skipping an
+// in-flight head slot. It reports whether a message was evicted. The
+// caller holds q.mu.
+func (q *Queue[T]) evictOldest(key *string) bool {
+	start := 0
+	if q.inflight {
+		start = 1
+	}
+	for i := start; i < q.n; i++ {
+		if key != nil && q.cfg.KeyOf(q.buf[(q.head+i)%len(q.buf)].v) != *key {
+			continue
+		}
+		for j := i; j < q.n-1; j++ {
+			q.buf[(q.head+j)%len(q.buf)] = q.buf[(q.head+j+1)%len(q.buf)]
+		}
+		q.buf[(q.head+q.n-1)%len(q.buf)] = slot[T]{}
+		q.n--
+		return true
+	}
+	return false
+}
+
+// popHead releases the head slot. The caller holds q.mu.
+func (q *Queue[T]) popHead() {
+	q.buf[q.head] = slot[T]{}
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	q.notFull.Signal()
+}
+
+// Run starts the drainer goroutine: messages are handed to deliver in
+// FIFO order (attempt starts at 1 and counts redeliveries). Run may be
+// called at most once; it is a no-op on a closed queue.
+func (q *Queue[T]) Run(deliver func(v T, attempt int) error) {
+	q.mu.Lock()
+	if q.running {
+		q.mu.Unlock()
+		panic("eventbus: Run called twice")
+	}
+	if q.closed {
+		q.mu.Unlock()
+		return
+	}
+	q.running = true
+	q.mu.Unlock()
+	go q.drain(deliver)
+}
+
+// drain is the consumer loop. The callback always runs unlocked, so a
+// frozen consumer holds no queue state hostage: enqueues keep being
+// accepted (and shed per policy) while it sits in the callback.
+func (q *Queue[T]) drain(deliver func(v T, attempt int) error) {
+	defer close(q.done)
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		for q.n == 0 && !q.closed {
+			q.notEmpty.Wait()
+		}
+		if q.closed {
+			// The backlog is shed on close: nobody is left to consume it.
+			q.st.Dropped += uint64(q.n)
+			q.n = 0
+			clear(q.buf)
+			return
+		}
+		s := q.buf[q.head]
+		attempt := s.attempts + 1
+		if q.cfg.AtLeastOnce {
+			q.inflight = true
+		} else {
+			q.popHead()
+		}
+		q.mu.Unlock()
+		err := deliver(s.v, attempt)
+		q.mu.Lock()
+		if !q.cfg.AtLeastOnce {
+			if err != nil {
+				q.st.Failed++
+			} else {
+				q.st.Delivered++
+			}
+			continue
+		}
+		q.inflight = false
+		switch {
+		case err == nil:
+			q.popHead()
+			q.st.Delivered++
+		case errors.Is(err, ErrClosed):
+			// The consumer is gone for good: no point redelivering.
+			q.popHead()
+			q.st.Failed++
+			q.st.Dropped++
+		case attempt <= q.cfg.MaxRedeliver:
+			q.buf[q.head].attempts = attempt
+			q.st.Failed++
+			q.st.Redelivered++
+		default:
+			q.popHead()
+			q.st.Failed++
+			q.st.Dropped++
+		}
+	}
+}
+
+// Close stops the queue: pending and future messages are shed, blocked
+// Enqueue calls return ErrClosed, and the drainer exits as soon as any
+// in-flight callback returns. Close is idempotent and never waits on
+// the consumer.
+func (q *Queue[T]) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.closed = true
+	close(q.stop)
+	if !q.running {
+		// No drainer will ever run to shed the backlog: account for it
+		// here and release Done immediately.
+		q.st.Dropped += uint64(q.n)
+		q.n = 0
+		clear(q.buf)
+		close(q.done)
+	}
+	q.notEmpty.Broadcast()
+	q.notFull.Broadcast()
+}

@@ -1,0 +1,383 @@
+package eventbus
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestConfigValidation covers New's error paths.
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config[int]{Capacity: 0}); err == nil {
+		t.Error("zero capacity must be rejected")
+	}
+	if _, err := New(Config[int]{Capacity: 4, Policy: CoalesceByFilter}); err == nil {
+		t.Error("CoalesceByFilter without KeyOf must be rejected")
+	}
+	if _, err := New(Config[int]{Capacity: 4, Policy: Policy(99)}); err == nil {
+		t.Error("unknown policy must be rejected")
+	}
+	if _, err := New(Config[int]{Capacity: 4, MaxRedeliver: -1}); err == nil {
+		t.Error("negative MaxRedeliver must be rejected")
+	}
+	for _, p := range []Policy{DropOldest, CoalesceByFilter, Block, Policy(42)} {
+		if p.String() == "" {
+			t.Errorf("empty String for policy %d", int(p))
+		}
+	}
+}
+
+// TestDropOldestKeepsNewest: overflowing a DropOldest ring sheds from
+// the front, so the consumer sees the newest messages in order.
+func TestDropOldestKeepsNewest(t *testing.T) {
+	q, err := New(Config[int]{Capacity: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 6; i++ {
+		if err := q.Enqueue(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := q.Stats()
+	if st.Enqueued != 6 || st.Dropped != 2 || st.Depth != 4 || st.HighWater != 4 {
+		t.Fatalf("stats after overflow: %+v", st)
+	}
+	var mu sync.Mutex
+	var got []int
+	q.Run(func(v, attempt int) error {
+		mu.Lock()
+		got = append(got, v)
+		mu.Unlock()
+		if attempt != 1 {
+			t.Errorf("attempt = %d in at-most-once mode", attempt)
+		}
+		return nil
+	})
+	waitFor(t, "4 deliveries", func() bool { return q.Stats().Delivered == 4 })
+	mu.Lock()
+	defer mu.Unlock()
+	if fmt.Sprint(got) != "[3 4 5 6]" {
+		t.Fatalf("delivered %v, want the newest four in order", got)
+	}
+}
+
+// TestBlockPolicyBackpressure: a full Block queue makes Enqueue wait
+// until the consumer frees a slot, and Close releases waiters.
+func TestBlockPolicyBackpressure(t *testing.T) {
+	q, err := New(Config[int]{Capacity: 2, Policy: Block})
+	if err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	var delivered atomic.Int64
+	q.Run(func(v, attempt int) error {
+		<-release
+		delivered.Add(1)
+		return nil
+	})
+	// Fill the ring plus the in-flight handoff.
+	for i := 0; i < 3; i++ {
+		if err := q.Enqueue(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "ring full", func() bool { return q.Stats().Depth == 2 })
+	unblocked := make(chan error, 1)
+	go func() { unblocked <- q.Enqueue(99) }()
+	select {
+	case <-unblocked:
+		t.Fatal("Enqueue returned while the ring was full under Block")
+	case <-time.After(50 * time.Millisecond):
+	}
+	release <- struct{}{} // consumer frees a slot
+	if err := <-unblocked; err != nil {
+		t.Fatalf("unblocked Enqueue: %v", err)
+	}
+	if st := q.Stats(); st.Blocked == 0 {
+		t.Fatalf("no blocked enqueue recorded: %+v", st)
+	}
+	// A waiter present at Close gets ErrClosed instead of hanging.
+	go func() { unblocked <- q.Enqueue(100) }()
+	waitFor(t, "second waiter", func() bool { return q.Stats().Blocked >= 2 })
+	q.Close()
+	if err := <-unblocked; !errors.Is(err, ErrClosed) {
+		t.Fatalf("Enqueue after Close = %v, want ErrClosed", err)
+	}
+	close(release)
+}
+
+// TestCoalesceSameKey: all-same-key overflow conflates to the newest
+// messages and counts Coalesced, not Dropped.
+func TestCoalesceSameKey(t *testing.T) {
+	q, err := New(Config[int]{
+		Capacity: 2,
+		Policy:   CoalesceByFilter,
+		KeyOf:    func(int) string { return "k" },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 5; i++ {
+		if err := q.Enqueue(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := q.Stats()
+	if st.Coalesced != 3 || st.Dropped != 0 || st.Depth != 2 {
+		t.Fatalf("stats: %+v, want 3 coalesced, 0 dropped, depth 2", st)
+	}
+	var got []int
+	doneCollect := make(chan struct{})
+	q.Run(func(v, attempt int) error {
+		got = append(got, v)
+		if len(got) == 2 {
+			close(doneCollect)
+		}
+		return nil
+	})
+	<-doneCollect
+	if fmt.Sprint(got) != "[4 5]" {
+		t.Fatalf("delivered %v, want the newest two", got)
+	}
+}
+
+// TestCoalesceFallsBackToDropOldest: with no same-key message pending,
+// CoalesceByFilter sheds the oldest message of any key.
+func TestCoalesceFallsBackToDropOldest(t *testing.T) {
+	q, err := New(Config[string]{
+		Capacity: 2,
+		Policy:   CoalesceByFilter,
+		KeyOf:    func(s string) string { return s[:1] },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []string{"a1", "b1", "a2"} {
+		if err := q.Enqueue(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := q.Stats(); st.Coalesced != 1 || st.Dropped != 0 {
+		t.Fatalf("same-key overflow: %+v", st)
+	}
+	if err := q.Enqueue("c1"); err != nil { // no "c" pending: falls back
+		t.Fatal(err)
+	}
+	if st := q.Stats(); st.Coalesced != 1 || st.Dropped != 1 || st.Depth != 2 {
+		t.Fatalf("fallback overflow: %+v", st)
+	}
+}
+
+// TestAtLeastOnceRedelivery: a failing delivery is retried with an
+// incremented attempt counter until the consumer acknowledges.
+func TestAtLeastOnceRedelivery(t *testing.T) {
+	q, err := New(Config[string]{Capacity: 4, AtLeastOnce: true, MaxRedeliver: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var attempts []int
+	acked := make(chan struct{})
+	q.Run(func(v string, attempt int) error {
+		attempts = append(attempts, attempt)
+		if attempt < 3 {
+			return errors.New("nack")
+		}
+		close(acked)
+		return nil
+	})
+	if err := q.Enqueue("m"); err != nil {
+		t.Fatal(err)
+	}
+	<-acked
+	waitFor(t, "ack accounted", func() bool { return q.Stats().Delivered == 1 })
+	if fmt.Sprint(attempts) != "[1 2 3]" {
+		t.Fatalf("attempts %v, want [1 2 3]", attempts)
+	}
+	st := q.Stats()
+	if st.Redelivered != 2 || st.Failed != 2 || st.Dropped != 0 {
+		t.Fatalf("stats: %+v, want 2 redeliveries, 2 failures, 0 drops", st)
+	}
+}
+
+// TestAtLeastOnceExhaustion: after 1+MaxRedeliver failed attempts the
+// message is dropped and the queue moves on.
+func TestAtLeastOnceExhaustion(t *testing.T) {
+	q, err := New(Config[string]{Capacity: 4, AtLeastOnce: true, MaxRedeliver: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	seen := map[string][]int{}
+	q.Run(func(v string, attempt int) error {
+		mu.Lock()
+		seen[v] = append(seen[v], attempt)
+		mu.Unlock()
+		if v == "bad" {
+			return errors.New("nack")
+		}
+		return nil
+	})
+	if err := q.Enqueue("bad"); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Enqueue("good"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "good delivered", func() bool { return q.Stats().Delivered == 1 })
+	mu.Lock()
+	defer mu.Unlock()
+	if fmt.Sprint(seen["bad"]) != "[1 2]" {
+		t.Fatalf("bad attempts %v, want [1 2] (1 + MaxRedeliver)", seen["bad"])
+	}
+	st := q.Stats()
+	if st.Dropped != 1 || st.Redelivered != 1 || st.Failed != 2 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestAtLeastOnceInflightNotEvicted: the in-flight slot of a capacity-1
+// queue is never evicted; the incoming message is shed instead.
+func TestAtLeastOnceInflightNotEvicted(t *testing.T) {
+	q, err := New(Config[int]{Capacity: 1, AtLeastOnce: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	q.Run(func(v, attempt int) error {
+		close(entered)
+		<-release
+		return nil
+	})
+	if err := q.Enqueue(1); err != nil {
+		t.Fatal(err)
+	}
+	<-entered
+	if err := q.Enqueue(2); err != nil {
+		t.Fatal(err)
+	}
+	if st := q.Stats(); st.Dropped != 1 || st.Depth != 1 {
+		t.Fatalf("stats with in-flight head: %+v", st)
+	}
+	close(release)
+	waitFor(t, "in-flight ack", func() bool { return q.Stats().Delivered == 1 })
+}
+
+// TestErrClosedFromCallback: a callback returning ErrClosed (a consumer
+// torn down mid-delivery) is not redelivered.
+func TestErrClosedFromCallback(t *testing.T) {
+	q, err := New(Config[int]{Capacity: 4, AtLeastOnce: true, MaxRedeliver: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Run(func(v, attempt int) error { return ErrClosed })
+	if err := q.Enqueue(1); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "drop", func() bool { return q.Stats().Dropped == 1 })
+	if st := q.Stats(); st.Redelivered != 0 {
+		t.Fatalf("ErrClosed must not redeliver: %+v", st)
+	}
+}
+
+// TestCloseShedsBacklogAndStopsEnqueue covers close-before-Run,
+// idempotent Close, and Enqueue-after-Close.
+func TestCloseShedsBacklogAndStopsEnqueue(t *testing.T) {
+	q, err := New(Config[int]{Capacity: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := q.Enqueue(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q.Close()
+	q.Close()
+	select {
+	case <-q.Done():
+	default:
+		t.Fatal("Done must be closed immediately when Run never started")
+	}
+	if err := q.Enqueue(9); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Enqueue after Close = %v, want ErrClosed", err)
+	}
+	if st := q.Stats(); st.Dropped != 3 || st.Depth != 0 {
+		t.Fatalf("backlog not shed at close: %+v", st)
+	}
+	q.Run(func(v, attempt int) error { return nil }) // no-op on closed queue
+}
+
+// TestCloseReleasesDrainer: a running drainer exits promptly at Close
+// and sheds whatever is still queued.
+func TestCloseReleasesDrainer(t *testing.T) {
+	q, err := New(Config[int]{Capacity: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Run(func(v, attempt int) error { return nil })
+	q.Close()
+	select {
+	case <-q.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("drainer did not exit after Close")
+	}
+}
+
+// TestConcurrentProducers hammers one queue from many producers under
+// the race detector: every message is either delivered or accounted as
+// dropped, never lost silently.
+func TestConcurrentProducers(t *testing.T) {
+	q, err := New(Config[int]{Capacity: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var delivered atomic.Int64
+	q.Run(func(v, attempt int) error {
+		delivered.Add(1)
+		return nil
+	})
+	const producers, perProducer = 8, 500
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				if err := q.Enqueue(i); err != nil {
+					t.Errorf("enqueue: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	const total = uint64(producers * perProducer)
+	// Dropped is final once the producers are done; Delivered settles
+	// when the drainer finishes the backlog.
+	waitFor(t, "quiesce", func() bool {
+		st := q.Stats()
+		return st.Delivered+st.Dropped == total
+	})
+	st := q.Stats()
+	if st.Enqueued != total || uint64(delivered.Load()) != st.Delivered {
+		t.Fatalf("accounting broken: delivered=%d stats=%+v total=%d", delivered.Load(), st, total)
+	}
+	q.Close()
+}

@@ -1,0 +1,274 @@
+package pubsub
+
+// The subscriber delivery layer: SubscribeFunc and SubscribeChan attach
+// a bounded per-subscriber queue (internal/eventbus) drained by its own
+// goroutine, so events matched by classifyBatch are handed to consumer
+// code without the publish path ever waiting on it. Enqueueing happens
+// in Broker.dispatch, strictly after classifyBatch has released every
+// gateway lock: a consumer can at worst slow the one publishing
+// goroutine that opted into the Block policy, never the classify pass
+// or other publishers.
+
+import (
+	"cmp"
+	"fmt"
+	"slices"
+	"sync/atomic"
+
+	"drtree/internal/core"
+	"drtree/internal/eventbus"
+	"drtree/internal/filter"
+)
+
+// OverflowPolicy selects what a subscriber's delivery queue does when it
+// is full (see internal/eventbus).
+type OverflowPolicy = eventbus.Policy
+
+const (
+	// DropOldest discards the oldest queued event to make room (default).
+	DropOldest = eventbus.DropOldest
+	// CoalesceByFilter keeps only the newest events for the subscriber's
+	// filter under pressure: the incoming event replaces the oldest
+	// queued one, counted as coalesced rather than dropped.
+	CoalesceByFilter = eventbus.CoalesceByFilter
+	// Block makes the publisher wait for queue space — opt-in lossless
+	// backpressure that slows that one publishing call down.
+	Block = eventbus.Block
+)
+
+// DefaultQueueDepth is the per-subscriber queue capacity used when
+// WithQueueDepth is not given.
+const DefaultQueueDepth = 256
+
+// Envelope is one event delivered to a queue-backed subscriber.
+type Envelope struct {
+	// Seq numbers the subscriber's deliveries from 1 in enqueue order
+	// (gaps appear where the overflow policy shed events).
+	Seq uint64
+	// Attempt counts the delivery attempts for this envelope: 1 on first
+	// delivery, higher on at-least-once redeliveries.
+	Attempt int
+	// Event is the published event that matched the subscriber's filter.
+	Event filter.Event
+}
+
+// Handler consumes one envelope on the subscriber's drainer goroutine.
+// Under at-least-once delivery a nil return acknowledges the envelope
+// and an error triggers redelivery; otherwise the return value only
+// feeds the Failed counter.
+type Handler func(Envelope) error
+
+// DeliveryOption configures a queue-backed subscription.
+type DeliveryOption func(*deliveryConfig) error
+
+type deliveryConfig struct {
+	depth        int
+	policy       OverflowPolicy
+	atLeastOnce  bool
+	maxRedeliver int
+}
+
+// WithQueueDepth sets the subscriber's queue capacity (default
+// DefaultQueueDepth).
+func WithQueueDepth(n int) DeliveryOption {
+	return func(c *deliveryConfig) error {
+		if n < 1 {
+			return fmt.Errorf("pubsub: queue depth must be >= 1, got %d", n)
+		}
+		c.depth = n
+		return nil
+	}
+}
+
+// WithOverflowPolicy sets the queue's overflow policy (default
+// DropOldest).
+func WithOverflowPolicy(p OverflowPolicy) DeliveryOption {
+	return func(c *deliveryConfig) error {
+		switch p {
+		case DropOldest, CoalesceByFilter, Block:
+			c.policy = p
+			return nil
+		}
+		return fmt.Errorf("pubsub: unknown overflow policy %v", p)
+	}
+}
+
+// WithAtLeastOnce turns on ack-based delivery: an envelope occupies its
+// queue slot until the handler returns nil, and a failed attempt is
+// retried up to maxRedeliver times before the envelope is dropped.
+func WithAtLeastOnce(maxRedeliver int) DeliveryOption {
+	return func(c *deliveryConfig) error {
+		if maxRedeliver < 0 {
+			return fmt.Errorf("pubsub: max redeliveries must be >= 0, got %d", maxRedeliver)
+		}
+		c.atLeastOnce = true
+		c.maxRedeliver = maxRedeliver
+		return nil
+	}
+}
+
+// consumer is the delivery side of one queue-backed subscriber.
+type consumer struct {
+	q      *eventbus.Queue[Envelope]
+	policy OverflowPolicy
+	seq    atomic.Uint64
+}
+
+// pending is one delivery owed after a classify pass: collected under
+// the gateway read locks, enqueued after they are all released.
+type pending struct {
+	cons *consumer
+	ev   filter.Event
+}
+
+// dispatch enqueues the deliveries a classify pass produced. An
+// ErrClosed here means the subscriber unsubscribed concurrently with the
+// publish — the event is simply not owed anymore.
+func (b *Broker) dispatch(pend []pending) {
+	for _, p := range pend {
+		_ = p.cons.q.Enqueue(Envelope{Seq: p.cons.seq.Add(1), Event: p.ev})
+	}
+}
+
+func newConsumer(opts []DeliveryOption) (*consumer, error) {
+	cfg := deliveryConfig{depth: DefaultQueueDepth, policy: DropOldest}
+	for _, opt := range opts {
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	q, err := eventbus.New(eventbus.Config[Envelope]{
+		Capacity: cfg.depth,
+		Policy:   cfg.policy,
+		// Each broker subscriber has exactly one filter, so every
+		// envelope in its queue shares the coalescing key: under
+		// pressure CoalesceByFilter keeps the newest events.
+		KeyOf:        func(Envelope) string { return "" },
+		AtLeastOnce:  cfg.atLeastOnce,
+		MaxRedeliver: cfg.maxRedeliver,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &consumer{q: q, policy: cfg.policy}, nil
+}
+
+// SubscribeFunc registers subscriber id with the given filter and a
+// handler invoked on the subscriber's own drainer goroutine for every
+// event that matches. The handler can be arbitrarily slow — or never
+// return — without stalling publishers, other subscribers, or
+// Unsubscribe/Close; the overflow policy decides what happens to events
+// arriving while it lags.
+func (b *Broker) SubscribeFunc(id core.ProcID, f filter.Filter, h Handler, opts ...DeliveryOption) error {
+	if h == nil {
+		return fmt.Errorf("pubsub: nil handler")
+	}
+	cons, err := newConsumer(opts)
+	if err != nil {
+		return err
+	}
+	if err := b.subscribe(id, f, cons); err != nil {
+		cons.q.Close()
+		return err
+	}
+	cons.q.Run(func(e Envelope, attempt int) error {
+		e.Attempt = attempt
+		return h(e)
+	})
+	return nil
+}
+
+// SubscribeChan registers subscriber id with the given filter and
+// returns a channel of matching events. The channel is unbuffered — the
+// subscriber's queue provides the buffering — and is closed when the
+// subscriber is unsubscribed or the broker closes. A receiver that
+// stops reading leaves the drainer blocked on the send (events shed per
+// the overflow policy meanwhile) until then. At-least-once delivery is
+// not available here: a channel receive cannot acknowledge, so
+// WithAtLeastOnce is rejected.
+func (b *Broker) SubscribeChan(id core.ProcID, f filter.Filter, opts ...DeliveryOption) (<-chan Envelope, error) {
+	cfg := deliveryConfig{depth: DefaultQueueDepth, policy: DropOldest}
+	for _, opt := range opts {
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.atLeastOnce {
+		return nil, fmt.Errorf("pubsub: at-least-once delivery needs an acknowledging handler; use SubscribeFunc")
+	}
+	cons, err := newConsumer(opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := b.subscribe(id, f, cons); err != nil {
+		cons.q.Close()
+		return nil, err
+	}
+	ch := make(chan Envelope)
+	cons.q.Run(func(e Envelope, attempt int) error {
+		e.Attempt = attempt
+		select {
+		case ch <- e:
+			return nil
+		case <-cons.q.Stopping():
+			return eventbus.ErrClosed
+		}
+	})
+	go func() {
+		<-cons.q.Done()
+		close(ch)
+	}()
+	return ch, nil
+}
+
+// SubscribeFuncExpr is SubscribeFunc with a textual filter
+// (filter.Parse syntax).
+func (b *Broker) SubscribeFuncExpr(id core.ProcID, src string, h Handler, opts ...DeliveryOption) error {
+	f, err := filter.Parse(src)
+	if err != nil {
+		return err
+	}
+	return b.SubscribeFunc(id, f, h, opts...)
+}
+
+// DeliveryStats is a point-in-time snapshot of one subscriber's
+// delivery queue (embedding the queue's eventbus counters).
+type DeliveryStats struct {
+	// ID is the subscriber.
+	ID core.ProcID
+	// Policy is the queue's overflow policy.
+	Policy OverflowPolicy
+	eventbus.Stats
+}
+
+// DeliveryStats snapshots every queue-backed subscriber's delivery
+// counters, ascending by subscriber ID. Record-only subscribers
+// (Subscribe) have no queue and do not appear.
+func (b *Broker) DeliveryStats() []DeliveryStats {
+	var out []DeliveryStats
+	for _, gw := range b.gws {
+		gw.mu.RLock()
+		for id, sub := range gw.subs {
+			if sub.cons == nil {
+				continue
+			}
+			out = append(out, DeliveryStats{ID: id, Policy: sub.cons.policy, Stats: sub.cons.q.Stats()})
+		}
+		gw.mu.RUnlock()
+	}
+	slices.SortFunc(out, func(a, b DeliveryStats) int { return cmp.Compare(a.ID, b.ID) })
+	return out
+}
+
+// DeliveryStatsOf snapshots one subscriber's delivery counters; ok is
+// false when id is not a queue-backed subscriber.
+func (b *Broker) DeliveryStatsOf(id core.ProcID) (DeliveryStats, bool) {
+	gw := b.gateway(id)
+	gw.mu.RLock()
+	defer gw.mu.RUnlock()
+	sub, ok := gw.subs[id]
+	if !ok || sub.cons == nil {
+		return DeliveryStats{}, false
+	}
+	return DeliveryStats{ID: id, Policy: sub.cons.policy, Stats: sub.cons.q.Stats()}, true
+}

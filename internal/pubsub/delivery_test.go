@@ -1,0 +1,386 @@
+package pubsub
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"drtree/internal/core"
+	"drtree/internal/filter"
+)
+
+var errNope = errors.New("injected handler failure")
+
+// waitUntil polls cond until it holds or a generous deadline expires.
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func newDeliveryBroker(t *testing.T, gws int) *Broker {
+	t.Helper()
+	b, err := NewCore(filter.MustSpace("x"), core.Params{MinFanout: 2, MaxFanout: 4}, WithGateways(gws))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { b.Close() })
+	return b
+}
+
+// TestSubscribeFuncDelivers: matching events reach the handler with
+// consecutive sequence numbers; non-matching events do not.
+func TestSubscribeFuncDelivers(t *testing.T) {
+	b := newDeliveryBroker(t, 1)
+	var mu sync.Mutex
+	var got []Envelope
+	h := func(e Envelope) error {
+		mu.Lock()
+		got = append(got, e)
+		mu.Unlock()
+		return nil
+	}
+	if err := b.SubscribeFunc(1, filter.Range("x", 0, 10), h); err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{5, 50, 7} {
+		if _, err := b.Publish(1, filter.Event{"x": x}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitUntil(t, "two deliveries", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(got) == 2
+	})
+	mu.Lock()
+	defer mu.Unlock()
+	for i, e := range got {
+		if e.Seq != uint64(i+1) || e.Attempt != 1 {
+			t.Fatalf("envelope %d: %+v", i, e)
+		}
+	}
+	if got[0].Event["x"] != 5.0 || got[1].Event["x"] != 7.0 {
+		t.Fatalf("delivered events %v", got)
+	}
+	st, ok := b.DeliveryStatsOf(1)
+	if !ok || st.Delivered != 2 || st.Enqueued != 2 || st.Dropped != 0 {
+		t.Fatalf("DeliveryStatsOf(1) = %+v, %v", st, ok)
+	}
+}
+
+// TestSubscribeChanDelivers: the channel variant carries matching
+// events and closes on Unsubscribe.
+func TestSubscribeChanDelivers(t *testing.T) {
+	b := newDeliveryBroker(t, 1)
+	ch, err := b.SubscribeChan(1, filter.Range("x", 0, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Publish(1, filter.Event{"x": 3}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case e := <-ch:
+		if e.Seq != 1 || e.Event["x"] != 3.0 {
+			t.Fatalf("envelope %+v", e)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("no delivery on the subscription channel")
+	}
+	if err := b.Unsubscribe(1); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case _, open := <-ch:
+		if open {
+			t.Fatal("channel delivered after Unsubscribe")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("channel not closed by Unsubscribe")
+	}
+}
+
+// TestDeliveryOptionValidation covers the option and argument guards.
+func TestDeliveryOptionValidation(t *testing.T) {
+	b := newDeliveryBroker(t, 1)
+	h := func(Envelope) error { return nil }
+	f := filter.Range("x", 0, 10)
+	if err := b.SubscribeFunc(1, f, nil); err == nil {
+		t.Error("nil handler must be rejected")
+	}
+	if err := b.SubscribeFunc(1, f, h, WithQueueDepth(0)); err == nil {
+		t.Error("zero queue depth must be rejected")
+	}
+	if err := b.SubscribeFunc(1, f, h, WithOverflowPolicy(OverflowPolicy(99))); err == nil {
+		t.Error("unknown overflow policy must be rejected")
+	}
+	if err := b.SubscribeFunc(1, f, h, WithAtLeastOnce(-1)); err == nil {
+		t.Error("negative max redeliveries must be rejected")
+	}
+	if _, err := b.SubscribeChan(1, f, WithAtLeastOnce(0)); err == nil {
+		t.Error("at-least-once over a channel must be rejected")
+	}
+	if err := b.SubscribeFunc(0, f, h); err == nil {
+		t.Error("non-positive subscriber ID must be rejected")
+	}
+	// A rejected registration must not leave delivery state behind.
+	if st := b.DeliveryStats(); len(st) != 0 {
+		t.Errorf("DeliveryStats after rejected registrations: %+v", st)
+	}
+	// Record-only subscribers have no queue.
+	if err := b.Subscribe(7, f); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := b.DeliveryStatsOf(7); ok {
+		t.Error("record-only subscriber reported delivery stats")
+	}
+}
+
+// TestAtLeastOnceThroughBroker: a failing handler sees the same
+// envelope again with an incremented attempt counter, and the retries
+// surface in DeliveryStats and the gateway aggregates.
+func TestAtLeastOnceThroughBroker(t *testing.T) {
+	b := newDeliveryBroker(t, 1)
+	var mu sync.Mutex
+	var attempts []int
+	h := func(e Envelope) error {
+		mu.Lock()
+		attempts = append(attempts, e.Attempt)
+		mu.Unlock()
+		if e.Attempt < 3 {
+			return errNope
+		}
+		return nil
+	}
+	if err := b.SubscribeFunc(1, filter.Range("x", 0, 10), h, WithAtLeastOnce(5)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Publish(1, filter.Event{"x": 1}); err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, "acknowledged delivery", func() bool {
+		st, _ := b.DeliveryStatsOf(1)
+		return st.Delivered == 1
+	})
+	mu.Lock()
+	if len(attempts) != 3 || attempts[0] != 1 || attempts[1] != 2 || attempts[2] != 3 {
+		t.Fatalf("attempts = %v, want [1 2 3]", attempts)
+	}
+	mu.Unlock()
+	st, _ := b.DeliveryStatsOf(1)
+	if st.Redelivered != 2 || st.Failed != 2 || st.Dropped != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	gs := b.GatewayStats()
+	var redelivered uint64
+	for _, g := range gs {
+		redelivered += g.Redelivered
+	}
+	if redelivered != 2 {
+		t.Fatalf("gateway aggregate Redelivered = %d, want 2", redelivered)
+	}
+}
+
+// TestCoalesceThroughBroker: with a blocked handler and a tiny queue,
+// the coalescing policy keeps the newest events and counts the
+// replacements, all without ever blocking the publisher.
+func TestCoalesceThroughBroker(t *testing.T) {
+	b := newDeliveryBroker(t, 1)
+	entered := make(chan struct{}, 1)
+	release := make(chan struct{})
+	var mu sync.Mutex
+	var seqs []uint64
+	first := true
+	h := func(e Envelope) error {
+		mu.Lock()
+		seqs = append(seqs, e.Seq)
+		hold := first
+		first = false
+		mu.Unlock()
+		if hold {
+			entered <- struct{}{}
+			<-release
+		}
+		return nil
+	}
+	err := b.SubscribeFunc(1, filter.Range("x", 0, 10), h,
+		WithQueueDepth(2), WithOverflowPolicy(CoalesceByFilter))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Publish(1, filter.Event{"x": 1}); err != nil {
+		t.Fatal(err)
+	}
+	<-entered // envelope 1 is in the handler; the queue is empty
+	for i := 0; i < 4; i++ {
+		if _, err := b.Publish(1, filter.Event{"x": float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(release)
+	waitUntil(t, "post-coalesce deliveries", func() bool {
+		st, _ := b.DeliveryStatsOf(1)
+		return st.Delivered == 3
+	})
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seqs) != 3 || seqs[0] != 1 || seqs[1] != 4 || seqs[2] != 5 {
+		t.Fatalf("delivered seqs %v, want [1 4 5] (newest kept)", seqs)
+	}
+	st, _ := b.DeliveryStatsOf(1)
+	if st.Coalesced != 2 || st.Dropped != 0 {
+		t.Fatalf("stats = %+v, want Coalesced=2 Dropped=0", st)
+	}
+}
+
+// TestBrokerCloseClosesQueues: Close sheds backlogs and closes
+// subscription channels without waiting on any consumer.
+func TestBrokerCloseClosesQueues(t *testing.T) {
+	b, err := NewCore(filter.MustSpace("x"), core.Params{MinFanout: 2, MaxFanout: 4}, WithGateways(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := b.SubscribeChan(1, filter.Range("x", 0, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A channel subscriber nobody reads: its drainer parks on the send.
+	if err := b.SubscribeFunc(2, filter.Range("x", 0, 10), func(Envelope) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Publish(1, filter.Event{"x": 5}); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		b.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close blocked on a consumer")
+	}
+	waitUntil(t, "channel close", func() bool {
+		select {
+		case _, open := <-ch:
+			return !open
+		default:
+			return false
+		}
+	})
+}
+
+// TestFrozenConsumerNeverBlocksPublish is the tentpole's load-bearing
+// guarantee: a consumer that never returns costs publishers nothing.
+// The same publish load runs twice — all-fast, then with one frozen
+// subscriber added — and the publishers' wall-clock must stay within a
+// generous factor of the baseline while the frozen subscriber's losses
+// are visible in DeliveryStats.
+func TestFrozenConsumerNeverBlocksPublish(t *testing.T) {
+	const (
+		publishers = 4
+		batches    = 25
+		batchLen   = 4
+		events     = publishers * batches * batchLen
+	)
+	run := func(frozen bool) (elapsed time.Duration, b *Broker, delivered []*atomic.Uint64) {
+		b = newDeliveryBroker(t, 4)
+		delivered = make([]*atomic.Uint64, publishers)
+		for i := 1; i <= publishers; i++ {
+			n := &atomic.Uint64{}
+			delivered[i-1] = n
+			err := b.SubscribeFunc(core.ProcID(i), filter.Range("x", 0, 100),
+				func(Envelope) error { n.Add(1); return nil },
+				WithQueueDepth(events))
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if frozen {
+			release := make(chan struct{})
+			t.Cleanup(func() { close(release) })
+			err := b.SubscribeFunc(9, filter.Range("x", 0, 100),
+				func(Envelope) error { <-release; return nil },
+				WithQueueDepth(8))
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		var wg sync.WaitGroup
+		start := time.Now()
+		for w := 0; w < publishers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				evs := make([]filter.Event, batchLen)
+				for k := 0; k < batches; k++ {
+					for i := range evs {
+						evs[i] = filter.Event{"x": float64((w*batches + k + i) % 100)}
+					}
+					if _, err := b.PublishBatch(core.ProcID(w+1), evs); err != nil {
+						t.Errorf("publisher %d: %v", w, err)
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		elapsed = time.Since(start)
+		return elapsed, b, delivered
+	}
+
+	base, bb, baseDelivered := run(false)
+	for i, n := range baseDelivered {
+		waitUntil(t, "baseline fast consumer drain", func() bool { return n.Load() == events })
+		_ = i
+	}
+	bb.Close()
+
+	frozenElapsed, fb, fastDelivered := run(true)
+	// Publisher latency within noise of the baseline: a generous bound
+	// (an order of magnitude plus a constant) that still catches the
+	// pre-fix behaviour of blocking on the frozen callback forever.
+	if limit := base*10 + 2*time.Second; frozenElapsed > limit {
+		t.Fatalf("publishing took %v with a frozen consumer, baseline %v (limit %v)", frozenElapsed, base, limit)
+	}
+	t.Logf("publish wall-time for %d events: %v all-fast baseline, %v with a frozen consumer", events, base, frozenElapsed)
+	// Fast consumers still see every event.
+	for i, n := range fastDelivered {
+		waitUntil(t, "fast consumer drain beside frozen peer", func() bool { return n.Load() == events })
+		_ = i
+	}
+	// The frozen subscriber's losses are visible, bounded by its queue.
+	st, ok := fb.DeliveryStatsOf(9)
+	if !ok {
+		t.Fatal("no delivery stats for the frozen subscriber")
+	}
+	// One envelope is in the frozen handler, at most QueueDepth are
+	// queued; everything else must have been shed.
+	if wantMin := uint64(events - 8 - 1); st.Dropped < wantMin {
+		t.Fatalf("frozen subscriber Dropped = %d, want >= %d (stats %+v)", st.Dropped, wantMin, st)
+	}
+	if st.Depth > 8 {
+		t.Fatalf("frozen subscriber Depth = %d exceeds its capacity 8", st.Depth)
+	}
+	var aggDropped uint64
+	var aggDepth int
+	for _, g := range fb.GatewayStats() {
+		aggDropped += g.Dropped
+		aggDepth += g.QueueDepth
+	}
+	if aggDropped < st.Dropped {
+		t.Fatalf("gateway aggregate Dropped = %d < subscriber's %d", aggDropped, st.Dropped)
+	}
+	if aggDepth < st.Depth {
+		t.Fatalf("gateway aggregate QueueDepth = %d < subscriber's %d", aggDepth, st.Depth)
+	}
+}

@@ -423,8 +423,10 @@ func TestFallbackFailedMoveKeepsMembershipAccurate(t *testing.T) {
 	}
 
 	// Restore fails too: the gateway is out of the overlay and the broker
-	// must know it — publishing errors loudly instead of silently losing
-	// events, and the next Subscribe re-joins covering ALL local rects.
+	// must know it — the next publish lazily re-joins it (the engine has
+	// healed by then) so subscriber 1 keeps being served instead of
+	// silently missing every event, and a later Subscribe keeps the
+	// union covering ALL local rects.
 	b, _ = mk(2)
 	if err := b.SubscribeExpr(2, "x in [50, 60]"); err == nil {
 		t.Fatal("failed filter move must surface as an error")
@@ -432,8 +434,15 @@ func TestFallbackFailedMoveKeepsMembershipAccurate(t *testing.T) {
 	if b.Engine().Len() != 0 {
 		t.Fatalf("engine population %d after double join failure, want 0", b.Engine().Len())
 	}
-	if _, err := b.Publish(1, filter.Event{"x": 5}); err == nil {
-		t.Fatal("publishing through an unjoined gateway must error, not lose events")
+	n, err = b.Publish(1, filter.Event{"x": 5})
+	if err != nil {
+		t.Fatalf("publish must lazily re-join the stranded gateway, got %v", err)
+	}
+	if len(n.Interested) != 1 || n.Interested[0] != 1 || len(n.FalseNegatives) != 0 {
+		t.Fatalf("subscriber 1 not served after lazy re-join: %+v", n)
+	}
+	if b.Engine().Len() != 1 {
+		t.Fatalf("engine population %d after lazy re-join, want 1", b.Engine().Len())
 	}
 	if err := b.SubscribeExpr(3, "x in [90, 95]"); err != nil {
 		t.Fatal(err)

@@ -24,11 +24,13 @@
 package pubsub
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"slices"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"drtree/internal/core"
 	"drtree/internal/engine"
@@ -38,6 +40,12 @@ import (
 	"drtree/internal/split"
 )
 
+// ErrProducerNotRegistered reports a Publish/PublishBatch whose producer
+// is not a current subscriber — including the race where the producer is
+// unsubscribed concurrently with the publish (which otherwise surfaces
+// as a raw engine error).
+var ErrProducerNotRegistered = errors.New("pubsub: producer not registered")
+
 // DefaultGateways is the default size of the gateway pool. Sixteen keeps
 // a gateway's lock essentially uncontended for any realistic publisher
 // count while the overlay stays small and the per-gateway match indexes
@@ -46,8 +54,9 @@ const DefaultGateways = 16
 
 // subscription is the broker-side record of one subscriber.
 type subscription struct {
-	f   filter.Filter
-	key string // rectKey of the compiled rectangle, into gateway.entries
+	f    filter.Filter
+	key  string    // rectKey of the compiled rectangle, into gateway.entries
+	cons *consumer // delivery queue; nil for record-only subscribers
 }
 
 // matchEntry is one unique subscription rectangle inside a gateway's
@@ -56,7 +65,23 @@ type subscription struct {
 // equivalence classes collapse to one R-tree entry).
 type matchEntry struct {
 	rect geom.Rect
-	subs map[core.ProcID]filter.Filter
+	subs map[core.ProcID]entrySub
+}
+
+// entrySub is one subscriber sharing a match entry: its exact predicate
+// filter and its delivery queue (nil for record-only subscribers).
+type entrySub struct {
+	f    filter.Filter
+	cons *consumer
+}
+
+// matchIndex is the spatial-index surface a gateway needs from its
+// match index. An interface (satisfied by *rtree.Tree) so tests can
+// inject index faults when certifying the broker's failure paths.
+type matchIndex interface {
+	Insert(r geom.Rect, data any) error
+	Delete(r geom.Rect, data any) (bool, error)
+	VisitCount(p geom.Point) (matches []any, visited int)
 }
 
 // gateway is one overlay process aggregating many local subscriptions.
@@ -70,8 +95,8 @@ type gateway struct {
 	mu      sync.RWMutex
 	subs    map[core.ProcID]subscription
 	entries map[string]*matchEntry
-	index   *rtree.Tree // unique rectangles -> *matchEntry
-	union   geom.Rect   // == the gateway's overlay filter while joined
+	index   matchIndex // unique rectangles -> *matchEntry
+	union   geom.Rect  // == the gateway's overlay filter while joined
 	joined  bool
 }
 
@@ -91,6 +116,10 @@ type Broker struct {
 	eng     engine.Engine
 	updater engine.FilterUpdater // nil when the engine lacks the capability
 	gws     []*gateway
+	// needRejoin flags that some gateway was marked unjoined while still
+	// holding live subscriptions (a failed fallback filter move): the
+	// next publish or Repair re-establishes its membership lazily.
+	needRejoin atomic.Bool
 }
 
 // Option configures a Broker.
@@ -160,12 +189,16 @@ func NewCore(space *filter.Space, params core.Params, opts ...Option) (*Broker, 
 
 // rectKey is an exact, collision-free encoding of a rectangle's bounds
 // (bit-level, not printf-rounded) used to detect equivalent filters.
+// Negative zero is normalized to positive zero before encoding so the
+// key respects Rect.Equal: -0.0 == +0.0 but their bit patterns differ,
+// and without the normalization two Equal rectangles would land in
+// different equivalence classes and duplicate match-index entries.
 func rectKey(r geom.Rect) string {
 	buf := make([]byte, 0, 16*r.Dims())
 	for i := 0; i < r.Dims(); i++ {
-		buf = strconv.AppendUint(buf, math.Float64bits(r.Lo(i)), 16)
+		buf = strconv.AppendUint(buf, math.Float64bits(r.Lo(i)+0), 16)
 		buf = append(buf, ':')
-		buf = strconv.AppendUint(buf, math.Float64bits(r.Hi(i)), 16)
+		buf = strconv.AppendUint(buf, math.Float64bits(r.Hi(i)+0), 16)
 		buf = append(buf, ';')
 	}
 	return string(buf)
@@ -221,6 +254,14 @@ type GatewayStat struct {
 	Filter geom.Rect
 	// Joined reports whether the gateway is currently an overlay member.
 	Joined bool
+	// QueueDepth is the total backlog across the delivery queues of the
+	// gateway's queue-backed subscribers (zero when none).
+	QueueDepth int
+	// Dropped totals the messages shed by those queues (overflow,
+	// redelivery exhaustion, close).
+	Dropped uint64
+	// Redelivered totals their at-least-once delivery retries.
+	Redelivered uint64
 }
 
 // GatewayStats returns a snapshot of every gateway in pool order.
@@ -228,13 +269,23 @@ func (b *Broker) GatewayStats() []GatewayStat {
 	out := make([]GatewayStat, len(b.gws))
 	for i, gw := range b.gws {
 		gw.mu.RLock()
-		out[i] = GatewayStat{
+		st := GatewayStat{
 			ProcID:        gw.procID,
 			Subscribers:   len(gw.subs),
 			UniqueFilters: len(gw.entries),
 			Filter:        gw.union,
 			Joined:        gw.joined,
 		}
+		for _, sub := range gw.subs {
+			if sub.cons == nil {
+				continue
+			}
+			qs := sub.cons.q.Stats()
+			st.QueueDepth += qs.Depth
+			st.Dropped += qs.Dropped
+			st.Redelivered += qs.Redelivered
+		}
+		out[i] = st
 		gw.mu.RUnlock()
 	}
 	return out
@@ -268,10 +319,41 @@ func (b *Broker) engUpdateFilter(gw *gateway, f geom.Rect) error {
 		if rerr := b.eng.Join(gw.procID, gw.union); rerr != nil {
 			gw.joined = false
 			gw.union = geom.Rect{}
+			// The gateway still holds live subscriptions: flag it so the
+			// next publish or Repair re-joins it, instead of its
+			// subscribers silently missing every event until a future
+			// Subscribe happens to hash onto the same gateway.
+			b.needRejoin.Store(true)
 		}
 		return err
 	}
 	return nil
+}
+
+// rejoinStale re-establishes overlay membership for every gateway that
+// was marked unjoined while still holding live subscriptions (the
+// double-failure path of engUpdateFilter). Best-effort: a gateway whose
+// re-join the engine still refuses stays flagged for the next attempt.
+// Called from the publish path and from Repair, so a transient engine
+// refusal heals as soon as the engine does, without waiting for an
+// unrelated Subscribe.
+func (b *Broker) rejoinStale() {
+	if !b.needRejoin.Swap(false) {
+		return
+	}
+	for _, gw := range b.gws {
+		gw.mu.Lock()
+		if !gw.joined && len(gw.subs) > 0 {
+			union := gw.recomputeUnion()
+			if err := b.engJoin(gw.procID, union); err != nil {
+				b.needRejoin.Store(true)
+			} else {
+				gw.joined = true
+				gw.union = union
+			}
+		}
+		gw.mu.Unlock()
+	}
 }
 
 // Subscribe registers subscriber id with the given filter: the filter is
@@ -281,6 +363,13 @@ func (b *Broker) engUpdateFilter(gw *gateway, f geom.Rect) error {
 // update when Subscribe returns; Repair drives the overlay to
 // quiescence). Subscriber IDs must be positive and unused.
 func (b *Broker) Subscribe(id core.ProcID, f filter.Filter) error {
+	return b.subscribe(id, f, nil)
+}
+
+// subscribe is the shared registration path: Subscribe passes a nil
+// consumer (record-only), SubscribeFunc/SubscribeChan pass the
+// subscriber's delivery queue.
+func (b *Broker) subscribe(id core.ProcID, f filter.Filter, cons *consumer) error {
 	if id <= core.NoProc {
 		return fmt.Errorf("pubsub: subscriber IDs must be positive, got %d", id)
 	}
@@ -321,15 +410,15 @@ func (b *Broker) Subscribe(id core.ProcID, f filter.Filter) error {
 	key := rectKey(rect)
 	e := gw.entries[key]
 	if e == nil {
-		e = &matchEntry{rect: rect, subs: make(map[core.ProcID]filter.Filter)}
+		e = &matchEntry{rect: rect, subs: make(map[core.ProcID]entrySub)}
 		gw.entries[key] = e
 		if err := gw.index.Insert(rect, e); err != nil {
 			delete(gw.entries, key)
 			return fmt.Errorf("pubsub: indexing filter: %w", err)
 		}
 	}
-	e.subs[id] = f
-	gw.subs[id] = subscription{f: f, key: key}
+	e.subs[id] = entrySub{f: f, cons: cons}
+	gw.subs[id] = subscription{f: f, key: key, cons: cons}
 	return nil
 }
 
@@ -342,12 +431,16 @@ func (b *Broker) SubscribeExpr(id core.ProcID, src string) error {
 	return b.Subscribe(id, f)
 }
 
-// remove is the shared tail of Unsubscribe and Fail: drop the local
-// subscription, then either detach the whole gateway from the overlay
-// (when this was its last subscription — a gateway never lingers with a
-// stale filter) or shrink the gateway's overlay filter opportunistically
-// when a maximal rectangle disappeared. If the engine refuses, the local
-// removal is rolled back.
+// remove is the shared tail of Unsubscribe and Fail: detach the whole
+// gateway from the overlay when this was its last subscription (a
+// gateway never lingers with a stale filter) or shrink the gateway's
+// overlay filter opportunistically when a maximal rectangle disappears,
+// then drop the local subscription. The engine is consulted *before*
+// any local mutation, mirroring subscribe: a refusal leaves the local
+// state untouched, so there is no rollback path — in particular no
+// fallible match-index re-insert whose own failure used to leave the
+// rectangle missing from the index while the subscription stayed
+// registered (a permanent false negative).
 func (b *Broker) remove(id core.ProcID, leave func(core.ProcID) error) error {
 	gw := b.gateway(id)
 	gw.mu.Lock()
@@ -357,41 +450,36 @@ func (b *Broker) remove(id core.ProcID, leave func(core.ProcID) error) error {
 		return fmt.Errorf("pubsub: subscriber %d not registered", id)
 	}
 	e := gw.entries[sub.key]
-	delete(gw.subs, id)
-	delete(e.subs, id)
-	entryGone := len(e.subs) == 0
-	if entryGone {
-		delete(gw.entries, sub.key)
-		gw.index.Delete(e.rect, e)
-	}
-	rollback := func() {
-		gw.subs[id] = sub
-		e.subs[id] = sub.f
-		if entryGone {
-			gw.entries[sub.key] = e
-			gw.index.Insert(e.rect, e)
-		}
-	}
-	if len(gw.subs) == 0 {
+	entryGone := len(e.subs) == 1
+	switch {
+	case len(gw.subs) == 1:
 		b.engMu.Lock()
 		err := leave(gw.procID)
 		b.engMu.Unlock()
 		if err != nil {
-			rollback()
 			return err
 		}
 		gw.joined = false
 		gw.union = geom.Rect{}
-		return nil
-	}
-	if entryGone {
-		if union := gw.recomputeUnion(); !union.Equal(gw.union) {
+	case entryGone:
+		if union := gw.unionWithout(e); !union.Equal(gw.union) {
 			if err := b.engUpdateFilter(gw, union); err != nil {
-				rollback()
 				return err
 			}
 			gw.union = union
 		}
+	}
+	delete(gw.subs, id)
+	delete(e.subs, id)
+	if entryGone {
+		delete(gw.entries, sub.key)
+		// The engine already committed: a failed index delete merely
+		// leaves an inert entry behind (its subscriber map is empty) —
+		// scan garbage at worst, never a false negative.
+		gw.index.Delete(e.rect, e)
+	}
+	if sub.cons != nil {
+		sub.cons.q.Close()
 	}
 	return nil
 }
@@ -411,6 +499,21 @@ func (gw *gateway) recomputeUnion() geom.Rect {
 	return u
 }
 
+// unionWithout is recomputeUnion with one entry excluded — the union the
+// gateway will need once that entry's last subscriber is removed,
+// computed before any local state changes so the engine can be consulted
+// first.
+func (gw *gateway) unionWithout(skip *matchEntry) geom.Rect {
+	var u geom.Rect
+	for _, e := range gw.entries {
+		if e == skip {
+			continue
+		}
+		u = u.Union(e.rect)
+	}
+	return u
+}
+
 // Unsubscribe removes a subscriber; a gateway losing its last
 // subscription leaves the overlay via a controlled departure.
 func (b *Broker) Unsubscribe(id core.ProcID) error {
@@ -424,15 +527,29 @@ func (b *Broker) Fail(id core.ProcID) error {
 	return b.remove(id, b.eng.Crash)
 }
 
-// Repair runs the overlay stabilization to quiescence.
+// Repair runs the overlay stabilization to quiescence, first
+// re-establishing membership for any gateway stranded by a failed
+// filter move.
 func (b *Broker) Repair() core.StabReport {
+	b.rejoinStale()
 	b.engMu.Lock()
 	defer b.engMu.Unlock()
 	return b.eng.Stabilize()
 }
 
-// Close releases the underlying engine's resources.
+// Close stops every subscriber delivery queue (shedding their backlogs;
+// Close never waits on a consumer callback) and releases the underlying
+// engine's resources.
 func (b *Broker) Close() error {
+	for _, gw := range b.gws {
+		gw.mu.Lock()
+		for _, sub := range gw.subs {
+			if sub.cons != nil {
+				sub.cons.q.Close()
+			}
+		}
+		gw.mu.Unlock()
+	}
 	b.engMu.Lock()
 	defer b.engMu.Unlock()
 	return b.eng.Close()
@@ -492,8 +609,9 @@ func (b *Broker) PublishBatch(producer core.ProcID, evs []filter.Event) ([]Notif
 	if len(evs) == 0 {
 		return nil, nil
 	}
+	b.rejoinStale()
 	if !b.registered(producer) {
-		return nil, fmt.Errorf("pubsub: producer %d not registered", producer)
+		return nil, fmt.Errorf("%w: %d", ErrProducerNotRegistered, producer)
 	}
 	gwID := b.gateway(producer).procID
 	batch := make([]core.Publication, len(evs))
@@ -510,6 +628,14 @@ func (b *Broker) PublishBatch(producer core.ProcID, evs []filter.Event) ([]Notif
 	ds, err := b.eng.PublishBatch(batch)
 	b.engMu.Unlock()
 	if err != nil {
+		// A concurrent Unsubscribe/Fail can detach the producer's gateway
+		// between the registered check above and the engine call; the
+		// engine then reports an unknown process. Map that race back to
+		// the sentinel the early check uses, so callers see one error for
+		// one condition regardless of interleaving.
+		if !b.registered(producer) {
+			return nil, fmt.Errorf("%w: %d (unsubscribed concurrently with publish: %v)", ErrProducerNotRegistered, producer, err)
+		}
 		return nil, err
 	}
 	notes := make([]Notification, len(evs))
@@ -522,7 +648,12 @@ func (b *Broker) PublishBatch(producer core.ProcID, evs []filter.Event) ([]Notif
 			reached[i][id] = true
 		}
 	}
-	b.classifyBatch(notes, evs, points, reached)
+	pend := b.classifyBatch(notes, evs, points, reached)
+	// Delivery happens strictly after every gateway lock is released:
+	// enqueueing (which under the Block policy may wait on a consumer)
+	// can never stall another publisher's classify pass, and a frozen
+	// consumer under the shedding policies costs the publisher nothing.
+	b.dispatch(pend)
 	return notes, nil
 }
 
@@ -531,8 +662,11 @@ func (b *Broker) PublishBatch(producer core.ProcID, evs []filter.Event) ([]Notif
 // the local R-tree once (sublinear in the gateway's subscription count),
 // and only the candidates whose rectangle contains the event are checked
 // against the strict predicate semantics. reached[k] is the set of
-// overlay processes the engine delivered event k to.
-func (b *Broker) classifyBatch(notes []Notification, evs []filter.Event, points []geom.Point, reached []map[core.ProcID]bool) {
+// overlay processes the engine delivered event k to. It returns the
+// deliveries owed to queue-backed subscribers (received and interested);
+// the caller enqueues them after all gateway locks are released.
+func (b *Broker) classifyBatch(notes []Notification, evs []filter.Event, points []geom.Point, reached []map[core.ProcID]bool) []pending {
+	var pend []pending
 	for _, gw := range b.gws {
 		gw.mu.RLock()
 		if len(gw.subs) == 0 {
@@ -548,8 +682,8 @@ func (b *Broker) classifyBatch(notes []Notification, evs []filter.Event, points 
 			got := reached[k][gw.procID]
 			for _, m := range matches {
 				e := m.(*matchEntry)
-				for id, f := range e.subs {
-					interested := f.Match(evs[k])
+				for id, se := range e.subs {
+					interested := se.f.Match(evs[k])
 					if interested {
 						notes[k].Interested = append(notes[k].Interested, id)
 					}
@@ -558,6 +692,8 @@ func (b *Broker) classifyBatch(notes []Notification, evs []filter.Event, points 
 						notes[k].Received = append(notes[k].Received, id)
 						if !interested {
 							notes[k].FalsePositives = append(notes[k].FalsePositives, id)
+						} else if se.cons != nil {
+							pend = append(pend, pending{cons: se.cons, ev: evs[k]})
 						}
 					case interested:
 						notes[k].FalseNegatives = append(notes[k].FalseNegatives, id)
@@ -573,4 +709,5 @@ func (b *Broker) classifyBatch(notes []Notification, evs []filter.Event, points 
 		slices.Sort(notes[k].FalsePositives)
 		slices.Sort(notes[k].FalseNegatives)
 	}
+	return pend
 }
