@@ -40,6 +40,7 @@ import (
 	"math"
 	"math/rand/v2"
 	"os"
+	"runtime/debug"
 	"strconv"
 	"strings"
 	"sync"
@@ -202,6 +203,15 @@ type benchRecord struct {
 // PublishWorkers is pinned to 1 everywhere: the recorded counters must
 // not depend on the machine's core count.
 func measureBenchCore() []benchRecord {
+	// The recorded allocs/op must be exact across machines and binaries:
+	// with the collector running, GC pacing (which shifts with binary
+	// size and heap history) decides when pooled buffers are dropped and
+	// re-allocated, wobbling the churn workload's count by a few parts
+	// per million. Switching GC off for the measurement removes the only
+	// nondeterministic allocation source; the workloads' live heap is
+	// bounded (tens of MB per iteration), so the process stays small.
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+
 	build := func(b *testing.B, s1, s2 uint64) (*core.Tree, *rand.Rand) {
 		rng := rand.New(rand.NewPCG(s1, s2))
 		tr := core.MustNew(core.Params{MinFanout: 2, MaxFanout: 4, PublishWorkers: 1})
@@ -409,6 +419,11 @@ type brokerRecord struct {
 	// regression in the never-block guarantee shifts both.
 	DeliveredEvents int64 `json:"delivered_events"`
 	DroppedEvents   int64 `json:"dropped_events"`
+	// Cross-daemon publish→notify latency over loopback TCP (the
+	// NetPublish row; zero elsewhere). Wall-clock, informational only —
+	// never compared by -gate.
+	NetP50Ns int64 `json:"net_p50_ns"`
+	NetP99Ns int64 `json:"net_p99_ns"`
 }
 
 // batchSizes are the broker pipeline's measured batch sizes. Powers of
@@ -615,7 +630,15 @@ func measureBenchBroker() ([]brokerRecord, error) {
 	if err != nil {
 		return nil, err
 	}
-	return append(records, del), nil
+	records = append(records, del)
+
+	// Real sockets: cross-daemon publish→notify latency on loopback TCP.
+	// Pure wall-clock (the row's gated counters are constant zeros).
+	np, err := measureNetPublish()
+	if err != nil {
+		return nil, err
+	}
+	return append(records, np), nil
 }
 
 // measureBrokerDelivery runs the frozen-consumer delivery scenario: four
@@ -756,6 +779,11 @@ func runBenchBroker(path string) int {
 		return 1
 	}
 	for _, r := range records {
+		if r.NetP50Ns > 0 {
+			fmt.Printf("%-22s publish→notify p50 %s p99 %s over loopback TCP (%d samples)\n",
+				r.Name, time.Duration(r.NetP50Ns), time.Duration(r.NetP99Ns), r.Batch)
+			continue
+		}
 		fmt.Printf("%-22s %10.0f ns/event %8.2f allocs/event %8.2f msgs/event %6.0f rounds/batch %8.2f scan-visits/event %5d delivered %5d dropped\n",
 			r.Name, r.NsPerEvent, r.AllocsPerEvent, r.MsgsPerEvent, r.RoundsPerBatch, r.ScanVisitedPerEvent,
 			r.DeliveredEvents, r.DroppedEvents)

@@ -136,8 +136,11 @@ func TestBenchBrokerSmoke(t *testing.T) {
 			t.Errorf("benchmark %s: delivered/dropped %d/%d, baseline %d/%d",
 				g.Name, g.DeliveredEvents, g.DroppedEvents, w.DeliveredEvents, w.DroppedEvents)
 		}
-		if g.NsPerEvent <= 0 {
+		if g.NsPerEvent <= 0 && g.NetP50Ns <= 0 {
 			t.Errorf("benchmark %s: non-positive wall measurement %+v", g.Name, g)
+		}
+		if g.NetP50Ns > g.NetP99Ns {
+			t.Errorf("benchmark %s: p50 %dns above p99 %dns", g.Name, g.NetP50Ns, g.NetP99Ns)
 		}
 	}
 	assertSublinearScale(t, got)

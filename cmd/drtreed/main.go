@@ -1,0 +1,63 @@
+// Command drtreed runs one daemon of a real-network DR-tree pub/sub
+// deployment (see internal/drtreed). Each daemon owns a slice of the
+// overlay's process-ID space, speaks the framed binary wire protocol to
+// its peers over TCP, and fronts subscribers on two substrates: binary
+// RPC sessions on the overlay port and JSON WebSocket sessions on the
+// HTTP port.
+//
+// A two-daemon deployment on one machine:
+//
+//	drtreed -node 0 -peers 127.0.0.1:7070,127.0.0.1:7071 -http 127.0.0.1:8080
+//	drtreed -node 1 -peers 127.0.0.1:7070,127.0.0.1:7071 -http 127.0.0.1:8081
+//
+// Daemon 0 seeds the shared overlay (the anchor process); the others
+// join through it. Subscribers may attach to any daemon.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"drtree/internal/drtreed"
+)
+
+func main() {
+	var (
+		node     = flag.Int("node", 0, "this daemon's index into -peers")
+		peers    = flag.String("peers", "127.0.0.1:7070", "comma-separated overlay addresses, one per daemon")
+		httpAddr = flag.String("http", "", "WebSocket/health endpoint address (empty: disabled)")
+		space    = flag.String("space", "price,volume", "comma-separated attribute names (identical on every daemon)")
+		gateways = flag.Int("gateways", 4, "local gateway-pool size")
+		minFan   = flag.Int("min-fanout", 2, "DR-tree minimum fanout m")
+		maxFan   = flag.Int("max-fanout", 4, "DR-tree maximum fanout M (>= 2m)")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, fmt.Sprintf("drtreed[%d] ", *node), log.LstdFlags|log.Lmicroseconds)
+	d, err := drtreed.New(drtreed.Config{
+		Node:      *node,
+		Peers:     strings.Split(*peers, ","),
+		HTTPAddr:  *httpAddr,
+		Space:     strings.Split(*space, ","),
+		Gateways:  *gateways,
+		MinFanout: *minFan,
+		MaxFanout: *maxFan,
+		Logf:      logger.Printf,
+	})
+	if err != nil {
+		logger.Fatal(err)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	s := <-sig
+	logger.Printf("signal %v: shutting down", s)
+	if err := d.Close(); err != nil {
+		logger.Printf("shutdown: %v", err)
+	}
+}

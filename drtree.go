@@ -79,6 +79,12 @@ type (
 	// Broker's gateway layer uses it to move each gateway's aggregate
 	// filter as subscriptions come and go.
 	FilterUpdater = engine.FilterUpdater
+	// AsyncPublisher is the capability of engines that can start a
+	// dissemination without waiting for it to finish (InjectEvent).
+	// Satisfied by EngineLive; Broker.PublishAsync requires it, and
+	// networked daemons use it so a publish RPC returns as soon as the
+	// event enters the overlay.
+	AsyncPublisher = engine.AsyncPublisher
 )
 
 // Overlay re-exports.
@@ -374,6 +380,12 @@ func NewSpace(attrs ...string) (*Space, error) { return filter.NewSpace(attrs...
 // mean tighter aggregate filters and smaller per-gateway match indexes;
 // fewer mean a smaller overlay.
 func WithGateways(n int) BrokerOption { return pubsub.WithGateways(n) }
+
+// WithGatewayBase sets the overlay process ID of the Broker's first
+// gateway (default 1); gateway i gets base+i. Brokers sharing one
+// overlay from different daemons — each daemon owning a disjoint slice
+// of the process-ID space — give each broker a disjoint base.
+func WithGatewayBase(base ProcID) BrokerOption { return pubsub.WithGatewayBase(base) }
 
 // NewBroker creates a publish/subscribe broker over space on the given
 // overlay engine:

@@ -1,13 +1,22 @@
 // Brokerwire: the stockticker scenario running the content-based
-// publish/subscribe Broker over the wire-protocol engine — the Engine
-// interface composing the two halves of the paper end to end. Traders
-// subscribe while the simulated network drops and delays messages; a
-// trader crashes mid-session; once the transient faults cease, the
-// periodic CHECK_* timers repair the overlay (the self-stabilization
-// contract) and the market feed flows with zero false negatives.
+// publish/subscribe Broker end to end on either of two transports.
+//
+// With -transport=sim (the default) the Broker runs over the
+// wire-protocol engine's simulated network: traders subscribe while the
+// substrate drops and delays messages, a trader crashes mid-session,
+// and once the transient faults cease the periodic CHECK_* timers
+// repair the overlay (the self-stabilization contract) and the market
+// feed flows with zero false negatives.
+//
+// With -transport=tcp the same scenario runs over real sockets: three
+// drtreed daemons share one overlay on loopback TCP, traders attach to
+// different daemons through binary RPC sessions, one trader's
+// connection drops abruptly mid-session, and every quote reaches every
+// live matching trader across daemon boundaries.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"math/rand/v2"
 	"os"
@@ -15,14 +24,40 @@ import (
 	"drtree"
 )
 
+// subscriptions is the stockticker cast, shared by both transports.
+var subscriptions = []struct {
+	id   drtree.ProcID
+	expr string
+}{
+	{1, "price in [0, 1000] && volume in [0, 100000]"}, // market maker: everything
+	{2, "price in [90, 110] && volume in [0, 100000]"}, // band watcher
+	{3, "price in [95, 105] && volume in [5000, 100000]"},
+	{4, "price >= 200 && volume >= 10000"},             // large-cap whale
+	{5, "price in [90, 100] && volume in [0, 1000]"},   // small lots
+	{6, "price in [100, 300] && volume in [0, 50000]"}, // momentum desk
+	{7, "price in [50, 150] && volume in [20000, 100000]"},
+	{8, "price <= 95 && volume in [0, 30000]"},
+}
+
 func main() {
-	if err := run(); err != nil {
+	transport := flag.String("transport", "sim", "overlay transport: sim (simulated network) or tcp (three drtreed daemons on loopback)")
+	flag.Parse()
+	var err error
+	switch *transport {
+	case "sim":
+		err = runSim()
+	case "tcp":
+		err = runTCP()
+	default:
+		err = fmt.Errorf("unknown -transport %q (want sim or tcp)", *transport)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "brokerwire:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func runSim() error {
 	space, err := drtree.NewSpace("price", "volume")
 	if err != nil {
 		return err
@@ -53,19 +88,6 @@ func run() error {
 		return err
 	}
 
-	subscriptions := []struct {
-		id   drtree.ProcID
-		expr string
-	}{
-		{1, "price in [0, 1000] && volume in [0, 100000]"}, // market maker: everything
-		{2, "price in [90, 110] && volume in [0, 100000]"}, // band watcher
-		{3, "price in [95, 105] && volume in [5000, 100000]"},
-		{4, "price >= 200 && volume >= 10000"},             // large-cap whale
-		{5, "price in [90, 100] && volume in [0, 1000]"},   // small lots
-		{6, "price in [100, 300] && volume in [0, 50000]"}, // momentum desk
-		{7, "price in [50, 150] && volume in [20000, 100000]"},
-		{8, "price <= 95 && volume in [0, 30000]"},
-	}
 	for _, sub := range subscriptions {
 		if err := broker.SubscribeExpr(sub.id, sub.expr); err != nil {
 			return fmt.Errorf("subscriber %d: %w", sub.id, err)

@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+// The example is its own oracle — both transports compute the expected
+// interested set per quote from local filter copies and return an error
+// on any false negative — so running it to completion IS the assertion.
+// These smokes keep the README's showcase scenario honest on every CI
+// run, over both the in-process simnet and real loopback sockets.
+
+func TestRunSim(t *testing.T) {
+	if err := runSim(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("three real daemons; skipped in -short mode")
+	}
+	if err := runTCP(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,177 @@
+package main
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"net"
+	"sync"
+	"time"
+
+	"drtree"
+	"drtree/internal/drtreed"
+)
+
+// runTCP runs the stockticker over three drtreed daemons sharing one
+// overlay on loopback TCP. Traders attach to different daemons; quotes
+// published on one daemon reach matching traders on all of them.
+// Delivery over real sockets is asynchronous — a quote is republished
+// under a fresh event ID until every live matching trader has it, which
+// doubles as the overlay-convergence wait.
+func runTCP() error {
+	const daemons = 3
+
+	lns := make([]net.Listener, daemons)
+	peers := make([]string, daemons)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		defer ln.Close()
+		lns[i] = ln
+		peers[i] = ln.Addr().String()
+	}
+	ds := make([]*drtreed.Daemon, daemons)
+	for i := range ds {
+		d, err := drtreed.New(drtreed.Config{
+			Node:     i,
+			Peers:    peers,
+			Listener: lns[i],
+			Space:    []string{"price", "volume"},
+			Gateways: 2,
+		})
+		if err != nil {
+			return err
+		}
+		defer d.Close()
+		ds[i] = d
+		fmt.Printf("daemon %d up on %s\n", i, d.Addr())
+	}
+
+	// Every trader dials a daemon round-robin and subscribes; the local
+	// copies of the filters decide which traders a quote must reach.
+	clients := make(map[drtree.ProcID]*drtreed.Client)
+	filters := make(map[drtree.ProcID]drtree.Filter)
+	for _, sub := range subscriptions {
+		home := int(sub.id) % daemons
+		cl, err := drtreed.Dial(ds[home].Addr(), 5*time.Second)
+		if err != nil {
+			return fmt.Errorf("trader %d: %w", sub.id, err)
+		}
+		defer cl.Close()
+		if err := cl.Subscribe(int64(sub.id), sub.expr); err != nil {
+			return fmt.Errorf("trader %d: %w", sub.id, err)
+		}
+		f, err := drtree.ParseFilter(sub.expr)
+		if err != nil {
+			return err
+		}
+		clients[sub.id], filters[sub.id] = cl, f
+		fmt.Printf("trader %d subscribed on daemon %d: %s\n", sub.id, home, sub.expr)
+	}
+
+	// Deliveries funnel into one set keyed by (trader, quote price);
+	// republished copies of a quote dedupe on its unique price.
+	var (
+		mu  sync.Mutex
+		got = make(map[drtree.ProcID]map[float64]bool)
+	)
+	collect := func(id drtree.ProcID, cl *drtreed.Client) {
+		for e := range cl.Events() {
+			mu.Lock()
+			if got[id] == nil {
+				got[id] = make(map[float64]bool)
+			}
+			got[id][e.Event["price"]] = true
+			mu.Unlock()
+		}
+	}
+	for id, cl := range clients {
+		go collect(id, cl)
+	}
+
+	// Trader 3's connection drops abruptly mid-session: its daemon reaps
+	// the session and unsubscribes it, exactly like the crash in the
+	// simulated variant.
+	clients[3].Close()
+	delete(clients, 3)
+	delete(filters, 3)
+	fmt.Println("trader 3's connection dropped mid-session")
+
+	rng := rand.New(rand.NewPCG(2026, 8))
+	publisher := clients[1]
+	const quotes = 10
+	for i := 0; i < quotes; i++ {
+		q := drtree.Event{
+			"price":  80 + rng.Float64()*170,
+			"volume": rng.Float64() * 60000,
+		}
+		var want []drtree.ProcID
+		for id, f := range filters {
+			if f.Match(q) {
+				want = append(want, id)
+			}
+		}
+		start := time.Now()
+		if err := publishUntil(publisher, q, want, &mu, got); err != nil {
+			return fmt.Errorf("quote %d: %w", i, err)
+		}
+		fmt.Printf("quote %d (price %6.2f, volume %7.0f) -> interested %v in %v\n",
+			i, q["price"], q["volume"], sorted(want), time.Since(start).Round(time.Millisecond))
+	}
+
+	for i, d := range ds {
+		st := d.TransportStats()
+		fmt.Printf("daemon %d wire traffic: %d frames sent, %d delivered, %d reconnects\n",
+			i, st.Sent, st.Delivered, st.Reconnects)
+	}
+	fmt.Printf("\n%d quotes over loopback TCP, 0 false negatives across 3 daemons\n", quotes)
+	return nil
+}
+
+// publishUntil republishes q from trader 1 until every trader in want
+// has received it (or a deadline passes).
+func publishUntil(pub *drtreed.Client, q drtree.Event, want []drtree.ProcID, mu *sync.Mutex, got map[drtree.ProcID]map[float64]bool) error {
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if err := pub.Publish(1, q); err != nil {
+			return err
+		}
+		settle := time.Now().Add(500 * time.Millisecond)
+		for time.Now().Before(settle) {
+			time.Sleep(20 * time.Millisecond)
+			mu.Lock()
+			missing := 0
+			for _, id := range want {
+				if !got[id][q["price"]] {
+					missing++
+				}
+			}
+			mu.Unlock()
+			if missing == 0 {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			mu.Lock()
+			var missing []drtree.ProcID
+			for _, id := range want {
+				if !got[id][q["price"]] {
+					missing = append(missing, id)
+				}
+			}
+			mu.Unlock()
+			return fmt.Errorf("traders %v never received %v", missing, q)
+		}
+	}
+}
+
+func sorted(ids []drtree.ProcID) []drtree.ProcID {
+	out := append([]drtree.ProcID(nil), ids...)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

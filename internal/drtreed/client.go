@@ -1,0 +1,177 @@
+package drtreed
+
+// Client is the Go-native counterpart of the daemon's binary RPC front
+// end: a framed wire-codec session on the daemon's overlay port,
+// multiplexing synchronous Subscribe/Unsubscribe/Publish acks with the
+// asynchronous Notify stream.
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"drtree/internal/filter"
+	"drtree/internal/simnet"
+	"drtree/internal/transport"
+	"drtree/internal/wire"
+)
+
+// ClientEvent is one delivery received by a Client's subscriber.
+type ClientEvent struct {
+	// Subscriber is the subscription the event matched.
+	Subscriber int64
+	// Seq is the subscription's delivery sequence number.
+	Seq uint64
+	// Event is the delivered event.
+	Event filter.Event
+}
+
+// Client is one binary RPC session against a daemon.
+type Client struct {
+	c      *transport.Conn
+	events chan ClientEvent
+
+	mu      sync.Mutex
+	nextRef uint64
+	acks    map[uint64]chan wire.Ack
+	readErr error
+	closed  bool
+}
+
+// Dial opens a client session against a daemon's overlay address.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := transport.DialClient(addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	cl := &Client{
+		c: conn,
+		// Deep buffer: a reader that only cares about acks must not
+		// deadlock the session on unconsumed notifies.
+		events: make(chan ClientEvent, 4096),
+		acks:   make(map[uint64]chan wire.Ack),
+	}
+	go cl.readLoop()
+	return cl, nil
+}
+
+// Events streams the deliveries for every subscription of this session.
+// The channel closes when the session ends. Slow consumers shed: a full
+// buffer drops the oldest pending event.
+func (cl *Client) Events() <-chan ClientEvent { return cl.events }
+
+func (cl *Client) readLoop() {
+	var err error
+	for {
+		var m simnet.Message
+		if m, err = cl.c.ReadMessage(); err != nil {
+			break
+		}
+		switch p := m.Payload.(type) {
+		case wire.Ack:
+			cl.mu.Lock()
+			ch := cl.acks[p.Ref]
+			delete(cl.acks, p.Ref)
+			cl.mu.Unlock()
+			if ch != nil {
+				ch <- p
+			}
+		case wire.Notify:
+			ev, verr := eventFromVectors(p.Attrs, p.Values)
+			if verr != nil {
+				continue
+			}
+			e := ClientEvent{Subscriber: p.Subscriber, Seq: p.Seq, Event: ev}
+			for {
+				select {
+				case cl.events <- e:
+				default:
+					select {
+					case <-cl.events: // shed the oldest, retry
+						continue
+					default:
+					}
+				}
+				break
+			}
+		}
+	}
+	cl.mu.Lock()
+	cl.readErr = err
+	waiting := cl.acks
+	cl.acks = make(map[uint64]chan wire.Ack)
+	cl.mu.Unlock()
+	for _, ch := range waiting {
+		close(ch)
+	}
+	close(cl.events)
+}
+
+// call sends one request frame and waits for its ack.
+func (cl *Client) call(mk func(ref uint64) any) error {
+	cl.mu.Lock()
+	if cl.closed {
+		cl.mu.Unlock()
+		return fmt.Errorf("drtreed: client closed")
+	}
+	cl.nextRef++
+	ref := cl.nextRef
+	ch := make(chan wire.Ack, 1)
+	cl.acks[ref] = ch
+	cl.mu.Unlock()
+	if err := cl.c.WriteMessage(simnet.Message{Payload: mk(ref)}); err != nil {
+		cl.mu.Lock()
+		delete(cl.acks, ref)
+		cl.mu.Unlock()
+		return err
+	}
+	select {
+	case a, ok := <-ch:
+		if !ok {
+			return fmt.Errorf("drtreed: session ended awaiting ack: %v", cl.readErr)
+		}
+		if a.Err != "" {
+			return fmt.Errorf("drtreed: %s", a.Err)
+		}
+		return nil
+	case <-time.After(30 * time.Second):
+		cl.mu.Lock()
+		delete(cl.acks, ref)
+		cl.mu.Unlock()
+		return fmt.Errorf("drtreed: ack %d timed out", ref)
+	}
+}
+
+// Subscribe registers subscriber id with a textual filter
+// (filter.Parse syntax); its deliveries arrive on Events.
+func (cl *Client) Subscribe(id int64, expr string) error {
+	return cl.call(func(ref uint64) any { return wire.Subscribe{Ref: ref, ID: id, Expr: expr} })
+}
+
+// Unsubscribe drops subscriber id.
+func (cl *Client) Unsubscribe(id int64) error {
+	return cl.call(func(ref uint64) any { return wire.Unsubscribe{Ref: ref, ID: id} })
+}
+
+// Publish fires an event from the given producer, which must be a
+// subscriber of the same daemon. The ack confirms the event is in
+// flight, not delivered (the daemon publishes asynchronously).
+func (cl *Client) Publish(producer int64, ev filter.Event) error {
+	attrs := make([]string, 0, len(ev))
+	values := make([]float64, 0, len(ev))
+	for a, v := range ev {
+		attrs = append(attrs, a)
+		values = append(values, v)
+	}
+	return cl.call(func(ref uint64) any {
+		return wire.Publish{Ref: ref, Producer: producer, Attrs: attrs, Values: values}
+	})
+}
+
+// Close ends the session; the daemon drops its subscriptions.
+func (cl *Client) Close() error {
+	cl.mu.Lock()
+	cl.closed = true
+	cl.mu.Unlock()
+	return cl.c.Close()
+}

@@ -1,0 +1,398 @@
+// Package drtreed hosts one daemon of a real-network DR-tree pub/sub
+// deployment: a slice of the overlay's process-ID space running on a
+// live cluster (internal/proto), stitched to its peers over TCP
+// (internal/transport + internal/wire), with a local gateway-pool
+// broker (internal/pubsub) fronting subscribers over two substrates —
+// framed binary RPC sessions on the overlay port and a JSON WebSocket
+// endpoint (internal/ws) on the HTTP port.
+//
+// Topology: daemon i of n owns overlay processes (i*Stride, (i+1)*Stride].
+// Process 1 — owned by daemon 0 — is the anchor: a filterless overlay
+// member joined at startup that every cluster's bootstrap contact
+// points at, so the first gateway join of any daemon routes over the
+// wire into one shared tree instead of rooting n disjoint ones. Event
+// IDs are drawn from disjoint per-daemon ranges (daemon i publishes
+// IDs above (i+1)<<40) because receipt dedup keys on the ID.
+//
+// Publishing is fire-and-forget (pubsub.PublishAsync): no daemon can
+// take a cluster-wide receipt census, so deliveries surface through the
+// live runtime's event hook, which hands each gateway receipt to the
+// local broker's NotifyGateway for subscriber fan-out.
+package drtreed
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"drtree/internal/core"
+	"drtree/internal/filter"
+	"drtree/internal/geom"
+	"drtree/internal/proto"
+	"drtree/internal/pubsub"
+	"drtree/internal/simnet"
+	"drtree/internal/transport"
+	"drtree/internal/wire"
+)
+
+// Stride is the size of each daemon's process-ID slice. One million
+// processes per daemon keeps the arithmetic trivial and the slices far
+// apart; IDs stay well inside the varint-friendly range for thousands
+// of daemons.
+const Stride = 1 << 20
+
+// AnchorProc is the bootstrap anchor process, owned by daemon 0.
+const AnchorProc core.ProcID = 1
+
+// Config describes one daemon.
+type Config struct {
+	// Node is this daemon's index into Peers.
+	Node int
+	// Peers lists every daemon's overlay TCP address, index-aligned with
+	// Node. A single-entry list is a standalone daemon.
+	Peers []string
+	// Listener optionally supplies the pre-bound overlay listener
+	// (port-0 test rigs); when nil the daemon listens on Peers[Node].
+	Listener net.Listener
+	// HTTPAddr is the WebSocket/health endpoint address; empty disables
+	// the HTTP front end.
+	HTTPAddr string
+	// HTTPListener optionally supplies the pre-bound HTTP listener.
+	HTTPListener net.Listener
+	// Space is the attribute space, in dimension order. Every daemon of
+	// a deployment must use the identical space.
+	Space []string
+	// Gateways is the local broker's gateway-pool size (default 4: a
+	// daemon amortizes overlay membership across its subscribers, and a
+	// networked overlay prefers fewer, fatter gateways).
+	Gateways int
+	// MinFanout and MaxFanout are the DR-tree fanout bounds (default 2/4).
+	MinFanout, MaxFanout int
+	// Logf sinks daemon logs (default: discard).
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Gateways == 0 {
+		c.Gateways = 4
+	}
+	if c.MinFanout == 0 && c.MaxFanout == 0 {
+		c.MinFanout, c.MaxFanout = 2, 4
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Daemon is one running drtreed instance.
+type Daemon struct {
+	cfg    Config
+	space  *filter.Space
+	lc     *proto.LiveCluster
+	tp     *transport.TCP
+	broker *pubsub.Broker
+
+	httpSrv *http.Server
+	httpLn  net.Listener
+
+	mu       sync.Mutex
+	closed   bool
+	sessions map[io.Closer]struct{}
+	closeWG  sync.WaitGroup
+}
+
+// addSession registers a front-end session for shutdown teardown.
+// False means the daemon is closing and the session must not start.
+func (d *Daemon) addSession(c io.Closer) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return false
+	}
+	d.sessions[c] = struct{}{}
+	d.closeWG.Add(1)
+	return true
+}
+
+func (d *Daemon) dropSession(c io.Closer) {
+	d.mu.Lock()
+	delete(d.sessions, c)
+	d.mu.Unlock()
+	d.closeWG.Done()
+}
+
+// gatewayBase returns the first gateway procID of daemon node.
+func gatewayBase(node int) core.ProcID { return core.ProcID(node*Stride + 2) }
+
+// ownerOf maps an overlay process to the daemon index owning it.
+func ownerOf(p core.ProcID) int { return (int(p) - 1) / Stride }
+
+// New builds and starts a daemon: the overlay transport is listening,
+// the anchor (on daemon 0) has joined, and both front ends accept
+// sessions when it returns.
+func New(cfg Config) (*Daemon, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Node < 0 || cfg.Node >= len(cfg.Peers) {
+		return nil, fmt.Errorf("drtreed: node %d outside peer list of %d", cfg.Node, len(cfg.Peers))
+	}
+	if len(cfg.Space) == 0 {
+		return nil, fmt.Errorf("drtreed: empty attribute space")
+	}
+	space, err := filter.NewSpace(cfg.Space...)
+	if err != nil {
+		return nil, fmt.Errorf("drtreed: %w", err)
+	}
+	lc, err := proto.NewLiveCluster(proto.Config{MinFanout: cfg.MinFanout, MaxFanout: cfg.MaxFanout})
+	if err != nil {
+		return nil, fmt.Errorf("drtreed: %w", err)
+	}
+	d := &Daemon{cfg: cfg, space: space, lc: lc, sessions: make(map[io.Closer]struct{})}
+
+	lc.SetEventSpace(int64(cfg.Node+1) << 40)
+	lc.SetContact(func() core.ProcID { return AnchorProc })
+
+	d.broker, err = pubsub.New(space, lc,
+		pubsub.WithGateways(cfg.Gateways),
+		pubsub.WithGatewayBase(gatewayBase(cfg.Node)))
+	if err != nil {
+		lc.Close()
+		return nil, fmt.Errorf("drtreed: %w", err)
+	}
+	lc.SetEventHook(d.onOverlayDeliver)
+
+	d.tp, err = transport.New(transport.Config{
+		Self:     cfg.Node,
+		Peers:    cfg.Peers,
+		Listener: cfg.Listener,
+		Deliver:  lc.Deliver,
+		Owner:    ownerOf,
+		OnClient: d.serveRPC,
+		Logf:     cfg.Logf,
+	})
+	if err != nil {
+		lc.Close()
+		return nil, fmt.Errorf("drtreed: %w", err)
+	}
+	if err := lc.AttachSubstrate(d.tp, func(p core.ProcID) bool { return ownerOf(p) == cfg.Node }); err != nil {
+		d.tp.Close()
+		lc.Close()
+		return nil, fmt.Errorf("drtreed: %w", err)
+	}
+
+	// Daemon 0 seeds the shared tree with the anchor: a degenerate
+	// subscription at the space's origin whose only job is existing, so
+	// every later join — local or remote — has a stable contact to
+	// route through.
+	if ownerOf(AnchorProc) == cfg.Node {
+		origin := make(geom.Point, space.Dims())
+		anchor, err := geom.NewRect(origin, origin)
+		if err == nil {
+			err = lc.Join(AnchorProc, anchor)
+		}
+		if err != nil {
+			d.tp.Close()
+			lc.Close()
+			return nil, fmt.Errorf("drtreed: joining anchor: %w", err)
+		}
+	}
+
+	if err := d.startHTTP(); err != nil {
+		d.tp.Close()
+		d.broker.Close()
+		return nil, err
+	}
+	cfg.Logf("drtreed: node %d up, overlay %s http %s", cfg.Node, d.Addr(), d.HTTPAddr())
+	return d, nil
+}
+
+// Addr returns the overlay listener address.
+func (d *Daemon) Addr() string { return d.tp.Addr() }
+
+// HTTPAddr returns the HTTP listener address ("" when disabled).
+func (d *Daemon) HTTPAddr() string {
+	if d.httpLn == nil {
+		return ""
+	}
+	return d.httpLn.Addr().String()
+}
+
+// Broker exposes the local broker (tests, stats).
+func (d *Daemon) Broker() *pubsub.Broker { return d.broker }
+
+// TransportStats snapshots the overlay transport counters.
+func (d *Daemon) TransportStats() transport.Stats { return d.tp.Stats() }
+
+// onOverlayDeliver is the live runtime's event hook: every first
+// receipt of an event by a local process lands here, outside the
+// cluster lock. Receipts at local gateway processes whose filter
+// matched fan out to that gateway's subscribers.
+func (d *Daemon) onOverlayDeliver(p core.ProcID, _ int64, ev geom.Point, matched bool) {
+	if !matched {
+		return
+	}
+	e, err := d.space.Event(ev)
+	if err != nil {
+		return
+	}
+	d.broker.NotifyGateway(p, e)
+}
+
+// Close stops the daemon: front ends first (no new sessions), then the
+// broker and its overlay runtime, then the transport.
+func (d *Daemon) Close() error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil
+	}
+	d.closed = true
+	open := make([]io.Closer, 0, len(d.sessions))
+	for c := range d.sessions {
+		open = append(open, c)
+	}
+	d.mu.Unlock()
+	if d.httpSrv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		d.httpSrv.Shutdown(ctx)
+		cancel()
+	}
+	// Closing the session sockets unblocks their reader goroutines;
+	// closing the broker then ends the notify pumps (queues close).
+	for _, c := range open {
+		c.Close()
+	}
+	err := d.broker.Close()
+	d.tp.Close()
+	d.closeWG.Wait()
+	return err
+}
+
+// eventVectors flattens a pub/sub event into the space's dimension
+// order for the wire (Notify frames, JSON replies use the map form).
+func (d *Daemon) eventVectors(e filter.Event) (attrs []string, values []float64) {
+	attrs = d.space.Attrs()
+	values = make([]float64, len(attrs))
+	for i, a := range attrs {
+		values[i] = e[a]
+	}
+	return attrs, values
+}
+
+// eventFromVectors rebuilds a pub/sub event from parallel vectors.
+func eventFromVectors(attrs []string, values []float64) (filter.Event, error) {
+	if len(attrs) != len(values) {
+		return nil, fmt.Errorf("drtreed: %d attrs vs %d values", len(attrs), len(values))
+	}
+	e := make(filter.Event, len(attrs))
+	for i, a := range attrs {
+		e[a] = values[i]
+	}
+	return e, nil
+}
+
+// serveRPC runs one framed binary client session (transport.OnClient):
+// Subscribe/Unsubscribe/Publish requests each answered with an Ack
+// bearing the request's Ref, and Notify frames pushed as the
+// subscriber's queue drains. Subscriptions die with the session.
+func (d *Daemon) serveRPC(c *transport.Conn) {
+	if !d.addSession(c) {
+		c.Close()
+		return
+	}
+	defer d.dropSession(c)
+	defer c.Close()
+	var (
+		mu    sync.Mutex
+		owned = make(map[core.ProcID]bool)
+	)
+	defer func() {
+		mu.Lock()
+		ids := make([]core.ProcID, 0, len(owned))
+		for id := range owned {
+			ids = append(ids, id)
+		}
+		mu.Unlock()
+		for _, id := range ids {
+			d.broker.Unsubscribe(id)
+		}
+	}()
+	ack := func(ref uint64, err error) bool {
+		a := wire.Ack{Ref: ref}
+		if err != nil {
+			a.Err = err.Error()
+		}
+		return c.WriteMessage(simnet.Message{Payload: a}) == nil
+	}
+	for {
+		m, err := c.ReadMessage()
+		if err != nil {
+			return
+		}
+		switch p := m.Payload.(type) {
+		case wire.Subscribe:
+			id := core.ProcID(p.ID)
+			var ch <-chan pubsub.Envelope
+			f, err := filter.Parse(p.Expr)
+			if err == nil {
+				ch, err = d.broker.SubscribeChan(id, f)
+			}
+			if err == nil {
+				mu.Lock()
+				owned[id] = true
+				mu.Unlock()
+				d.closeWG.Add(1)
+				go d.pumpNotifies(c, id, ch)
+			}
+			if !ack(p.Ref, err) {
+				return
+			}
+		case wire.Unsubscribe:
+			id := core.ProcID(p.ID)
+			err := d.broker.Unsubscribe(id)
+			if err == nil {
+				mu.Lock()
+				delete(owned, id)
+				mu.Unlock()
+			}
+			if !ack(p.Ref, err) {
+				return
+			}
+		case wire.Publish:
+			ev, err := eventFromVectors(p.Attrs, p.Values)
+			if err == nil {
+				err = d.broker.PublishAsync(core.ProcID(p.Producer), ev)
+			}
+			if !ack(p.Ref, err) {
+				return
+			}
+		default:
+			d.cfg.Logf("drtreed: client %s sent unexpected %T, dropping session", c.RemoteAddr(), m.Payload)
+			return
+		}
+	}
+}
+
+// pumpNotifies drains one subscriber's delivery channel onto the
+// session socket. A write failure (deadline expiry included — the slow
+// consumer case) closes the whole session; the session teardown then
+// unsubscribes, which closes this channel and ends the pump.
+func (d *Daemon) pumpNotifies(c *transport.Conn, id core.ProcID, ch <-chan pubsub.Envelope) {
+	defer d.closeWG.Done()
+	for e := range ch {
+		attrs, values := d.eventVectors(e.Event)
+		n := wire.Notify{Subscriber: int64(id), Seq: e.Seq, Attrs: attrs, Values: values}
+		if err := c.WriteMessage(simnet.Message{Payload: n}); err != nil {
+			c.Close()
+			// Keep draining so the queue's drainer is never blocked on a
+			// dead session; envelopes are discarded.
+			for range ch {
+			}
+			return
+		}
+	}
+}

@@ -1,0 +1,382 @@
+package drtreed
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"drtree/internal/core"
+	"drtree/internal/filter"
+	"drtree/internal/ws"
+)
+
+// startCluster boots n daemons on loopback port-0 listeners and returns
+// them, overlay-listener first so peers know each other's real ports.
+func startCluster(t *testing.T, n int) []*Daemon {
+	t.Helper()
+	lns := make([]net.Listener, n)
+	peers := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		peers[i] = ln.Addr().String()
+	}
+	ds := make([]*Daemon, n)
+	for i := range ds {
+		hln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := New(Config{
+			Node:         i,
+			Peers:        peers,
+			Listener:     lns[i],
+			HTTPListener: hln,
+			Space:        []string{"price", "volume"},
+			Gateways:     2,
+			Logf:         t.Logf,
+		})
+		if err != nil {
+			t.Fatalf("daemon %d: %v", i, err)
+		}
+		t.Cleanup(func() { d.Close() })
+		ds[i] = d
+	}
+	return ds
+}
+
+func dialDaemon(t *testing.T, d *Daemon) *Client {
+	t.Helper()
+	cl, err := Dial(d.Addr(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	return cl
+}
+
+// collector accumulates the quotes each subscriber received, keyed by
+// the quote's unique price.
+type collector struct {
+	mu  sync.Mutex
+	got map[int64]map[float64]bool // subscriber -> price set
+}
+
+func newCollector() *collector { return &collector{got: make(map[int64]map[float64]bool)} }
+
+func (c *collector) add(sub int64, ev filter.Event) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.got[sub] == nil {
+		c.got[sub] = make(map[float64]bool)
+	}
+	c.got[sub][ev["price"]] = true
+}
+
+func (c *collector) has(sub int64, price float64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.got[sub][price]
+}
+
+func (c *collector) drain(ch <-chan ClientEvent) {
+	for e := range ch {
+		c.add(e.Subscriber, e.Event)
+	}
+}
+
+// TestThreeDaemonStockticker is the end-to-end acceptance scenario: the
+// stockticker traders spread over a 3-daemon loopback cluster (binary
+// RPC sessions on all three daemons plus one JSON WebSocket session),
+// quotes published from two different daemons, a trader crashing
+// mid-session — and zero false negatives among the live traders after
+// the churn.
+func TestThreeDaemonStockticker(t *testing.T) {
+	ds := startCluster(t, 3)
+	col := newCollector()
+
+	// The stockticker subscriptions (examples/brokerwire), trader i
+	// attached to daemon i%3 — except trader 8, who attaches over
+	// WebSocket to daemon 2's HTTP front end.
+	subs := []struct {
+		id   int64
+		expr string
+	}{
+		{1, "price in [0, 1000] && volume in [0, 100000]"},
+		{2, "price in [90, 110] && volume in [0, 100000]"},
+		{3, "price in [95, 105] && volume in [5000, 100000]"},
+		{4, "price >= 200 && volume >= 10000"},
+		{5, "price in [90, 100] && volume in [0, 1000]"},
+		{6, "price in [100, 300] && volume in [0, 50000]"},
+		{7, "price in [50, 150] && volume in [20000, 100000]"},
+	}
+	preds := make(map[int64]filter.Filter)
+	clients := make(map[int64]*Client)
+	for _, s := range subs {
+		preds[s.id] = filter.MustParse(s.expr)
+		cl := dialDaemon(t, ds[int(s.id)%3])
+		if err := cl.Subscribe(s.id, s.expr); err != nil {
+			t.Fatalf("trader %d: %v", s.id, err)
+		}
+		clients[s.id] = cl
+		go col.drain(cl.Events())
+	}
+
+	// Trader 8 over WebSocket JSON.
+	const wsTrader, wsExpr = 8, "price <= 95 && volume in [0, 30000]"
+	preds[wsTrader] = filter.MustParse(wsExpr)
+	wsc, err := ws.Dial("ws://"+ds[2].HTTPAddr()+"/ws", 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { wsc.Close() })
+	wsReplies := make(chan wsReply, 16)
+	go func() {
+		for {
+			_, payload, err := wsc.ReadMessage()
+			if err != nil {
+				close(wsReplies)
+				return
+			}
+			var rep wsReply
+			if json.Unmarshal(payload, &rep) != nil {
+				continue
+			}
+			if rep.Op == "event" {
+				col.add(rep.ID, filter.Event(rep.Event))
+				continue
+			}
+			wsReplies <- rep
+		}
+	}()
+	req, _ := json.Marshal(wsRequest{Op: "subscribe", ID: wsTrader, Filter: wsExpr})
+	if err := wsc.WriteText(req); err != nil {
+		t.Fatal(err)
+	}
+	if rep := <-wsReplies; rep.Op != "ok" {
+		t.Fatalf("ws subscribe: %+v", rep)
+	}
+
+	live := func(exclude ...int64) map[int64]filter.Filter {
+		out := make(map[int64]filter.Filter, len(preds))
+		for id, f := range preds {
+			out[id] = f
+		}
+		for _, id := range exclude {
+			delete(out, id)
+		}
+		return out
+	}
+
+	// publishUntilDelivered drives one quote to zero false negatives:
+	// republish (the overlay may still be converging — MBR updates ride
+	// the periodic checks) until every matching live trader has it.
+	publishUntilDelivered := func(pub *Client, producer int64, quote filter.Event, traders map[int64]filter.Filter) {
+		t.Helper()
+		var expect []int64
+		for id, f := range traders {
+			if f.Match(quote) {
+				expect = append(expect, id)
+			}
+		}
+		deadline := time.Now().Add(60 * time.Second)
+		for {
+			if err := pub.Publish(producer, quote); err != nil {
+				t.Fatalf("publish %v: %v", quote, err)
+			}
+			settle := time.Now().Add(500 * time.Millisecond)
+			missing := expect
+			for len(missing) > 0 && time.Now().Before(settle) {
+				var still []int64
+				for _, id := range missing {
+					if !col.has(id, quote["price"]) {
+						still = append(still, id)
+					}
+				}
+				missing = still
+				if len(missing) > 0 {
+					time.Sleep(5 * time.Millisecond)
+				}
+			}
+			if len(missing) == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				for i, d := range ds {
+					r, h := d.lc.Root()
+					t.Logf("daemon %d: root=(%d,%d) actors=%v tp=%+v", i, r, h, d.lc.ProcIDs(), d.tp.Stats())
+					for _, a := range d.lc.ActorStates() {
+						t.Logf("daemon %d actor %d: top=%d parent=%d pending=%v children=%v", i, a.ID, a.Top, a.Parent, a.RejoinPending, a.Children)
+					}
+					for _, g := range d.Broker().GatewayStats() {
+						t.Logf("daemon %d gw %d: joined=%v subs=%d filter=%v", i, g.ProcID, g.Joined, g.Subscribers, g.Filter)
+					}
+				}
+				t.Fatalf("false negatives for quote %v: traders %v never received it", quote, missing)
+			}
+		}
+	}
+
+	// Phase 1: quotes from trader 1's daemon (daemon 1). Every quote
+	// has a unique price so deliveries are attributable.
+	quotes := []filter.Event{
+		{"price": 100.001, "volume": 500},
+		{"price": 92.002, "volume": 25000},
+		{"price": 250.003, "volume": 40000},
+		{"price": 97.004, "volume": 800},
+		{"price": 130.005, "volume": 30000},
+	}
+	for _, q := range quotes {
+		publishUntilDelivered(clients[1], 1, q, live())
+	}
+
+	// Churn: trader 3 dies abruptly (socket cut, no unsubscribe) and
+	// trader 5 leaves cleanly.
+	clients[3].Close()
+	if err := clients[5].Unsubscribe(5); err != nil {
+		t.Fatalf("trader 5 unsubscribe: %v", err)
+	}
+	// The daemon tears trader 3's subscriptions down asynchronously
+	// with the socket close; wait until its broker (daemon 0, which
+	// also hosts trader 6) agrees.
+	for deadline := time.Now().Add(10 * time.Second); ; {
+		if ds[0].Broker().Len() == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("trader 3's subscription survived its session (daemon 0 holds %d)", ds[0].Broker().Len())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Phase 2: quotes from trader 2 on daemon 2 — a different producer
+	// on a different daemon — with zero false negatives among the
+	// survivors.
+	after := []filter.Event{
+		{"price": 101.006, "volume": 6000},
+		{"price": 94.007, "volume": 900},
+		{"price": 220.008, "volume": 15000},
+		{"price": 88.009, "volume": 100},
+	}
+	for _, q := range after {
+		publishUntilDelivered(clients[2], 2, q, live(3, 5))
+	}
+
+	// The WebSocket trader unsubscribes cleanly and is acked.
+	req, _ = json.Marshal(wsRequest{Op: "unsubscribe", ID: wsTrader})
+	if err := wsc.WriteText(req); err != nil {
+		t.Fatal(err)
+	}
+	if rep := <-wsReplies; rep.Op != "ok" {
+		t.Fatalf("ws unsubscribe: %+v", rep)
+	}
+}
+
+func TestSingleDaemonRPCLifecycle(t *testing.T) {
+	ds := startCluster(t, 1)
+	cl := dialDaemon(t, ds[0])
+
+	if err := cl.Subscribe(1, "price in [10, 20] && volume in [0, 100]"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Subscribe(1, "price in [10, 20]"); err == nil {
+		t.Fatal("duplicate subscriber id must be refused")
+	}
+	if err := cl.Subscribe(2, "price ?? garbage"); err == nil {
+		t.Fatal("malformed filter must be refused")
+	}
+	if err := cl.Publish(99, filter.Event{"price": 15, "volume": 5}); err == nil {
+		t.Fatal("publish from an unregistered producer must be refused")
+	}
+
+	if err := cl.Publish(1, filter.Event{"price": 15, "volume": 5}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case e := <-cl.Events():
+		if e.Subscriber != 1 || e.Event["price"] != 15 {
+			t.Fatalf("got %+v", e)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("subscriber never received its own publish")
+	}
+
+	if err := cl.Unsubscribe(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Unsubscribe(1); err == nil {
+		t.Fatal("double unsubscribe must be refused")
+	}
+}
+
+func TestHTTPEndpoints(t *testing.T) {
+	ds := startCluster(t, 1)
+	base := "http://" + ds[0].HTTPAddr()
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %s", resp.Status)
+	}
+
+	resp, err = http.Get(base + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		Node     int `json:"node"`
+		Gateways []struct {
+			ProcID int `json:"ProcID"`
+		} `json:"gateways"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Gateways) != 2 {
+		t.Fatalf("statsz gateways = %d, want 2", len(stats.Gateways))
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{Node: 2, Peers: []string{"a"}, Space: []string{"x"}}); err == nil {
+		t.Error("node outside peer list must be refused")
+	}
+	if _, err := New(Config{Node: 0, Peers: []string{"127.0.0.1:0"}}); err == nil {
+		t.Error("empty space must be refused")
+	}
+	if _, err := New(Config{Node: 0, Peers: []string{"256.0.0.1:http"}, Space: []string{"x"}}); err == nil {
+		t.Error("unusable listen address must surface")
+	}
+}
+
+// TestOwnerMapping pins the process-ID partitioning arithmetic the
+// whole deployment hangs on.
+func TestOwnerMapping(t *testing.T) {
+	cases := []struct {
+		p    int
+		want int
+	}{
+		{1, 0}, {2, 0}, {Stride, 0}, {Stride + 1, 1}, {2 * Stride, 1}, {2*Stride + 2, 2},
+	}
+	for _, c := range cases {
+		if got := ownerOf(core.ProcID(c.p)); got != c.want {
+			t.Errorf("ownerOf(%d) = %d, want %d", c.p, got, c.want)
+		}
+	}
+	if gatewayBase(1) != core.ProcID(Stride+2) {
+		t.Errorf("gatewayBase(1) = %d", gatewayBase(1))
+	}
+	if ownerOf(gatewayBase(2)) != 2 {
+		t.Errorf("gateway base of daemon 2 not owned by daemon 2")
+	}
+}

@@ -1,0 +1,54 @@
+package drtreed
+
+import (
+	"testing"
+	"time"
+
+	"drtree/internal/filter"
+)
+
+// TestTwoDaemonDebug is a scaffolding test used while bringing the
+// cross-daemon path up; it stays as a minimal smoke of one remote
+// subscription receiving one remote publish.
+func TestTwoDaemonDebug(t *testing.T) {
+	ds := startCluster(t, 2)
+
+	// Subscriber on daemon 1 (remote from the anchor).
+	sub := dialDaemon(t, ds[1])
+	if err := sub.Subscribe(1, "price in [0, 100] && volume in [0, 100]"); err != nil {
+		t.Fatal(err)
+	}
+	// Publisher on daemon 0.
+	pub := dialDaemon(t, ds[0])
+	if err := pub.Subscribe(2, "price in [200, 300] && volume in [0, 100]"); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if err := pub.Publish(2, filter.Event{"price": 50, "volume": 50}); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case e := <-sub.Events():
+			t.Logf("delivered: %+v", e)
+			return
+		case <-time.After(300 * time.Millisecond):
+		}
+		if time.Now().After(deadline) {
+			t.Logf("daemon0: lc.Len=%d root=%v tp=%+v", ds[0].lc.Len(), fmtRoot(ds[0]), ds[0].tp.Stats())
+			t.Logf("daemon1: lc.Len=%d root=%v tp=%+v", ds[1].lc.Len(), fmtRoot(ds[1]), ds[1].tp.Stats())
+			for i, d := range ds {
+				for _, g := range d.broker.GatewayStats() {
+					t.Logf("daemon%d gw %d joined=%v subs=%d filter=%v", i, g.ProcID, g.Joined, g.Subscribers, g.Filter)
+				}
+			}
+			t.Fatal("cross-daemon publish never delivered")
+		}
+	}
+}
+
+func fmtRoot(d *Daemon) [2]int {
+	r, h := d.lc.Root()
+	return [2]int{int(r), h}
+}

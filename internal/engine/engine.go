@@ -125,6 +125,21 @@ type FilterUpdater interface {
 	UpdateFilter(id core.ProcID, f geom.Rect) error
 }
 
+// AsyncPublisher is the capability of engines that can start a
+// dissemination without waiting for it to quiesce. Publish and
+// PublishBatch return a receipt census, which forces the caller to
+// block until every copy of the event has settled; a network daemon
+// cannot afford that (and on a multi-daemon overlay no single engine
+// can even observe the full census), so it fire-and-forgets through
+// InjectEvent and observes local deliveries through the live runtime's
+// event hook instead. Satisfied by the goroutine-per-node live cluster.
+type AsyncPublisher interface {
+	Engine
+	// InjectEvent starts disseminating ev from producer and returns as
+	// soon as the event is in flight.
+	InjectEvent(producer core.ProcID, ev geom.Point) error
+}
+
 // Compile-time conformance: the sequential specification, the
 // deterministic round cluster, and the goroutine-per-node live cluster
 // all satisfy the unified interface (and all three can update filters
@@ -138,6 +153,7 @@ var (
 	_ FilterUpdater   = (*core.Tree)(nil)
 	_ FilterUpdater   = (*proto.Cluster)(nil)
 	_ FilterUpdater   = (*proto.LiveCluster)(nil)
+	_ AsyncPublisher  = (*proto.LiveCluster)(nil)
 )
 
 // FalseNegatives lists live subscribers whose filter matches ev but that

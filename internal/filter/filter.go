@@ -292,6 +292,20 @@ func (s *Space) Point(e Event) (geom.Point, error) {
 	return p, nil
 }
 
+// Event is the inverse of Point: it rebuilds the attribute map of a
+// point of s. Callers that observe events as raw overlay points (the
+// network daemon's delivery hook) use it to recover the pub/sub view.
+func (s *Space) Event(p geom.Point) (Event, error) {
+	if len(p) != len(s.names) {
+		return nil, fmt.Errorf("filter: point has %d dims, space %v has %d", len(p), s.names, len(s.names))
+	}
+	e := make(Event, len(s.names))
+	for i, name := range s.names {
+		e[name] = p[i]
+	}
+	return e, nil
+}
+
 // Contains reports subscription containment f ⊒ g within space s: every
 // event matching g also matches f. It is decided geometrically on the
 // compiled rectangles; closed-interval semantics are used, matching the

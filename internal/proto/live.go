@@ -39,6 +39,14 @@ type LiveCluster struct {
 	eventMsgs     int
 	msgsByEvent   map[int64]int
 	pendingEvents int
+
+	// Remote substrate plumbing (see liveremote.go); all nil/zero for a
+	// purely local cluster, which keeps the historical behaviour intact.
+	remote    Substrate
+	isLocal   func(core.ProcID) bool
+	contactFn func() core.ProcID
+	hook      EventHook
+	hookQ     []hookFire
 }
 
 type liveActor struct {
@@ -96,13 +104,30 @@ func (lc *LiveCluster) join(id core.ProcID, filter geom.Rect, contact core.ProcI
 		stop: make(chan struct{}),
 	}
 	lc.actors[id] = a
-	if len(lc.actors) > 1 {
-		if contact == core.NoProc {
-			contact = lc.oracleLocked()
+	a.node.deliverCB = func(eventID int64, ev geom.Point, matched bool) {
+		if lc.hook != nil {
+			lc.hookQ = append(lc.hookQ, hookFire{proc: id, event: eventID, ev: ev, matched: matched})
 		}
+	}
+	// A process roots itself only when it is genuinely first: the first
+	// actor of a purely local cluster, or the designated bootstrap
+	// contact of a networked one. Everything else routes a JOIN through
+	// the best known contact — the local oracle when a local stable root
+	// exists, else the configured remote contact.
+	if len(lc.actors) > 1 || lc.remoteJoinNeededLocked(id) {
+		// Mark the joiner pending before consulting the oracle: a freshly
+		// created actor is self-parented and would otherwise be chosen as
+		// its own contact on a networked cluster's first join.
 		a.node.rejoinPending = true
-		a.node.rejoin(contact, 0)
-		lc.dispatchLocked(a.node.drainOut())
+		if contact == core.NoProc {
+			contact = lc.contactLocked()
+		}
+		if contact != core.NoProc && contact != id {
+			a.node.rejoin(contact, 0)
+			lc.dispatchLocked(a.node.drainOut())
+		} else {
+			a.node.rejoinPending = false
+		}
 	}
 	lc.wg.Add(1)
 	go lc.run(a)
@@ -174,11 +199,21 @@ func (lc *LiveCluster) Crash(id core.ProcID) error {
 	return nil
 }
 
+// rootAuditTicks gates auditRoot on networked clusters: a node must
+// have been a stable self-proclaimed root for this many consecutive
+// periodic ticks (2ms each) before it re-verifies the claim through the
+// cluster's global contact function. Auditing only from quiescent trees
+// matters: an audit answered mid-churn can shed levels off a tree that
+// was about to repair itself, and concurrent merges from several
+// half-formed roots feed the very churn the audit is meant to end.
+const rootAuditTicks = 50
+
 // run is one actor goroutine: drain the mailbox, fire periodic checks.
 func (lc *LiveCluster) run(a *liveActor) {
 	defer lc.wg.Done()
 	ticker := time.NewTicker(2 * time.Millisecond)
 	defer ticker.Stop()
+	rootStreak := 0
 	for {
 		select {
 		case <-a.stop:
@@ -191,8 +226,26 @@ func (lc *LiveCluster) run(a *liveActor) {
 				a.node.process(m)
 			})
 		case <-ticker.C:
-			contact := lc.Oracle()
-			lc.withActor(a, func() { a.node.periodic(contact) })
+			contact := lc.Contact()
+			lc.withActor(a, func() {
+				a.node.periodic(contact)
+				if lc.contactFn == nil {
+					return
+				}
+				// Networked cluster: the local oracle cannot rule on root
+				// claims it cannot see, so a root that has stayed stable
+				// for a full streak re-verifies through the global
+				// bootstrap contact and disjoint trees on different
+				// daemons reconcile.
+				if !a.node.isRootInstance(a.node.top) {
+					rootStreak = 0
+					return
+				}
+				if rootStreak++; rootStreak >= rootAuditTicks {
+					rootStreak = 0
+					a.node.auditRoot(lc.contactFn())
+				}
+			})
 		}
 	}
 }
@@ -202,9 +255,11 @@ func (lc *LiveCluster) run(a *liveActor) {
 // race detector) happy while preserving the message-driven semantics.
 func (lc *LiveCluster) withActor(a *liveActor, fn func()) {
 	lc.mu.Lock()
-	defer lc.mu.Unlock()
 	fn()
 	lc.dispatchLocked(a.node.drainOut())
+	fires := lc.takeHooksLocked()
+	lc.mu.Unlock()
+	lc.fireHooks(fires)
 }
 
 // dispatchLocked delivers outgoing messages to mailboxes; sends to dead
@@ -223,6 +278,12 @@ func (lc *LiveCluster) dispatchLocked(msgs []simnet.Message) {
 		}
 		dst := lc.actors[core.ProcID(m.To)]
 		if dst == nil {
+			// A destination owned by another daemon rides the attached
+			// substrate; only a vanished local process bounces here.
+			if lc.remote != nil && lc.isLocal != nil && !lc.isLocal(core.ProcID(m.To)) {
+				lc.remote.Send(m)
+				continue
+			}
 			if src := lc.actors[core.ProcID(m.From)]; src != nil {
 				select {
 				case src.box <- simnet.Message{
@@ -321,7 +382,9 @@ func (lc *LiveCluster) PublishBatch(batch []core.Publication) ([]core.Delivery, 
 		a.node.onEvent(mEvent{ID: ids[i], Ev: batch[i].Event, Height: a.node.top, Up: true, From: core.NoProc})
 		lc.dispatchLocked(a.node.drainOut())
 	}
+	fires := lc.takeHooksLocked()
 	lc.mu.Unlock()
+	lc.fireHooks(fires)
 
 	poll := func() (int, int, int) {
 		lc.mu.Lock()

@@ -1,0 +1,236 @@
+package proto
+
+import (
+	"fmt"
+	"slices"
+
+	"drtree/internal/core"
+	"drtree/internal/geom"
+	"drtree/internal/simnet"
+)
+
+// This file is the LiveCluster's networking surface: everything a real
+// transport (internal/transport) needs to run the unmodified protocol
+// actors across daemons. A purely local LiveCluster never touches any
+// of it.
+//
+// The flow is symmetric: outbound messages whose destination is not
+// local leave through the attached Substrate instead of bouncing
+// (dispatchLocked), and inbound frames from peers enter through
+// Deliver, which enqueues to the owning actor's mailbox exactly like a
+// local dispatch — the actors cannot tell the difference. An inbound
+// message for a process this daemon no longer hosts is answered with a
+// bounce over the substrate, which is the same failure-detector notice
+// simnet synthesizes for a dead mailbox.
+
+// Substrate is the outbound half of a message substrate: fire-and-forget
+// delivery of simnet messages. *simnet.Network satisfies it natively;
+// internal/transport's TCP implementation satisfies it over sockets.
+// Send must not block and must not call back into the cluster
+// synchronously (it runs under the cluster lock).
+type Substrate interface {
+	Send(msgs ...simnet.Message)
+}
+
+var _ Substrate = (*simnet.Network)(nil)
+
+// EventHook observes the first receipt of an event by a local process:
+// proc delivered event eventID at point ev, and matched reports whether
+// the process's own filter contains it. Hooks run outside the cluster
+// lock, after the actor turn that delivered the event, so they may call
+// back into the cluster or the broker; they must not block for long, as
+// the delivering actor's goroutine carries them.
+type EventHook func(proc core.ProcID, eventID int64, ev geom.Point, matched bool)
+
+// hookFire is one pending EventHook invocation, collected under the
+// cluster lock during an actor turn and fired after it unlocks.
+type hookFire struct {
+	proc    core.ProcID
+	event   int64
+	ev      geom.Point
+	matched bool
+}
+
+// AttachSubstrate connects the cluster to a remote substrate. local
+// reports whether a process ID is owned by this cluster; destinations
+// for which it returns false route through s instead of bouncing.
+// Attach before the first Join.
+func (lc *LiveCluster) AttachSubstrate(s Substrate, local func(core.ProcID) bool) error {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	if len(lc.actors) > 0 {
+		return fmt.Errorf("proto: attach substrate before the first join")
+	}
+	if s == nil || local == nil {
+		return fmt.Errorf("proto: nil substrate or locality predicate")
+	}
+	lc.remote = s
+	lc.isLocal = local
+	return nil
+}
+
+// SetContact installs the bootstrap contact function: the overlay
+// process (usually on another daemon) through which joins and rejoins
+// route when this cluster has no local stable root. The process whose
+// ID the function returns is the cluster-wide bootstrap: on its own
+// daemon it roots itself; everywhere else the first join already
+// travels the wire. Set before the first Join.
+func (lc *LiveCluster) SetContact(fn func() core.ProcID) {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	lc.contactFn = fn
+}
+
+// SetEventHook installs the delivery observer (see EventHook). A
+// daemon's broker bridges it to the gateways' subscriber queues. Set
+// before the first Join.
+func (lc *LiveCluster) SetEventHook(fn EventHook) {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	lc.hook = fn
+}
+
+// SetEventSpace moves the cluster's event-ID counter to base so that
+// concurrently publishing daemons draw from disjoint ID ranges (receipt
+// sets are keyed by event ID; a collision would suppress a delivery).
+// Forward-only: a base at or below the current counter is a no-op.
+func (lc *LiveCluster) SetEventSpace(base int64) {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	if lc.nextE < base {
+		lc.nextE = base
+	}
+}
+
+// Contact returns the best join/rejoin contact: the local oracle when a
+// local stable root exists, else the configured bootstrap contact.
+func (lc *LiveCluster) Contact() core.ProcID {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	return lc.contactLocked()
+}
+
+func (lc *LiveCluster) contactLocked() core.ProcID {
+	if c := lc.oracleLocked(); c != core.NoProc {
+		return c
+	}
+	if lc.contactFn != nil {
+		return lc.contactFn()
+	}
+	return core.NoProc
+}
+
+// remoteJoinNeededLocked reports whether a joining process must route
+// its JOIN remotely even though it is this cluster's first actor: true
+// on a networked cluster whenever the joiner is not itself the
+// designated bootstrap contact.
+func (lc *LiveCluster) remoteJoinNeededLocked(id core.ProcID) bool {
+	return lc.remote != nil && lc.contactFn != nil && lc.contactFn() != id
+}
+
+// Deliver injects one inbound message from the substrate, as the
+// transport's receive loop calls it: enqueue to the owning actor's
+// mailbox, or answer with a bounce when no such actor exists here. A
+// bounce is never bounced.
+func (lc *LiveCluster) Deliver(m simnet.Message) {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	if lc.closed {
+		return
+	}
+	dst := lc.actors[core.ProcID(m.To)]
+	if dst == nil {
+		_, isBounce := m.Payload.(simnet.Bounce)
+		if !isBounce && lc.remote != nil && lc.isLocal != nil && !lc.isLocal(core.ProcID(m.From)) {
+			lc.remote.Send(simnet.Message{
+				From: m.To, To: m.From,
+				Payload: simnet.Bounce{To: m.To, Original: m.Payload},
+			})
+		}
+		return
+	}
+	select {
+	case dst.box <- m:
+		if _, ok := m.Payload.(mEvent); ok {
+			lc.pendingEvents++
+		}
+	default:
+		// Saturated mailbox: transient loss, same policy as a local
+		// dispatch — the periodic checks repair protocol traffic.
+	}
+}
+
+// InjectEvent starts an asynchronous dissemination from producer and
+// returns without waiting for quiescence (the engine.AsyncPublisher
+// capability). Deliveries surface through the event hook; there is no
+// receipt census — on a multi-daemon overlay no single cluster can see
+// one.
+func (lc *LiveCluster) InjectEvent(producer core.ProcID, ev geom.Point) error {
+	lc.mu.Lock()
+	if lc.closed {
+		lc.mu.Unlock()
+		return fmt.Errorf("proto: live cluster closed")
+	}
+	a := lc.actors[producer]
+	if a == nil {
+		lc.mu.Unlock()
+		return fmt.Errorf("proto: producer %d not in the cluster", producer)
+	}
+	lc.nextE++
+	id := lc.nextE
+	a.node.onEvent(mEvent{ID: id, Ev: ev, Height: a.node.top, Up: true, From: core.NoProc})
+	lc.dispatchLocked(a.node.drainOut())
+	fires := lc.takeHooksLocked()
+	lc.mu.Unlock()
+	lc.fireHooks(fires)
+	return nil
+}
+
+// ActorState is a diagnostic snapshot of one live actor's protocol
+// state (ActorStates): the topmost instance's height, parent, and
+// children, plus whether the actor is awaiting a re-join. Daemon
+// operators read it through /statsz; integration tests print it when a
+// cluster wedges.
+type ActorState struct {
+	ID            core.ProcID   `json:"id"`
+	Top           int           `json:"top"`
+	Parent        core.ProcID   `json:"parent"`
+	RejoinPending bool          `json:"rejoin_pending"`
+	Children      []core.ProcID `json:"children,omitempty"`
+}
+
+// ActorStates snapshots every local actor, ordered by process ID.
+func (lc *LiveCluster) ActorStates() []ActorState {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	out := make([]ActorState, 0, len(lc.actors))
+	for id, a := range lc.actors {
+		n := a.node
+		st := ActorState{ID: id, Top: n.top, RejoinPending: n.rejoinPending}
+		if in := n.at(n.top); in != nil {
+			st.Parent = in.parent
+			st.Children = append([]core.ProcID(nil), in.childID...)
+		}
+		out = append(out, st)
+	}
+	slices.SortFunc(out, func(a, b ActorState) int { return int(a.ID - b.ID) })
+	return out
+}
+
+// takeHooksLocked detaches the pending hook invocations collected
+// during the current locked turn.
+func (lc *LiveCluster) takeHooksLocked() []hookFire {
+	fires := lc.hookQ
+	lc.hookQ = nil
+	return fires
+}
+
+// fireHooks runs detached hook invocations outside the cluster lock.
+func (lc *LiveCluster) fireHooks(fires []hookFire) {
+	if lc.hook == nil {
+		return
+	}
+	for _, f := range fires {
+		lc.hook(f.proc, f.event, f.ev, f.matched)
+	}
+}

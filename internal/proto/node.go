@@ -145,6 +145,12 @@ type Node struct {
 	Delivered int
 	FalsePos  int
 
+	// deliverCB, when set, observes each first receipt of an event (the
+	// LiveCluster event hook plumbing; nil everywhere else). It runs
+	// inside the owning runtime's actor turn — implementations must not
+	// re-enter the cluster.
+	deliverCB func(id int64, ev geom.Point, matched bool)
+
 	out []simnet.Message
 }
 
@@ -333,6 +339,24 @@ func (n *Node) onFilterUpdate(p mFilterUpdate) {
 // onJoin routes a join request (Figure 8): climb to the root, then
 // descend by least enlargement, then ADD_CHILD at AtHeight+1.
 func (n *Node) onJoin(p mJoin) {
+	if p.Joiner == n.id {
+		// Our own join routed back to us: the climb terminated at this
+		// node, so the contact's tree already names us root. Acting on
+		// it would make the root its own child; for a root-audit probe
+		// (auditRoot) the drop IS the confirmation. For a pending
+		// rejoin the loop-back is the resolution itself: no one will
+		// welcome a node into a tree it already tops, so waiting for
+		// mWelcome would leave it pending forever — spamming rejoins,
+		// invisible to the oracle, and dropping foreign joins (a
+		// pending node is not a root to descend from). Accept the root
+		// role instead.
+		if n.rejoinPending {
+			if in := n.at(n.top); in != nil && in.parent == n.id {
+				n.rejoinPending = false
+			}
+		}
+		return
+	}
 	h := p.Height
 	if n.at(h) == nil {
 		h = n.top

@@ -151,6 +151,29 @@ func (n *Node) rejoin(contact core.ProcID, h int) {
 	n.send(contact, mJoin{Joiner: n.id, MBR: in.mbr, AtHeight: h, Height: -1})
 }
 
+// auditRoot probes this node's root claim through a globally-designated
+// contact (a networked cluster's bootstrap anchor). The local connection
+// oracle cannot see actors hosted by other daemons, so two daemons can
+// each stabilise a self-proclaimed root whose periodic CHECK_PARENT
+// never fires (each root IS its own local oracle). The probe is an
+// ordinary join of the whole subtree: it either routes back to this
+// node — which really is the root of the contact's tree, and onJoin's
+// self-join guard drops it — or reaches the root of a disjoint tree,
+// which adopts this subtree through the standard merge machinery.
+// Unlike rejoin, the node keeps operating as root while the probe is in
+// flight (rejoinPending stays false), so a legitimate root's
+// steady-state audits cause no churn.
+func (n *Node) auditRoot(contact core.ProcID) {
+	if contact == core.NoProc || contact == n.id || !n.isRootInstance(n.top) {
+		return
+	}
+	in := n.at(n.top)
+	if in == nil {
+		return
+	}
+	n.send(contact, mJoin{Joiner: n.id, MBR: in.mbr, AtHeight: n.top, Height: -1})
+}
+
 // maybeCollapseRoot removes a degenerate root (single child).
 func (n *Node) maybeCollapseRoot(h int) {
 	in := n.at(h)
@@ -207,14 +230,38 @@ func (n *Node) onEvent(p mEvent) {
 	}
 }
 
-// deliver records the physical receipt of an event (idempotent).
+// seenCap / seenWindow bound the per-node receipt set for long-running
+// processes: once the set reaches seenCap entries, receipts more than
+// seenWindow event IDs behind the newest are pruned. Event IDs are
+// monotone per publisher, so pruning only forgets long-settled events;
+// a duplicate arriving later than that is re-delivered (at-most-once
+// becomes best-effort beyond the window), which a daemon tolerates and
+// the bounded-batch test workloads never reach.
+const (
+	seenCap    = 8192
+	seenWindow = 4096
+)
+
+// deliver records the physical receipt of an event (idempotent within
+// the retention window).
 func (n *Node) deliver(id int64, ev geom.Point) {
 	if n.seen[id] {
 		return
 	}
+	if len(n.seen) >= seenCap {
+		for old := range n.seen {
+			if old <= id-seenWindow {
+				delete(n.seen, old)
+			}
+		}
+	}
 	n.seen[id] = true
 	n.Delivered++
-	if !n.filter.ContainsPoint(ev) {
+	matched := n.filter.ContainsPoint(ev)
+	if !matched {
 		n.FalsePos++
+	}
+	if n.deliverCB != nil {
+		n.deliverCB(id, ev, matched)
 	}
 }

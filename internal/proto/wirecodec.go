@@ -1,0 +1,219 @@
+package proto
+
+import (
+	"drtree/internal/core"
+	"drtree/internal/wire"
+)
+
+// Wire codecs for the overlay maintenance protocol. The payload types
+// are unexported, so their codecs must live here; the kind numbers live
+// in internal/wire, which owns the frame format. Registration happens
+// at init, gob.Register-style, which is what lets internal/transport
+// move any proto message over TCP without this package knowing about
+// sockets — the transport sees only simnet.Message values whose payload
+// types are registered.
+//
+// Every message type handled by Node.process has a codec below;
+// TestWireCoversEveryMessage pins the count so adding a message without
+// a codec fails loudly.
+
+// encMember / decMember encode the split-group member tuple reused by
+// mPromote.
+func encMember(w *wire.Writer, m member) {
+	w.Varint(int64(m.ID))
+	w.Rect(m.MBR)
+}
+
+func decMember(r *wire.Reader) member {
+	return member{ID: core.ProcID(r.Varint()), MBR: r.Rect()}
+}
+
+func init() {
+	wire.Register(wire.KindJoin, mJoin{},
+		func(w *wire.Writer, p any) error {
+			m := p.(mJoin)
+			w.Varint(int64(m.Joiner))
+			w.Rect(m.MBR)
+			w.Varint(int64(m.AtHeight))
+			w.Varint(int64(m.Height))
+			w.Bool(m.Descend)
+			return nil
+		},
+		func(r *wire.Reader) any {
+			return mJoin{
+				Joiner:   core.ProcID(r.Varint()),
+				MBR:      r.Rect(),
+				AtHeight: int(r.Varint()),
+				Height:   int(r.Varint()),
+				Descend:  r.Bool(),
+			}
+		})
+	wire.Register(wire.KindAdd, mAdd{},
+		func(w *wire.Writer, p any) error {
+			m := p.(mAdd)
+			w.Varint(int64(m.Child))
+			w.Rect(m.MBR)
+			w.Varint(int64(m.Height))
+			return nil
+		},
+		func(r *wire.Reader) any {
+			return mAdd{
+				Child:  core.ProcID(r.Varint()),
+				MBR:    r.Rect(),
+				Height: int(r.Varint()),
+			}
+		})
+	wire.Register(wire.KindWelcome, mWelcome{},
+		func(w *wire.Writer, p any) error {
+			m := p.(mWelcome)
+			w.Varint(int64(m.Height))
+			w.Varint(int64(m.Parent))
+			return nil
+		},
+		func(r *wire.Reader) any {
+			return mWelcome{Height: int(r.Varint()), Parent: core.ProcID(r.Varint())}
+		})
+	wire.Register(wire.KindNewParent, mNewParent{},
+		func(w *wire.Writer, p any) error {
+			m := p.(mNewParent)
+			w.Varint(int64(m.Height))
+			w.Varint(int64(m.Parent))
+			return nil
+		},
+		func(r *wire.Reader) any {
+			return mNewParent{Height: int(r.Varint()), Parent: core.ProcID(r.Varint())}
+		})
+	wire.Register(wire.KindPromote, mPromote{},
+		func(w *wire.Writer, p any) error {
+			m := p.(mPromote)
+			w.Varint(int64(m.Height))
+			w.Uvarint(uint64(len(m.Members)))
+			for _, mb := range m.Members {
+				encMember(w, mb)
+			}
+			w.Varint(int64(m.Parent))
+			w.Bool(m.Root)
+			w.Bool(m.Sibling != nil)
+			if m.Sibling != nil {
+				encMember(w, *m.Sibling)
+			}
+			return nil
+		},
+		func(r *wire.Reader) any {
+			m := mPromote{Height: int(r.Varint())}
+			n := r.Uvarint()
+			// A member costs at least two bytes (id varint + empty MBR).
+			if n > uint64(r.Remaining())/2 {
+				r.Fail(wire.ErrTruncated)
+				return m
+			}
+			if n > 0 {
+				m.Members = make([]member, n)
+				for i := range m.Members {
+					m.Members[i] = decMember(r)
+				}
+			}
+			m.Parent = core.ProcID(r.Varint())
+			m.Root = r.Bool()
+			if r.Bool() {
+				s := decMember(r)
+				if r.Err() == nil {
+					m.Sibling = &s
+				}
+			}
+			return m
+		})
+	wire.Register(wire.KindLeave, mLeave{},
+		func(w *wire.Writer, p any) error {
+			m := p.(mLeave)
+			w.Varint(int64(m.Height))
+			w.Varint(int64(m.Child))
+			return nil
+		},
+		func(r *wire.Reader) any {
+			return mLeave{Height: int(r.Varint()), Child: core.ProcID(r.Varint())}
+		})
+	wire.Register(wire.KindRemoveChild, mRemoveChild{},
+		func(w *wire.Writer, p any) error {
+			m := p.(mRemoveChild)
+			w.Varint(int64(m.Height))
+			w.Varint(int64(m.Child))
+			return nil
+		},
+		func(r *wire.Reader) any {
+			return mRemoveChild{Height: int(r.Varint()), Child: core.ProcID(r.Varint())}
+		})
+	wire.Register(wire.KindDissolved, mDissolved{},
+		func(w *wire.Writer, p any) error { w.Varint(int64(p.(mDissolved).Height)); return nil },
+		func(r *wire.Reader) any { return mDissolved{Height: int(r.Varint())} })
+	wire.Register(wire.KindBecomeRoot, mBecomeRoot{},
+		func(w *wire.Writer, p any) error { w.Varint(int64(p.(mBecomeRoot).Height)); return nil },
+		func(r *wire.Reader) any { return mBecomeRoot{Height: int(r.Varint())} })
+	wire.Register(wire.KindShrink, mShrink{},
+		func(w *wire.Writer, p any) error { w.Varint(int64(p.(mShrink).Height)); return nil },
+		func(r *wire.Reader) any { return mShrink{Height: int(r.Varint())} })
+	wire.Register(wire.KindParentQuery, mParentQuery{},
+		func(w *wire.Writer, p any) error {
+			m := p.(mParentQuery)
+			w.Varint(int64(m.Height))
+			w.Varint(int64(m.Child))
+			return nil
+		},
+		func(r *wire.Reader) any {
+			return mParentQuery{Height: int(r.Varint()), Child: core.ProcID(r.Varint())}
+		})
+	wire.Register(wire.KindParentAck, mParentAck{},
+		func(w *wire.Writer, p any) error {
+			m := p.(mParentAck)
+			w.Varint(int64(m.Height))
+			w.Bool(m.IsChild)
+			return nil
+		},
+		func(r *wire.Reader) any {
+			return mParentAck{Height: int(r.Varint()), IsChild: r.Bool()}
+		})
+	wire.Register(wire.KindChildQuery, mChildQuery{},
+		func(w *wire.Writer, p any) error { w.Varint(int64(p.(mChildQuery).Height)); return nil },
+		func(r *wire.Reader) any { return mChildQuery{Height: int(r.Varint())} })
+	wire.Register(wire.KindChildReport, mChildReport{},
+		func(w *wire.Writer, p any) error {
+			m := p.(mChildReport)
+			w.Varint(int64(m.Height))
+			w.Rect(m.MBR)
+			w.Bool(m.Underloaded)
+			w.Varint(int64(m.ParentIs))
+			w.Bool(m.Exists)
+			return nil
+		},
+		func(r *wire.Reader) any {
+			return mChildReport{
+				Height:      int(r.Varint()),
+				MBR:         r.Rect(),
+				Underloaded: r.Bool(),
+				ParentIs:    core.ProcID(r.Varint()),
+				Exists:      r.Bool(),
+			}
+		})
+	wire.Register(wire.KindFilterUpdate, mFilterUpdate{},
+		func(w *wire.Writer, p any) error { w.Rect(p.(mFilterUpdate).Filter); return nil },
+		func(r *wire.Reader) any { return mFilterUpdate{Filter: r.Rect()} })
+	wire.Register(wire.KindEvent, mEvent{},
+		func(w *wire.Writer, p any) error {
+			m := p.(mEvent)
+			w.Varint(m.ID)
+			w.Point(m.Ev)
+			w.Varint(int64(m.Height))
+			w.Bool(m.Up)
+			w.Varint(int64(m.From))
+			return nil
+		},
+		func(r *wire.Reader) any {
+			return mEvent{
+				ID:     r.Varint(),
+				Ev:     r.Point(),
+				Height: int(r.Varint()),
+				Up:     r.Bool(),
+				From:   core.ProcID(r.Varint()),
+			}
+		})
+}

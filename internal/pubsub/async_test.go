@@ -1,0 +1,164 @@
+package pubsub
+
+// Tests for the daemon-facing surface: gateway base renumbering, the
+// push-side NotifyGateway entry point, and fire-and-forget publishing
+// over an engine with the AsyncPublisher capability.
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"drtree/internal/core"
+	"drtree/internal/filter"
+	"drtree/internal/geom"
+	"drtree/internal/proto"
+)
+
+func TestWithGatewayBaseValidation(t *testing.T) {
+	tree, err := core.New(core.Params{MinFanout: 2, MaxFanout: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(filter.MustSpace("price"), tree, WithGatewayBase(0)); err == nil {
+		t.Error("gateway base 0 must be rejected")
+	}
+	if _, err := New(filter.MustSpace("price"), tree, WithGatewayBase(-7)); err == nil {
+		t.Error("negative gateway base must be rejected")
+	}
+}
+
+func TestGatewayBaseNumbering(t *testing.T) {
+	tree, err := core.New(core.Params{MinFanout: 2, MaxFanout: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(filter.MustSpace("price", "qty"), tree, WithGateways(4), WithGatewayBase(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, st := range b.GatewayStats() {
+		if want := core.ProcID(50 + i); st.ProcID != want {
+			t.Fatalf("gateway %d has procID %d, want %d", i, st.ProcID, want)
+		}
+	}
+	// GatewayOf agrees with the subscriber->gateway hash.
+	for id := core.ProcID(1); id <= 8; id++ {
+		if want := core.ProcID(50 + int(id)%4); b.GatewayOf(id) != want {
+			t.Fatalf("GatewayOf(%d) = %d, want %d", id, b.GatewayOf(id), want)
+		}
+	}
+}
+
+func TestNotifyGatewayDelivers(t *testing.T) {
+	b := newBroker(t)
+	ch, err := b.SubscribeChan(1, filter.MustParse("price in [10, 20] && qty in [1, 5]"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A record-only subscriber on the same gateway counts as matched but
+	// has no queue.
+	gws := b.Gateways()
+	other := core.ProcID(1 + gws) // same gateway as subscriber 1
+	if err := b.SubscribeExpr(other, "price in [0, 100]"); err != nil {
+		t.Fatal(err)
+	}
+
+	ev := filter.Event{"price": 15, "qty": 3}
+	if n := b.NotifyGateway(b.GatewayOf(1), ev); n != 2 {
+		t.Fatalf("NotifyGateway = %d, want 2 matched", n)
+	}
+	select {
+	case e := <-ch:
+		if e.Event["price"] != 15 {
+			t.Fatalf("delivered %v", e.Event)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("queue-backed subscriber never received the notified event")
+	}
+
+	// Unknown gateway process and malformed events deliver nothing.
+	if n := b.NotifyGateway(0, ev); n != 0 {
+		t.Fatalf("NotifyGateway(0) = %d, want 0", n)
+	}
+	if n := b.NotifyGateway(core.ProcID(9999), ev); n != 0 {
+		t.Fatalf("NotifyGateway(9999) = %d, want 0", n)
+	}
+	if n := b.NotifyGateway(b.GatewayOf(1), filter.Event{"price": 15}); n != 0 {
+		t.Fatalf("NotifyGateway with a partial event = %d, want 0", n)
+	}
+	// Non-matching event: classified, nobody interested.
+	if n := b.NotifyGateway(b.GatewayOf(1), filter.Event{"price": 999, "qty": 999}); n != 0 {
+		t.Fatalf("NotifyGateway with a non-matching event = %d, want 0", n)
+	}
+}
+
+func TestPublishAsyncRequiresCapability(t *testing.T) {
+	b := newBroker(t) // sequential engine: no AsyncPublisher
+	if err := b.SubscribeExpr(1, "price in [0, 10]"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.PublishAsync(1, filter.Event{"price": 5, "qty": 1}); err == nil {
+		t.Fatal("PublishAsync over the sequential engine must be refused")
+	}
+}
+
+// TestPublishAsyncEndToEnd wires the live runtime's event hook to
+// NotifyGateway — exactly the daemon's bridge — and checks an async
+// publish reaches a queue-backed subscriber with no synchronous census.
+func TestPublishAsyncEndToEnd(t *testing.T) {
+	lc, err := proto.NewLiveCluster(proto.Config{MinFanout: 2, MaxFanout: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	space := filter.MustSpace("price", "qty")
+	b, err := New(space, lc, WithGateways(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { b.Close() })
+	lc.SetEventHook(func(proc core.ProcID, _ int64, ev geom.Point, matched bool) {
+		if !matched {
+			return
+		}
+		e, err := space.Event(ev)
+		if err != nil {
+			return
+		}
+		b.NotifyGateway(proc, e)
+	})
+
+	if err := b.PublishAsync(1, filter.Event{"price": 1, "qty": 1}); !errors.Is(err, ErrProducerNotRegistered) {
+		t.Fatalf("unregistered producer: err = %v", err)
+	}
+
+	ch, err := b.SubscribeChan(1, filter.MustParse("price in [10, 20] && qty in [1, 5]"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SubscribeExpr(2, "price in [500, 600]"); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := b.PublishAsync(1, filter.Event{"price": 15, "qty": 2}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case e := <-ch:
+		if e.Event["price"] != 15 || e.Event["qty"] != 2 {
+			t.Fatalf("delivered %v", e.Event)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("async publish never reached the subscriber")
+	}
+
+	// A non-matching event must not arrive.
+	if err := b.PublishAsync(1, filter.Event{"price": 400, "qty": 400}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case e := <-ch:
+		t.Fatalf("unexpected delivery %v", e.Event)
+	case <-time.After(300 * time.Millisecond):
+	}
+}

@@ -90,7 +90,7 @@ type matchIndex interface {
 // filter rides for free — §2.2 at runtime) and shrinks opportunistically
 // when the unique rectangle set loses a maximal element.
 type gateway struct {
-	procID core.ProcID // overlay process ID (pool index + 1)
+	procID core.ProcID // overlay process ID (gateway base + pool index)
 
 	mu      sync.RWMutex
 	subs    map[core.ProcID]subscription
@@ -116,6 +116,7 @@ type Broker struct {
 	eng     engine.Engine
 	updater engine.FilterUpdater // nil when the engine lacks the capability
 	gws     []*gateway
+	gwBase  core.ProcID // procID of gws[0]
 	// needRejoin flags that some gateway was marked unjoined while still
 	// holding live subscriptions (a failed fallback filter move): the
 	// next publish or Repair re-establishes its membership lazily.
@@ -127,6 +128,7 @@ type Option func(*brokerConfig) error
 
 type brokerConfig struct {
 	gateways int
+	gwBase   core.ProcID
 }
 
 // WithGateways sets the gateway pool size: the number of overlay
@@ -143,6 +145,21 @@ func WithGateways(n int) Option {
 	}
 }
 
+// WithGatewayBase sets the overlay process ID of the first gateway;
+// gateway i of the pool becomes process base+i (default base 1, the
+// historical numbering). Daemons hosting slices of one shared overlay
+// give each broker a disjoint base so gateway IDs never collide across
+// machines.
+func WithGatewayBase(base core.ProcID) Option {
+	return func(c *brokerConfig) error {
+		if base <= core.NoProc {
+			return fmt.Errorf("pubsub: gateway base must be positive, got %d", base)
+		}
+		c.gwBase = base
+		return nil
+	}
+}
+
 // New creates a broker over the given attribute space and overlay
 // engine. The broker owns the engine from then on: overlay membership
 // must be managed through the broker only.
@@ -153,18 +170,18 @@ func New(space *filter.Space, eng engine.Engine, opts ...Option) (*Broker, error
 	if eng == nil {
 		return nil, fmt.Errorf("pubsub: nil engine")
 	}
-	cfg := brokerConfig{gateways: DefaultGateways}
+	cfg := brokerConfig{gateways: DefaultGateways, gwBase: 1}
 	for _, opt := range opts {
 		if err := opt(&cfg); err != nil {
 			return nil, err
 		}
 	}
-	b := &Broker{space: space, eng: eng}
+	b := &Broker{space: space, eng: eng, gwBase: cfg.gwBase}
 	b.updater, _ = eng.(engine.FilterUpdater)
 	b.gws = make([]*gateway, cfg.gateways)
 	for i := range b.gws {
 		b.gws[i] = &gateway{
-			procID:  core.ProcID(i + 1),
+			procID:  cfg.gwBase + core.ProcID(i),
 			subs:    make(map[core.ProcID]subscription),
 			entries: make(map[string]*matchEntry),
 			// Wide nodes + the R*-style split keep sibling overlap (and so
@@ -655,6 +672,83 @@ func (b *Broker) PublishBatch(producer core.ProcID, evs []filter.Event) ([]Notif
 	// consumer under the shedding policies costs the publisher nothing.
 	b.dispatch(pend)
 	return notes, nil
+}
+
+// PublishAsync starts disseminating an event from the given producer's
+// gateway and returns as soon as the event is in flight, without the
+// receipt census Publish blocks for. It requires an engine with the
+// engine.AsyncPublisher capability (the live cluster). Deliveries reach
+// queue-backed subscribers through NotifyGateway, which the hosting
+// daemon bridges to the runtime's event hook — PublishAsync itself
+// performs no matching, so there is no double delivery.
+func (b *Broker) PublishAsync(producer core.ProcID, ev filter.Event) error {
+	ap, ok := b.eng.(engine.AsyncPublisher)
+	if !ok {
+		return fmt.Errorf("pubsub: engine %T cannot publish asynchronously", b.eng)
+	}
+	b.rejoinStale()
+	if !b.registered(producer) {
+		return fmt.Errorf("%w: %d", ErrProducerNotRegistered, producer)
+	}
+	p, err := b.space.Point(ev)
+	if err != nil {
+		return err
+	}
+	gwID := b.gateway(producer).procID
+	b.engMu.Lock()
+	err = ap.InjectEvent(gwID, p)
+	b.engMu.Unlock()
+	if err != nil && !b.registered(producer) {
+		return fmt.Errorf("%w: %d (unsubscribed concurrently with publish: %v)", ErrProducerNotRegistered, producer, err)
+	}
+	return err
+}
+
+// NotifyGateway delivers an event that arrived at gateway process
+// gwProc from outside the synchronous publish path — the hosting
+// daemon's overlay runtime observed the gateway receiving it (event
+// hook) and hands it over here. The gateway's match index classifies
+// the event and every local queue-backed subscriber whose predicate
+// matches gets it enqueued; record-only subscribers are counted as
+// matched but have no queue to fill. Returns the number of matching
+// subscribers, or 0 when gwProc is not one of this broker's gateways.
+// Safe to call concurrently with every other broker operation; like the
+// publish path it enqueues only after the gateway lock is released.
+func (b *Broker) NotifyGateway(gwProc core.ProcID, ev filter.Event) int {
+	idx := int(gwProc - b.gwBase)
+	if idx < 0 || idx >= len(b.gws) {
+		return 0
+	}
+	p, err := b.space.Point(ev)
+	if err != nil {
+		return 0
+	}
+	gw := b.gws[idx]
+	matched := 0
+	var pend []pending
+	gw.mu.RLock()
+	matches, _ := gw.index.VisitCount(p)
+	for _, m := range matches {
+		e := m.(*matchEntry)
+		for _, se := range e.subs {
+			if !se.f.Match(ev) {
+				continue
+			}
+			matched++
+			if se.cons != nil {
+				pend = append(pend, pending{cons: se.cons, ev: ev})
+			}
+		}
+	}
+	gw.mu.RUnlock()
+	b.dispatch(pend)
+	return matched
+}
+
+// GatewayOf returns the overlay process ID of the gateway owning
+// subscriber id (whether or not id is registered).
+func (b *Broker) GatewayOf(id core.ProcID) core.ProcID {
+	return b.gateway(id).procID
 }
 
 // classifyBatch fills the per-subscriber sets of each notification from

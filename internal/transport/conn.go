@@ -1,0 +1,74 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"drtree/internal/simnet"
+	"drtree/internal/wire"
+)
+
+// Conn is one framed connection: reads are single-consumer, writes are
+// serialized under an internal mutex with a per-frame deadline. The
+// transport hands a Conn to OnClient for adopted client sessions, and
+// DialClient returns one for the client side.
+type Conn struct {
+	c  net.Conn
+	sr *wire.StreamReader
+
+	wmu          sync.Mutex
+	writeTimeout time.Duration
+}
+
+func newConn(c net.Conn, sr *wire.StreamReader, writeTimeout time.Duration) *Conn {
+	if sr == nil {
+		sr = wire.NewStreamReader(c)
+	}
+	return &Conn{c: c, sr: sr, writeTimeout: writeTimeout}
+}
+
+// ReadMessage blocks for the next frame. Not safe for concurrent use;
+// one goroutine owns the read side.
+func (c *Conn) ReadMessage() (simnet.Message, error) { return c.sr.ReadMessage() }
+
+// WriteMessage frames and writes one message under the write deadline.
+// Safe for concurrent use.
+func (c *Conn) WriteMessage(m simnet.Message) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if c.writeTimeout > 0 {
+		c.c.SetWriteDeadline(time.Now().Add(c.writeTimeout))
+	}
+	return wire.WriteMessage(c.c, m)
+}
+
+// SetReadDeadline bounds the next read.
+func (c *Conn) SetReadDeadline(t time.Time) error { return c.c.SetReadDeadline(t) }
+
+// RemoteAddr names the peer.
+func (c *Conn) RemoteAddr() net.Addr { return c.c.RemoteAddr() }
+
+// Close closes the underlying connection (unblocking any reader).
+func (c *Conn) Close() error { return c.c.Close() }
+
+// DialClient opens a client session against a daemon's transport
+// listener: it dials, introduces itself with a negative Hello node, and
+// returns the framed connection, which the daemon routes to its RPC
+// front end.
+func DialClient(addr string, timeout time.Duration) (*Conn, error) {
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	nc, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	c := newConn(nc, nil, 5*time.Second)
+	if err := c.WriteMessage(simnet.Message{Payload: wire.Hello{Node: -1}}); err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("transport: client hello: %w", err)
+	}
+	return c, nil
+}

@@ -1,0 +1,94 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"drtree/internal/simnet"
+)
+
+// FuzzDecodeFrame hardens the codec against hostile bytes: malformed
+// length prefixes, truncated frames, unknown version bytes and kinds,
+// overlong varints, and bit-flipped valid frames must all either decode
+// or error — never panic, hang, or allocate beyond the validated
+// declared lengths. Anything that does decode must re-encode to a
+// frame that decodes to the same message (the codec is canonical even
+// when the input was not).
+func FuzzDecodeFrame(f *testing.F) {
+	for _, m := range rpcMessages() {
+		buf, err := EncodeFrame(m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf)
+		f.Add(buf[:len(buf)/2])
+	}
+	huge := make([]byte, 8)
+	binary.BigEndian.PutUint32(huge, MaxFrame+1)
+	f.Add(huge)
+	f.Add([]byte{0, 0, 0, 2, Version, KindBounce})
+	f.Add([]byte{0, 0, 0, 3, 99, KindHello, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, n, err := DecodeFrame(data)
+		if err != nil {
+			return
+		}
+		if n < lenSize || n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		re, err := EncodeFrame(m)
+		if err != nil {
+			t.Fatalf("re-encode of decoded message failed: %v", err)
+		}
+		m2, _, err := DecodeFrame(re)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		// Compare via a third encode rather than DeepEqual: float
+		// payloads may hold NaN bit patterns, which compare unequal as
+		// values but identically as bytes.
+		re2, err := EncodeFrame(m2)
+		if err != nil {
+			t.Fatalf("third encode failed: %v", err)
+		}
+		if !bytes.Equal(re, re2) {
+			t.Fatalf("codec not stable:\n first %x\nsecond %x", re, re2)
+		}
+		// The stream reader must agree with the slice decoder.
+		sm, serr := NewStreamReader(bytes.NewReader(data)).ReadMessage()
+		if serr != nil {
+			t.Fatalf("stream decode disagreed: %v", serr)
+		}
+		sre, err := EncodeFrame(sm)
+		if err != nil || !bytes.Equal(sre, re) {
+			t.Fatalf("stream decode produced a different message (err %v)", err)
+		}
+	})
+}
+
+// FuzzDecodeFrame above only sees the kinds registered inside this
+// package; the overlay message codecs registered by internal/proto get
+// the same treatment through that package's round-trip tests plus this
+// bounce-nesting check, which exercises the recursive payload path.
+func TestBounceRoundTripEveryRPCKind(t *testing.T) {
+	for _, m := range rpcMessages() {
+		if _, isBounce := m.Payload.(simnet.Bounce); isBounce {
+			continue
+		}
+		b := simnet.Message{From: m.To, To: m.From, Payload: simnet.Bounce{To: m.To, Original: m.Payload}}
+		buf, err := EncodeFrame(b)
+		if err != nil {
+			t.Fatalf("encode bounce(%T): %v", m.Payload, err)
+		}
+		got, _, err := DecodeFrame(buf)
+		if err != nil {
+			t.Fatalf("decode bounce(%T): %v", m.Payload, err)
+		}
+		re, err := EncodeFrame(got)
+		if err != nil || !bytes.Equal(re, buf) {
+			t.Fatalf("bounce(%T) not stable (err %v)", m.Payload, err)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package wire
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+
+	"drtree/internal/simnet"
+)
+
+// Kind numbers are the stable wire contract: never renumber a shipped
+// kind, only append. The space is partitioned so each layer owns a
+// block and new layers cannot collide.
+const (
+	// KindBounce is the substrate's failure-detector notice (0x01).
+	KindBounce byte = 0x01
+
+	// Overlay maintenance protocol, 0x10–0x2f. The codecs live in
+	// internal/proto (the payload types are unexported there); the kind
+	// numbers live here so the space has a single owner.
+	KindJoin         byte = 0x10
+	KindAdd          byte = 0x11
+	KindWelcome      byte = 0x12
+	KindNewParent    byte = 0x13
+	KindPromote      byte = 0x14
+	KindLeave        byte = 0x15
+	KindRemoveChild  byte = 0x16
+	KindDissolved    byte = 0x17
+	KindBecomeRoot   byte = 0x18
+	KindShrink       byte = 0x19
+	KindParentQuery  byte = 0x1a
+	KindParentAck    byte = 0x1b
+	KindChildQuery   byte = 0x1c
+	KindChildReport  byte = 0x1d
+	KindFilterUpdate byte = 0x1e
+	KindEvent        byte = 0x1f
+
+	// Broker-level RPCs, 0x40–0x5f (see rpc.go).
+	KindHello       byte = 0x40
+	KindSubscribe   byte = 0x41
+	KindUnsubscribe byte = 0x42
+	KindPublish     byte = 0x43
+	KindNotify      byte = 0x44
+	KindAck         byte = 0x45
+)
+
+// EncodeFunc encodes a payload of the registered type into w. It may
+// return an error only for values that have no encoding (e.g. a nested
+// payload of an unregistered type); plain field encoding cannot fail.
+type EncodeFunc func(w *Writer, payload any) error
+
+// DecodeFunc decodes a payload body from r. Failures are reported
+// through r's sticky error; the body must be consumed exactly.
+type DecodeFunc func(r *Reader) any
+
+type entry struct {
+	name string
+	typ  reflect.Type
+	enc  EncodeFunc
+	dec  DecodeFunc
+}
+
+var (
+	kindTable = map[byte]*entry{}
+	typeTable = map[reflect.Type]byte{}
+)
+
+// Register binds a payload kind number to a concrete payload type and
+// its codec, in the spirit of gob.Register: call it from an init
+// function of the package that owns the type. Registering a duplicate
+// kind or type panics — that is a programming error, not input.
+// Registration is not safe for use concurrently with encoding or
+// decoding; do it at init time.
+func Register(kind byte, prototype any, enc EncodeFunc, dec DecodeFunc) {
+	typ := reflect.TypeOf(prototype)
+	if typ == nil {
+		panic("wire: Register with nil prototype")
+	}
+	if _, dup := kindTable[kind]; dup {
+		panic(fmt.Sprintf("wire: duplicate kind %#x", kind))
+	}
+	if _, dup := typeTable[typ]; dup {
+		panic(fmt.Sprintf("wire: duplicate type %v", typ))
+	}
+	kindTable[kind] = &entry{name: typ.String(), typ: typ, enc: enc, dec: dec}
+	typeTable[typ] = kind
+}
+
+// KindOf reports the registered kind for a payload value.
+func KindOf(payload any) (byte, bool) {
+	k, ok := typeTable[reflect.TypeOf(payload)]
+	return k, ok
+}
+
+// RegisteredKinds returns every registered kind number in ascending
+// order (tests use it to prove codec coverage is exhaustive).
+func RegisteredKinds() []byte {
+	ks := make([]byte, 0, len(kindTable))
+	for k := range kindTable {
+		ks = append(ks, k)
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	return ks
+}
+
+func lookupPayload(payload any) (byte, *entry, error) {
+	kind, ok := typeTable[reflect.TypeOf(payload)]
+	if !ok {
+		return 0, nil, fmt.Errorf("wire: unregistered payload type %T", payload)
+	}
+	return kind, kindTable[kind], nil
+}
+
+// Bounce frames nest the undeliverable original payload (kind byte +
+// body) inside the bounce body. One level only: a bounce is never
+// bounced, so a nested bounce is malformed input.
+func init() {
+	Register(KindBounce, simnet.Bounce{},
+		func(w *Writer, payload any) error {
+			b := payload.(simnet.Bounce)
+			w.Varint(int64(b.To))
+			kind, ent, err := lookupPayload(b.Original)
+			if err != nil {
+				return err
+			}
+			if kind == KindBounce {
+				return fmt.Errorf("wire: refusing to encode nested bounce")
+			}
+			w.Byte(kind)
+			return ent.enc(w, b.Original)
+		},
+		func(r *Reader) any {
+			var b simnet.Bounce
+			b.To = simnet.NodeID(r.Varint())
+			kind := r.Byte()
+			if r.err != nil {
+				return b
+			}
+			ent, ok := kindTable[kind]
+			if !ok || kind == KindBounce {
+				r.Fail(fmt.Errorf("%w: nested kind %#x", ErrUnknownKind, kind))
+				return b
+			}
+			b.Original = ent.dec(r)
+			return b
+		})
+}

@@ -1,0 +1,224 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+
+	"drtree/internal/simnet"
+)
+
+// rpcMessages is one message per RPC kind plus a bounce, with
+// non-trivial field values (negative IDs, empty and non-empty slices,
+// unicode) so a lazy codec cannot pass by accident.
+func rpcMessages() []simnet.Message {
+	return []simnet.Message{
+		{From: 1, To: 2, Payload: Hello{Node: 3}},
+		{From: -1, To: 0, Payload: Hello{Node: -7}},
+		{From: 0, To: 0, Payload: Subscribe{Ref: 1, ID: 42, Expr: "price in [10, 20] && volume in [0, 1e6]"}},
+		{From: 0, To: 0, Payload: Subscribe{Ref: 0, ID: -9, Expr: ""}},
+		{From: 0, To: 0, Payload: Unsubscribe{Ref: 1 << 40, ID: 7}},
+		{From: 0, To: 0, Payload: Publish{Ref: 2, Producer: 5, Attrs: []string{"price", "vølume"}, Values: []float64{99.5, -3}}},
+		{From: 0, To: 0, Payload: Publish{Ref: 3, Producer: 1}},
+		{From: 0, To: 0, Payload: Notify{Subscriber: 8, Seq: 12, Attrs: []string{"p"}, Values: []float64{0.25}}},
+		{From: 0, To: 0, Payload: Ack{Ref: 9, Err: "no such subscriber"}},
+		{From: 0, To: 0, Payload: Ack{Ref: 10}},
+		{From: 4, To: 9, Payload: simnet.Bounce{To: 9, Original: Publish{Ref: 1, Producer: 2, Attrs: []string{"x"}, Values: []float64{1}}}},
+	}
+}
+
+func TestRoundTripRPC(t *testing.T) {
+	for _, m := range rpcMessages() {
+		buf, err := EncodeFrame(m)
+		if err != nil {
+			t.Fatalf("encode %T: %v", m.Payload, err)
+		}
+		got, n, err := DecodeFrame(buf)
+		if err != nil {
+			t.Fatalf("decode %T: %v", m.Payload, err)
+		}
+		if n != len(buf) {
+			t.Fatalf("decode %T consumed %d of %d bytes", m.Payload, n, len(buf))
+		}
+		if !reflect.DeepEqual(got, m) {
+			t.Fatalf("round trip %T:\n got %#v\nwant %#v", m.Payload, got, m)
+		}
+	}
+}
+
+func TestAppendFrameConcatenates(t *testing.T) {
+	msgs := rpcMessages()
+	var buf []byte
+	for _, m := range msgs {
+		var err error
+		buf, err = AppendFrame(buf, m)
+		if err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	for i, want := range msgs {
+		got, n, err := DecodeFrame(buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("frame %d: got %#v want %#v", i, got, want)
+		}
+		buf = buf[n:]
+	}
+	if len(buf) != 0 {
+		t.Fatalf("%d leftover bytes", len(buf))
+	}
+}
+
+func TestStreamReader(t *testing.T) {
+	msgs := rpcMessages()
+	var stream bytes.Buffer
+	for _, m := range msgs {
+		if err := WriteMessage(&stream, m); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+	}
+	sr := NewStreamReader(&stream)
+	for i, want := range msgs {
+		got, err := sr.ReadMessage()
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("read %d: got %#v want %#v", i, got, want)
+		}
+	}
+	if _, err := sr.ReadMessage(); err != io.EOF {
+		t.Fatalf("end of stream: got %v, want io.EOF", err)
+	}
+}
+
+func TestStreamReaderMidFrameCut(t *testing.T) {
+	full, err := EncodeFrame(simnet.Message{From: 1, To: 2, Payload: Subscribe{Ref: 1, ID: 2, Expr: "x in [0, 1]"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut the stream at every byte boundary inside the frame: a peer
+	// dying mid-frame must surface as ErrUnexpectedEOF (or EOF when
+	// nothing at all arrived), never a hang or panic.
+	for cut := 0; cut < len(full); cut++ {
+		sr := NewStreamReader(bytes.NewReader(full[:cut]))
+		_, err := sr.ReadMessage()
+		switch {
+		case cut == 0 && err != io.EOF:
+			t.Fatalf("cut 0: got %v, want io.EOF", err)
+		case cut > 0 && !errors.Is(err, io.ErrUnexpectedEOF) && !errors.Is(err, ErrTruncated):
+			t.Fatalf("cut %d: got %v", cut, err)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	valid, err := EncodeFrame(simnet.Message{From: 1, To: 2, Payload: Ack{Ref: 3, Err: "x"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	badVersion := bytes.Clone(valid)
+	badVersion[4] = 99
+	badKind := bytes.Clone(valid)
+	badKind[5] = 0xff
+	trailing := bytes.Clone(valid)
+	trailing = append(trailing[:len(trailing)-0], 0xaa)
+	binary.BigEndian.PutUint32(trailing, uint32(len(trailing)-4))
+	huge := make([]byte, 8)
+	binary.BigEndian.PutUint32(huge, MaxFrame+1)
+
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"empty", nil, ErrTruncated},
+		{"short prefix", []byte{0, 0}, ErrTruncated},
+		{"declared beyond data", valid[:len(valid)-1], ErrTruncated},
+		{"bad version", badVersion, ErrBadVersion},
+		{"unknown kind", badKind, ErrUnknownKind},
+		{"trailing bytes", trailing, ErrTrailingBytes},
+		{"over MaxFrame", huge, ErrFrameTooLarge},
+	}
+	for _, tc := range cases {
+		if _, _, err := DecodeFrame(tc.data); !errors.Is(err, tc.want) {
+			t.Errorf("%s: got %v, want %v", tc.name, err, tc.want)
+		}
+	}
+
+	// Truncate inside the payload at every boundary: always an error,
+	// never a panic.
+	for cut := 4; cut < len(valid); cut++ {
+		data := bytes.Clone(valid[:cut])
+		binary.BigEndian.PutUint32(data, uint32(cut-4))
+		if _, _, err := DecodeFrame(data); err == nil {
+			t.Errorf("cut %d: decode accepted a truncated body", cut)
+		}
+	}
+}
+
+func TestNestedBounceRejected(t *testing.T) {
+	m := simnet.Message{Payload: simnet.Bounce{To: 1, Original: simnet.Bounce{To: 2, Original: Ack{}}}}
+	if _, err := EncodeFrame(m); err == nil {
+		t.Fatal("encoding a nested bounce succeeded")
+	}
+	if _, err := EncodeFrame(simnet.Message{Payload: struct{ X int }{1}}); err == nil {
+		t.Fatal("encoding an unregistered payload succeeded")
+	}
+}
+
+func TestBoolRejectsNonCanonical(t *testing.T) {
+	// A Subscribe frame is bool-free; craft a Hello-sized check via the
+	// Reader directly: bool bytes other than 0/1 are malformed.
+	r := &Reader{buf: []byte{2}}
+	r.Bool()
+	if !errors.Is(r.Err(), ErrBadValue) {
+		t.Fatalf("bool 2: got %v", r.Err())
+	}
+}
+
+func TestKindRegistry(t *testing.T) {
+	if k, ok := KindOf(Hello{}); !ok || k != KindHello {
+		t.Fatalf("KindOf(Hello) = %#x, %v", k, ok)
+	}
+	if _, ok := KindOf(struct{}{}); ok {
+		t.Fatal("KindOf accepted an unregistered type")
+	}
+	kinds := RegisteredKinds()
+	for i := 1; i < len(kinds); i++ {
+		if kinds[i-1] >= kinds[i] {
+			t.Fatalf("RegisteredKinds not strictly ascending: %v", kinds)
+		}
+	}
+	// The wire package itself registers the bounce and the six RPCs;
+	// overlay kinds are registered by internal/proto (tested there).
+	want := []byte{KindBounce, KindHello, KindSubscribe, KindUnsubscribe, KindPublish, KindNotify, KindAck}
+	for _, k := range want {
+		if _, ok := kindTable[k]; !ok {
+			t.Fatalf("kind %#x not registered", k)
+		}
+	}
+}
+
+func TestReaderStickyError(t *testing.T) {
+	r := &Reader{buf: []byte{}}
+	_ = r.Byte()
+	first := r.Err()
+	if first == nil {
+		t.Fatal("read past end did not fail")
+	}
+	_ = r.Uvarint()
+	_ = r.F64()
+	_ = r.Rect()
+	_ = r.Point()
+	_ = r.String()
+	if r.Err() != first {
+		t.Fatalf("sticky error replaced: %v -> %v", first, r.Err())
+	}
+}
