@@ -33,13 +33,13 @@ func measureNetPublish() (brokerRecord, error) {
 	}
 	ds := make([]*drtreed.Daemon, 2)
 	for i := range ds {
-		d, err := drtreed.New(drtreed.Config{
-			Node:     i,
-			Peers:    peers,
-			Listener: lns[i],
-			Space:    []string{"x", "y"},
-			Gateways: 1,
-		})
+		d, err := drtreed.New(
+			drtreed.WithNode(i),
+			drtreed.WithPeers(peers...),
+			drtreed.WithListener(lns[i]),
+			drtreed.WithSpace("x", "y"),
+			drtreed.WithGateways(1),
+		)
 		if err != nil {
 			return brokerRecord{}, err
 		}

@@ -35,20 +35,30 @@ func main() {
 		gateways = flag.Int("gateways", 4, "local gateway-pool size")
 		minFan   = flag.Int("min-fanout", 2, "DR-tree minimum fanout m")
 		maxFan   = flag.Int("max-fanout", 4, "DR-tree maximum fanout M (>= 2m)")
+		dataDir  = flag.String("data-dir", "", "durable state directory: subscriptions survive restarts (empty: memory-only)")
+		snapN    = flag.Int("snapshot-every", 0, "checkpoint the subscription journal every N operations (0: library default)")
 	)
 	flag.Parse()
 
 	logger := log.New(os.Stderr, fmt.Sprintf("drtreed[%d] ", *node), log.LstdFlags|log.Lmicroseconds)
-	d, err := drtreed.New(drtreed.Config{
-		Node:      *node,
-		Peers:     strings.Split(*peers, ","),
-		HTTPAddr:  *httpAddr,
-		Space:     strings.Split(*space, ","),
-		Gateways:  *gateways,
-		MinFanout: *minFan,
-		MaxFanout: *maxFan,
-		Logf:      logger.Printf,
-	})
+	opts := []drtreed.Option{
+		drtreed.WithNode(*node),
+		drtreed.WithPeers(strings.Split(*peers, ",")...),
+		drtreed.WithSpace(strings.Split(*space, ",")...),
+		drtreed.WithGateways(*gateways),
+		drtreed.WithFanout(*minFan, *maxFan),
+		drtreed.WithLogf(logger.Printf),
+	}
+	if *httpAddr != "" {
+		opts = append(opts, drtreed.WithHTTPAddr(*httpAddr))
+	}
+	if *dataDir != "" {
+		opts = append(opts, drtreed.WithDataDir(*dataDir))
+	}
+	if *snapN > 0 {
+		opts = append(opts, drtreed.WithSnapshotEvery(*snapN))
+	}
+	d, err := drtreed.New(opts...)
 	if err != nil {
 		logger.Fatal(err)
 	}

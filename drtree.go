@@ -44,6 +44,7 @@ import (
 	"drtree/internal/proto"
 	"drtree/internal/pubsub"
 	"drtree/internal/split"
+	"drtree/internal/state"
 )
 
 // Geometry re-exports.
@@ -386,6 +387,41 @@ func WithGateways(n int) BrokerOption { return pubsub.WithGateways(n) }
 // overlay from different daemons — each daemon owning a disjoint slice
 // of the process-ID space — give each broker a disjoint base.
 func WithGatewayBase(base ProcID) BrokerOption { return pubsub.WithGatewayBase(base) }
+
+// Durable-state re-exports: the broker's control plane can outlive the
+// process through a narrow Store seam (see internal/state).
+type (
+	// Store is the durability seam: an append-only journal with a
+	// snapshot baseline behind Append/Snapshot/Replay/Compact.
+	Store = state.Store
+	// StoreStats describes a store's shape (records, snapshot presence,
+	// torn bytes repaired on open).
+	StoreStats = state.Stats
+	// RecoverStats summarizes one Broker.Recover pass.
+	RecoverStats = pubsub.RecoverStats
+)
+
+// OpenWAL opens (or creates) the file-backed store in dir: an
+// append-only write-ahead log with CRC-protected records, group-commit
+// fsync batching and torn-tail repair, plus an atomically installed
+// snapshot file.
+func OpenWAL(dir string) (*state.WAL, error) { return state.OpenWAL(dir) }
+
+// NewMemStore returns the pure in-memory Store — the durability
+// contract without the filesystem, for tests and ephemeral brokers.
+func NewMemStore() *state.Mem { return state.NewMem() }
+
+// WithStore makes a Broker durable: every Subscribe, Unsubscribe and
+// UpdateFilter journals to s before returning, and a broker constructed
+// later over the same store rebuilds the subscription set with
+// Broker.Recover (subscribers then re-attach by ID with
+// Broker.AttachFunc / Broker.AttachChan).
+func WithStore(s Store) BrokerOption { return pubsub.WithStore(s) }
+
+// WithSnapshotEvery sets a durable Broker's checkpoint cadence: a
+// background snapshot+compact after every n journaled operations (0
+// disables automatic checkpoints; Broker.Checkpoint stays available).
+func WithSnapshotEvery(n int) BrokerOption { return pubsub.WithSnapshotEvery(n) }
 
 // NewBroker creates a publish/subscribe broker over space on the given
 // overlay engine:

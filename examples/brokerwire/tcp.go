@@ -33,13 +33,13 @@ func runTCP() error {
 	}
 	ds := make([]*drtreed.Daemon, daemons)
 	for i := range ds {
-		d, err := drtreed.New(drtreed.Config{
-			Node:     i,
-			Peers:    peers,
-			Listener: lns[i],
-			Space:    []string{"price", "volume"},
-			Gateways: 2,
-		})
+		d, err := drtreed.New(
+			drtreed.WithNode(i),
+			drtreed.WithPeers(peers...),
+			drtreed.WithListener(lns[i]),
+			drtreed.WithSpace("price", "volume"),
+			drtreed.WithGateways(2),
+		)
 		if err != nil {
 			return err
 		}

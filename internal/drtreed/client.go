@@ -148,6 +148,13 @@ func (cl *Client) Subscribe(id int64, expr string) error {
 	return cl.call(func(ref uint64) any { return wire.Subscribe{Ref: ref, ID: id, Expr: expr} })
 }
 
+// Attach re-binds this session to an existing subscription — typically
+// one that survived a daemon restart from its data directory — without
+// re-registering it. Deliveries arrive on Events from the ack on.
+func (cl *Client) Attach(id int64) error {
+	return cl.call(func(ref uint64) any { return wire.Attach{Ref: ref, ID: id} })
+}
+
 // Unsubscribe drops subscriber id.
 func (cl *Client) Unsubscribe(id int64) error {
 	return cl.call(func(ref uint64) any { return wire.Unsubscribe{Ref: ref, ID: id} })

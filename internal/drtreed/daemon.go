@@ -35,6 +35,7 @@ import (
 	"drtree/internal/proto"
 	"drtree/internal/pubsub"
 	"drtree/internal/simnet"
+	"drtree/internal/state"
 	"drtree/internal/transport"
 	"drtree/internal/wire"
 )
@@ -72,6 +73,14 @@ type Config struct {
 	Gateways int
 	// MinFanout and MaxFanout are the DR-tree fanout bounds (default 2/4).
 	MinFanout, MaxFanout int
+	// DataDir, when non-empty, backs the daemon's subscription table
+	// with a write-ahead log + snapshot store in that directory; a
+	// restart over the same directory resumes the pre-crash subscription
+	// set (clients re-attach by subscription ID).
+	DataDir string
+	// SnapshotEvery is the durable daemon's checkpoint cadence in
+	// journaled operations (default: the broker's own default).
+	SnapshotEvery int
 	// Logf sinks daemon logs (default: discard).
 	Logf func(format string, args ...any)
 }
@@ -96,6 +105,7 @@ type Daemon struct {
 	lc     *proto.LiveCluster
 	tp     *transport.TCP
 	broker *pubsub.Broker
+	store  state.Store // nil on a memory-only daemon
 
 	httpSrv *http.Server
 	httpLn  net.Listener
@@ -132,10 +142,28 @@ func gatewayBase(node int) core.ProcID { return core.ProcID(node*Stride + 2) }
 // ownerOf maps an overlay process to the daemon index owning it.
 func ownerOf(p core.ProcID) int { return (int(p) - 1) / Stride }
 
-// New builds and starts a daemon: the overlay transport is listening,
-// the anchor (on daemon 0) has joined, and both front ends accept
-// sessions when it returns.
-func New(cfg Config) (*Daemon, error) {
+// New builds and starts a daemon from its option list: the overlay
+// transport is listening, the anchor (on daemon 0) has joined, any
+// durable subscription state (WithDataDir) has been recovered, and
+// both front ends accept sessions when it returns.
+func New(opts ...Option) (*Daemon, error) {
+	var cfg Config
+	for _, opt := range opts {
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	return newDaemon(cfg)
+}
+
+// NewFromConfig builds a daemon from a bare Config.
+//
+// Deprecated: use New with functional options (or New(WithConfig(cfg))
+// for a pre-built Config) — options validate at the call site instead
+// of deep inside construction.
+func NewFromConfig(cfg Config) (*Daemon, error) { return newDaemon(cfg) }
+
+func newDaemon(cfg Config) (*Daemon, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Node < 0 || cfg.Node >= len(cfg.Peers) {
 		return nil, fmt.Errorf("drtreed: node %d outside peer list of %d", cfg.Node, len(cfg.Peers))
@@ -156,10 +184,24 @@ func New(cfg Config) (*Daemon, error) {
 	lc.SetEventSpace(int64(cfg.Node+1) << 40)
 	lc.SetContact(func() core.ProcID { return AnchorProc })
 
-	d.broker, err = pubsub.New(space, lc,
+	brokerOpts := []pubsub.Option{
 		pubsub.WithGateways(cfg.Gateways),
-		pubsub.WithGatewayBase(gatewayBase(cfg.Node)))
+		pubsub.WithGatewayBase(gatewayBase(cfg.Node)),
+	}
+	if cfg.DataDir != "" {
+		d.store, err = state.OpenWAL(cfg.DataDir)
+		if err != nil {
+			lc.Close()
+			return nil, fmt.Errorf("drtreed: opening data dir: %w", err)
+		}
+		brokerOpts = append(brokerOpts, pubsub.WithStore(d.store))
+		if cfg.SnapshotEvery > 0 {
+			brokerOpts = append(brokerOpts, pubsub.WithSnapshotEvery(cfg.SnapshotEvery))
+		}
+	}
+	d.broker, err = pubsub.New(space, lc, brokerOpts...)
 	if err != nil {
+		d.closeStore()
 		lc.Close()
 		return nil, fmt.Errorf("drtreed: %w", err)
 	}
@@ -175,11 +217,13 @@ func New(cfg Config) (*Daemon, error) {
 		Logf:     cfg.Logf,
 	})
 	if err != nil {
+		d.closeStore()
 		lc.Close()
 		return nil, fmt.Errorf("drtreed: %w", err)
 	}
 	if err := lc.AttachSubstrate(d.tp, func(p core.ProcID) bool { return ownerOf(p) == cfg.Node }); err != nil {
 		d.tp.Close()
+		d.closeStore()
 		lc.Close()
 		return nil, fmt.Errorf("drtreed: %w", err)
 	}
@@ -196,18 +240,45 @@ func New(cfg Config) (*Daemon, error) {
 		}
 		if err != nil {
 			d.tp.Close()
+			d.closeStore()
 			lc.Close()
 			return nil, fmt.Errorf("drtreed: joining anchor: %w", err)
+		}
+	}
+
+	// Durable restart: rebuild the pre-crash subscription set from the
+	// store before the front ends open, so a re-attaching client never
+	// races its own recovery. The gateways re-join the overlay through
+	// the normal subscribe path as the set replays.
+	if d.store != nil {
+		rs, err := d.broker.Recover()
+		if err != nil {
+			d.tp.Close()
+			d.broker.Close()
+			d.closeStore()
+			return nil, fmt.Errorf("drtreed: recovering %s: %w", cfg.DataDir, err)
+		}
+		if rs.Subscribers > 0 || rs.Records > 0 || rs.Snapshot {
+			cfg.Logf("drtreed: node %d recovered %d subscribers from %s (snapshot=%v, %d journal records)",
+				cfg.Node, rs.Subscribers, cfg.DataDir, rs.Snapshot, rs.Records)
 		}
 	}
 
 	if err := d.startHTTP(); err != nil {
 		d.tp.Close()
 		d.broker.Close()
+		d.closeStore()
 		return nil, err
 	}
 	cfg.Logf("drtreed: node %d up, overlay %s http %s", cfg.Node, d.Addr(), d.HTTPAddr())
 	return d, nil
+}
+
+// closeStore closes the durable store if the daemon owns one.
+func (d *Daemon) closeStore() {
+	if d.store != nil {
+		d.store.Close()
+	}
 }
 
 // Addr returns the overlay listener address.
@@ -242,8 +313,20 @@ func (d *Daemon) onOverlayDeliver(p core.ProcID, _ int64, ev geom.Point, matched
 	d.broker.NotifyGateway(p, e)
 }
 
+// closing reports whether Close has begun. Session teardown consults it
+// to keep subscriptions registered (and journaled) through a daemon
+// shutdown: a durable daemon must restart with its subscription set, so
+// only a session ending while the daemon lives unsubscribes its IDs.
+func (d *Daemon) closing() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.closed
+}
+
 // Close stops the daemon: front ends first (no new sessions), then the
-// broker and its overlay runtime, then the transport.
+// broker and its overlay runtime, then the transport. A durable daemon
+// checkpoints its subscription table on the way down so the next boot
+// replays a snapshot instead of the whole journal.
 func (d *Daemon) Close() error {
 	d.mu.Lock()
 	if d.closed {
@@ -266,9 +349,16 @@ func (d *Daemon) Close() error {
 	for _, c := range open {
 		c.Close()
 	}
+	if d.store != nil {
+		// Best-effort: a failed checkpoint only means a longer replay.
+		if err := d.broker.Checkpoint(); err != nil {
+			d.cfg.Logf("drtreed: shutdown checkpoint: %v", err)
+		}
+	}
 	err := d.broker.Close()
 	d.tp.Close()
 	d.closeWG.Wait()
+	d.closeStore()
 	return err
 }
 
@@ -296,9 +386,12 @@ func eventFromVectors(attrs []string, values []float64) (filter.Event, error) {
 }
 
 // serveRPC runs one framed binary client session (transport.OnClient):
-// Subscribe/Unsubscribe/Publish requests each answered with an Ack
-// bearing the request's Ref, and Notify frames pushed as the
-// subscriber's queue drains. Subscriptions die with the session.
+// Subscribe/Unsubscribe/Publish/Attach requests each answered with an
+// Ack bearing the request's Ref, and Notify frames pushed as the
+// subscriber's queue drains. Subscriptions die with the session —
+// unless the daemon itself is shutting down, in which case they stay
+// registered (and, on a durable daemon, journaled) so a restart
+// resumes them and clients re-attach by subscription ID.
 func (d *Daemon) serveRPC(c *transport.Conn) {
 	if !d.addSession(c) {
 		c.Close()
@@ -311,6 +404,9 @@ func (d *Daemon) serveRPC(c *transport.Conn) {
 		owned = make(map[core.ProcID]bool)
 	)
 	defer func() {
+		if d.closing() {
+			return
+		}
 		mu.Lock()
 		ids := make([]core.ProcID, 0, len(owned))
 		for id := range owned {
@@ -341,6 +437,19 @@ func (d *Daemon) serveRPC(c *transport.Conn) {
 			if err == nil {
 				ch, err = d.broker.SubscribeChan(id, f)
 			}
+			if err == nil {
+				mu.Lock()
+				owned[id] = true
+				mu.Unlock()
+				d.closeWG.Add(1)
+				go d.pumpNotifies(c, id, ch)
+			}
+			if !ack(p.Ref, err) {
+				return
+			}
+		case wire.Attach:
+			id := core.ProcID(p.ID)
+			ch, err := d.broker.AttachChan(id)
 			if err == nil {
 				mu.Lock()
 				owned[id] = true

@@ -33,15 +33,15 @@ func startCluster(t *testing.T, n int) []*Daemon {
 		if err != nil {
 			t.Fatal(err)
 		}
-		d, err := New(Config{
-			Node:         i,
-			Peers:        peers,
-			Listener:     lns[i],
-			HTTPListener: hln,
-			Space:        []string{"price", "volume"},
-			Gateways:     2,
-			Logf:         t.Logf,
-		})
+		d, err := New(
+			WithNode(i),
+			WithPeers(peers...),
+			WithListener(lns[i]),
+			WithHTTPListener(hln),
+			WithSpace("price", "volume"),
+			WithGateways(2),
+			WithLogf(t.Logf),
+		)
 		if err != nil {
 			t.Fatalf("daemon %d: %v", i, err)
 		}
@@ -348,14 +348,33 @@ func TestHTTPEndpoints(t *testing.T) {
 }
 
 func TestConfigValidation(t *testing.T) {
-	if _, err := New(Config{Node: 2, Peers: []string{"a"}, Space: []string{"x"}}); err == nil {
+	if _, err := NewFromConfig(Config{Node: 2, Peers: []string{"a"}, Space: []string{"x"}}); err == nil {
 		t.Error("node outside peer list must be refused")
 	}
-	if _, err := New(Config{Node: 0, Peers: []string{"127.0.0.1:0"}}); err == nil {
+	if _, err := NewFromConfig(Config{Node: 0, Peers: []string{"127.0.0.1:0"}}); err == nil {
 		t.Error("empty space must be refused")
 	}
-	if _, err := New(Config{Node: 0, Peers: []string{"256.0.0.1:http"}, Space: []string{"x"}}); err == nil {
+	if _, err := NewFromConfig(Config{Node: 0, Peers: []string{"256.0.0.1:http"}, Space: []string{"x"}}); err == nil {
 		t.Error("unusable listen address must surface")
+	}
+	// Options validate at application time, before any construction.
+	if _, err := New(WithNode(-1)); err == nil {
+		t.Error("negative node index must be refused")
+	}
+	if _, err := New(WithPeers()); err == nil {
+		t.Error("empty peer list must be refused")
+	}
+	if _, err := New(WithSpace()); err == nil {
+		t.Error("empty space option must be refused")
+	}
+	if _, err := New(WithGateways(0)); err == nil {
+		t.Error("zero gateways must be refused")
+	}
+	if _, err := New(WithFanout(2, 3)); err == nil {
+		t.Error("fanout violating M >= 2m must be refused")
+	}
+	if _, err := New(WithSnapshotEvery(0)); err == nil {
+		t.Error("zero snapshot cadence must be refused")
 	}
 }
 

@@ -4,16 +4,26 @@ package drtreed
 // session, /healthz and /statsz expose liveness and counters. The
 // WebSocket protocol mirrors the binary RPC one op for op:
 //
-//	-> {"op":"subscribe","id":7,"filter":"price in [10, 20]"}
-//	<- {"op":"ok"}
-//	-> {"op":"publish","producer":7,"event":{"price":15,"qty":2}}
-//	<- {"op":"ok"}
-//	<- {"op":"event","id":7,"seq":1,"event":{"price":15,"qty":2}}
-//	-> {"op":"unsubscribe","id":7}
-//	<- {"op":"ok"}
+//	-> {"v":1,"op":"subscribe","id":7,"filter":"price in [10, 20]"}
+//	<- {"v":1,"op":"ok"}
+//	-> {"v":1,"op":"publish","producer":7,"event":{"price":15,"qty":2}}
+//	<- {"v":1,"op":"ok"}
+//	<- {"v":1,"op":"event","id":7,"seq":1,"event":{"price":15,"qty":2}}
+//	-> {"v":1,"op":"unsubscribe","id":7}
+//	<- {"v":1,"op":"ok"}
+//
+// Every frame carries the protocol's major version in "v". Requests may
+// omit it (0 reads as "speak the current protocol" for pre-versioning
+// clients); a request with a major version this build does not know is
+// refused with an "error" reply rather than half-understood. "attach"
+// re-binds a session to a subscription ID that survived a daemon
+// restart (durable daemons; see Config.DataDir) without re-registering
+// it.
 //
 // Requests are answered in order; "event" frames interleave as the
-// subscriber's queue drains. A session's subscriptions die with it.
+// subscriber's queue drains. A session's subscriptions die with it,
+// unless the daemon itself is shutting down (they then persist for the
+// restart).
 
 import (
 	"encoding/json"
@@ -34,9 +44,16 @@ import (
 // never stalls the daemon.
 const wsWriteTimeout = 5 * time.Second
 
+// WSProtoVersion is the JSON WebSocket protocol's current major
+// version, carried in every frame's "v" field. Version 0 (the field
+// omitted) is read as the current protocol for pre-versioning clients;
+// any higher unknown major is refused.
+const WSProtoVersion = 1
+
 // wsRequest is one client -> daemon operation.
 type wsRequest struct {
-	Op       string             `json:"op"` // subscribe | unsubscribe | publish
+	V        int                `json:"v,omitempty"`
+	Op       string             `json:"op"` // subscribe | unsubscribe | publish | attach
 	ID       int64              `json:"id,omitempty"`
 	Filter   string             `json:"filter,omitempty"`
 	Producer int64              `json:"producer,omitempty"`
@@ -45,6 +62,7 @@ type wsRequest struct {
 
 // wsReply is one daemon -> client frame.
 type wsReply struct {
+	V     int                `json:"v"`
 	Op    string             `json:"op"` // ok | error | event
 	Error string             `json:"error,omitempty"`
 	ID    int64              `json:"id,omitempty"`
@@ -110,11 +128,15 @@ func (d *Daemon) serveWS(w http.ResponseWriter, r *http.Request) {
 
 	owned := make(map[core.ProcID]bool)
 	defer func() {
+		if d.closing() {
+			return
+		}
 		for id := range owned {
 			d.broker.Unsubscribe(id)
 		}
 	}()
 	reply := func(rep wsReply) bool {
+		rep.V = WSProtoVersion
 		buf, err := json.Marshal(rep)
 		if err != nil {
 			return false
@@ -134,6 +156,12 @@ func (d *Daemon) serveWS(w http.ResponseWriter, r *http.Request) {
 			}
 			continue
 		}
+		if req.V != 0 && req.V != WSProtoVersion {
+			if !fail(fmt.Errorf("unsupported protocol version %d (this daemon speaks %d)", req.V, WSProtoVersion)) {
+				return
+			}
+			continue
+		}
 		switch req.Op {
 		case "subscribe":
 			id := core.ProcID(req.ID)
@@ -142,6 +170,21 @@ func (d *Daemon) serveWS(w http.ResponseWriter, r *http.Request) {
 			if err == nil {
 				ch, err = d.broker.SubscribeChan(id, f)
 			}
+			if err != nil {
+				if !fail(err) {
+					return
+				}
+				continue
+			}
+			owned[id] = true
+			d.closeWG.Add(1)
+			go d.pumpWS(c, id, ch)
+			if !reply(wsReply{Op: "ok"}) {
+				return
+			}
+		case "attach":
+			id := core.ProcID(req.ID)
+			ch, err := d.broker.AttachChan(id)
 			if err != nil {
 				if !fail(err) {
 					return
@@ -191,7 +234,7 @@ func (d *Daemon) serveWS(w http.ResponseWriter, r *http.Request) {
 func (d *Daemon) pumpWS(c *ws.Conn, id core.ProcID, ch <-chan pubsub.Envelope) {
 	defer d.closeWG.Done()
 	for e := range ch {
-		rep := wsReply{Op: "event", ID: int64(id), Seq: e.Seq, Event: e.Event}
+		rep := wsReply{V: WSProtoVersion, Op: "event", ID: int64(id), Seq: e.Seq, Event: e.Event}
 		buf, err := json.Marshal(rep)
 		if err != nil {
 			continue

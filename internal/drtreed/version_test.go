@@ -1,0 +1,71 @@
+package drtreed
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"drtree/internal/ws"
+)
+
+// TestWSProtocolVersioning pins the JSON front end's version handshake:
+// the current major is accepted and echoed, an omitted "v" reads as the
+// current protocol (pre-versioning clients), and an unknown major is
+// refused with an error instead of half-understood.
+func TestWSProtocolVersioning(t *testing.T) {
+	ds := startCluster(t, 1)
+	wsc, err := ws.Dial("ws://"+ds[0].HTTPAddr()+"/ws", 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { wsc.Close() })
+
+	roundtrip := func(req wsRequest) wsReply {
+		t.Helper()
+		buf, err := json.Marshal(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := wsc.WriteText(buf); err != nil {
+			t.Fatal(err)
+		}
+		_, payload, err := wsc.ReadMessage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rep wsReply
+		if err := json.Unmarshal(payload, &rep); err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+
+	// A future major version must be refused before the op is acted on.
+	rep := roundtrip(wsRequest{V: WSProtoVersion + 1, Op: "subscribe", ID: 1, Filter: "price in [0, 10]"})
+	if rep.Op != "error" || !strings.Contains(rep.Error, "unsupported protocol version") {
+		t.Fatalf("future version: %+v", rep)
+	}
+	if got := ds[0].Broker().Len(); got != 0 {
+		t.Fatalf("refused subscribe still registered (%d subscribers)", got)
+	}
+
+	// The current major works, and every reply carries it.
+	rep = roundtrip(wsRequest{V: WSProtoVersion, Op: "subscribe", ID: 1, Filter: "price in [0, 10] && volume in [0, 10]"})
+	if rep.Op != "ok" || rep.V != WSProtoVersion {
+		t.Fatalf("current version: %+v", rep)
+	}
+
+	// Version omitted (0): a pre-versioning client speaks the current
+	// protocol.
+	rep = roundtrip(wsRequest{Op: "unsubscribe", ID: 1})
+	if rep.Op != "ok" || rep.V != WSProtoVersion {
+		t.Fatalf("legacy request: %+v", rep)
+	}
+
+	// Garbage major versions are also refused.
+	rep = roundtrip(wsRequest{V: 99, Op: "publish", Producer: 1})
+	if rep.Op != "error" {
+		t.Fatalf("v99: %+v", rep)
+	}
+}

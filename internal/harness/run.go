@@ -20,8 +20,8 @@ import (
 // schedule outcomes (as opposed to malformed-schedule errors).
 type Violation struct {
 	StepIndex int    // index into Schedule.Steps (the settle or publish step)
-	Engine    string // engine name, "baseline" or "cross"
-	Kind      string // "convergence", "legality", "false-negative", "membership", "root-mbr", "baseline"
+	Engine    string // engine name, "baseline", "cross", or "durable" (CertifyRecovery)
+	Kind      string // "convergence", "legality", "false-negative", "membership", "root-mbr", "baseline", "recovery"
 	Detail    string
 }
 

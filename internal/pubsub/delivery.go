@@ -58,53 +58,14 @@ type Envelope struct {
 // feeds the Failed counter.
 type Handler func(Envelope) error
 
-// DeliveryOption configures a queue-backed subscription.
-type DeliveryOption func(*deliveryConfig) error
-
+// deliveryConfig is the resolved delivery configuration of one
+// queue-backed subscriber: broker-wide defaults overridden by the
+// call's DeliveryOptions (see options.go for the option constructors).
 type deliveryConfig struct {
 	depth        int
 	policy       OverflowPolicy
 	atLeastOnce  bool
 	maxRedeliver int
-}
-
-// WithQueueDepth sets the subscriber's queue capacity (default
-// DefaultQueueDepth).
-func WithQueueDepth(n int) DeliveryOption {
-	return func(c *deliveryConfig) error {
-		if n < 1 {
-			return fmt.Errorf("pubsub: queue depth must be >= 1, got %d", n)
-		}
-		c.depth = n
-		return nil
-	}
-}
-
-// WithOverflowPolicy sets the queue's overflow policy (default
-// DropOldest).
-func WithOverflowPolicy(p OverflowPolicy) DeliveryOption {
-	return func(c *deliveryConfig) error {
-		switch p {
-		case DropOldest, CoalesceByFilter, Block:
-			c.policy = p
-			return nil
-		}
-		return fmt.Errorf("pubsub: unknown overflow policy %v", p)
-	}
-}
-
-// WithAtLeastOnce turns on ack-based delivery: an envelope occupies its
-// queue slot until the handler returns nil, and a failed attempt is
-// retried up to maxRedeliver times before the envelope is dropped.
-func WithAtLeastOnce(maxRedeliver int) DeliveryOption {
-	return func(c *deliveryConfig) error {
-		if maxRedeliver < 0 {
-			return fmt.Errorf("pubsub: max redeliveries must be >= 0, got %d", maxRedeliver)
-		}
-		c.atLeastOnce = true
-		c.maxRedeliver = maxRedeliver
-		return nil
-	}
 }
 
 // consumer is the delivery side of one queue-backed subscriber.
@@ -130,13 +91,19 @@ func (b *Broker) dispatch(pend []pending) {
 	}
 }
 
-func newConsumer(opts []DeliveryOption) (*consumer, error) {
-	cfg := deliveryConfig{depth: DefaultQueueDepth, policy: DropOldest}
+// resolveDelivery layers the call's options over the broker-wide
+// defaults set at construction.
+func (b *Broker) resolveDelivery(opts []DeliveryOption) (deliveryConfig, error) {
+	cfg := b.defaultDelivery
 	for _, opt := range opts {
-		if err := opt(&cfg); err != nil {
-			return nil, err
+		if err := opt.applyDelivery(&cfg); err != nil {
+			return cfg, err
 		}
 	}
+	return cfg, nil
+}
+
+func newConsumer(cfg deliveryConfig) (*consumer, error) {
 	q, err := eventbus.New(eventbus.Config[Envelope]{
 		Capacity: cfg.depth,
 		Policy:   cfg.policy,
@@ -163,11 +130,15 @@ func (b *Broker) SubscribeFunc(id core.ProcID, f filter.Filter, h Handler, opts 
 	if h == nil {
 		return fmt.Errorf("pubsub: nil handler")
 	}
-	cons, err := newConsumer(opts)
+	cfg, err := b.resolveDelivery(opts)
 	if err != nil {
 		return err
 	}
-	if err := b.subscribe(id, f, cons); err != nil {
+	cons, err := newConsumer(cfg)
+	if err != nil {
+		return err
+	}
+	if err := b.subscribe(id, f, cons, true); err != nil {
 		cons.q.Close()
 		return err
 	}
@@ -187,24 +158,39 @@ func (b *Broker) SubscribeFunc(id core.ProcID, f filter.Filter, h Handler, opts 
 // not available here: a channel receive cannot acknowledge, so
 // WithAtLeastOnce is rejected.
 func (b *Broker) SubscribeChan(id core.ProcID, f filter.Filter, opts ...DeliveryOption) (<-chan Envelope, error) {
-	cfg := deliveryConfig{depth: DefaultQueueDepth, policy: DropOldest}
-	for _, opt := range opts {
-		if err := opt(&cfg); err != nil {
-			return nil, err
-		}
-	}
-	if cfg.atLeastOnce {
-		return nil, fmt.Errorf("pubsub: at-least-once delivery needs an acknowledging handler; use SubscribeFunc")
-	}
-	cons, err := newConsumer(opts)
+	cons, ch, err := b.newChanConsumer(opts)
 	if err != nil {
 		return nil, err
 	}
-	if err := b.subscribe(id, f, cons); err != nil {
+	if err := b.subscribe(id, f, cons, true); err != nil {
 		cons.q.Close()
 		return nil, err
 	}
-	ch := make(chan Envelope)
+	b.runChanConsumer(cons, ch)
+	return ch, nil
+}
+
+// newChanConsumer builds the consumer and channel shared by
+// SubscribeChan and AttachChan, rejecting at-least-once (a channel
+// receive cannot acknowledge).
+func (b *Broker) newChanConsumer(opts []DeliveryOption) (*consumer, chan Envelope, error) {
+	cfg, err := b.resolveDelivery(opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	if cfg.atLeastOnce {
+		return nil, nil, fmt.Errorf("pubsub: at-least-once delivery needs an acknowledging handler; use SubscribeFunc")
+	}
+	cons, err := newConsumer(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return cons, make(chan Envelope), nil
+}
+
+// runChanConsumer starts the drainer feeding ch and the closer that
+// ends it when the subscriber goes away.
+func (b *Broker) runChanConsumer(cons *consumer, ch chan Envelope) {
 	cons.q.Run(func(e Envelope, attempt int) error {
 		e.Attempt = attempt
 		select {
@@ -218,6 +204,73 @@ func (b *Broker) SubscribeChan(id core.ProcID, f filter.Filter, opts ...Delivery
 		<-cons.q.Done()
 		close(ch)
 	}()
+}
+
+// attach installs a consumer on an existing record-only subscription —
+// the re-attach half of durable sessions: Recover rebuilds
+// subscriptions without delivery queues, and the returning client
+// re-binds by subscription ID. Consumers are deliberately not
+// journaled: a queue cannot outlive its process, so after a restart
+// every recovered subscription is record-only until its owner attaches.
+func (b *Broker) attach(id core.ProcID, cons *consumer) error {
+	gw := b.gateway(id)
+	gw.mu.Lock()
+	defer gw.mu.Unlock()
+	sub, ok := gw.subs[id]
+	if !ok {
+		return fmt.Errorf("pubsub: subscriber %d not registered", id)
+	}
+	if sub.cons != nil {
+		return fmt.Errorf("pubsub: subscriber %d already has a consumer attached", id)
+	}
+	sub.cons = cons
+	gw.subs[id] = sub
+	e := gw.entries[sub.key]
+	es := e.subs[id]
+	es.cons = cons
+	e.subs[id] = es
+	return nil
+}
+
+// AttachFunc binds a handler to an existing record-only subscription
+// (typically one rebuilt by Recover). Delivery semantics match
+// SubscribeFunc; the subscription's filter is unchanged. Fails if id is
+// not registered or already has a consumer.
+func (b *Broker) AttachFunc(id core.ProcID, h Handler, opts ...DeliveryOption) error {
+	if h == nil {
+		return fmt.Errorf("pubsub: nil handler")
+	}
+	cfg, err := b.resolveDelivery(opts)
+	if err != nil {
+		return err
+	}
+	cons, err := newConsumer(cfg)
+	if err != nil {
+		return err
+	}
+	if err := b.attach(id, cons); err != nil {
+		cons.q.Close()
+		return err
+	}
+	cons.q.Run(func(e Envelope, attempt int) error {
+		e.Attempt = attempt
+		return h(e)
+	})
+	return nil
+}
+
+// AttachChan binds a delivery channel to an existing record-only
+// subscription. Delivery semantics match SubscribeChan.
+func (b *Broker) AttachChan(id core.ProcID, opts ...DeliveryOption) (<-chan Envelope, error) {
+	cons, ch, err := b.newChanConsumer(opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := b.attach(id, cons); err != nil {
+		cons.q.Close()
+		return nil, err
+	}
+	b.runChanConsumer(cons, ch)
 	return ch, nil
 }
 

@@ -1,0 +1,285 @@
+package pubsub
+
+// The broker's durability layer over state.Store: Subscribe,
+// Unsubscribe and UpdateFilter journal one record each; Checkpoint
+// snapshots the whole subscription table and compacts the log; Recover
+// rebuilds a fresh broker from snapshot + suffix.
+//
+// Records carry the subscriber ID and the *exact* predicate list —
+// attribute, operator, and the raw float64 bits of the constant — via
+// the internal/wire primitives. Filter.String() is deliberately not
+// used: its %.4f rendering is lossy, and a recovered filter must
+// compile to bit-identically the same rectangle as the original or the
+// zero-false-negative guarantee dies on round-trip. Gateway unions are
+// not journaled at all: Recover replays subscriptions through the
+// normal Subscribe path against a fresh engine, which re-derives every
+// gateway's MBR-union from scratch — the union is a pure function of
+// the live subscription set, and rebuilding it is both simpler and
+// tighter than trusting whatever (possibly loosened-by-failure) union
+// the previous incarnation carried.
+//
+// Record layout (inside a state.Store record, which adds its own
+// framing, CRC and seq):
+//
+//	version(1) op(1) id(varint) [npreds(uvarint) {attr(string) op(1) value(f64)}...]
+//
+// The predicate list is present for subscribe and update, absent for
+// unsubscribe. A snapshot blob is version(1) count(uvarint) followed by
+// count (id, predicate-list) pairs. The leading version byte is the
+// migration hook, independent of the store's on-disk format version.
+
+import (
+	"cmp"
+	"fmt"
+	"slices"
+
+	"drtree/internal/core"
+	"drtree/internal/filter"
+	"drtree/internal/state"
+	"drtree/internal/wire"
+)
+
+// DefaultSnapshotEvery is the default checkpoint cadence of a durable
+// broker: after this many journaled operations a background
+// snapshot+compact bounds both log growth and recovery time.
+const DefaultSnapshotEvery = 4096
+
+const (
+	journalVersion = byte(1)
+
+	journalSubscribe   = byte(1)
+	journalUnsubscribe = byte(2)
+	journalUpdate      = byte(3)
+)
+
+// journalAppend durably records one subscription operation. No-op on a
+// memory-only broker. Called with the owning gateway's lock held, which
+// is what orders the journal consistently with the in-memory commit
+// order for any single subscriber ID.
+func (b *Broker) journalAppend(op byte, id core.ProcID, f filter.Filter) error {
+	if b.store == nil {
+		return nil
+	}
+	w := wire.NewWriter(make([]byte, 0, 64))
+	w.Byte(journalVersion)
+	w.Byte(op)
+	w.Varint(int64(id))
+	if op != journalUnsubscribe {
+		encodeFilter(w, f)
+	}
+	if err := b.store.Append(w.Bytes()); err != nil {
+		return fmt.Errorf("pubsub: journal append: %w", err)
+	}
+	if b.snapEvery > 0 && b.sinceSnap.Add(1) >= uint64(b.snapEvery) {
+		b.checkpointAsync()
+	}
+	return nil
+}
+
+// checkpointAsync runs Checkpoint in the background, one at a time.
+func (b *Broker) checkpointAsync() {
+	if !b.snapBusy.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer b.snapBusy.Store(false)
+		// Best-effort: a failed background checkpoint leaves the log
+		// longer than ideal; the next cadence trigger retries.
+		_ = b.Checkpoint()
+	}()
+}
+
+// Checkpoint snapshots the current subscription table into the store
+// and compacts the journal. The snapshot is cut under every gateway's
+// read lock simultaneously, which excludes all journal appends (they
+// run under a gateway write lock), so the blob and the covered log
+// prefix describe exactly the same history — no operation can slip
+// between the cut and the snapshot's coverage point. No-op on a
+// memory-only broker.
+func (b *Broker) Checkpoint() error {
+	if b.store == nil {
+		return nil
+	}
+	for _, gw := range b.gws {
+		gw.mu.RLock()
+	}
+	w := wire.NewWriter(make([]byte, 0, 1024))
+	w.Byte(journalVersion)
+	n := 0
+	for _, gw := range b.gws {
+		n += len(gw.subs)
+	}
+	w.Uvarint(uint64(n))
+	for _, gw := range b.gws {
+		for id, sub := range gw.subs {
+			w.Varint(int64(id))
+			encodeFilter(w, sub.f)
+		}
+	}
+	err := b.store.Snapshot(w.Bytes())
+	for _, gw := range b.gws {
+		gw.mu.RUnlock()
+	}
+	if err != nil {
+		return fmt.Errorf("pubsub: checkpoint: %w", err)
+	}
+	b.sinceSnap.Store(0)
+	if err := b.store.Compact(); err != nil {
+		return fmt.Errorf("pubsub: compact: %w", err)
+	}
+	return nil
+}
+
+// RecoverStats summarizes one Recover pass.
+type RecoverStats struct {
+	// Snapshot reports whether a snapshot baseline was replayed.
+	Snapshot bool
+	// Records is the number of journal records replayed after it.
+	Records int
+	// Subscribers is the size of the rebuilt subscription set.
+	Subscribers int
+}
+
+// Recover rebuilds the subscription set from the broker's store: the
+// snapshot baseline (if any) plus every journaled operation after it,
+// re-applied through the normal subscribe path so subscriber shards,
+// match-index R-trees and gateway MBR-unions are all re-derived and the
+// gateways re-join the overlay. Recovered subscriptions are record-only
+// — delivery queues cannot outlive a process — and their owners
+// re-attach with AttachFunc/AttachChan. Call on a freshly constructed
+// broker (it fails on one that already has subscribers), then Repair to
+// drive the overlay to quiescence.
+func (b *Broker) Recover() (RecoverStats, error) {
+	var st RecoverStats
+	if b.store == nil {
+		return st, fmt.Errorf("pubsub: Recover needs a broker constructed WithStore")
+	}
+	if b.Len() != 0 {
+		return st, fmt.Errorf("pubsub: Recover on a broker with live subscribers")
+	}
+	subs := make(map[core.ProcID]filter.Filter)
+	err := b.store.Replay(func(e state.Entry) error {
+		if e.Snapshot {
+			st.Snapshot = true
+			return decodeSnapshot(e.Data, subs)
+		}
+		st.Records++
+		return applyJournalRecord(e.Data, subs)
+	})
+	if err != nil {
+		return st, err
+	}
+	ids := make([]core.ProcID, 0, len(subs))
+	for id := range subs {
+		ids = append(ids, id)
+	}
+	slices.SortFunc(ids, func(a, b core.ProcID) int { return cmp.Compare(a, b) })
+	for _, id := range ids {
+		if err := b.subscribe(id, subs[id], nil, false); err != nil {
+			return st, fmt.Errorf("pubsub: recovering subscriber %d: %w", id, err)
+		}
+	}
+	st.Subscribers = len(ids)
+	// The replayed suffix counts toward the checkpoint cadence: a
+	// broker that crashes repeatedly still converges on a snapshot.
+	b.sinceSnap.Store(uint64(st.Records))
+	return st, nil
+}
+
+// encodeFilter appends a filter's exact predicate list.
+func encodeFilter(w *wire.Writer, f filter.Filter) {
+	preds := f.Predicates()
+	w.Uvarint(uint64(len(preds)))
+	for _, p := range preds {
+		w.String(p.Attr)
+		w.Byte(byte(p.Op))
+		w.F64(p.Value)
+	}
+}
+
+// decodeFilter reads a predicate list and rebuilds the filter.
+func decodeFilter(r *wire.Reader) filter.Filter {
+	n := r.Uvarint()
+	if r.Err() != nil {
+		return filter.Filter{}
+	}
+	// Each predicate is at least 1 (attr len) + 1 (op) + 8 (value).
+	if n > uint64(r.Remaining())/10 {
+		r.Fail(fmt.Errorf("pubsub: journal: %d predicates exceed record", n))
+		return filter.Filter{}
+	}
+	preds := make([]filter.Predicate, n)
+	for i := range preds {
+		preds[i].Attr = r.String()
+		op := filter.Op(r.Byte())
+		if r.Err() == nil && (op < filter.OpEq || op > filter.OpGe) {
+			r.Fail(fmt.Errorf("pubsub: journal: unknown predicate op %d", op))
+		}
+		preds[i].Op = op
+		preds[i].Value = r.F64()
+	}
+	if r.Err() != nil {
+		return filter.Filter{}
+	}
+	return filter.New(preds...)
+}
+
+// applyJournalRecord folds one journal record into the subscription map.
+func applyJournalRecord(rec []byte, subs map[core.ProcID]filter.Filter) error {
+	r := wire.NewReader(rec)
+	if v := r.Byte(); r.Err() == nil && v != journalVersion {
+		return fmt.Errorf("pubsub: journal record version %d, this build reads %d", v, journalVersion)
+	}
+	op := r.Byte()
+	id := core.ProcID(r.Varint())
+	switch op {
+	case journalSubscribe, journalUpdate:
+		f := decodeFilter(r)
+		if err := r.Err(); err != nil {
+			return fmt.Errorf("pubsub: journal record: %w", err)
+		}
+		subs[id] = f
+	case journalUnsubscribe:
+		if err := r.Err(); err != nil {
+			return fmt.Errorf("pubsub: journal record: %w", err)
+		}
+		delete(subs, id)
+	default:
+		if err := r.Err(); err != nil {
+			return fmt.Errorf("pubsub: journal record: %w", err)
+		}
+		return fmt.Errorf("pubsub: journal record op %d unknown", op)
+	}
+	if r.Remaining() != 0 {
+		return fmt.Errorf("pubsub: journal record: %d trailing bytes", r.Remaining())
+	}
+	return nil
+}
+
+// decodeSnapshot folds a snapshot blob into the subscription map.
+func decodeSnapshot(blob []byte, subs map[core.ProcID]filter.Filter) error {
+	r := wire.NewReader(blob)
+	if v := r.Byte(); r.Err() == nil && v != journalVersion {
+		return fmt.Errorf("pubsub: snapshot version %d, this build reads %d", v, journalVersion)
+	}
+	n := r.Uvarint()
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("pubsub: snapshot: %w", err)
+	}
+	// Each entry is at least id(1) + npreds(1).
+	if n > uint64(r.Remaining())/2 {
+		return fmt.Errorf("pubsub: snapshot: %d entries exceed blob", n)
+	}
+	for i := uint64(0); i < n; i++ {
+		id := core.ProcID(r.Varint())
+		f := decodeFilter(r)
+		if err := r.Err(); err != nil {
+			return fmt.Errorf("pubsub: snapshot entry %d: %w", i, err)
+		}
+		subs[id] = f
+	}
+	if r.Remaining() != 0 {
+		return fmt.Errorf("pubsub: snapshot: %d trailing bytes", r.Remaining())
+	}
+	return nil
+}

@@ -38,6 +38,7 @@ import (
 	"drtree/internal/geom"
 	"drtree/internal/rtree"
 	"drtree/internal/split"
+	"drtree/internal/state"
 )
 
 // ErrProducerNotRegistered reports a Publish/PublishBatch whose producer
@@ -121,48 +122,24 @@ type Broker struct {
 	// holding live subscriptions (a failed fallback filter move): the
 	// next publish or Repair re-establishes its membership lazily.
 	needRejoin atomic.Bool
-}
 
-// Option configures a Broker.
-type Option func(*brokerConfig) error
+	// Durability (nil store = memory-only broker, the previous behaviour).
+	store     state.Store
+	snapEvery int
+	sinceSnap atomic.Uint64 // journal records since the last checkpoint
+	snapBusy  atomic.Bool   // one background checkpoint at a time
 
-type brokerConfig struct {
-	gateways int
-	gwBase   core.ProcID
-}
-
-// WithGateways sets the gateway pool size: the number of overlay
-// processes the broker's subscribers share (default DefaultGateways).
-// More gateways mean smaller per-gateway match indexes and tighter
-// overlay filters; fewer mean a smaller overlay.
-func WithGateways(n int) Option {
-	return func(c *brokerConfig) error {
-		if n < 1 {
-			return fmt.Errorf("pubsub: gateway count must be >= 1, got %d", n)
-		}
-		c.gateways = n
-		return nil
-	}
-}
-
-// WithGatewayBase sets the overlay process ID of the first gateway;
-// gateway i of the pool becomes process base+i (default base 1, the
-// historical numbering). Daemons hosting slices of one shared overlay
-// give each broker a disjoint base so gateway IDs never collide across
-// machines.
-func WithGatewayBase(base core.ProcID) Option {
-	return func(c *brokerConfig) error {
-		if base <= core.NoProc {
-			return fmt.Errorf("pubsub: gateway base must be positive, got %d", base)
-		}
-		c.gwBase = base
-		return nil
-	}
+	// defaultDelivery holds the broker-wide delivery defaults that
+	// per-subscription DeliveryOptions override.
+	defaultDelivery deliveryConfig
 }
 
 // New creates a broker over the given attribute space and overlay
 // engine. The broker owns the engine from then on: overlay membership
-// must be managed through the broker only.
+// must be managed through the broker only. The option list is flat:
+// construction options (WithGateways, WithStore, ...) and delivery
+// options (WithQueueDepth, ...; applied as broker-wide defaults) mix
+// freely.
 func New(space *filter.Space, eng engine.Engine, opts ...Option) (*Broker, error) {
 	if space == nil {
 		return nil, fmt.Errorf("pubsub: nil space")
@@ -170,13 +147,25 @@ func New(space *filter.Space, eng engine.Engine, opts ...Option) (*Broker, error
 	if eng == nil {
 		return nil, fmt.Errorf("pubsub: nil engine")
 	}
-	cfg := brokerConfig{gateways: DefaultGateways, gwBase: 1}
+	cfg := brokerConfig{
+		gateways:      DefaultGateways,
+		gwBase:        1,
+		snapshotEvery: DefaultSnapshotEvery,
+		delivery:      deliveryConfig{depth: DefaultQueueDepth, policy: DropOldest},
+	}
 	for _, opt := range opts {
-		if err := opt(&cfg); err != nil {
+		if err := opt.applyBroker(&cfg); err != nil {
 			return nil, err
 		}
 	}
-	b := &Broker{space: space, eng: eng, gwBase: cfg.gwBase}
+	b := &Broker{
+		space:           space,
+		eng:             eng,
+		gwBase:          cfg.gwBase,
+		store:           cfg.store,
+		snapEvery:       cfg.snapshotEvery,
+		defaultDelivery: cfg.delivery,
+	}
 	b.updater, _ = eng.(engine.FilterUpdater)
 	b.gws = make([]*gateway, cfg.gateways)
 	for i := range b.gws {
@@ -194,8 +183,11 @@ func New(space *filter.Space, eng engine.Engine, opts ...Option) (*Broker, error
 	return b, nil
 }
 
-// NewCore is New over a fresh sequential engine — the common case and
-// the previous hardwired behaviour.
+// NewCore is New over a fresh sequential engine.
+//
+// Deprecated: construct the engine explicitly and call New — the split
+// constructor predates the unified option set and adds nothing over
+// core.New + New.
 func NewCore(space *filter.Space, params core.Params, opts ...Option) (*Broker, error) {
 	tree, err := core.New(params)
 	if err != nil {
@@ -378,15 +370,17 @@ func (b *Broker) rejoinStale() {
 // gateway's overlay filter grows to cover it if it does not already
 // (message-passing engines may still be routing the join or the filter
 // update when Subscribe returns; Repair drives the overlay to
-// quiescence). Subscriber IDs must be positive and unused.
+// quiescence). Subscriber IDs must be positive and unused. On a durable
+// broker the registration is journaled before Subscribe returns.
 func (b *Broker) Subscribe(id core.ProcID, f filter.Filter) error {
-	return b.subscribe(id, f, nil)
+	return b.subscribe(id, f, nil, true)
 }
 
 // subscribe is the shared registration path: Subscribe passes a nil
 // consumer (record-only), SubscribeFunc/SubscribeChan pass the
-// subscriber's delivery queue.
-func (b *Broker) subscribe(id core.ProcID, f filter.Filter, cons *consumer) error {
+// subscriber's delivery queue. journal is false only on the Recover
+// path, which re-applies records that are already durable.
+func (b *Broker) subscribe(id core.ProcID, f filter.Filter, cons *consumer, journal bool) error {
 	if id <= core.NoProc {
 		return fmt.Errorf("pubsub: subscriber IDs must be positive, got %d", id)
 	}
@@ -423,6 +417,16 @@ func (b *Broker) subscribe(id core.ProcID, f filter.Filter, cons *consumer) erro
 			return err
 		}
 		gw.union = union
+	}
+	// Journal before the local commit: if the append fails nothing local
+	// changed (the grown union is harmless — false positives at worst),
+	// and if a later step fails the journal holds a subscription the
+	// memory lacks — a recovered ghost, also false-positive-safe. The
+	// inverse order could lose an acknowledged subscription on crash.
+	if journal {
+		if err := b.journalAppend(journalSubscribe, id, f); err != nil {
+			return err
+		}
 	}
 	key := rectKey(rect)
 	e := gw.entries[key]
@@ -498,7 +502,12 @@ func (b *Broker) remove(id core.ProcID, leave func(core.ProcID) error) error {
 	if sub.cons != nil {
 		sub.cons.q.Close()
 	}
-	return nil
+	// Journal last: the engine already committed the departure, so the
+	// removal must stand either way. A failed append leaves a ghost
+	// subscription in the journal — a false positive after recovery,
+	// never a false negative — and the error tells the caller durability
+	// is behind.
+	return b.journalAppend(journalUnsubscribe, id, filter.Filter{})
 }
 
 // recomputeUnion derives the gateway's tightest overlay filter after a
@@ -535,6 +544,91 @@ func (gw *gateway) unionWithout(skip *matchEntry) geom.Rect {
 // subscription leaves the overlay via a controlled departure.
 func (b *Broker) Unsubscribe(id core.ProcID) error {
 	return b.remove(id, b.eng.Leave)
+}
+
+// UpdateFilter atomically replaces subscriber id's filter, preserving
+// its delivery queue and sequence numbering. The gateway's overlay
+// filter grows (engine-first) when the new rectangle escapes the
+// current union and shrinks opportunistically when the old rectangle
+// was a maximal element. On a durable broker the change is journaled
+// before any local state moves.
+func (b *Broker) UpdateFilter(id core.ProcID, f filter.Filter) error {
+	rect, err := b.space.Rect(f)
+	if err != nil {
+		return fmt.Errorf("pubsub: compiling filter: %w", err)
+	}
+	gw := b.gateway(id)
+	gw.mu.Lock()
+	defer gw.mu.Unlock()
+	sub, ok := gw.subs[id]
+	if !ok {
+		return fmt.Errorf("pubsub: subscriber %d not registered", id)
+	}
+	newKey := rectKey(rect)
+	if newKey == sub.key {
+		// Same rectangle, possibly different predicates (e.g. x >= 1
+		// vs 1 <= x <= inf): only the exact-match filter changes.
+		if err := b.journalAppend(journalUpdate, id, f); err != nil {
+			return err
+		}
+		e := gw.entries[sub.key]
+		e.subs[id] = entrySub{f: f, cons: sub.cons}
+		gw.subs[id] = subscription{f: f, key: sub.key, cons: sub.cons}
+		return nil
+	}
+	oldE := gw.entries[sub.key]
+	oldGone := len(oldE.subs) == 1
+	// Target union after the move: every surviving entry plus the new
+	// rectangle. Engine first, as everywhere: a refusal changes nothing.
+	var union geom.Rect
+	if oldGone {
+		union = gw.unionWithout(oldE).Union(rect)
+	} else {
+		union = gw.recomputeUnion().Union(rect)
+	}
+	if gw.joined && !union.Equal(gw.union) {
+		if err := b.engUpdateFilter(gw, union); err != nil {
+			return err
+		}
+		gw.union = union
+	}
+	if err := b.journalAppend(journalUpdate, id, f); err != nil {
+		return err
+	}
+	newE := gw.entries[newKey]
+	if newE == nil {
+		newE = &matchEntry{rect: rect, subs: make(map[core.ProcID]entrySub)}
+		gw.entries[newKey] = newE
+		if err := gw.index.Insert(rect, newE); err != nil {
+			delete(gw.entries, newKey)
+			return fmt.Errorf("pubsub: indexing filter: %w", err)
+		}
+	}
+	newE.subs[id] = entrySub{f: f, cons: sub.cons}
+	delete(oldE.subs, id)
+	if oldGone {
+		delete(gw.entries, sub.key)
+		// As in remove: a failed index delete leaves an inert entry,
+		// never a false negative.
+		gw.index.Delete(oldE.rect, oldE)
+	}
+	gw.subs[id] = subscription{f: f, key: newKey, cons: sub.cons}
+	if !gw.joined {
+		// The gateway lost membership earlier (failed filter move with
+		// live subscriptions): make sure the lazy re-join sees the flag.
+		b.needRejoin.Store(true)
+	}
+	return nil
+}
+
+// UpdateFilterExpr is UpdateFilter with a textual filter (filter.Parse
+// syntax).
+func (b *Broker) UpdateFilterExpr(id core.ProcID, src string) error {
+	f, err := filter.Parse(src)
+	if err != nil {
+		return err
+	}
+	return b.UpdateFilter(id, f)
 }
 
 // Fail simulates an abrupt subscriber failure; a gateway losing its last

@@ -1,0 +1,93 @@
+// Package state is the durable control plane of the DR-tree system: an
+// append-only write-ahead log with periodic snapshots, behind the
+// deliberately narrow Store interface. The overlay itself self-repairs
+// after crashes (the paper's whole point), but everything above it —
+// which subscriber holds which filter, which gateway carries which
+// MBR-union — was amnesiac: a daemon restart lost every subscription
+// and triggered a resubscribe storm. Store fixes that layer.
+//
+// The interface deals in opaque byte records on purpose. The schema of
+// what is logged (subscription ops, gateway unions) belongs to the
+// layer that owns the state (internal/pubsub); the store owns only
+// durability, ordering, and compaction. Keeping the seam this narrow —
+// Append, Snapshot, Replay, Compact — means SQLite, a replicated log,
+// or an object store can slot in later without the engines or the
+// broker noticing.
+//
+// Two implementations ship: WAL (file-backed, internal/wire-style
+// length-prefixed binary records with a version byte and a CRC each,
+// group-commit fsync batching, torn-tail truncation on open, versioned
+// migration-on-open) and Mem (pure in-memory, so engines and most
+// tests never touch the filesystem).
+package state
+
+import "errors"
+
+// ErrClosed reports an operation on a closed store.
+var ErrClosed = errors.New("state: store closed")
+
+// Entry is one element of the recovery stream: either the snapshot
+// baseline (at most one, always first) or an appended record.
+type Entry struct {
+	// Snapshot marks the baseline entry: Data is the state blob passed
+	// to Store.Snapshot, and every following entry is a record appended
+	// after that snapshot was taken.
+	Snapshot bool
+	// Data is the record (or snapshot) payload, exactly as given to
+	// Append (or Snapshot). Valid only for the duration of the Replay
+	// callback; copy it to retain it.
+	Data []byte
+}
+
+// Store is the narrow durability seam. Implementations must make
+// Append/Snapshot atomic and ordered with respect to each other;
+// Replay must observe a prefix-consistent history: the latest durable
+// snapshot (if any) followed by every record appended after it, in
+// append order, and nothing else.
+//
+// Append, Snapshot and Compact are safe for concurrent use. Replay
+// must not run concurrently with writes (callers replay once, on
+// startup, before accepting operations).
+type Store interface {
+	// Append durably adds one record to the log. When Append returns
+	// nil the record survives a crash.
+	Append(rec []byte) error
+	// Snapshot durably replaces the recovery baseline: a subsequent
+	// Replay yields state first, then only the records appended after
+	// this call. The log itself is not trimmed — call Compact for that.
+	Snapshot(state []byte) error
+	// Replay streams the recovery sequence into fn, stopping early on
+	// the first error, which it returns.
+	Replay(fn func(Entry) error) error
+	// Compact discards log records already covered by the latest
+	// snapshot. A no-op when there is no snapshot.
+	Compact() error
+	// Close releases the store's resources. For the file-backed store
+	// further writes fail with ErrClosed; Mem stays replayable (it
+	// models the disk, which outlives the process).
+	Close() error
+}
+
+// Stats describes a store's current shape (observability and tests).
+type Stats struct {
+	// Records is the number of log records a Replay would yield after
+	// the snapshot baseline.
+	Records int
+	// HasSnapshot reports whether a durable snapshot baseline exists.
+	HasSnapshot bool
+	// Appended counts Append calls accepted over this store's lifetime
+	// (this process only, for WAL).
+	Appended uint64
+	// Snapshots counts Snapshot calls accepted.
+	Snapshots uint64
+	// Compactions counts Compact calls that trimmed the log.
+	Compactions uint64
+	// TornBytes is the number of trailing bytes discarded on open
+	// because the final record was torn by a crash (WAL only).
+	TornBytes int64
+}
+
+// A Stater reports store statistics; both built-in stores implement it.
+type Stater interface {
+	Stats() Stats
+}

@@ -66,7 +66,7 @@ func DialClient(addr string, timeout time.Duration) (*Conn, error) {
 		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
 	}
 	c := newConn(nc, nil, 5*time.Second)
-	if err := c.WriteMessage(simnet.Message{Payload: wire.Hello{Node: -1}}); err != nil {
+	if err := c.WriteMessage(simnet.Message{Payload: wire.Hello{Node: -1, Proto: wire.ProtoVersion}}); err != nil {
 		nc.Close()
 		return nil, fmt.Errorf("transport: client hello: %w", err)
 	}

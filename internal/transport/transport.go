@@ -326,7 +326,7 @@ func (t *TCP) dialPeer(l *link, rng *rand.Rand, failedDials *int) (net.Conn, boo
 		return nil, false
 	}
 	conn.SetWriteDeadline(time.Now().Add(t.cfg.WriteTimeout))
-	if err := wire.WriteMessage(conn, simnet.Message{Payload: wire.Hello{Node: t.cfg.Self}}); err != nil {
+	if err := wire.WriteMessage(conn, simnet.Message{Payload: wire.Hello{Node: t.cfg.Self, Proto: wire.ProtoVersion}}); err != nil {
 		conn.Close()
 		*failedDials++
 		return nil, false
@@ -401,6 +401,14 @@ func (t *TCP) serve(conn net.Conn) {
 	hello, ok := first.Payload.(wire.Hello)
 	if !ok {
 		t.cfg.Logf("transport[%d]: inbound connection opened with %T, want Hello", t.cfg.Self, first.Payload)
+		return
+	}
+	// Proto 0 is a pre-versioning peer speaking the current protocol; a
+	// major this build does not know is refused before any frame of it
+	// could be misparsed.
+	if hello.Proto > wire.ProtoVersion {
+		t.cfg.Logf("transport[%d]: peer %d announced protocol %d, this build speaks %d — refusing",
+			t.cfg.Self, hello.Node, hello.Proto, wire.ProtoVersion)
 		return
 	}
 	conn.SetReadDeadline(time.Time{})

@@ -42,6 +42,7 @@ const (
 	KindPublish     byte = 0x43
 	KindNotify      byte = 0x44
 	KindAck         byte = 0x45
+	KindAttach      byte = 0x46
 )
 
 // EncodeFunc encodes a payload of the registered type into w. It may

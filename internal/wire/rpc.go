@@ -12,11 +12,19 @@ package wire
 // Events are encoded as parallel attribute/value slices (the schema's
 // map form is rebuilt at the edges) to keep frames deterministic.
 
+// ProtoVersion is the current major version of the RPC protocol,
+// negotiated by the Hello that opens every connection. Version 0 (a
+// Hello encoded before the field existed) is read as "speak the
+// current protocol"; a peer announcing a major this build does not
+// know is refused at accept time rather than misparsed mid-stream.
+const ProtoVersion = 1
+
 // Hello opens a connection: a negative Node introduces a subscriber
 // client session, a non-negative Node introduces daemon Node's overlay
-// peer link.
+// peer link. Proto announces the sender's protocol major version.
 type Hello struct {
-	Node int
+	Node  int
+	Proto int
 }
 
 // Subscribe asks the daemon to register subscriber ID with the filter
@@ -50,6 +58,15 @@ type Notify struct {
 	Seq        uint64
 	Attrs      []string
 	Values     []float64
+}
+
+// Attach re-binds this session to subscriber ID's delivery stream
+// without re-registering it: the subscription already exists —
+// typically recovered from a durable daemon's journal after a restart —
+// and its Notify frames flow on this connection from the ack on.
+type Attach struct {
+	Ref uint64
+	ID  int64
 }
 
 // Ack answers the request with the same Ref; Err is empty on success.
@@ -93,8 +110,20 @@ func decAttrs(r *Reader) ([]string, []float64) {
 
 func init() {
 	Register(KindHello, Hello{},
-		func(w *Writer, p any) error { w.Varint(int64(p.(Hello).Node)); return nil },
-		func(r *Reader) any { return Hello{Node: int(r.Varint())} })
+		func(w *Writer, p any) error {
+			m := p.(Hello)
+			w.Varint(int64(m.Node))
+			w.Varint(int64(m.Proto))
+			return nil
+		},
+		func(r *Reader) any {
+			m := Hello{Node: int(r.Varint())}
+			// Pre-versioning Hellos end after Node; their Proto reads 0.
+			if r.Remaining() > 0 {
+				m.Proto = int(r.Varint())
+			}
+			return m
+		})
 	Register(KindSubscribe, Subscribe{},
 		func(w *Writer, p any) error {
 			m := p.(Subscribe)
@@ -141,6 +170,16 @@ func init() {
 			m := Notify{Subscriber: r.Varint(), Seq: r.Uvarint()}
 			m.Attrs, m.Values = decAttrs(r)
 			return m
+		})
+	Register(KindAttach, Attach{},
+		func(w *Writer, p any) error {
+			m := p.(Attach)
+			w.Uvarint(m.Ref)
+			w.Varint(m.ID)
+			return nil
+		},
+		func(r *Reader) any {
+			return Attach{Ref: r.Uvarint(), ID: r.Varint()}
 		})
 	Register(KindAck, Ack{},
 		func(w *Writer, p any) error {

@@ -60,6 +60,14 @@ type Writer struct {
 	buf []byte
 }
 
+// NewWriter returns a Writer appending to buf (which may be nil). Other
+// packages (the state journal codec) use it to build records with the
+// same primitives frames use.
+func NewWriter(buf []byte) *Writer { return &Writer{buf: buf} }
+
+// Bytes returns everything written so far.
+func (w *Writer) Bytes() []byte { return w.buf }
+
 // Uvarint appends an unsigned varint.
 func (w *Writer) Uvarint(u uint64) { w.buf = binary.AppendUvarint(w.buf, u) }
 
@@ -116,6 +124,9 @@ type Reader struct {
 	off int
 	err error
 }
+
+// NewReader returns a Reader decoding buf from the start.
+func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
 
 // Err reports the first decode failure, or nil.
 func (r *Reader) Err() error { return r.err }

@@ -16,8 +16,10 @@ import (
 // unicode) so a lazy codec cannot pass by accident.
 func rpcMessages() []simnet.Message {
 	return []simnet.Message{
-		{From: 1, To: 2, Payload: Hello{Node: 3}},
-		{From: -1, To: 0, Payload: Hello{Node: -7}},
+		{From: 1, To: 2, Payload: Hello{Node: 3, Proto: ProtoVersion}},
+		{From: -1, To: 0, Payload: Hello{Node: -7, Proto: 2}},
+		{From: 0, To: 0, Payload: Attach{Ref: 11, ID: 42}},
+		{From: 0, To: 0, Payload: Attach{Ref: 0, ID: -3}},
 		{From: 0, To: 0, Payload: Subscribe{Ref: 1, ID: 42, Expr: "price in [10, 20] && volume in [0, 1e6]"}},
 		{From: 0, To: 0, Payload: Subscribe{Ref: 0, ID: -9, Expr: ""}},
 		{From: 0, To: 0, Payload: Unsubscribe{Ref: 1 << 40, ID: 7}},
@@ -196,13 +198,38 @@ func TestKindRegistry(t *testing.T) {
 			t.Fatalf("RegisteredKinds not strictly ascending: %v", kinds)
 		}
 	}
-	// The wire package itself registers the bounce and the six RPCs;
+	// The wire package itself registers the bounce and the seven RPCs;
 	// overlay kinds are registered by internal/proto (tested there).
-	want := []byte{KindBounce, KindHello, KindSubscribe, KindUnsubscribe, KindPublish, KindNotify, KindAck}
+	want := []byte{KindBounce, KindHello, KindSubscribe, KindUnsubscribe, KindPublish, KindNotify, KindAck, KindAttach}
 	for _, k := range want {
 		if _, ok := kindTable[k]; !ok {
 			t.Fatalf("kind %#x not registered", k)
 		}
+	}
+}
+
+// TestHelloLegacyDecode pins the negotiation's backward edge: a Hello
+// encoded before the Proto field existed (body ends after Node) still
+// decodes, reading Proto 0 — "speak the current protocol".
+func TestHelloLegacyDecode(t *testing.T) {
+	buf, err := EncodeFrame(simnet.Message{Payload: Hello{Node: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Proto 0 encodes as a single trailing zero byte; dropping it (and
+	// shrinking the length prefix) reconstructs the pre-versioning frame.
+	legacy := bytes.Clone(buf[:len(buf)-1])
+	binary.BigEndian.PutUint32(legacy, uint32(len(legacy)-4))
+	got, n, err := DecodeFrame(legacy)
+	if err != nil {
+		t.Fatalf("legacy hello: %v", err)
+	}
+	if n != len(legacy) {
+		t.Fatalf("legacy hello consumed %d of %d bytes", n, len(legacy))
+	}
+	h, ok := got.Payload.(Hello)
+	if !ok || h.Node != 5 || h.Proto != 0 {
+		t.Fatalf("legacy hello decoded as %#v", got.Payload)
 	}
 }
 
