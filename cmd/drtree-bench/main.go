@@ -8,9 +8,10 @@
 // and records them likewise (BENCH_proto.json); with -bench-broker it
 // measures the batched publish pipeline through the gateway Broker at
 // batch sizes 1/16/256 over both the sequential and the wire engine,
-// plus the subscriber-scale sweep (1k/10k/100k subscribers on a fixed
-// 16-gateway pool, pinning the sublinear match-scan cost) and the
-// frozen-consumer delivery scenario (pinning the delivery-layer
+// plus the subscriber-scale sweep (1k → 1M subscribers on the adaptive
+// gateway pool, pinning the pool size and the sublinear match-scan
+// cost), the drift and Zipf-hotspot scenario rows at 100k subscribers,
+// and the frozen-consumer delivery scenario (pinning the delivery-layer
 // delivered/dropped totals that certify the never-block guarantee)
 // (BENCH_broker.json).
 //
@@ -54,6 +55,7 @@ import (
 	"drtree/internal/geom"
 	"drtree/internal/proto"
 	"drtree/internal/pubsub"
+	"drtree/internal/workload"
 )
 
 func main() {
@@ -393,21 +395,31 @@ func runBenchProto(path string) int {
 
 // brokerRecord is one recorded broker batch-pipeline baseline. The
 // wall-clock NsPerEvent is informational only; AllocsPerEvent (sequential
-// engine; -1 when not measured), MsgsPerEvent, RoundsPerBatch and
-// ScanVisitedPerEvent (the gateway match-index nodes visited to classify
-// one event — the cost that replaced the global subscriber scan) are
-// deterministic and enforced by the perf gate.
+// engine; -1 when not measured), MsgsPerEvent, RoundsPerBatch,
+// ScanVisitedPerEvent (total R-tree nodes visited to classify one event:
+// the top-level routing tree over gateway unions plus every match index
+// probed — the cost that replaced the global subscriber scan),
+// GatewayVisitedPerEvent (match indexes the routing tree could not
+// prune) and FullReunions are deterministic and enforced by the perf
+// gate. Gateways is gated too: on adaptive rows it pins the pool size
+// the policy grew to.
 type brokerRecord struct {
-	Name                string  `json:"name"`
-	Engine              string  `json:"engine"`
-	Population          int     `json:"population"`
-	Gateways            int     `json:"gateways"`
-	Batch               int     `json:"batch"`
-	NsPerEvent          float64 `json:"ns_per_event"`
-	AllocsPerEvent      float64 `json:"allocs_per_event"`
-	MsgsPerEvent        float64 `json:"msgs_per_event"`
-	RoundsPerBatch      float64 `json:"rounds_per_batch"`
-	ScanVisitedPerEvent float64 `json:"scan_visited_per_event"`
+	Name                   string  `json:"name"`
+	Engine                 string  `json:"engine"`
+	Population             int     `json:"population"`
+	Gateways               int     `json:"gateways"`
+	Batch                  int     `json:"batch"`
+	NsPerEvent             float64 `json:"ns_per_event"`
+	AllocsPerEvent         float64 `json:"allocs_per_event"`
+	MsgsPerEvent           float64 `json:"msgs_per_event"`
+	RoundsPerBatch         float64 `json:"rounds_per_batch"`
+	ScanVisitedPerEvent    float64 `json:"scan_visited_per_event"`
+	GatewayVisitedPerEvent float64 `json:"gateway_visited_per_event"`
+	// FullReunions counts the O(entries) union recomputations the
+	// incremental re-union could not avoid over the row's whole workload
+	// (nonzero only where churn shrinks unions — the drift row). A rise
+	// means boundary-attainment bookkeeping regressed.
+	FullReunions int64 `json:"full_reunions"`
 	// Arena residency of the sequential engine's instance arena after
 	// the workload (zero for the wire engine): deterministic, gated.
 	ArenaCap  int `json:"arena_cap"`
@@ -432,28 +444,37 @@ type brokerRecord struct {
 var batchSizes = []int{1, 16, 256}
 
 // scaleSizes are the subscriber populations of the gateway-scale sweep:
-// the per-event classification cost at the top size must stay within ~3x
-// of the bottom size at the fixed gateway count — the sublinear-scan
-// contract of the gateway layer (asserted by the smoke test and pinned
-// exactly by the perf gate). The sweep tops out at one million
-// subscribers: the overlay stays at 16 gateway processes while the
-// match indexes absorb the full population, so the row certifies the
-// arena/SoA layout at three orders of magnitude above the seed's
+// the per-event classification cost at the top size must stay within ~2x
+// of the bottom size — the sublinear-scan contract of the adaptive
+// gateway tier (asserted by the smoke test and pinned exactly by the
+// perf gate). The sweep tops out at one million subscribers: the
+// adaptive policy grows the pool with the population while the two-level
+// routing tree keeps per-event classification nearly flat, so the row
+// certifies the tier at three orders of magnitude above the seed's
 // original scale.
 var scaleSizes = []int{1_000, 10_000, 100_000, 1_000_000}
 
-// scaleGateways is the fixed pool size of the scale sweep.
+// scaleGateways is the fixed pool size of the batch-size rows (the
+// adaptive scale sweep sizes its own pool via scalePolicy).
 const scaleGateways = 16
 
+// scalePolicy is the adaptive pool of the scale sweep: split gateways
+// past ~2048 subscribers, never below 4 or above 4096 processes. The
+// per-gateway match indexes then stay bounded as the population grows;
+// what is left to certify is that the top-level routing tree keeps the
+// number of indexes *visited* per event from growing with the pool.
+func scalePolicy() pubsub.Option { return pubsub.WithGatewayPolicy(2048, 4, 4096) }
+
 // brokerWorkload builds a broker over eng with n seeded rectangle
-// subscribers on a pool of gws gateways and returns it with a fixed
-// 256-event stream. The subscription side length shrinks as 1/sqrt(n) so
-// the expected matching population per event is constant across n — the
+// subscribers on the given gateway pool (a WithGateways or
+// WithGatewayPolicy option) and returns it with a fixed 256-event
+// stream. The subscription side length shrinks as 1/sqrt(n) so the
+// expected matching population per event is constant across n — the
 // sweep then isolates the *scan* cost from the (necessarily linear)
 // output size. Seeds are pinned so every measurement (and every CI run)
 // sees the same overlay and the same events.
-func brokerWorkload(eng engine.Engine, n, gws int) (*pubsub.Broker, []filter.Event, error) {
-	b, err := pubsub.New(filter.MustSpace("x", "y"), eng, pubsub.WithGateways(gws))
+func brokerWorkload(eng engine.Engine, n int, pool pubsub.Option) (*pubsub.Broker, []filter.Event, error) {
+	b, err := pubsub.New(filter.MustSpace("x", "y"), eng, pool)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -474,12 +495,23 @@ func brokerWorkload(eng engine.Engine, n, gws int) (*pubsub.Broker, []filter.Eve
 }
 
 // sumCounters totals the deterministic per-event counters of a batch.
-func sumCounters(notes []pubsub.Notification) (msgs, visited int) {
+func sumCounters(notes []pubsub.Notification) (msgs, visited, gwVisited int) {
 	for _, n := range notes {
 		msgs += n.Messages
 		visited += n.ScanVisited
+		gwVisited += n.GatewayVisited
 	}
-	return msgs, visited
+	return msgs, visited, gwVisited
+}
+
+// fullReunions totals the shrink-path union recomputations across the
+// broker's gateway pool.
+func fullReunions(b *pubsub.Broker) int64 {
+	var n int64
+	for _, st := range b.GatewayStats() {
+		n += int64(st.FullReunions)
+	}
+	return n
 }
 
 // measureBenchBroker measures the batched publish pipeline end to end
@@ -488,11 +520,15 @@ func sumCounters(notes []pubsub.Notification) (msgs, visited int) {
 // as the batch grows), over the deterministic wire engine (100
 // subscribers on 16 gateways; message and round cost per event — the
 // shared round budget is what makes a proto batch cheaper than
-// sequential publishes), and the subscriber-scale sweep (1k/10k/100k
-// subscribers at the fixed gateway count, pinning the match-scan cost
-// and allocs/event that certify the sublinear local matching), plus the
-// frozen-consumer delivery scenario whose exact delivered/dropped totals
-// pin the delivery layer's backpressure contract.
+// sequential publishes), the subscriber-scale sweep (1k → 1M
+// subscribers on the adaptive pool, pinning the pool size, the
+// match-scan cost, the routed gateway visits and allocs/event that
+// certify the sublinear classification), the drift and Zipf scenario
+// rows at 100k subscribers (the moving-interest and hotspot regimes,
+// with the drift row pinning the incremental re-union's FullReunions
+// count), plus the frozen-consumer delivery scenario whose exact
+// delivered/dropped totals pin the delivery layer's backpressure
+// contract.
 func measureBenchBroker() ([]brokerRecord, error) {
 	var records []brokerRecord
 
@@ -506,7 +542,7 @@ func measureBenchBroker() ([]brokerRecord, error) {
 		if err != nil {
 			return nil, err
 		}
-		b, evs, err := brokerWorkload(tree, 1000, scaleGateways)
+		b, evs, err := brokerWorkload(tree, 1000, pubsub.WithGateways(scaleGateways))
 		if err != nil {
 			return nil, err
 		}
@@ -515,7 +551,7 @@ func measureBenchBroker() ([]brokerRecord, error) {
 		if err != nil {
 			return nil, err
 		}
-		msgs, visited := sumCounters(notes)
+		msgs, visited, gwVisited := sumCounters(notes)
 		res := testing.Benchmark(func(bb *testing.B) {
 			bb.ReportAllocs()
 			for i := 0; i < bb.N; i++ {
@@ -526,18 +562,19 @@ func measureBenchBroker() ([]brokerRecord, error) {
 		})
 		ar := tree.ArenaStats()
 		records = append(records, brokerRecord{
-			Name:                fmt.Sprintf("BrokerBatchCore/b%d", size),
-			Engine:              "core",
-			Population:          1000,
-			Gateways:            scaleGateways,
-			Batch:               size,
-			NsPerEvent:          float64(res.NsPerOp()) / float64(size),
-			AllocsPerEvent:      float64(res.AllocsPerOp()) / float64(size),
-			MsgsPerEvent:        float64(msgs) / float64(size),
-			ScanVisitedPerEvent: float64(visited) / float64(size),
-			ArenaCap:            ar.Cap,
-			ArenaLive:           ar.Live,
-			ArenaFree:           ar.Free,
+			Name:                   fmt.Sprintf("BrokerBatchCore/b%d", size),
+			Engine:                 "core",
+			Population:             1000,
+			Gateways:               scaleGateways,
+			Batch:                  size,
+			NsPerEvent:             float64(res.NsPerOp()) / float64(size),
+			AllocsPerEvent:         float64(res.AllocsPerOp()) / float64(size),
+			MsgsPerEvent:           float64(msgs) / float64(size),
+			ScanVisitedPerEvent:    float64(visited) / float64(size),
+			GatewayVisitedPerEvent: float64(gwVisited) / float64(size),
+			ArenaCap:               ar.Cap,
+			ArenaLive:              ar.Live,
+			ArenaFree:              ar.Free,
 		})
 	}
 
@@ -548,7 +585,7 @@ func measureBenchBroker() ([]brokerRecord, error) {
 	if err != nil {
 		return nil, err
 	}
-	bp, evs, err := brokerWorkload(cl, 100, scaleGateways)
+	bp, evs, err := brokerWorkload(cl, 100, pubsub.WithGateways(scaleGateways))
 	if err != nil {
 		return nil, err
 	}
@@ -563,31 +600,33 @@ func measureBenchBroker() ([]brokerRecord, error) {
 			return nil, err
 		}
 		elapsed := time.Since(start)
-		msgs, visited := sumCounters(notes)
+		msgs, visited, gwVisited := sumCounters(notes)
 		records = append(records, brokerRecord{
-			Name:                fmt.Sprintf("BrokerBatchProto/b%d", size),
-			Engine:              "proto",
-			Population:          100,
-			Gateways:            scaleGateways,
-			Batch:               size,
-			NsPerEvent:          float64(elapsed.Nanoseconds()) / float64(size),
-			AllocsPerEvent:      -1,
-			MsgsPerEvent:        float64(msgs) / float64(size),
-			RoundsPerBatch:      float64(notes[0].Rounds),
-			ScanVisitedPerEvent: float64(visited) / float64(size),
+			Name:                   fmt.Sprintf("BrokerBatchProto/b%d", size),
+			Engine:                 "proto",
+			Population:             100,
+			Gateways:               scaleGateways,
+			Batch:                  size,
+			NsPerEvent:             float64(elapsed.Nanoseconds()) / float64(size),
+			AllocsPerEvent:         -1,
+			MsgsPerEvent:           float64(msgs) / float64(size),
+			RoundsPerBatch:         float64(notes[0].Rounds),
+			ScanVisitedPerEvent:    float64(visited) / float64(size),
+			GatewayVisitedPerEvent: float64(gwVisited) / float64(size),
 		})
 	}
 
-	// Subscriber-scale sweep: the gateway count stays fixed while the
-	// subscriber population grows 100x; the recorded match-scan cost and
-	// allocs/event certify that per-event classification no longer scales
-	// with the subscriber table (batch 16 keeps the division float-exact).
+	// Subscriber-scale sweep: the adaptive policy grows the pool with the
+	// population (recorded in Gateways) while the two-level routing tree
+	// keeps classification nearly flat; the recorded match-scan cost,
+	// routed gateway visits and allocs/event certify it (batch 16 keeps
+	// the division float-exact).
 	for _, n := range scaleSizes {
 		tree, err := core.New(core.Params{MinFanout: 2, MaxFanout: 4, PublishWorkers: 1})
 		if err != nil {
 			return nil, err
 		}
-		b, evs, err := brokerWorkload(tree, n, scaleGateways)
+		b, evs, err := brokerWorkload(tree, n, scalePolicy())
 		if err != nil {
 			return nil, err
 		}
@@ -597,7 +636,7 @@ func measureBenchBroker() ([]brokerRecord, error) {
 		if err != nil {
 			return nil, err
 		}
-		msgs, visited := sumCounters(notes)
+		msgs, visited, gwVisited := sumCounters(notes)
 		res := testing.Benchmark(func(bb *testing.B) {
 			bb.ReportAllocs()
 			for i := 0; i < bb.N; i++ {
@@ -608,20 +647,29 @@ func measureBenchBroker() ([]brokerRecord, error) {
 		})
 		ar := tree.ArenaStats()
 		records = append(records, brokerRecord{
-			Name:                fmt.Sprintf("BrokerScale/n%d", n),
-			Engine:              "core",
-			Population:          n,
-			Gateways:            scaleGateways,
-			Batch:               size,
-			NsPerEvent:          float64(res.NsPerOp()) / float64(size),
-			AllocsPerEvent:      float64(res.AllocsPerOp()) / float64(size),
-			MsgsPerEvent:        float64(msgs) / float64(size),
-			ScanVisitedPerEvent: float64(visited) / float64(size),
-			ArenaCap:            ar.Cap,
-			ArenaLive:           ar.Live,
-			ArenaFree:           ar.Free,
+			Name:                   fmt.Sprintf("BrokerScale/n%d", n),
+			Engine:                 "core",
+			Population:             n,
+			Gateways:               b.Gateways(),
+			Batch:                  size,
+			NsPerEvent:             float64(res.NsPerOp()) / float64(size),
+			AllocsPerEvent:         float64(res.AllocsPerOp()) / float64(size),
+			MsgsPerEvent:           float64(msgs) / float64(size),
+			ScanVisitedPerEvent:    float64(visited) / float64(size),
+			GatewayVisitedPerEvent: float64(gwVisited) / float64(size),
+			ArenaCap:               ar.Cap,
+			ArenaLive:              ar.Live,
+			ArenaFree:              ar.Free,
 		})
 	}
+
+	// Scenario rows: the drift and Zipf-hotspot workloads from
+	// internal/workload at 100k subscribers on the adaptive pool.
+	scen, err := measureBrokerScenarios()
+	if err != nil {
+		return nil, err
+	}
+	records = append(records, scen...)
 
 	// Delivery layer: a frozen consumer behind a bounded drop-oldest queue
 	// next to fast consumers. The drop and delivery totals are exact by
@@ -639,6 +687,125 @@ func measureBenchBroker() ([]brokerRecord, error) {
 		return nil, err
 	}
 	return append(records, np), nil
+}
+
+// measureBrokerScenarios records the dynamic-workload rows at 100k
+// subscribers on the adaptive pool, driven by the internal/workload
+// generators (everything seeded, so every counter is exact).
+//
+// BrokerDrift/n100000: every interest rectangle random-walks three
+// ticks (σ = 1% of the world per axis) with an UpdateFilter per move —
+// the continuous-motion regime the incremental re-union exists for.
+// FullReunions pins how many O(entries) union recomputations the
+// boundary-attainment counts could not avoid (moves that leave a
+// gateway's union boundary, mostly from world-edge clamping); a rise
+// means the shrink path degraded back toward recompute-per-update.
+//
+// BrokerZipf/n100000: the measured batch lands on Zipf-hotspot points
+// (16x16 cells, s=1.5) instead of uniform ones, so the load piles onto
+// the few gateways owning the hot cells — the skewed-popularity
+// regime's classification cost, pinned.
+func measureBrokerScenarios() ([]brokerRecord, error) {
+	const (
+		n    = 100_000
+		size = 16
+	)
+	w := workload.DefaultWorld()
+	rectFilter := func(r geom.Rect) filter.Filter {
+		return filter.Range("x", r.Lo(0), r.Hi(0)).And(filter.Range("y", r.Lo(1), r.Hi(1)))
+	}
+	build := func() (*core.Tree, *pubsub.Broker, []geom.Rect, *rand.Rand, error) {
+		tree, err := core.New(core.Params{MinFanout: 2, MaxFanout: 4, PublishWorkers: 1})
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+		b, err := pubsub.New(filter.MustSpace("x", "y"), tree, scalePolicy())
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+		rng := rand.New(rand.NewPCG(n, 0xD21F70))
+		rects := workload.Subscriptions(rng, w, workload.Uniform, n)
+		for i, r := range rects {
+			if err := b.Subscribe(core.ProcID(i+1), rectFilter(r)); err != nil {
+				return nil, nil, nil, nil, err
+			}
+		}
+		return tree, b, rects, rng, nil
+	}
+	measure := func(name string, tree *core.Tree, b *pubsub.Broker, evs []filter.Event) (brokerRecord, error) {
+		notes, err := b.PublishBatch(1, evs)
+		if err != nil {
+			return brokerRecord{}, err
+		}
+		msgs, visited, gwVisited := sumCounters(notes)
+		res := testing.Benchmark(func(bb *testing.B) {
+			bb.ReportAllocs()
+			for i := 0; i < bb.N; i++ {
+				if _, err := b.PublishBatch(1, evs); err != nil {
+					bb.Fatal(err)
+				}
+			}
+		})
+		ar := tree.ArenaStats()
+		return brokerRecord{
+			Name:                   name,
+			Engine:                 "core",
+			Population:             n,
+			Gateways:               b.Gateways(),
+			Batch:                  size,
+			NsPerEvent:             float64(res.NsPerOp()) / float64(size),
+			AllocsPerEvent:         float64(res.AllocsPerOp()) / float64(size),
+			MsgsPerEvent:           float64(msgs) / float64(size),
+			ScanVisitedPerEvent:    float64(visited) / float64(size),
+			GatewayVisitedPerEvent: float64(gwVisited) / float64(size),
+			FullReunions:           fullReunions(b),
+			ArenaCap:               ar.Cap,
+			ArenaLive:              ar.Live,
+			ArenaFree:              ar.Free,
+		}, nil
+	}
+	toEvents := func(pts []geom.Point) []filter.Event {
+		evs := make([]filter.Event, len(pts))
+		for i, p := range pts {
+			evs[i] = filter.Event{"x": p[0], "y": p[1]}
+		}
+		return evs
+	}
+
+	var records []brokerRecord
+
+	// Drift: three random-walk ticks of UpdateFilter churn over the whole
+	// population, then a uniform measured batch.
+	tree, b, rects, rng, err := build()
+	if err != nil {
+		return nil, err
+	}
+	for tick := 0; tick < 3; tick++ {
+		rects = workload.DriftRects(rng, w, rects, 0.01)
+		for i, r := range rects {
+			if err := b.UpdateFilter(core.ProcID(i+1), rectFilter(r)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	drift, err := measure("BrokerDrift/n100000", tree, b,
+		toEvents(workload.Events(rng, w, workload.UniformEvents, size, nil)))
+	if err != nil {
+		return nil, err
+	}
+	records = append(records, drift)
+
+	// Zipf: same subscription population, hotspot event stream.
+	tree, b, _, rng, err = build()
+	if err != nil {
+		return nil, err
+	}
+	zipf, err := measure("BrokerZipf/n100000", tree, b,
+		toEvents(workload.ZipfEvents(rng, w, size, 16, 1.5)))
+	if err != nil {
+		return nil, err
+	}
+	return append(records, zipf), nil
 }
 
 // measureBrokerDelivery runs the frozen-consumer delivery scenario: four
@@ -747,23 +914,24 @@ func measureBrokerDelivery() (brokerRecord, error) {
 		deliveredTotal += int64(st.Delivered)
 		droppedTotal += int64(st.Dropped)
 	}
-	msgs, visited := sumCounters(notes)
+	msgs, visited, gwVisited := sumCounters(notes)
 	ar := tree.ArenaStats()
 	return brokerRecord{
-		Name:                "BrokerDeliveryFrozen",
-		Engine:              "core",
-		Population:          fast + 1,
-		Gateways:            gws,
-		Batch:               events,
-		NsPerEvent:          float64(elapsed.Nanoseconds()) / float64(events),
-		AllocsPerEvent:      -1, // concurrent drainers make allocs nondeterministic
-		MsgsPerEvent:        float64(msgs) / float64(events),
-		ScanVisitedPerEvent: float64(visited) / float64(events),
-		ArenaCap:            ar.Cap,
-		ArenaLive:           ar.Live,
-		ArenaFree:           ar.Free,
-		DeliveredEvents:     deliveredTotal,
-		DroppedEvents:       droppedTotal,
+		Name:                   "BrokerDeliveryFrozen",
+		Engine:                 "core",
+		Population:             fast + 1,
+		Gateways:               gws,
+		Batch:                  events,
+		NsPerEvent:             float64(elapsed.Nanoseconds()) / float64(events),
+		AllocsPerEvent:         -1, // concurrent drainers make allocs nondeterministic
+		MsgsPerEvent:           float64(msgs) / float64(events),
+		ScanVisitedPerEvent:    float64(visited) / float64(events),
+		GatewayVisitedPerEvent: float64(gwVisited) / float64(events),
+		ArenaCap:               ar.Cap,
+		ArenaLive:              ar.Live,
+		ArenaFree:              ar.Free,
+		DeliveredEvents:        deliveredTotal,
+		DroppedEvents:          droppedTotal,
 	}, nil
 }
 
@@ -784,9 +952,9 @@ func runBenchBroker(path string) int {
 				r.Name, time.Duration(r.NetP50Ns), time.Duration(r.NetP99Ns), r.Batch)
 			continue
 		}
-		fmt.Printf("%-22s %10.0f ns/event %8.2f allocs/event %8.2f msgs/event %6.0f rounds/batch %8.2f scan-visits/event %5d delivered %5d dropped\n",
+		fmt.Printf("%-22s %10.0f ns/event %8.2f allocs/event %8.2f msgs/event %6.0f rounds/batch %8.2f scan-visits/event %6.2f gw-visits/event %4d gateways %5d delivered %5d dropped\n",
 			r.Name, r.NsPerEvent, r.AllocsPerEvent, r.MsgsPerEvent, r.RoundsPerBatch, r.ScanVisitedPerEvent,
-			r.DeliveredEvents, r.DroppedEvents)
+			r.GatewayVisitedPerEvent, r.Gateways, r.DeliveredEvents, r.DroppedEvents)
 	}
 	fmt.Printf("wrote %s\n", path)
 	return 0
@@ -849,6 +1017,12 @@ func gateViolations(coreGot, coreWant []benchRecord, protoGot, protoWant []proto
 				mismatch("broker[%d]: name %q, baseline %q", i, g.Name, w.Name)
 				continue
 			}
+			// Pool size is deterministic even under the adaptive policy
+			// (growth follows only the seeded subscription stream), so a
+			// drift means the sizing behaviour itself changed.
+			if g.Gateways != w.Gateways {
+				mismatch("broker %s: %d gateways, baseline %d", g.Name, g.Gateways, w.Gateways)
+			}
 			if g.MsgsPerEvent != w.MsgsPerEvent {
 				mismatch("broker %s: %.4f msgs/event, baseline %.4f", g.Name, g.MsgsPerEvent, w.MsgsPerEvent)
 			}
@@ -857,6 +1031,12 @@ func gateViolations(coreGot, coreWant []benchRecord, protoGot, protoWant []proto
 			}
 			if g.ScanVisitedPerEvent != w.ScanVisitedPerEvent {
 				mismatch("broker %s: %.4f scan-visits/event, baseline %.4f", g.Name, g.ScanVisitedPerEvent, w.ScanVisitedPerEvent)
+			}
+			if g.GatewayVisitedPerEvent != w.GatewayVisitedPerEvent {
+				mismatch("broker %s: %.4f gateway-visits/event, baseline %.4f", g.Name, g.GatewayVisitedPerEvent, w.GatewayVisitedPerEvent)
+			}
+			if g.FullReunions != w.FullReunions {
+				mismatch("broker %s: %d full re-unions, baseline %d", g.Name, g.FullReunions, w.FullReunions)
 			}
 			// Allocation counts are gated only where both sides measured
 			// them (the wire engine's grow-only actor state makes its
@@ -950,7 +1130,7 @@ func runLoadgen(pubCounts []int, subs, gateways, events, batchSize int) int {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}
-		b, evs, err := brokerWorkload(tree, subs, gateways)
+		b, evs, err := brokerWorkload(tree, subs, pubsub.WithGateways(gateways))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1

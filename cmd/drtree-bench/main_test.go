@@ -121,12 +121,15 @@ func TestBenchBrokerSmoke(t *testing.T) {
 	}
 	for i := range got {
 		g, w := got[i], committed[i]
-		if g.Name != w.Name || g.Engine != w.Engine || g.Population != w.Population || g.Batch != w.Batch {
+		if g.Name != w.Name || g.Engine != w.Engine || g.Population != w.Population ||
+			g.Gateways != w.Gateways || g.Batch != w.Batch {
 			t.Errorf("benchmark %d: identity %+v, baseline %+v", i, g, w)
 			continue
 		}
 		if g.MsgsPerEvent != w.MsgsPerEvent || g.RoundsPerBatch != w.RoundsPerBatch ||
-			g.ScanVisitedPerEvent != w.ScanVisitedPerEvent {
+			g.ScanVisitedPerEvent != w.ScanVisitedPerEvent ||
+			g.GatewayVisitedPerEvent != w.GatewayVisitedPerEvent ||
+			g.FullReunions != w.FullReunions {
 			t.Errorf("benchmark %s: deterministic counters %+v, baseline %+v", g.Name, g, w)
 		}
 		if g.AllocsPerEvent >= 0 && g.AllocsPerEvent != w.AllocsPerEvent {
@@ -174,12 +177,13 @@ func assertFrozenDelivery(t *testing.T, recs []brokerRecord) {
 	t.Error("BrokerDeliveryFrozen record missing from the broker sweep")
 }
 
-// assertSublinearScale enforces the gateway layer's scaling contract on
-// the recorded subscriber-scale sweep: at the fixed gateway count, the
-// per-event classification cost (match-index nodes visited) must stay
-// within ~2x of the 1k-subscriber floor at 100k subscribers and within
-// ~3x at one million — sublinear in subscribers, where the old global
-// scan grew 100x/1000x.
+// assertSublinearScale enforces the adaptive gateway tier's scaling
+// contract on the recorded subscriber-scale sweep: the per-event
+// classification cost (routing-tree plus match-index nodes visited)
+// must stay within ~2x of the 1k-subscriber floor all the way to one
+// million subscribers — nearly flat where the old global scan grew
+// 100x/1000x — while the policy actually grows the pool, and the
+// routing tree keeps the visited gateways per event far below it.
 func assertSublinearScale(t *testing.T, recs []brokerRecord) {
 	t.Helper()
 	byName := map[string]brokerRecord{}
@@ -192,14 +196,19 @@ func assertSublinearScale(t *testing.T, recs []brokerRecord) {
 	}
 	for name, bound := range map[string]float64{
 		"BrokerScale/n100000":  2,
-		"BrokerScale/n1000000": 3,
+		"BrokerScale/n1000000": 2,
 	} {
 		hi, ok := byName[name]
 		if !ok {
 			t.Fatalf("scale sweep record %s missing from BENCH_broker.json", name)
 		}
-		if hi.Gateways != lo.Gateways {
-			t.Fatalf("scale sweep gateway counts differ: %d vs %d", hi.Gateways, lo.Gateways)
+		if hi.Gateways <= lo.Gateways {
+			t.Fatalf("adaptive sweep pool did not grow: %d gateways at %s vs %d at n=1000",
+				hi.Gateways, name, lo.Gateways)
+		}
+		if hi.GatewayVisitedPerEvent > float64(hi.Gateways)/4 {
+			t.Errorf("routing tree barely prunes at %s: %.2f of %d gateways visited per event",
+				name, hi.GatewayVisitedPerEvent, hi.Gateways)
 		}
 		if ratio := hi.ScanVisitedPerEvent / lo.ScanVisitedPerEvent; ratio > bound {
 			t.Errorf("match-scan cost grew %.2fx from 1k to %s (want <= %.0fx): %+v vs %+v",
@@ -229,8 +238,8 @@ func TestGateViolations(t *testing.T) {
 	coreRecs := []benchRecord{{Name: "J", NsPerOp: 100, BytesPerOp: 5, AllocsPerOp: 42, ArenaCap: 6, ArenaLive: 6}}
 	protoRecs := []protoRecord{{Name: "P", Population: 100, Events: 10, RoundsPerPublish: 3, MsgsPerPublish: 7, MsgsPerRound: 2.5}}
 	brokerRecs := []brokerRecord{
-		{Name: "B/core", Engine: "core", Population: 10, Gateways: 4, Batch: 16, NsPerEvent: 50, AllocsPerEvent: 2.5, MsgsPerEvent: 7, ScanVisitedPerEvent: 12},
-		{Name: "B/proto", Engine: "proto", Population: 10, Gateways: 4, Batch: 16, NsPerEvent: 50, AllocsPerEvent: -1, MsgsPerEvent: 6, RoundsPerBatch: 4, ScanVisitedPerEvent: 12},
+		{Name: "B/core", Engine: "core", Population: 10, Gateways: 4, Batch: 16, NsPerEvent: 50, AllocsPerEvent: 2.5, MsgsPerEvent: 7, ScanVisitedPerEvent: 12, GatewayVisitedPerEvent: 2},
+		{Name: "B/proto", Engine: "proto", Population: 10, Gateways: 4, Batch: 16, NsPerEvent: 50, AllocsPerEvent: -1, MsgsPerEvent: 6, RoundsPerBatch: 4, ScanVisitedPerEvent: 12, GatewayVisitedPerEvent: 3},
 	}
 	clone := func() ([]benchRecord, []protoRecord, []brokerRecord) {
 		return append([]benchRecord(nil), coreRecs...),
@@ -271,6 +280,19 @@ func TestGateViolations(t *testing.T) {
 	b[0].ScanVisitedPerEvent = 13 // the match-scan cost is gated too
 	if v := gateViolations(c, coreRecs, p, protoRecs, b, brokerRecs); len(v) != 1 {
 		t.Errorf("scan-visit drift must fail once, got %v", v)
+	}
+
+	c, p, b = clone()
+	b[0].GatewayVisitedPerEvent = 4 // weaker routing-tree pruning is a regression
+	b[1].Gateways = 8               // so is an adaptive pool sized differently
+	if v := gateViolations(c, coreRecs, p, protoRecs, b, brokerRecs); len(v) != 2 {
+		t.Errorf("gateway-visit + pool-size drift must fail twice, got %v", v)
+	}
+
+	c, p, b = clone()
+	b[0].FullReunions = 3 // an incremental re-union falling back to O(n) is gated
+	if v := gateViolations(c, coreRecs, p, protoRecs, b, brokerRecs); len(v) != 1 {
+		t.Errorf("full re-union drift must fail once, got %v", v)
 	}
 
 	c, p, b = clone()

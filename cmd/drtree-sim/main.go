@@ -15,8 +15,16 @@
 //	           [-events 1000] [-eventkind matching|uniform|hotspot]
 //	           [-churn 0.1] [-seed 1]
 //	drtree-sim -subscribers 5000 [-gateways 16] [-engine core|proto|live]
+//	drtree-sim -subscribers 5000 -gateway-target 256 [-workload drift|zipf|flashcrowd]
 //	drtree-sim -replay schedule.json
 //	drtree-sim -hunt 50 [-hunt-out dir]
+//
+// Broker mode additionally accepts the dynamic workload scenarios
+// drift (interest regions random-walk via UpdateFilter between event
+// sweeps), zipf (a Zipf-skewed hot-cell event stream), and flashcrowd
+// (a burst of near-identical subscriptions lands mid-run); with
+// -gateway-target the gateway pool is adaptive (WithGatewayPolicy)
+// instead of fixed.
 package main
 
 import (
@@ -53,6 +61,7 @@ func run(args []string, out io.Writer) int {
 		seed      = fs.Uint64("seed", 1, "random seed")
 		subs      = fs.Int("subscribers", 0, "gateway broker mode: number of subscribers attached to the gateway pool")
 		gateways  = fs.Int("gateways", 16, "gateway broker mode: overlay processes shared by all subscribers")
+		gwTarget  = fs.Int("gateway-target", 0, "gateway broker mode: adaptive pool with this per-gateway subscription target (0 = fixed pool)")
 		replay    = fs.String("replay", "", "replay a recorded adversarial schedule artifact and exit")
 		hunt      = fs.Int("hunt", 0, "run N seeded adversarial schedules through the harness and exit")
 		huntOut   = fs.String("hunt-out", "", "directory for minimized failing-schedule artifacts (with -hunt)")
@@ -68,7 +77,7 @@ func run(args []string, out io.Writer) int {
 	// Workload-simulation flags are meaningless in replay/hunt modes;
 	// reject them rather than silently certifying something else than
 	// the user asked for.
-	simOnly := []string{"n", "engine", "split", "workload", "events", "eventkind", "churn", "subscribers", "gateways"}
+	simOnly := []string{"n", "engine", "split", "workload", "events", "eventkind", "churn", "subscribers", "gateways", "gateway-target"}
 
 	var err error
 	switch {
@@ -102,9 +111,12 @@ func run(args []string, out io.Writer) int {
 		if explicit["n"] {
 			err = fmt.Errorf("-n has no effect with -subscribers (the overlay holds gateways, not subscribers)")
 		}
+		if explicit["gateways"] && explicit["gateway-target"] {
+			err = fmt.Errorf("-gateways and -gateway-target are mutually exclusive (fixed vs adaptive pool)")
+		}
 		if err == nil {
 			err = runBrokerSim(brokerSimParams{
-				subscribers: *subs, gateways: *gateways,
+				subscribers: *subs, gateways: *gateways, gatewayTarget: *gwTarget,
 				m: *m, mm: *mm, engine: *engName, splitName: *splitName, wl: *wl,
 				events: *events, evKind: *evKind, churnFrac: *churnFrac, seed: *seed,
 			}, out)
@@ -112,6 +124,9 @@ func run(args []string, out io.Writer) int {
 	default:
 		if explicit["gateways"] {
 			err = fmt.Errorf("-gateways needs -subscribers (the gateway broker mode)")
+		}
+		if err == nil && explicit["gateway-target"] {
+			err = fmt.Errorf("-gateway-target needs -subscribers (the gateway broker mode)")
 		}
 		if err == nil {
 			err = runSim(simParams{
@@ -182,6 +197,7 @@ func runHunt(seed uint64, count int, cfg harness.GenConfig, outDir string, out i
 
 type brokerSimParams struct {
 	subscribers, gateways int
+	gatewayTarget         int
 	m, mm                 int
 	engine, splitName, wl string
 	events                int
@@ -195,14 +211,23 @@ type brokerSimParams struct {
 // is published through the gateway overlay and classified by the
 // per-gateway match indexes, and a churn fraction unsubscribes mid-run
 // (exercising the opportunistic filter shrink and gateway departures).
+// The dynamic scenarios (drift, zipf, flashcrowd) reshape the run: see
+// the package doc.
 func runBrokerSim(p brokerSimParams, out io.Writer) error {
 	ekind, err := drtree.ParseEngineKind(p.engine)
 	if err != nil {
 		return err
 	}
-	kind, err := workload.KindByName(p.wl)
+	scenario := ""
+	kindName := p.wl
+	switch p.wl {
+	case "drift", "zipf", "flashcrowd":
+		// Dynamic scenarios build on a uniform subscription population.
+		scenario, kindName = p.wl, "uniform"
+	}
+	kind, err := workload.KindByName(kindName)
 	if err != nil {
-		return err
+		return fmt.Errorf("%w (broker mode also accepts drift|zipf|flashcrowd)", err)
 	}
 	var ek workload.EventKind
 	switch p.evKind {
@@ -224,8 +249,18 @@ func runBrokerSim(p brokerSimParams, out io.Writer) error {
 
 	rng := rand.New(rand.NewPCG(p.seed, 0))
 	world := workload.DefaultWorld()
-	rects := workload.Subscriptions(rng, world, kind, p.subscribers)
+	nInitial := p.subscribers
+	burstSize := 0
+	if scenario == "flashcrowd" {
+		// Half the population arrives later as the crowd burst.
+		burstSize = p.subscribers / 2
+		nInitial = p.subscribers - burstSize
+	}
+	rects := workload.Subscriptions(rng, world, kind, nInitial)
 	points := workload.Events(rng, world, ek, p.events, rects)
+	if scenario == "zipf" {
+		points = workload.ZipfEvents(rng, world, p.events, 16, 1.5)
+	}
 
 	eng, err := drtree.Open(
 		drtree.WithEngine(ekind),
@@ -240,7 +275,11 @@ func runBrokerSim(p brokerSimParams, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	broker, err := drtree.NewBroker(space, eng, drtree.WithGateways(p.gateways))
+	poolOpt := drtree.WithGateways(p.gateways)
+	if p.gatewayTarget > 0 {
+		poolOpt = drtree.WithGatewayPolicy(p.gatewayTarget, 1, 4096)
+	}
+	broker, err := drtree.NewBroker(space, eng, poolOpt)
 	if err != nil {
 		return err
 	}
@@ -261,12 +300,12 @@ func runBrokerSim(p brokerSimParams, out io.Writer) error {
 		return fmt.Errorf("gateway overlay not legal after construction: %w", err)
 	}
 
-	alive := make([]drtree.ProcID, p.subscribers)
+	alive := make([]drtree.ProcID, nInitial)
 	for i := range alive {
 		alive[i] = drtree.ProcID(i + 1)
 	}
 	if p.churnFrac > 0 {
-		kills := int(p.churnFrac * float64(p.subscribers))
+		kills := int(p.churnFrac * float64(nInitial))
 		rng.Shuffle(len(alive), func(i, j int) { alive[i], alive[j] = alive[j], alive[i] })
 		for _, id := range alive[:kills] {
 			if err := broker.Unsubscribe(id); err != nil {
@@ -277,23 +316,75 @@ func runBrokerSim(p brokerSimParams, out io.Writer) error {
 		if st := broker.Repair(); !st.Converged {
 			return fmt.Errorf("gateway overlay did not stabilize after churn: %v", eng.CheckLegal())
 		}
-		fmt.Fprintf(out, "churn: unsubscribed %d of %d subscribers\n\n", kills, p.subscribers)
+		fmt.Fprintf(out, "churn: unsubscribed %d of %d subscribers\n\n", kills, nInitial)
 	}
 
-	var interested, received, fp, fn, msgs, rounds, visited int
-	for _, pt := range points {
-		ev := drtree.Event{"x": pt[0], "y": pt[1]}
-		note, err := broker.Publish(alive[rng.IntN(len(alive))], ev)
-		if err != nil {
+	var interested, received, fp, fn, msgs, rounds, visited, gwVisited, published int
+	sweep := func() error {
+		for _, pt := range points {
+			ev := drtree.Event{"x": pt[0], "y": pt[1]}
+			note, err := broker.Publish(alive[rng.IntN(len(alive))], ev)
+			if err != nil {
+				return err
+			}
+			published++
+			interested += len(note.Interested)
+			received += len(note.Received)
+			fp += len(note.FalsePositives)
+			fn += len(note.FalseNegatives)
+			msgs += note.Messages
+			rounds += note.Rounds
+			visited += note.ScanVisited
+			gwVisited += note.GatewayVisited
+		}
+		return nil
+	}
+	if err := sweep(); err != nil {
+		return err
+	}
+
+	fullReunions := func() uint64 {
+		var n uint64
+		for _, st := range broker.GatewayStats() {
+			n += st.FullReunions
+		}
+		return n
+	}
+	var driftTicks int
+	var driftReunions uint64
+	poolBeforeBurst := 0
+	switch scenario {
+	case "drift":
+		// Interest regions random-walk between event sweeps: contained
+		// moves should ride the incremental re-union (O(d) per move).
+		const ticks = 3
+		driftTicks = ticks
+		before := fullReunions()
+		cur := rects
+		for tick := 0; tick < ticks; tick++ {
+			cur = workload.DriftRects(rng, world, cur, 0.01)
+			for _, id := range alive {
+				if err := broker.UpdateFilter(id, toFilter(cur[id-1])); err != nil {
+					return fmt.Errorf("drift tick %d, subscriber %d: %w", tick, id, err)
+				}
+			}
+			if err := sweep(); err != nil {
+				return err
+			}
+		}
+		driftReunions = fullReunions() - before
+	case "flashcrowd":
+		// The crowd lands mid-run: a burst of near-identical interests an
+		// adaptive pool absorbs by splitting the hot gateways.
+		poolBeforeBurst = broker.Gateways()
+		for i, r := range workload.FlashCrowdRects(rng, world, burstSize) {
+			if err := broker.Subscribe(drtree.ProcID(nInitial+i+1), toFilter(r)); err != nil {
+				return fmt.Errorf("burst subscribe %d: %w", nInitial+i+1, err)
+			}
+		}
+		if err := sweep(); err != nil {
 			return err
 		}
-		interested += len(note.Interested)
-		received += len(note.Received)
-		fp += len(note.FalsePositives)
-		fn += len(note.FalseNegatives)
-		msgs += note.Messages
-		rounds += note.Rounds
-		visited += note.ScanVisited
 	}
 
 	joined := 0
@@ -303,16 +394,23 @@ func runBrokerSim(p brokerSimParams, out io.Writer) error {
 		}
 	}
 	_, rootH := eng.Root()
-	nEv := max(len(points), 1)
+	nEv := max(published, 1)
 	tb := stats.NewTable("metric", "value")
 	tb.AddRow("engine", string(ekind))
+	if scenario != "" {
+		tb.AddRow("scenario", scenario)
+	}
 	tb.AddRow("subscribers", broker.Len())
-	tb.AddRow("gateways (pool)", p.gateways)
+	if p.gatewayTarget > 0 {
+		tb.AddRow("gateway pool", "adaptive")
+		tb.AddRow("gateway target load", p.gatewayTarget)
+	}
+	tb.AddRow("gateways (pool)", broker.Gateways())
 	tb.AddRow("gateways (joined)", joined)
 	tb.AddRow("overlay processes", eng.Len())
 	tb.AddRow("subscribers/process", float64(broker.Len())/float64(max(eng.Len(), 1)))
 	tb.AddRow("overlay height", rootH+1)
-	tb.AddRow("events", len(points))
+	tb.AddRow("events", published)
 	tb.AddRow("interested/event", float64(interested)/float64(nEv))
 	tb.AddRow("received/event", float64(received)/float64(nEv))
 	tb.AddRow("overlay messages/event", float64(msgs)/float64(nEv))
@@ -320,6 +418,15 @@ func runBrokerSim(p brokerSimParams, out io.Writer) error {
 		tb.AddRow("rounds/event", float64(rounds)/float64(nEv))
 	}
 	tb.AddRow("match-scan visits/event", float64(visited)/float64(nEv))
+	tb.AddRow("gateways visited/event", float64(gwVisited)/float64(nEv))
+	if scenario == "drift" {
+		tb.AddRow("drift ticks", driftTicks)
+		tb.AddRow("drift full re-unions", driftReunions)
+	}
+	if scenario == "flashcrowd" {
+		tb.AddRow("pool before burst", poolBeforeBurst)
+		tb.AddRow("pool after burst", broker.Gateways())
+	}
 	tb.AddRow("false positives/delivery", float64(fp)/float64(max(received, 1)))
 	tb.AddRow("false negatives", fn)
 	fmt.Fprint(out, tb)

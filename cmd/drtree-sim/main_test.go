@@ -190,6 +190,46 @@ func TestBrokerSimSmoke(t *testing.T) {
 	}
 }
 
+// TestBrokerSimWorkloads drives the broker mode through every workload
+// value — the static subscription shapes and the dynamic scenarios —
+// over both fixed and adaptive gateway pools.
+func TestBrokerSimWorkloads(t *testing.T) {
+	for _, wl := range []string{"uniform", "drift", "zipf", "flashcrowd"} {
+		t.Run(wl+"/fixed", func(t *testing.T) {
+			var out bytes.Buffer
+			if code := run([]string{"-subscribers", "200", "-events", "30", "-workload", wl}, &out); code != 0 {
+				t.Fatalf("-workload %s failed with exit %d\n%s", wl, code, out.String())
+			}
+			if !strings.Contains(out.String(), "false negatives") {
+				t.Fatalf("-workload %s output missing stats table:\n%s", wl, out.String())
+			}
+		})
+		t.Run(wl+"/adaptive", func(t *testing.T) {
+			var out bytes.Buffer
+			if code := run([]string{"-subscribers", "200", "-events", "30", "-workload", wl, "-gateway-target", "16"}, &out); code != 0 {
+				t.Fatalf("-workload %s -gateway-target failed with exit %d\n%s", wl, code, out.String())
+			}
+			if !strings.Contains(out.String(), "gateway pool") || !strings.Contains(out.String(), "adaptive") {
+				t.Fatalf("-workload %s adaptive output missing pool mode:\n%s", wl, out.String())
+			}
+		})
+	}
+	var out bytes.Buffer
+	if code := run([]string{"-subscribers", "100", "-events", "20", "-workload", "drift"}, &out); code != 0 {
+		t.Fatal("drift on a fixed pool must still run")
+	}
+	if !strings.Contains(out.String(), "drift full re-unions") {
+		t.Fatalf("drift output missing re-union counter:\n%s", out.String())
+	}
+	out.Reset()
+	if code := run([]string{"-subscribers", "100", "-events", "20", "-workload", "flashcrowd", "-gateway-target", "8"}, &out); code != 0 {
+		t.Fatal("flashcrowd on an adaptive pool must run")
+	}
+	if !strings.Contains(out.String(), "pool after burst") {
+		t.Fatalf("flashcrowd output missing burst pool rows:\n%s", out.String())
+	}
+}
+
 // TestBrokerSimFlagValidation: the gateway mode rejects contradictory
 // flags instead of silently ignoring them.
 func TestBrokerSimFlagValidation(t *testing.T) {
@@ -205,6 +245,15 @@ func TestBrokerSimFlagValidation(t *testing.T) {
 	}
 	if code := run([]string{"-replay", "x.json", "-subscribers", "5"}, &out); code != 1 {
 		t.Fatalf("-replay with -subscribers must be rejected, got %d", code)
+	}
+	if code := run([]string{"-gateway-target", "32"}, &out); code != 1 {
+		t.Fatalf("-gateway-target without -subscribers must be rejected, got %d", code)
+	}
+	if code := run([]string{"-subscribers", "50", "-gateways", "4", "-gateway-target", "32"}, &out); code != 1 {
+		t.Fatalf("-gateways with -gateway-target must be rejected, got %d", code)
+	}
+	if code := run([]string{"-subscribers", "50", "-workload", "bogus"}, &out); code != 1 {
+		t.Fatalf("unknown broker workload must be rejected, got %d", code)
 	}
 }
 

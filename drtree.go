@@ -382,6 +382,17 @@ func NewSpace(attrs ...string) (*Space, error) { return filter.NewSpace(attrs...
 // fewer mean a smaller overlay.
 func WithGateways(n int) BrokerOption { return pubsub.WithGateways(n) }
 
+// WithGatewayPolicy replaces the Broker's fixed gateway pool with an
+// adaptive one: the pool starts at min gateways, a gateway reaching
+// target subscriptions splits onto a new overlay member (up to max),
+// and an underfull gateway drains into its peers and retires.
+// Subscriptions are placed spatially (least union enlargement), so the
+// broker's top-level routing tree prunes classification work — see
+// Notification.GatewayVisited. Mutually exclusive with WithGateways.
+func WithGatewayPolicy(target, min, max int) BrokerOption {
+	return pubsub.WithGatewayPolicy(target, min, max)
+}
+
 // WithGatewayBase sets the overlay process ID of the Broker's first
 // gateway (default 1); gateway i gets base+i. Brokers sharing one
 // overlay from different daemons — each daemon owning a disjoint slice

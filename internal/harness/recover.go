@@ -42,6 +42,7 @@ type recoverRunner struct {
 	s     *Schedule
 	space *filter.Space
 	open  StoreOpener
+	opts  []pubsub.Option
 	store state.Store
 	b     *pubsub.Broker
 	live  map[int]filter.Filter
@@ -69,14 +70,24 @@ type recoverRunner struct {
 // Even-numbered settle windows checkpoint (snapshot + compact) before
 // the kill, so one run certifies both recovery baselines: snapshot plus
 // journal suffix, and cold journal replay.
-func CertifyRecovery(s *Schedule, open StoreOpener) (*RecoveryReport, error) {
+//
+// opts configure every broker incarnation (default a fixed 4-gateway
+// pool). Passing pubsub.WithGatewayPolicy certifies the adaptive tier's
+// durability too: on every restart the recovered pool size and the
+// per-subscriber gateway assignment must match the pre-crash broker
+// exactly, not just the subscription set.
+func CertifyRecovery(s *Schedule, open StoreOpener, opts ...pubsub.Option) (*RecoveryReport, error) {
 	if err := s.validate(); err != nil {
 		return nil, err
+	}
+	if len(opts) == 0 {
+		opts = []pubsub.Option{pubsub.WithGateways(4)}
 	}
 	r := &recoverRunner{
 		s:     s,
 		space: filter.MustSpace("x", "y"),
 		open:  open,
+		opts:  opts,
 		live:  make(map[int]filter.Filter),
 		rep:   &RecoveryReport{Skipped: make(map[string]int)},
 	}
@@ -129,7 +140,7 @@ func (r *recoverRunner) reopen() error {
 	}
 	b, err := pubsub.NewCore(r.space,
 		core.Params{MinFanout: r.s.MinFanout, MaxFanout: r.s.MaxFanout},
-		pubsub.WithStore(s), pubsub.WithGateways(4))
+		append([]pubsub.Option{pubsub.WithStore(s)}, r.opts...)...)
 	if err != nil {
 		return fmt.Errorf("harness: rebuild broker: %w", err)
 	}
@@ -156,6 +167,15 @@ func (r *recoverRunner) settleCrash(stepIdx, settles int) error {
 			return fmt.Errorf("harness: checkpoint before crash: %w", err)
 		}
 	}
+	// The pre-crash pool oracle: the recovered broker must rebuild not
+	// just the subscription set but the same gateway tier — pool size
+	// and per-subscriber assignment (trivially true for a fixed pool,
+	// the real certification under WithGatewayPolicy).
+	wantPool := r.b.Gateways()
+	wantAssign := make(map[int]core.ProcID, len(r.live))
+	for id := range r.live {
+		wantAssign[id] = r.b.GatewayOf(core.ProcID(id))
+	}
 	// The crash: the old incarnation is dropped mid-flight. Only what
 	// the store already made durable may inform the new one.
 	r.rep.Crashes++
@@ -174,6 +194,16 @@ func (r *recoverRunner) settleCrash(stepIdx, settles int) error {
 	if st.Subscribers != len(r.live) {
 		return &Violation{StepIndex: stepIdx, Engine: "durable", Kind: "recovery",
 			Detail: fmt.Sprintf("recovered %d subscribers, oracle has %d live", st.Subscribers, len(r.live))}
+	}
+	if got := r.b.Gateways(); got != wantPool {
+		return &Violation{StepIndex: stepIdx, Engine: "durable", Kind: "recovery",
+			Detail: fmt.Sprintf("recovered a %d-gateway pool, pre-crash had %d", got, wantPool)}
+	}
+	for id, want := range wantAssign {
+		if got := r.b.GatewayOf(core.ProcID(id)); got != want {
+			return &Violation{StepIndex: stepIdx, Engine: "durable", Kind: "recovery",
+				Detail: fmt.Sprintf("subscriber %d recovered onto gateway %d, was on %d", id, got, want)}
+		}
 	}
 	r.b.Repair()
 	// Deterministic probe sweep: points inside live filters (guaranteed

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"drtree/internal/pubsub"
 	"drtree/internal/state"
 )
 
@@ -99,6 +100,28 @@ func TestCertifyRecoveryGenerated(t *testing.T) {
 				}
 				if rep.Crashes != settles {
 					t.Errorf("Crashes = %d, want one per settle (%d)", rep.Crashes, settles)
+				}
+				if rep.Probes == 0 {
+					t.Error("no certification probes ran")
+				}
+			})
+		}
+	}
+}
+
+// TestCertifyRecoveryAdaptivePool runs the certifier with the adaptive
+// gateway tier: a low split target forces pool growth (and drains on
+// departures) between crashes, so every settle window certifies that
+// the recovered pool size and per-subscriber gateway assignment match
+// the pre-crash broker exactly.
+func TestCertifyRecoveryAdaptivePool(t *testing.T) {
+	for _, seed := range []uint64{2, 13} {
+		sched := Generate(seed, GenConfig{})
+		for name, open := range recoveryOpeners(t) {
+			t.Run(fmt.Sprintf("seed=%d/%s", seed, name), func(t *testing.T) {
+				rep, err := CertifyRecovery(sched, open, pubsub.WithGatewayPolicy(3, 1, 32))
+				if err != nil {
+					t.Fatalf("CertifyRecovery: %v (report %v)", err, rep)
 				}
 				if rep.Probes == 0 {
 					t.Error("no certification probes ran")

@@ -213,7 +213,10 @@ func (b *Broker) runChanConsumer(cons *consumer, ch chan Envelope) {
 // journaled: a queue cannot outlive its process, so after a restart
 // every recovered subscription is record-only until its owner attaches.
 func (b *Broker) attach(id core.ProcID, cons *consumer) error {
-	gw := b.gateway(id)
+	gw := b.owner(id)
+	if gw == nil {
+		return fmt.Errorf("pubsub: subscriber %d not registered", id)
+	}
 	gw.mu.Lock()
 	defer gw.mu.Unlock()
 	sub, ok := gw.subs[id]
@@ -299,7 +302,7 @@ type DeliveryStats struct {
 // (Subscribe) have no queue and do not appear.
 func (b *Broker) DeliveryStats() []DeliveryStats {
 	var out []DeliveryStats
-	for _, gw := range b.gws {
+	for _, gw := range b.poolSnapshot() {
 		gw.mu.RLock()
 		for id, sub := range gw.subs {
 			if sub.cons == nil {
@@ -316,7 +319,10 @@ func (b *Broker) DeliveryStats() []DeliveryStats {
 // DeliveryStatsOf snapshots one subscriber's delivery counters; ok is
 // false when id is not a queue-backed subscriber.
 func (b *Broker) DeliveryStatsOf(id core.ProcID) (DeliveryStats, bool) {
-	gw := b.gateway(id)
+	gw := b.owner(id)
+	if gw == nil {
+		return DeliveryStats{}, false
+	}
 	gw.mu.RLock()
 	defer gw.mu.RUnlock()
 	sub, ok := gw.subs[id]

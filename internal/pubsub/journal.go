@@ -19,14 +19,23 @@ package pubsub
 // the previous incarnation carried.
 //
 // Record layout (inside a state.Store record, which adds its own
-// framing, CRC and seq):
+// framing, CRC and seq). Version 2, written by this build:
 //
-//	version(1) op(1) id(varint) [npreds(uvarint) {attr(string) op(1) value(f64)}...]
+//	subscribe/update: version(2) op(1) id(varint) gwOff(uvarint) npreds(uvarint) {attr(string) op(1) value(f64)}...
+//	unsubscribe:      version(2) op(1) id(varint)
+//	assign:           version(2) op(1) id(varint) gwOff(uvarint)
+//	pool:             version(2) op(1) kind(1) gwOff(uvarint)
 //
-// The predicate list is present for subscribe and update, absent for
-// unsubscribe. A snapshot blob is version(1) count(uvarint) followed by
-// count (id, predicate-list) pairs. The leading version byte is the
-// migration hook, independent of the store's on-disk format version.
+// gwOff is the owning gateway's stable pool offset; assign records pin
+// a subscription that *moved* gateways after registration (a pool split
+// or drain), and pool records track adaptive-pool membership (grow /
+// retire). Version 1 records (no gateway offsets, no assign/pool ops)
+// are still read: their subscriptions recover through fresh placement.
+// A version-2 snapshot blob is version(2) poolCount(uvarint) {gwOff}...
+// count(uvarint) {id gwOff predicate-list}... — poolCount is 0 for a
+// fixed pool, whose shape is configuration, not state. The leading
+// version byte is the migration hook, independent of the store's
+// on-disk format version.
 
 import (
 	"cmp"
@@ -45,18 +54,24 @@ import (
 const DefaultSnapshotEvery = 4096
 
 const (
-	journalVersion = byte(1)
+	journalVersion  = byte(2)
+	journalVersion1 = byte(1) // still readable
 
 	journalSubscribe   = byte(1)
 	journalUnsubscribe = byte(2)
 	journalUpdate      = byte(3)
+	journalAssignOp    = byte(4)
+	journalPoolOp      = byte(5)
+
+	poolGrow   = byte(1)
+	poolRetire = byte(2)
 )
 
 // journalAppend durably records one subscription operation. No-op on a
 // memory-only broker. Called with the owning gateway's lock held, which
 // is what orders the journal consistently with the in-memory commit
 // order for any single subscriber ID.
-func (b *Broker) journalAppend(op byte, id core.ProcID, f filter.Filter) error {
+func (b *Broker) journalAppend(op byte, id core.ProcID, f filter.Filter, gwOff int) error {
 	if b.store == nil {
 		return nil
 	}
@@ -65,9 +80,43 @@ func (b *Broker) journalAppend(op byte, id core.ProcID, f filter.Filter) error {
 	w.Byte(op)
 	w.Varint(int64(id))
 	if op != journalUnsubscribe {
+		w.Uvarint(uint64(gwOff))
 		encodeFilter(w, f)
 	}
-	if err := b.store.Append(w.Bytes()); err != nil {
+	return b.appendRecord(w.Bytes())
+}
+
+// journalAssign records that subscriber id now lives on the gateway at
+// pool offset gwOff — a move (split/drain), not a new registration.
+func (b *Broker) journalAssign(id core.ProcID, gwOff int) error {
+	if b.store == nil {
+		return nil
+	}
+	w := wire.NewWriter(make([]byte, 0, 16))
+	w.Byte(journalVersion)
+	w.Byte(journalAssignOp)
+	w.Varint(int64(id))
+	w.Uvarint(uint64(gwOff))
+	return b.appendRecord(w.Bytes())
+}
+
+// journalPoolOp records an adaptive-pool membership change.
+func (b *Broker) journalPoolOp(kind byte, gwOff int) error {
+	if b.store == nil {
+		return nil
+	}
+	w := wire.NewWriter(make([]byte, 0, 8))
+	w.Byte(journalVersion)
+	w.Byte(journalPoolOp)
+	w.Byte(kind)
+	w.Uvarint(uint64(gwOff))
+	return b.appendRecord(w.Bytes())
+}
+
+// appendRecord writes one framed record and drives the checkpoint
+// cadence.
+func (b *Broker) appendRecord(rec []byte) error {
+	if err := b.store.Append(rec); err != nil {
 		return fmt.Errorf("pubsub: journal append: %w", err)
 	}
 	if b.snapEvery > 0 && b.sinceSnap.Add(1) >= uint64(b.snapEvery) {
@@ -89,37 +138,52 @@ func (b *Broker) checkpointAsync() {
 	}()
 }
 
-// Checkpoint snapshots the current subscription table into the store
-// and compacts the journal. The snapshot is cut under every gateway's
-// read lock simultaneously, which excludes all journal appends (they
-// run under a gateway write lock), so the blob and the covered log
-// prefix describe exactly the same history — no operation can slip
-// between the cut and the snapshot's coverage point. No-op on a
-// memory-only broker.
+// Checkpoint snapshots the current subscription table (and, for an
+// adaptive pool, the pool membership) into the store and compacts the
+// journal. The snapshot is cut under the shared pool lock plus every
+// gateway's read lock simultaneously, which excludes all journal
+// appends (they run under a gateway write lock) and all pool
+// reorganizations (they hold the pool lock exclusively), so the blob
+// and the covered log prefix describe exactly the same history — no
+// operation can slip between the cut and the snapshot's coverage
+// point. No-op on a memory-only broker.
 func (b *Broker) Checkpoint() error {
 	if b.store == nil {
 		return nil
 	}
-	for _, gw := range b.gws {
+	b.poolMu.RLock()
+	gws := b.gws
+	for _, gw := range gws {
 		gw.mu.RLock()
 	}
 	w := wire.NewWriter(make([]byte, 0, 1024))
 	w.Byte(journalVersion)
+	if b.policy != nil {
+		offs := b.poolOffsetsLocked()
+		w.Uvarint(uint64(len(offs)))
+		for _, off := range offs {
+			w.Uvarint(uint64(off))
+		}
+	} else {
+		w.Uvarint(0)
+	}
 	n := 0
-	for _, gw := range b.gws {
+	for _, gw := range gws {
 		n += len(gw.subs)
 	}
 	w.Uvarint(uint64(n))
-	for _, gw := range b.gws {
+	for _, gw := range gws {
 		for id, sub := range gw.subs {
 			w.Varint(int64(id))
+			w.Uvarint(uint64(gw.off))
 			encodeFilter(w, sub.f)
 		}
 	}
 	err := b.store.Snapshot(w.Bytes())
-	for _, gw := range b.gws {
+	for _, gw := range gws {
 		gw.mu.RUnlock()
 	}
+	b.poolMu.RUnlock()
 	if err != nil {
 		return fmt.Errorf("pubsub: checkpoint: %w", err)
 	}
@@ -140,15 +204,49 @@ type RecoverStats struct {
 	Subscribers int
 }
 
+// replaySub is one subscription folded out of the log: its filter and
+// the pool offset of its last known gateway (-1 when unknown — a
+// version-1 record).
+type replaySub struct {
+	f   filter.Filter
+	off int
+}
+
+// replayState is the fold target of one Replay pass.
+type replayState struct {
+	subs map[core.ProcID]replaySub
+	// pool is the set of live adaptive-pool offsets (grow minus
+	// retire); nil until the log proves the store was written by an
+	// adaptive pool (a pool record or a v2 snapshot with offsets).
+	pool   map[int]bool
+	maxOff int
+}
+
+func (st *replayState) poolSet() map[int]bool {
+	if st.pool == nil {
+		st.pool = make(map[int]bool)
+	}
+	return st.pool
+}
+
+func (st *replayState) noteOff(off int) {
+	if off > st.maxOff {
+		st.maxOff = off
+	}
+}
+
 // Recover rebuilds the subscription set from the broker's store: the
 // snapshot baseline (if any) plus every journaled operation after it,
 // re-applied through the normal subscribe path so subscriber shards,
 // match-index R-trees and gateway MBR-unions are all re-derived and the
-// gateways re-join the overlay. Recovered subscriptions are record-only
-// — delivery queues cannot outlive a process — and their owners
-// re-attach with AttachFunc/AttachChan. Call on a freshly constructed
-// broker (it fails on one that already has subscribers), then Repair to
-// drive the overlay to quiescence.
+// gateways re-join the overlay. An adaptive pool first rebuilds its
+// pre-crash shape from the journaled pool records, then pins every
+// subscription to its journaled gateway, so the recovered assignment is
+// the pre-crash assignment, not a re-derived one. Recovered
+// subscriptions are record-only — delivery queues cannot outlive a
+// process — and their owners re-attach with AttachFunc/AttachChan. Call
+// on a freshly constructed broker (it fails on one that already has
+// subscribers), then Repair to drive the overlay to quiescence.
 func (b *Broker) Recover() (RecoverStats, error) {
 	var st RecoverStats
 	if b.store == nil {
@@ -157,25 +255,39 @@ func (b *Broker) Recover() (RecoverStats, error) {
 	if b.Len() != 0 {
 		return st, fmt.Errorf("pubsub: Recover on a broker with live subscribers")
 	}
-	subs := make(map[core.ProcID]filter.Filter)
+	rs := replayState{subs: make(map[core.ProcID]replaySub)}
+	if b.policy != nil {
+		// The initial floor gateways predate any journal record.
+		for i := 0; i < b.policy.min; i++ {
+			rs.poolSet()[i] = true
+			rs.noteOff(i)
+		}
+	}
 	err := b.store.Replay(func(e state.Entry) error {
 		if e.Snapshot {
 			st.Snapshot = true
-			return decodeSnapshot(e.Data, subs)
+			return decodeSnapshot(e.Data, &rs)
 		}
 		st.Records++
-		return applyJournalRecord(e.Data, subs)
+		return applyJournalRecord(e.Data, &rs)
 	})
 	if err != nil {
 		return st, err
 	}
-	ids := make([]core.ProcID, 0, len(subs))
-	for id := range subs {
+	if b.policy != nil {
+		b.rebuildPool(&rs)
+	}
+	ids := make([]core.ProcID, 0, len(rs.subs))
+	for id := range rs.subs {
 		ids = append(ids, id)
 	}
 	slices.SortFunc(ids, func(a, b core.ProcID) int { return cmp.Compare(a, b) })
 	for _, id := range ids {
-		if err := b.subscribe(id, subs[id], nil, false); err != nil {
+		off := -1
+		if b.policy != nil {
+			off = rs.subs[id].off
+		}
+		if err := b.subscribeAt(id, rs.subs[id].f, nil, false, off); err != nil {
 			return st, fmt.Errorf("pubsub: recovering subscriber %d: %w", id, err)
 		}
 	}
@@ -184,6 +296,29 @@ func (b *Broker) Recover() (RecoverStats, error) {
 	// broker that crashes repeatedly still converges on a snapshot.
 	b.sinceSnap.Store(uint64(st.Records))
 	return st, nil
+}
+
+// rebuildPool reshapes the virgin adaptive pool to the journaled
+// membership before any subscription replays: every journaled offset
+// gets an (empty, unjoined) gateway, in offset order.
+func (b *Broker) rebuildPool(rs *replayState) {
+	offs := make([]int, 0, len(rs.pool))
+	for off := range rs.pool {
+		offs = append(offs, off)
+	}
+	slices.Sort(offs)
+	b.poolMu.Lock()
+	defer b.poolMu.Unlock()
+	b.gws = b.gws[:0]
+	b.idle = b.idle[:0]
+	clear(b.byProc)
+	for _, off := range offs {
+		gw := b.newGateway(off)
+		b.gws = append(b.gws, gw)
+		b.byProc[gw.procID] = gw
+		b.idle = append(b.idle, gw)
+	}
+	b.nextOff = max(rs.maxOff+1, b.policy.min)
 }
 
 // encodeFilter appends a filter's exact predicate list.
@@ -224,26 +359,68 @@ func decodeFilter(r *wire.Reader) filter.Filter {
 	return filter.New(preds...)
 }
 
-// applyJournalRecord folds one journal record into the subscription map.
-func applyJournalRecord(rec []byte, subs map[core.ProcID]filter.Filter) error {
+// applyJournalRecord folds one journal record into the replay state.
+func applyJournalRecord(rec []byte, rs *replayState) error {
 	r := wire.NewReader(rec)
-	if v := r.Byte(); r.Err() == nil && v != journalVersion {
+	v := r.Byte()
+	if r.Err() == nil && v != journalVersion && v != journalVersion1 {
 		return fmt.Errorf("pubsub: journal record version %d, this build reads %d", v, journalVersion)
 	}
 	op := r.Byte()
+	if op == journalPoolOp {
+		kind := r.Byte()
+		off := int(r.Uvarint())
+		if err := r.Err(); err != nil {
+			return fmt.Errorf("pubsub: journal record: %w", err)
+		}
+		switch kind {
+		case poolGrow:
+			rs.poolSet()[off] = true
+			rs.noteOff(off)
+		case poolRetire:
+			delete(rs.poolSet(), off)
+			rs.noteOff(off)
+		default:
+			return fmt.Errorf("pubsub: journal pool record kind %d unknown", kind)
+		}
+		if r.Remaining() != 0 {
+			return fmt.Errorf("pubsub: journal record: %d trailing bytes", r.Remaining())
+		}
+		return nil
+	}
 	id := core.ProcID(r.Varint())
 	switch op {
 	case journalSubscribe, journalUpdate:
+		off := -1
+		if v >= journalVersion {
+			off = int(r.Uvarint())
+		}
 		f := decodeFilter(r)
 		if err := r.Err(); err != nil {
 			return fmt.Errorf("pubsub: journal record: %w", err)
 		}
-		subs[id] = f
+		if off >= 0 {
+			rs.noteOff(off)
+		}
+		rs.subs[id] = replaySub{f: f, off: off}
 	case journalUnsubscribe:
 		if err := r.Err(); err != nil {
 			return fmt.Errorf("pubsub: journal record: %w", err)
 		}
-		delete(subs, id)
+		delete(rs.subs, id)
+	case journalAssignOp:
+		off := int(r.Uvarint())
+		if err := r.Err(); err != nil {
+			return fmt.Errorf("pubsub: journal record: %w", err)
+		}
+		rs.noteOff(off)
+		// An assign for an id the fold no longer holds is a harmless
+		// stale move record (its subscribe was compacted away after an
+		// unsubscribe); placement at recovery handles the rest.
+		if s, ok := rs.subs[id]; ok {
+			s.off = off
+			rs.subs[id] = s
+		}
 	default:
 		if err := r.Err(); err != nil {
 			return fmt.Errorf("pubsub: journal record: %w", err)
@@ -256,11 +433,32 @@ func applyJournalRecord(rec []byte, subs map[core.ProcID]filter.Filter) error {
 	return nil
 }
 
-// decodeSnapshot folds a snapshot blob into the subscription map.
-func decodeSnapshot(blob []byte, subs map[core.ProcID]filter.Filter) error {
+// decodeSnapshot folds a snapshot blob into the replay state, replacing
+// whatever the fold held (a snapshot is a full baseline).
+func decodeSnapshot(blob []byte, rs *replayState) error {
 	r := wire.NewReader(blob)
-	if v := r.Byte(); r.Err() == nil && v != journalVersion {
+	v := r.Byte()
+	if r.Err() == nil && v != journalVersion && v != journalVersion1 {
 		return fmt.Errorf("pubsub: snapshot version %d, this build reads %d", v, journalVersion)
+	}
+	clear(rs.subs)
+	if v >= journalVersion {
+		np := r.Uvarint()
+		if err := r.Err(); err != nil {
+			return fmt.Errorf("pubsub: snapshot: %w", err)
+		}
+		if np > uint64(r.Remaining()) {
+			return fmt.Errorf("pubsub: snapshot: %d pool offsets exceed blob", np)
+		}
+		if np > 0 {
+			pool := rs.poolSet()
+			clear(pool)
+			for i := uint64(0); i < np; i++ {
+				off := int(r.Uvarint())
+				pool[off] = true
+				rs.noteOff(off)
+			}
+		}
 	}
 	n := r.Uvarint()
 	if err := r.Err(); err != nil {
@@ -272,11 +470,16 @@ func decodeSnapshot(blob []byte, subs map[core.ProcID]filter.Filter) error {
 	}
 	for i := uint64(0); i < n; i++ {
 		id := core.ProcID(r.Varint())
+		off := -1
+		if v >= journalVersion {
+			off = int(r.Uvarint())
+			rs.noteOff(off)
+		}
 		f := decodeFilter(r)
 		if err := r.Err(); err != nil {
 			return fmt.Errorf("pubsub: snapshot entry %d: %w", i, err)
 		}
-		subs[id] = f
+		rs.subs[id] = replaySub{f: f, off: off}
 	}
 	if r.Remaining() != 0 {
 		return fmt.Errorf("pubsub: snapshot: %d trailing bytes", r.Remaining())

@@ -34,6 +34,8 @@ type DeliveryOption interface {
 
 type brokerConfig struct {
 	gateways      int
+	gatewaysSet   bool
+	policy        *gatewayPolicy
 	gwBase        core.ProcID
 	store         state.Store
 	snapshotEvery int
@@ -62,6 +64,34 @@ func WithGateways(n int) Option {
 			return fmt.Errorf("pubsub: gateway count must be >= 1, got %d", n)
 		}
 		c.gateways = n
+		c.gatewaysSet = true
+		return nil
+	})
+}
+
+// WithGatewayPolicy replaces the fixed pool with an adaptive one: the
+// pool starts at min gateways, a gateway reaching target subscriptions
+// splits its entry set onto a new overlay member (up to max gateways),
+// and a gateway draining far below target hands its entries to its
+// peers and retires from the overlay. Subscriptions are placed on the
+// gateway whose MBR-union they enlarge least, so the pool stays
+// spatially coherent and the top-level routing tree prunes classify
+// work (Notification.GatewayVisited). Pool membership and subscription
+// assignment changes are journaled on a durable broker; Recover
+// rebuilds the exact pre-crash pool and assignment. Mutually exclusive
+// with WithGateways.
+func WithGatewayPolicy(target, min, max int) Option {
+	return brokerOption(func(c *brokerConfig) error {
+		if target < 1 {
+			return fmt.Errorf("pubsub: gateway target load must be >= 1, got %d", target)
+		}
+		if min < 1 {
+			return fmt.Errorf("pubsub: gateway pool floor must be >= 1, got %d", min)
+		}
+		if max < min {
+			return fmt.Errorf("pubsub: gateway pool ceiling %d below floor %d", max, min)
+		}
+		c.policy = &gatewayPolicy{target: target, min: min, max: max}
 		return nil
 	})
 }

@@ -24,6 +24,7 @@
 package pubsub
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
 	"math"
@@ -91,15 +92,29 @@ type matchIndex interface {
 // filter rides for free — §2.2 at runtime) and shrinks opportunistically
 // when the unique rectangle set loses a maximal element.
 type gateway struct {
-	procID core.ProcID // overlay process ID (gateway base + pool index)
+	procID core.ProcID // overlay process ID (gateway base + off)
+	off    int         // stable pool offset; survives pool compaction
 
 	mu      sync.RWMutex
 	subs    map[core.ProcID]subscription
 	entries map[string]*matchEntry
 	index   matchIndex // unique rectangles -> *matchEntry
-	union   geom.Rect  // == the gateway's overlay filter while joined
-	joined  bool
+	union   geom.Rect  // exact MBR-union fold of entries (see union.go)
+	// loAt/hiAt count, per dimension, how many entries numerically
+	// attain the union's lo/hi boundary — the incremental re-union
+	// bookkeeping (union.go).
+	loAt, hiAt []int
+	// fullReunions counts O(entries) union recomputations on the
+	// unsubscribe/UpdateFilter shrink path (boundary departures); the
+	// drift workloads pin it to zero for contained moves.
+	fullReunions uint64
+	routeRect    geom.Rect // rectangle registered in the routing tree (empty = absent)
+	joined       bool
 }
+
+// load is the gateway's subscription count; callers hold gw.mu or the
+// pool lock exclusively (see pool.go on why the latter suffices).
+func (gw *gateway) load() int { return len(gw.subs) }
 
 // Broker is the pub/sub front end over one DR-tree engine. It is safe
 // for concurrent use: subscriber state is sharded per gateway under
@@ -116,8 +131,28 @@ type Broker struct {
 	engMu   sync.Mutex // serializes all calls into eng
 	eng     engine.Engine
 	updater engine.FilterUpdater // nil when the engine lacks the capability
+
+	// poolMu guards the pool itself: gws, byProc, assign, idle, nextOff.
+	// Fixed-mode pools never change shape, so the hot paths there take
+	// it only for a pointer lookup; adaptive-pool mutations (placement,
+	// split, drain, retire — pool.go) hold it exclusively. Lock order:
+	// poolMu -> gateway.mu -> (engMu | routeMu).
+	poolMu  sync.RWMutex
 	gws     []*gateway
-	gwBase  core.ProcID // procID of gws[0]
+	byProc  map[core.ProcID]*gateway
+	assign  map[core.ProcID]*gateway // subscriber -> gateway; nil in fixed mode
+	idle    []*gateway               // zero-load gateways, reused before growing
+	nextOff int                      // next never-used pool offset
+	policy  *gatewayPolicy           // nil = fixed WithGateways pool
+
+	// route is the top level of the two-level classification tree: one
+	// entry per gateway with at least one subscription, keyed by the
+	// gateway's MBR-union. An event consults it once to learn which
+	// per-gateway match indexes to visit at all.
+	routeMu sync.RWMutex
+	route   *rtree.Tree
+
+	gwBase core.ProcID // procID of pool offset 0
 	// needRejoin flags that some gateway was marked unjoined while still
 	// holding live subscriptions (a failed fallback filter move): the
 	// next publish or Repair re-establishes its membership lazily.
@@ -158,28 +193,40 @@ func New(space *filter.Space, eng engine.Engine, opts ...Option) (*Broker, error
 			return nil, err
 		}
 	}
+	if cfg.policy != nil && cfg.gatewaysSet {
+		return nil, fmt.Errorf("pubsub: WithGateways and WithGatewayPolicy are mutually exclusive")
+	}
 	b := &Broker{
 		space:           space,
 		eng:             eng,
 		gwBase:          cfg.gwBase,
+		policy:          cfg.policy,
 		store:           cfg.store,
 		snapEvery:       cfg.snapshotEvery,
 		defaultDelivery: cfg.delivery,
 	}
 	b.updater, _ = eng.(engine.FilterUpdater)
-	b.gws = make([]*gateway, cfg.gateways)
-	for i := range b.gws {
-		b.gws[i] = &gateway{
-			procID:  cfg.gwBase + core.ProcID(i),
-			subs:    make(map[core.ProcID]subscription),
-			entries: make(map[string]*matchEntry),
-			// Wide nodes + the R*-style split keep sibling overlap (and so
-			// point-query node visits) low as the index grows: measured
-			// ~1.7x visit growth for a 100x subscriber growth, the best of
-			// the swept (m, M, policy) combinations.
-			index: rtree.MustNew(8, 32, split.RStar{}),
+	// Same wide fan-out as the per-gateway match indexes: an adaptive
+	// pool can reach thousands of gateways, and fan-out 32 keeps the
+	// routing tree two levels deep (so route-node visits stay a small
+	// constant) all the way to the policy ceiling.
+	b.route = rtree.MustNew(8, 32, split.RStar{})
+	n := cfg.gateways
+	if b.policy != nil {
+		n = b.policy.min
+		b.assign = make(map[core.ProcID]*gateway)
+	}
+	b.byProc = make(map[core.ProcID]*gateway, n)
+	b.gws = make([]*gateway, 0, n)
+	for i := 0; i < n; i++ {
+		gw := b.newGateway(i)
+		b.gws = append(b.gws, gw)
+		b.byProc[gw.procID] = gw
+		if b.policy != nil {
+			b.idle = append(b.idle, gw)
 		}
 	}
+	b.nextOff = n
 	return b, nil
 }
 
@@ -213,18 +260,43 @@ func rectKey(r geom.Rect) string {
 	return string(buf)
 }
 
-// gateway returns the pool member owning subscriber id.
-func (b *Broker) gateway(id core.ProcID) *gateway {
+// owner returns the gateway owning subscriber id: the hash slot in
+// fixed mode (registered or not — the historical contract), the current
+// assignment in policy mode (nil when id is not registered).
+func (b *Broker) owner(id core.ProcID) *gateway {
+	b.poolMu.RLock()
+	gw := b.ownerLocked(id)
+	b.poolMu.RUnlock()
+	return gw
+}
+
+// ownerLocked is owner with poolMu already held (either mode). Safe
+// without poolMu in fixed mode only, where the pool never changes.
+func (b *Broker) ownerLocked(id core.ProcID) *gateway {
+	if b.assign != nil {
+		return b.assign[id]
+	}
 	return b.gws[uint64(id)%uint64(len(b.gws))]
 }
 
 // registered reports whether id is a current subscriber.
 func (b *Broker) registered(id core.ProcID) bool {
-	gw := b.gateway(id)
+	gw := b.owner(id)
+	if gw == nil {
+		return false
+	}
 	gw.mu.RLock()
 	_, ok := gw.subs[id]
 	gw.mu.RUnlock()
 	return ok
+}
+
+// poolSnapshot clones the pool slice for lock-free iteration.
+func (b *Broker) poolSnapshot() []*gateway {
+	b.poolMu.RLock()
+	gws := slices.Clone(b.gws)
+	b.poolMu.RUnlock()
+	return gws
 }
 
 // Engine exposes the underlying overlay engine (for inspection and
@@ -235,13 +307,19 @@ func (b *Broker) Engine() engine.Engine { return b.eng }
 // Space returns the broker's attribute space.
 func (b *Broker) Space() *filter.Space { return b.space }
 
-// Gateways returns the gateway pool size.
-func (b *Broker) Gateways() int { return len(b.gws) }
+// Gateways returns the current gateway pool size (fixed under
+// WithGateways; load-driven under WithGatewayPolicy).
+func (b *Broker) Gateways() int {
+	b.poolMu.RLock()
+	n := len(b.gws)
+	b.poolMu.RUnlock()
+	return n
+}
 
 // Len returns the number of active subscribers.
 func (b *Broker) Len() int {
 	n := 0
-	for _, gw := range b.gws {
+	for _, gw := range b.poolSnapshot() {
 		gw.mu.RLock()
 		n += len(gw.subs)
 		gw.mu.RUnlock()
@@ -271,19 +349,28 @@ type GatewayStat struct {
 	Dropped uint64
 	// Redelivered totals their at-least-once delivery retries.
 	Redelivered uint64
+	// FullReunions counts the O(entries) union recomputations this
+	// gateway performed on the unsubscribe/UpdateFilter shrink path.
+	// Contained filter moves keep it flat (the incremental re-union);
+	// only boundary departures pay the fold.
+	FullReunions uint64
 }
 
 // GatewayStats returns a snapshot of every gateway in pool order.
 func (b *Broker) GatewayStats() []GatewayStat {
-	out := make([]GatewayStat, len(b.gws))
-	for i, gw := range b.gws {
+	gws := b.poolSnapshot()
+	out := make([]GatewayStat, len(gws))
+	for i, gw := range gws {
 		gw.mu.RLock()
 		st := GatewayStat{
 			ProcID:        gw.procID,
 			Subscribers:   len(gw.subs),
 			UniqueFilters: len(gw.entries),
-			Filter:        gw.union,
 			Joined:        gw.joined,
+			FullReunions:  gw.fullReunions,
+		}
+		if gw.joined {
+			st.Filter = gw.union
 		}
 		for _, sub := range gw.subs {
 			if sub.cons == nil {
@@ -327,11 +414,12 @@ func (b *Broker) engUpdateFilter(gw *gateway, f geom.Rect) error {
 	if err := b.eng.Join(gw.procID, f); err != nil {
 		if rerr := b.eng.Join(gw.procID, gw.union); rerr != nil {
 			gw.joined = false
-			gw.union = geom.Rect{}
-			// The gateway still holds live subscriptions: flag it so the
-			// next publish or Repair re-joins it, instead of its
-			// subscribers silently missing every event until a future
-			// Subscribe happens to hash onto the same gateway.
+			// The union stays what it is — the exact fold of the local
+			// entries (union.go) — so the lazy re-join below and in
+			// rejoinStale re-covers every local subscription. Flag the
+			// stranding so the next publish or Repair re-joins, instead
+			// of subscribers silently missing every event until a future
+			// Subscribe lands on the same gateway.
 			b.needRejoin.Store(true)
 		}
 		return err
@@ -350,15 +438,15 @@ func (b *Broker) rejoinStale() {
 	if !b.needRejoin.Swap(false) {
 		return
 	}
-	for _, gw := range b.gws {
+	for _, gw := range b.poolSnapshot() {
 		gw.mu.Lock()
 		if !gw.joined && len(gw.subs) > 0 {
-			union := gw.recomputeUnion()
-			if err := b.engJoin(gw.procID, union); err != nil {
+			// The maintained union is the exact fold of the local
+			// entries even while unjoined, so it is the re-join filter.
+			if err := b.engJoin(gw.procID, gw.union); err != nil {
 				b.needRejoin.Store(true)
 			} else {
 				gw.joined = true
-				gw.union = union
 			}
 		}
 		gw.mu.Unlock()
@@ -381,6 +469,13 @@ func (b *Broker) Subscribe(id core.ProcID, f filter.Filter) error {
 // subscriber's delivery queue. journal is false only on the Recover
 // path, which re-applies records that are already durable.
 func (b *Broker) subscribe(id core.ProcID, f filter.Filter, cons *consumer, journal bool) error {
+	return b.subscribeAt(id, f, cons, journal, -1)
+}
+
+// subscribeAt is subscribe with an optional pinned pool offset: off >= 0
+// replays a journaled assignment during Recover (policy mode only),
+// off < 0 places through the pool policy, or hashes in fixed mode.
+func (b *Broker) subscribeAt(id core.ProcID, f filter.Filter, cons *consumer, journal bool, off int) error {
 	if id <= core.NoProc {
 		return fmt.Errorf("pubsub: subscriber IDs must be positive, got %d", id)
 	}
@@ -388,12 +483,64 @@ func (b *Broker) subscribe(id core.ProcID, f filter.Filter, cons *consumer, jour
 	if err != nil {
 		return fmt.Errorf("pubsub: compiling filter: %w", err)
 	}
-	gw := b.gateway(id)
+	if b.policy != nil {
+		return b.subscribePolicy(id, rect, f, cons, journal, off)
+	}
+	gw := b.ownerLocked(id) // fixed pool: no lock needed, never resizes
 	gw.mu.Lock()
 	defer gw.mu.Unlock()
+	return b.subscribeLocked(gw, id, rect, f, cons, journal)
+}
+
+// subscribePolicy is the adaptive-pool registration path: placement,
+// split-growth and the assignment table live under poolMu (pool.go).
+func (b *Broker) subscribePolicy(id core.ProcID, rect geom.Rect, f filter.Filter, cons *consumer, journal bool, off int) error {
+	b.poolMu.Lock()
+	defer b.poolMu.Unlock()
+	if b.assign[id] != nil {
+		return fmt.Errorf("pubsub: subscriber %d already registered", id)
+	}
+	var gw *gateway
+	if off >= 0 {
+		// Recover replaying a journaled assignment. A torn log can pin
+		// to a gateway whose pool record was lost: fall back to
+		// placement.
+		gw = b.byProc[b.gwBase+core.ProcID(off)]
+	}
+	placed := false
+	if gw == nil {
+		var err error
+		if gw, err = b.placeLocked(rect); err != nil {
+			return err
+		}
+		placed = true
+	}
+	gw.mu.Lock()
+	defer gw.mu.Unlock()
+	if err := b.subscribeLocked(gw, id, rect, f, cons, journal); err != nil {
+		return err
+	}
+	b.assign[id] = gw
+	b.unmarkIdleLocked(gw)
+	if placed && !journal {
+		// Recovery placed a subscription whose record carried no usable
+		// offset (a v1 log, or a torn pool record): journal the
+		// assignment so the *next* recovery replays this placement
+		// instead of re-deriving it against a different pool shape.
+		_ = b.journalAssign(id, gw.off)
+	}
+	return nil
+}
+
+// subscribeLocked commits one registration on gw: engine first, then
+// journal, then the local maps and the incremental union. gw.mu held;
+// poolMu held exclusively in policy mode.
+func (b *Broker) subscribeLocked(gw *gateway, id core.ProcID, rect geom.Rect, f filter.Filter, cons *consumer, journal bool) error {
 	if _, dup := gw.subs[id]; dup {
 		return fmt.Errorf("pubsub: subscriber %d already registered", id)
 	}
+	key := rectKey(rect)
+	newEntry := gw.entries[key] == nil
 	// Overlay side first: if the engine refuses, no local state was
 	// touched. A rectangle inside the current union costs no engine
 	// traffic at all (the containment relation rides for free).
@@ -402,21 +549,14 @@ func (b *Broker) subscribe(id core.ProcID, f filter.Filter, cons *consumer, jour
 		// Normally the gateway is empty here; after a failed filter move
 		// (see engUpdateFilter) it may hold subscriptions, so the join
 		// filter must cover every local rectangle, not just the new one.
-		union := rect
-		for _, e := range gw.entries {
-			union = union.Union(e.rect)
-		}
-		if err := b.engJoin(gw.procID, union); err != nil {
+		if err := b.engJoin(gw.procID, gw.unionPeekAdd(rect)); err != nil {
 			return err
 		}
 		gw.joined = true
-		gw.union = union
-	case !gw.union.Contains(rect):
-		union := gw.union.Union(rect)
-		if err := b.engUpdateFilter(gw, union); err != nil {
+	case newEntry && !gw.union.Contains(rect):
+		if err := b.engUpdateFilter(gw, gw.unionPeekAdd(rect)); err != nil {
 			return err
 		}
-		gw.union = union
 	}
 	// Journal before the local commit: if the append fails nothing local
 	// changed (the grown union is harmless — false positives at worst),
@@ -424,11 +564,10 @@ func (b *Broker) subscribe(id core.ProcID, f filter.Filter, cons *consumer, jour
 	// memory lacks — a recovered ghost, also false-positive-safe. The
 	// inverse order could lose an acknowledged subscription on crash.
 	if journal {
-		if err := b.journalAppend(journalSubscribe, id, f); err != nil {
+		if err := b.journalAppend(journalSubscribe, id, f, gw.off); err != nil {
 			return err
 		}
 	}
-	key := rectKey(rect)
 	e := gw.entries[key]
 	if e == nil {
 		e = &matchEntry{rect: rect, subs: make(map[core.ProcID]entrySub)}
@@ -437,6 +576,8 @@ func (b *Broker) subscribe(id core.ProcID, f filter.Filter, cons *consumer, jour
 			delete(gw.entries, key)
 			return fmt.Errorf("pubsub: indexing filter: %w", err)
 		}
+		gw.unionCommitAdd(rect)
+		b.routeReplace(gw, gw.union)
 	}
 	e.subs[id] = entrySub{f: f, cons: cons}
 	gw.subs[id] = subscription{f: f, key: key, cons: cons}
@@ -463,31 +604,71 @@ func (b *Broker) SubscribeExpr(id core.ProcID, src string) error {
 // rectangle missing from the index while the subscription stayed
 // registered (a permanent false negative).
 func (b *Broker) remove(id core.ProcID, leave func(core.ProcID) error) error {
-	gw := b.gateway(id)
+	if b.policy != nil {
+		return b.removePolicy(id, leave)
+	}
+	gw := b.ownerLocked(id) // fixed pool: no lock needed, never resizes
 	gw.mu.Lock()
 	defer gw.mu.Unlock()
+	_, err := b.removeLocked(gw, id, leave)
+	return err
+}
+
+// removePolicy removes under the pool lock and then runs the shrink
+// policy: an emptied gateway retires (pool above the floor), an
+// underfull one drains into its peers.
+func (b *Broker) removePolicy(id core.ProcID, leave func(core.ProcID) error) error {
+	b.poolMu.Lock()
+	defer b.poolMu.Unlock()
+	gw := b.assign[id]
+	if gw == nil {
+		return fmt.Errorf("pubsub: subscriber %d not registered", id)
+	}
+	gw.mu.Lock()
+	removed, err := b.removeLocked(gw, id, leave)
+	gw.mu.Unlock()
+	if removed {
+		delete(b.assign, id)
+	}
+	if err != nil {
+		// Either nothing changed (engine refusal) or only durability is
+		// behind (journal append). Skip the shrink either way: pool
+		// reorganizations would pile more appends onto a failing store.
+		return err
+	}
+	b.shrinkPoolLocked(gw)
+	return nil
+}
+
+// removeLocked commits one departure on gw, engine first. Reports
+// whether the local removal happened: a journal-append failure still
+// removes (the engine already committed) and returns the error only to
+// signal durability lag. gw.mu held.
+func (b *Broker) removeLocked(gw *gateway, id core.ProcID, leave func(core.ProcID) error) (bool, error) {
 	sub, ok := gw.subs[id]
 	if !ok {
-		return fmt.Errorf("pubsub: subscriber %d not registered", id)
+		return false, fmt.Errorf("pubsub: subscriber %d not registered", id)
 	}
 	e := gw.entries[sub.key]
 	entryGone := len(e.subs) == 1
+	lastSub := len(gw.subs) == 1
+	var newU geom.Rect
+	var full bool
 	switch {
-	case len(gw.subs) == 1:
+	case lastSub:
 		b.engMu.Lock()
 		err := leave(gw.procID)
 		b.engMu.Unlock()
 		if err != nil {
-			return err
+			return false, err
 		}
 		gw.joined = false
-		gw.union = geom.Rect{}
 	case entryGone:
-		if union := gw.unionWithout(e); !union.Equal(gw.union) {
-			if err := b.engUpdateFilter(gw, union); err != nil {
-				return err
+		newU, full = gw.unionPeekRemove(e)
+		if !newU.Equal(gw.union) {
+			if err := b.engUpdateFilter(gw, newU); err != nil {
+				return false, err
 			}
-			gw.union = union
 		}
 	}
 	delete(gw.subs, id)
@@ -498,6 +679,12 @@ func (b *Broker) remove(id core.ProcID, leave func(core.ProcID) error) error {
 		// leaves an inert entry behind (its subscriber map is empty) —
 		// scan garbage at worst, never a false negative.
 		gw.index.Delete(e.rect, e)
+		if lastSub {
+			gw.unionReset()
+		} else {
+			gw.unionCommitRemove(e, newU, full)
+		}
+		b.routeReplace(gw, gw.union)
 	}
 	if sub.cons != nil {
 		sub.cons.q.Close()
@@ -507,7 +694,7 @@ func (b *Broker) remove(id core.ProcID, leave func(core.ProcID) error) error {
 	// subscription in the journal — a false positive after recovery,
 	// never a false negative — and the error tells the caller durability
 	// is behind.
-	return b.journalAppend(journalUnsubscribe, id, filter.Filter{})
+	return true, b.journalAppend(journalUnsubscribe, id, filter.Filter{}, gw.off)
 }
 
 // recomputeUnion derives the gateway's tightest overlay filter after a
@@ -557,7 +744,17 @@ func (b *Broker) UpdateFilter(id core.ProcID, f filter.Filter) error {
 	if err != nil {
 		return fmt.Errorf("pubsub: compiling filter: %w", err)
 	}
-	gw := b.gateway(id)
+	if b.policy != nil {
+		// A shared pool lock keeps the owning gateway stable against
+		// concurrent drains/splits while letting filter moves (the
+		// continuous-motion hot path) proceed in parallel.
+		b.poolMu.RLock()
+		defer b.poolMu.RUnlock()
+	}
+	gw := b.ownerLocked(id)
+	if gw == nil {
+		return fmt.Errorf("pubsub: subscriber %d not registered", id)
+	}
 	gw.mu.Lock()
 	defer gw.mu.Unlock()
 	sub, ok := gw.subs[id]
@@ -568,7 +765,7 @@ func (b *Broker) UpdateFilter(id core.ProcID, f filter.Filter) error {
 	if newKey == sub.key {
 		// Same rectangle, possibly different predicates (e.g. x >= 1
 		// vs 1 <= x <= inf): only the exact-match filter changes.
-		if err := b.journalAppend(journalUpdate, id, f); err != nil {
+		if err := b.journalAppend(journalUpdate, id, f, gw.off); err != nil {
 			return err
 		}
 		e := gw.entries[sub.key]
@@ -578,41 +775,51 @@ func (b *Broker) UpdateFilter(id core.ProcID, f filter.Filter) error {
 	}
 	oldE := gw.entries[sub.key]
 	oldGone := len(oldE.subs) == 1
-	// Target union after the move: every surviving entry plus the new
-	// rectangle. Engine first, as everywhere: a refusal changes nothing.
-	var union geom.Rect
+	// Target union after the move: the surviving fold plus the new
+	// rectangle. The incremental bookkeeping makes this O(d) for a move
+	// that neither leaves a union boundary nor escapes the union — the
+	// common case under continuous motion — instead of the old
+	// O(entries) refold on every move. Engine first, as everywhere: a
+	// refusal changes nothing.
+	base, full := gw.union, false
 	if oldGone {
-		union = gw.unionWithout(oldE).Union(rect)
-	} else {
-		union = gw.recomputeUnion().Union(rect)
+		base, full = gw.unionPeekRemove(oldE)
 	}
-	if gw.joined && !union.Equal(gw.union) {
-		if err := b.engUpdateFilter(gw, union); err != nil {
+	target := base.Union(rect)
+	if gw.joined && !target.Equal(gw.union) {
+		if err := b.engUpdateFilter(gw, target); err != nil {
 			return err
 		}
-		gw.union = union
 	}
-	if err := b.journalAppend(journalUpdate, id, f); err != nil {
+	if err := b.journalAppend(journalUpdate, id, f, gw.off); err != nil {
 		return err
 	}
 	newE := gw.entries[newKey]
-	if newE == nil {
+	created := newE == nil
+	if created {
+		// Index insert is the last fallible step; the entry enters the
+		// entries map only after the old entry's removal is committed,
+		// so a full-fold recount never sees both.
 		newE = &matchEntry{rect: rect, subs: make(map[core.ProcID]entrySub)}
-		gw.entries[newKey] = newE
 		if err := gw.index.Insert(rect, newE); err != nil {
-			delete(gw.entries, newKey)
 			return fmt.Errorf("pubsub: indexing filter: %w", err)
 		}
 	}
-	newE.subs[id] = entrySub{f: f, cons: sub.cons}
 	delete(oldE.subs, id)
 	if oldGone {
 		delete(gw.entries, sub.key)
 		// As in remove: a failed index delete leaves an inert entry,
 		// never a false negative.
 		gw.index.Delete(oldE.rect, oldE)
+		gw.unionCommitRemove(oldE, base, full)
 	}
+	if created {
+		gw.entries[newKey] = newE
+		gw.unionCommitAdd(rect)
+	}
+	newE.subs[id] = entrySub{f: f, cons: sub.cons}
 	gw.subs[id] = subscription{f: f, key: newKey, cons: sub.cons}
+	b.routeReplace(gw, gw.union)
 	if !gw.joined {
 		// The gateway lost membership earlier (failed filter move with
 		// live subscriptions): make sure the lazy re-join sees the flag.
@@ -652,7 +859,7 @@ func (b *Broker) Repair() core.StabReport {
 // Close never waits on a consumer callback) and releases the underlying
 // engine's resources.
 func (b *Broker) Close() error {
-	for _, gw := range b.gws {
+	for _, gw := range b.poolSnapshot() {
 		gw.mu.Lock()
 		for _, sub := range gw.subs {
 			if sub.cons != nil {
@@ -690,11 +897,20 @@ type Notification struct {
 	// Rounds is the dissemination latency in network rounds
 	// (message-passing engines; 0 for the sequential engine).
 	Rounds int
-	// ScanVisited counts the match-index nodes visited to classify this
-	// event across all gateways — the local matching cost that replaced
-	// the global linear subscriber scan. It is deterministic for a fixed
-	// subscription set and event, and grows sublinearly in subscribers.
+	// ScanVisited counts the R-tree nodes visited to classify this
+	// event: the top-level routing tree over gateway unions plus every
+	// match index the event was probed against — the total spatial
+	// matching cost that replaced the global linear subscriber scan. It
+	// is deterministic for a fixed subscription set and event, and grows
+	// sublinearly in subscribers.
 	ScanVisited int
+	// GatewayVisited counts how many per-gateway match indexes this
+	// event was probed against: the top-level routing tree over gateway
+	// MBR-unions prunes the rest of the pool outright. With a spatially
+	// coherent (policy-placed) pool this stays near-constant while the
+	// pool grows with load; a fixed hash-assigned pool has overlapping
+	// unions, so most events still visit most gateways.
+	GatewayVisited int
 }
 
 // Publish routes an event from the given producer through the overlay.
@@ -721,10 +937,11 @@ func (b *Broker) PublishBatch(producer core.ProcID, evs []filter.Event) ([]Notif
 		return nil, nil
 	}
 	b.rejoinStale()
-	if !b.registered(producer) {
+	pgw := b.owner(producer)
+	if pgw == nil || !b.registered(producer) {
 		return nil, fmt.Errorf("%w: %d", ErrProducerNotRegistered, producer)
 	}
-	gwID := b.gateway(producer).procID
+	gwID := pgw.procID
 	batch := make([]core.Publication, len(evs))
 	points := make([]geom.Point, len(evs))
 	for i, ev := range evs {
@@ -781,14 +998,15 @@ func (b *Broker) PublishAsync(producer core.ProcID, ev filter.Event) error {
 		return fmt.Errorf("pubsub: engine %T cannot publish asynchronously", b.eng)
 	}
 	b.rejoinStale()
-	if !b.registered(producer) {
+	pgw := b.owner(producer)
+	if pgw == nil || !b.registered(producer) {
 		return fmt.Errorf("%w: %d", ErrProducerNotRegistered, producer)
 	}
 	p, err := b.space.Point(ev)
 	if err != nil {
 		return err
 	}
-	gwID := b.gateway(producer).procID
+	gwID := pgw.procID
 	b.engMu.Lock()
 	err = ap.InjectEvent(gwID, p)
 	b.engMu.Unlock()
@@ -809,15 +1027,16 @@ func (b *Broker) PublishAsync(producer core.ProcID, ev filter.Event) error {
 // Safe to call concurrently with every other broker operation; like the
 // publish path it enqueues only after the gateway lock is released.
 func (b *Broker) NotifyGateway(gwProc core.ProcID, ev filter.Event) int {
-	idx := int(gwProc - b.gwBase)
-	if idx < 0 || idx >= len(b.gws) {
+	b.poolMu.RLock()
+	gw := b.byProc[gwProc]
+	b.poolMu.RUnlock()
+	if gw == nil {
 		return 0
 	}
 	p, err := b.space.Point(ev)
 	if err != nil {
 		return 0
 	}
-	gw := b.gws[idx]
 	matched := 0
 	var pend []pending
 	gw.mu.RLock()
@@ -840,28 +1059,59 @@ func (b *Broker) NotifyGateway(gwProc core.ProcID, ev filter.Event) int {
 }
 
 // GatewayOf returns the overlay process ID of the gateway owning
-// subscriber id (whether or not id is registered).
+// subscriber id. In fixed mode every ID hashes onto a gateway whether
+// or not it is registered (the historical contract); under an adaptive
+// pool an unregistered ID has no assignment and yields core.NoProc.
 func (b *Broker) GatewayOf(id core.ProcID) core.ProcID {
-	return b.gateway(id).procID
+	gw := b.owner(id)
+	if gw == nil {
+		return core.NoProc
+	}
+	return gw.procID
 }
 
-// classifyBatch fills the per-subscriber sets of each notification from
-// the gateways' match indexes: for every gateway, every event queries
-// the local R-tree once (sublinear in the gateway's subscription count),
-// and only the candidates whose rectangle contains the event are checked
-// against the strict predicate semantics. reached[k] is the set of
-// overlay processes the engine delivered event k to. It returns the
-// deliveries owed to queue-backed subscribers (received and interested);
-// the caller enqueues them after all gateway locks are released.
+// classifyBatch fills the per-subscriber sets of each notification in
+// two levels: the top-level routing tree (one point query per event over
+// the gateway MBR-unions) selects which gateways can match at all, then
+// only those gateways' match indexes are probed — every other gateway is
+// never visited, which is what decouples the per-event classify cost
+// from the pool size. reached[k] is the set of overlay processes the
+// engine delivered event k to. It returns the deliveries owed to
+// queue-backed subscribers (received and interested); the caller
+// enqueues them after all gateway locks are released.
 func (b *Broker) classifyBatch(notes []Notification, evs []filter.Event, points []geom.Point, reached []map[core.ProcID]bool) []pending {
 	var pend []pending
-	for _, gw := range b.gws {
+	// Level one: route. Gateways are collected from the route hits
+	// themselves (not a pool snapshot), so a gateway split off while
+	// this batch was in flight is still classified.
+	perGw := make(map[*gateway][]int)
+	var cur, hit int
+	collect := func(d any) {
+		g := d.(*gateway)
+		perGw[g] = append(perGw[g], cur)
+		hit++
+	}
+	b.routeMu.RLock()
+	for k := range notes {
+		cur, hit = k, 0
+		notes[k].ScanVisited += b.route.VisitFunc(points[k], collect)
+		notes[k].GatewayVisited = hit
+	}
+	b.routeMu.RUnlock()
+	order := make([]*gateway, 0, len(perGw))
+	for g := range perGw {
+		order = append(order, g)
+	}
+	slices.SortFunc(order, func(a, b *gateway) int { return cmp.Compare(a.off, b.off) })
+	// Level two: per-gateway match indexes, only for the events whose
+	// point fell inside that gateway's union.
+	for _, gw := range order {
 		gw.mu.RLock()
 		if len(gw.subs) == 0 {
 			gw.mu.RUnlock()
 			continue
 		}
-		for k := range notes {
+		for _, k := range perGw[gw] {
 			matches, visited := gw.index.VisitCount(points[k])
 			notes[k].ScanVisited += visited
 			if len(matches) == 0 {
@@ -892,10 +1142,17 @@ func (b *Broker) classifyBatch(notes []Notification, evs []filter.Event, points 
 		gw.mu.RUnlock()
 	}
 	for k := range notes {
-		slices.Sort(notes[k].Interested)
-		slices.Sort(notes[k].Received)
-		slices.Sort(notes[k].FalsePositives)
-		slices.Sort(notes[k].FalseNegatives)
+		// Sorted and deduplicated: a concurrent pool reorganization can
+		// transiently show one subscriber on two gateways.
+		notes[k].Interested = sortDedup(notes[k].Interested)
+		notes[k].Received = sortDedup(notes[k].Received)
+		notes[k].FalsePositives = sortDedup(notes[k].FalsePositives)
+		notes[k].FalseNegatives = sortDedup(notes[k].FalseNegatives)
 	}
 	return pend
+}
+
+func sortDedup(ids []core.ProcID) []core.ProcID {
+	slices.Sort(ids)
+	return slices.Compact(ids)
 }

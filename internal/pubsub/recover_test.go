@@ -203,7 +203,7 @@ func TestBrokerRecoverExactFloatRoundtrip(t *testing.T) {
 		t.Fatalf("Recover: %v", err)
 	}
 	defer b2.Close()
-	gw := b2.gateway(1)
+	gw := b2.owner(1)
 	gw.mu.RLock()
 	preds := gw.subs[1].f.Predicates()
 	gw.mu.RUnlock()

@@ -1,0 +1,145 @@
+package pubsub
+
+// Incremental MBR-union maintenance for a gateway's unique-rectangle
+// set. The gateway's overlay filter is the fold of Rect.Union over its
+// match entries; recomputing that fold on every departure is O(entries)
+// and was the broker's last linear cost on continuous-motion workloads.
+// Instead the gateway keeps, per dimension and per side, the number of
+// entries that attain the current union boundary. A rectangle strictly
+// inside the union adds and removes in O(d); only when a departing
+// rectangle was the *last* one attaining some boundary does the union
+// actually change, and only then is the O(entries) fold re-run (counted
+// in fullReunions, which the drift-workload tests pin to zero for
+// contained moves).
+//
+// The maintained union is bit-identical to the naive fold at all times
+// (certified by TestUnionBitIdenticalToOracle), including the signed-
+// zero corner: math.Min(-0, +0) = -0 and math.Max(-0, +0) = +0, so a
+// boundary sitting exactly at zero can change its *bit pattern* (not
+// its value) when a contributor leaves. Attainment is counted
+// numerically (−0 == +0), and any departure from a zero boundary takes
+// the full-fold path, which reproduces the fold's sign exactly.
+
+import "drtree/internal/geom"
+
+// unionPeekAdd returns the union the gateway will cover once a new
+// entry with rectangle r is added, without committing anything. Callers
+// consult the engine with this value first (engine-first discipline).
+func (gw *gateway) unionPeekAdd(r geom.Rect) geom.Rect {
+	return gw.union.Union(r)
+}
+
+// unionCommitAdd folds a new entry's rectangle into the maintained
+// union and its boundary-attainment counts. Call once per *entry*
+// (equivalent filters share an entry and contribute once), with gw.mu
+// held, after the entry is committed.
+func (gw *gateway) unionCommitAdd(r geom.Rect) {
+	d := r.Dims()
+	if gw.union.IsEmpty() {
+		gw.union = r
+		gw.loAt = make([]int, d)
+		gw.hiAt = make([]int, d)
+		for i := 0; i < d; i++ {
+			gw.loAt[i], gw.hiAt[i] = 1, 1
+		}
+		return
+	}
+	u := gw.union.Union(r)
+	for i := 0; i < d; i++ {
+		switch {
+		case r.Lo(i) < gw.union.Lo(i):
+			gw.loAt[i] = 1
+		case r.Lo(i) == gw.union.Lo(i):
+			gw.loAt[i]++
+		}
+		switch {
+		case r.Hi(i) > gw.union.Hi(i):
+			gw.hiAt[i] = 1
+		case r.Hi(i) == gw.union.Hi(i):
+			gw.hiAt[i]++
+		}
+	}
+	gw.union = u
+}
+
+// unionPeekRemove returns the union the gateway will cover once skip's
+// rectangle leaves, and whether committing that requires a full fold.
+// A rectangle attaining no boundary leaves the union untouched in O(d);
+// a boundary departure (or any departure from a boundary sitting at
+// exactly zero, where the fold's signed-zero choice must be re-derived)
+// recomputes the fold over the surviving entries.
+func (gw *gateway) unionPeekRemove(skip *matchEntry) (geom.Rect, bool) {
+	r := skip.rect
+	for i := 0; i < r.Dims(); i++ {
+		if r.Lo(i) == gw.union.Lo(i) && (gw.loAt[i] == 1 || gw.union.Lo(i) == 0) {
+			return gw.unionWithout(skip), true
+		}
+		if r.Hi(i) == gw.union.Hi(i) && (gw.hiAt[i] == 1 || gw.union.Hi(i) == 0) {
+			return gw.unionWithout(skip), true
+		}
+	}
+	return gw.union, false
+}
+
+// unionCommitRemove applies a peeked removal: u and full must come from
+// unionPeekRemove for the same entry. On the fast path only the counts
+// move; on the full path the union is replaced and the counts are
+// recounted (skip may still be present in gw.entries and is excluded).
+func (gw *gateway) unionCommitRemove(skip *matchEntry, u geom.Rect, full bool) {
+	if !full {
+		r := skip.rect
+		for i := 0; i < r.Dims(); i++ {
+			if r.Lo(i) == gw.union.Lo(i) {
+				gw.loAt[i]--
+			}
+			if r.Hi(i) == gw.union.Hi(i) {
+				gw.hiAt[i]--
+			}
+		}
+		return
+	}
+	gw.fullReunions++
+	gw.union = u
+	gw.recountBounds(skip)
+}
+
+// unionReset clears the union state (the gateway lost its last entry).
+func (gw *gateway) unionReset() {
+	gw.union = geom.Rect{}
+	gw.loAt, gw.hiAt = nil, nil
+}
+
+// unionRebuild recomputes the union fold and the attainment counts from
+// the entry set — the pool-reorganization path (gateway splits and
+// drains move whole entry groups, where incremental bookkeeping buys
+// nothing). Not counted in fullReunions: that counter isolates the
+// subscription churn path the incremental union exists to make O(d).
+func (gw *gateway) unionRebuild() {
+	gw.union = gw.recomputeUnion()
+	gw.recountBounds(nil)
+}
+
+// recountBounds recounts boundary attainment against the current union,
+// excluding skip (which may still be in the map mid-removal).
+func (gw *gateway) recountBounds(skip *matchEntry) {
+	if gw.union.IsEmpty() {
+		gw.loAt, gw.hiAt = nil, nil
+		return
+	}
+	d := gw.union.Dims()
+	gw.loAt = make([]int, d)
+	gw.hiAt = make([]int, d)
+	for _, e := range gw.entries {
+		if e == skip {
+			continue
+		}
+		for i := 0; i < d; i++ {
+			if e.rect.Lo(i) == gw.union.Lo(i) {
+				gw.loAt[i]++
+			}
+			if e.rect.Hi(i) == gw.union.Hi(i) {
+				gw.hiAt[i]++
+			}
+		}
+	}
+}

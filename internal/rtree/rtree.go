@@ -387,6 +387,46 @@ func (t *Tree) VisitCount(p geom.Point) (matches []any, visited int) {
 	return matches, visited
 }
 
+// VisitFunc searches like VisitCount but hands each match to fn
+// instead of accumulating a slice — the allocation-free variant for
+// per-event hot paths that already have somewhere to put the results.
+func (t *Tree) VisitFunc(p geom.Point, fn func(data any)) (visited int) {
+	var walk func(n *node)
+	walk = func(n *node) {
+		visited++
+		for _, e := range n.entries {
+			if !e.rect.ContainsPoint(p) {
+				continue
+			}
+			if n.leaf {
+				fn(e.data)
+			} else {
+				walk(e.child)
+			}
+		}
+	}
+	walk(t.root)
+	return visited
+}
+
+// ChooseEntries returns the data of every entry in the leaf that
+// ChooseLeaf (least enlargement, ties by area) would select for r —
+// the spatially closest O(M) placement candidates without a full scan.
+// The broker's adaptive gateway tier uses this to place a subscription
+// among thousands of gateways in O(log G) instead of O(G). Returns nil
+// on an empty tree.
+func (t *Tree) ChooseEntries(r geom.Rect) []any {
+	if t.size == 0 {
+		return nil
+	}
+	leaf := t.chooseNode(r, 1)
+	out := make([]any, len(leaf.entries))
+	for i, e := range leaf.entries {
+		out[i] = e.data
+	}
+	return out
+}
+
 // RootMBR returns the MBR of the whole tree (empty if no entries).
 func (t *Tree) RootMBR() geom.Rect { return t.root.mbr() }
 

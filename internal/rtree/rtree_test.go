@@ -230,6 +230,80 @@ func TestVisitCount(t *testing.T) {
 	}
 }
 
+// TestVisitFuncMatchesVisitCount certifies the allocation-free visitor
+// against the slice-returning walk: same matches, same node count.
+func TestVisitFuncMatchesVisitCount(t *testing.T) {
+	tr := MustNew(2, 4, split.Quadratic{})
+	rng := rand.New(rand.NewPCG(6, 6))
+	for i := 0; i < 100; i++ {
+		x, y := rng.Float64()*100, rng.Float64()*100
+		if err := tr.Insert(geom.R2(x, y, x+3, y+3), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k := 0; k < 20; k++ {
+		p := geom.Point{rng.Float64() * 100, rng.Float64() * 100}
+		matches, visited := tr.VisitCount(p)
+		got := map[int]bool{}
+		n := tr.VisitFunc(p, func(d any) { got[d.(int)] = true })
+		if n != visited {
+			t.Fatalf("probe %d: VisitFunc visited %d nodes, VisitCount %d", k, n, visited)
+		}
+		if len(got) != len(matches) {
+			t.Fatalf("probe %d: VisitFunc matched %d, VisitCount %d", k, len(got), len(matches))
+		}
+		for _, m := range matches {
+			if !got[m.(int)] {
+				t.Fatalf("probe %d: VisitCount match %v missing from VisitFunc", k, m)
+			}
+		}
+	}
+}
+
+// TestChooseEntries certifies the placement-candidate query: nil on an
+// empty tree, the whole entry set while the root is a leaf, and on a
+// multi-level tree exactly the leaf ChooseLeaf would descend to (every
+// candidate a real entry, count bounded by M).
+func TestChooseEntries(t *testing.T) {
+	tr := MustNew(2, 4, split.Quadratic{})
+	if got := tr.ChooseEntries(geom.R2(0, 0, 1, 1)); got != nil {
+		t.Fatalf("empty tree: ChooseEntries = %v", got)
+	}
+	for i := 0; i < 3; i++ {
+		x := float64(i * 10)
+		if err := tr.Insert(geom.R2(x, 0, x+5, 5), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := tr.ChooseEntries(geom.R2(0, 0, 1, 1)); len(got) != 3 {
+		t.Fatalf("leaf root: %d candidates, want all 3", len(got))
+	}
+	rng := rand.New(rand.NewPCG(7, 7))
+	for i := 3; i < 200; i++ {
+		x, y := rng.Float64()*100, rng.Float64()*100
+		if err := tr.Insert(geom.R2(x, y, x+2, y+2), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	all := map[any]bool{}
+	for _, d := range tr.Search(geom.R2(-10, -10, 120, 120)) {
+		all[d] = true
+	}
+	_, M := tr.Params()
+	for k := 0; k < 20; k++ {
+		q := geom.R2(rng.Float64()*100, rng.Float64()*100, rng.Float64()*100+100, rng.Float64()*100+100)
+		got := tr.ChooseEntries(q)
+		if len(got) == 0 || len(got) > M {
+			t.Fatalf("probe %d: %d candidates, want 1..%d", k, len(got), M)
+		}
+		for _, d := range got {
+			if !all[d] {
+				t.Fatalf("probe %d: candidate %v is not a tree entry", k, d)
+			}
+		}
+	}
+}
+
 func TestComputeStats(t *testing.T) {
 	tr := MustNew(2, 4, split.Quadratic{})
 	for i := 0; i < 30; i++ {

@@ -216,6 +216,76 @@ func Events(rng *rand.Rand, w World, kind EventKind, n int, subs []geom.Rect) []
 	return out
 }
 
+// DriftRects advances every rectangle one random-walk tick: each is
+// translated by an independent N(0, (frac*w.Size)²) step per axis and
+// clamped back into the world, sides preserved. It models continuous
+// motion (vehicles, players) whose interest region follows the mover —
+// the workload UpdateFilter churn exists for. Small frac values keep
+// most moves inside the gateway unions they started in, so the broker's
+// incremental re-union should almost never recompute. The input slice
+// is not modified.
+func DriftRects(rng *rand.Rand, w World, rects []geom.Rect, frac float64) []geom.Rect {
+	out := make([]geom.Rect, len(rects))
+	for i, r := range rects {
+		dx := rng.NormFloat64() * frac * w.Size
+		dy := rng.NormFloat64() * frac * w.Size
+		sx, sy := r.Side(0), r.Side(1)
+		x := clamp(r.Lo(0)+dx, 0, w.Size-sx)
+		y := clamp(r.Lo(1)+dy, 0, w.Size-sy)
+		out[i] = geom.R2(x, y, x+sx, y+sy)
+	}
+	return out
+}
+
+// ZipfEvents draws n event points whose spatial density follows a Zipf
+// law over a grid of hotspot cells: the world is cut into cells² equal
+// squares, cell ranks are assigned by a seeded shuffle (so the hot
+// cells scatter instead of huddling in a corner), and each event picks
+// a rank-r cell with probability ∝ 1/(1+r)^s, then lands uniformly
+// inside it. s must be > 1 (the rand.Zipf constraint); cells must be
+// >= 1. This is the skewed-popularity regime (a few topics absorb most
+// traffic) that stresses the gateways owning the hot region.
+func ZipfEvents(rng *rand.Rand, w World, n, cells int, s float64) []geom.Point {
+	if cells < 1 {
+		cells = 1
+	}
+	if s <= 1 {
+		s = 1.2
+	}
+	side := w.Size / float64(cells)
+	order := rng.Perm(cells * cells) // rank -> cell index
+	z := rand.NewZipf(rng, s, 1, uint64(cells*cells-1))
+	out := make([]geom.Point, n)
+	for i := range out {
+		c := order[z.Uint64()]
+		cx := float64(c%cells) * side
+		cy := float64(c/cells) * side
+		out[i] = geom.Point{cx + rng.Float64()*side, cy + rng.Float64()*side}
+	}
+	return out
+}
+
+// FlashCrowdRects generates n small subscription rectangles piled
+// around one crowd center — the burst of near-identical interests a
+// live venue or breaking story produces. Sides are 0.5%–2% of the
+// world and centers are normally scattered (σ = 2% of the world)
+// around the crowd point, so the rectangles overlap heavily and the
+// owning gateways' unions barely grow while their load spikes: the
+// subscribe-burst regime an adaptive gateway pool must absorb.
+func FlashCrowdRects(rng *rand.Rand, w World, n int) []geom.Rect {
+	cx := w.Size * (0.1 + 0.8*rng.Float64())
+	cy := w.Size * (0.1 + 0.8*rng.Float64())
+	out := make([]geom.Rect, n)
+	for i := range out {
+		sx := w.Size * (0.005 + 0.015*rng.Float64())
+		sy := w.Size * (0.005 + 0.015*rng.Float64())
+		x := clamp(cx+rng.NormFloat64()*w.Size*0.02-sx/2, 0, w.Size-sx)
+		y := clamp(cy+rng.NormFloat64()*w.Size*0.02-sy/2, 0, w.Size-sy)
+		out[i] = geom.R2(x, y, x+sx, y+sy)
+	}
+	return out
+}
+
 // ChurnOp is one membership event in a churn trace.
 type ChurnOp struct {
 	// Time is the virtual instant of the operation.

@@ -123,6 +123,134 @@ func TestEventsKinds(t *testing.T) {
 	}
 }
 
+func TestDriftRects(t *testing.T) {
+	w := DefaultWorld()
+	world := geom.R2(0, 0, w.Size, w.Size)
+	rng := rand.New(rand.NewPCG(11, 5))
+	subs := Subscriptions(rng, w, Uniform, 200)
+	moved := DriftRects(rng, w, subs, 0.01)
+	if len(moved) != len(subs) {
+		t.Fatalf("drift changed cardinality: %d -> %d", len(subs), len(moved))
+	}
+	changed := 0
+	for i := range moved {
+		if !world.Contains(moved[i]) {
+			t.Fatalf("drifted rect %d %v escaped the world", i, moved[i])
+		}
+		const eps = 1e-9
+		if d := moved[i].Side(0) - subs[i].Side(0); d > eps || d < -eps {
+			t.Fatalf("drift changed rect %d x-side: %v -> %v", i, subs[i], moved[i])
+		}
+		if d := moved[i].Side(1) - subs[i].Side(1); d > eps || d < -eps {
+			t.Fatalf("drift changed rect %d y-side: %v -> %v", i, subs[i], moved[i])
+		}
+		if !moved[i].Equal(subs[i]) {
+			changed++
+		}
+		// A 1% step keeps the move local: centers shift far less than the
+		// world size.
+		if dx := moved[i].Lo(0) - subs[i].Lo(0); dx > w.Size*0.2 || dx < -w.Size*0.2 {
+			t.Fatalf("rect %d jumped %v, want a local random-walk step", i, dx)
+		}
+	}
+	if changed < 150 {
+		t.Fatalf("only %d/200 rects moved", changed)
+	}
+	// The input must be untouched.
+	again := DriftRects(rand.New(rand.NewPCG(11, 6)), w, subs, 0.01)
+	_ = again
+	for i := range subs {
+		if subs[i].IsEmpty() {
+			t.Fatal("drift mutated its input")
+		}
+	}
+	// Determinism: same seed, same walk.
+	a := DriftRects(rand.New(rand.NewPCG(7, 7)), w, subs, 0.02)
+	b := DriftRects(rand.New(rand.NewPCG(7, 7)), w, subs, 0.02)
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatal("drift is not deterministic under a fixed seed")
+		}
+	}
+}
+
+func TestZipfEvents(t *testing.T) {
+	w := DefaultWorld()
+	rng := rand.New(rand.NewPCG(12, 5))
+	const n, cells = 2000, 8
+	evs := ZipfEvents(rng, w, n, cells, 1.3)
+	if len(evs) != n {
+		t.Fatalf("got %d events", len(evs))
+	}
+	counts := map[int]int{}
+	for _, e := range evs {
+		if e[0] < 0 || e[0] > w.Size || e[1] < 0 || e[1] > w.Size {
+			t.Fatalf("event %v outside world", e)
+		}
+		side := w.Size / cells
+		cx, cy := int(e[0]/side), int(e[1]/side)
+		if cx == cells {
+			cx--
+		}
+		if cy == cells {
+			cy--
+		}
+		counts[cy*cells+cx]++
+	}
+	// Zipf skew: the hottest cell must hold far more than the uniform
+	// share (n/cells² ≈ 31) and a majority of cells must be near-cold.
+	maxCount, cold := 0, 0
+	for c := 0; c < cells*cells; c++ {
+		if counts[c] > maxCount {
+			maxCount = counts[c]
+		}
+		if counts[c] < n/(cells*cells) {
+			cold++
+		}
+	}
+	if maxCount < 5*n/(cells*cells) {
+		t.Fatalf("hottest cell has %d events, not Zipf-skewed", maxCount)
+	}
+	if cold < cells*cells/2 {
+		t.Fatalf("only %d cold cells, distribution not skewed", cold)
+	}
+	// Degenerate parameters clamp instead of panicking.
+	if got := ZipfEvents(rng, w, 10, 0, 0.5); len(got) != 10 {
+		t.Fatal("degenerate parameters must still generate")
+	}
+}
+
+func TestFlashCrowdRects(t *testing.T) {
+	w := DefaultWorld()
+	world := geom.R2(0, 0, w.Size, w.Size)
+	rng := rand.New(rand.NewPCG(13, 5))
+	crowd := FlashCrowdRects(rng, w, 300)
+	if len(crowd) != 300 {
+		t.Fatalf("got %d rects", len(crowd))
+	}
+	var acc geom.Rect
+	for i, r := range crowd {
+		if !world.Contains(r) {
+			t.Fatalf("crowd rect %d %v outside world", i, r)
+		}
+		acc = acc.Union(r)
+	}
+	// The whole crowd huddles: its bounding box is a small fraction of
+	// the world (centers σ=2%, sides <= 2%).
+	if acc.Side(0) > w.Size*0.4 || acc.Side(1) > w.Size*0.4 {
+		t.Fatalf("flash crowd spread over %v, want a tight pile", acc)
+	}
+	// Different seeds pick different venues.
+	other := FlashCrowdRects(rand.New(rand.NewPCG(99, 5)), w, 300)
+	var acc2 geom.Rect
+	for _, r := range other {
+		acc2 = acc2.Union(r)
+	}
+	if acc.Intersects(acc2) && acc.Union(acc2).Area() < 1.5*acc.Area() {
+		t.Fatal("two seeds produced the same crowd center")
+	}
+}
+
 func TestChurnTrace(t *testing.T) {
 	rng := rand.New(rand.NewPCG(4, 4))
 	ops := ChurnTrace(rng, 5, 100)
